@@ -1,0 +1,139 @@
+//! Distance metrics between full-precision embeddings.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance / similarity metric used by an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Squared Euclidean distance (lower is closer).
+    SquaredL2,
+    /// Negative inner product (lower is closer), matching FAISS's
+    /// `METRIC_INNER_PRODUCT` convention when used as a distance.
+    InnerProduct,
+    /// Cosine distance, `1 - cos(a, b)` (lower is closer).
+    Cosine,
+}
+
+impl Metric {
+    /// Compute the distance between two vectors under this metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::SquaredL2 => squared_l2(a, b),
+            Metric::InnerProduct => -inner_product(a, b),
+            Metric::Cosine => cosine_distance(a, b),
+        }
+    }
+}
+
+impl Default for Metric {
+    fn default() -> Self {
+        Metric::SquaredL2
+    }
+}
+
+/// Squared Euclidean distance between two vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal dimensionality");
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    squared_l2(a, b).sqrt()
+}
+
+/// Inner product of two vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal dimensionality");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// L2 norm of a vector.
+pub fn norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Cosine distance `1 - cos(a, b)`; zero vectors are treated as orthogonal to
+/// everything (distance 1).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - inner_product(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_l2_matches_manual_computation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 0.0, 3.0];
+        assert_eq!(squared_l2(&a, &b), 1.0 + 4.0);
+        assert!((l2(&a, &b) - 5.0_f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_vectors_have_zero_distance() {
+        let a = [0.5, -1.5, 2.0, 0.0];
+        assert_eq!(squared_l2(&a, &a), 0.0);
+        assert!(cosine_distance(&a, &a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inner_product_metric_is_negated() {
+        let a = [1.0, 0.0];
+        let b = [2.0, 0.0];
+        assert_eq!(Metric::InnerProduct.distance(&a, &b), -2.0);
+        // The closer (more similar) pair has a smaller metric value.
+        let far = [0.1, 0.0];
+        assert!(Metric::InnerProduct.distance(&a, &b) < Metric::InnerProduct.distance(&a, &far));
+    }
+
+    #[test]
+    fn cosine_distance_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!(cosine_distance(&a, &b).abs() < 1e-6);
+        let orthogonal = [0.0, 0.0, 0.0];
+        assert_eq!(cosine_distance(&a, &orthogonal), 1.0);
+    }
+
+    #[test]
+    fn metric_dispatch_matches_free_functions() {
+        let a = [0.3, -0.2, 0.9];
+        let b = [-0.4, 0.8, 0.1];
+        assert_eq!(Metric::SquaredL2.distance(&a, &b), squared_l2(&a, &b));
+        assert_eq!(Metric::Cosine.distance(&a, &b), cosine_distance(&a, &b));
+        assert_eq!(Metric::InnerProduct.distance(&a, &b), -inner_product(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn mismatched_dimensions_panic() {
+        squared_l2(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the ANNS algorithm library.
+
+use std::fmt;
+
+/// Errors returned by index construction and search operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnError {
+    /// A vector had a different dimensionality than the index or quantizer
+    /// was built for.
+    DimensionMismatch {
+        /// Dimensionality expected by the index.
+        expected: usize,
+        /// Dimensionality of the offending vector.
+        actual: usize,
+    },
+    /// An operation that needs training data received an empty dataset.
+    EmptyDataset,
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// An index was searched before it was trained / built.
+    NotTrained,
+    /// A vector id referenced by a search result or rerank request does not
+    /// exist in the index.
+    UnknownVector(usize),
+}
+
+impl fmt::Display for AnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnError::DimensionMismatch { expected, actual } => {
+                write!(f, "vector has {actual} dimensions but the index expects {expected}")
+            }
+            AnnError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            AnnError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            AnnError::NotTrained => write!(f, "index must be trained before searching"),
+            AnnError::UnknownVector(id) => write!(f, "vector id {id} does not exist in the index"),
+        }
+    }
+}
+
+impl std::error::Error for AnnError {}
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, AnnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        let errs = vec![
+            AnnError::DimensionMismatch { expected: 1024, actual: 768 },
+            AnnError::EmptyDataset,
+            AnnError::InvalidParameter { name: "nlist", message: "must be non-zero".into() },
+            AnnError::NotTrained,
+            AnnError::UnknownVector(9),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_implements_std_error_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<AnnError>();
+    }
+}

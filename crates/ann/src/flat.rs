@@ -1,0 +1,248 @@
+//! Flat (exhaustive) indexes.
+//!
+//! A flat index compares the query against every database vector. It is the
+//! slowest search strategy but is exact, so it provides (i) the ground truth
+//! used to measure the recall of approximate indexes and (ii) the
+//! "brute force" (BF) configuration evaluated in Figs. 7, 8 and 10 of the
+//! paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::Metric;
+use crate::error::{AnnError, Result};
+use crate::topk::{Neighbor, TopK};
+use crate::vector::BinaryVector;
+
+/// Exact nearest-neighbor index over full-precision vectors.
+///
+/// # Examples
+///
+/// ```
+/// use reis_ann::flat::FlatIndex;
+/// use reis_ann::distance::Metric;
+///
+/// # fn main() -> Result<(), reis_ann::error::AnnError> {
+/// let index = FlatIndex::new(vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]], Metric::SquaredL2)?;
+/// let hits = index.search(&[0.9, 1.1], 2)?;
+/// assert_eq!(hits[0].id, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatIndex {
+    vectors: Vec<Vec<f32>>,
+    metric: Metric,
+    dim: usize,
+}
+
+impl FlatIndex {
+    /// Build a flat index over the given vectors.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnnError::EmptyDataset`] if `vectors` is empty.
+    /// * [`AnnError::DimensionMismatch`] if the vectors have inconsistent
+    ///   dimensionality.
+    pub fn new(vectors: Vec<Vec<f32>>, metric: Metric) -> Result<Self> {
+        if vectors.is_empty() {
+            return Err(AnnError::EmptyDataset);
+        }
+        let dim = vectors[0].len();
+        for v in &vectors {
+            if v.len() != dim {
+                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.len() });
+            }
+        }
+        Ok(FlatIndex { vectors, metric, dim })
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the index is empty (never true for a constructed index).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Dimensionality of the indexed vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The metric the index ranks by.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Access an indexed vector by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::UnknownVector`] for an out-of-range id.
+    pub fn vector(&self, id: usize) -> Result<&[f32]> {
+        self.vectors.get(id).map(Vec::as_slice).ok_or(AnnError::UnknownVector(id))
+    }
+
+    /// Exhaustively search for the `k` nearest neighbors of `query`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] if the query's length differs
+    /// from the index dimensionality.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dim {
+            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.len() });
+        }
+        let mut top = TopK::new(k);
+        for (id, v) in self.vectors.iter().enumerate() {
+            top.push(Neighbor::new(id, self.metric.distance(query, v)));
+        }
+        Ok(top.into_sorted_vec())
+    }
+
+    /// Number of distance computations one query performs (the full database
+    /// size; used by the analytic CPU cost model).
+    pub fn distance_computations_per_query(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+/// Exact nearest-neighbor index over binary-quantized vectors (Hamming
+/// distance), as used by the "CPU + BQ" baseline of Fig. 3.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatBinaryIndex {
+    vectors: Vec<BinaryVector>,
+    dim: usize,
+}
+
+impl FlatBinaryIndex {
+    /// Build a flat Hamming index over the given binary vectors.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnnError::EmptyDataset`] if `vectors` is empty.
+    /// * [`AnnError::DimensionMismatch`] if the vectors have inconsistent
+    ///   dimensionality.
+    pub fn new(vectors: Vec<BinaryVector>) -> Result<Self> {
+        if vectors.is_empty() {
+            return Err(AnnError::EmptyDataset);
+        }
+        let dim = vectors[0].dim();
+        for v in &vectors {
+            if v.dim() != dim {
+                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.dim() });
+            }
+        }
+        Ok(FlatBinaryIndex { vectors, dim })
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the index is empty (never true for a constructed index).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Dimensionality (bits) of the indexed vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Access an indexed vector by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::UnknownVector`] for an out-of-range id.
+    pub fn vector(&self, id: usize) -> Result<&BinaryVector> {
+        self.vectors.get(id).ok_or(AnnError::UnknownVector(id))
+    }
+
+    /// Exhaustively search for the `k` nearest neighbors of `query` under
+    /// Hamming distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] if the query's dimensionality
+    /// differs from the index.
+    pub fn search(&self, query: &BinaryVector, k: usize) -> Result<Vec<Neighbor>> {
+        if query.dim() != self.dim {
+            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.dim() });
+        }
+        let mut top = TopK::new(k);
+        for (id, v) in self.vectors.iter().enumerate() {
+            top.push(Neighbor::new(id, query.hamming_distance(v) as f32));
+        }
+        Ok(top.into_sorted_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::BinaryQuantizer;
+
+    fn grid_vectors() -> Vec<Vec<f32>> {
+        (0..25).map(|i| vec![(i % 5) as f32, (i / 5) as f32]).collect()
+    }
+
+    #[test]
+    fn search_returns_exact_nearest_neighbors_in_order() {
+        let index = FlatIndex::new(grid_vectors(), Metric::SquaredL2).unwrap();
+        let hits = index.search(&[0.1, 0.1], 3).unwrap();
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
+        let ids: Vec<usize> = hits.iter().map(|h| h.id).collect();
+        assert!(ids.contains(&1) && ids.contains(&5), "axis neighbors must be next: {ids:?}");
+    }
+
+    #[test]
+    fn search_with_k_larger_than_database_returns_everything() {
+        let index = FlatIndex::new(grid_vectors(), Metric::SquaredL2).unwrap();
+        let hits = index.search(&[0.0, 0.0], 100).unwrap();
+        assert_eq!(hits.len(), 25);
+        assert_eq!(index.distance_computations_per_query(), 25);
+    }
+
+    #[test]
+    fn construction_validates_input() {
+        assert!(matches!(FlatIndex::new(vec![], Metric::SquaredL2), Err(AnnError::EmptyDataset)));
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            FlatIndex::new(ragged, Metric::SquaredL2),
+            Err(AnnError::DimensionMismatch { .. })
+        ));
+        let index = FlatIndex::new(grid_vectors(), Metric::SquaredL2).unwrap();
+        assert!(matches!(index.search(&[1.0], 1), Err(AnnError::DimensionMismatch { .. })));
+        assert!(matches!(index.vector(999), Err(AnnError::UnknownVector(999))));
+        assert_eq!(index.vector(3).unwrap(), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn binary_flat_search_finds_hamming_neighbors() {
+        let data = grid_vectors();
+        let quantizer = BinaryQuantizer::fit(&data).unwrap();
+        let binary = quantizer.quantize_all(&data).unwrap();
+        let index = FlatBinaryIndex::new(binary.clone()).unwrap();
+        assert_eq!(index.len(), 25);
+        assert_eq!(index.dim(), 2);
+        let hits = index.search(&binary[7], 1).unwrap();
+        // The nearest binary vector to itself is at distance zero.
+        assert_eq!(hits[0].distance, 0.0);
+        assert_eq!(index.vector(7).unwrap(), &binary[7]);
+    }
+
+    #[test]
+    fn binary_flat_rejects_dimension_mismatch() {
+        let a = BinaryVector::from_bits(&[true; 8]);
+        let index = FlatBinaryIndex::new(vec![a]).unwrap();
+        let bad = BinaryVector::from_bits(&[true; 16]);
+        assert!(index.search(&bad, 1).is_err());
+        assert!(FlatBinaryIndex::new(vec![]).is_err());
+    }
+}

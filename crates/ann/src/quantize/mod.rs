@@ -1,0 +1,15 @@
+//! Embedding quantization schemes: binary, INT8 scalar and product
+//! quantization.
+//!
+//! REIS's in-storage engine operates on [`binary`]-quantized embeddings
+//! (XOR + popcount in the flash planes) and reranks with [`scalar`] INT8
+//! embeddings on the embedded cores. [`product`] quantization is provided as
+//! the comparison point evaluated in Fig. 5 of the paper.
+
+pub mod binary;
+pub mod product;
+pub mod scalar;
+
+pub use binary::BinaryQuantizer;
+pub use product::{ProductQuantizer, ProductQuantizerConfig};
+pub use scalar::Int8Quantizer;

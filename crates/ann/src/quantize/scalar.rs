@@ -1,0 +1,193 @@
+//! INT8 scalar quantization, used for the reranking step.
+//!
+//! REIS stores an INT8 copy of every embedding in the TLC partition and
+//! recomputes the distances of the binary-quantized candidates in INT8
+//! precision on the SSD's embedded core (Sec. 4.3.2, step 7). The scalar
+//! quantizer here is a symmetric per-dimension affine quantizer in the style
+//! of the Cohere INT8 embeddings used by the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{AnnError, Result};
+use crate::vector::Int8Vector;
+
+/// Per-dimension affine INT8 quantizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Int8Quantizer {
+    offsets: Vec<f32>,
+    scales: Vec<f32>,
+}
+
+impl Int8Quantizer {
+    /// An identity-style quantizer for values already in `[-1, 1]`:
+    /// offset 0 and scale `1/127` on every dimension.
+    pub fn unit_range(dim: usize) -> Self {
+        Int8Quantizer { offsets: vec![0.0; dim], scales: vec![1.0 / 127.0; dim] }
+    }
+
+    /// Fit offsets (per-dimension mean) and scales (per-dimension maximum
+    /// absolute deviation divided by 127) to a training set.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnnError::EmptyDataset`] if `data` is empty.
+    /// * [`AnnError::DimensionMismatch`] if the vectors have inconsistent
+    ///   dimensionality.
+    pub fn fit(data: &[Vec<f32>]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(AnnError::EmptyDataset);
+        }
+        let dim = data[0].len();
+        let mut sums = vec![0.0f64; dim];
+        for v in data {
+            if v.len() != dim {
+                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.len() });
+            }
+            for (s, &x) in sums.iter_mut().zip(v.iter()) {
+                *s += x as f64;
+            }
+        }
+        let offsets: Vec<f32> = sums.iter().map(|&s| (s / data.len() as f64) as f32).collect();
+        let mut max_dev = vec![0.0f32; dim];
+        for v in data {
+            for ((m, &x), &o) in max_dev.iter_mut().zip(v.iter()).zip(offsets.iter()) {
+                let dev = (x - o).abs();
+                if dev > *m {
+                    *m = dev;
+                }
+            }
+        }
+        let scales = max_dev
+            .iter()
+            .map(|&m| if m > 0.0 { m / 127.0 } else { 1.0 / 127.0 })
+            .collect();
+        Ok(Int8Quantizer { offsets, scales })
+    }
+
+    /// Dimensionality this quantizer was built for.
+    pub fn dim(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Quantize one vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] if the vector's length differs
+    /// from the quantizer's dimensionality.
+    pub fn quantize(&self, vector: &[f32]) -> Result<Int8Vector> {
+        if vector.len() != self.dim() {
+            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: vector.len() });
+        }
+        let values = vector
+            .iter()
+            .zip(self.offsets.iter().zip(self.scales.iter()))
+            .map(|(&x, (&o, &s))| {
+                let q = ((x - o) / s).round();
+                q.clamp(-127.0, 127.0) as i8
+            })
+            .collect();
+        Ok(Int8Vector::new(values))
+    }
+
+    /// Quantize a whole dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for the first vector whose
+    /// length differs from the quantizer's dimensionality.
+    pub fn quantize_all(&self, data: &[Vec<f32>]) -> Result<Vec<Int8Vector>> {
+        data.iter().map(|v| self.quantize(v)).collect()
+    }
+
+    /// Reconstruct an approximate `f32` vector from its INT8 representation.
+    pub fn dequantize(&self, vector: &Int8Vector) -> Vec<f32> {
+        vector
+            .as_slice()
+            .iter()
+            .zip(self.offsets.iter().zip(self.scales.iter()))
+            .map(|(&q, (&o, &s))| q as f32 * s + o)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::squared_l2;
+
+    fn training_data() -> Vec<Vec<f32>> {
+        (0..50)
+            .map(|i| {
+                let t = i as f32 / 50.0;
+                vec![t, -t * 2.0, 0.5 + t * 0.1, (i % 7) as f32 * 0.05]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_dequantize_reconstruction_error_is_small() {
+        let data = training_data();
+        let q = Int8Quantizer::fit(&data).unwrap();
+        for v in &data {
+            let reconstructed = q.dequantize(&q.quantize(v).unwrap());
+            let err = squared_l2(v, &reconstructed);
+            assert!(err < 1e-3, "reconstruction error {err} too large for {v:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_distances_track_float_distances() {
+        let data = training_data();
+        let q = Int8Quantizer::fit(&data).unwrap();
+        let quantized = q.quantize_all(&data).unwrap();
+        // For a fixed query, the nearest neighbor under INT8 must match the
+        // nearest neighbor under f32 on this smooth dataset.
+        let query = &data[10];
+        let query_q = q.quantize(query).unwrap();
+        // Indices 9 and 11 are nearly equidistant from index 10 by
+        // construction, so require the INT8 nearest neighbor to be one of the
+        // two closest float neighbors rather than an exact match.
+        let mut by_f32: Vec<usize> = (0..data.len()).filter(|&i| i != 10).collect();
+        by_f32.sort_by(|&a, &b| {
+            squared_l2(&data[a], query).partial_cmp(&squared_l2(&data[b], query)).unwrap()
+        });
+        let nn_int8 = quantized
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 10)
+            .min_by_key(|(_, v)| v.squared_l2(&query_q))
+            .unwrap()
+            .0;
+        assert!(
+            by_f32[..2].contains(&nn_int8),
+            "INT8 nearest neighbor {nn_int8} not among the two closest float neighbors {:?}",
+            &by_f32[..2]
+        );
+    }
+
+    #[test]
+    fn unit_range_clamps_out_of_range_values() {
+        let q = Int8Quantizer::unit_range(3);
+        let v = q.quantize(&[2.0, -2.0, 0.5]).unwrap();
+        assert_eq!(v.as_slice(), &[127, -127, 64]);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch_and_empty_data() {
+        assert!(matches!(Int8Quantizer::fit(&[]), Err(AnnError::EmptyDataset)));
+        let q = Int8Quantizer::unit_range(2);
+        assert!(matches!(
+            q.quantize(&[1.0]),
+            Err(AnnError::DimensionMismatch { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn constant_dimension_does_not_divide_by_zero() {
+        let data = vec![vec![3.0, 1.0], vec![3.0, 2.0], vec![3.0, 3.0]];
+        let q = Int8Quantizer::fit(&data).unwrap();
+        let v = q.quantize(&[3.0, 2.0]).unwrap();
+        assert_eq!(v.as_slice()[0], 0, "constant dimension quantizes to the offset");
+    }
+}

@@ -1,0 +1,132 @@
+//! Reranking (rescoring) of quantized search candidates.
+//!
+//! Binary quantization trades precision for speed; to recover recall, the
+//! candidates it produces are *reranked* with a more precise distance before
+//! the final top-k is returned (Sec. 4.3.2, step 7). REIS reranks the top
+//! `10·k` binary candidates with INT8 distances on the SSD's embedded core;
+//! the CPU baselines do the same on the host.
+
+use crate::distance::Metric;
+use crate::error::{AnnError, Result};
+use crate::topk::{Neighbor, TopK};
+use crate::vector::Int8Vector;
+
+/// Multiplier applied to `k` to size the candidate set handed to the
+/// reranker (the paper reranks the top `10·k` ANNS results).
+pub const DEFAULT_RERANK_FACTOR: usize = 10;
+
+/// Rerank candidate ids with INT8 distances and return the `k` nearest.
+///
+/// # Errors
+///
+/// * [`AnnError::UnknownVector`] if a candidate id is out of range.
+/// * [`AnnError::DimensionMismatch`] if a candidate's dimensionality differs
+///   from the query's.
+pub fn rerank_int8(
+    query: &Int8Vector,
+    candidates: &[usize],
+    database: &[Int8Vector],
+    k: usize,
+) -> Result<Vec<Neighbor>> {
+    let mut top = TopK::new(k);
+    for &id in candidates {
+        let vector = database.get(id).ok_or(AnnError::UnknownVector(id))?;
+        if vector.dim() != query.dim() {
+            return Err(AnnError::DimensionMismatch {
+                expected: query.dim(),
+                actual: vector.dim(),
+            });
+        }
+        top.push(Neighbor::new(id, vector.squared_l2(query) as f32));
+    }
+    Ok(top.into_sorted_vec())
+}
+
+/// Rerank candidate ids with full-precision distances and return the `k`
+/// nearest.
+///
+/// # Errors
+///
+/// * [`AnnError::UnknownVector`] if a candidate id is out of range.
+/// * [`AnnError::DimensionMismatch`] if a candidate's dimensionality differs
+///   from the query's.
+pub fn rerank_f32(
+    query: &[f32],
+    candidates: &[usize],
+    database: &[Vec<f32>],
+    metric: Metric,
+    k: usize,
+) -> Result<Vec<Neighbor>> {
+    let mut top = TopK::new(k);
+    for &id in candidates {
+        let vector = database.get(id).ok_or(AnnError::UnknownVector(id))?;
+        if vector.len() != query.len() {
+            return Err(AnnError::DimensionMismatch {
+                expected: query.len(),
+                actual: vector.len(),
+            });
+        }
+        top.push(Neighbor::new(id, metric.distance(query, vector)));
+    }
+    Ok(top.into_sorted_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::Int8Quantizer;
+
+    #[test]
+    fn int8_rerank_orders_candidates_by_true_similarity() {
+        let data: Vec<Vec<f32>> =
+            (0..20).map(|i| vec![i as f32 * 0.1, 1.0 - i as f32 * 0.1, 0.5]).collect();
+        let quantizer = Int8Quantizer::fit(&data).unwrap();
+        let db = quantizer.quantize_all(&data).unwrap();
+        let query = quantizer.quantize(&data[7]).unwrap();
+        // Candidates arrive unordered (as they would from the binary stage).
+        let candidates = vec![15, 3, 7, 9, 1, 12];
+        let top = rerank_int8(&query, &candidates, &db, 3).unwrap();
+        assert_eq!(top[0].id, 7);
+        assert_eq!(top[0].distance, 0.0);
+        assert_eq!(top.len(), 3);
+        assert!(top.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn f32_rerank_matches_metric_ordering() {
+        let data = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 3.0]];
+        let top = rerank_f32(&[0.2, 0.1], &[0, 1, 2, 3], &data, Metric::SquaredL2, 2).unwrap();
+        assert_eq!(top[0].id, 0);
+        assert_eq!(top[1].id, 1);
+    }
+
+    #[test]
+    fn unknown_candidate_ids_are_rejected() {
+        let data = vec![vec![0.0, 0.0]];
+        assert!(matches!(
+            rerank_f32(&[0.0, 0.0], &[5], &data, Metric::SquaredL2, 1),
+            Err(AnnError::UnknownVector(5))
+        ));
+        let db = vec![Int8Vector::new(vec![0, 0])];
+        assert!(matches!(
+            rerank_int8(&Int8Vector::new(vec![0, 0]), &[1], &db, 1),
+            Err(AnnError::UnknownVector(1))
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let db = vec![Int8Vector::new(vec![0, 0, 0])];
+        assert!(matches!(
+            rerank_int8(&Int8Vector::new(vec![0, 0]), &[0], &db, 1),
+            Err(AnnError::DimensionMismatch { expected: 2, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn empty_candidates_produce_empty_result() {
+        let data = vec![vec![0.0, 0.0]];
+        let top = rerank_f32(&[0.0, 0.0], &[], &data, Metric::SquaredL2, 5).unwrap();
+        assert!(top.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Vector representations used throughout the retrieval stack.
+//!
+//! Text embeddings start life as high-dimensional `f32` vectors (768–8192
+//! dimensions in the models the paper surveys). REIS stores two derived
+//! representations: a *binary* vector (one bit per dimension, the form the
+//! in-plane XOR/popcount engine consumes) and an *INT8* vector used by the
+//! reranking kernel on the SSD's embedded cores.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary-quantized embedding: one bit per dimension, packed into bytes.
+///
+/// Bit `d` of the vector is stored in byte `d / 8`, bit position `d % 8`
+/// (least-significant first), so a 1024-dimension embedding occupies exactly
+/// 128 bytes — the mini-page granularity used by REIS.
+///
+/// # Examples
+///
+/// ```
+/// use reis_ann::vector::BinaryVector;
+///
+/// let v = BinaryVector::from_bits(&[true, false, true, true]);
+/// assert_eq!(v.dim(), 4);
+/// assert_eq!(v.count_ones(), 3);
+/// assert!(v.bit(0) && !v.bit(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BinaryVector {
+    dim: usize,
+    bytes: Vec<u8>,
+}
+
+impl BinaryVector {
+    /// Create a binary vector from individual bit values.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+        for (d, &bit) in bits.iter().enumerate() {
+            if bit {
+                bytes[d / 8] |= 1 << (d % 8);
+            }
+        }
+        BinaryVector { dim: bits.len(), bytes }
+    }
+
+    /// Create a binary vector of `dim` dimensions from pre-packed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short to hold `dim` bits.
+    pub fn from_packed(dim: usize, bytes: Vec<u8>) -> Self {
+        assert!(bytes.len() * 8 >= dim, "{} bytes cannot hold {dim} bits", bytes.len());
+        BinaryVector { dim, bytes }
+    }
+
+    /// Dimensionality (number of bits) of the vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The packed byte representation (length `ceil(dim / 8)`).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume the vector and return its packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Value of bit `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.dim()`.
+    pub fn bit(&self, d: usize) -> bool {
+        assert!(d < self.dim, "bit index {d} out of range for {}-d vector", self.dim);
+        (self.bytes[d / 8] >> (d % 8)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.bytes.iter().map(|b| b.count_ones()).sum()
+    }
+
+    /// Hamming distance to another binary vector of the same dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn hamming_distance(&self, other: &BinaryVector) -> u32 {
+        assert_eq!(self.dim, other.dim, "hamming distance requires equal dimensionality");
+        self.bytes.iter().zip(other.bytes.iter()).map(|(a, b)| (a ^ b).count_ones()).sum()
+    }
+}
+
+/// An INT8 scalar-quantized embedding used for reranking.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Int8Vector {
+    values: Vec<i8>,
+}
+
+impl Int8Vector {
+    /// Create an INT8 vector from raw components.
+    pub fn new(values: Vec<i8>) -> Self {
+        Int8Vector { values }
+    }
+
+    /// Dimensionality of the vector.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The raw INT8 components.
+    pub fn as_slice(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// The byte footprint of the vector (one byte per dimension).
+    pub fn byte_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Squared Euclidean distance to another INT8 vector, accumulated in i64
+    /// to avoid overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn squared_l2(&self, other: &Int8Vector) -> i64 {
+        assert_eq!(self.dim(), other.dim(), "distance requires equal dimensionality");
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(&a, &b)| {
+                let d = a as i64 - b as i64;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Inner product with another INT8 vector, accumulated in i64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn dot(&self, other: &Int8Vector) -> i64 {
+        assert_eq!(self.dim(), other.dim(), "dot product requires equal dimensionality");
+        self.values.iter().zip(other.values.iter()).map(|(&a, &b)| a as i64 * b as i64).sum()
+    }
+}
+
+/// Byte footprint of one full-precision `f32` vector of `dim` dimensions.
+pub fn f32_vector_bytes(dim: usize) -> usize {
+    dim * std::mem::size_of::<f32>()
+}
+
+/// Byte footprint of one binary vector of `dim` dimensions (packed).
+pub fn binary_vector_bytes(dim: usize) -> usize {
+    dim.div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bits_and_bit_access_agree() {
+        let bits = vec![true, false, false, true, true, false, true, false, true];
+        let v = BinaryVector::from_bits(&bits);
+        assert_eq!(v.dim(), 9);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(v.bit(i), b, "bit {i}");
+        }
+        assert_eq!(v.count_ones(), 5);
+        assert_eq!(v.as_bytes().len(), 2);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differing_bits() {
+        let a = BinaryVector::from_bits(&[true, true, false, false]);
+        let b = BinaryVector::from_bits(&[true, false, true, false]);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn hamming_distance_requires_same_dim() {
+        let a = BinaryVector::from_bits(&[true; 8]);
+        let b = BinaryVector::from_bits(&[true; 9]);
+        a.hamming_distance(&b);
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        let v = BinaryVector::from_packed(16, vec![0xFF, 0x01]);
+        assert_eq!(v.count_ones(), 9);
+        assert_eq!(v.clone().into_bytes(), vec![0xFF, 0x01]);
+        assert!(v.bit(8));
+        assert!(!v.bit(9));
+    }
+
+    #[test]
+    fn int8_distances() {
+        let a = Int8Vector::new(vec![1, -2, 3]);
+        let b = Int8Vector::new(vec![-1, 2, 3]);
+        assert_eq!(a.squared_l2(&b), 4 + 16 + 0);
+        assert_eq!(a.dot(&b), -1 - 4 + 9);
+        assert_eq!(a.byte_len(), 3);
+    }
+
+    #[test]
+    fn int8_distance_handles_extreme_values_without_overflow() {
+        let a = Int8Vector::new(vec![i8::MIN; 8192]);
+        let b = Int8Vector::new(vec![i8::MAX; 8192]);
+        let d = a.squared_l2(&b);
+        assert_eq!(d, 8192i64 * 255 * 255);
+    }
+
+    #[test]
+    fn footprint_helpers() {
+        assert_eq!(f32_vector_bytes(1024), 4096);
+        assert_eq!(binary_vector_bytes(1024), 128);
+        assert_eq!(binary_vector_bytes(1025), 129);
+    }
+
+    #[test]
+    fn one_kibibyte_dimension_embedding_is_a_mini_page() {
+        // A 1024-d binary embedding is 128 bytes: 128 of them fill a 16 KB page.
+        assert_eq!(16 * 1024 / binary_vector_bytes(1024), 128);
+    }
+}

@@ -1,0 +1,31 @@
+//! # reis-baseline — comparator system models for the REIS evaluation
+//!
+//! Analytic models of every system REIS is compared against:
+//!
+//! * [`cpu`] — the host CPU baseline of Table 3 (CPU-Real, No-I/O and the
+//!   CPU+BQ variant of Fig. 3), pricing dataset loading from storage and
+//!   in-memory flat / IVF search.
+//! * [`ice`] — the ICE in-flash similarity-search accelerator and its
+//!   idealised ICE-ESP variant (Fig. 10), dominated by the storage blow-up
+//!   of its error-tolerant data format.
+//! * [`ndsearch`] — the NDSearch graph-traversal near-data accelerator
+//!   (Fig. 11), dominated by dependent flash reads during graph traversal.
+//! * [`reis_asic`] — the REIS-ASIC comparator of Sec. 6.3.1 (ECC in the
+//!   controller plus an ideal compute ASIC), dominated by page transfers.
+//!
+//! These are deliberately first-order models: each one prices exactly the
+//! mechanism the paper attributes the corresponding performance gap to, and
+//! each exposes its parameters so the benchmarks can sweep them.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cpu;
+pub mod ice;
+pub mod ndsearch;
+pub mod reis_asic;
+
+pub use cpu::{CpuPrecision, CpuRetrievalEstimate, CpuSystem, CpuSystemConfig};
+pub use ice::{IceModel, IceVariant};
+pub use ndsearch::{NdSearchAlgorithm, NdSearchModel};
+pub use reis_asic::ReisAsicModel;

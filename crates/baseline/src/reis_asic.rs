@@ -1,0 +1,126 @@
+//! The REIS-ASIC comparator (Sec. 6.3.1).
+//!
+//! REIS-ASIC asks: what if, instead of using ESP to make in-plane reads
+//! error-free, the design kept conventional programming and added an ideal
+//! (zero-latency) compute ASIC in the controller? Every scanned page must
+//! then be transferred to the controller and pass through ECC before the
+//! ASIC can touch it, which is exactly the data movement REIS's in-plane
+//! computation avoids. The model reuses a query's activity counts from the
+//! functional REIS engine and reprices the scan phases under that data
+//! movement.
+
+use serde::Serialize;
+
+use reis_core::{QueryActivity, ReisConfig};
+use reis_nand::{Nanos, ProgramScheme};
+use reis_ssd::EccParams;
+
+/// Analytic model of the REIS-ASIC comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ReisAsicModel {
+    config: ReisConfig,
+}
+
+impl ReisAsicModel {
+    /// Create the model for an SSD configuration.
+    pub fn new(config: ReisConfig) -> Self {
+        ReisAsicModel { config }
+    }
+
+    /// Latency of the scan phases (coarse + fine) when every scanned page is
+    /// shipped to the controller and ECC-decoded before the ideal ASIC
+    /// computes on it.
+    pub fn scan_latency(&self, activity: &QueryActivity) -> Nanos {
+        let geom = &self.config.ssd.geometry;
+        let timing = &self.config.ssd.timing;
+        let ecc = EccParams::ldpc();
+        let pages = (activity.coarse_pages + activity.fine_pages) as u64;
+        if pages == 0 {
+            return Nanos::ZERO;
+        }
+        // Senses still proceed in parallel across all planes.
+        let rounds = pages.div_ceil(geom.total_planes() as u64);
+        let sense = timing.read_latency(ProgramScheme::Ispp(reis_nand::CellMode::Slc));
+        // Every page crosses its channel; channels work in parallel but each
+        // carries its share of full pages, not filtered TTL entries.
+        let pages_per_channel = pages.div_ceil(geom.channels as u64);
+        let transfer = timing.channel_transfer(geom.page_size_bytes) * pages_per_channel;
+        // ECC decoding in the controller, pipelined across its engines but
+        // serial per channel stream.
+        let ecc_time = ecc.decode_latency_per_page * pages_per_channel;
+        // The ideal ASIC computes for free; transfers and ECC dominate.
+        sense * rounds + transfer.max(ecc_time) + transfer.min(ecc_time)
+    }
+
+    /// Full query latency: the repriced scans plus the phases REIS-ASIC
+    /// shares with REIS (broadcast is not needed, reranking and document
+    /// fetches are identical).
+    pub fn query_latency(&self, activity: &QueryActivity, reis_like_tail: Nanos) -> Nanos {
+        self.scan_latency(activity) + reis_like_tail
+    }
+
+    /// Slowdown of REIS-ASIC relative to a REIS query with the given scan
+    /// latency and shared tail.
+    pub fn slowdown_vs_reis(
+        &self,
+        activity: &QueryActivity,
+        reis_scan: Nanos,
+        shared_tail: Nanos,
+    ) -> f64 {
+        let asic = self.query_latency(activity, shared_tail).as_secs_f64();
+        let reis = (reis_scan + shared_tail).as_secs_f64();
+        if reis <= 0.0 {
+            return 0.0;
+        }
+        asic / reis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity() -> QueryActivity {
+        QueryActivity {
+            coarse_pages: 128,
+            coarse_entries: 16_384,
+            fine_pages: 4_096,
+            fine_entries: 5_000,
+            rerank_candidates: 100,
+            int8_pages: 32,
+            documents: 10,
+            embedding_slot_bytes: 128,
+            dim: 1024,
+            doc_slot_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn asic_scan_is_slower_than_reis_scan() {
+        let config = ReisConfig::ssd1();
+        let asic = ReisAsicModel::new(config);
+        let reis_perf = reis_core::PerfModel::new(config);
+        let a = activity();
+        let reis_scan = reis_perf.scan(a.coarse_pages, a.coarse_entries, 128)
+            + reis_perf.scan(a.fine_pages, a.fine_entries, 128);
+        let asic_scan = asic.scan_latency(&a);
+        assert!(asic_scan > reis_scan);
+        // The paper reports 4x–6.5x; with shared tails included the slowdown
+        // should land in the low single digits.
+        let tail = reis_perf.rerank(a.rerank_candidates, a.int8_pages, a.dim)
+            + reis_perf.document_fetch(a.documents, a.doc_slot_bytes);
+        let slowdown = asic.slowdown_vs_reis(&a, reis_scan, tail);
+        assert!(slowdown > 2.0, "slowdown {slowdown} too small");
+        assert!(slowdown < 30.0, "slowdown {slowdown} implausibly large");
+    }
+
+    #[test]
+    fn empty_activity_has_no_scan_cost() {
+        let asic = ReisAsicModel::new(ReisConfig::ssd2());
+        assert_eq!(asic.scan_latency(&QueryActivity::default()), Nanos::ZERO);
+        assert_eq!(
+            asic.query_latency(&QueryActivity::default(), Nanos::from_micros(5)),
+            Nanos::from_micros(5)
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of whole in-storage queries on the functional
+//! simulator (scaled datasets), covering the configurations the figures
+//! sweep: brute force vs IVF, SSD1 vs SSD2, and the optimization ladder of
+//! the sensitivity study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use reis_core::{Optimizations, ReisConfig, ReisSystem, VectorDatabase};
+use reis_workloads::{DatasetProfile, SyntheticDataset};
+
+fn setup(config: ReisConfig, entries: usize, nlist: usize) -> (ReisSystem, u32, Vec<Vec<f32>>) {
+    let dataset = SyntheticDataset::generate(
+        DatasetProfile::hotpotqa().scaled(entries).with_queries(4),
+        17,
+    );
+    let db = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), nlist)
+        .expect("database construction");
+    let mut system = ReisSystem::new(config);
+    let id = system.deploy(&db).expect("deployment");
+    (system, id, dataset.queries().to_vec())
+}
+
+fn bench_reis_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reis_functional_query");
+    group.sample_size(10);
+
+    let (mut system, id, queries) = setup(ReisConfig::ssd1(), 1_024, 16);
+    group.bench_function("ssd1_ivf_nprobe2", |b| {
+        b.iter(|| system.ivf_search_with_nprobe(id, &queries[0], 10, 2).unwrap())
+    });
+    group.bench_function("ssd1_brute_force", |b| {
+        b.iter(|| system.search(id, &queries[0], 10).unwrap())
+    });
+
+    let (mut ssd2, id2, queries2) = setup(ReisConfig::ssd2(), 1_024, 16);
+    group.bench_function("ssd2_ivf_nprobe2", |b| {
+        b.iter(|| ssd2.ivf_search_with_nprobe(id2, &queries2[0], 10, 2).unwrap())
+    });
+
+    let (mut no_opt, id3, queries3) =
+        setup(ReisConfig::ssd1().with_optimizations(Optimizations::none()), 1_024, 16);
+    group.bench_function("ssd1_no_opt_ivf_nprobe2", |b| {
+        b.iter(|| no_opt.ivf_search_with_nprobe(id3, &queries3[0], 10, 2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(figures, bench_reis_query);
+criterion_main!(figures);

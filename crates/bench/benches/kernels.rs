@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the kernels REIS executes: the in-plane
+//! XOR + fail-bit-count distance computation, the quickselect / quicksort
+//! selection kernels, binary quantization, and the IVF search variants.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use reis_ann::ivf::{IvfBqIndex, IvfConfig, IvfIndex};
+use reis_ann::quantize::BinaryQuantizer;
+use reis_ann::topk::{quickselect_by_key, select_k_nearest, Neighbor};
+use reis_nand::array::FlashDevice;
+use reis_nand::cell::ProgramScheme;
+use reis_nand::geometry::{Geometry, PageAddr};
+use reis_nand::peripheral::{FailBitCounter, XorLogic};
+use reis_workloads::{DatasetProfile, SyntheticDataset};
+
+fn bench_in_plane_distance(c: &mut Criterion) {
+    // A full 16 KB page of 128 binary 1024-d embeddings against one query.
+    let page: Vec<u8> = (0..16 * 1024).map(|i| (i % 251) as u8).collect();
+    let query: Vec<u8> = (0..128).map(|i| (i * 7 % 256) as u8).collect();
+    let broadcast: Vec<u8> = query.iter().cycle().take(16 * 1024).copied().collect();
+    c.bench_function("in_plane_xor_popcount_page", |b| {
+        b.iter(|| {
+            let xored = XorLogic::xor(&page, &broadcast);
+            FailBitCounter::count_per_chunk(&xored, 128)
+        })
+    });
+}
+
+fn bench_flash_device_scan(c: &mut Criterion) {
+    let mut device = FlashDevice::new(Geometry::tiny(), Default::default());
+    let addr = PageAddr::new(0, 0, 0, 0, 0);
+    let page: Vec<u8> = (0..4096).map(|i| (i % 200) as u8).collect();
+    device.program_page(addr, &page, &[], ProgramScheme::EnhancedSlc).unwrap();
+    device.input_broadcast(0, 0, &vec![0x55u8; 64], true).unwrap();
+    c.bench_function("flash_device_sense_xor_count", |b| {
+        b.iter(|| {
+            device.sense_page(addr).unwrap();
+            device.xor_latches(addr.plane_addr()).unwrap();
+            device.count_fail_bits(addr.plane_addr(), 64).unwrap()
+        })
+    });
+}
+
+fn bench_selection_kernels(c: &mut Criterion) {
+    let candidates: Vec<Neighbor> =
+        (0..100_000).map(|i| Neighbor::new(i, ((i * 2654435761) % 1_000_003) as f32)).collect();
+    c.bench_function("quickselect_100k_keep_100", |b| {
+        b.iter_batched(
+            || candidates.clone(),
+            |mut work| quickselect_by_key(&mut work, 100, |n| n.distance),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("select_k_nearest_100k_top10", |b| {
+        b.iter(|| select_k_nearest(&candidates, 10))
+    });
+}
+
+fn bench_quantization_and_ivf(c: &mut Criterion) {
+    let dataset = SyntheticDataset::generate(
+        DatasetProfile::hotpotqa().scaled(1_024).with_queries(4),
+        3,
+    );
+    let quantizer = BinaryQuantizer::fit(dataset.vectors()).unwrap();
+    c.bench_function("binary_quantize_1024d", |b| {
+        b.iter(|| quantizer.quantize(&dataset.vectors()[0]).unwrap())
+    });
+
+    let ivf = IvfIndex::build(dataset.vectors().to_vec(), IvfConfig::new(32)).unwrap();
+    let bq = IvfBqIndex::from_ivf(&ivf).unwrap();
+    let query = &dataset.queries()[0];
+    c.bench_function("ivf_float_search_nprobe4", |b| {
+        b.iter(|| ivf.search(query, 10, 4).unwrap())
+    });
+    c.bench_function("ivf_bq_rerank_search_nprobe4", |b| {
+        b.iter(|| bq.search(query, 10, 4, 10).unwrap())
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_in_plane_distance,
+    bench_flash_device_scan,
+    bench_selection_kernels,
+    bench_quantization_and_ivf
+);
+criterion_main!(kernels);

@@ -1,0 +1,316 @@
+//! # reis-bench — the benchmark harness of the REIS reproduction
+//!
+//! One binary per table/figure of the paper's evaluation regenerates the
+//! corresponding rows or series (see `DESIGN.md` §4 and `EXPERIMENTS.md`).
+//! This library holds the shared machinery:
+//!
+//! * [`calibration`] — functional, scaled-dataset measurements (distance
+//!   filter pass fractions, recall-versus-`nprobe` curves) that parameterize
+//!   the full-scale models.
+//! * [`fullscale`] — the extrapolation of REIS's per-query activity to the
+//!   paper's full-scale dataset sizes, priced by `reis-core`'s latency and
+//!   energy models.
+//! * [`report`] — small helpers for printing figure series as aligned rows.
+//!
+//! Every experiment prints both the scaled dataset used for functional
+//! calibration and the full-scale parameters used for extrapolation, so the
+//! provenance of each number is visible in the output.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibration {
+    //! Functional calibration runs on scaled synthetic datasets.
+
+    use reis_ann::ivf::{IvfBqIndex, IvfConfig, IvfIndex};
+    use reis_ann::metrics::recall_at_k;
+    use reis_ann::quantize::BinaryQuantizer;
+    use reis_workloads::{GroundTruth, SyntheticDataset};
+
+    /// Calibration products of one dataset profile.
+    #[derive(Debug, Clone)]
+    pub struct Calibration {
+        /// Fraction of database embeddings whose Hamming distance from a
+        /// query falls at or below the distance-filter threshold.
+        pub pass_fraction: f64,
+        /// Measured `(nprobe fraction, recall@10)` pairs of the BQ+rerank IVF
+        /// search on the scaled dataset.
+        pub recall_curve: Vec<(f64, f64)>,
+        /// The trained scaled IVF index (reused by figure generators that
+        /// need functional searches).
+        pub ivf: IvfBqIndex,
+    }
+
+    /// Measure the distance-filter pass fraction of a dataset at the given
+    /// threshold fraction of the dimensionality.
+    pub fn measure_pass_fraction(dataset: &SyntheticDataset, threshold_fraction: f64) -> f64 {
+        let quantizer = BinaryQuantizer::fit(dataset.vectors()).expect("non-empty dataset");
+        let binary = quantizer.quantize_all(dataset.vectors()).expect("consistent dims");
+        let threshold = (threshold_fraction * dataset.profile().dim as f64).round() as u32;
+        let mut passed = 0usize;
+        let mut total = 0usize;
+        for query in dataset.queries() {
+            let q = quantizer.quantize(query).expect("consistent dims");
+            for b in &binary {
+                total += 1;
+                if q.hamming_distance(b) <= threshold {
+                    passed += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            passed as f64 / total as f64
+        }
+    }
+
+    /// Run the full calibration for a dataset: pass fraction plus the
+    /// recall-versus-nprobe curve of the BQ IVF search REIS executes.
+    pub fn calibrate(dataset: &SyntheticDataset, threshold_fraction: f64, k: usize) -> Calibration {
+        let profile = dataset.profile();
+        let nlist = profile.scaled_nlist.min(dataset.len());
+        let float_ivf = IvfIndex::build(dataset.vectors().to_vec(), IvfConfig::new(nlist))
+            .expect("IVF construction on calibration data");
+        let ivf = IvfBqIndex::from_ivf(&float_ivf).expect("quantized IVF construction");
+        let truth = GroundTruth::compute(dataset, k).expect("ground truth");
+
+        let mut recall_curve = Vec::new();
+        for fraction in [0.02, 0.05, 0.10, 0.20, 0.40, 1.0] {
+            let nprobe = ((nlist as f64 * fraction).ceil() as usize).clamp(1, nlist);
+            let mut recall = 0.0;
+            for (qi, query) in dataset.queries().iter().enumerate() {
+                let got: Vec<usize> =
+                    ivf.search(query, k, nprobe, 10).expect("search").iter().map(|n| n.id).collect();
+                recall += recall_at_k(&got, truth.neighbors(qi), k);
+            }
+            recall /= dataset.queries().len().max(1) as f64;
+            recall_curve.push((fraction, recall));
+        }
+
+        Calibration {
+            pass_fraction: measure_pass_fraction(dataset, threshold_fraction),
+            recall_curve,
+            ivf,
+        }
+    }
+
+    /// The smallest measured nprobe fraction that reaches `target_recall` on
+    /// the calibration curve (falls back to the largest fraction measured).
+    pub fn nprobe_fraction_for_recall(calibration: &Calibration, target_recall: f64) -> f64 {
+        for &(fraction, recall) in &calibration.recall_curve {
+            if recall >= target_recall {
+                return fraction;
+            }
+        }
+        calibration.recall_curve.last().map(|&(f, _)| f).unwrap_or(1.0)
+    }
+}
+
+pub mod fullscale {
+    //! Extrapolation of REIS activity to full-scale datasets.
+
+    use reis_core::{EnergyBreakdown, EnergyModel, PerfModel, QueryActivity, ReisConfig};
+    use reis_nand::{FlashStats, Nanos};
+    use reis_workloads::DatasetProfile;
+
+    /// The search mode being extrapolated.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum SearchMode {
+        /// Brute-force scan of the whole embedding region.
+        BruteForce,
+        /// IVF search probing the given fraction of the clusters.
+        Ivf {
+            /// Fraction of the `full_nlist` clusters probed.
+            nprobe_fraction: f64,
+        },
+    }
+
+    /// A full-scale per-query estimate of REIS.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ReisEstimate {
+        /// Modelled per-query latency.
+        pub latency: Nanos,
+        /// Queries per second.
+        pub qps: f64,
+        /// Per-query energy breakdown.
+        pub energy: EnergyBreakdown,
+        /// Queries per joule (equivalently QPS per watt).
+        pub qps_per_watt: f64,
+        /// The activity the estimate was built from.
+        pub activity: QueryActivity,
+    }
+
+    /// Build the full-scale activity of one REIS query.
+    pub fn full_scale_activity(
+        profile: &DatasetProfile,
+        config: &ReisConfig,
+        mode: SearchMode,
+        pass_fraction: f64,
+        k: usize,
+    ) -> QueryActivity {
+        let geometry = config.ssd.geometry;
+        let slot = profile.binary_bytes().next_power_of_two();
+        let per_page_capacity = geometry.page_size_bytes / slot;
+        let per_page_oob = geometry.oob_size_bytes / reis_nand::OobEntry::SIZE;
+        let epp = per_page_capacity.min(per_page_oob).max(1);
+        let entries = profile.full_entries;
+
+        let (coarse_pages, coarse_entries, scanned_entries) = match mode {
+            SearchMode::BruteForce => (0usize, 0usize, entries),
+            SearchMode::Ivf { nprobe_fraction } => {
+                let centroid_pages = (profile.full_nlist as u64).div_ceil(epp as u64) as usize;
+                let probed = (entries as f64 * nprobe_fraction.clamp(0.0, 1.0)) as u64;
+                (centroid_pages, profile.full_nlist, probed)
+            }
+        };
+        let fine_pages = scanned_entries.div_ceil(epp as u64) as usize;
+        let fine_entries = (scanned_entries as f64 * pass_fraction.clamp(0.0, 1.0)) as usize;
+        let rerank_candidates = config.rerank_factor * k;
+        let int8_per_page = (geometry.page_size_bytes / profile.dim.max(1)).max(1);
+        let int8_pages = rerank_candidates.div_ceil(int8_per_page);
+        QueryActivity {
+            coarse_pages,
+            coarse_entries,
+            fine_pages,
+            fine_entries: fine_entries.max(rerank_candidates),
+            rerank_candidates,
+            int8_pages,
+            documents: k,
+            embedding_slot_bytes: slot,
+            dim: profile.dim,
+            doc_slot_bytes: 4096,
+        }
+    }
+
+    /// Approximate the flash statistics of one full-scale query from its
+    /// activity (for the energy model).
+    pub fn activity_flash_stats(activity: &QueryActivity, config: &ReisConfig) -> FlashStats {
+        let geometry = config.ssd.geometry;
+        let pages = (activity.coarse_pages + activity.fine_pages) as u64;
+        let entry_bytes = (activity.embedding_slot_bytes + config.ttl_metadata_bytes) as u64;
+        FlashStats {
+            page_reads: pages + activity.int8_pages as u64 + activity.documents as u64,
+            page_programs: 0,
+            block_erases: 0,
+            xor_ops: pages,
+            bit_count_ops: pages,
+            pass_fail_ops: pages,
+            broadcast_ops: geometry.total_dies() as u64,
+            bytes_to_controller: (activity.coarse_entries + activity.fine_entries) as u64 * entry_bytes
+                + (activity.int8_pages * geometry.page_size_bytes) as u64
+                + (activity.documents * activity.doc_slot_bytes) as u64,
+            bytes_from_controller: (geometry.total_dies() * activity.embedding_slot_bytes) as u64,
+            injected_bit_errors: 0,
+        }
+    }
+
+    /// Full-scale REIS estimate for one dataset / mode / recall point.
+    pub fn estimate_reis(
+        profile: &DatasetProfile,
+        config: &ReisConfig,
+        mode: SearchMode,
+        pass_fraction: f64,
+        k: usize,
+    ) -> ReisEstimate {
+        let activity = full_scale_activity(profile, config, mode, pass_fraction, k);
+        let perf = PerfModel::new(*config);
+        let latency = perf.query_latency(&activity, k).total();
+        let core_busy = perf.core_busy(&activity, k);
+        let flash = activity_flash_stats(&activity, config);
+        let energy = EnergyModel::default().query_energy(
+            &flash,
+            flash.bytes_to_controller,
+            core_busy,
+            latency,
+        );
+        let secs = latency.as_secs_f64();
+        let qps = if secs > 0.0 { 1.0 / secs } else { 0.0 };
+        let joules = energy.total_j();
+        let qps_per_watt = if joules > 0.0 { 1.0 / joules } else { 0.0 };
+        ReisEstimate { latency, qps, energy, qps_per_watt, activity }
+    }
+}
+
+pub mod report {
+    //! Formatting helpers shared by the figure binaries.
+
+    /// Print a figure/table header with the experiment id and a description.
+    pub fn header(experiment: &str, description: &str) {
+        println!("==================================================================");
+        println!("{experiment}: {description}");
+        println!("==================================================================");
+    }
+
+    /// Print one labelled series as `label: v1 v2 v3 …` with fixed precision.
+    pub fn series(label: &str, values: &[(String, f64)]) {
+        println!("{label}");
+        for (name, value) in values {
+            println!("    {name:<42} {value:>12.3}");
+        }
+    }
+
+    /// Format a normalized value as the paper's figures report them.
+    pub fn normalized(value: f64, baseline: f64) -> f64 {
+        if baseline <= 0.0 {
+            0.0
+        } else {
+            value / baseline
+        }
+    }
+
+    /// Geometric mean of a slice of positive values (used for "average
+    /// speedup" claims).
+    pub fn geomean(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+        (sum / values.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::calibration::{calibrate, measure_pass_fraction, nprobe_fraction_for_recall};
+    use super::fullscale::{estimate_reis, SearchMode};
+    use super::report::geomean;
+    use reis_core::ReisConfig;
+    use reis_workloads::{DatasetProfile, SyntheticDataset};
+
+    fn small_dataset() -> SyntheticDataset {
+        SyntheticDataset::generate(
+            DatasetProfile::hotpotqa().scaled(512).with_queries(4),
+            13,
+        )
+    }
+
+    #[test]
+    fn calibration_produces_monotone_recall_curve_and_plausible_pass_fraction() {
+        let dataset = small_dataset();
+        let calibration = calibrate(&dataset, 0.47, 10);
+        assert!(calibration.pass_fraction > 0.0 && calibration.pass_fraction < 1.0);
+        let recalls: Vec<f64> = calibration.recall_curve.iter().map(|&(_, r)| r).collect();
+        assert!(recalls.windows(2).all(|w| w[1] >= w[0] - 1e-9), "recall must not drop as nprobe grows: {recalls:?}");
+        assert!(*recalls.last().unwrap() > 0.8);
+        let fraction = nprobe_fraction_for_recall(&calibration, 0.5);
+        assert!(fraction <= 1.0);
+        assert!(measure_pass_fraction(&dataset, 0.0) < 0.05);
+    }
+
+    #[test]
+    fn full_scale_estimates_follow_the_paper_shapes() {
+        let profile = DatasetProfile::wiki_en();
+        let ssd1 = ReisConfig::ssd1();
+        let ssd2 = ReisConfig::ssd2();
+        let bf1 = estimate_reis(&profile, &ssd1, SearchMode::BruteForce, 0.01, 10);
+        let bf2 = estimate_reis(&profile, &ssd2, SearchMode::BruteForce, 0.01, 10);
+        let ivf1 = estimate_reis(&profile, &ssd1, SearchMode::Ivf { nprobe_fraction: 0.02 }, 0.01, 10);
+        // SSD2 beats SSD1; IVF beats brute force.
+        assert!(bf2.qps > bf1.qps);
+        assert!(ivf1.qps > bf1.qps);
+        assert!(bf1.energy.total_j() > 0.0);
+        assert!(bf1.qps_per_watt > 0.0);
+        assert!(geomean(&[2.0, 8.0]) - 4.0 < 1e-9);
+    }
+}

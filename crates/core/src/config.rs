@@ -1,0 +1,156 @@
+//! REIS system configuration.
+
+use serde::{Deserialize, Serialize};
+
+use reis_ssd::SsdConfig;
+
+/// The three optimizations evaluated in the sensitivity study of Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Optimizations {
+    /// Distance Filtering (DF): discard embeddings whose Hamming distance
+    /// from the query exceeds a threshold inside the flash die, before they
+    /// are transferred to the controller (Sec. 4.3.3).
+    pub distance_filtering: bool,
+    /// Pipelining (PL): overlap page reads, in-plane computation, channel
+    /// transfers and the controller's selection kernel (Sec. 4.3.4).
+    pub pipelining: bool,
+    /// Multi-Plane Input Broadcasting (MPIBC): broadcast the query to all
+    /// planes of a die simultaneously (Sec. 4.3.4).
+    pub multi_plane_ibc: bool,
+}
+
+impl Optimizations {
+    /// All optimizations enabled (the full REIS design).
+    pub fn all() -> Self {
+        Optimizations { distance_filtering: true, pipelining: true, multi_plane_ibc: true }
+    }
+
+    /// All optimizations disabled (the `No-OPT` baseline of Fig. 9).
+    pub fn none() -> Self {
+        Optimizations { distance_filtering: false, pipelining: false, multi_plane_ibc: false }
+    }
+
+    /// `No-OPT` plus Distance Filtering only.
+    pub fn df_only() -> Self {
+        Optimizations { distance_filtering: true, ..Optimizations::none() }
+    }
+
+    /// Distance Filtering plus Pipelining.
+    pub fn df_pl() -> Self {
+        Optimizations { distance_filtering: true, pipelining: true, multi_plane_ibc: false }
+    }
+}
+
+impl Default for Optimizations {
+    fn default() -> Self {
+        Optimizations::all()
+    }
+}
+
+/// Complete configuration of a REIS system instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ReisConfig {
+    /// The underlying SSD configuration (geometry, timing, DRAM, cores).
+    pub ssd: SsdConfig,
+    /// Which of the REIS optimizations are enabled.
+    pub optimizations: Optimizations,
+    /// Reranking candidate multiplier: the engine reranks the top
+    /// `rerank_factor × k` binary candidates in INT8 (the paper uses 10).
+    pub rerank_factor: usize,
+    /// Distance-filter threshold, expressed as a fraction of the embedding
+    /// dimensionality; an embedding passes when its Hamming distance is at or
+    /// below `threshold_fraction × dim`.
+    pub filter_threshold_fraction: f64,
+    /// PCIe bandwidth between the SSD and the host, bytes per second (used
+    /// for returning document chunks).
+    pub host_link_bandwidth_bps: f64,
+    /// Bytes of one Temporal-Top-List entry on the flash channel, excluding
+    /// the embedding itself (DIST + EADR + RADR + DADR + TAG).
+    pub ttl_metadata_bytes: usize,
+}
+
+impl ReisConfig {
+    /// REIS on the cost-oriented SSD1 with all optimizations.
+    pub fn ssd1() -> Self {
+        ReisConfig {
+            ssd: SsdConfig::ssd1(),
+            optimizations: Optimizations::all(),
+            rerank_factor: 10,
+            filter_threshold_fraction: 0.47,
+            host_link_bandwidth_bps: 7.0e9,
+            ttl_metadata_bytes: 13,
+        }
+    }
+
+    /// REIS on the performance-oriented SSD2 with all optimizations.
+    pub fn ssd2() -> Self {
+        ReisConfig { ssd: SsdConfig::ssd2(), ..ReisConfig::ssd1() }
+    }
+
+    /// A miniature configuration for unit tests.
+    pub fn tiny() -> Self {
+        ReisConfig { ssd: SsdConfig::tiny(), ..ReisConfig::ssd1() }
+    }
+
+    /// Builder-style override of the optimization set.
+    pub fn with_optimizations(mut self, optimizations: Optimizations) -> Self {
+        self.optimizations = optimizations;
+        self
+    }
+
+    /// Builder-style override of the distance-filter threshold fraction.
+    pub fn with_filter_threshold(mut self, fraction: f64) -> Self {
+        self.filter_threshold_fraction = fraction;
+        self
+    }
+
+    /// The absolute Hamming-distance filter threshold for embeddings of
+    /// `dim` dimensions (`u32::MAX`, i.e. no filtering, when DF is off).
+    pub fn filter_threshold(&self, dim: usize) -> u32 {
+        if !self.optimizations.distance_filtering {
+            return u32::MAX;
+        }
+        (self.filter_threshold_fraction * dim as f64).round() as u32
+    }
+}
+
+impl Default for ReisConfig {
+    fn default() -> Self {
+        ReisConfig::ssd1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimization_presets_cover_the_sensitivity_ladder() {
+        assert!(!Optimizations::none().distance_filtering);
+        assert!(Optimizations::df_only().distance_filtering);
+        assert!(!Optimizations::df_only().pipelining);
+        assert!(Optimizations::df_pl().pipelining);
+        assert!(!Optimizations::df_pl().multi_plane_ibc);
+        assert!(Optimizations::all().multi_plane_ibc);
+    }
+
+    #[test]
+    fn filter_threshold_scales_with_dimensionality_and_respects_df() {
+        let config = ReisConfig::ssd1();
+        assert_eq!(config.filter_threshold(1024), 481);
+        let no_df = config.with_optimizations(Optimizations::none());
+        assert_eq!(no_df.filter_threshold(1024), u32::MAX);
+        let tighter = config.with_filter_threshold(0.25);
+        assert_eq!(tighter.filter_threshold(1024), 256);
+    }
+
+    #[test]
+    fn presets_differ_only_in_the_ssd() {
+        let a = ReisConfig::ssd1();
+        let b = ReisConfig::ssd2();
+        assert_eq!(a.rerank_factor, b.rerank_factor);
+        assert_ne!(a.ssd.geometry.channels, b.ssd.geometry.channels);
+        assert_eq!(a.ssd.name, "REIS-SSD1");
+        assert_eq!(b.ssd.name, "REIS-SSD2");
+    }
+}

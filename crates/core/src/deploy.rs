@@ -1,0 +1,396 @@
+//! Database deployment (`DB_Deploy` / `IVF_Deploy`).
+//!
+//! Deployment lays a [`VectorDatabase`] out in flash exactly as Sec. 4.1 and
+//! 4.2.1 describe: cluster centroids followed by the binary embeddings in
+//! cluster-contiguous storage order in the ESP-SLC embedding region, the
+//! INT8 embeddings and document chunks in TLC regions, the
+//! embedding-to-document linkage in the OOB bytes of every embedding page,
+//! the R-DB record in the coarse-grained FTL, and the R-IVF array in
+//! controller DRAM.
+
+use serde::{Deserialize, Serialize};
+
+use reis_ann::quantize::{BinaryQuantizer, Int8Quantizer};
+use reis_nand::oob::{OobEntry, OobLayout};
+use reis_nand::Nanos;
+use reis_ssd::{DatabaseRecord, RegionKind, SsdController, StripedRegion};
+
+use crate::database::VectorDatabase;
+use crate::error::Result;
+use crate::layout::LayoutPlan;
+use crate::records::{RIvf, RIvfEntry};
+
+/// Host-visible handle to a deployed database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployedDatabase {
+    /// Database id (the `Did` of the host API).
+    pub db_id: u32,
+    /// How the database maps onto pages.
+    pub layout: LayoutPlan,
+    /// Where its regions live (also registered in the coarse FTL).
+    pub record: DatabaseRecord,
+    /// Per-cluster R-IVF array (empty for flat deployments).
+    pub rivf: RIvf,
+    /// Mapping from storage order to original entry id.
+    pub storage_to_original: Vec<u32>,
+    /// Cluster tag of every storage-order position (0 for flat deployments).
+    pub storage_tags: Vec<u8>,
+    /// Binary quantizer used to encode queries consistently with the
+    /// deployed embeddings.
+    pub binary_quantizer: BinaryQuantizer,
+    /// INT8 quantizer used to encode queries for reranking.
+    pub int8_quantizer: Int8Quantizer,
+    /// Total latency of writing the database to flash (the offline indexing
+    /// cost; not part of query latency).
+    pub deploy_latency: Nanos,
+}
+
+impl DeployedDatabase {
+    /// Whether the database was deployed with IVF cluster structure.
+    pub fn is_ivf(&self) -> bool {
+        !self.rivf.is_empty()
+    }
+
+    /// Number of database entries.
+    pub fn entries(&self) -> usize {
+        self.layout.entries
+    }
+
+    /// The OOB layout of its embedding pages.
+    pub fn oob_layout(&self, oob_size_bytes: usize) -> Result<OobLayout> {
+        Ok(OobLayout::new(oob_size_bytes, self.layout.embeddings_per_page)?)
+    }
+}
+
+/// Deploy a database onto the SSD under the given id.
+///
+/// # Errors
+///
+/// * Layout errors for entries that do not fit a page.
+/// * [`reis_ssd::SsdError::OutOfSpace`] if the flash array is too small.
+/// * [`reis_ssd::SsdError::DatabaseAlreadyDeployed`] for a duplicate id.
+pub fn deploy(
+    ssd: &mut SsdController,
+    database: &VectorDatabase,
+    db_id: u32,
+) -> Result<DeployedDatabase> {
+    let geometry = ssd.config().geometry;
+    let layout = LayoutPlan::plan(database, &geometry)?;
+    let oob_layout = OobLayout::new(geometry.oob_size_bytes, layout.embeddings_per_page)?;
+
+    // Region reservation: centroids and embeddings share the ESP-SLC
+    // embedding region; INT8 and documents get TLC regions.
+    let embedding_region = ssd.reserve_region(
+        &format!("db{db_id}/embeddings"),
+        layout.centroid_pages + layout.embedding_pages,
+        RegionKind::BinaryEmbeddings,
+    )?;
+    let int8_region = ssd.reserve_region(
+        &format!("db{db_id}/int8"),
+        layout.int8_pages,
+        RegionKind::Int8Embeddings,
+    )?;
+    let document_region = ssd.reserve_region(
+        &format!("db{db_id}/documents"),
+        layout.doc_pages,
+        RegionKind::Documents,
+    )?;
+
+    // Storage order: cluster-contiguous for IVF, entry order for flat.
+    let (storage_to_original, storage_tags, rivf) = storage_order(database, &layout);
+
+    let mut latency = Nanos::ZERO;
+    latency += write_embedding_region(
+        ssd,
+        database,
+        &layout,
+        &oob_layout,
+        &embedding_region,
+        &storage_to_original,
+        &storage_tags,
+    )?;
+    latency += write_int8_region(ssd, database, &layout, &int8_region, &storage_to_original)?;
+    latency += write_document_region(ssd, database, &layout, &document_region)?;
+
+    let record = DatabaseRecord {
+        db_id,
+        embedding_region,
+        int8_region,
+        document_region,
+        entries: layout.entries,
+    };
+    ssd.coarse_ftl_mut().deploy(record)?;
+    ssd.dram_mut().allocate(&format!("db{db_id}/r-ivf"), rivf.footprint_bytes())?;
+
+    Ok(DeployedDatabase {
+        db_id,
+        layout,
+        record,
+        rivf,
+        storage_to_original,
+        storage_tags,
+        binary_quantizer: database.binary_quantizer().clone(),
+        int8_quantizer: database.int8_quantizer().clone(),
+        deploy_latency: latency,
+    })
+}
+
+/// Compute the storage order, per-position cluster tags, and the R-IVF array.
+fn storage_order(database: &VectorDatabase, layout: &LayoutPlan) -> (Vec<u32>, Vec<u8>, RIvf) {
+    match database.clusters() {
+        Some(info) => {
+            let mut order = Vec::with_capacity(database.len());
+            let mut tags = Vec::with_capacity(database.len());
+            let mut entries = Vec::with_capacity(info.nlist());
+            for (cluster, members) in info.lists.iter().enumerate() {
+                let tag = (cluster % 256) as u8;
+                let first = order.len();
+                for &id in members {
+                    order.push(id as u32);
+                    tags.push(tag);
+                }
+                let (centroid_page, centroid_slot) = layout.centroid_location(cluster);
+                let entry = if members.is_empty() {
+                    RIvfEntry {
+                        centroid_page: centroid_page as u32,
+                        centroid_slot: centroid_slot as u32,
+                        first_embedding: 1,
+                        last_embedding: 0,
+                        tag,
+                    }
+                } else {
+                    RIvfEntry {
+                        centroid_page: centroid_page as u32,
+                        centroid_slot: centroid_slot as u32,
+                        first_embedding: first as u32,
+                        last_embedding: (order.len() - 1) as u32,
+                        tag,
+                    }
+                };
+                entries.push(entry);
+            }
+            (order, tags, RIvf::new(entries))
+        }
+        None => {
+            let order: Vec<u32> = (0..database.len() as u32).collect();
+            let tags = vec![0u8; database.len()];
+            (order, tags, RIvf::new(Vec::new()))
+        }
+    }
+}
+
+fn pad_slot(bytes: &[u8], slot: usize) -> Vec<u8> {
+    let mut out = vec![0u8; slot];
+    out[..bytes.len()].copy_from_slice(bytes);
+    out
+}
+
+fn write_embedding_region(
+    ssd: &mut SsdController,
+    database: &VectorDatabase,
+    layout: &LayoutPlan,
+    oob_layout: &OobLayout,
+    region: &StripedRegion,
+    storage_to_original: &[u32],
+    storage_tags: &[u8],
+) -> Result<Nanos> {
+    let mut latency = Nanos::ZERO;
+    let slot = layout.embedding_slot_bytes;
+    let epp = layout.embeddings_per_page;
+
+    // Centroid pages first.
+    if let Some(info) = database.clusters() {
+        for page in 0..layout.centroid_pages {
+            let mut data = Vec::with_capacity(epp * slot);
+            let mut oob_entries = Vec::with_capacity(epp);
+            for s in 0..epp {
+                let cluster = page * epp + s;
+                if cluster >= info.nlist() {
+                    break;
+                }
+                data.extend(pad_slot(info.centroids[cluster].as_bytes(), slot));
+                oob_entries.push(OobEntry {
+                    dadr: cluster as u32,
+                    radr: cluster as u32,
+                    tag: (cluster % 256) as u8,
+                });
+            }
+            let oob = oob_layout.pack(&oob_entries)?;
+            latency +=
+                ssd.program_region_page(region, page, RegionKind::Centroids, &data, &oob)?;
+        }
+    }
+
+    // Database embedding pages, in storage order.
+    for page in 0..layout.embedding_pages {
+        let mut data = Vec::with_capacity(epp * slot);
+        let mut oob_entries = Vec::with_capacity(epp);
+        for s in 0..epp {
+            let storage_index = page * epp + s;
+            if storage_index >= layout.entries {
+                break;
+            }
+            let original = storage_to_original[storage_index] as usize;
+            data.extend(pad_slot(database.binary()[original].as_bytes(), slot));
+            oob_entries.push(OobEntry {
+                dadr: storage_to_original[storage_index],
+                radr: storage_index as u32,
+                tag: storage_tags[storage_index],
+            });
+        }
+        let oob = oob_layout.pack(&oob_entries)?;
+        latency += ssd.program_region_page(
+            region,
+            layout.centroid_pages + page,
+            RegionKind::BinaryEmbeddings,
+            &data,
+            &oob,
+        )?;
+    }
+    Ok(latency)
+}
+
+fn write_int8_region(
+    ssd: &mut SsdController,
+    database: &VectorDatabase,
+    layout: &LayoutPlan,
+    region: &StripedRegion,
+    storage_to_original: &[u32],
+) -> Result<Nanos> {
+    let mut latency = Nanos::ZERO;
+    for page in 0..layout.int8_pages {
+        let mut data = Vec::with_capacity(layout.int8_per_page * layout.int8_bytes);
+        for s in 0..layout.int8_per_page {
+            let storage_index = page * layout.int8_per_page + s;
+            if storage_index >= layout.entries {
+                break;
+            }
+            let original = storage_to_original[storage_index] as usize;
+            data.extend(database.int8()[original].as_slice().iter().map(|&v| v as u8));
+        }
+        latency +=
+            ssd.program_region_page(region, page, RegionKind::Int8Embeddings, &data, &[])?;
+    }
+    Ok(latency)
+}
+
+fn write_document_region(
+    ssd: &mut SsdController,
+    database: &VectorDatabase,
+    layout: &LayoutPlan,
+    region: &StripedRegion,
+) -> Result<Nanos> {
+    let mut latency = Nanos::ZERO;
+    for page in 0..layout.doc_pages {
+        let mut data = vec![0u8; layout.docs_per_page * layout.doc_slot_bytes];
+        for s in 0..layout.docs_per_page {
+            let doc_index = page * layout.docs_per_page + s;
+            if doc_index >= layout.entries {
+                break;
+            }
+            let doc = &database.documents()[doc_index];
+            let start = s * layout.doc_slot_bytes;
+            data[start..start + 4].copy_from_slice(&(doc.len() as u32).to_le_bytes());
+            data[start + 4..start + 4 + doc.len()].copy_from_slice(doc);
+        }
+        latency += ssd.program_region_page(region, page, RegionKind::Documents, &data, &[])?;
+    }
+    Ok(latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reis_ssd::SsdConfig;
+
+    fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..dim).map(|d| (((i * 31 + d * 7) % 23) as f32 - 11.0) / 5.0).collect())
+            .collect()
+    }
+
+    fn documents(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("chunk number {i} with some body text").into_bytes()).collect()
+    }
+
+    #[test]
+    fn flat_deployment_registers_regions_and_writes_all_pages() {
+        let mut ssd = SsdController::new(SsdConfig::tiny());
+        let db = VectorDatabase::flat(&vectors(60, 64), documents(60)).unwrap();
+        let deployed = deploy(&mut ssd, &db, 1).unwrap();
+        assert!(!deployed.is_ivf());
+        assert_eq!(deployed.entries(), 60);
+        assert!(deployed.deploy_latency > Nanos::ZERO);
+        // The R-DB record is registered.
+        let record = ssd.coarse_ftl().record(1).unwrap();
+        assert_eq!(record.entries, 60);
+        // Every embedding page is programmed.
+        let geom = ssd.config().geometry;
+        for offset in 0..deployed.layout.embedding_pages {
+            let addr = record.embedding_region.page_at(&geom, offset).unwrap();
+            assert!(ssd.device().is_programmed(addr).unwrap());
+        }
+        // Program counts match the layout's page totals.
+        assert_eq!(ssd.device().stats().page_programs as usize, deployed.layout.total_pages());
+    }
+
+    #[test]
+    fn ivf_deployment_builds_rivf_covering_every_entry() {
+        let mut ssd = SsdController::new(SsdConfig::tiny());
+        let db = VectorDatabase::ivf(&vectors(90, 64), documents(90), 5).unwrap();
+        let deployed = deploy(&mut ssd, &db, 3).unwrap();
+        assert!(deployed.is_ivf());
+        assert_eq!(deployed.rivf.len(), 5);
+        let covered: usize = deployed.rivf.entries().iter().map(RIvfEntry::member_count).sum();
+        assert_eq!(covered, 90);
+        // Cluster ranges are contiguous and ordered.
+        let mut expected_first = 0u32;
+        for entry in deployed.rivf.entries() {
+            if entry.member_count() == 0 {
+                continue;
+            }
+            assert_eq!(entry.first_embedding, expected_first);
+            expected_first = entry.last_embedding + 1;
+        }
+        // Storage order is a permutation of the original ids.
+        let mut ids = deployed.storage_to_original.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..90).collect::<Vec<u32>>());
+        // R-IVF footprint is accounted in DRAM.
+        assert_eq!(
+            ssd.dram().allocation("db3/r-ivf"),
+            Some(deployed.rivf.footprint_bytes())
+        );
+    }
+
+    #[test]
+    fn oob_linkage_points_back_to_original_ids() {
+        let mut ssd = SsdController::new(SsdConfig::tiny());
+        let db = VectorDatabase::ivf(&vectors(40, 64), documents(40), 4).unwrap();
+        let deployed = deploy(&mut ssd, &db, 9).unwrap();
+        let geom = ssd.config().geometry;
+        let oob_layout = deployed.oob_layout(geom.oob_size_bytes).unwrap();
+        // Read back the OOB of the first database-embedding page and verify
+        // every entry's DADR equals the original id recorded at deployment.
+        let record = deployed.record;
+        let addr = record
+            .embedding_region
+            .page_at(&geom, deployed.layout.centroid_pages)
+            .unwrap();
+        let (oob, _) = ssd.device_mut().read_oob(addr).unwrap();
+        for slot in 0..deployed.layout.embeddings_per_page.min(deployed.entries()) {
+            let entry = oob_layout.unpack_entry(&oob, slot).unwrap();
+            assert_eq!(entry.dadr, deployed.storage_to_original[slot]);
+            assert_eq!(entry.radr, slot as u32);
+            assert_eq!(entry.tag, deployed.storage_tags[slot]);
+        }
+    }
+
+    #[test]
+    fn duplicate_database_ids_are_rejected() {
+        let mut ssd = SsdController::new(SsdConfig::tiny());
+        let db = VectorDatabase::flat(&vectors(10, 32), documents(10)).unwrap();
+        deploy(&mut ssd, &db, 7).unwrap();
+        assert!(deploy(&mut ssd, &db, 7).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! The in-storage ANNS engine (Sec. 4.3).
+//!
+//! The engine executes searches *functionally* on the simulated flash
+//! device: it broadcasts the query into every plane's cache latch, senses
+//! embedding pages, XORs them against the query in the page buffers, counts
+//! differing bits with the fail-bit counter, filters by distance with the
+//! pass/fail checker, streams the surviving Temporal-Top-List entries (with
+//! the OOB linkage they carry) to the controller, runs quickselect, fetches
+//! the INT8 copies for reranking, quicksorts the survivors and finally reads
+//! the documents of the top-k results. Every step counts its activity in a
+//! [`crate::perf::QueryActivity`] so the latency model can price it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use reis_ann::topk::Neighbor;
+use reis_ann::vector::{BinaryVector, Int8Vector};
+use reis_ssd::{RegionKind, SsdController, StripedRegion};
+
+use crate::config::ReisConfig;
+use crate::deploy::DeployedDatabase;
+use crate::error::{ReisError, Result};
+use crate::perf::QueryActivity;
+use crate::records::{TemporalTopList, TtlEntry};
+
+/// Activity counters of one scan pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCounts {
+    /// Pages sensed.
+    pub pages: usize,
+    /// Embedding slots whose distance was computed.
+    pub slots_scanned: usize,
+    /// Entries that passed the distance filter and were transferred.
+    pub entries_passed: usize,
+}
+
+/// The functional in-storage search engine, borrowing the SSD controller for
+/// the duration of one query.
+#[derive(Debug)]
+pub struct InStorageEngine<'a> {
+    ssd: &'a mut SsdController,
+    config: ReisConfig,
+}
+
+impl<'a> InStorageEngine<'a> {
+    /// Create an engine bound to a controller and configuration.
+    pub fn new(ssd: &'a mut SsdController, config: ReisConfig) -> Self {
+        InStorageEngine { ssd, config }
+    }
+
+    /// Broadcast the query embedding into the cache latches of every die
+    /// (Input Broadcasting, optionally multi-plane).
+    pub fn broadcast_query(&mut self, db: &DeployedDatabase, query: &BinaryVector) -> Result<()> {
+        let slot = db.layout.embedding_slot_bytes;
+        let mut payload = vec![0u8; slot];
+        payload[..query.as_bytes().len()].copy_from_slice(query.as_bytes());
+        let geometry = self.ssd.config().geometry;
+        let multi_plane = self.config.optimizations.multi_plane_ibc;
+        for channel in 0..geometry.channels {
+            for die in 0..geometry.dies_per_channel {
+                self.ssd.device_mut().input_broadcast(channel, die, &payload, multi_plane)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan a set of pages of the embedding region, computing in-plane
+    /// distances and returning the TTL entries that pass the distance filter.
+    ///
+    /// `valid_slots` maps a page offset (relative to the embedding region) to
+    /// the number of meaningful slots in that page; `make_entry` converts a
+    /// passing `(page_offset, slot, distance, oob_entry)` into a TTL entry,
+    /// or returns `None` to skip slots outside the caller's range of
+    /// interest.
+    fn scan_pages<F>(
+        &mut self,
+        region: &StripedRegion,
+        page_offsets: impl IntoIterator<Item = usize>,
+        slot_bytes: usize,
+        threshold: u32,
+        oob_entries_per_page: usize,
+        mut make_entry: F,
+    ) -> Result<(Vec<TtlEntry>, ScanCounts)>
+    where
+        F: FnMut(usize, usize, u32, reis_nand::OobEntry) -> Option<TtlEntry>,
+    {
+        let geometry = self.ssd.config().geometry;
+        let oob_layout = reis_nand::OobLayout::new(geometry.oob_size_bytes, oob_entries_per_page)?;
+        let mut counts = ScanCounts::default();
+        let mut out = Vec::new();
+        for offset in page_offsets {
+            let addr = region.page_at(&geometry, offset)?;
+            let device = self.ssd.device_mut();
+            device.sense_page(addr)?;
+            device.xor_latches(addr.plane_addr())?;
+            let (distances, _) = device.count_fail_bits(addr.plane_addr(), slot_bytes)?;
+            let (passes, _) = device.pass_fail_check(&distances, threshold);
+            let oob = device.page_buffer(addr.plane_addr())?.oob().unwrap_or(&[]).to_vec();
+            counts.pages += 1;
+            for (slot, (&distance, &pass)) in distances.iter().zip(passes.iter()).enumerate() {
+                if slot >= oob_entries_per_page {
+                    break;
+                }
+                counts.slots_scanned += 1;
+                if !pass {
+                    continue;
+                }
+                let oob_entry = oob_layout.unpack_entry(&oob, slot)?;
+                if let Some(entry) = make_entry(offset, slot, distance, oob_entry) {
+                    counts.entries_passed += 1;
+                    out.push(entry);
+                }
+            }
+        }
+        // Account the aggregate channel traffic of all transferred entries.
+        let entry_bytes = slot_bytes + self.config.ttl_metadata_bytes;
+        self.ssd.device_mut().transfer_to_controller(entry_bytes * counts.entries_passed);
+        Ok((out, counts))
+    }
+
+    /// Coarse-grained search: scan the centroid pages and return the
+    /// `nprobe` nearest cluster indices.
+    pub fn coarse_search(
+        &mut self,
+        db: &DeployedDatabase,
+        nprobe: usize,
+    ) -> Result<(Vec<usize>, ScanCounts)> {
+        if !db.is_ivf() {
+            return Err(ReisError::UnsupportedSearch(
+                "coarse search requires an IVF deployment".into(),
+            ));
+        }
+        let layout = db.layout;
+        let centroids = layout.centroids;
+        let (entries, counts) = self.scan_pages(
+            &db.record.embedding_region,
+            0..layout.centroid_pages,
+            layout.embedding_slot_bytes,
+            // Centroid scan is never filtered: every cluster distance is needed.
+            u32::MAX,
+            layout.embeddings_per_page,
+            |page, slot, distance, oob| {
+                let cluster = page * layout.embeddings_per_page + slot;
+                if cluster >= centroids {
+                    return None;
+                }
+                Some(TtlEntry {
+                    distance,
+                    storage_index: cluster as u32,
+                    radr: oob.radr,
+                    dadr: oob.dadr,
+                    tag: oob.tag,
+                })
+            },
+        )?;
+        let mut ttl = TemporalTopList::new();
+        ttl.extend(entries);
+        ttl.quickselect(nprobe.max(1));
+        let clusters: Vec<usize> =
+            ttl.sorted_top(nprobe.max(1)).into_iter().map(|e| e.storage_index as usize).collect();
+        Ok((clusters, counts))
+    }
+
+    /// Fine-grained search over the embedding pages of the given clusters
+    /// (or of the whole database for a brute-force search), returning the
+    /// Temporal Top List after the controller's quickselect pass.
+    pub fn fine_search(
+        &mut self,
+        db: &DeployedDatabase,
+        query: &BinaryVector,
+        clusters: Option<&[usize]>,
+        candidate_count: usize,
+    ) -> Result<(TemporalTopList, ScanCounts)> {
+        let layout = db.layout;
+        let threshold = self.config.filter_threshold(query.dim());
+
+        // Which embedding pages (relative to the database-embedding
+        // sub-region) need scanning, and which storage-index range is of
+        // interest.
+        let mut pages: BTreeSet<usize> = BTreeSet::new();
+        let mut valid_ranges: Vec<(u32, u32)> = Vec::new();
+        match clusters {
+            Some(selected) => {
+                for &cluster in selected {
+                    let entry = db
+                        .rivf
+                        .entry(cluster)
+                        .ok_or(ReisError::UnsupportedSearch(format!("cluster {cluster} unknown")))?;
+                    if entry.member_count() == 0 {
+                        continue;
+                    }
+                    valid_ranges.push((entry.first_embedding, entry.last_embedding));
+                    let (start, end) = layout
+                        .embedding_page_range(entry.first_embedding as usize, entry.last_embedding as usize);
+                    pages.extend(start..end);
+                }
+            }
+            None => {
+                if layout.entries > 0 {
+                    valid_ranges.push((0, (layout.entries - 1) as u32));
+                    pages.extend(0..layout.embedding_pages);
+                }
+            }
+        }
+
+        let entries_total = layout.entries;
+        let epp = layout.embeddings_per_page;
+        let (entries, counts) = self.scan_pages(
+            &db.record.embedding_region,
+            pages.into_iter().map(|p| p + layout.centroid_pages),
+            layout.embedding_slot_bytes,
+            threshold,
+            epp,
+            |page, slot, distance, oob| {
+                let storage_index = (page - layout.centroid_pages) * epp + slot;
+                if storage_index >= entries_total {
+                    return None;
+                }
+                let si = storage_index as u32;
+                if !valid_ranges.iter().any(|&(first, last)| si >= first && si <= last) {
+                    return None;
+                }
+                Some(TtlEntry { distance, storage_index: si, radr: oob.radr, dadr: oob.dadr, tag: oob.tag })
+            },
+        )?;
+        let mut ttl = TemporalTopList::new();
+        ttl.extend(entries);
+        ttl.quickselect(candidate_count.max(1));
+        Ok((ttl, counts))
+    }
+
+    /// Rerank the TTL candidates in INT8 precision on the embedded core:
+    /// fetch their INT8 copies from the TLC region (through the controller,
+    /// with ECC), recompute distances, and return the `k` nearest as
+    /// `(original id, INT8 squared distance)` plus the number of distinct
+    /// INT8 pages read.
+    pub fn rerank(
+        &mut self,
+        db: &DeployedDatabase,
+        query_int8: &Int8Vector,
+        candidates: &[TtlEntry],
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, usize)> {
+        let layout = db.layout;
+        let mut page_cache: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+        let mut scored: Vec<Neighbor> = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            let (page, slot) = layout.int8_location(candidate.radr as usize);
+            if !page_cache.contains_key(&page) {
+                let readout =
+                    self.ssd.read_region_page(&db.record.int8_region, page, RegionKind::Int8Embeddings)?;
+                page_cache.insert(page, readout.data);
+            }
+            let data = &page_cache[&page];
+            let start = slot * layout.int8_bytes;
+            let values: Vec<i8> =
+                data[start..start + layout.int8_bytes].iter().map(|&b| b as i8).collect();
+            let vector = Int8Vector::new(values);
+            let distance = vector.squared_l2(query_int8) as f32;
+            scored.push(Neighbor::new(candidate.dadr as usize, distance));
+        }
+        scored.sort();
+        scored.truncate(k);
+        Ok((scored, page_cache.len()))
+    }
+
+    /// Document identification and retrieval: read the chunks of the top-k
+    /// results from the document region.
+    pub fn fetch_documents(
+        &mut self,
+        db: &DeployedDatabase,
+        top: &[Neighbor],
+    ) -> Result<Vec<Vec<u8>>> {
+        let layout = db.layout;
+        let mut page_cache: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+        let mut documents = Vec::with_capacity(top.len());
+        for result in top {
+            let (page, slot) = layout.document_location(result.id);
+            if !page_cache.contains_key(&page) {
+                let readout =
+                    self.ssd.read_region_page(&db.record.document_region, page, RegionKind::Documents)?;
+                page_cache.insert(page, readout.data);
+            }
+            let data = &page_cache[&page];
+            let start = slot * layout.doc_slot_bytes;
+            let len = u32::from_le_bytes(
+                data[start..start + 4].try_into().expect("length prefix present"),
+            ) as usize;
+            documents.push(data[start + 4..start + 4 + len].to_vec());
+        }
+        Ok(documents)
+    }
+
+    /// Number of candidates handed to the reranker for a top-`k` search
+    /// (`rerank_factor × k`, the paper's 10·k).
+    pub fn rerank_candidates(&self, k: usize) -> usize {
+        self.config.rerank_factor.max(1) * k.max(1)
+    }
+
+    /// Build the activity record of a query from its scan counts and
+    /// downstream statistics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn activity(
+        &self,
+        db: &DeployedDatabase,
+        coarse: ScanCounts,
+        fine: ScanCounts,
+        rerank_candidates: usize,
+        int8_pages: usize,
+        documents: usize,
+        dim: usize,
+    ) -> QueryActivity {
+        QueryActivity {
+            coarse_pages: coarse.pages,
+            coarse_entries: coarse.entries_passed,
+            fine_pages: fine.pages,
+            fine_entries: fine.entries_passed,
+            rerank_candidates,
+            int8_pages,
+            documents,
+            embedding_slot_bytes: db.layout.embedding_slot_bytes,
+            dim,
+            doc_slot_bytes: db.layout.doc_slot_bytes,
+        }
+    }
+}

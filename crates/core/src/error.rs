@@ -1,0 +1,115 @@
+//! Error type of the REIS system.
+
+use std::fmt;
+
+use reis_ann::AnnError;
+use reis_nand::NandError;
+use reis_ssd::SsdError;
+
+/// Errors returned by REIS deployment and search operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReisError {
+    /// An error propagated from the SSD controller layer.
+    Ssd(SsdError),
+    /// An error propagated from the NAND flash device.
+    Nand(NandError),
+    /// An error propagated from the ANNS algorithm library.
+    Ann(AnnError),
+    /// The database being deployed is malformed (e.g. the number of
+    /// documents does not match the number of embeddings).
+    MalformedDatabase(String),
+    /// A search referenced a database id that has not been deployed.
+    DatabaseNotDeployed(u32),
+    /// A search requested an operation the deployed database does not
+    /// support (e.g. an IVF search on a database deployed without clusters).
+    UnsupportedSearch(String),
+    /// A query had the wrong dimensionality for the target database.
+    QueryDimensionMismatch {
+        /// Dimensionality of the deployed embeddings.
+        expected: usize,
+        /// Dimensionality of the query.
+        actual: usize,
+    },
+    /// A configuration parameter is outside its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ReisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReisError::Ssd(e) => write!(f, "ssd error: {e}"),
+            ReisError::Nand(e) => write!(f, "nand error: {e}"),
+            ReisError::Ann(e) => write!(f, "ann error: {e}"),
+            ReisError::MalformedDatabase(msg) => write!(f, "malformed database: {msg}"),
+            ReisError::DatabaseNotDeployed(id) => write!(f, "database {id} is not deployed"),
+            ReisError::UnsupportedSearch(msg) => write!(f, "unsupported search: {msg}"),
+            ReisError::QueryDimensionMismatch { expected, actual } => {
+                write!(f, "query has {actual} dimensions but the database stores {expected}")
+            }
+            ReisError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReisError::Ssd(e) => Some(e),
+            ReisError::Nand(e) => Some(e),
+            ReisError::Ann(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SsdError> for ReisError {
+    fn from(e: SsdError) -> Self {
+        ReisError::Ssd(e)
+    }
+}
+
+impl From<NandError> for ReisError {
+    fn from(e: NandError) -> Self {
+        ReisError::Nand(e)
+    }
+}
+
+impl From<AnnError> for ReisError {
+    fn from(e: AnnError) -> Self {
+        ReisError::Ann(e)
+    }
+}
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ReisError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: ReisError = SsdError::UnknownDatabase(1).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ReisError = NandError::InvalidCommandSequence("x").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ReisError = AnnError::EmptyDataset.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ReisError::DatabaseNotDeployed(7);
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn display_is_meaningful() {
+        let errs = vec![
+            ReisError::MalformedDatabase("0 documents".into()),
+            ReisError::DatabaseNotDeployed(3),
+            ReisError::UnsupportedSearch("IVF on flat".into()),
+            ReisError::QueryDimensionMismatch { expected: 1024, actual: 768 },
+            ReisError::InvalidConfig("rerank factor 0".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

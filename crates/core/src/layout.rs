@@ -1,0 +1,246 @@
+//! Database layout planning.
+//!
+//! REIS maps a vector database onto the flash array as separate regions
+//! (Sec. 4.1): an ESP-SLC *embedding region* (cluster centroids followed by
+//! binary embeddings, stored cluster-contiguously), a TLC *INT8 region* for
+//! reranking data, and a TLC *document region* holding one chunk per 4 KB
+//! sub-page (or full page for large chunks). [`LayoutPlan`] computes how many
+//! pages each region needs and how entries map to mini-pages, honouring the
+//! OOB capacity needed for the embedding–document linkage.
+
+use serde::{Deserialize, Serialize};
+
+use reis_nand::oob::OobEntry;
+use reis_nand::Geometry;
+
+use crate::database::VectorDatabase;
+use crate::error::{ReisError, Result};
+
+/// Size of a document sub-page slot in bytes (Sec. 4.1.1 assigns each chunk
+/// a 4 KB sub-page or a full 16 KB page).
+pub const DOC_SUBPAGE_BYTES: usize = 4096;
+
+/// How a database maps onto flash pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutPlan {
+    /// Number of database entries.
+    pub entries: usize,
+    /// Bytes of one binary embedding (one mini-page).
+    pub embedding_bytes: usize,
+    /// Bytes reserved per embedding slot: the embedding size rounded up to
+    /// the next power of two so the slot size always divides the page size,
+    /// which Input Broadcasting requires for its aligned query copies.
+    pub embedding_slot_bytes: usize,
+    /// Binary embeddings stored per flash page (bounded by both the page
+    /// size and the OOB capacity needed for their linkage entries).
+    pub embeddings_per_page: usize,
+    /// Pages of the embedding region holding database embeddings.
+    pub embedding_pages: usize,
+    /// Pages of the embedding region holding IVF centroids (0 for flat
+    /// deployments).
+    pub centroid_pages: usize,
+    /// Number of IVF centroids (0 for flat deployments).
+    pub centroids: usize,
+    /// Bytes of one INT8 embedding.
+    pub int8_bytes: usize,
+    /// INT8 embeddings stored per flash page.
+    pub int8_per_page: usize,
+    /// Pages of the INT8 region.
+    pub int8_pages: usize,
+    /// Bytes reserved per document chunk (4 KB sub-page or a full page).
+    pub doc_slot_bytes: usize,
+    /// Document chunks stored per flash page.
+    pub docs_per_page: usize,
+    /// Pages of the document region.
+    pub doc_pages: usize,
+}
+
+impl LayoutPlan {
+    /// Compute the layout of `database` on a device with `geometry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReisError::MalformedDatabase`] if an embedding, INT8 vector
+    /// or document chunk does not fit in a single page.
+    pub fn plan(database: &VectorDatabase, geometry: &Geometry) -> Result<Self> {
+        let page = geometry.page_size_bytes;
+        let embedding_bytes = database.binary_bytes();
+        if embedding_bytes == 0 || embedding_bytes > page {
+            return Err(ReisError::MalformedDatabase(format!(
+                "binary embedding of {embedding_bytes} bytes does not fit a {page}-byte page"
+            )));
+        }
+        let int8_bytes = database.int8_bytes();
+        if int8_bytes > page {
+            return Err(ReisError::MalformedDatabase(format!(
+                "INT8 embedding of {int8_bytes} bytes does not fit a {page}-byte page"
+            )));
+        }
+        // Each document slot stores a 4-byte length prefix followed by the
+        // chunk bytes, so chunks must leave room for the prefix.
+        let max_doc = database.max_document_bytes();
+        if max_doc + 4 > page {
+            return Err(ReisError::MalformedDatabase(format!(
+                "document chunk of {max_doc} bytes does not fit a {page}-byte page"
+            )));
+        }
+
+        // Embeddings per page: bounded by page capacity and by the OOB space
+        // needed for one linkage entry per embedding. Slots are padded to a
+        // power of two so the broadcast query copies stay page-aligned.
+        let embedding_slot_bytes = embedding_bytes.next_power_of_two().min(page);
+        let by_capacity = page / embedding_slot_bytes;
+        let by_oob = geometry.oob_size_bytes / OobEntry::SIZE;
+        let embeddings_per_page = by_capacity.min(by_oob).max(1);
+
+        let entries = database.len();
+        let embedding_pages = entries.div_ceil(embeddings_per_page);
+        let centroids = database.clusters().map(ClusterCount::count).unwrap_or(0);
+        let centroid_pages = if centroids == 0 { 0 } else { centroids.div_ceil(embeddings_per_page) };
+
+        let int8_per_page = (page / int8_bytes).max(1);
+        let int8_pages = entries.div_ceil(int8_per_page);
+
+        let doc_slot_bytes =
+            if max_doc + 4 <= DOC_SUBPAGE_BYTES { DOC_SUBPAGE_BYTES.min(page) } else { page };
+        let docs_per_page = (page / doc_slot_bytes).max(1);
+        let doc_pages = entries.div_ceil(docs_per_page);
+
+        Ok(LayoutPlan {
+            entries,
+            embedding_bytes,
+            embedding_slot_bytes,
+            embeddings_per_page,
+            embedding_pages,
+            centroid_pages,
+            centroids,
+            int8_bytes,
+            int8_per_page,
+            int8_pages,
+            doc_slot_bytes,
+            docs_per_page,
+            doc_pages,
+        })
+    }
+
+    /// Total flash pages the deployment needs across all regions.
+    pub fn total_pages(&self) -> usize {
+        self.centroid_pages + self.embedding_pages + self.int8_pages + self.doc_pages
+    }
+
+    /// Page offset (within the embedding region) and mini-page slot of the
+    /// `index`-th database embedding in storage order.
+    pub fn embedding_location(&self, index: usize) -> (usize, usize) {
+        (index / self.embeddings_per_page, index % self.embeddings_per_page)
+    }
+
+    /// Page offset (within the INT8 region) and slot of the `index`-th INT8
+    /// embedding.
+    pub fn int8_location(&self, index: usize) -> (usize, usize) {
+        (index / self.int8_per_page, index % self.int8_per_page)
+    }
+
+    /// Page offset (within the document region) and slot of the `index`-th
+    /// document chunk.
+    pub fn document_location(&self, index: usize) -> (usize, usize) {
+        (index / self.docs_per_page, index % self.docs_per_page)
+    }
+
+    /// Page offset (within the centroid sub-region) and mini-page slot of the
+    /// `cluster`-th centroid.
+    pub fn centroid_location(&self, cluster: usize) -> (usize, usize) {
+        (cluster / self.embeddings_per_page, cluster % self.embeddings_per_page)
+    }
+
+    /// The range of embedding-region pages (inclusive start, exclusive end)
+    /// that hold storage-order embedding indices `first..=last`.
+    pub fn embedding_page_range(&self, first: usize, last: usize) -> (usize, usize) {
+        (first / self.embeddings_per_page, last / self.embeddings_per_page + 1)
+    }
+}
+
+/// Helper trait-free adapter so `LayoutPlan::plan` can count clusters without
+/// depending on the `ClusterInfo` field layout.
+struct ClusterCount;
+
+impl ClusterCount {
+    fn count(info: &crate::database::ClusterInfo) -> usize {
+        info.nlist()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..dim).map(|d| (((i + d) % 17) as f32 - 8.0) / 4.0).collect())
+            .collect()
+    }
+
+    fn docs(n: usize, bytes: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![(i % 251) as u8; bytes]).collect()
+    }
+
+    #[test]
+    fn paper_reference_layout_fits_128_embeddings_per_page() {
+        // 1024-d binary embeddings on a 16 KB page with a 2208-byte OOB.
+        let db = VectorDatabase::flat(&vectors(300, 1024), docs(300, 2000)).unwrap();
+        let plan = LayoutPlan::plan(&db, &Geometry::reis_ssd1()).unwrap();
+        assert_eq!(plan.embedding_bytes, 128);
+        assert_eq!(plan.embeddings_per_page, 128);
+        assert_eq!(plan.embedding_pages, 3);
+        assert_eq!(plan.int8_per_page, 16);
+        assert_eq!(plan.doc_slot_bytes, DOC_SUBPAGE_BYTES);
+        assert_eq!(plan.docs_per_page, 4);
+        assert_eq!(plan.doc_pages, 75);
+        assert_eq!(plan.centroid_pages, 0);
+    }
+
+    #[test]
+    fn oob_capacity_bounds_embeddings_per_page_on_small_devices() {
+        // Tiny geometry: 4 KB pages, 256-byte OOB -> at most 28 linkage entries.
+        let db = VectorDatabase::flat(&vectors(100, 64), docs(100, 100)).unwrap();
+        let plan = LayoutPlan::plan(&db, &Geometry::tiny()).unwrap();
+        assert!(plan.embeddings_per_page <= 256 / OobEntry::SIZE);
+        assert!(plan.embeddings_per_page * OobEntry::SIZE <= Geometry::tiny().oob_size_bytes);
+    }
+
+    #[test]
+    fn locations_are_consistent_with_page_counts() {
+        let db = VectorDatabase::ivf(&vectors(200, 64), docs(200, 100), 8).unwrap();
+        let plan = LayoutPlan::plan(&db, &Geometry::tiny()).unwrap();
+        assert_eq!(plan.centroids, 8);
+        assert!(plan.centroid_pages >= 1);
+        for i in 0..plan.entries {
+            let (page, slot) = plan.embedding_location(i);
+            assert!(page < plan.embedding_pages);
+            assert!(slot < plan.embeddings_per_page);
+            let (dpage, dslot) = plan.document_location(i);
+            assert!(dpage < plan.doc_pages);
+            assert!(dslot < plan.docs_per_page);
+            let (ipage, islot) = plan.int8_location(i);
+            assert!(ipage < plan.int8_pages);
+            assert!(islot < plan.int8_per_page);
+        }
+        let (start, end) = plan.embedding_page_range(0, plan.entries - 1);
+        assert_eq!(start, 0);
+        assert_eq!(end, plan.embedding_pages);
+        assert!(plan.total_pages() > plan.embedding_pages);
+    }
+
+    #[test]
+    fn oversized_documents_are_rejected() {
+        let db = VectorDatabase::flat(&vectors(4, 16), docs(4, 5000)).unwrap();
+        // 5000-byte chunks exceed the 4096-byte pages of the tiny geometry.
+        assert!(matches!(
+            LayoutPlan::plan(&db, &Geometry::tiny()),
+            Err(ReisError::MalformedDatabase(_))
+        ));
+        // But they fit a 16 KB page device, occupying a full page each.
+        let plan = LayoutPlan::plan(&db, &Geometry::reis_ssd1()).unwrap();
+        assert_eq!(plan.doc_slot_bytes, 16 * 1024);
+        assert_eq!(plan.docs_per_page, 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Latency model of one in-storage query.
+//!
+//! The functional engine (`engine` module) counts what a query actually did —
+//! pages scanned, entries that passed the distance filter, candidates
+//! reranked, documents fetched. This module turns those counts into latency
+//! by composing the flash, channel, DRAM and embedded-core costs of Table 3
+//! with the parallelism and pipelining rules of Sec. 4.3: all planes sense
+//! and compute concurrently, channels transfer concurrently, and (with PL
+//! enabled) reads, in-plane computation, channel transfers and the
+//! controller's selection kernel overlap.
+
+use serde::{Deserialize, Serialize};
+
+use reis_nand::{Nanos, ProgramScheme};
+use reis_ssd::{EccParams, EmbeddedCores};
+
+use crate::config::ReisConfig;
+
+/// What one query did, as counted by the functional engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryActivity {
+    /// Centroid pages scanned during the coarse-grained search.
+    pub coarse_pages: usize,
+    /// TTL-C entries transferred to the controller during the coarse search.
+    pub coarse_entries: usize,
+    /// Embedding pages scanned during the fine-grained search.
+    pub fine_pages: usize,
+    /// TTL-E entries transferred to the controller during the fine search.
+    pub fine_entries: usize,
+    /// Candidates handed to the reranking kernel.
+    pub rerank_candidates: usize,
+    /// Distinct INT8 pages fetched for reranking.
+    pub int8_pages: usize,
+    /// Documents fetched and returned to the host.
+    pub documents: usize,
+    /// Bytes of one embedding slot (mini-page) — also the broadcast payload.
+    pub embedding_slot_bytes: usize,
+    /// Embedding dimensionality (for the rerank kernel cost).
+    pub dim: usize,
+    /// Bytes of one document slot.
+    pub doc_slot_bytes: usize,
+}
+
+/// Per-phase latency of one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Input Broadcasting of the query into the page buffers.
+    pub input_broadcast: Nanos,
+    /// Coarse-grained centroid scan (senses, in-plane compute, transfers).
+    pub coarse_scan: Nanos,
+    /// Fine-grained embedding scan.
+    pub fine_scan: Nanos,
+    /// Quickselect on the embedded core (portion not hidden by the scan).
+    pub select: Nanos,
+    /// INT8 fetch plus rerank kernel plus final quicksort.
+    pub rerank: Nanos,
+    /// Document identification and flash reads.
+    pub document_fetch: Nanos,
+    /// Transfer of the retrieved documents to the host.
+    pub host_transfer: Nanos,
+}
+
+impl LatencyBreakdown {
+    /// End-to-end latency of the query.
+    pub fn total(&self) -> Nanos {
+        self.input_broadcast
+            + self.coarse_scan
+            + self.fine_scan
+            + self.select
+            + self.rerank
+            + self.document_fetch
+            + self.host_transfer
+    }
+}
+
+/// The latency model for a given REIS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PerfModel {
+    config: ReisConfig,
+}
+
+impl PerfModel {
+    /// Create the model for a configuration.
+    pub fn new(config: ReisConfig) -> Self {
+        PerfModel { config }
+    }
+
+    /// The configuration driving the model.
+    pub fn config(&self) -> &ReisConfig {
+        &self.config
+    }
+
+    /// Latency of broadcasting the query embedding into every die's page
+    /// buffers. Dies on the same channel receive the broadcast one after the
+    /// other; channels operate in parallel; MPIBC lets all planes of a die
+    /// latch the payload in one transfer.
+    pub fn input_broadcast(&self, query_bytes: usize) -> Nanos {
+        let geom = &self.config.ssd.geometry;
+        let timing = &self.config.ssd.timing;
+        let per_die = timing.input_broadcast(
+            query_bytes,
+            geom.planes_per_die,
+            self.config.optimizations.multi_plane_ibc,
+        );
+        per_die * geom.dies_per_channel as u64
+    }
+
+    /// Latency of scanning `pages` embedding (or centroid) pages and
+    /// transferring `entries_out` TTL entries to the controller.
+    pub fn scan(&self, pages: usize, entries_out: usize, embedding_slot_bytes: usize) -> Nanos {
+        if pages == 0 {
+            return Nanos::ZERO;
+        }
+        let geom = &self.config.ssd.geometry;
+        let timing = &self.config.ssd.timing;
+        let opts = &self.config.optimizations;
+
+        let total_planes = geom.total_planes();
+        let rounds = pages.div_ceil(total_planes);
+        let sense = timing.read_latency(ProgramScheme::EnhancedSlc);
+        let compute = timing.in_plane_distance(opts.distance_filtering);
+
+        // Channel transfer per round: the entries produced in one round are
+        // spread evenly over the channels.
+        let entry_bytes = embedding_slot_bytes + self.config.ttl_metadata_bytes;
+        let entries_per_round = entries_out as f64 / rounds as f64;
+        let bytes_per_channel_round = entries_per_round * entry_bytes as f64 / geom.channels as f64;
+        let transfer = Nanos::from_secs_f64(bytes_per_channel_round / timing.channel_bandwidth_bps);
+
+        if opts.pipelining {
+            // Read-page-cache mode: pipeline fill (first sense), a steady
+            // state where each remaining round costs the slowest of
+            // {next sense, in-plane compute, channel transfer}, and a drain
+            // (compute + transfer of the last page).
+            let steady = sense.max(compute.max(transfer));
+            sense + steady * (rounds as u64 - 1) + compute + transfer
+        } else {
+            (sense + compute + transfer) * rounds as u64
+        }
+    }
+
+    /// Latency of the quickselect kernel over `entries` TTL entries, given
+    /// the scan time it can hide behind when pipelining is enabled.
+    pub fn select(&self, entries: usize, k: usize, scan_time: Nanos) -> Nanos {
+        let cores = EmbeddedCores::new(self.config.ssd.cores);
+        let select = cores.quickselect(entries, k);
+        if self.config.optimizations.pipelining {
+            select.saturating_sub(scan_time)
+        } else {
+            select
+        }
+    }
+
+    /// Latency of the reranking phase: fetching `int8_pages` pages of INT8
+    /// embeddings through the controller (TLC reads + ECC, spread across the
+    /// channels), recomputing `candidates` distances on the embedded core and
+    /// quicksorting the survivors.
+    pub fn rerank(&self, candidates: usize, int8_pages: usize, dim: usize) -> Nanos {
+        if candidates == 0 {
+            return Nanos::ZERO;
+        }
+        let geom = &self.config.ssd.geometry;
+        let timing = &self.config.ssd.timing;
+        let ecc = EccParams::ldpc();
+        let cores = EmbeddedCores::new(self.config.ssd.cores);
+
+        let page_bytes = geom.page_size_bytes;
+        let per_page = timing.read_latency(ProgramScheme::Ispp(reis_nand::CellMode::Tlc))
+            + timing.channel_transfer(page_bytes)
+            + ecc.decode_latency_per_page;
+        let serial_pages = int8_pages.div_ceil(geom.channels);
+        per_page * serial_pages as u64 + cores.rerank(candidates, dim) + cores.quicksort(candidates)
+    }
+
+    /// Latency of fetching `documents` chunks of `doc_slot_bytes` each from
+    /// the TLC document region (reads spread over the channels).
+    pub fn document_fetch(&self, documents: usize, doc_slot_bytes: usize) -> Nanos {
+        if documents == 0 {
+            return Nanos::ZERO;
+        }
+        let geom = &self.config.ssd.geometry;
+        let timing = &self.config.ssd.timing;
+        let ecc = EccParams::ldpc();
+        let per_doc = timing.read_latency(ProgramScheme::Ispp(reis_nand::CellMode::Tlc))
+            + timing.channel_transfer(doc_slot_bytes)
+            + ecc.decode_latency_per_page;
+        per_doc * documents.div_ceil(geom.channels) as u64
+    }
+
+    /// Latency of returning `documents` chunks to the host over PCIe.
+    pub fn host_transfer(&self, documents: usize, doc_slot_bytes: usize) -> Nanos {
+        Nanos::from_secs_f64(
+            (documents * doc_slot_bytes) as f64 / self.config.host_link_bandwidth_bps,
+        )
+    }
+
+    /// Compose the full per-query latency from the activity counts.
+    pub fn query_latency(&self, activity: &QueryActivity, k: usize) -> LatencyBreakdown {
+        let input_broadcast = self.input_broadcast(activity.embedding_slot_bytes);
+        let coarse_scan =
+            self.scan(activity.coarse_pages, activity.coarse_entries, activity.embedding_slot_bytes);
+        let fine_scan =
+            self.scan(activity.fine_pages, activity.fine_entries, activity.embedding_slot_bytes);
+        let select = self.select(
+            activity.coarse_entries + activity.fine_entries,
+            self.config.rerank_factor * k,
+            coarse_scan + fine_scan,
+        );
+        let rerank = self.rerank(activity.rerank_candidates, activity.int8_pages, activity.dim);
+        let document_fetch = self.document_fetch(activity.documents, activity.doc_slot_bytes);
+        let host_transfer = self.host_transfer(activity.documents, activity.doc_slot_bytes);
+        LatencyBreakdown {
+            input_broadcast,
+            coarse_scan,
+            fine_scan,
+            select,
+            rerank,
+            document_fetch,
+            host_transfer,
+        }
+    }
+
+    /// Time the embedded core is busy for one query (used for core energy).
+    pub fn core_busy(&self, activity: &QueryActivity, k: usize) -> Nanos {
+        let cores = EmbeddedCores::new(self.config.ssd.cores);
+        cores.quickselect(activity.coarse_entries + activity.fine_entries, self.config.rerank_factor * k)
+            + cores.rerank(activity.rerank_candidates, activity.dim)
+            + cores.quicksort(activity.rerank_candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+
+    fn activity() -> QueryActivity {
+        QueryActivity {
+            coarse_pages: 16,
+            coarse_entries: 64,
+            fine_pages: 512,
+            fine_entries: 2_000,
+            rerank_candidates: 100,
+            int8_pages: 32,
+            documents: 10,
+            embedding_slot_bytes: 128,
+            dim: 1024,
+            doc_slot_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn all_phases_contribute_and_total_sums_them() {
+        let model = PerfModel::new(ReisConfig::ssd1());
+        let breakdown = model.query_latency(&activity(), 10);
+        assert!(breakdown.input_broadcast > Nanos::ZERO);
+        assert!(breakdown.coarse_scan > Nanos::ZERO);
+        assert!(breakdown.fine_scan > breakdown.coarse_scan);
+        assert!(breakdown.rerank > Nanos::ZERO);
+        assert!(breakdown.document_fetch > Nanos::ZERO);
+        assert!(breakdown.host_transfer > Nanos::ZERO);
+        let manual = breakdown.input_broadcast
+            + breakdown.coarse_scan
+            + breakdown.fine_scan
+            + breakdown.select
+            + breakdown.rerank
+            + breakdown.document_fetch
+            + breakdown.host_transfer;
+        assert_eq!(breakdown.total(), manual);
+    }
+
+    #[test]
+    fn pipelining_reduces_scan_latency() {
+        let with = PerfModel::new(ReisConfig::ssd1());
+        let without = PerfModel::new(
+            ReisConfig::ssd1().with_optimizations(Optimizations {
+                pipelining: false,
+                ..Optimizations::all()
+            }),
+        );
+        let a = activity();
+        assert!(with.scan(a.fine_pages, a.fine_entries, 128) < without.scan(a.fine_pages, a.fine_entries, 128));
+    }
+
+    #[test]
+    fn mpibc_reduces_broadcast_latency() {
+        let with = PerfModel::new(ReisConfig::ssd2());
+        let without = PerfModel::new(ReisConfig::ssd2().with_optimizations(Optimizations {
+            multi_plane_ibc: false,
+            ..Optimizations::all()
+        }));
+        assert!(with.input_broadcast(128) < without.input_broadcast(128));
+    }
+
+    #[test]
+    fn fewer_transferred_entries_speed_up_the_scan() {
+        // This is the effect distance filtering has on the timing model: the
+        // same pages are scanned but far fewer entries cross the channels.
+        let model = PerfModel::new(ReisConfig::ssd1());
+        let filtered = model.scan(4096, 5_000, 128);
+        let unfiltered = model.scan(4096, 4096 * 128, 128);
+        assert!(filtered < unfiltered);
+    }
+
+    #[test]
+    fn ssd2_is_faster_than_ssd1_for_the_same_activity() {
+        let a = activity();
+        let t1 = PerfModel::new(ReisConfig::ssd1()).query_latency(&a, 10).total();
+        let t2 = PerfModel::new(ReisConfig::ssd2()).query_latency(&a, 10).total();
+        assert!(t2 < t1);
+    }
+
+    #[test]
+    fn empty_activity_costs_only_the_broadcast() {
+        let model = PerfModel::new(ReisConfig::ssd1());
+        let empty = QueryActivity { embedding_slot_bytes: 128, dim: 1024, ..Default::default() };
+        let b = model.query_latency(&empty, 10);
+        assert_eq!(b.coarse_scan, Nanos::ZERO);
+        assert_eq!(b.fine_scan, Nanos::ZERO);
+        assert_eq!(b.rerank, Nanos::ZERO);
+        assert_eq!(b.document_fetch, Nanos::ZERO);
+        assert!(b.input_broadcast > Nanos::ZERO);
+    }
+
+    #[test]
+    fn core_busy_time_is_positive_and_scales() {
+        let model = PerfModel::new(ReisConfig::ssd1());
+        let small = model.core_busy(&QueryActivity { fine_entries: 100, rerank_candidates: 10, dim: 128, ..activity() }, 10);
+        let large = model.core_busy(&activity(), 10);
+        assert!(large > small);
+    }
+}

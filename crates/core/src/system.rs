@@ -1,0 +1,412 @@
+//! The REIS system: the host-facing API of Table 1 on top of the in-storage
+//! engine.
+//!
+//! [`ReisSystem`] owns the simulated SSD, deploys vector databases into it
+//! (`DB_Deploy` / `IVF_Deploy`) and serves `Search` / `IVF_Search` requests,
+//! returning both the retrieved documents and the modelled latency and
+//! energy of each query.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use reis_ann::topk::Neighbor;
+use reis_nand::{FlashStats, Nanos};
+use reis_ssd::{SsdController, SsdMode};
+
+use crate::config::ReisConfig;
+use crate::database::VectorDatabase;
+use crate::deploy::{self, DeployedDatabase};
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::engine::InStorageEngine;
+use crate::error::{ReisError, Result};
+use crate::perf::{LatencyBreakdown, PerfModel, QueryActivity};
+
+/// Result of one REIS search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The top-k results as `(original entry id, INT8 rerank distance)` in
+    /// ascending distance order.
+    pub results: Vec<Neighbor>,
+    /// The retrieved document chunks, aligned with `results`.
+    pub documents: Vec<Vec<u8>>,
+    /// Per-phase latency of the query.
+    pub latency: LatencyBreakdown,
+    /// Activity counters (pages scanned, entries transferred, …).
+    pub activity: QueryActivity,
+    /// Energy breakdown of the query.
+    pub energy: EnergyBreakdown,
+    /// Flash operation counters attributable to the query.
+    pub flash_stats: FlashStats,
+}
+
+impl SearchOutcome {
+    /// End-to-end latency of the query.
+    pub fn total_latency(&self) -> Nanos {
+        self.latency.total()
+    }
+
+    /// Queries per second this query's latency corresponds to.
+    pub fn qps(&self) -> f64 {
+        let secs = self.total_latency().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            1.0 / secs
+        }
+    }
+
+    /// Queries per second per watt (the energy-efficiency metric of Fig. 8).
+    pub fn qps_per_watt(&self) -> f64 {
+        let energy = self.energy.total_j();
+        if energy <= 0.0 {
+            0.0
+        } else {
+            1.0 / energy
+        }
+    }
+
+    /// The original entry ids of the results, in rank order.
+    pub fn result_ids(&self) -> Vec<usize> {
+        self.results.iter().map(|n| n.id).collect()
+    }
+}
+
+/// The REIS retrieval system.
+#[derive(Debug)]
+pub struct ReisSystem {
+    config: ReisConfig,
+    controller: SsdController,
+    perf: PerfModel,
+    energy: EnergyModel,
+    databases: HashMap<u32, DeployedDatabase>,
+    next_db_id: u32,
+}
+
+impl ReisSystem {
+    /// Create a REIS system on a freshly initialised SSD.
+    pub fn new(config: ReisConfig) -> Self {
+        let mut controller = SsdController::new(config.ssd);
+        controller.switch_mode(SsdMode::Rag);
+        ReisSystem {
+            config,
+            controller,
+            perf: PerfModel::new(config),
+            energy: EnergyModel::default(),
+            databases: HashMap::new(),
+            next_db_id: 1,
+        }
+    }
+
+    /// The configuration of this instance.
+    pub fn config(&self) -> &ReisConfig {
+        &self.config
+    }
+
+    /// Access to the underlying SSD controller (primarily for inspection in
+    /// tests and benchmarks).
+    pub fn controller(&self) -> &SsdController {
+        &self.controller
+    }
+
+    /// The deployed database with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReisError::DatabaseNotDeployed`] for an unknown id.
+    pub fn database(&self, db_id: u32) -> Result<&DeployedDatabase> {
+        self.databases.get(&db_id).ok_or(ReisError::DatabaseNotDeployed(db_id))
+    }
+
+    /// Deploy a database (`DB_Deploy` for flat databases, `IVF_Deploy` when
+    /// the database carries cluster information) and return its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout and capacity errors from the deployment path.
+    pub fn deploy(&mut self, database: &VectorDatabase) -> Result<u32> {
+        let db_id = self.next_db_id;
+        let deployed = deploy::deploy(&mut self.controller, database, db_id)?;
+        self.databases.insert(db_id, deployed);
+        self.next_db_id += 1;
+        Ok(db_id)
+    }
+
+    /// Map a target Recall@10 to an `nprobe` setting for a database with
+    /// `nlist` clusters (the `R` parameter of `IVF_Search`). The mapping is
+    /// the monotone heuristic the device uses when the host does not specify
+    /// `nprobe` directly: ~2 % of the clusters at recall 0.90 rising to
+    /// ~10 % at recall 0.98.
+    pub fn nprobe_for_recall(nlist: usize, target_recall: f64) -> usize {
+        let recall = target_recall.clamp(0.0, 1.0);
+        let fraction = 0.02 + (recall - 0.90).max(0.0) * 1.0;
+        ((nlist as f64 * fraction).ceil() as usize).clamp(1, nlist.max(1))
+    }
+
+    /// `Search(Q, Qid, Did, k)`: brute-force top-k search over the whole
+    /// database.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReisError::DatabaseNotDeployed`] for an unknown id.
+    /// * [`ReisError::QueryDimensionMismatch`] for a query of the wrong
+    ///   dimensionality.
+    pub fn search(&mut self, db_id: u32, query: &[f32], k: usize) -> Result<SearchOutcome> {
+        self.run_query(db_id, query, k, None)
+    }
+
+    /// `IVF_Search(Q, Qid, Did, k, R)`: IVF top-k search with a target
+    /// recall, which the device maps to an `nprobe` value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::search`], plus
+    /// [`ReisError::UnsupportedSearch`] if the database was deployed without
+    /// cluster structure.
+    pub fn ivf_search(
+        &mut self,
+        db_id: u32,
+        query: &[f32],
+        k: usize,
+        target_recall: f64,
+    ) -> Result<SearchOutcome> {
+        let nlist = self.database(db_id)?.rivf.len();
+        if nlist == 0 {
+            return Err(ReisError::UnsupportedSearch(
+                "IVF_Search requires an IVF deployment".into(),
+            ));
+        }
+        let nprobe = Self::nprobe_for_recall(nlist, target_recall);
+        self.run_query(db_id, query, k, Some(nprobe))
+    }
+
+    /// IVF top-k search with an explicit `nprobe` (used by benchmarks that
+    /// calibrate `nprobe` against measured recall).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::ivf_search`].
+    pub fn ivf_search_with_nprobe(
+        &mut self,
+        db_id: u32,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> Result<SearchOutcome> {
+        if self.database(db_id)?.rivf.is_empty() {
+            return Err(ReisError::UnsupportedSearch(
+                "IVF_Search requires an IVF deployment".into(),
+            ));
+        }
+        self.run_query(db_id, query, k, Some(nprobe))
+    }
+
+    fn run_query(
+        &mut self,
+        db_id: u32,
+        query: &[f32],
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Result<SearchOutcome> {
+        let db = self.databases.get(&db_id).ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        let dim = db.binary_quantizer.dim();
+        if query.len() != dim {
+            return Err(ReisError::QueryDimensionMismatch { expected: dim, actual: query.len() });
+        }
+        let query_binary = db.binary_quantizer.quantize(query)?;
+        let query_int8 = db.int8_quantizer.quantize(query)?;
+
+        let stats_before = *self.controller.device().stats();
+        let dram_before = self.controller.dram().bytes_read() + self.controller.dram().bytes_written();
+
+        let mut engine = InStorageEngine::new(&mut self.controller, self.config);
+        engine.broadcast_query(db, &query_binary)?;
+
+        let (clusters, coarse_counts) = match nprobe {
+            Some(nprobe) => {
+                let (clusters, counts) = engine.coarse_search(db, nprobe)?;
+                (Some(clusters), counts)
+            }
+            None => (None, Default::default()),
+        };
+
+        let candidate_count = engine.rerank_candidates(k);
+        let (ttl, fine_counts) =
+            engine.fine_search(db, &query_binary, clusters.as_deref(), candidate_count)?;
+        let candidates = ttl.sorted_top(candidate_count);
+        let (results, int8_pages) = engine.rerank(db, &query_int8, &candidates, k)?;
+        let documents = engine.fetch_documents(db, &results)?;
+
+        let activity = engine.activity(
+            db,
+            coarse_counts,
+            fine_counts,
+            candidates.len(),
+            int8_pages,
+            results.len(),
+            dim,
+        );
+        let latency = self.perf.query_latency(&activity, k);
+        let core_busy = self.perf.core_busy(&activity, k);
+        let flash_stats = self.controller.device().stats().delta_since(&stats_before);
+        let dram_bytes = self.controller.dram().bytes_read() + self.controller.dram().bytes_written()
+            - dram_before;
+        let energy =
+            self.energy.query_energy(&flash_stats, dram_bytes, core_busy, latency.total());
+
+        Ok(SearchOutcome { results, documents, latency, activity, energy, flash_stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+    use reis_ann::flat::FlatIndex;
+    use reis_ann::metrics::recall_at_k;
+    use reis_ann::Metric;
+
+    fn clustered_vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        // Eight well-separated pseudo-random clusters.
+        (0..n)
+            .map(|i| {
+                let cluster = i % 8;
+                (0..dim)
+                    .map(|d| {
+                        let center = (((cluster * 37 + d * 11) % 19) as f32 - 9.0) / 2.0;
+                        let jitter = (((i * 13 + d * 7) % 11) as f32 - 5.0) / 25.0;
+                        center + jitter
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn documents(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("document {i}").into_bytes()).collect()
+    }
+
+    fn deploy_flat(system: &mut ReisSystem, n: usize, dim: usize) -> (u32, Vec<Vec<f32>>) {
+        let vectors = clustered_vectors(n, dim);
+        let db = VectorDatabase::flat(&vectors, documents(n)).unwrap();
+        let id = system.deploy(&db).unwrap();
+        (id, vectors)
+    }
+
+    fn deploy_ivf(system: &mut ReisSystem, n: usize, dim: usize, nlist: usize) -> (u32, Vec<Vec<f32>>) {
+        let vectors = clustered_vectors(n, dim);
+        let db = VectorDatabase::ivf(&vectors, documents(n), nlist).unwrap();
+        let id = system.deploy(&db).unwrap();
+        (id, vectors)
+    }
+
+    #[test]
+    fn brute_force_search_returns_the_query_itself_and_its_document() {
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_flat(&mut system, 96, 64);
+        let outcome = system.search(id, &vectors[17], 5).unwrap();
+        assert_eq!(outcome.results.len(), 5);
+        assert_eq!(outcome.results[0].id, 17, "an indexed vector is its own nearest neighbor");
+        assert_eq!(outcome.documents[0], b"document 17");
+        assert!(outcome.total_latency() > Nanos::ZERO);
+        assert!(outcome.energy.total_j() > 0.0);
+        assert!(outcome.qps() > 0.0);
+        assert!(outcome.qps_per_watt() > 0.0);
+        assert!(outcome.flash_stats.page_reads > 0);
+        assert_eq!(outcome.activity.coarse_pages, 0);
+        // A brute-force search scans every embedding page of the database.
+        let expected_pages = system.database(id).unwrap().layout.embedding_pages;
+        assert_eq!(outcome.activity.fine_pages, expected_pages);
+    }
+
+    #[test]
+    fn ivf_search_matches_brute_force_recall_on_clustered_data() {
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_ivf(&mut system, 160, 64, 8);
+        let flat = FlatIndex::new(vectors.clone(), Metric::SquaredL2).unwrap();
+        let mut recall = 0.0;
+        let queries = 8usize;
+        for q in 0..queries {
+            let query = &vectors[q * 19];
+            let truth: Vec<usize> = flat.search(query, 10).unwrap().iter().map(|n| n.id).collect();
+            let outcome = system.ivf_search_with_nprobe(id, query, 10, 8).unwrap();
+            recall += recall_at_k(&outcome.result_ids(), &truth, 10);
+        }
+        recall /= queries as f64;
+        assert!(recall > 0.8, "in-storage IVF recall@10 = {recall}");
+    }
+
+    #[test]
+    fn probing_fewer_clusters_scans_fewer_pages() {
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_ivf(&mut system, 200, 64, 10);
+        let query = &vectors[3];
+        let narrow = system.ivf_search_with_nprobe(id, query, 10, 1).unwrap();
+        let wide = system.ivf_search_with_nprobe(id, query, 10, 10).unwrap();
+        assert!(narrow.activity.fine_pages < wide.activity.fine_pages);
+        assert!(narrow.total_latency() < wide.total_latency());
+        assert!(narrow.activity.coarse_pages > 0);
+    }
+
+    #[test]
+    fn distance_filtering_reduces_transferred_entries_without_losing_the_top_hit() {
+        let config_df = ReisConfig::tiny();
+        let config_nodf = ReisConfig::tiny().with_optimizations(Optimizations::none());
+        let mut with_df = ReisSystem::new(config_df);
+        let mut without_df = ReisSystem::new(config_nodf);
+        let vectors = clustered_vectors(120, 64);
+        let db = VectorDatabase::flat(&vectors, documents(120)).unwrap();
+        let id_a = with_df.deploy(&db).unwrap();
+        let id_b = without_df.deploy(&db).unwrap();
+        let query = &vectors[33];
+        let a = with_df.search(id_a, query, 5).unwrap();
+        let b = without_df.search(id_b, query, 5).unwrap();
+        assert!(a.activity.fine_entries < b.activity.fine_entries);
+        assert_eq!(a.results[0].id, 33);
+        assert_eq!(b.results[0].id, 33);
+    }
+
+    #[test]
+    fn searches_validate_inputs() {
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_flat(&mut system, 32, 64);
+        assert!(matches!(
+            system.search(99, &vectors[0], 5),
+            Err(ReisError::DatabaseNotDeployed(99))
+        ));
+        assert!(matches!(
+            system.search(id, &vectors[0][..10], 5),
+            Err(ReisError::QueryDimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            system.ivf_search(id, &vectors[0], 5, 0.94),
+            Err(ReisError::UnsupportedSearch(_))
+        ));
+    }
+
+    #[test]
+    fn nprobe_mapping_is_monotone_in_recall() {
+        let low = ReisSystem::nprobe_for_recall(16384, 0.90);
+        let mid = ReisSystem::nprobe_for_recall(16384, 0.94);
+        let high = ReisSystem::nprobe_for_recall(16384, 0.98);
+        assert!(low < mid && mid < high);
+        assert!(ReisSystem::nprobe_for_recall(4, 0.99) <= 4);
+        assert_eq!(ReisSystem::nprobe_for_recall(0, 0.9), 1);
+    }
+
+    #[test]
+    fn ssd2_serves_the_same_query_faster_than_ssd1_scaled_geometry() {
+        // Use the two reference configurations on a small database; SSD2's
+        // extra channels and planes must strictly reduce latency.
+        let vectors = clustered_vectors(256, 1024);
+        let db = VectorDatabase::ivf(&vectors, documents(256), 8).unwrap();
+        let mut ssd1 = ReisSystem::new(ReisConfig::ssd1());
+        let mut ssd2 = ReisSystem::new(ReisConfig::ssd2());
+        let a = ssd1.deploy(&db).unwrap();
+        let b = ssd2.deploy(&db).unwrap();
+        let q = &vectors[5];
+        let t1 = ssd1.ivf_search_with_nprobe(a, q, 10, 4).unwrap().total_latency();
+        let t2 = ssd2.ivf_search_with_nprobe(b, q, 10, 4).unwrap().total_latency();
+        assert!(t2 < t1, "REIS-SSD2 ({t2}) should beat REIS-SSD1 ({t1})");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the REIS core: layout arithmetic, the Temporal
+//! Top List kernels, and the latency model's monotonicity.
+
+use proptest::prelude::*;
+use reis_core::records::{TemporalTopList, TtlEntry};
+use reis_core::{LayoutPlan, PerfModel, QueryActivity, ReisConfig, VectorDatabase};
+use reis_nand::Geometry;
+
+fn database(entries: usize, dim: usize) -> VectorDatabase {
+    let vectors: Vec<Vec<f32>> = (0..entries)
+        .map(|i| (0..dim).map(|d| (((i * 13 + d * 7) % 31) as f32 - 15.0) / 7.0).collect())
+        .collect();
+    let documents: Vec<Vec<u8>> = (0..entries).map(|i| format!("doc {i}").into_bytes()).collect();
+    VectorDatabase::flat(&vectors, documents).expect("valid database")
+}
+
+proptest! {
+    /// Layout locations always stay inside the planned page counts, for any
+    /// database size and (byte-aligned) dimensionality.
+    #[test]
+    fn layout_locations_are_in_bounds(entries in 1usize..300, dim_bytes in 1usize..32) {
+        let dim = dim_bytes * 8;
+        let db = database(entries, dim);
+        let plan = LayoutPlan::plan(&db, &Geometry::reis_ssd1()).unwrap();
+        prop_assert!(plan.embeddings_per_page >= 1);
+        for i in 0..entries {
+            let (p, s) = plan.embedding_location(i);
+            prop_assert!(p < plan.embedding_pages);
+            prop_assert!(s < plan.embeddings_per_page);
+            let (dp, ds) = plan.document_location(i);
+            prop_assert!(dp < plan.doc_pages);
+            prop_assert!(ds < plan.docs_per_page);
+            let (ip, is) = plan.int8_location(i);
+            prop_assert!(ip < plan.int8_pages);
+            prop_assert!(is < plan.int8_per_page);
+        }
+        // Page counts are tight: one fewer page would not hold the entries.
+        prop_assert!((plan.embedding_pages - 1) * plan.embeddings_per_page < entries);
+        prop_assert!(plan.total_pages() >= plan.embedding_pages + plan.int8_pages + plan.doc_pages);
+    }
+
+    /// The Temporal Top List's quickselect keeps exactly the k smallest
+    /// distances (as a set) for arbitrary inputs.
+    #[test]
+    fn ttl_quickselect_keeps_k_smallest(
+        distances in proptest::collection::vec(0u32..1_000_000, 1..300),
+        k in 1usize..50,
+    ) {
+        let mut ttl = TemporalTopList::new();
+        ttl.extend(distances.iter().enumerate().map(|(i, &d)| TtlEntry {
+            distance: d,
+            storage_index: i as u32,
+            radr: i as u32,
+            dadr: i as u32,
+            tag: 0,
+        }));
+        ttl.quickselect(k);
+        let mut kept: Vec<u32> = ttl.entries().iter().map(|e| e.distance).collect();
+        kept.sort_unstable();
+        let mut expected = distances.clone();
+        expected.sort_unstable();
+        expected.truncate(k.min(distances.len()));
+        prop_assert_eq!(kept, expected);
+    }
+
+    /// The latency model is monotone: scanning more pages or transferring
+    /// more entries never makes a query faster.
+    #[test]
+    fn latency_model_is_monotone(
+        pages in 1usize..10_000,
+        extra_pages in 1usize..10_000,
+        entries in 0usize..100_000,
+        extra_entries in 1usize..100_000,
+    ) {
+        let model = PerfModel::new(ReisConfig::ssd1());
+        let base = model.scan(pages, entries, 128);
+        // More pages: allow a 2% slack because the per-round transfer model
+        // distributes a fixed entry count over more rounds, whose integer
+        // rounding can shave a few nanoseconds even though the physical work
+        // only grows.
+        let more_pages = model.scan(pages + extra_pages, entries, 128);
+        prop_assert!(more_pages.as_secs_f64() >= base.as_secs_f64() * 0.98);
+        prop_assert!(model.scan(pages, entries + extra_entries, 128) >= base);
+    }
+
+    /// Query latency grows with fine-scan activity and never underflows the
+    /// broadcast cost.
+    #[test]
+    fn query_latency_grows_with_activity(fine_pages in 1usize..50_000, passed in 0usize..10_000) {
+        let model = PerfModel::new(ReisConfig::ssd2());
+        let small = QueryActivity {
+            fine_pages,
+            fine_entries: passed,
+            rerank_candidates: 100,
+            int8_pages: 7,
+            documents: 10,
+            embedding_slot_bytes: 128,
+            dim: 1024,
+            doc_slot_bytes: 4096,
+            ..Default::default()
+        };
+        let large = QueryActivity { fine_pages: fine_pages * 2, ..small };
+        let t_small = model.query_latency(&small, 10).total();
+        let t_large = model.query_latency(&large, 10).total();
+        prop_assert!(t_large >= t_small);
+        prop_assert!(t_small >= model.input_broadcast(128));
+    }
+}

@@ -1,0 +1,668 @@
+//! The flash array: pages, blocks, planes, dies and the whole device.
+//!
+//! [`FlashDevice`] is the functional-plus-timing model of the NAND flash
+//! array of one SSD. Every operation both mutates the simulated state (page
+//! contents, latch contents, erase counters) and returns the simulated
+//! latency of the operation, so higher layers can compose latencies with or
+//! without pipelining while relying on functionally correct data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::ProgramScheme;
+use crate::error::{NandError, Result};
+use crate::geometry::{BlockAddr, Geometry, PageAddr, PlaneAddr};
+use crate::latch::{Latch, PageBuffer};
+use crate::peripheral::{FailBitCounter, PassFailChecker, XorLogic};
+use crate::reliability::{ReliabilityModel, SplitMix64};
+use crate::stats::FlashStats;
+use crate::timing::{Nanos, TimingParams};
+
+/// One physical flash page: user data, OOB bytes and programming state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Page {
+    data: Option<Vec<u8>>,
+    oob: Option<Vec<u8>>,
+    scheme: Option<ProgramScheme>,
+}
+
+impl Page {
+    fn is_programmed(&self) -> bool {
+        self.data.is_some()
+    }
+
+    fn reset(&mut self) {
+        self.data = None;
+        self.oob = None;
+        self.scheme = None;
+    }
+}
+
+/// One erase block: a run of pages plus its program/erase cycle counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Block {
+    pages: Vec<Page>,
+    erase_count: u64,
+}
+
+impl Block {
+    fn new(pages_per_block: usize) -> Self {
+        Block { pages: vec![Page::default(); pages_per_block], erase_count: 0 }
+    }
+}
+
+/// One plane: lazily allocated blocks plus the plane's page buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Plane {
+    buffer: PageBuffer,
+    blocks: Vec<Option<Box<Block>>>,
+}
+
+impl Plane {
+    fn new(addr: PlaneAddr, geometry: &Geometry) -> Self {
+        Plane {
+            buffer: PageBuffer::new(addr, geometry.page_size_bytes),
+            blocks: vec![None; geometry.blocks_per_plane],
+        }
+    }
+
+    fn block_mut(&mut self, block: usize, pages_per_block: usize) -> &mut Block {
+        self.blocks[block].get_or_insert_with(|| Box::new(Block::new(pages_per_block)))
+    }
+
+    fn block(&self, block: usize) -> Option<&Block> {
+        self.blocks.get(block).and_then(|b| b.as_deref())
+    }
+}
+
+/// Result of a full page read that reaches the SSD controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageReadout {
+    /// The (possibly error-injected) user data of the page.
+    pub data: Vec<u8>,
+    /// The OOB bytes of the page.
+    pub oob: Vec<u8>,
+    /// The scheme the page was programmed with.
+    pub scheme: ProgramScheme,
+    /// Number of raw bit errors injected into this read.
+    pub bit_errors: usize,
+    /// Simulated latency of the read, including the channel transfer.
+    pub latency: Nanos,
+}
+
+/// The functional + timing model of an SSD's NAND flash array.
+///
+/// # Examples
+///
+/// ```
+/// use reis_nand::array::FlashDevice;
+/// use reis_nand::cell::ProgramScheme;
+/// use reis_nand::geometry::{Geometry, PageAddr};
+///
+/// # fn main() -> Result<(), reis_nand::error::NandError> {
+/// let mut device = FlashDevice::new(Geometry::tiny(), Default::default());
+/// let addr = PageAddr::new(0, 0, 0, 0, 0);
+/// let data = vec![0xA5; device.geometry().page_size_bytes];
+/// device.program_page(addr, &data, &[], ProgramScheme::EnhancedSlc)?;
+/// let readout = device.read_page(addr)?;
+/// assert_eq!(readout.data, data);
+/// assert_eq!(readout.bit_errors, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashDevice {
+    geometry: Geometry,
+    timing: TimingParams,
+    reliability: ReliabilityModel,
+    rng: SplitMix64,
+    planes: Vec<Plane>,
+    stats: FlashStats,
+}
+
+impl FlashDevice {
+    /// Create a device with the given geometry and timing parameters, the
+    /// nominal reliability model, and a fixed error-injection seed.
+    pub fn new(geometry: Geometry, timing: TimingParams) -> Self {
+        Self::with_reliability(geometry, timing, ReliabilityModel::nominal(), 0xC0FFEE)
+    }
+
+    /// Create a device with full control over the reliability model and the
+    /// error-injection seed.
+    pub fn with_reliability(
+        geometry: Geometry,
+        timing: TimingParams,
+        reliability: ReliabilityModel,
+        seed: u64,
+    ) -> Self {
+        let planes = geometry.planes().map(|addr| Plane::new(addr, &geometry)).collect();
+        FlashDevice {
+            geometry,
+            timing,
+            reliability,
+            rng: SplitMix64::new(seed),
+            planes,
+            stats: FlashStats::new(),
+        }
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The timing parameters in use.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    /// Reset the operation counters (the stored data is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = FlashStats::new();
+    }
+
+    fn plane_index(&self, addr: PlaneAddr) -> Result<usize> {
+        self.geometry.check_plane(addr)?;
+        Ok(self.geometry.plane_index(addr))
+    }
+
+    /// Immutable access to the page buffer of a plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::AddressOutOfRange`] for an invalid plane address.
+    pub fn page_buffer(&self, addr: PlaneAddr) -> Result<&PageBuffer> {
+        let idx = self.plane_index(addr)?;
+        Ok(&self.planes[idx].buffer)
+    }
+
+    /// Whether a page has been programmed since its block was last erased.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::AddressOutOfRange`] for an invalid page address.
+    pub fn is_programmed(&self, addr: PageAddr) -> Result<bool> {
+        self.geometry.check_page(addr)?;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        Ok(self.planes[idx]
+            .block(addr.block)
+            .map(|b| b.pages[addr.page].is_programmed())
+            .unwrap_or(false))
+    }
+
+    /// Erase a block, clearing all of its pages and bumping its erase count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::AddressOutOfRange`] for an invalid block address.
+    pub fn erase_block(&mut self, addr: BlockAddr) -> Result<Nanos> {
+        self.geometry.check_plane(addr.plane_addr())?;
+        if addr.block >= self.geometry.blocks_per_plane {
+            return Err(NandError::BlockOutOfRange(addr));
+        }
+        let pages_per_block = self.geometry.pages_per_block;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        let block = self.planes[idx].block_mut(addr.block, pages_per_block);
+        for page in &mut block.pages {
+            page.reset();
+        }
+        block.erase_count += 1;
+        self.stats.block_erases += 1;
+        Ok(self.timing.t_erase + self.timing.t_command_overhead)
+    }
+
+    /// Number of erase cycles a block has seen (0 if never touched).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::AddressOutOfRange`] for an invalid block address.
+    pub fn erase_count(&self, addr: BlockAddr) -> Result<u64> {
+        self.geometry.check_plane(addr.plane_addr())?;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        Ok(self.planes[idx].block(addr.block).map(|b| b.erase_count).unwrap_or(0))
+    }
+
+    /// Program a page with user data and OOB metadata using `scheme`.
+    ///
+    /// The returned latency includes the channel transfer of the data into
+    /// the die and the program time of the chosen scheme.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::AddressOutOfRange`] for an invalid address.
+    /// * [`NandError::PageAlreadyProgrammed`] if the page was not erased
+    ///   since its last program (NAND pages cannot be overwritten in place).
+    /// * [`NandError::DataTooLarge`] / [`NandError::OobTooLarge`] if the data
+    ///   or OOB payload exceed the page / OOB capacity.
+    pub fn program_page(
+        &mut self,
+        addr: PageAddr,
+        data: &[u8],
+        oob: &[u8],
+        scheme: ProgramScheme,
+    ) -> Result<Nanos> {
+        self.geometry.check_page(addr)?;
+        if data.len() > self.geometry.page_size_bytes {
+            return Err(NandError::DataTooLarge {
+                provided: data.len(),
+                capacity: self.geometry.page_size_bytes,
+            });
+        }
+        if oob.len() > self.geometry.oob_size_bytes {
+            return Err(NandError::OobTooLarge {
+                provided: oob.len(),
+                capacity: self.geometry.oob_size_bytes,
+            });
+        }
+        let pages_per_block = self.geometry.pages_per_block;
+        let page_size = self.geometry.page_size_bytes;
+        let oob_size = self.geometry.oob_size_bytes;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        let block = self.planes[idx].block_mut(addr.block, pages_per_block);
+        let page = &mut block.pages[addr.page];
+        if page.is_programmed() {
+            return Err(NandError::PageAlreadyProgrammed(addr));
+        }
+        let mut stored = vec![0u8; page_size];
+        stored[..data.len()].copy_from_slice(data);
+        let mut stored_oob = vec![0u8; oob_size];
+        stored_oob[..oob.len()].copy_from_slice(oob);
+        page.data = Some(stored);
+        page.oob = Some(stored_oob);
+        page.scheme = Some(scheme);
+
+        self.stats.page_programs += 1;
+        self.stats.bytes_from_controller += (data.len() + oob.len()) as u64;
+        let transfer = self.timing.channel_transfer(data.len() + oob.len());
+        Ok(transfer + self.timing.program_latency(scheme) + self.timing.t_command_overhead)
+    }
+
+    fn sense_into_buffer(&mut self, addr: PageAddr) -> Result<(ProgramScheme, usize, Nanos)> {
+        self.geometry.check_page(addr)?;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        let (data, oob, scheme) = {
+            let plane = &self.planes[idx];
+            let block = plane
+                .block(addr.block)
+                .ok_or(NandError::PageNotProgrammed(addr))?;
+            let page = &block.pages[addr.page];
+            let data = page.data.clone().ok_or(NandError::PageNotProgrammed(addr))?;
+            let oob = page.oob.clone().unwrap_or_default();
+            let scheme = page.scheme.unwrap_or_default();
+            (data, oob, scheme)
+        };
+        let mut sensed = data;
+        let bit_errors =
+            self.reliability.inject_read_errors(&mut sensed, scheme, &mut self.rng);
+        self.planes[idx].buffer.load_sensing(sensed, oob);
+        self.stats.page_reads += 1;
+        self.stats.injected_bit_errors += bit_errors as u64;
+        Ok((scheme, bit_errors, self.timing.read_latency(scheme) + self.timing.t_command_overhead))
+    }
+
+    /// Sense a page into its plane's sensing latch without transferring it to
+    /// the controller. This is the read half of REIS's in-plane distance
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PageNotProgrammed`] if the page holds no data, or
+    /// [`NandError::AddressOutOfRange`] for an invalid address.
+    pub fn sense_page(&mut self, addr: PageAddr) -> Result<Nanos> {
+        let (_, _, latency) = self.sense_into_buffer(addr)?;
+        Ok(latency)
+    }
+
+    /// Read a page all the way to the controller: sense it, then transfer the
+    /// user data and OOB bytes over the channel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::sense_page`].
+    pub fn read_page(&mut self, addr: PageAddr) -> Result<PageReadout> {
+        let (scheme, bit_errors, sense_latency) = self.sense_into_buffer(addr)?;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        let buffer = &self.planes[idx].buffer;
+        let data = buffer.sensing().expect("sensing latch was just filled").to_vec();
+        let oob = buffer.oob().unwrap_or(&[]).to_vec();
+        let bytes = data.len() + oob.len();
+        self.stats.bytes_to_controller += bytes as u64;
+        let latency = sense_latency + self.timing.channel_transfer(bytes);
+        Ok(PageReadout { data, oob, scheme, bit_errors, latency })
+    }
+
+    /// Read only the OOB bytes of a page to the controller.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::sense_page`].
+    pub fn read_oob(&mut self, addr: PageAddr) -> Result<(Vec<u8>, Nanos)> {
+        let (_, _, sense_latency) = self.sense_into_buffer(addr)?;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        let oob = self.planes[idx].buffer.oob().unwrap_or(&[]).to_vec();
+        self.stats.bytes_to_controller += oob.len() as u64;
+        let latency = sense_latency + self.timing.channel_transfer(oob.len());
+        Ok((oob, latency))
+    }
+
+    /// Broadcast a query payload into the cache latches of every plane of one
+    /// die (Input Broadcasting). With `multi_plane` set, all planes latch the
+    /// payload simultaneously (MPIBC), paying the die-I/O transfer only once.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::AddressOutOfRange`] for an invalid channel/die.
+    /// * [`NandError::InvalidBroadcastPayload`] if the payload does not
+    ///   evenly divide the page size.
+    pub fn input_broadcast(
+        &mut self,
+        channel: usize,
+        die: usize,
+        payload: &[u8],
+        multi_plane: bool,
+    ) -> Result<Nanos> {
+        self.geometry.check_plane(PlaneAddr::new(channel, die, 0))?;
+        for plane in 0..self.geometry.planes_per_die {
+            let idx = self.geometry.plane_index(PlaneAddr::new(channel, die, plane));
+            self.planes[idx].buffer.broadcast_into_cache(payload)?;
+        }
+        self.stats.broadcast_ops += 1;
+        self.stats.bytes_from_controller += if multi_plane {
+            payload.len() as u64
+        } else {
+            (payload.len() * self.geometry.planes_per_die) as u64
+        };
+        Ok(self.timing.input_broadcast(payload.len(), self.geometry.planes_per_die, multi_plane))
+    }
+
+    /// XOR the cache latch (query copies) into the sensing latch (database
+    /// embeddings) of one plane, storing the result in the data latch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::LatchEmpty`] if the plane has not both sensed a
+    /// page and received a broadcast.
+    pub fn xor_latches(&mut self, addr: PlaneAddr) -> Result<Nanos> {
+        let idx = self.plane_index(addr)?;
+        self.planes[idx].buffer.xor_cache_into_data()?;
+        self.stats.xor_ops += 1;
+        Ok(self.timing.t_latch_xor)
+    }
+
+    /// Run the fail-bit counter over the data latch of one plane, producing
+    /// one set-bit count per `chunk_bytes` chunk (i.e. one Hamming distance
+    /// per stored embedding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::LatchEmpty`] if the data latch is empty.
+    pub fn count_fail_bits(&mut self, addr: PlaneAddr, chunk_bytes: usize) -> Result<(Vec<u32>, Nanos)> {
+        let idx = self.plane_index(addr)?;
+        let data = self.planes[idx].buffer.read_latch(Latch::Data)?;
+        let counts = FailBitCounter::count_per_chunk(data, chunk_bytes);
+        self.stats.bit_count_ops += 1;
+        Ok((counts, self.timing.t_fail_bit_count))
+    }
+
+    /// Apply the pass/fail checker to a set of counts with the given
+    /// distance-filter threshold, returning the per-entry pass flags.
+    pub fn pass_fail_check(&mut self, counts: &[u32], threshold: u32) -> (Vec<bool>, Nanos) {
+        self.stats.pass_fail_ops += 1;
+        (PassFailChecker::passes(counts, threshold), self.timing.t_pass_fail_check)
+    }
+
+    /// Transfer `bytes` from a die to the controller over its channel,
+    /// returning only the latency (the caller already holds the data, e.g.
+    /// TTL entries assembled from latch contents).
+    pub fn transfer_to_controller(&mut self, bytes: usize) -> Nanos {
+        self.stats.bytes_to_controller += bytes as u64;
+        self.timing.channel_transfer(bytes)
+    }
+
+    /// Promote the sensing latch of a plane to its cache latch, freeing the
+    /// sensing latch for the next read (read-page-cache-sequential mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::LatchEmpty`] if the sensing latch is empty.
+    pub fn promote_sensing_to_cache(&mut self, addr: PlaneAddr) -> Result<()> {
+        let idx = self.plane_index(addr)?;
+        self.planes[idx].buffer.promote_sensing_to_cache()
+    }
+
+    /// Return the pristine stored contents of a page (user data and OOB)
+    /// without error injection, timing, or statistics.
+    ///
+    /// This is a modelling backdoor used by the controller's ECC path: when
+    /// the decoder reports a successful correction, the corrected payload is,
+    /// by definition, the originally programmed data, which this method hands
+    /// back without re-simulating the read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PageNotProgrammed`] if the page holds no data.
+    pub fn pristine_page_data(&self, addr: PageAddr) -> Result<(Vec<u8>, Vec<u8>)> {
+        self.geometry.check_page(addr)?;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        let block = self.planes[idx].block(addr.block).ok_or(NandError::PageNotProgrammed(addr))?;
+        let page = &block.pages[addr.page];
+        let data = page.data.clone().ok_or(NandError::PageNotProgrammed(addr))?;
+        Ok((data, page.oob.clone().unwrap_or_default()))
+    }
+
+    /// Read the raw XOR of two programmed pages, as the randomizer logic
+    /// would produce it, without going through the latches. Primarily a
+    /// verification aid for tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PageNotProgrammed`] if either page is empty.
+    pub fn xor_pages(&self, a: PageAddr, b: PageAddr) -> Result<Vec<u8>> {
+        let read = |addr: PageAddr| -> Result<Vec<u8>> {
+            self.geometry.check_page(addr)?;
+            let idx = self.geometry.plane_index(addr.plane_addr());
+            self.planes[idx]
+                .block(addr.block)
+                .and_then(|blk| blk.pages[addr.page].data.clone())
+                .ok_or(NandError::PageNotProgrammed(addr))
+        };
+        Ok(XorLogic::xor(&read(a)?, &read(b)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellMode;
+
+    fn device() -> FlashDevice {
+        FlashDevice::new(Geometry::tiny(), TimingParams::default())
+    }
+
+    fn page0() -> PageAddr {
+        PageAddr::new(0, 0, 0, 0, 0)
+    }
+
+    #[test]
+    fn program_then_read_roundtrips_data_and_oob() {
+        let mut dev = device();
+        let data = vec![0x3C; 4096];
+        let oob = vec![0x11; 64];
+        dev.program_page(page0(), &data, &oob, ProgramScheme::EnhancedSlc).unwrap();
+        let readout = dev.read_page(page0()).unwrap();
+        assert_eq!(readout.data, data);
+        assert_eq!(&readout.oob[..64], &oob[..]);
+        assert_eq!(readout.bit_errors, 0);
+        assert!(readout.latency > Nanos::ZERO);
+    }
+
+    #[test]
+    fn reprogramming_without_erase_is_rejected() {
+        let mut dev = device();
+        let data = vec![1u8; 16];
+        dev.program_page(page0(), &data, &[], ProgramScheme::EnhancedSlc).unwrap();
+        assert!(matches!(
+            dev.program_page(page0(), &data, &[], ProgramScheme::EnhancedSlc),
+            Err(NandError::PageAlreadyProgrammed(_))
+        ));
+        dev.erase_block(page0().block_addr()).unwrap();
+        dev.program_page(page0(), &data, &[], ProgramScheme::EnhancedSlc).unwrap();
+        assert_eq!(dev.erase_count(page0().block_addr()).unwrap(), 1);
+    }
+
+    #[test]
+    fn reading_unprogrammed_page_fails() {
+        let mut dev = device();
+        assert!(matches!(dev.read_page(page0()), Err(NandError::PageNotProgrammed(_))));
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected() {
+        let mut dev = device();
+        let too_big = vec![0u8; 4097];
+        assert!(matches!(
+            dev.program_page(page0(), &too_big, &[], ProgramScheme::EnhancedSlc),
+            Err(NandError::DataTooLarge { .. })
+        ));
+        let oob_too_big = vec![0u8; 257];
+        assert!(matches!(
+            dev.program_page(page0(), &[0u8; 16], &oob_too_big, ProgramScheme::EnhancedSlc),
+            Err(NandError::OobTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn in_plane_distance_flow_computes_hamming_distances() {
+        let mut dev = device();
+        // 32-byte binary embeddings, 128 per 4 KB page.
+        let emb_bytes = 32usize;
+        let mut page = Vec::with_capacity(4096);
+        for i in 0..(4096 / emb_bytes) {
+            // Embedding i = i-th byte pattern.
+            page.extend(std::iter::repeat((i % 256) as u8).take(emb_bytes));
+        }
+        dev.program_page(page0(), &page, &[], ProgramScheme::EnhancedSlc).unwrap();
+
+        let query = vec![0u8; emb_bytes];
+        dev.input_broadcast(0, 0, &query, true).unwrap();
+        dev.sense_page(page0()).unwrap();
+        dev.xor_latches(page0().plane_addr()).unwrap();
+        let (counts, _) = dev.count_fail_bits(page0().plane_addr(), emb_bytes).unwrap();
+        assert_eq!(counts.len(), 4096 / emb_bytes);
+        // Against an all-zero query the Hamming distance of embedding i is
+        // popcount(i) * emb_bytes.
+        for (i, &count) in counts.iter().enumerate() {
+            let expected = (i as u8).count_ones() * emb_bytes as u32;
+            assert_eq!(count, expected, "embedding {i}");
+        }
+        let (passes, _) = dev.pass_fail_check(&counts, 32);
+        assert_eq!(passes.len(), counts.len());
+        assert!(passes[0], "identical embedding must pass any filter");
+    }
+
+    #[test]
+    fn broadcast_reaches_all_planes_of_a_die() {
+        let mut dev = device();
+        dev.input_broadcast(1, 1, &[0xEE; 64], false).unwrap();
+        for plane in 0..dev.geometry().planes_per_die {
+            let buf = dev.page_buffer(PlaneAddr::new(1, 1, plane)).unwrap();
+            assert!(buf.cache().unwrap().iter().all(|&b| b == 0xEE));
+        }
+    }
+
+    #[test]
+    fn mpibc_is_cheaper_but_functionally_identical() {
+        let mut with = device();
+        let mut without = device();
+        let t_with = with.input_broadcast(0, 0, &[1u8; 128], true).unwrap();
+        let t_without = without.input_broadcast(0, 0, &[1u8; 128], false).unwrap();
+        assert!(t_with < t_without);
+        for plane in 0..with.geometry().planes_per_die {
+            let a = with.page_buffer(PlaneAddr::new(0, 0, plane)).unwrap().cache().unwrap().to_vec();
+            let b = without.page_buffer(PlaneAddr::new(0, 0, plane)).unwrap().cache().unwrap().to_vec();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn tlc_reads_inject_errors_esp_reads_do_not() {
+        let geometry = Geometry::tiny();
+        let mut dev = FlashDevice::with_reliability(
+            geometry,
+            TimingParams::default(),
+            ReliabilityModel { ber_scale: 1e3 },
+            7,
+        );
+        let data = vec![0u8; 4096];
+        let tlc_addr = page0();
+        let esp_addr = PageAddr::new(0, 0, 0, 0, 1);
+        dev.program_page(tlc_addr, &data, &[], ProgramScheme::Ispp(CellMode::Tlc)).unwrap();
+        dev.program_page(esp_addr, &data, &[], ProgramScheme::EnhancedSlc).unwrap();
+        let mut tlc_errors = 0usize;
+        for _ in 0..5 {
+            tlc_errors += dev.read_page(tlc_addr).unwrap().bit_errors;
+            assert_eq!(dev.read_page(esp_addr).unwrap().bit_errors, 0);
+        }
+        assert!(tlc_errors > 0, "scaled TLC BER should corrupt some reads");
+        assert!(dev.stats().injected_bit_errors > 0);
+    }
+
+    #[test]
+    fn esp_reads_are_faster_than_tlc_reads() {
+        let mut dev = device();
+        let data = vec![0u8; 256];
+        let esp = PageAddr::new(0, 0, 0, 0, 0);
+        let tlc = PageAddr::new(0, 0, 0, 0, 1);
+        dev.program_page(esp, &data, &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(tlc, &data, &[], ProgramScheme::Ispp(CellMode::Tlc)).unwrap();
+        let t_esp = dev.read_page(esp).unwrap().latency;
+        let t_tlc = dev.read_page(tlc).unwrap().latency;
+        assert!(t_esp < t_tlc);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut dev = device();
+        let before = *dev.stats();
+        dev.program_page(page0(), &[1u8; 128], &[2u8; 8], ProgramScheme::EnhancedSlc).unwrap();
+        dev.read_page(page0()).unwrap();
+        dev.read_oob(page0()).unwrap();
+        dev.erase_block(page0().block_addr()).unwrap();
+        let delta = dev.stats().delta_since(&before);
+        assert_eq!(delta.page_programs, 1);
+        assert_eq!(delta.page_reads, 2);
+        assert_eq!(delta.block_erases, 1);
+        assert!(delta.bytes_to_controller > 0);
+        assert!(delta.bytes_from_controller > 0);
+        dev.reset_stats();
+        assert_eq!(dev.stats().page_reads, 0);
+    }
+
+    #[test]
+    fn xor_pages_matches_manual_xor() {
+        let mut dev = device();
+        let a_addr = PageAddr::new(0, 0, 0, 0, 0);
+        let b_addr = PageAddr::new(0, 0, 0, 0, 1);
+        let a = vec![0b1111_0000u8; 4096];
+        let b = vec![0b1010_1010u8; 4096];
+        dev.program_page(a_addr, &a, &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(b_addr, &b, &[], ProgramScheme::EnhancedSlc).unwrap();
+        let x = dev.xor_pages(a_addr, b_addr).unwrap();
+        assert!(x.iter().all(|&v| v == 0b0101_1010));
+    }
+
+    #[test]
+    fn read_page_cache_mode_frees_sensing_latch() {
+        let mut dev = device();
+        dev.program_page(page0(), &[9u8; 64], &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.sense_page(page0()).unwrap();
+        dev.promote_sensing_to_cache(page0().plane_addr()).unwrap();
+        let buf = dev.page_buffer(page0().plane_addr()).unwrap();
+        assert!(buf.sensing().is_none());
+        assert_eq!(buf.cache().unwrap()[0], 9);
+    }
+}

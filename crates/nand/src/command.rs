@@ -1,0 +1,301 @@
+//! NAND flash command set, including the REIS extensions of Table 2.
+//!
+//! The SSD controller normally drives flash dies with READ / PROGRAM / ERASE
+//! commands. REIS extends the die control logic with four commands — `IBC`,
+//! `XOR`, `GEN_DIST` and `RD_TTL` — that expose the existing peripheral
+//! logic (latches, XOR, fail-bit counter) for in-plane distance computation.
+//! This module provides an explicit command enum plus a dispatcher so tests
+//! and higher layers can exercise the exact command protocol rather than
+//! calling device methods ad hoc.
+
+use serde::{Deserialize, Serialize};
+
+use crate::array::FlashDevice;
+use crate::cell::ProgramScheme;
+use crate::error::Result;
+use crate::geometry::{BlockAddr, PageAddr, PlaneAddr};
+use crate::timing::Nanos;
+
+/// One command issued by a flash controller to a flash die.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlashCommand {
+    /// Conventional page read, transferring data and OOB to the controller.
+    Read {
+        /// Page to read.
+        addr: PageAddr,
+    },
+    /// Sense a page into the plane's sensing latch without a channel
+    /// transfer (the first half of an in-plane distance computation).
+    Sense {
+        /// Page to sense.
+        addr: PageAddr,
+    },
+    /// Conventional page program.
+    Program {
+        /// Page to program.
+        addr: PageAddr,
+        /// User data.
+        data: Vec<u8>,
+        /// OOB metadata.
+        oob: Vec<u8>,
+        /// Programming scheme (ESP-SLC for the embedding partition, ISPP-TLC
+        /// for documents).
+        scheme: ProgramScheme,
+    },
+    /// Conventional block erase.
+    Erase {
+        /// Block to erase.
+        block: BlockAddr,
+    },
+    /// `IBC Q_EMB`: broadcast a copy of the query embedding into the cache
+    /// latch of every plane of a die (Input Broadcasting).
+    Ibc {
+        /// Channel of the target die.
+        channel: usize,
+        /// Die within the channel.
+        die: usize,
+        /// Query embedding bytes.
+        query: Vec<u8>,
+        /// Whether all planes latch the broadcast simultaneously (MPIBC).
+        multi_plane: bool,
+    },
+    /// `XOR ADR_P`: XOR the cache latch into the sensing latch of one plane,
+    /// leaving the result in the data latch.
+    Xor {
+        /// Target plane.
+        plane: PlaneAddr,
+    },
+    /// `GEN_DIST EADR`: run the fail-bit counter over the data latch,
+    /// producing one Hamming distance per embedding-sized chunk.
+    GenDist {
+        /// Target plane.
+        plane: PlaneAddr,
+        /// Embedding size in bytes (the chunk granularity).
+        embedding_bytes: usize,
+    },
+    /// `RD_TTL EADR`: transfer Temporal-Top-List entries for the embeddings
+    /// that pass the distance filter from the die to the controller DRAM.
+    RdTtl {
+        /// Target plane.
+        plane: PlaneAddr,
+        /// Per-embedding distances previously produced by `GEN_DIST`.
+        distances: Vec<u32>,
+        /// Distance-filter threshold; only entries at or below it are
+        /// transferred. Use `u32::MAX` to disable filtering.
+        threshold: u32,
+        /// Size of one TTL entry on the wire, in bytes.
+        entry_bytes: usize,
+    },
+}
+
+/// Response returned by [`execute`] for each command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandResponse {
+    /// Data read from a page.
+    Page {
+        /// User data (after any error injection).
+        data: Vec<u8>,
+        /// OOB bytes.
+        oob: Vec<u8>,
+        /// Injected raw bit errors.
+        bit_errors: usize,
+    },
+    /// The command completed and only produced a latency.
+    Done,
+    /// Per-chunk distances produced by `GEN_DIST`.
+    Distances(Vec<u32>),
+    /// Indices (mini-page offsets) of entries that passed the filter and
+    /// were transferred by `RD_TTL`.
+    TtlEntries(Vec<usize>),
+}
+
+/// Outcome of executing one command: its response plus its simulated latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandOutcome {
+    /// The functional result of the command.
+    pub response: CommandResponse,
+    /// The simulated latency of the command.
+    pub latency: Nanos,
+}
+
+/// Execute one flash command against a device, mirroring the die control
+/// FSM's dispatch of the extended command set.
+///
+/// # Errors
+///
+/// Propagates the underlying device error (invalid address, unprogrammed
+/// page, empty latch, oversized payload, …) for the failing command.
+///
+/// # Examples
+///
+/// ```
+/// use reis_nand::array::FlashDevice;
+/// use reis_nand::cell::ProgramScheme;
+/// use reis_nand::command::{execute, CommandResponse, FlashCommand};
+/// use reis_nand::geometry::{Geometry, PageAddr};
+///
+/// # fn main() -> Result<(), reis_nand::error::NandError> {
+/// let mut dev = FlashDevice::new(Geometry::tiny(), Default::default());
+/// let addr = PageAddr::new(0, 0, 0, 0, 0);
+/// execute(&mut dev, FlashCommand::Program {
+///     addr,
+///     data: vec![0xF0; 4096],
+///     oob: vec![],
+///     scheme: ProgramScheme::EnhancedSlc,
+/// })?;
+/// let outcome = execute(&mut dev, FlashCommand::Read { addr })?;
+/// assert!(matches!(outcome.response, CommandResponse::Page { .. }));
+/// # Ok(())
+/// # }
+/// ```
+pub fn execute(device: &mut FlashDevice, command: FlashCommand) -> Result<CommandOutcome> {
+    match command {
+        FlashCommand::Read { addr } => {
+            let readout = device.read_page(addr)?;
+            Ok(CommandOutcome {
+                response: CommandResponse::Page {
+                    data: readout.data,
+                    oob: readout.oob,
+                    bit_errors: readout.bit_errors,
+                },
+                latency: readout.latency,
+            })
+        }
+        FlashCommand::Sense { addr } => {
+            let latency = device.sense_page(addr)?;
+            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+        }
+        FlashCommand::Program { addr, data, oob, scheme } => {
+            let latency = device.program_page(addr, &data, &oob, scheme)?;
+            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+        }
+        FlashCommand::Erase { block } => {
+            let latency = device.erase_block(block)?;
+            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+        }
+        FlashCommand::Ibc { channel, die, query, multi_plane } => {
+            let latency = device.input_broadcast(channel, die, &query, multi_plane)?;
+            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+        }
+        FlashCommand::Xor { plane } => {
+            let latency = device.xor_latches(plane)?;
+            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+        }
+        FlashCommand::GenDist { plane, embedding_bytes } => {
+            let (counts, latency) = device.count_fail_bits(plane, embedding_bytes)?;
+            Ok(CommandOutcome { response: CommandResponse::Distances(counts), latency })
+        }
+        FlashCommand::RdTtl { plane: _, distances, threshold, entry_bytes } => {
+            let (passes, check_latency) = device.pass_fail_check(&distances, threshold);
+            let selected: Vec<usize> =
+                passes.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i).collect();
+            let transfer = device.transfer_to_controller(selected.len() * entry_bytes);
+            Ok(CommandOutcome {
+                response: CommandResponse::TtlEntries(selected),
+                latency: check_latency + transfer,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+
+    fn setup() -> (FlashDevice, PageAddr) {
+        let mut dev = FlashDevice::new(Geometry::tiny(), Default::default());
+        let addr = PageAddr::new(0, 0, 1, 0, 0);
+        // Fill the page with 64-byte embeddings of increasing fill patterns.
+        let mut data = Vec::with_capacity(4096);
+        for i in 0..(4096 / 64) {
+            data.extend(std::iter::repeat(i as u8).take(64));
+        }
+        execute(
+            &mut dev,
+            FlashCommand::Program { addr, data, oob: vec![], scheme: ProgramScheme::EnhancedSlc },
+        )
+        .unwrap();
+        (dev, addr)
+    }
+
+    #[test]
+    fn reis_command_sequence_produces_distances_and_ttl_entries() {
+        let (mut dev, addr) = setup();
+        execute(
+            &mut dev,
+            FlashCommand::Ibc { channel: 0, die: 0, query: vec![0u8; 64], multi_plane: true },
+        )
+        .unwrap();
+        execute(&mut dev, FlashCommand::Sense { addr }).unwrap();
+        execute(&mut dev, FlashCommand::Xor { plane: addr.plane_addr() }).unwrap();
+        let outcome = execute(
+            &mut dev,
+            FlashCommand::GenDist { plane: addr.plane_addr(), embedding_bytes: 64 },
+        )
+        .unwrap();
+        let distances = match outcome.response {
+            CommandResponse::Distances(d) => d,
+            other => panic!("expected distances, got {other:?}"),
+        };
+        assert_eq!(distances.len(), 64);
+        assert_eq!(distances[0], 0, "embedding 0 is identical to the all-zero query");
+
+        let outcome = execute(
+            &mut dev,
+            FlashCommand::RdTtl {
+                plane: addr.plane_addr(),
+                distances: distances.clone(),
+                threshold: 64,
+                entry_bytes: 160,
+            },
+        )
+        .unwrap();
+        let entries = match outcome.response {
+            CommandResponse::TtlEntries(e) => e,
+            other => panic!("expected TTL entries, got {other:?}"),
+        };
+        // Only embeddings whose fill pattern has at most one set bit (64 bytes
+        // x 1 bit = 64) pass the filter.
+        assert!(entries.contains(&0));
+        assert!(entries.iter().all(|&i| (i as u8).count_ones() <= 1));
+        assert!(outcome.latency > Nanos::ZERO);
+    }
+
+    #[test]
+    fn xor_without_sense_is_rejected() {
+        let (mut dev, addr) = setup();
+        execute(
+            &mut dev,
+            FlashCommand::Ibc { channel: 0, die: 0, query: vec![0u8; 64], multi_plane: true },
+        )
+        .unwrap();
+        assert!(execute(&mut dev, FlashCommand::Xor { plane: addr.plane_addr() }).is_err());
+    }
+
+    #[test]
+    fn erase_and_read_via_commands() {
+        let (mut dev, addr) = setup();
+        let read = execute(&mut dev, FlashCommand::Read { addr }).unwrap();
+        assert!(matches!(read.response, CommandResponse::Page { .. }));
+        execute(&mut dev, FlashCommand::Erase { block: addr.block_addr() }).unwrap();
+        assert!(execute(&mut dev, FlashCommand::Read { addr }).is_err());
+    }
+
+    #[test]
+    fn rd_ttl_with_disabled_filter_transfers_everything() {
+        let (mut dev, _addr) = setup();
+        let distances = vec![5u32, 1000, 3];
+        let outcome = execute(
+            &mut dev,
+            FlashCommand::RdTtl {
+                plane: PlaneAddr::new(0, 0, 0),
+                distances,
+                threshold: u32::MAX,
+                entry_bytes: 16,
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.response, CommandResponse::TtlEntries(vec![0, 1, 2]));
+    }
+}

@@ -1,0 +1,69 @@
+//! # reis-nand — NAND flash device simulator
+//!
+//! Functional-plus-timing model of the NAND flash array inside a modern SSD,
+//! providing the substrate the REIS in-storage retrieval system computes on:
+//!
+//! * [`geometry`] — channels, dies, planes, blocks, pages, OOB areas and the
+//!   address types that navigate them (including REIS mini-page addresses).
+//! * [`cell`] — SLC/MLC/TLC/QLC cell modes and programming schemes,
+//!   including Enhanced SLC Programming (ESP) with zero raw bit error rate.
+//! * [`latch`] — the per-plane page buffer (sensing / data / cache latches)
+//!   and the Input-Broadcast and XOR operations REIS performs on it.
+//! * [`peripheral`] — the fail-bit counter, pass/fail checker and XOR logic
+//!   already present in flash dies, repurposed as a Hamming-distance engine.
+//! * [`array`] — the [`array::FlashDevice`] tying everything together, with
+//!   per-operation latency and statistics.
+//! * [`command`] — the flash command set plus the REIS extensions of
+//!   Table 2 (`IBC`, `XOR`, `GEN_DIST`, `RD_TTL`).
+//! * [`timing`] — the latency/bandwidth parameters (Table 3) and the
+//!   [`timing::Nanos`] simulated-time type.
+//! * [`reliability`] — raw bit-error injection for non-ESP reads.
+//! * [`oob`] — the out-of-band layout that links embeddings to documents.
+//!
+//! # Example: an in-plane Hamming distance computation
+//!
+//! ```
+//! use reis_nand::array::FlashDevice;
+//! use reis_nand::cell::ProgramScheme;
+//! use reis_nand::geometry::{Geometry, PageAddr};
+//!
+//! # fn main() -> Result<(), reis_nand::error::NandError> {
+//! let mut device = FlashDevice::new(Geometry::tiny(), Default::default());
+//! let addr = PageAddr::new(0, 0, 0, 0, 0);
+//!
+//! // Store a page of 64-byte binary embeddings in the ESP-SLC partition.
+//! let page: Vec<u8> = (0..4096).map(|i| (i / 64) as u8).collect();
+//! device.program_page(addr, &page, &[], ProgramScheme::EnhancedSlc)?;
+//!
+//! // Broadcast a query, sense the page, XOR, and count differing bits.
+//! device.input_broadcast(0, 0, &vec![0u8; 64], true)?;
+//! device.sense_page(addr)?;
+//! device.xor_latches(addr.plane_addr())?;
+//! let (distances, _latency) = device.count_fail_bits(addr.plane_addr(), 64)?;
+//! assert_eq!(distances[0], 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod array;
+pub mod cell;
+pub mod command;
+pub mod error;
+pub mod geometry;
+pub mod latch;
+pub mod oob;
+pub mod peripheral;
+pub mod reliability;
+pub mod stats;
+pub mod timing;
+
+pub use array::{FlashDevice, PageReadout};
+pub use cell::{CellMode, ProgramScheme};
+pub use error::{NandError, Result};
+pub use geometry::{BlockAddr, Geometry, MiniPageAddr, PageAddr, PlaneAddr};
+pub use oob::{OobEntry, OobLayout};
+pub use stats::FlashStats;
+pub use timing::{Nanos, TimingParams};

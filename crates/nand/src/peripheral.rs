@@ -1,0 +1,148 @@
+//! On-die peripheral logic reused by REIS for computation.
+//!
+//! Modern NAND dies already contain (Sec. 2.3): a *fail-bit counter* that
+//! counts set bits during program verification, a *pass/fail checker* that
+//! compares the count against a threshold to steer ISPP, and XOR logic
+//! between the latches used for on-chip data randomization. REIS repurposes
+//! the XOR logic to compute bitwise differences, the fail-bit counter to turn
+//! those differences into Hamming distances, and the pass/fail checker to
+//! implement distance filtering.
+
+use serde::{Deserialize, Serialize};
+
+/// The on-die fail-bit counter, repurposed as a per-mini-page popcount
+/// engine.
+///
+/// # Examples
+///
+/// ```
+/// use reis_nand::peripheral::FailBitCounter;
+///
+/// // Two 2-byte "embeddings" whose XOR results are held in a latch.
+/// let latch = [0b1111_0000u8, 0b0000_0001, 0b0000_0000, 0b1010_1010];
+/// let counts = FailBitCounter::count_per_chunk(&latch, 2);
+/// assert_eq!(counts, vec![5, 4]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailBitCounter;
+
+impl FailBitCounter {
+    /// Count the number of set bits in every `chunk_bytes`-sized chunk of the
+    /// latch contents.
+    ///
+    /// When the latch holds the XOR of a broadcast query with a page of
+    /// binary embeddings, each chunk corresponds to one embedding and the
+    /// count is exactly the Hamming distance between the query and that
+    /// embedding.
+    ///
+    /// A trailing partial chunk (when `latch.len()` is not a multiple of
+    /// `chunk_bytes`) is counted as its own entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero.
+    pub fn count_per_chunk(latch: &[u8], chunk_bytes: usize) -> Vec<u32> {
+        assert!(chunk_bytes > 0, "chunk size must be non-zero");
+        latch
+            .chunks(chunk_bytes)
+            .map(|chunk| chunk.iter().map(|b| b.count_ones()).sum())
+            .collect()
+    }
+
+    /// Count the set bits of the entire latch (the original use of the
+    /// fail-bit counter during program verification).
+    pub fn count_total(latch: &[u8]) -> u64 {
+        latch.iter().map(|b| b.count_ones() as u64).sum()
+    }
+}
+
+/// The on-die pass/fail checker, repurposed as the distance-filtering
+/// comparator (Sec. 4.3.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassFailChecker;
+
+impl PassFailChecker {
+    /// For every counted value, report whether it *passes* the filter, i.e.
+    /// whether the value is less than or equal to `threshold`.
+    ///
+    /// In REIS a passing entry is an embedding whose Hamming distance from
+    /// the query is small enough to be forwarded to the SSD controller.
+    pub fn passes(counts: &[u32], threshold: u32) -> Vec<bool> {
+        counts.iter().map(|&c| c <= threshold).collect()
+    }
+
+    /// Number of entries that pass the filter.
+    pub fn pass_count(counts: &[u32], threshold: u32) -> usize {
+        counts.iter().filter(|&&c| c <= threshold).count()
+    }
+}
+
+/// The inter-latch XOR logic (normally used for on-chip data randomization),
+/// exposed as a standalone helper for callers that operate on raw buffers
+/// rather than on a [`crate::latch::PageBuffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorLogic;
+
+impl XorLogic {
+    /// XOR two equally sized buffers into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers have different lengths; the latches of one plane
+    /// always have identical sizes.
+    pub fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
+        assert_eq!(a.len(), b.len(), "latch contents must have identical sizes");
+        a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_per_chunk_is_hamming_distance_of_xor() {
+        let a = [0b1111_1111u8, 0b0000_0000, 0b1010_1010, 0b0101_0101];
+        let b = [0b1111_0000u8, 0b0000_1111, 0b1010_1010, 0b1010_1010];
+        let xored = XorLogic::xor(&a, &b);
+        let counts = FailBitCounter::count_per_chunk(&xored, 2);
+        assert_eq!(counts, vec![8, 8]);
+        assert_eq!(FailBitCounter::count_total(&xored), 16);
+    }
+
+    #[test]
+    fn trailing_partial_chunk_is_counted() {
+        let latch = [0xFFu8, 0xFF, 0x0F];
+        let counts = FailBitCounter::count_per_chunk(&latch, 2);
+        assert_eq!(counts, vec![16, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be non-zero")]
+    fn zero_chunk_size_panics() {
+        FailBitCounter::count_per_chunk(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn pass_fail_threshold_is_inclusive() {
+        let counts = vec![10, 200, 42, 43];
+        assert_eq!(PassFailChecker::passes(&counts, 42), vec![true, false, true, false]);
+        assert_eq!(PassFailChecker::pass_count(&counts, 42), 2);
+        assert_eq!(PassFailChecker::pass_count(&counts, 0), 0);
+        assert_eq!(PassFailChecker::pass_count(&counts, u32::MAX), 4);
+    }
+
+    #[test]
+    fn xor_of_identical_buffers_is_zero() {
+        let a = vec![0xAB; 64];
+        let out = XorLogic::xor(&a, &a);
+        assert!(out.iter().all(|&b| b == 0));
+        assert_eq!(FailBitCounter::count_total(&out), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical sizes")]
+    fn xor_panics_on_length_mismatch() {
+        XorLogic::xor(&[1, 2], &[1, 2, 3]);
+    }
+}

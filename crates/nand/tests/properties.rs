@@ -1,0 +1,135 @@
+//! Property-based tests for the NAND flash device simulator.
+
+use proptest::prelude::*;
+use reis_nand::array::FlashDevice;
+use reis_nand::cell::ProgramScheme;
+use reis_nand::geometry::{Geometry, PageAddr};
+use reis_nand::oob::{OobEntry, OobLayout};
+use reis_nand::peripheral::{FailBitCounter, PassFailChecker, XorLogic};
+use reis_nand::timing::{Nanos, TimingParams};
+
+proptest! {
+    /// Programming a page and reading it back through the ESP-SLC path must
+    /// return exactly the programmed bytes (zero-BER guarantee).
+    #[test]
+    fn esp_program_read_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..4096)) {
+        let mut dev = FlashDevice::new(Geometry::tiny(), TimingParams::default());
+        let addr = PageAddr::new(0, 0, 0, 0, 0);
+        dev.program_page(addr, &data, &[], ProgramScheme::EnhancedSlc).unwrap();
+        let readout = dev.read_page(addr).unwrap();
+        prop_assert_eq!(&readout.data[..data.len()], &data[..]);
+        prop_assert_eq!(readout.bit_errors, 0);
+        // Unwritten tail of the page reads back as zeroes.
+        prop_assert!(readout.data[data.len()..].iter().all(|&b| b == 0));
+    }
+
+    /// The in-plane XOR + fail-bit-counter flow must compute the same Hamming
+    /// distances as a software popcount over the XOR of query and embeddings.
+    #[test]
+    fn in_plane_distance_matches_software_hamming(
+        seed_bytes in proptest::collection::vec(any::<u8>(), 32),
+        query in proptest::collection::vec(any::<u8>(), 32),
+    ) {
+        let mut dev = FlashDevice::new(Geometry::tiny(), TimingParams::default());
+        let addr = PageAddr::new(1, 0, 1, 0, 0);
+        let emb_bytes = 32usize;
+        let n_embeddings = 4096 / emb_bytes;
+        // Derive each embedding from the seed bytes by rotation so embeddings differ.
+        let mut page = Vec::with_capacity(4096);
+        let mut expected = Vec::with_capacity(n_embeddings);
+        for i in 0..n_embeddings {
+            let emb: Vec<u8> = (0..emb_bytes)
+                .map(|j| seed_bytes[(i + j) % emb_bytes].rotate_left((i % 8) as u32))
+                .collect();
+            let dist: u32 = emb
+                .iter()
+                .zip(query.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            expected.push(dist);
+            page.extend_from_slice(&emb);
+        }
+        dev.program_page(addr, &page, &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.input_broadcast(addr.channel, addr.die, &query, true).unwrap();
+        dev.sense_page(addr).unwrap();
+        dev.xor_latches(addr.plane_addr()).unwrap();
+        let (counts, _) = dev.count_fail_bits(addr.plane_addr(), emb_bytes).unwrap();
+        prop_assert_eq!(counts, expected);
+    }
+
+    /// The fail-bit counter's chunked counts always sum to the total count.
+    #[test]
+    fn chunk_counts_sum_to_total(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        chunk in 1usize..256,
+    ) {
+        let per_chunk = FailBitCounter::count_per_chunk(&data, chunk);
+        let total: u64 = per_chunk.iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(total, FailBitCounter::count_total(&data));
+    }
+
+    /// Pass/fail filtering never passes an entry above the threshold and
+    /// never drops one at or below it.
+    #[test]
+    fn pass_fail_is_exact_threshold_partition(
+        counts in proptest::collection::vec(any::<u32>(), 0..512),
+        threshold in any::<u32>(),
+    ) {
+        let passes = PassFailChecker::passes(&counts, threshold);
+        prop_assert_eq!(passes.len(), counts.len());
+        for (c, p) in counts.iter().zip(passes.iter()) {
+            prop_assert_eq!(*p, *c <= threshold);
+        }
+        prop_assert_eq!(
+            PassFailChecker::pass_count(&counts, threshold),
+            passes.iter().filter(|&&p| p).count()
+        );
+    }
+
+    /// XOR is an involution: applying it twice restores the original buffer.
+    #[test]
+    fn xor_is_involution(
+        a in proptest::collection::vec(any::<u8>(), 1..1024),
+        b_seed in any::<u8>(),
+    ) {
+        let b: Vec<u8> = a.iter().map(|x| x.wrapping_add(b_seed)).collect();
+        let once = XorLogic::xor(&a, &b);
+        let twice = XorLogic::xor(&once, &b);
+        prop_assert_eq!(twice, a);
+    }
+
+    /// OOB entry packing and unpacking round-trips arbitrary linkage data.
+    #[test]
+    fn oob_layout_roundtrip(
+        entries in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u8>()).prop_map(|(dadr, radr, tag)| OobEntry { dadr, radr, tag }),
+            1..64,
+        )
+    ) {
+        let layout = OobLayout::new(2208, entries.len()).unwrap();
+        let packed = layout.pack(&entries).unwrap();
+        let unpacked = layout.unpack(&packed).unwrap();
+        prop_assert_eq!(unpacked, entries);
+    }
+
+    /// Page addresses survive a round trip through the dense page index for
+    /// both reference geometries.
+    #[test]
+    fn page_index_roundtrip_reference_geometries(index in 0usize..100_000) {
+        for geom in [Geometry::reis_ssd1(), Geometry::reis_ssd2()] {
+            let idx = index % geom.total_pages();
+            let addr = geom.page_at(idx);
+            prop_assert_eq!(geom.page_index(addr), idx);
+        }
+    }
+
+    /// Simulated durations compose sensibly: a sum of parts is never shorter
+    /// than its longest part (saturating arithmetic, no overflow wrap).
+    #[test]
+    fn nanos_sum_bounds(parts in proptest::collection::vec(0u64..1_000_000_000_000, 1..20)) {
+        let durations: Vec<Nanos> = parts.iter().copied().map(Nanos::from_nanos).collect();
+        let total: Nanos = durations.iter().copied().sum();
+        let max = durations.iter().copied().fold(Nanos::ZERO, Nanos::max);
+        prop_assert!(total >= max);
+    }
+}

@@ -1,0 +1,228 @@
+//! Physical page allocation.
+//!
+//! REIS needs two things from the allocator (Sec. 4.1): *Parallelism-First
+//! Page Allocation*, which spreads consecutive data across all planes of the
+//! device so one logical scan keeps every plane busy, and *contiguity*, so
+//! the coarse-grained FTL can compute the next physical address by simply
+//! incrementing the current one. Both are satisfied by allocating regions as
+//! contiguous ranges of a *stripe index* whose successive values rotate
+//! through the planes.
+
+use serde::{Deserialize, Serialize};
+
+use reis_nand::{Geometry, PageAddr};
+
+use crate::error::{Result, SsdError};
+
+/// A contiguous range of stripe indices reserved for one purpose (one region
+/// of one database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StripedRegion {
+    /// First stripe index of the region.
+    pub start: usize,
+    /// Number of pages in the region.
+    pub len: usize,
+}
+
+impl StripedRegion {
+    /// An empty region.
+    pub const EMPTY: StripedRegion = StripedRegion { start: 0, len: 0 };
+
+    /// Whether the region holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stripe index of the `offset`-th page of the region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::RegionOutOfBounds`] if `offset >= self.len`.
+    pub fn stripe_at(&self, offset: usize) -> Result<usize> {
+        if offset >= self.len {
+            return Err(SsdError::RegionOutOfBounds {
+                region: "striped",
+                offset,
+                limit: self.len,
+            });
+        }
+        Ok(self.start + offset)
+    }
+
+    /// The physical page address of the `offset`-th page of the region under
+    /// parallelism-first striping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::RegionOutOfBounds`] if `offset >= self.len`.
+    pub fn page_at(&self, geometry: &Geometry, offset: usize) -> Result<PageAddr> {
+        Ok(stripe_to_page(geometry, self.stripe_at(offset)?))
+    }
+
+    /// Iterate over the physical page addresses of the region in order.
+    pub fn pages<'a>(&self, geometry: &'a Geometry) -> impl Iterator<Item = PageAddr> + 'a {
+        let start = self.start;
+        let len = self.len;
+        (0..len).map(move |i| stripe_to_page(geometry, start + i))
+    }
+}
+
+/// Convert a stripe index to a physical page address.
+///
+/// Consecutive stripe indices rotate through the channels first, then the
+/// dies of a channel, then the planes of a die, so a sequential scan of
+/// stripe indices keeps every channel, die and plane of the device busy in
+/// round-robin order (Parallelism-First Page Allocation).
+///
+/// # Panics
+///
+/// Panics if the stripe index exceeds the device capacity.
+pub fn stripe_to_page(geometry: &Geometry, stripe: usize) -> PageAddr {
+    assert!(stripe < geometry.total_pages(), "stripe {stripe} beyond device capacity");
+    let channel = stripe % geometry.channels;
+    let rest = stripe / geometry.channels;
+    let die = rest % geometry.dies_per_channel;
+    let rest = rest / geometry.dies_per_channel;
+    let plane = rest % geometry.planes_per_die;
+    let within_plane = rest / geometry.planes_per_die;
+    PageAddr {
+        channel,
+        die,
+        plane,
+        block: within_plane / geometry.pages_per_block,
+        page: within_plane % geometry.pages_per_block,
+    }
+}
+
+/// Convert a physical page address back to its stripe index (inverse of
+/// [`stripe_to_page`]).
+pub fn page_to_stripe(geometry: &Geometry, addr: PageAddr) -> usize {
+    let within_plane = addr.block * geometry.pages_per_block + addr.page;
+    ((within_plane * geometry.planes_per_die + addr.plane) * geometry.dies_per_channel + addr.die)
+        * geometry.channels
+        + addr.channel
+}
+
+/// Bump allocator over the stripe index space.
+///
+/// Databases are deployed once and read many times, so a simple
+/// high-watermark allocator (with whole-region reservation to guarantee
+/// physical contiguity) models the defragmented layout REIS creates during
+/// `DB_Deploy` (Sec. 4.1.4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageAllocator {
+    total_pages: usize,
+    next_free: usize,
+}
+
+impl PageAllocator {
+    /// Create an allocator covering the whole device.
+    pub fn new(geometry: &Geometry) -> Self {
+        PageAllocator { total_pages: geometry.total_pages(), next_free: 0 }
+    }
+
+    /// Pages not yet reserved.
+    pub fn free_pages(&self) -> usize {
+        self.total_pages - self.next_free
+    }
+
+    /// Pages already reserved.
+    pub fn used_pages(&self) -> usize {
+        self.next_free
+    }
+
+    /// Reserve a contiguous striped region of `pages` pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::OutOfSpace`] if fewer than `pages` pages are free.
+    pub fn reserve(&mut self, pages: usize) -> Result<StripedRegion> {
+        if pages > self.free_pages() {
+            return Err(SsdError::OutOfSpace {
+                requested_pages: pages,
+                available_pages: self.free_pages(),
+            });
+        }
+        let region = StripedRegion { start: self.next_free, len: pages };
+        self.next_free += pages;
+        Ok(region)
+    }
+
+    /// Release every reservation (used when a database is torn down in
+    /// tests; real deployments erase and redeploy).
+    pub fn reset(&mut self) {
+        self.next_free = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stripe_mapping_round_trips_and_rotates_planes() {
+        let geom = Geometry::tiny();
+        let planes = geom.total_planes();
+        let mut seen = HashSet::new();
+        for stripe in 0..geom.total_pages() {
+            let addr = stripe_to_page(&geom, stripe);
+            geom.check_page(addr).unwrap();
+            assert_eq!(page_to_stripe(&geom, addr), stripe);
+            assert!(seen.insert(addr), "stripe mapping must be injective");
+        }
+        // Consecutive stripes hit distinct planes until every plane was used.
+        let first_planes: Vec<usize> =
+            (0..planes).map(|s| geom.plane_index(stripe_to_page(&geom, s).plane_addr())).collect();
+        let unique: HashSet<_> = first_planes.iter().collect();
+        assert_eq!(unique.len(), planes, "first {planes} stripes must cover all planes");
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_in_bounds() {
+        let geom = Geometry::tiny();
+        let mut alloc = PageAllocator::new(&geom);
+        let a = alloc.reserve(10).unwrap();
+        let b = alloc.reserve(20).unwrap();
+        assert_eq!(a.len, 10);
+        assert_eq!(b.start, 10);
+        assert_eq!(alloc.used_pages(), 30);
+        let pages_a: HashSet<_> = a.pages(&geom).collect();
+        let pages_b: HashSet<_> = b.pages(&geom).collect();
+        assert!(pages_a.is_disjoint(&pages_b));
+        assert_eq!(pages_a.len(), 10);
+    }
+
+    #[test]
+    fn reserve_rejects_oversized_requests() {
+        let geom = Geometry::tiny();
+        let mut alloc = PageAllocator::new(&geom);
+        let total = geom.total_pages();
+        assert!(alloc.reserve(total + 1).is_err());
+        alloc.reserve(total).unwrap();
+        assert!(matches!(alloc.reserve(1), Err(SsdError::OutOfSpace { .. })));
+        alloc.reset();
+        assert_eq!(alloc.free_pages(), total);
+    }
+
+    #[test]
+    fn region_page_at_checks_bounds() {
+        let geom = Geometry::tiny();
+        let region = StripedRegion { start: 5, len: 3 };
+        assert_eq!(region.stripe_at(0).unwrap(), 5);
+        assert!(region.page_at(&geom, 2).is_ok());
+        assert!(matches!(
+            region.page_at(&geom, 3),
+            Err(SsdError::RegionOutOfBounds { offset: 3, limit: 3, .. })
+        ));
+        assert!(StripedRegion::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn consecutive_region_pages_spread_over_channels() {
+        let geom = Geometry::reis_ssd1();
+        let region = StripedRegion { start: 0, len: geom.channels * 4 };
+        let channels: HashSet<usize> = region.pages(&geom).map(|p| p.channel).collect();
+        assert_eq!(channels.len(), geom.channels, "a short scan must already touch every channel");
+    }
+}

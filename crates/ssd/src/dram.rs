@@ -1,0 +1,196 @@
+//! The SSD-internal DRAM.
+//!
+//! Modern SSDs carry roughly 1 GB of DRAM per TB of flash (0.1 % of the
+//! capacity). The controller keeps the L2P mapping table and frequently
+//! accessed pages there; REIS additionally places the R-DB and R-IVF records
+//! and the Temporal Top Lists in it (Sec. 4.1.4, 4.2.1). This module tracks
+//! named allocations against the DRAM capacity and models access latency and
+//! energy.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use reis_nand::Nanos;
+
+use crate::error::{Result, SsdError};
+
+/// Capacity, latency and energy parameters of the internal DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramParams {
+    /// Usable capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Latency of one random access (row activation + column access).
+    pub access_latency: Nanos,
+    /// Sustained bandwidth for streaming transfers, bytes per second.
+    pub bandwidth_bps: f64,
+    /// Energy per byte transferred, in picojoules (CACTI-style estimate for
+    /// an LPDDR4-class device).
+    pub energy_pj_per_byte: f64,
+}
+
+impl DramParams {
+    /// Parameters for a 1 GB internal DRAM (REIS-SSD1-class device).
+    pub fn one_gigabyte() -> Self {
+        DramParams {
+            capacity_bytes: 1 << 30,
+            access_latency: Nanos::from_nanos(50),
+            bandwidth_bps: 8.0e9,
+            energy_pj_per_byte: 20.0,
+        }
+    }
+
+    /// Parameters for a 2 GB internal DRAM (REIS-SSD2-class device).
+    pub fn two_gigabytes() -> Self {
+        DramParams { capacity_bytes: 2 << 30, ..DramParams::one_gigabyte() }
+    }
+}
+
+impl Default for DramParams {
+    fn default() -> Self {
+        DramParams::one_gigabyte()
+    }
+}
+
+/// The internal DRAM: capacity tracking plus an access cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InternalDram {
+    params: DramParams,
+    allocations: BTreeMap<String, usize>,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl InternalDram {
+    /// Create a DRAM with the given parameters and no allocations.
+    pub fn new(params: DramParams) -> Self {
+        InternalDram { params, allocations: BTreeMap::new(), bytes_read: 0, bytes_written: 0 }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &DramParams {
+        &self.params
+    }
+
+    /// Total bytes currently allocated.
+    pub fn used_bytes(&self) -> usize {
+        self.allocations.values().sum()
+    }
+
+    /// Bytes still available for allocation.
+    pub fn free_bytes(&self) -> usize {
+        self.params.capacity_bytes.saturating_sub(self.used_bytes())
+    }
+
+    /// Size of a named allocation, if present.
+    pub fn allocation(&self, name: &str) -> Option<usize> {
+        self.allocations.get(name).copied()
+    }
+
+    /// Reserve `bytes` under `name`, replacing any previous allocation with
+    /// the same name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::DramExhausted`] if the allocation does not fit.
+    pub fn allocate(&mut self, name: &str, bytes: usize) -> Result<()> {
+        let existing = self.allocations.get(name).copied().unwrap_or(0);
+        let free_without_existing = self.free_bytes() + existing;
+        if bytes > free_without_existing {
+            return Err(SsdError::DramExhausted {
+                requested_bytes: bytes,
+                available_bytes: free_without_existing,
+            });
+        }
+        self.allocations.insert(name.to_string(), bytes);
+        Ok(())
+    }
+
+    /// Release a named allocation. Releasing an unknown name is a no-op.
+    pub fn release(&mut self, name: &str) {
+        self.allocations.remove(name);
+    }
+
+    /// Latency of reading `bytes` from DRAM (one access latency plus the
+    /// streaming transfer time) and account the traffic.
+    pub fn read(&mut self, bytes: usize) -> Nanos {
+        self.bytes_read += bytes as u64;
+        self.params.access_latency + Nanos::from_secs_f64(bytes as f64 / self.params.bandwidth_bps)
+    }
+
+    /// Latency of writing `bytes` to DRAM and account the traffic.
+    pub fn write(&mut self, bytes: usize) -> Nanos {
+        self.bytes_written += bytes as u64;
+        self.params.access_latency + Nanos::from_secs_f64(bytes as f64 / self.params.bandwidth_bps)
+    }
+
+    /// Total bytes read since construction.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written since construction.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Energy consumed by all DRAM traffic so far, in joules.
+    pub fn energy_joules(&self) -> f64 {
+        (self.bytes_read + self.bytes_written) as f64 * self.params.energy_pj_per_byte * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_respect_capacity() {
+        let mut dram = InternalDram::new(DramParams {
+            capacity_bytes: 1000,
+            ..DramParams::one_gigabyte()
+        });
+        dram.allocate("ftl", 600).unwrap();
+        assert_eq!(dram.used_bytes(), 600);
+        assert_eq!(dram.free_bytes(), 400);
+        assert!(matches!(
+            dram.allocate("ttl", 500),
+            Err(SsdError::DramExhausted { requested_bytes: 500, available_bytes: 400 })
+        ));
+        dram.allocate("ttl", 400).unwrap();
+        assert_eq!(dram.free_bytes(), 0);
+        dram.release("ftl");
+        assert_eq!(dram.free_bytes(), 600);
+        assert_eq!(dram.allocation("ttl"), Some(400));
+        assert_eq!(dram.allocation("ftl"), None);
+    }
+
+    #[test]
+    fn reallocating_a_name_replaces_it() {
+        let mut dram = InternalDram::new(DramParams {
+            capacity_bytes: 1000,
+            ..DramParams::one_gigabyte()
+        });
+        dram.allocate("r-ivf", 800).unwrap();
+        // Shrinking an existing allocation must succeed even though 900 fresh
+        // bytes would not fit next to the old 800.
+        dram.allocate("r-ivf", 900).unwrap();
+        assert_eq!(dram.used_bytes(), 900);
+    }
+
+    #[test]
+    fn access_latency_scales_with_size() {
+        let mut dram = InternalDram::new(DramParams::one_gigabyte());
+        let small = dram.read(64);
+        let large = dram.read(1 << 20);
+        assert!(large > small);
+        assert_eq!(dram.bytes_read(), 64 + (1 << 20));
+        let w = dram.write(4096);
+        assert!(w >= dram.params().access_latency);
+        assert!(dram.energy_joules() > 0.0);
+    }
+
+    #[test]
+    fn reference_capacities_differ() {
+        assert!(DramParams::two_gigabytes().capacity_bytes > DramParams::one_gigabyte().capacity_bytes);
+    }
+}

@@ -1,0 +1,287 @@
+//! Flash Translation Layer: page-level mapping and REIS's coarse-grained
+//! region mapping (the R-DB record).
+//!
+//! A conventional page-level FTL needs roughly 1 GB of mapping table per TB
+//! of flash — DRAM that REIS would rather spend on the Temporal Top Lists.
+//! Because a deployed vector database occupies two physically contiguous
+//! regions, REIS replaces the per-page map with a 21-byte record per database
+//! (start/end of the embedding and document regions plus the database id) and
+//! computes each next address by incrementing the previous one (Sec. 4.1.4).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use reis_nand::{Geometry, PageAddr};
+
+use crate::allocator::StripedRegion;
+use crate::error::{Result, SsdError};
+
+/// Bytes of DRAM one page-level mapping entry occupies (4-byte LPA key packed
+/// with a 4-byte physical page number).
+pub const PAGE_ENTRY_BYTES: usize = 8;
+
+/// Bytes of DRAM one coarse-grained database record occupies (the paper
+/// quotes 21 bytes: a 1-byte id plus first/last addresses of both regions).
+pub const COARSE_RECORD_BYTES: usize = 21;
+
+/// Conventional page-level logical-to-physical mapping table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageLevelFtl {
+    map: HashMap<u64, PageAddr>,
+}
+
+impl PageLevelFtl {
+    /// Create an empty mapping table.
+    pub fn new() -> Self {
+        PageLevelFtl::default()
+    }
+
+    /// Number of mapped logical pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no logical page is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// DRAM footprint of the mapping table in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.map.len() * PAGE_ENTRY_BYTES
+    }
+
+    /// Map a logical page to a physical page, returning the previous mapping
+    /// (now stale and eligible for garbage collection) if one existed.
+    pub fn map(&mut self, lpa: u64, ppa: PageAddr) -> Option<PageAddr> {
+        self.map.insert(lpa, ppa)
+    }
+
+    /// Translate a logical page address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::UnmappedLogicalPage`] if the page was never
+    /// written.
+    pub fn translate(&self, lpa: u64) -> Result<PageAddr> {
+        self.map.get(&lpa).copied().ok_or(SsdError::UnmappedLogicalPage(lpa))
+    }
+
+    /// Remove the mapping of a logical page, returning it if present.
+    pub fn unmap(&mut self, lpa: u64) -> Option<PageAddr> {
+        self.map.remove(&lpa)
+    }
+
+    /// Iterate over all `(logical, physical)` mappings (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, PageAddr)> + '_ {
+        self.map.iter().map(|(&l, &p)| (l, p))
+    }
+}
+
+/// The record REIS keeps per deployed database: where its regions live and
+/// how many entries it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseRecord {
+    /// Database identifier (the `Did` of the host API).
+    pub db_id: u32,
+    /// Region holding binary embeddings (and centroids), programmed ESP-SLC.
+    pub embedding_region: StripedRegion,
+    /// Region holding INT8 embeddings for reranking, programmed TLC.
+    pub int8_region: StripedRegion,
+    /// Region holding document chunks, programmed TLC.
+    pub document_region: StripedRegion,
+    /// Number of database entries (embedding/document pairs).
+    pub entries: usize,
+}
+
+impl DatabaseRecord {
+    /// DRAM footprint of this record in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        COARSE_RECORD_BYTES
+    }
+}
+
+/// The R-DB array: coarse-grained FTL over all deployed databases.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoarseFtl {
+    records: Vec<DatabaseRecord>,
+}
+
+impl CoarseFtl {
+    /// Create an empty R-DB.
+    pub fn new() -> Self {
+        CoarseFtl::default()
+    }
+
+    /// Number of deployed databases.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no database is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total DRAM footprint of all records in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.records.len() * COARSE_RECORD_BYTES
+    }
+
+    /// Register a database record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::DatabaseAlreadyDeployed`] if a record with the
+    /// same id exists.
+    pub fn deploy(&mut self, record: DatabaseRecord) -> Result<()> {
+        if self.records.iter().any(|r| r.db_id == record.db_id) {
+            return Err(SsdError::DatabaseAlreadyDeployed(record.db_id));
+        }
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Look up the record of a database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::UnknownDatabase`] if the id is not deployed.
+    pub fn record(&self, db_id: u32) -> Result<&DatabaseRecord> {
+        self.records.iter().find(|r| r.db_id == db_id).ok_or(SsdError::UnknownDatabase(db_id))
+    }
+
+    /// Remove a database record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::UnknownDatabase`] if the id is not deployed.
+    pub fn remove(&mut self, db_id: u32) -> Result<DatabaseRecord> {
+        let idx = self
+            .records
+            .iter()
+            .position(|r| r.db_id == db_id)
+            .ok_or(SsdError::UnknownDatabase(db_id))?;
+        Ok(self.records.remove(idx))
+    }
+
+    /// Translate the `offset`-th embedding-region page of a database to a
+    /// physical page address by pure arithmetic — no per-page table lookup.
+    ///
+    /// # Errors
+    ///
+    /// * [`SsdError::UnknownDatabase`] if the id is not deployed.
+    /// * [`SsdError::RegionOutOfBounds`] if `offset` exceeds the region.
+    pub fn embedding_page(&self, geometry: &Geometry, db_id: u32, offset: usize) -> Result<PageAddr> {
+        self.record(db_id)?.embedding_region.page_at(geometry, offset)
+    }
+
+    /// Translate the `offset`-th document-region page of a database.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CoarseFtl::embedding_page`].
+    pub fn document_page(&self, geometry: &Geometry, db_id: u32, offset: usize) -> Result<PageAddr> {
+        self.record(db_id)?.document_region.page_at(geometry, offset)
+    }
+
+    /// Translate the `offset`-th INT8-region page of a database.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CoarseFtl::embedding_page`].
+    pub fn int8_page(&self, geometry: &Geometry, db_id: u32, offset: usize) -> Result<PageAddr> {
+        self.record(db_id)?.int8_region.page_at(geometry, offset)
+    }
+
+    /// Iterate over all deployed records.
+    pub fn iter(&self) -> impl Iterator<Item = &DatabaseRecord> {
+        self.records.iter()
+    }
+}
+
+/// DRAM saving of coarse-grained addressing for a database of `pages` pages:
+/// the page-level footprint divided by the coarse record footprint.
+pub fn coarse_ftl_saving(pages: usize) -> f64 {
+    (pages * PAGE_ENTRY_BYTES) as f64 / COARSE_RECORD_BYTES as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::PageAllocator;
+
+    #[test]
+    fn page_level_ftl_maps_and_invalidates() {
+        let mut ftl = PageLevelFtl::new();
+        let p0 = PageAddr::new(0, 0, 0, 0, 0);
+        let p1 = PageAddr::new(0, 0, 0, 0, 1);
+        assert!(ftl.map(7, p0).is_none());
+        assert_eq!(ftl.translate(7).unwrap(), p0);
+        // Overwriting returns the stale physical page for GC.
+        assert_eq!(ftl.map(7, p1), Some(p0));
+        assert_eq!(ftl.translate(7).unwrap(), p1);
+        assert!(matches!(ftl.translate(8), Err(SsdError::UnmappedLogicalPage(8))));
+        assert_eq!(ftl.footprint_bytes(), PAGE_ENTRY_BYTES);
+        assert_eq!(ftl.unmap(7), Some(p1));
+        assert!(ftl.is_empty());
+    }
+
+    #[test]
+    fn coarse_ftl_translates_by_arithmetic() {
+        let geom = Geometry::tiny();
+        let mut alloc = PageAllocator::new(&geom);
+        let emb = alloc.reserve(16).unwrap();
+        let int8 = alloc.reserve(16).unwrap();
+        let docs = alloc.reserve(32).unwrap();
+        let mut rdb = CoarseFtl::new();
+        rdb.deploy(DatabaseRecord {
+            db_id: 1,
+            embedding_region: emb,
+            int8_region: int8,
+            document_region: docs,
+            entries: 100,
+        })
+        .unwrap();
+        let a = rdb.embedding_page(&geom, 1, 0).unwrap();
+        let b = rdb.embedding_page(&geom, 1, 1).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a, emb.page_at(&geom, 0).unwrap());
+        assert_eq!(rdb.document_page(&geom, 1, 3).unwrap(), docs.page_at(&geom, 3).unwrap());
+        assert_eq!(rdb.int8_page(&geom, 1, 5).unwrap(), int8.page_at(&geom, 5).unwrap());
+        assert!(matches!(
+            rdb.embedding_page(&geom, 1, 16),
+            Err(SsdError::RegionOutOfBounds { .. })
+        ));
+        assert!(matches!(rdb.embedding_page(&geom, 9, 0), Err(SsdError::UnknownDatabase(9))));
+    }
+
+    #[test]
+    fn coarse_ftl_rejects_duplicate_ids_and_tracks_footprint() {
+        let mut rdb = CoarseFtl::new();
+        let record = DatabaseRecord {
+            db_id: 2,
+            embedding_region: StripedRegion { start: 0, len: 4 },
+            int8_region: StripedRegion { start: 4, len: 4 },
+            document_region: StripedRegion { start: 8, len: 8 },
+            entries: 10,
+        };
+        rdb.deploy(record).unwrap();
+        assert!(matches!(rdb.deploy(record), Err(SsdError::DatabaseAlreadyDeployed(2))));
+        assert_eq!(rdb.footprint_bytes(), COARSE_RECORD_BYTES);
+        assert_eq!(rdb.record(2).unwrap().entries, 10);
+        assert_eq!(rdb.iter().count(), 1);
+        rdb.remove(2).unwrap();
+        assert!(rdb.is_empty());
+        assert!(matches!(rdb.remove(2), Err(SsdError::UnknownDatabase(2))));
+    }
+
+    #[test]
+    fn coarse_addressing_saves_orders_of_magnitude_of_dram() {
+        // The paper's example: a 1 TB database that needs ~1 GB of page-level
+        // FTL collapses to a 21-byte record.
+        let pages_1tb = (1u64 << 40) / (16 * 1024);
+        let saving = coarse_ftl_saving(pages_1tb as usize);
+        assert!(saving > 1e7, "saving factor {saving} should exceed ten million");
+    }
+}

@@ -1,0 +1,191 @@
+//! Host interface: the NVM command-set extension of Table 1.
+//!
+//! REIS adds four vendor-specific commands to the NVM command set (opcodes in
+//! the `80h`–`FFh` range reserved for vendors): `DB_Deploy`, `IVF_Deploy`,
+//! `Search` and `IVF_Search`. This module defines those commands and the
+//! opcode assignment; the actual execution lives in `reis-core`, which owns
+//! the retrieval engine, while conventional reads and writes are handled by
+//! the controller in this crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SsdError};
+
+/// First opcode of the vendor-specific range.
+pub const VENDOR_OPCODE_BASE: u8 = 0x80;
+
+/// Opcode of `DB_Deploy`.
+pub const OPCODE_DB_DEPLOY: u8 = 0x80;
+/// Opcode of `IVF_Deploy`.
+pub const OPCODE_IVF_DEPLOY: u8 = 0x81;
+/// Opcode of `Search`.
+pub const OPCODE_SEARCH: u8 = 0x82;
+/// Opcode of `IVF_Search`.
+pub const OPCODE_IVF_SEARCH: u8 = 0x83;
+
+/// A host-issued command, either a conventional block I/O or one of the REIS
+/// extensions of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HostCommand {
+    /// Conventional logical-page read.
+    Read {
+        /// Logical page address.
+        lpa: u64,
+    },
+    /// Conventional logical-page write.
+    Write {
+        /// Logical page address.
+        lpa: u64,
+        /// Page payload.
+        data: Vec<u8>,
+    },
+    /// `DB_Deploy(DB, Did, N)`: deploy a flat (non-IVF) vector database of
+    /// `entries` entries under id `db_id`.
+    DbDeploy {
+        /// Database id.
+        db_id: u32,
+        /// Number of entries.
+        entries: usize,
+    },
+    /// `IVF_Deploy(DB, Did, N, CI)`: deploy an IVF-organised database;
+    /// `clusters` is the cluster-information record count (`CI`).
+    IvfDeploy {
+        /// Database id.
+        db_id: u32,
+        /// Number of entries.
+        entries: usize,
+        /// Number of IVF clusters.
+        clusters: usize,
+    },
+    /// `Search(Q, Qid, Did, k)`: brute-force top-k search of a query batch.
+    Search {
+        /// Query batch id.
+        query_id: u32,
+        /// Database id.
+        db_id: u32,
+        /// Number of results per query.
+        k: usize,
+    },
+    /// `IVF_Search(Q, Qid, Did, k, R)`: IVF top-k search with target recall
+    /// `R` (which the device maps to an `nprobe` setting).
+    IvfSearch {
+        /// Query batch id.
+        query_id: u32,
+        /// Database id.
+        db_id: u32,
+        /// Number of results per query.
+        k: usize,
+        /// Target Recall@k in `[0, 1]`.
+        target_recall: f64,
+    },
+}
+
+impl HostCommand {
+    /// The NVMe opcode this command is carried under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            HostCommand::Read { .. } => 0x02,
+            HostCommand::Write { .. } => 0x01,
+            HostCommand::DbDeploy { .. } => OPCODE_DB_DEPLOY,
+            HostCommand::IvfDeploy { .. } => OPCODE_IVF_DEPLOY,
+            HostCommand::Search { .. } => OPCODE_SEARCH,
+            HostCommand::IvfSearch { .. } => OPCODE_IVF_SEARCH,
+        }
+    }
+
+    /// Whether this command is a REIS vendor extension (as opposed to a
+    /// conventional NVM command).
+    pub fn is_vendor_extension(&self) -> bool {
+        self.opcode() >= VENDOR_OPCODE_BASE
+    }
+
+    /// Validate the command's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::InvalidHostCommand`] for zero-sized deployments,
+    /// `k = 0` searches, or a target recall outside `(0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            HostCommand::DbDeploy { entries, .. } if *entries == 0 => Err(
+                SsdError::InvalidHostCommand("DB_Deploy requires at least one entry".into()),
+            ),
+            HostCommand::IvfDeploy { entries, clusters, .. } => {
+                if *entries == 0 {
+                    Err(SsdError::InvalidHostCommand(
+                        "IVF_Deploy requires at least one entry".into(),
+                    ))
+                } else if *clusters == 0 || clusters > entries {
+                    Err(SsdError::InvalidHostCommand(format!(
+                        "IVF_Deploy cluster count {clusters} must be in 1..={entries}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            HostCommand::Search { k, .. } if *k == 0 => {
+                Err(SsdError::InvalidHostCommand("Search requires k >= 1".into()))
+            }
+            HostCommand::IvfSearch { k, target_recall, .. } => {
+                if *k == 0 {
+                    Err(SsdError::InvalidHostCommand("IVF_Search requires k >= 1".into()))
+                } else if !(*target_recall > 0.0 && *target_recall <= 1.0) {
+                    Err(SsdError::InvalidHostCommand(format!(
+                        "IVF_Search target recall {target_recall} must be in (0, 1]"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_extensions_use_the_reserved_opcode_range() {
+        let commands = [
+            HostCommand::DbDeploy { db_id: 1, entries: 10 },
+            HostCommand::IvfDeploy { db_id: 1, entries: 10, clusters: 2 },
+            HostCommand::Search { query_id: 0, db_id: 1, k: 10 },
+            HostCommand::IvfSearch { query_id: 0, db_id: 1, k: 10, target_recall: 0.94 },
+        ];
+        for c in &commands {
+            assert!(c.is_vendor_extension());
+            assert!((0x80..=0xFF).contains(&c.opcode()));
+            c.validate().unwrap();
+        }
+        // All vendor opcodes are distinct.
+        let mut opcodes: Vec<u8> = commands.iter().map(HostCommand::opcode).collect();
+        opcodes.sort_unstable();
+        opcodes.dedup();
+        assert_eq!(opcodes.len(), commands.len());
+    }
+
+    #[test]
+    fn conventional_commands_are_not_extensions() {
+        assert!(!HostCommand::Read { lpa: 0 }.is_vendor_extension());
+        assert!(!HostCommand::Write { lpa: 0, data: vec![] }.is_vendor_extension());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        assert!(HostCommand::DbDeploy { db_id: 1, entries: 0 }.validate().is_err());
+        assert!(HostCommand::IvfDeploy { db_id: 1, entries: 0, clusters: 0 }.validate().is_err());
+        assert!(HostCommand::IvfDeploy { db_id: 1, entries: 5, clusters: 6 }.validate().is_err());
+        assert!(HostCommand::Search { query_id: 0, db_id: 1, k: 0 }.validate().is_err());
+        assert!(HostCommand::IvfSearch { query_id: 0, db_id: 1, k: 0, target_recall: 0.9 }
+            .validate()
+            .is_err());
+        assert!(HostCommand::IvfSearch { query_id: 0, db_id: 1, k: 5, target_recall: 0.0 }
+            .validate()
+            .is_err());
+        assert!(HostCommand::IvfSearch { query_id: 0, db_id: 1, k: 5, target_recall: 1.5 }
+            .validate()
+            .is_err());
+    }
+}

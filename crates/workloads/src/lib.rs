@@ -1,0 +1,36 @@
+//! # reis-workloads — evaluation datasets for the REIS reproduction
+//!
+//! The paper evaluates on public corpora (NQ, HotpotQA, wiki_en, wiki_full,
+//! FEVER, Quora, SIFT-1B, DEEP-1B) that this repository does not ship.
+//! Instead, every dataset is described by a [`profile::DatasetProfile`]
+//! carrying both its *full-scale* parameters (entry counts, dimensionality,
+//! on-disk bytes — used by the analytic I/O and baseline models) and a
+//! *scaled* size at which [`synthetic::SyntheticDataset`] generates clustered
+//! embeddings, queries and documents for functional runs.
+//! [`ground_truth::GroundTruth`] provides exact neighbors for recall
+//! measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use reis_workloads::{DatasetProfile, GroundTruth, SyntheticDataset};
+//!
+//! # fn main() -> Result<(), reis_ann::AnnError> {
+//! let profile = DatasetProfile::hotpotqa().scaled(500).with_queries(4);
+//! let dataset = SyntheticDataset::generate(profile, 7);
+//! let truth = GroundTruth::compute(&dataset, 10)?;
+//! assert_eq!(truth.len(), dataset.queries().len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ground_truth;
+pub mod profile;
+pub mod synthetic;
+
+pub use ground_truth::GroundTruth;
+pub use profile::DatasetProfile;
+pub use synthetic::SyntheticDataset;

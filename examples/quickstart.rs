@@ -1,0 +1,46 @@
+//! Quickstart: deploy a small vector database into a simulated REIS SSD and
+//! run an in-storage top-k retrieval.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use reis::core::{ReisConfig, ReisSystem, VectorDatabase};
+use reis::workloads::{DatasetProfile, SyntheticDataset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a small synthetic corpus (embeddings + document chunks).
+    let profile = DatasetProfile::hotpotqa().scaled(512).with_queries(4);
+    let dataset = SyntheticDataset::generate(profile, 7);
+    println!(
+        "corpus: {} entries of {} dims, {} queries",
+        dataset.len(),
+        dataset.profile().dim,
+        dataset.queries().len()
+    );
+
+    // 2. Index it: IVF clustering + binary / INT8 quantization (the offline
+    //    indexing stage of the RAG pipeline).
+    let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), 16)?;
+
+    // 3. Deploy into a simulated REIS SSD (the cost-oriented SSD1 preset).
+    let mut reis = ReisSystem::new(ReisConfig::ssd1());
+    let db_id = reis.deploy(&database)?;
+    println!("deployed database {db_id} ({} flash pages)", reis.database(db_id)?.layout.total_pages());
+
+    // 4. Run an IVF_Search for every query and show what came back.
+    for (qi, query) in dataset.queries().iter().enumerate() {
+        let outcome = reis.ivf_search(db_id, query, 5, 0.94)?;
+        let top = &outcome.results[0];
+        println!(
+            "query {qi}: top hit = entry {} (distance {:.0}), latency {}, energy {:.1} uJ, \
+             document: {:?}…",
+            top.id,
+            top.distance,
+            outcome.total_latency(),
+            outcome.energy.total_j() * 1e6,
+            String::from_utf8_lossy(&outcome.documents[0][..40.min(outcome.documents[0].len())]),
+        );
+    }
+    Ok(())
+}

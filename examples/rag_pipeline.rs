@@ -1,0 +1,58 @@
+//! End-to-end RAG pipeline comparison: a CPU-served retrieval stage versus
+//! REIS in-storage retrieval, composed with the fixed encoding / generation
+//! stages (reproducing the shape of Figs. 2–3 and Table 4).
+//!
+//! ```bash
+//! cargo run --example rag_pipeline
+//! ```
+
+use reis::baseline::{CpuPrecision, CpuSystem};
+use reis::core::{ReisConfig, ReisSystem, VectorDatabase};
+use reis::rag::{RagPipeline, RagStage};
+use reis::workloads::{DatasetProfile, SyntheticDataset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DatasetProfile::wiki_en();
+    let pipeline = RagPipeline::default();
+    let cpu = CpuSystem::default();
+
+    // CPU pipelines: full-precision and binary-quantized retrieval.
+    let cpu_f32 = pipeline.cpu_breakdown(&cpu, &profile, CpuPrecision::Float32);
+    let cpu_bq = pipeline.cpu_breakdown(&cpu, &profile, CpuPrecision::BinaryWithRerank);
+
+    // REIS pipeline: run a functional in-storage query on a scaled corpus and
+    // use its latency as the search-stage cost (dataset loading disappears).
+    let scaled = profile.clone().scaled(512).with_queries(1);
+    let dataset = SyntheticDataset::generate(scaled, 3);
+    let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), 16)?;
+    let mut reis = ReisSystem::new(ReisConfig::ssd1());
+    let db_id = reis.deploy(&database)?;
+    let outcome = reis.ivf_search(db_id, &dataset.queries()[0], 10, 0.94)?;
+    let reis_breakdown = pipeline.reis_breakdown(outcome.total_latency().as_secs_f64());
+
+    println!("wiki_en end-to-end RAG latency breakdown (fractions of total):\n");
+    println!("{:<30} {:>10} {:>10} {:>10}", "stage", "CPU f32", "CPU + BQ", "REIS");
+    for stage in RagStage::all() {
+        println!(
+            "{:<30} {:>9.1}% {:>9.1}% {:>9.2}%",
+            stage.label(),
+            cpu_f32.fraction(stage) * 100.0,
+            cpu_bq.fraction(stage) * 100.0,
+            reis_breakdown.fraction(stage) * 100.0
+        );
+    }
+    println!(
+        "\ntotals: CPU f32 {:.1}s, CPU+BQ {:.1}s, REIS {:.1}s",
+        cpu_f32.total(),
+        cpu_bq.total(),
+        reis_breakdown.total()
+    );
+    println!(
+        "retrieval share: CPU f32 {:.0}%, CPU+BQ {:.0}%, REIS {:.2}% — with REIS, generation \
+         becomes the bottleneck.",
+        cpu_f32.retrieval_fraction() * 100.0,
+        cpu_bq.retrieval_fraction() * 100.0,
+        reis_breakdown.retrieval_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: the full path from synthetic corpus through
+//! indexing, deployment, in-storage search, baselines and the RAG pipeline
+//! model.
+
+use reis::ann::flat::FlatIndex;
+use reis::ann::metrics::recall_at_k;
+use reis::ann::Metric;
+use reis::baseline::{CpuPrecision, CpuSystem, IceModel, IceVariant, NdSearchAlgorithm, NdSearchModel};
+use reis::core::{Optimizations, ReisConfig, ReisSystem, VectorDatabase};
+use reis::rag::{RagPipeline, RagStage};
+use reis::workloads::{DatasetProfile, GroundTruth, SyntheticDataset};
+
+fn scaled_dataset(entries: usize, queries: usize, seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(
+        DatasetProfile::hotpotqa().scaled(entries).with_queries(queries),
+        seed,
+    )
+}
+
+#[test]
+fn in_storage_retrieval_matches_host_side_ground_truth() {
+    let dataset = scaled_dataset(384, 6, 5);
+    let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), 12)
+        .expect("database construction");
+    let mut reis = ReisSystem::new(ReisConfig::ssd1());
+    let db_id = reis.deploy(&database).expect("deployment");
+    let truth = GroundTruth::compute(&dataset, 10).expect("ground truth");
+
+    let mut recall = 0.0;
+    for (qi, query) in dataset.queries().iter().enumerate() {
+        let outcome = reis
+            .ivf_search_with_nprobe(db_id, query, 10, 12)
+            .expect("in-storage search");
+        recall += recall_at_k(&outcome.result_ids(), truth.neighbors(qi), 10);
+        // Every returned document must be the chunk of the returned entry.
+        for (neighbor, doc) in outcome.results.iter().zip(outcome.documents.iter()) {
+            assert_eq!(doc, &dataset.documents()[neighbor.id]);
+        }
+    }
+    recall /= dataset.queries().len() as f64;
+    assert!(recall > 0.8, "in-storage recall@10 = {recall}");
+}
+
+#[test]
+fn in_storage_search_agrees_with_cpu_bq_ivf_algorithm() {
+    // REIS executes the same BQ IVF + INT8 rerank algorithm as the CPU
+    // implementation in reis-ann; probing every cluster they must agree on
+    // the top hit for queries that have an exact match in the corpus.
+    let dataset = scaled_dataset(256, 4, 9);
+    let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), 8)
+        .expect("database construction");
+    let mut reis = ReisSystem::new(ReisConfig::ssd1());
+    let db_id = reis.deploy(&database).expect("deployment");
+    let flat = FlatIndex::new(dataset.vectors().to_vec(), Metric::SquaredL2).expect("flat");
+    for base in [3usize, 77, 150] {
+        let query = dataset.vectors()[base].clone();
+        let outcome = reis.ivf_search_with_nprobe(db_id, &query, 5, 8).expect("search");
+        assert_eq!(outcome.results[0].id, base, "self-query must return itself first");
+        let exact = flat.search(&query, 1).expect("exact");
+        assert_eq!(exact[0].id, base);
+    }
+}
+
+#[test]
+fn optimizations_change_performance_but_not_results() {
+    let dataset = scaled_dataset(256, 3, 21);
+    let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), 8)
+        .expect("database construction");
+    let mut full = ReisSystem::new(ReisConfig::ssd1());
+    let mut none = ReisSystem::new(ReisConfig::ssd1().with_optimizations(Optimizations::none()));
+    let id_full = full.deploy(&database).expect("deploy");
+    let id_none = none.deploy(&database).expect("deploy");
+    for query in dataset.queries() {
+        let a = full.ivf_search_with_nprobe(id_full, query, 5, 8).expect("search");
+        let b = none.ivf_search_with_nprobe(id_none, query, 5, 8).expect("search");
+        assert_eq!(a.result_ids(), b.result_ids(), "optimizations must not change results");
+        assert!(a.total_latency() <= b.total_latency(), "optimizations must not slow REIS down");
+        assert!(a.activity.fine_entries <= b.activity.fine_entries);
+    }
+}
+
+#[test]
+fn full_scale_speedups_follow_the_paper_ordering() {
+    // Whole-pipeline sanity of the headline claims' *shape*: REIS beats
+    // CPU-Real, SSD2 beats SSD1, and prior ISP accelerators sit in between
+    // or below.
+    use reis_bench::fullscale::{estimate_reis, SearchMode};
+    let profile = DatasetProfile::wiki_en();
+    let cpu = CpuSystem::default();
+    let cpu_real = cpu.cpu_real(&profile, 1_000, None, CpuPrecision::Float32);
+    let reis1 = estimate_reis(&profile, &ReisConfig::ssd1(), SearchMode::BruteForce, 0.05, 10);
+    let reis2 = estimate_reis(&profile, &ReisConfig::ssd2(), SearchMode::BruteForce, 0.05, 10);
+    assert!(reis1.qps > cpu_real.qps(), "REIS must beat CPU-Real on QPS");
+    assert!(reis2.qps > reis1.qps, "SSD2 must beat SSD1");
+    assert!(
+        reis1.qps_per_watt > cpu_real.qps_per_watt(),
+        "REIS must beat CPU-Real on energy efficiency"
+    );
+
+    let ice = IceModel::new(ReisConfig::ssd1(), IceVariant::Published);
+    assert!(
+        reis1.qps > ice.qps(&profile, profile.full_entries, 10),
+        "REIS must beat ICE for brute-force search"
+    );
+    let sift = DatasetProfile::sift_1b();
+    let nd = NdSearchModel::new(ReisConfig::ssd2(), NdSearchAlgorithm::Hnsw);
+    let reis_sift =
+        estimate_reis(&sift, &ReisConfig::ssd2(), SearchMode::Ivf { nprobe_fraction: 0.01 }, 0.02, 10);
+    assert!(reis_sift.qps > nd.qps(&sift), "REIS must beat NDSearch at billion scale");
+}
+
+#[test]
+fn rag_pipeline_bottleneck_shifts_from_retrieval_to_generation() {
+    let profile = DatasetProfile::wiki_en();
+    let pipeline = RagPipeline::default();
+    let cpu = CpuSystem::default();
+    let cpu_breakdown = pipeline.cpu_breakdown(&cpu, &profile, CpuPrecision::BinaryWithRerank);
+    let reis_breakdown = pipeline.reis_breakdown(0.01);
+    assert!(cpu_breakdown.retrieval_fraction() > reis_breakdown.retrieval_fraction() * 10.0);
+    assert!(reis_breakdown.fraction(RagStage::Generation) > 0.8);
+    assert!(reis_breakdown.total() < cpu_breakdown.total());
+}
