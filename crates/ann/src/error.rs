@@ -33,7 +33,10 @@ impl fmt::Display for AnnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnnError::DimensionMismatch { expected, actual } => {
-                write!(f, "vector has {actual} dimensions but the index expects {expected}")
+                write!(
+                    f,
+                    "vector has {actual} dimensions but the index expects {expected}"
+                )
             }
             AnnError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             AnnError::InvalidParameter { name, message } => {
@@ -57,9 +60,15 @@ mod tests {
     #[test]
     fn display_messages_are_meaningful() {
         let errs = vec![
-            AnnError::DimensionMismatch { expected: 1024, actual: 768 },
+            AnnError::DimensionMismatch {
+                expected: 1024,
+                actual: 768,
+            },
             AnnError::EmptyDataset,
-            AnnError::InvalidParameter { name: "nlist", message: "must be non-zero".into() },
+            AnnError::InvalidParameter {
+                name: "nlist",
+                message: "must be non-zero".into(),
+            },
             AnnError::NotTrained,
             AnnError::UnknownVector(9),
         ];

@@ -50,10 +50,17 @@ impl FlatIndex {
         let dim = vectors[0].len();
         for v in &vectors {
             if v.len() != dim {
-                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.len() });
+                return Err(AnnError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.len(),
+                });
             }
         }
-        Ok(FlatIndex { vectors, metric, dim })
+        Ok(FlatIndex {
+            vectors,
+            metric,
+            dim,
+        })
     }
 
     /// Number of indexed vectors.
@@ -82,7 +89,10 @@ impl FlatIndex {
     ///
     /// Returns [`AnnError::UnknownVector`] for an out-of-range id.
     pub fn vector(&self, id: usize) -> Result<&[f32]> {
-        self.vectors.get(id).map(Vec::as_slice).ok_or(AnnError::UnknownVector(id))
+        self.vectors
+            .get(id)
+            .map(Vec::as_slice)
+            .ok_or(AnnError::UnknownVector(id))
     }
 
     /// Exhaustively search for the `k` nearest neighbors of `query`.
@@ -93,7 +103,10 @@ impl FlatIndex {
     /// from the index dimensionality.
     pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
         if query.len() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         let mut top = TopK::new(k);
         for (id, v) in self.vectors.iter().enumerate() {
@@ -132,7 +145,10 @@ impl FlatBinaryIndex {
         let dim = vectors[0].dim();
         for v in &vectors {
             if v.dim() != dim {
-                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.dim() });
+                return Err(AnnError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.dim(),
+                });
             }
         }
         Ok(FlatBinaryIndex { vectors, dim })
@@ -171,7 +187,10 @@ impl FlatBinaryIndex {
     /// differs from the index.
     pub fn search(&self, query: &BinaryVector, k: usize) -> Result<Vec<Neighbor>> {
         if query.dim() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.dim() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
         }
         let mut top = TopK::new(k);
         for (id, v) in self.vectors.iter().enumerate() {
@@ -187,7 +206,9 @@ mod tests {
     use crate::quantize::BinaryQuantizer;
 
     fn grid_vectors() -> Vec<Vec<f32>> {
-        (0..25).map(|i| vec![(i % 5) as f32, (i / 5) as f32]).collect()
+        (0..25)
+            .map(|i| vec![(i % 5) as f32, (i / 5) as f32])
+            .collect()
     }
 
     #[test]
@@ -198,7 +219,10 @@ mod tests {
         assert_eq!(hits.len(), 3);
         assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
         let ids: Vec<usize> = hits.iter().map(|h| h.id).collect();
-        assert!(ids.contains(&1) && ids.contains(&5), "axis neighbors must be next: {ids:?}");
+        assert!(
+            ids.contains(&1) && ids.contains(&5),
+            "axis neighbors must be next: {ids:?}"
+        );
     }
 
     #[test]
@@ -211,15 +235,24 @@ mod tests {
 
     #[test]
     fn construction_validates_input() {
-        assert!(matches!(FlatIndex::new(vec![], Metric::SquaredL2), Err(AnnError::EmptyDataset)));
+        assert!(matches!(
+            FlatIndex::new(vec![], Metric::SquaredL2),
+            Err(AnnError::EmptyDataset)
+        ));
         let ragged = vec![vec![1.0, 2.0], vec![3.0]];
         assert!(matches!(
             FlatIndex::new(ragged, Metric::SquaredL2),
             Err(AnnError::DimensionMismatch { .. })
         ));
         let index = FlatIndex::new(grid_vectors(), Metric::SquaredL2).unwrap();
-        assert!(matches!(index.search(&[1.0], 1), Err(AnnError::DimensionMismatch { .. })));
-        assert!(matches!(index.vector(999), Err(AnnError::UnknownVector(999))));
+        assert!(matches!(
+            index.search(&[1.0], 1),
+            Err(AnnError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            index.vector(999),
+            Err(AnnError::UnknownVector(999))
+        ));
         assert_eq!(index.vector(3).unwrap(), &[3.0, 0.0]);
     }
 

@@ -33,7 +33,12 @@ pub struct HnswConfig {
 impl HnswConfig {
     /// A configuration with `m` links per node and sensible defaults.
     pub fn new(m: usize) -> Self {
-        HnswConfig { m, ef_construction: 2 * m.max(8), metric: Metric::SquaredL2, seed: 0x45 }
+        HnswConfig {
+            m,
+            ef_construction: 2 * m.max(8),
+            metric: Metric::SquaredL2,
+            seed: 0x45,
+        }
     }
 }
 
@@ -74,7 +79,10 @@ impl HnswIndex {
         let dim = vectors[0].len();
         for v in &vectors {
             if v.len() != dim {
-                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.len() });
+                return Err(AnnError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.len(),
+                });
             }
         }
         let mut index = HnswIndex {
@@ -160,9 +168,16 @@ impl HnswIndex {
         for lc in (0..=level.min(self.max_level)).rev() {
             let candidates =
                 self.search_layer(&query, &entry_points, self.config.ef_construction, lc);
-            let m_max = if lc == 0 { self.config.m * 2 } else { self.config.m };
-            let selected: Vec<usize> =
-                candidates.iter().take(self.config.m).map(|n| n.id).collect();
+            let m_max = if lc == 0 {
+                self.config.m * 2
+            } else {
+                self.config.m
+            };
+            let selected: Vec<usize> = candidates
+                .iter()
+                .take(self.config.m)
+                .map(|n| n.id)
+                .collect();
             for &neighbor in &selected {
                 self.links[id][lc].push(neighbor);
                 self.links[neighbor][lc].push(id);
@@ -170,7 +185,11 @@ impl HnswIndex {
                     self.prune(neighbor, lc, m_max);
                 }
             }
-            entry_points = if selected.is_empty() { entry_points } else { selected };
+            entry_points = if selected.is_empty() {
+                entry_points
+            } else {
+                selected
+            };
         }
         if level > self.max_level {
             self.max_level = level;
@@ -265,7 +284,10 @@ impl HnswIndex {
     /// dimensionality.
     pub fn search(&mut self, query: &[f32], k: usize, ef: usize) -> Result<Vec<Neighbor>> {
         if query.len() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         let Some(mut ep) = self.entry_point else {
             return Ok(Vec::new());
@@ -291,7 +313,9 @@ mod tests {
 
     fn random_data(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
     }
 
     #[test]
@@ -314,9 +338,18 @@ mod tests {
         let queries = 30usize;
         for qi in 0..queries {
             let query = &data[qi * 13];
-            let truth: Vec<usize> = flat.search(query, 10).unwrap().iter().map(|n| n.id).collect();
-            let got: Vec<usize> =
-                index.search(query, 10, 64).unwrap().iter().map(|n| n.id).collect();
+            let truth: Vec<usize> = flat
+                .search(query, 10)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let got: Vec<usize> = index
+                .search(query, 10, 64)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
             recall += recall_at_k(&got, &truth, 10);
         }
         recall /= queries as f64;
@@ -332,11 +365,24 @@ mod tests {
         let mut recall_large = 0.0;
         for qi in 0..20 {
             let query = &data[qi * 17];
-            let truth: Vec<usize> = flat.search(query, 10).unwrap().iter().map(|n| n.id).collect();
-            let small: Vec<usize> =
-                index.search(query, 10, 10).unwrap().iter().map(|n| n.id).collect();
-            let large: Vec<usize> =
-                index.search(query, 10, 128).unwrap().iter().map(|n| n.id).collect();
+            let truth: Vec<usize> = flat
+                .search(query, 10)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let small: Vec<usize> = index
+                .search(query, 10, 10)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let large: Vec<usize> = index
+                .search(query, 10, 128)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
             recall_small += recall_at_k(&small, &truth, 10);
             recall_large += recall_at_k(&large, &truth, 10);
         }

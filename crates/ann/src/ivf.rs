@@ -35,7 +35,12 @@ pub struct IvfConfig {
 impl IvfConfig {
     /// A configuration with `nlist` clusters and defaults for the rest.
     pub fn new(nlist: usize) -> Self {
-        IvfConfig { nlist, metric: Metric::SquaredL2, seed: 0x1F5, train_iterations: 15 }
+        IvfConfig {
+            nlist,
+            metric: Metric::SquaredL2,
+            seed: 0x1F5,
+            train_iterations: 15,
+        }
     }
 
     /// Builder-style override of the metric.
@@ -152,11 +157,17 @@ impl IvfIndex {
     /// dimensionality.
     pub fn nearest_clusters(&self, query: &[f32], nprobe: usize) -> Result<Vec<usize>> {
         if query.len() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         let mut top = TopK::new(nprobe.max(1));
         for (cluster, centroid) in self.centroids.iter().enumerate() {
-            top.push(Neighbor::new(cluster, self.config.metric.distance(query, centroid)));
+            top.push(Neighbor::new(
+                cluster,
+                self.config.metric.distance(query, centroid),
+            ));
         }
         Ok(top.into_sorted_vec().into_iter().map(|n| n.id).collect())
     }
@@ -173,7 +184,10 @@ impl IvfIndex {
         let mut top = TopK::new(k);
         for cluster in clusters {
             for &id in &self.lists[cluster] {
-                top.push(Neighbor::new(id, self.config.metric.distance(query, &self.vectors[id])));
+                top.push(Neighbor::new(
+                    id,
+                    self.config.metric.distance(query, &self.vectors[id]),
+                ));
             }
         }
         Ok(top.into_sorted_vec())
@@ -323,7 +337,10 @@ impl IvfBqIndex {
         rerank_factor: usize,
     ) -> Result<Vec<Neighbor>> {
         if query.len() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         let query_binary = self.binary_quantizer.quantize(query)?;
         let query_int8 = self.int8_quantizer.quantize(query)?;
@@ -331,7 +348,10 @@ impl IvfBqIndex {
         // Coarse-grained search over binary centroids.
         let mut coarse = TopK::new(nprobe.max(1));
         for (cluster, centroid) in self.centroid_binary.iter().enumerate() {
-            coarse.push(Neighbor::new(cluster, query_binary.hamming_distance(centroid) as f32));
+            coarse.push(Neighbor::new(
+                cluster,
+                query_binary.hamming_distance(centroid) as f32,
+            ));
         }
 
         // Fine-grained Hamming scan of the probed clusters.
@@ -339,7 +359,10 @@ impl IvfBqIndex {
         let mut fine = TopK::new(candidate_count);
         for cluster in coarse.into_sorted_vec() {
             for &id in &self.lists[cluster.id] {
-                fine.push(Neighbor::new(id, query_binary.hamming_distance(&self.binary[id]) as f32));
+                fine.push(Neighbor::new(
+                    id,
+                    query_binary.hamming_distance(&self.binary[id]) as f32,
+                ));
             }
         }
         let candidates: Vec<usize> = fine.into_sorted_vec().into_iter().map(|n| n.id).collect();
@@ -364,19 +387,28 @@ impl IvfBqIndex {
         rerank_factor: usize,
     ) -> Result<Vec<Neighbor>> {
         if query.len() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         let query_binary = self.binary_quantizer.quantize(query)?;
         let query_int8 = self.int8_quantizer.quantize(query)?;
         let mut coarse = TopK::new(nprobe.max(1));
         for (cluster, centroid) in self.centroids.iter().enumerate() {
-            coarse.push(Neighbor::new(cluster, self.metric.distance(query, centroid)));
+            coarse.push(Neighbor::new(
+                cluster,
+                self.metric.distance(query, centroid),
+            ));
         }
         let candidate_count = (rerank_factor.max(1)) * k.max(1);
         let mut fine = TopK::new(candidate_count);
         for cluster in coarse.into_sorted_vec() {
             for &id in &self.lists[cluster.id] {
-                fine.push(Neighbor::new(id, query_binary.hamming_distance(&self.binary[id]) as f32));
+                fine.push(Neighbor::new(
+                    id,
+                    query_binary.hamming_distance(&self.binary[id]) as f32,
+                ));
             }
         }
         let candidates: Vec<usize> = fine.into_sorted_vec().into_iter().map(|n| n.id).collect();
@@ -396,8 +428,9 @@ mod tests {
     /// dimensions.
     fn clustered_data(n: usize, dim: usize, clusters: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let centers: Vec<Vec<f32>> =
-            (0..clusters).map(|_| (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect()).collect();
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
         (0..n)
             .map(|i| {
                 let c = &centers[i % clusters];
@@ -426,10 +459,18 @@ mod tests {
         let flat = FlatIndex::new(data.clone(), Metric::SquaredL2).unwrap();
         for qi in [0usize, 17, 63, 150] {
             let query = &data[qi];
-            let ivf_hits: Vec<usize> =
-                index.search(query, 5, 4).unwrap().iter().map(|n| n.id).collect();
-            let flat_hits: Vec<usize> =
-                flat.search(query, 5).unwrap().iter().map(|n| n.id).collect();
+            let ivf_hits: Vec<usize> = index
+                .search(query, 5, 4)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let flat_hits: Vec<usize> = flat
+                .search(query, 5)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
             assert_eq!(ivf_hits, flat_hits, "query {qi}");
         }
     }
@@ -444,21 +485,35 @@ mod tests {
         let queries = 20usize;
         for qi in 0..queries {
             let query = &data[qi * 7];
-            let truth: Vec<usize> = flat.search(query, 10).unwrap().iter().map(|n| n.id).collect();
-            let got1: Vec<usize> =
-                index.search(query, 10, 1).unwrap().iter().map(|n| n.id).collect();
-            let gotall: Vec<usize> =
-                index.search(query, 10, 12).unwrap().iter().map(|n| n.id).collect();
+            let truth: Vec<usize> = flat
+                .search(query, 10)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let got1: Vec<usize> = index
+                .search(query, 10, 1)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let gotall: Vec<usize> = index
+                .search(query, 10, 12)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
             recall_1 += recall_at_k(&got1, &truth, 10);
             recall_all += recall_at_k(&gotall, &truth, 10);
         }
         recall_1 /= queries as f64;
         recall_all /= queries as f64;
-        assert!(recall_all > 0.999, "full probe recall should be exact, got {recall_all}");
-        assert!(recall_1 <= recall_all);
         assert!(
-            index.expected_distance_computations(1) < index.expected_distance_computations(12)
+            recall_all > 0.999,
+            "full probe recall should be exact, got {recall_all}"
         );
+        assert!(recall_1 <= recall_all);
+        assert!(index.expected_distance_computations(1) < index.expected_distance_computations(12));
     }
 
     #[test]
@@ -471,9 +526,18 @@ mod tests {
         let mut recall = 0.0;
         for qi in 0..queries {
             let query = &data[qi * 11];
-            let truth: Vec<usize> = flat.search(query, 10).unwrap().iter().map(|n| n.id).collect();
-            let got: Vec<usize> =
-                bq.search(query, 10, 10, 10).unwrap().iter().map(|n| n.id).collect();
+            let truth: Vec<usize> = flat
+                .search(query, 10)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let got: Vec<usize> = bq
+                .search(query, 10, 10, 10)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
             recall += recall_at_k(&got, &truth, 10);
         }
         recall /= queries as f64;
@@ -488,10 +552,22 @@ mod tests {
         let data = clustered_data(300, 32, 6, 5);
         let bq = IvfBqIndex::build(data.clone(), IvfConfig::new(6)).unwrap();
         let query = &data[42];
-        let a: Vec<usize> = bq.search(query, 5, 6, 10).unwrap().iter().map(|n| n.id).collect();
-        let b: Vec<usize> =
-            bq.search_float_coarse(query, 5, 6, 10).unwrap().iter().map(|n| n.id).collect();
-        assert_eq!(a, b, "probing all clusters makes the coarse step irrelevant");
+        let a: Vec<usize> = bq
+            .search(query, 5, 6, 10)
+            .unwrap()
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let b: Vec<usize> = bq
+            .search_float_coarse(query, 5, 6, 10)
+            .unwrap()
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(
+            a, b,
+            "probing all clusters makes the coarse step irrelevant"
+        );
         assert!(a.contains(&42));
     }
 
@@ -506,9 +582,15 @@ mod tests {
             IvfIndex::build(data.clone(), IvfConfig::new(11)),
             Err(AnnError::InvalidParameter { name: "nlist", .. })
         ));
-        assert!(matches!(IvfIndex::build(vec![], IvfConfig::new(1)), Err(AnnError::EmptyDataset)));
+        assert!(matches!(
+            IvfIndex::build(vec![], IvfConfig::new(1)),
+            Err(AnnError::EmptyDataset)
+        ));
         let index = IvfIndex::build(data, IvfConfig::new(2)).unwrap();
-        assert!(index.search(&[1.0, 2.0], 3, 1).is_err(), "wrong query dimensionality");
+        assert!(
+            index.search(&[1.0, 2.0], 3, 1).is_err(),
+            "wrong query dimensionality"
+        );
     }
 
     #[test]

@@ -28,7 +28,12 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// A configuration with sensible defaults for `k` clusters.
     pub fn new(k: usize) -> Self {
-        KMeansConfig { k, max_iterations: 20, seed: 0x5EED, tolerance: 1e-4 }
+        KMeansConfig {
+            k,
+            max_iterations: 20,
+            seed: 0x5EED,
+            tolerance: 1e-4,
+        }
     }
 
     /// Builder-style override of the iteration budget.
@@ -111,7 +116,10 @@ pub fn train(data: &[Vec<f32>], config: &KMeansConfig) -> Result<KMeansModel> {
     let dim = data[0].len();
     for v in data {
         if v.len() != dim {
-            return Err(AnnError::DimensionMismatch { expected: dim, actual: v.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: dim,
+                actual: v.len(),
+            });
         }
     }
 
@@ -165,7 +173,12 @@ pub fn train(data: &[Vec<f32>], config: &KMeansConfig) -> Result<KMeansModel> {
         final_inertia += d as f64;
     }
 
-    Ok(KMeansModel { centroids, assignments, inertia: final_inertia, iterations })
+    Ok(KMeansModel {
+        centroids,
+        assignments,
+        inertia: final_inertia,
+        iterations,
+    })
 }
 
 fn kmeans_plus_plus_init(data: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
@@ -228,7 +241,11 @@ mod tests {
             let mut c = chunk.to_vec();
             c.sort_unstable();
             c.dedup();
-            assert_eq!(c.len(), 3, "points from different blobs must not share a cluster");
+            assert_eq!(
+                c.len(),
+                3,
+                "points from different blobs must not share a cluster"
+            );
         }
         // Inertia of a perfect clustering of tight blobs is tiny.
         assert!(model.inertia < 1.0, "inertia {} too large", model.inertia);
@@ -254,7 +271,10 @@ mod tests {
 
     #[test]
     fn rejects_invalid_parameters() {
-        assert!(matches!(train(&[], &KMeansConfig::new(1)), Err(AnnError::EmptyDataset)));
+        assert!(matches!(
+            train(&[], &KMeansConfig::new(1)),
+            Err(AnnError::EmptyDataset)
+        ));
         let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
         assert!(matches!(
             train(&data, &KMeansConfig::new(0)),
@@ -267,7 +287,10 @@ mod tests {
         let ragged = vec![vec![1.0, 2.0], vec![3.0]];
         assert!(matches!(
             train(&ragged, &KMeansConfig::new(1)),
-            Err(AnnError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(AnnError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 

@@ -29,7 +29,11 @@ pub struct LshConfig {
 impl LshConfig {
     /// A configuration with `num_tables` tables of `num_bits` bits each.
     pub fn new(num_tables: usize, num_bits: usize) -> Self {
-        LshConfig { num_tables, num_bits, seed: 0x15B }
+        LshConfig {
+            num_tables,
+            num_bits,
+            seed: 0x15B,
+        }
     }
 }
 
@@ -93,7 +97,10 @@ impl LshIndex {
         let dim = vectors[0].len();
         for v in &vectors {
             if v.len() != dim {
-                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.len() });
+                return Err(AnnError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.len(),
+                });
             }
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -102,7 +109,10 @@ impl LshIndex {
             let hyperplanes: Vec<Vec<f32>> = (0..config.num_bits)
                 .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
                 .collect();
-            let mut table = LshTable { hyperplanes, buckets: HashMap::new() };
+            let mut table = LshTable {
+                hyperplanes,
+                buckets: HashMap::new(),
+            };
             for (id, v) in vectors.iter().enumerate() {
                 let h = table.hash(v);
                 table.buckets.entry(h).or_default().push(id);
@@ -151,7 +161,10 @@ impl LshIndex {
     /// dimensionality.
     pub fn search(&mut self, query: &[f32], k: usize, multiprobe: bool) -> Result<Vec<Neighbor>> {
         if query.len() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         let mut candidates: HashSet<usize> = HashSet::new();
         for table in &self.tables {
@@ -170,7 +183,10 @@ impl LshIndex {
         self.candidates_last_search = candidates.len();
         let mut top = TopK::new(k);
         for id in candidates {
-            top.push(Neighbor::new(id, self.metric.distance(query, &self.vectors[id])));
+            top.push(Neighbor::new(
+                id,
+                self.metric.distance(query, &self.vectors[id]),
+            ));
         }
         Ok(top.into_sorted_vec())
     }
@@ -186,11 +202,15 @@ mod tests {
 
     fn clustered_data(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let centers: Vec<Vec<f32>> =
-            (0..8).map(|_| (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect()).collect();
+        let centers: Vec<Vec<f32>> = (0..8)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+            .collect();
         (0..n)
             .map(|i| {
-                centers[i % 8].iter().map(|&c| c + rng.gen_range(-0.2..0.2)).collect()
+                centers[i % 8]
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-0.2..0.2))
+                    .collect()
             })
             .collect()
     }
@@ -203,7 +223,10 @@ mod tests {
         assert_eq!(hits[0].id, 33);
         assert_eq!(hits[0].distance, 0.0);
         assert!(index.candidates_last_search() > 0);
-        assert!(index.candidates_last_search() < index.len(), "LSH must prune candidates");
+        assert!(
+            index.candidates_last_search() < index.len(),
+            "LSH must prune candidates"
+        );
     }
 
     #[test]
@@ -215,16 +238,32 @@ mod tests {
         let mut recall_multi = 0.0;
         for qi in 0..20 {
             let query = &data[qi * 23];
-            let truth: Vec<usize> = flat.search(query, 10).unwrap().iter().map(|n| n.id).collect();
-            let single: Vec<usize> =
-                index.search(query, 10, false).unwrap().iter().map(|n| n.id).collect();
-            let multi: Vec<usize> =
-                index.search(query, 10, true).unwrap().iter().map(|n| n.id).collect();
+            let truth: Vec<usize> = flat
+                .search(query, 10)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let single: Vec<usize> = index
+                .search(query, 10, false)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let multi: Vec<usize> = index
+                .search(query, 10, true)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
             recall_single += recall_at_k(&single, &truth, 10);
             recall_multi += recall_at_k(&multi, &truth, 10);
         }
         assert!(recall_multi >= recall_single);
-        assert!(recall_multi > 0.5, "multiprobe recall {recall_multi} unexpectedly low");
+        assert!(
+            recall_multi > 0.5,
+            "multiprobe recall {recall_multi} unexpectedly low"
+        );
     }
 
     #[test]
@@ -232,17 +271,29 @@ mod tests {
         let data = clustered_data(10, 4, 3);
         assert!(matches!(
             LshIndex::build(data.clone(), LshConfig::new(0, 8)),
-            Err(AnnError::InvalidParameter { name: "num_tables", .. })
+            Err(AnnError::InvalidParameter {
+                name: "num_tables",
+                ..
+            })
         ));
         assert!(matches!(
             LshIndex::build(data.clone(), LshConfig::new(2, 0)),
-            Err(AnnError::InvalidParameter { name: "num_bits", .. })
+            Err(AnnError::InvalidParameter {
+                name: "num_bits",
+                ..
+            })
         ));
         assert!(matches!(
             LshIndex::build(data.clone(), LshConfig::new(2, 64)),
-            Err(AnnError::InvalidParameter { name: "num_bits", .. })
+            Err(AnnError::InvalidParameter {
+                name: "num_bits",
+                ..
+            })
         ));
-        assert!(matches!(LshIndex::build(vec![], LshConfig::new(2, 8)), Err(AnnError::EmptyDataset)));
+        assert!(matches!(
+            LshIndex::build(vec![], LshConfig::new(2, 8)),
+            Err(AnnError::EmptyDataset)
+        ));
         let mut index = LshIndex::build(data, LshConfig::new(2, 8)).unwrap();
         assert!(index.search(&[0.0; 3], 1, false).is_err());
     }

@@ -32,7 +32,11 @@ pub fn recall_at_k(retrieved: &[usize], ground_truth: &[usize], k: usize) -> f64
 ///
 /// Panics if the two batches have different lengths.
 pub fn mean_recall_at_k(retrieved: &[Vec<usize>], ground_truth: &[Vec<usize>], k: usize) -> f64 {
-    assert_eq!(retrieved.len(), ground_truth.len(), "batches must have equal length");
+    assert_eq!(
+        retrieved.len(),
+        ground_truth.len(),
+        "batches must have equal length"
+    );
     if retrieved.is_empty() {
         return 0.0;
     }
@@ -67,7 +71,11 @@ pub struct ThroughputPoint {
 impl ThroughputPoint {
     /// Create a throughput point.
     pub fn new(label: impl Into<String>, recall: f64, qps: f64) -> Self {
-        ThroughputPoint { label: label.into(), recall, qps }
+        ThroughputPoint {
+            label: label.into(),
+            recall,
+            qps,
+        }
     }
 
     /// This point's QPS normalized to a baseline QPS (the y-axis of

@@ -37,7 +37,9 @@ pub struct BinaryQuantizer {
 impl BinaryQuantizer {
     /// A quantizer that thresholds every dimension at zero (sign bit).
     pub fn zero_threshold(dim: usize) -> Self {
-        BinaryQuantizer { thresholds: vec![0.0; dim] }
+        BinaryQuantizer {
+            thresholds: vec![0.0; dim],
+        }
     }
 
     /// Fit per-dimension thresholds to the mean of a training set.
@@ -55,13 +57,19 @@ impl BinaryQuantizer {
         let mut sums = vec![0.0f64; dim];
         for v in data {
             if v.len() != dim {
-                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.len() });
+                return Err(AnnError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.len(),
+                });
             }
             for (s, &x) in sums.iter_mut().zip(v.iter()) {
                 *s += x as f64;
             }
         }
-        let thresholds = sums.iter().map(|&s| (s / data.len() as f64) as f32).collect();
+        let thresholds = sums
+            .iter()
+            .map(|&s| (s / data.len() as f64) as f32)
+            .collect();
         Ok(BinaryQuantizer { thresholds })
     }
 
@@ -83,10 +91,16 @@ impl BinaryQuantizer {
     /// from the quantizer's dimensionality.
     pub fn quantize(&self, vector: &[f32]) -> Result<BinaryVector> {
         if vector.len() != self.dim() {
-            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: vector.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim(),
+                actual: vector.len(),
+            });
         }
-        let bits: Vec<bool> =
-            vector.iter().zip(self.thresholds.iter()).map(|(&v, &t)| v > t).collect();
+        let bits: Vec<bool> = vector
+            .iter()
+            .zip(self.thresholds.iter())
+            .map(|(&v, &t)| v > t)
+            .collect();
         Ok(BinaryVector::from_bits(&bits))
     }
 
@@ -116,7 +130,10 @@ mod tests {
     fn zero_threshold_is_the_sign_bit() {
         let q = BinaryQuantizer::zero_threshold(5);
         let v = q.quantize(&[1.0, -1.0, 0.0, 0.001, -0.001]).unwrap();
-        assert_eq!((0..5).map(|i| v.bit(i)).collect::<Vec<_>>(), vec![true, false, false, true, false]);
+        assert_eq!(
+            (0..5).map(|i| v.bit(i)).collect::<Vec<_>>(),
+            vec![true, false, false, true, false]
+        );
     }
 
     #[test]
@@ -151,19 +168,31 @@ mod tests {
         let q = BinaryQuantizer::zero_threshold(4);
         assert!(matches!(
             q.quantize(&[1.0, 2.0]),
-            Err(AnnError::DimensionMismatch { expected: 4, actual: 2 })
+            Err(AnnError::DimensionMismatch {
+                expected: 4,
+                actual: 2
+            })
         ));
     }
 
     #[test]
     fn fit_rejects_bad_datasets() {
-        assert!(matches!(BinaryQuantizer::fit(&[]), Err(AnnError::EmptyDataset)));
+        assert!(matches!(
+            BinaryQuantizer::fit(&[]),
+            Err(AnnError::EmptyDataset)
+        ));
         let ragged = vec![vec![1.0, 2.0], vec![1.0]];
-        assert!(matches!(BinaryQuantizer::fit(&ragged), Err(AnnError::DimensionMismatch { .. })));
+        assert!(matches!(
+            BinaryQuantizer::fit(&ragged),
+            Err(AnnError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
     fn compression_ratio_is_32x_for_byte_aligned_dims() {
-        assert_eq!(BinaryQuantizer::zero_threshold(1024).compression_ratio(), 32.0);
+        assert_eq!(
+            BinaryQuantizer::zero_threshold(1024).compression_ratio(),
+            32.0
+        );
     }
 }

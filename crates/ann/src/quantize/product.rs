@@ -64,7 +64,7 @@ impl ProductQuantizer {
             return Err(AnnError::EmptyDataset);
         }
         let dim = data[0].len();
-        if config.num_subquantizers == 0 || dim % config.num_subquantizers != 0 {
+        if config.num_subquantizers == 0 || !dim.is_multiple_of(config.num_subquantizers) {
             return Err(AnnError::InvalidParameter {
                 name: "num_subquantizers",
                 message: format!(
@@ -81,15 +81,20 @@ impl ProductQuantizer {
         }
         for v in data {
             if v.len() != dim {
-                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.len() });
+                return Err(AnnError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.len(),
+                });
             }
         }
         let sub_dim = dim / config.num_subquantizers;
         let k = config.codebook_size.min(data.len());
         let mut codebooks = Vec::with_capacity(config.num_subquantizers);
         for s in 0..config.num_subquantizers {
-            let sub_data: Vec<Vec<f32>> =
-                data.iter().map(|v| v[s * sub_dim..(s + 1) * sub_dim].to_vec()).collect();
+            let sub_data: Vec<Vec<f32>> = data
+                .iter()
+                .map(|v| v[s * sub_dim..(s + 1) * sub_dim].to_vec())
+                .collect();
             let model = kmeans::train(
                 &sub_data,
                 &KMeansConfig::new(k)
@@ -98,7 +103,11 @@ impl ProductQuantizer {
             )?;
             codebooks.push(model.centroids);
         }
-        Ok(ProductQuantizer { dim, sub_dim, codebooks })
+        Ok(ProductQuantizer {
+            dim,
+            sub_dim,
+            codebooks,
+        })
     }
 
     /// Dimensionality of the original vectors.
@@ -119,7 +128,10 @@ impl ProductQuantizer {
     /// from the training dimensionality.
     pub fn encode(&self, vector: &[f32]) -> Result<Vec<u8>> {
         if vector.len() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: vector.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: vector.len(),
+            });
         }
         Ok(self
             .codebooks
@@ -162,7 +174,10 @@ impl ProductQuantizer {
     /// from the training dimensionality.
     pub fn distance_table(&self, query: &[f32]) -> Result<Vec<Vec<f32>>> {
         if query.len() != self.dim {
-            return Err(AnnError::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         Ok(self
             .codebooks
@@ -182,8 +197,16 @@ impl ProductQuantizer {
     ///
     /// Panics if `codes` and `table` do not match the quantizer layout.
     pub fn asymmetric_distance(table: &[Vec<f32>], codes: &[u8]) -> f32 {
-        assert_eq!(table.len(), codes.len(), "distance table and codes must have equal length");
-        codes.iter().enumerate().map(|(s, &c)| table[s][c as usize]).sum()
+        assert_eq!(
+            table.len(),
+            codes.len(),
+            "distance table and codes must have equal length"
+        );
+        codes
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| table[s][c as usize])
+            .sum()
     }
 }
 
@@ -206,14 +229,21 @@ mod tests {
         (0..n)
             .map(|i| {
                 (0..dim)
-                    .map(|d| ((i * 31 + d * 7) % 97) as f32 / 97.0 + if i % 2 == 0 { 1.0 } else { -1.0 })
+                    .map(|d| {
+                        ((i * 31 + d * 7) % 97) as f32 / 97.0 + if i % 2 == 0 { 1.0 } else { -1.0 }
+                    })
                     .collect()
             })
             .collect()
     }
 
     fn config(m: usize, ks: usize) -> ProductQuantizerConfig {
-        ProductQuantizerConfig { num_subquantizers: m, codebook_size: ks, seed: 11, train_iterations: 8 }
+        ProductQuantizerConfig {
+            num_subquantizers: m,
+            codebook_size: ks,
+            seed: 11,
+            train_iterations: 8,
+        }
     }
 
     #[test]
@@ -231,7 +261,10 @@ mod tests {
         let avg_err = total_err / data.len() as f32;
         // The two interleaved clusters are ~2 apart per dimension; codebooks of
         // 16 entries per 4-d subspace must reconstruct far better than that.
-        assert!(avg_err < 1.0, "average reconstruction error {avg_err} too large");
+        assert!(
+            avg_err < 1.0,
+            "average reconstruction error {avg_err} too large"
+        );
     }
 
     #[test]
@@ -254,12 +287,24 @@ mod tests {
         let data = training_data(10, 9);
         assert!(matches!(
             ProductQuantizer::train(&data, &config(2, 8)),
-            Err(AnnError::InvalidParameter { name: "num_subquantizers", .. })
+            Err(AnnError::InvalidParameter {
+                name: "num_subquantizers",
+                ..
+            })
         ));
         let data = training_data(10, 8);
         assert!(matches!(
-            ProductQuantizer::train(&data, &ProductQuantizerConfig { codebook_size: 0, ..config(2, 8) }),
-            Err(AnnError::InvalidParameter { name: "codebook_size", .. })
+            ProductQuantizer::train(
+                &data,
+                &ProductQuantizerConfig {
+                    codebook_size: 0,
+                    ..config(2, 8)
+                }
+            ),
+            Err(AnnError::InvalidParameter {
+                name: "codebook_size",
+                ..
+            })
         ));
         assert!(matches!(
             ProductQuantizer::train(&[], &config(2, 8)),
@@ -273,7 +318,10 @@ mod tests {
         let pq = ProductQuantizer::train(&data, &config(2, 4)).unwrap();
         assert!(matches!(
             pq.encode(&[1.0; 9]),
-            Err(AnnError::DimensionMismatch { expected: 8, actual: 9 })
+            Err(AnnError::DimensionMismatch {
+                expected: 8,
+                actual: 9
+            })
         ));
         assert!(pq.decode(&[0, 1, 2]).is_err());
     }

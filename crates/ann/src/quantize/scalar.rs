@@ -22,7 +22,10 @@ impl Int8Quantizer {
     /// An identity-style quantizer for values already in `[-1, 1]`:
     /// offset 0 and scale `1/127` on every dimension.
     pub fn unit_range(dim: usize) -> Self {
-        Int8Quantizer { offsets: vec![0.0; dim], scales: vec![1.0 / 127.0; dim] }
+        Int8Quantizer {
+            offsets: vec![0.0; dim],
+            scales: vec![1.0 / 127.0; dim],
+        }
     }
 
     /// Fit offsets (per-dimension mean) and scales (per-dimension maximum
@@ -41,13 +44,19 @@ impl Int8Quantizer {
         let mut sums = vec![0.0f64; dim];
         for v in data {
             if v.len() != dim {
-                return Err(AnnError::DimensionMismatch { expected: dim, actual: v.len() });
+                return Err(AnnError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.len(),
+                });
             }
             for (s, &x) in sums.iter_mut().zip(v.iter()) {
                 *s += x as f64;
             }
         }
-        let offsets: Vec<f32> = sums.iter().map(|&s| (s / data.len() as f64) as f32).collect();
+        let offsets: Vec<f32> = sums
+            .iter()
+            .map(|&s| (s / data.len() as f64) as f32)
+            .collect();
         let mut max_dev = vec![0.0f32; dim];
         for v in data {
             for ((m, &x), &o) in max_dev.iter_mut().zip(v.iter()).zip(offsets.iter()) {
@@ -77,7 +86,10 @@ impl Int8Quantizer {
     /// from the quantizer's dimensionality.
     pub fn quantize(&self, vector: &[f32]) -> Result<Int8Vector> {
         if vector.len() != self.dim() {
-            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: vector.len() });
+            return Err(AnnError::DimensionMismatch {
+                expected: self.dim(),
+                actual: vector.len(),
+            });
         }
         let values = vector
             .iter()
@@ -150,7 +162,9 @@ mod tests {
         // two closest float neighbors rather than an exact match.
         let mut by_f32: Vec<usize> = (0..data.len()).filter(|&i| i != 10).collect();
         by_f32.sort_by(|&a, &b| {
-            squared_l2(&data[a], query).partial_cmp(&squared_l2(&data[b], query)).unwrap()
+            squared_l2(&data[a], query)
+                .partial_cmp(&squared_l2(&data[b], query))
+                .unwrap()
         });
         let nn_int8 = quantized
             .iter()
@@ -175,11 +189,17 @@ mod tests {
 
     #[test]
     fn rejects_dimension_mismatch_and_empty_data() {
-        assert!(matches!(Int8Quantizer::fit(&[]), Err(AnnError::EmptyDataset)));
+        assert!(matches!(
+            Int8Quantizer::fit(&[]),
+            Err(AnnError::EmptyDataset)
+        ));
         let q = Int8Quantizer::unit_range(2);
         assert!(matches!(
             q.quantize(&[1.0]),
-            Err(AnnError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(AnnError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 
@@ -188,6 +208,10 @@ mod tests {
         let data = vec![vec![3.0, 1.0], vec![3.0, 2.0], vec![3.0, 3.0]];
         let q = Int8Quantizer::fit(&data).unwrap();
         let v = q.quantize(&[3.0, 2.0]).unwrap();
-        assert_eq!(v.as_slice()[0], 0, "constant dimension quantizes to the offset");
+        assert_eq!(
+            v.as_slice()[0],
+            0,
+            "constant dimension quantizes to the offset"
+        );
     }
 }

@@ -78,8 +78,9 @@ mod tests {
 
     #[test]
     fn int8_rerank_orders_candidates_by_true_similarity() {
-        let data: Vec<Vec<f32>> =
-            (0..20).map(|i| vec![i as f32 * 0.1, 1.0 - i as f32 * 0.1, 0.5]).collect();
+        let data: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![i as f32 * 0.1, 1.0 - i as f32 * 0.1, 0.5])
+            .collect();
         let quantizer = Int8Quantizer::fit(&data).unwrap();
         let db = quantizer.quantize_all(&data).unwrap();
         let query = quantizer.quantize(&data[7]).unwrap();
@@ -94,7 +95,12 @@ mod tests {
 
     #[test]
     fn f32_rerank_matches_metric_ordering() {
-        let data = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 3.0]];
+        let data = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 3.0],
+        ];
         let top = rerank_f32(&[0.2, 0.1], &[0, 1, 2, 3], &data, Metric::SquaredL2, 2).unwrap();
         assert_eq!(top[0].id, 0);
         assert_eq!(top[1].id, 1);
@@ -119,7 +125,10 @@ mod tests {
         let db = vec![Int8Vector::new(vec![0, 0, 0])];
         assert!(matches!(
             rerank_int8(&Int8Vector::new(vec![0, 0]), &[0], &db, 1),
-            Err(AnnError::DimensionMismatch { expected: 2, actual: 3 })
+            Err(AnnError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            })
         ));
     }
 

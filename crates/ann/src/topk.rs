@@ -104,7 +104,10 @@ pub struct TopK {
 impl TopK {
     /// Create an accumulator that keeps the `k` nearest candidates.
     pub fn new(k: usize) -> Self {
-        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offer a candidate to the accumulator.

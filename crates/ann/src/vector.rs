@@ -8,6 +8,108 @@
 
 use serde::{Deserialize, Serialize};
 
+#[inline(always)]
+fn word(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+}
+
+/// Word-parallel popcount body (two `u64` words per step with independent
+/// accumulators, byte-wise tail), shared by the portable and POPCNT entry
+/// points.
+#[inline(always)]
+fn popcount_core(bytes: &[u8]) -> u32 {
+    let mut blocks = bytes.chunks_exact(16);
+    let (mut s0, mut s1) = (0u32, 0u32);
+    for block in blocks.by_ref() {
+        s0 += word(&block[0..8]).count_ones();
+        s1 += word(&block[8..16]).count_ones();
+    }
+    let mut words = blocks.remainder().chunks_exact(8);
+    let mut total = s0 + s1;
+    for w in words.by_ref() {
+        total += word(w).count_ones();
+    }
+    for &b in words.remainder() {
+        total += b.count_ones();
+    }
+    total
+}
+
+/// Word-parallel XOR-popcount body, shared by the portable and POPCNT entry
+/// points.
+#[inline(always)]
+fn hamming_core(a: &[u8], b: &[u8]) -> u32 {
+    let mut ab = a.chunks_exact(16);
+    let mut bb = b.chunks_exact(16);
+    let (mut s0, mut s1) = (0u32, 0u32);
+    for (x, y) in ab.by_ref().zip(bb.by_ref()) {
+        s0 += (word(&x[0..8]) ^ word(&y[0..8])).count_ones();
+        s1 += (word(&x[8..16]) ^ word(&y[8..16])).count_ones();
+    }
+    let mut aw = ab.remainder().chunks_exact(8);
+    let mut bw = bb.remainder().chunks_exact(8);
+    let mut total = s0 + s1;
+    for (x, y) in aw.by_ref().zip(bw.by_ref()) {
+        total += (word(x) ^ word(y)).count_ones();
+    }
+    for (x, y) in aw.remainder().iter().zip(bw.remainder()) {
+        total += (x ^ y).count_ones();
+    }
+    total
+}
+
+/// `popcount_core` compiled with the hardware POPCNT instruction.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports the `popcnt` feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn popcount_popcnt(bytes: &[u8]) -> u32 {
+    popcount_core(bytes)
+}
+
+/// `hamming_core` compiled with the hardware POPCNT instruction.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports the `popcnt` feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn hamming_popcnt(a: &[u8], b: &[u8]) -> u32 {
+    hamming_core(a, b)
+}
+
+/// Set-bit count of a packed bit vector, processed as `u64` words with a
+/// byte-wise tail; uses the hardware POPCNT instruction when the CPU has it.
+#[inline]
+pub fn popcount(bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: feature presence checked at runtime just above.
+        return unsafe { popcount_popcnt(bytes) };
+    }
+    popcount_core(bytes)
+}
+
+/// Hamming distance between two equally long packed bit vectors, processed
+/// as `u64` words with a byte-wise tail; uses the hardware POPCNT
+/// instruction when the CPU has it.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn hamming_bytes(a: &[u8], b: &[u8]) -> u32 {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: feature presence checked at runtime just above.
+        return unsafe { hamming_popcnt(a, b) };
+    }
+    hamming_core(a, b)
+}
+
 /// A binary-quantized embedding: one bit per dimension, packed into bytes.
 ///
 /// Bit `d` of the vector is stored in byte `d / 8`, bit position `d % 8`
@@ -39,7 +141,10 @@ impl BinaryVector {
                 bytes[d / 8] |= 1 << (d % 8);
             }
         }
-        BinaryVector { dim: bits.len(), bytes }
+        BinaryVector {
+            dim: bits.len(),
+            bytes,
+        }
     }
 
     /// Create a binary vector of `dim` dimensions from pre-packed bytes.
@@ -48,7 +153,11 @@ impl BinaryVector {
     ///
     /// Panics if `bytes` is too short to hold `dim` bits.
     pub fn from_packed(dim: usize, bytes: Vec<u8>) -> Self {
-        assert!(bytes.len() * 8 >= dim, "{} bytes cannot hold {dim} bits", bytes.len());
+        assert!(
+            bytes.len() * 8 >= dim,
+            "{} bytes cannot hold {dim} bits",
+            bytes.len()
+        );
         BinaryVector { dim, bytes }
     }
 
@@ -73,23 +182,32 @@ impl BinaryVector {
     ///
     /// Panics if `d >= self.dim()`.
     pub fn bit(&self, d: usize) -> bool {
-        assert!(d < self.dim, "bit index {d} out of range for {}-d vector", self.dim);
+        assert!(
+            d < self.dim,
+            "bit index {d} out of range for {}-d vector",
+            self.dim
+        );
         (self.bytes[d / 8] >> (d % 8)) & 1 == 1
     }
 
-    /// Number of set bits.
+    /// Number of set bits (word-parallel popcount).
     pub fn count_ones(&self) -> u32 {
-        self.bytes.iter().map(|b| b.count_ones()).sum()
+        popcount(&self.bytes)
     }
 
-    /// Hamming distance to another binary vector of the same dimensionality.
+    /// Hamming distance to another binary vector of the same dimensionality,
+    /// computed over `u64` words (the software mirror of the in-plane
+    /// XOR + fail-bit-count engine).
     ///
     /// # Panics
     ///
     /// Panics if the dimensionalities differ.
     pub fn hamming_distance(&self, other: &BinaryVector) -> u32 {
-        assert_eq!(self.dim, other.dim, "hamming distance requires equal dimensionality");
-        self.bytes.iter().zip(other.bytes.iter()).map(|(a, b)| (a ^ b).count_ones()).sum()
+        assert_eq!(
+            self.dim, other.dim,
+            "hamming distance requires equal dimensionality"
+        );
+        hamming_bytes(&self.bytes, &other.bytes)
     }
 }
 
@@ -127,7 +245,11 @@ impl Int8Vector {
     ///
     /// Panics if the dimensionalities differ.
     pub fn squared_l2(&self, other: &Int8Vector) -> i64 {
-        assert_eq!(self.dim(), other.dim(), "distance requires equal dimensionality");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "distance requires equal dimensionality"
+        );
         self.values
             .iter()
             .zip(other.values.iter())
@@ -138,14 +260,58 @@ impl Int8Vector {
             .sum()
     }
 
+    /// Squared Euclidean distance to an INT8 embedding stored as raw bytes
+    /// (each byte reinterpreted as `i8`), e.g. a slot borrowed directly from
+    /// a flash page readout. Four-wide unrolled with independent
+    /// accumulators so the lanes pipeline; each squared difference fits i32
+    /// and the lane sums accumulate in i64, so no overflow is possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` differs from the vector's dimensionality.
+    pub fn squared_l2_raw(&self, raw: &[u8]) -> i64 {
+        assert_eq!(
+            self.dim(),
+            raw.len(),
+            "distance requires equal dimensionality"
+        );
+        let mut aq = self.values.chunks_exact(4);
+        let mut bq = raw.chunks_exact(4);
+        let (mut s0, mut s1, mut s2, mut s3) = (0i64, 0i64, 0i64, 0i64);
+        for (a, b) in aq.by_ref().zip(bq.by_ref()) {
+            let d0 = a[0] as i32 - b[0] as i8 as i32;
+            let d1 = a[1] as i32 - b[1] as i8 as i32;
+            let d2 = a[2] as i32 - b[2] as i8 as i32;
+            let d3 = a[3] as i32 - b[3] as i8 as i32;
+            s0 += (d0 * d0) as i64;
+            s1 += (d1 * d1) as i64;
+            s2 += (d2 * d2) as i64;
+            s3 += (d3 * d3) as i64;
+        }
+        let mut tail = 0i64;
+        for (&a, &b) in aq.remainder().iter().zip(bq.remainder()) {
+            let d = a as i64 - b as i8 as i64;
+            tail += d * d;
+        }
+        s0 + s1 + s2 + s3 + tail
+    }
+
     /// Inner product with another INT8 vector, accumulated in i64.
     ///
     /// # Panics
     ///
     /// Panics if the dimensionalities differ.
     pub fn dot(&self, other: &Int8Vector) -> i64 {
-        assert_eq!(self.dim(), other.dim(), "dot product requires equal dimensionality");
-        self.values.iter().zip(other.values.iter()).map(|(&a, &b)| a as i64 * b as i64).sum()
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dot product requires equal dimensionality"
+        );
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(&a, &b)| a as i64 * b as i64)
+            .sum()
     }
 }
 
@@ -204,9 +370,40 @@ mod tests {
     fn int8_distances() {
         let a = Int8Vector::new(vec![1, -2, 3]);
         let b = Int8Vector::new(vec![-1, 2, 3]);
-        assert_eq!(a.squared_l2(&b), 4 + 16 + 0);
+        assert_eq!(a.squared_l2(&b), (4 + 16));
         assert_eq!(a.dot(&b), -1 - 4 + 9);
         assert_eq!(a.byte_len(), 3);
+    }
+
+    #[test]
+    fn squared_l2_raw_matches_vector_distance_for_all_tail_lengths() {
+        for dim in 1..=67usize {
+            let a = Int8Vector::new(
+                (0..dim)
+                    .map(|i| ((i * 37) as i64 % 255 - 127) as i8)
+                    .collect(),
+            );
+            let b_vals: Vec<i8> = (0..dim)
+                .map(|i| ((i * 91 + 13) as i64 % 255 - 127) as i8)
+                .collect();
+            let raw: Vec<u8> = b_vals.iter().map(|&v| v as u8).collect();
+            let b = Int8Vector::new(b_vals);
+            assert_eq!(a.squared_l2_raw(&raw), a.squared_l2(&b), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn word_kernels_match_bitwise_reference_for_odd_dims() {
+        for dim in [1usize, 7, 8, 9, 63, 64, 65, 127, 128, 129, 255, 256] {
+            let bits_a: Vec<bool> = (0..dim).map(|i| (i * 7 + 3) % 5 < 2).collect();
+            let bits_b: Vec<bool> = (0..dim).map(|i| (i * 11 + 1) % 3 == 0).collect();
+            let a = BinaryVector::from_bits(&bits_a);
+            let b = BinaryVector::from_bits(&bits_b);
+            let expected_ones = bits_a.iter().filter(|&&x| x).count() as u32;
+            let expected_dist = bits_a.iter().zip(&bits_b).filter(|(x, y)| x != y).count() as u32;
+            assert_eq!(a.count_ones(), expected_ones, "dim {dim}");
+            assert_eq!(a.hamming_distance(&b), expected_dist, "dim {dim}");
+        }
     }
 
     #[test]

@@ -97,4 +97,28 @@ proptest! {
         let restored = BinaryVector::from_packed(bits.len(), v.as_bytes().to_vec());
         prop_assert_eq!(v, restored);
     }
+
+    /// The u64-word hamming/popcount kernels match the bit-by-bit reference
+    /// for every dimensionality 1..=256, odd tails included.
+    #[test]
+    fn word_kernels_match_bitwise_reference_for_all_dims(seed in any::<u64>()) {
+        // Cheap deterministic bit stream derived from the seed so each case
+        // exercises different contents at every dimensionality.
+        let mut state = seed;
+        let mut next_bit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 63) == 1
+        };
+        for dim in 1usize..=256 {
+            let bits_a: Vec<bool> = (0..dim).map(|_| next_bit()).collect();
+            let bits_b: Vec<bool> = (0..dim).map(|_| next_bit()).collect();
+            let a = BinaryVector::from_bits(&bits_a);
+            let b = BinaryVector::from_bits(&bits_b);
+            let ref_ones = bits_a.iter().filter(|&&x| x).count() as u32;
+            let ref_dist = bits_a.iter().zip(&bits_b).filter(|(x, y)| x != y).count() as u32;
+            prop_assert_eq!(a.count_ones(), ref_ones, "count_ones at dim {}", dim);
+            prop_assert_eq!(a.hamming_distance(&b), ref_dist, "hamming at dim {}", dim);
+            prop_assert_eq!(a.hamming_distance(&a), 0, "self distance at dim {}", dim);
+        }
+    }
 }

@@ -168,7 +168,8 @@ impl CpuSystem {
         let dim = profile.dim as f64;
         match precision {
             CpuPrecision::Float32 => {
-                let compute = n * dim / (self.config.f32_dims_per_sec_per_core * self.effective_cores());
+                let compute =
+                    n * dim / (self.config.f32_dims_per_sec_per_core * self.effective_cores());
                 let memory = n * dim * 4.0 / self.config.dram_bandwidth_bps;
                 compute.max(memory)
             }
@@ -204,8 +205,8 @@ impl CpuSystem {
                 coarse + fine_compute.max(fine_memory)
             }
             CpuPrecision::BinaryWithRerank => {
-                let coarse =
-                    nlist * dim / (self.config.binary_bits_per_sec_per_core * self.effective_cores());
+                let coarse = nlist * dim
+                    / (self.config.binary_bits_per_sec_per_core * self.effective_cores());
                 let fine_compute = probed * dim
                     / (self.config.binary_bits_per_sec_per_core * self.effective_cores());
                 let fine_memory = probed * dim / 8.0 / self.config.dram_bandwidth_bps;
@@ -254,7 +255,10 @@ impl CpuSystem {
         nprobe: Option<usize>,
         precision: CpuPrecision,
     ) -> CpuRetrievalEstimate {
-        CpuRetrievalEstimate { load_seconds: 0.0, ..self.cpu_real(profile, queries, nprobe, precision) }
+        CpuRetrievalEstimate {
+            load_seconds: 0.0,
+            ..self.cpu_real(profile, queries, nprobe, precision)
+        }
     }
 }
 
@@ -273,8 +277,10 @@ mod tests {
         let cpu = CpuSystem::default();
         let wiki = DatasetProfile::wiki_en();
         let est = cpu.cpu_real(&wiki, 1000, Some(200), CpuPrecision::BinaryWithRerank);
-        assert!(est.load_seconds > est.search_seconds_per_query * est.queries as f64 * 0.3,
-            "loading should be a major fraction for wiki_en");
+        assert!(
+            est.load_seconds > est.search_seconds_per_query * est.queries as f64 * 0.3,
+            "loading should be a major fraction for wiki_en"
+        );
         assert!(est.qps() > 0.0);
         assert!(est.qps_per_watt() > 0.0);
     }

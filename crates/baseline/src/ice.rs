@@ -78,13 +78,15 @@ impl IceModel {
         // one candidate record (distance + id) per evaluated embedding.
         let record_bytes = 8u64;
         let bytes_per_channel = entries * record_bytes / geom.channels as u64;
-        let transfer = Nanos::from_secs_f64(bytes_per_channel as f64 / timing.channel_bandwidth_bps);
+        let transfer =
+            Nanos::from_secs_f64(bytes_per_channel as f64 / timing.channel_bandwidth_bps);
         // Host-side selection of the top-k and (unaccelerated) document
         // fetches through the conventional read path.
         let host_select = Nanos::from_secs_f64(entries as f64 * 2.0 / 50.0e9);
         let doc_fetch = Nanos::from_secs_f64(
             (k * profile.doc_bytes) as f64 / self.config.ssd.timing.channel_bandwidth_bps,
-        ) + timing.read_latency(ProgramScheme::Ispp(reis_nand::CellMode::Tlc)) * k as u64;
+        ) + timing.read_latency(ProgramScheme::Ispp(reis_nand::CellMode::Tlc))
+            * k as u64;
         scan + transfer + host_select + doc_fetch
     }
 
@@ -116,9 +118,12 @@ mod tests {
         let published = IceModel::new(ReisConfig::ssd1(), IceVariant::Published);
         let esp = IceModel::new(ReisConfig::ssd1(), IceVariant::EspIdeal);
         let n = profile.full_entries;
-        let ratio =
-            published.pages_for_entries(&profile, n) as f64 / esp.pages_for_entries(&profile, n) as f64;
-        assert!((ratio - 8.0).abs() < 0.01, "page ratio {ratio} should be ~8x");
+        let ratio = published.pages_for_entries(&profile, n) as f64
+            / esp.pages_for_entries(&profile, n) as f64;
+        assert!(
+            (ratio - 8.0).abs() < 0.01,
+            "page ratio {ratio} should be ~8x"
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ fn bench_reis_query(c: &mut Criterion) {
 
     let (mut system, id, queries) = setup(ReisConfig::ssd1(), 1_024, 16);
     group.bench_function("ssd1_ivf_nprobe2", |b| {
-        b.iter(|| system.ivf_search_with_nprobe(id, &queries[0], 10, 2).unwrap())
+        b.iter(|| {
+            system
+                .ivf_search_with_nprobe(id, &queries[0], 10, 2)
+                .unwrap()
+        })
     });
     group.bench_function("ssd1_brute_force", |b| {
         b.iter(|| system.search(id, &queries[0], 10).unwrap())
@@ -34,13 +38,23 @@ fn bench_reis_query(c: &mut Criterion) {
 
     let (mut ssd2, id2, queries2) = setup(ReisConfig::ssd2(), 1_024, 16);
     group.bench_function("ssd2_ivf_nprobe2", |b| {
-        b.iter(|| ssd2.ivf_search_with_nprobe(id2, &queries2[0], 10, 2).unwrap())
+        b.iter(|| {
+            ssd2.ivf_search_with_nprobe(id2, &queries2[0], 10, 2)
+                .unwrap()
+        })
     });
 
-    let (mut no_opt, id3, queries3) =
-        setup(ReisConfig::ssd1().with_optimizations(Optimizations::none()), 1_024, 16);
+    let (mut no_opt, id3, queries3) = setup(
+        ReisConfig::ssd1().with_optimizations(Optimizations::none()),
+        1_024,
+        16,
+    );
     group.bench_function("ssd1_no_opt_ivf_nprobe2", |b| {
-        b.iter(|| no_opt.ivf_search_with_nprobe(id3, &queries3[0], 10, 2).unwrap())
+        b.iter(|| {
+            no_opt
+                .ivf_search_with_nprobe(id3, &queries3[0], 10, 2)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -13,6 +13,8 @@ use reis_nand::geometry::{Geometry, PageAddr};
 use reis_nand::peripheral::{FailBitCounter, XorLogic};
 use reis_workloads::{DatasetProfile, SyntheticDataset};
 
+use reis_bench::seed_reference as bytewise;
+
 fn bench_in_plane_distance(c: &mut Criterion) {
     // A full 16 KB page of 128 binary 1024-d embeddings against one query.
     let page: Vec<u8> = (0..16 * 1024).map(|i| (i % 251) as u8).collect();
@@ -24,14 +26,52 @@ fn bench_in_plane_distance(c: &mut Criterion) {
             FailBitCounter::count_per_chunk(&xored, 128)
         })
     });
+    // The same sweep with the byte-wise seed kernels: the ratio of these two
+    // is the word-kernel speedup reported in BENCH_pr1.json.
+    c.bench_function("in_plane_xor_popcount_page_bytewise", |b| {
+        b.iter(|| {
+            let xored = bytewise::xor(&page, &broadcast);
+            bytewise::count_per_chunk(&xored, 128)
+        })
+    });
+    // Allocation-free fused path the engine actually runs: XOR into a reused
+    // buffer, count into a reused buffer.
+    let mut xor_buf = Vec::new();
+    let mut counts = Vec::new();
+    c.bench_function("in_plane_xor_popcount_page_reused_buffers", |b| {
+        b.iter(|| {
+            XorLogic::xor_into(&page, &broadcast, &mut xor_buf);
+            FailBitCounter::count_per_chunk_into(&xor_buf, 128, &mut counts);
+            counts.len()
+        })
+    });
+}
+
+fn bench_hamming_kernels(c: &mut Criterion) {
+    use reis_ann::vector::{hamming_bytes, BinaryVector};
+    let a: Vec<u8> = (0..128).map(|i| (i * 31 + 7) as u8).collect();
+    let b_: Vec<u8> = (0..128).map(|i| (i * 17 + 3) as u8).collect();
+    let va = BinaryVector::from_packed(1024, a.clone());
+    let vb = BinaryVector::from_packed(1024, b_.clone());
+    c.bench_function("hamming_1024d_word", |bch| {
+        bch.iter(|| hamming_bytes(&a, &b_))
+    });
+    c.bench_function("hamming_1024d_bytewise", |bch| {
+        bch.iter(|| bytewise::hamming(&a, &b_))
+    });
+    c.bench_function("hamming_1024d_binary_vector", |bch| {
+        bch.iter(|| va.hamming_distance(&vb))
+    });
 }
 
 fn bench_flash_device_scan(c: &mut Criterion) {
     let mut device = FlashDevice::new(Geometry::tiny(), Default::default());
     let addr = PageAddr::new(0, 0, 0, 0, 0);
     let page: Vec<u8> = (0..4096).map(|i| (i % 200) as u8).collect();
-    device.program_page(addr, &page, &[], ProgramScheme::EnhancedSlc).unwrap();
-    device.input_broadcast(0, 0, &vec![0x55u8; 64], true).unwrap();
+    device
+        .program_page(addr, &page, &[], ProgramScheme::EnhancedSlc)
+        .unwrap();
+    device.input_broadcast(0, 0, &[0x55u8; 64], true).unwrap();
     c.bench_function("flash_device_sense_xor_count", |b| {
         b.iter(|| {
             device.sense_page(addr).unwrap();
@@ -42,8 +82,9 @@ fn bench_flash_device_scan(c: &mut Criterion) {
 }
 
 fn bench_selection_kernels(c: &mut Criterion) {
-    let candidates: Vec<Neighbor> =
-        (0..100_000).map(|i| Neighbor::new(i, ((i * 2654435761) % 1_000_003) as f32)).collect();
+    let candidates: Vec<Neighbor> = (0..100_000)
+        .map(|i| Neighbor::new(i, ((i * 2654435761) % 1_000_003) as f32))
+        .collect();
     c.bench_function("quickselect_100k_keep_100", |b| {
         b.iter_batched(
             || candidates.clone(),
@@ -57,10 +98,8 @@ fn bench_selection_kernels(c: &mut Criterion) {
 }
 
 fn bench_quantization_and_ivf(c: &mut Criterion) {
-    let dataset = SyntheticDataset::generate(
-        DatasetProfile::hotpotqa().scaled(1_024).with_queries(4),
-        3,
-    );
+    let dataset =
+        SyntheticDataset::generate(DatasetProfile::hotpotqa().scaled(1_024).with_queries(4), 3);
     let quantizer = BinaryQuantizer::fit(dataset.vectors()).unwrap();
     c.bench_function("binary_quantize_1024d", |b| {
         b.iter(|| quantizer.quantize(&dataset.vectors()[0]).unwrap())
@@ -80,6 +119,7 @@ fn bench_quantization_and_ivf(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_in_plane_distance,
+    bench_hamming_kernels,
     bench_flash_device_scan,
     bench_selection_kernels,
     bench_quantization_and_ivf

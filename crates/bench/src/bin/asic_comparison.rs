@@ -29,15 +29,28 @@ fn main() {
         for recall in RECALLS {
             let nprobe = ReisSystem::nprobe_for_recall(profile.full_nlist, recall);
             let fraction = nprobe as f64 / profile.full_nlist as f64;
-            print!("{:<14} {:<16}", profile.name, format!("IVF R@10={recall:.2}"));
+            print!(
+                "{:<14} {:<16}",
+                profile.name,
+                format!("IVF R@10={recall:.2}")
+            );
             for config in [ReisConfig::ssd1(), ReisConfig::ssd2()] {
-                let mode = SearchMode::Ivf { nprobe_fraction: fraction };
+                let mode = SearchMode::Ivf {
+                    nprobe_fraction: fraction,
+                };
                 let activity =
                     full_scale_activity(&profile, &config, mode, calibration.pass_fraction, K);
                 let reis = estimate_reis(&profile, &config, mode, calibration.pass_fraction, K);
                 let perf = PerfModel::new(config);
-                let reis_scan = perf.scan(activity.coarse_pages, activity.coarse_entries, activity.embedding_slot_bytes)
-                    + perf.scan(activity.fine_pages, activity.fine_entries, activity.embedding_slot_bytes);
+                let reis_scan = perf.scan(
+                    activity.coarse_pages,
+                    activity.coarse_entries,
+                    activity.embedding_slot_bytes,
+                ) + perf.scan(
+                    activity.fine_pages,
+                    activity.fine_entries,
+                    activity.embedding_slot_bytes,
+                );
                 let shared_tail = reis.latency.saturating_sub(reis_scan);
                 let asic = ReisAsicModel::new(config);
                 let slowdown = asic.slowdown_vs_reis(&activity, reis_scan, shared_tail);

@@ -5,8 +5,8 @@
 //! filter at several threshold fractions, and the recall that remains when
 //! only surviving embeddings can be retrieved.
 
-use reis_ann::quantize::BinaryQuantizer;
 use reis_ann::metrics::recall_at_k;
+use reis_ann::quantize::BinaryQuantizer;
 use reis_bench::report;
 use reis_workloads::{DatasetProfile, GroundTruth, SyntheticDataset};
 

@@ -28,7 +28,12 @@ fn main() {
         );
         let rows: Vec<(String, f64)> = RagStage::all()
             .iter()
-            .map(|&stage| (format!("{} (% of total)", stage.label()), breakdown.fraction(stage) * 100.0))
+            .map(|&stage| {
+                (
+                    format!("{} (% of total)", stage.label()),
+                    breakdown.fraction(stage) * 100.0,
+                )
+            })
             .collect();
         report::series("  stage fractions:", &rows);
         println!(

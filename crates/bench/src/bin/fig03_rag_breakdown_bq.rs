@@ -26,7 +26,10 @@ fn main() {
         let rows: Vec<(String, f64)> = RagStage::all()
             .iter()
             .map(|&stage| {
-                (format!("{} (% of total)", stage.label()), bq_breakdown.fraction(stage) * 100.0)
+                (
+                    format!("{} (% of total)", stage.label()),
+                    bq_breakdown.fraction(stage) * 100.0,
+                )
             })
             .collect();
         report::series("  stage fractions:", &rows);

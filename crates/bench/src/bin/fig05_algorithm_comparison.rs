@@ -55,7 +55,11 @@ fn main() {
     for nprobe in [1, 2, 4, 8, nlist / 2, nlist] {
         let nprobe = nprobe.max(1);
         let (recall, qps) = time_queries(queries, &truth, |q| {
-            ivf.search(q, K, nprobe).expect("ivf search").iter().map(|n| n.id).collect()
+            ivf.search(q, K, nprobe)
+                .expect("ivf search")
+                .iter()
+                .map(|n| n.id)
+                .collect()
         });
         rows.push((format!("IVF (nlist={nlist}, nprobe={nprobe})"), recall, qps));
     }
@@ -63,24 +67,45 @@ fn main() {
     for nprobe in [2, 8, nlist] {
         let nprobe = nprobe.max(1);
         let (recall, qps) = time_queries(queries, &truth, |q| {
-            bq_ivf.search(q, K, nprobe, 10).expect("bq ivf").iter().map(|n| n.id).collect()
+            bq_ivf
+                .search(q, K, nprobe, 10)
+                .expect("bq ivf")
+                .iter()
+                .map(|n| n.id)
+                .collect()
         });
-        rows.push((format!("BQ IVF (nlist={nlist}, nprobe={nprobe})"), recall, qps));
+        rows.push((
+            format!("BQ IVF (nlist={nlist}, nprobe={nprobe})"),
+            recall,
+            qps,
+        ));
     }
     // PQ IVF: product-quantized rerank-free scan of the probed lists.
     let pq = ProductQuantizer::train(
         dataset.vectors(),
-        &ProductQuantizerConfig { num_subquantizers: 64, codebook_size: 64, seed: 5, train_iterations: 6 },
+        &ProductQuantizerConfig {
+            num_subquantizers: 64,
+            codebook_size: 64,
+            seed: 5,
+            train_iterations: 6,
+        },
     )
     .expect("pq");
-    let codes: Vec<Vec<u8>> = dataset.vectors().iter().map(|v| pq.encode(v).expect("encode")).collect();
+    let codes: Vec<Vec<u8>> = dataset
+        .vectors()
+        .iter()
+        .map(|v| pq.encode(v).expect("encode"))
+        .collect();
     let (recall, qps) = time_queries(queries, &truth, |q| {
         let table = pq.distance_table(q).expect("table");
         let clusters = ivf.nearest_clusters(q, nlist / 4).expect("coarse");
         let mut candidates: Vec<(usize, f32)> = Vec::new();
         for c in clusters {
             for &id in &ivf.lists()[c] {
-                candidates.push((id, ProductQuantizer::asymmetric_distance(&table, &codes[id])));
+                candidates.push((
+                    id,
+                    ProductQuantizer::asymmetric_distance(&table, &codes[id]),
+                ));
             }
         }
         candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -96,11 +121,14 @@ fn main() {
     // HNSW (float) at several ef settings, and BQ HNSW (same graph, binary
     // distance for traversal would change recall little; the paper observes
     // its throughput stays constant, so we report the float graph twice).
-    let mut hnsw =
-        HnswIndex::build(dataset.vectors().to_vec(), HnswConfig::new(32)).expect("hnsw");
+    let mut hnsw = HnswIndex::build(dataset.vectors().to_vec(), HnswConfig::new(32)).expect("hnsw");
     for ef in [16, 64, 256] {
         let (recall, qps) = time_queries(queries, &truth, |q| {
-            hnsw.search(q, K, ef).expect("hnsw").iter().map(|n| n.id).collect()
+            hnsw.search(q, K, ef)
+                .expect("hnsw")
+                .iter()
+                .map(|n| n.id)
+                .collect()
         });
         rows.push((format!("HNSW (M=32, ef={ef})"), recall, qps));
         rows.push((format!("BQ HNSW (M=32, ef={ef})"), recall, qps));
@@ -109,11 +137,22 @@ fn main() {
     // LSH.
     let mut lsh = LshIndex::build(dataset.vectors().to_vec(), LshConfig::new(8, 14)).expect("lsh");
     let (recall, qps) = time_queries(queries, &truth, |q| {
-        lsh.search(q, K, true).expect("lsh").iter().map(|n| n.id).collect()
+        lsh.search(q, K, true)
+            .expect("lsh")
+            .iter()
+            .map(|n| n.id)
+            .collect()
     });
-    rows.push(("LSH (8 tables, 14 bits, multiprobe)".to_string(), recall, qps));
+    rows.push((
+        "LSH (8 tables, 14 bits, multiprobe)".to_string(),
+        recall,
+        qps,
+    ));
 
-    println!("{:<44} {:>10} {:>16}", "configuration", "recall@10", "normalized QPS");
+    println!(
+        "{:<44} {:>10} {:>16}",
+        "configuration", "recall@10", "normalized QPS"
+    );
     for (label, recall, qps) in &rows {
         println!("{label:<44} {recall:>10.3} {:>16.2}", qps / flat_qps);
     }
@@ -124,11 +163,7 @@ fn main() {
     );
 }
 
-fn time_queries<F>(
-    queries: &[Vec<f32>],
-    truth: &GroundTruth,
-    mut search: F,
-) -> (f64, f64)
+fn time_queries<F>(queries: &[Vec<f32>], truth: &GroundTruth, mut search: F) -> (f64, f64)
 where
     F: FnMut(&Vec<f32>) -> Vec<usize>,
 {
@@ -139,5 +174,8 @@ where
         recall += recall_at_k(&ids, truth.neighbors(qi), K);
     }
     let elapsed = start.elapsed().as_secs_f64();
-    (recall / queries.len() as f64, queries.len() as f64 / elapsed)
+    (
+        recall / queries.len() as f64,
+        queries.len() as f64 / elapsed,
+    )
 }

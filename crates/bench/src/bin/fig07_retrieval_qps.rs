@@ -14,7 +14,10 @@ const QUERY_BATCH: usize = 1_000;
 const RECALLS: [f64; 3] = [0.98, 0.94, 0.90];
 
 fn main() {
-    report::header("Figure 7", "Retrieval QPS normalized to CPU-Real (higher is better)");
+    report::header(
+        "Figure 7",
+        "Retrieval QPS normalized to CPU-Real (higher is better)",
+    );
     let cpu = CpuSystem::default();
     let mut reis1_speedups = Vec::new();
     let mut reis2_over_reis1 = Vec::new();
@@ -39,8 +42,20 @@ fn main() {
         // Brute force row.
         let cpu_real = cpu.cpu_real(&profile, QUERY_BATCH, None, CpuPrecision::Float32);
         let no_io = cpu.no_io(&profile, QUERY_BATCH, None, CpuPrecision::Float32);
-        let r1 = estimate_reis(&profile, &ReisConfig::ssd1(), SearchMode::BruteForce, calibration.pass_fraction, K);
-        let r2 = estimate_reis(&profile, &ReisConfig::ssd2(), SearchMode::BruteForce, calibration.pass_fraction, K);
+        let r1 = estimate_reis(
+            &profile,
+            &ReisConfig::ssd1(),
+            SearchMode::BruteForce,
+            calibration.pass_fraction,
+            K,
+        );
+        let r2 = estimate_reis(
+            &profile,
+            &ReisConfig::ssd2(),
+            SearchMode::BruteForce,
+            calibration.pass_fraction,
+            K,
+        );
         print_row("BF", cpu_real.qps(), no_io.qps(), r1.qps, r2.qps);
         reis1_speedups.push(r1.qps / cpu_real.qps());
         reis2_over_reis1.push(r2.qps / r1.qps);
@@ -59,22 +74,37 @@ fn main() {
                 Some(nprobe_full),
                 CpuPrecision::BinaryWithRerank,
             );
-            let no_io = cpu.no_io(&profile, QUERY_BATCH, Some(nprobe_full), CpuPrecision::BinaryWithRerank);
+            let no_io = cpu.no_io(
+                &profile,
+                QUERY_BATCH,
+                Some(nprobe_full),
+                CpuPrecision::BinaryWithRerank,
+            );
             let r1 = estimate_reis(
                 &profile,
                 &ReisConfig::ssd1(),
-                SearchMode::Ivf { nprobe_fraction: fraction },
+                SearchMode::Ivf {
+                    nprobe_fraction: fraction,
+                },
                 calibration.pass_fraction,
                 K,
             );
             let r2 = estimate_reis(
                 &profile,
                 &ReisConfig::ssd2(),
-                SearchMode::Ivf { nprobe_fraction: fraction },
+                SearchMode::Ivf {
+                    nprobe_fraction: fraction,
+                },
                 calibration.pass_fraction,
                 K,
             );
-            print_row(&format!("IVF R@10={recall:.2}"), cpu_real.qps(), no_io.qps(), r1.qps, r2.qps);
+            print_row(
+                &format!("IVF R@10={recall:.2}"),
+                cpu_real.qps(),
+                no_io.qps(),
+                r1.qps,
+                r2.qps,
+            );
             reis1_speedups.push(r1.qps / cpu_real.qps());
             reis2_over_reis1.push(r2.qps / r1.qps);
         }

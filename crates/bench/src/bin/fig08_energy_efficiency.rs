@@ -13,7 +13,10 @@ const QUERY_BATCH: usize = 1_000;
 const RECALLS: [f64; 3] = [0.98, 0.94, 0.90];
 
 fn main() {
-    report::header("Figure 8", "Energy efficiency (QPS/W) normalized to CPU-Real");
+    report::header(
+        "Figure 8",
+        "Energy efficiency (QPS/W) normalized to CPU-Real",
+    );
     let cpu = CpuSystem::default();
     let mut reis1_gains = Vec::new();
 
@@ -22,7 +25,10 @@ fn main() {
         let dataset = SyntheticDataset::generate(scaled, 33);
         let calibration = calibrate(&dataset, ReisConfig::ssd1().filter_threshold_fraction, K);
         println!("\n{name}:", name = profile.name);
-        println!("{:<26} {:>14} {:>14}", "configuration", "REIS-SSD1", "REIS-SSD2");
+        println!(
+            "{:<26} {:>14} {:>14}",
+            "configuration", "REIS-SSD1", "REIS-SSD2"
+        );
 
         let mut rows: Vec<(String, Option<usize>, SearchMode, CpuPrecision)> = vec![(
             "BF".to_string(),
@@ -36,15 +42,29 @@ fn main() {
             rows.push((
                 format!("IVF R@10={recall:.2}"),
                 Some(((profile.full_nlist as f64 * fraction) as usize).max(1)),
-                SearchMode::Ivf { nprobe_fraction: fraction },
+                SearchMode::Ivf {
+                    nprobe_fraction: fraction,
+                },
                 CpuPrecision::BinaryWithRerank,
             ));
         }
 
         for (label, nprobe, mode, precision) in rows {
             let cpu_real = cpu.cpu_real(&profile, QUERY_BATCH, nprobe, precision);
-            let r1 = estimate_reis(&profile, &ReisConfig::ssd1(), mode, calibration.pass_fraction, K);
-            let r2 = estimate_reis(&profile, &ReisConfig::ssd2(), mode, calibration.pass_fraction, K);
+            let r1 = estimate_reis(
+                &profile,
+                &ReisConfig::ssd1(),
+                mode,
+                calibration.pass_fraction,
+                K,
+            );
+            let r2 = estimate_reis(
+                &profile,
+                &ReisConfig::ssd2(),
+                mode,
+                calibration.pass_fraction,
+                K,
+            );
             let n1 = report::normalized(r1.qps_per_watt, cpu_real.qps_per_watt());
             let n2 = report::normalized(r2.qps_per_watt, cpu_real.qps_per_watt());
             println!("{label:<26} {n1:>14.1} {n2:>14.1}");

@@ -31,7 +31,10 @@ fn main() {
         ("+MPIBC", Optimizations::all()),
     ];
 
-    for (ssd_name, base_config) in [("REIS-SSD1", ReisConfig::ssd1()), ("REIS-SSD2", ReisConfig::ssd2())] {
+    for (ssd_name, base_config) in [
+        ("REIS-SSD1", ReisConfig::ssd1()),
+        ("REIS-SSD2", ReisConfig::ssd2()),
+    ] {
         println!("\n{ssd_name}:");
         print!("{:<14}", "Recall@10");
         for (name, _) in &ladder {
@@ -43,18 +46,29 @@ fn main() {
         for recall in RECALLS {
             let nprobe = ReisSystem::nprobe_for_recall(profile.full_nlist, recall);
             let fraction = nprobe as f64 / profile.full_nlist as f64;
-            let cpu_real = cpu.cpu_real(&profile, QUERY_BATCH, Some(nprobe), CpuPrecision::BinaryWithRerank);
+            let cpu_real = cpu.cpu_real(
+                &profile,
+                QUERY_BATCH,
+                Some(nprobe),
+                CpuPrecision::BinaryWithRerank,
+            );
             print!("{recall:<14.2}");
             let mut qps_ladder = Vec::new();
             for (_, opts) in &ladder {
                 let config = base_config.with_optimizations(*opts);
                 // Without distance filtering every scanned embedding crosses
                 // the channel, so the pass fraction degenerates to 1.0.
-                let pass = if opts.distance_filtering { calibration.pass_fraction } else { 1.0 };
+                let pass = if opts.distance_filtering {
+                    calibration.pass_fraction
+                } else {
+                    1.0
+                };
                 let estimate = estimate_reis(
                     &profile,
                     &config,
-                    SearchMode::Ivf { nprobe_fraction: fraction },
+                    SearchMode::Ivf {
+                        nprobe_fraction: fraction,
+                    },
                     pass,
                     K,
                 );

@@ -13,7 +13,10 @@ const K: usize = 10;
 const RECALLS: [f64; 3] = [0.98, 0.94, 0.90];
 
 fn main() {
-    report::header("Figure 10", "Speedup of REIS over ICE (and ICE-ESP) per dataset and recall");
+    report::header(
+        "Figure 10",
+        "Speedup of REIS over ICE (and ICE-ESP) per dataset and recall",
+    );
     let mut all_speedups = Vec::new();
     for profile in DatasetProfile::main_evaluation() {
         let scaled = profile.clone().scaled(1_024).with_queries(8);
@@ -24,17 +27,16 @@ fn main() {
             "{:<20} {:>16} {:>16} {:>16} {:>16}",
             "configuration", "SSD1 vs ICE", "SSD2 vs ICE", "SSD1 vs ICE-ESP", "SSD2 vs ICE-ESP"
         );
-        let mut settings: Vec<(String, SearchMode, u64)> = vec![(
-            "BF".into(),
-            SearchMode::BruteForce,
-            profile.full_entries,
-        )];
+        let mut settings: Vec<(String, SearchMode, u64)> =
+            vec![("BF".into(), SearchMode::BruteForce, profile.full_entries)];
         for recall in RECALLS {
             let nprobe = ReisSystem::nprobe_for_recall(profile.full_nlist, recall);
             let fraction = nprobe as f64 / profile.full_nlist as f64;
             settings.push((
                 format!("IVF R@10={recall:.2}"),
-                SearchMode::Ivf { nprobe_fraction: fraction },
+                SearchMode::Ivf {
+                    nprobe_fraction: fraction,
+                },
                 IceModel::ivf_entries(&profile, nprobe),
             ));
         }

@@ -30,14 +30,19 @@ fn main() {
         let reis = estimate_reis(
             &profile,
             &ReisConfig::ssd1(),
-            SearchMode::Ivf { nprobe_fraction: fraction },
+            SearchMode::Ivf {
+                nprobe_fraction: fraction,
+            },
             calibration.pass_fraction,
             K,
         );
         let reis_breakdown = pipeline.reis_breakdown(reis.latency.as_secs_f64());
         let cpu_breakdown = pipeline.cpu_breakdown(&cpu, &profile, CpuPrecision::BinaryWithRerank);
 
-        println!("\n{} (latency contribution, % of end-to-end time):", profile.name);
+        println!(
+            "\n{} (latency contribution, % of end-to-end time):",
+            profile.name
+        );
         println!("{:<30} {:>12} {:>12}", "stage", "REIS", "CPU+BQ");
         for stage in RagStage::all() {
             let reis_pct = reis_breakdown.fraction(stage) * 100.0;
@@ -45,7 +50,12 @@ fn main() {
             if stage == RagStage::DatasetLoading {
                 println!("{:<30} {:>12} {:>11.1}%", stage.label(), "N/A", cpu_pct);
             } else {
-                println!("{:<30} {:>11.2}% {:>11.1}%", stage.label(), reis_pct, cpu_pct);
+                println!(
+                    "{:<30} {:>11.2}% {:>11.1}%",
+                    stage.label(),
+                    reis_pct,
+                    cpu_pct
+                );
             }
         }
         println!(

@@ -45,7 +45,9 @@ pub mod calibration {
     /// threshold fraction of the dimensionality.
     pub fn measure_pass_fraction(dataset: &SyntheticDataset, threshold_fraction: f64) -> f64 {
         let quantizer = BinaryQuantizer::fit(dataset.vectors()).expect("non-empty dataset");
-        let binary = quantizer.quantize_all(dataset.vectors()).expect("consistent dims");
+        let binary = quantizer
+            .quantize_all(dataset.vectors())
+            .expect("consistent dims");
         let threshold = (threshold_fraction * dataset.profile().dim as f64).round() as u32;
         let mut passed = 0usize;
         let mut total = 0usize;
@@ -80,8 +82,12 @@ pub mod calibration {
             let nprobe = ((nlist as f64 * fraction).ceil() as usize).clamp(1, nlist);
             let mut recall = 0.0;
             for (qi, query) in dataset.queries().iter().enumerate() {
-                let got: Vec<usize> =
-                    ivf.search(query, k, nprobe, 10).expect("search").iter().map(|n| n.id).collect();
+                let got: Vec<usize> = ivf
+                    .search(query, k, nprobe, 10)
+                    .expect("search")
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
                 recall += recall_at_k(&got, truth.neighbors(qi), k);
             }
             recall /= dataset.queries().len().max(1) as f64;
@@ -103,7 +109,11 @@ pub mod calibration {
                 return fraction;
             }
         }
-        calibration.recall_curve.last().map(|&(f, _)| f).unwrap_or(1.0)
+        calibration
+            .recall_curve
+            .last()
+            .map(|&(f, _)| f)
+            .unwrap_or(1.0)
     }
 }
 
@@ -197,7 +207,8 @@ pub mod fullscale {
             bit_count_ops: pages,
             pass_fail_ops: pages,
             broadcast_ops: geometry.total_dies() as u64,
-            bytes_to_controller: (activity.coarse_entries + activity.fine_entries) as u64 * entry_bytes
+            bytes_to_controller: (activity.coarse_entries + activity.fine_entries) as u64
+                * entry_bytes
                 + (activity.int8_pages * geometry.page_size_bytes) as u64
                 + (activity.documents * activity.doc_slot_bytes) as u64,
             bytes_from_controller: (geometry.total_dies() * activity.embedding_slot_bytes) as u64,
@@ -228,7 +239,42 @@ pub mod fullscale {
         let qps = if secs > 0.0 { 1.0 / secs } else { 0.0 };
         let joules = energy.total_j();
         let qps_per_watt = if joules > 0.0 { 1.0 / joules } else { 0.0 };
-        ReisEstimate { latency, qps, energy, qps_per_watt, activity }
+        ReisEstimate {
+            latency,
+            qps,
+            energy,
+            qps_per_watt,
+            activity,
+        }
+    }
+}
+
+pub mod seed_reference {
+    //! Byte-at-a-time reference kernels matching the seed implementation.
+    //!
+    //! Kept as the single baseline both the criterion `kernels` bench and
+    //! `fig07b_batch_throughput` measure the u64-word kernels against, so
+    //! the reported speedups always refer to the same code.
+
+    /// Byte-wise XOR (the seed's `XorLogic::xor`).
+    pub fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
+        a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect()
+    }
+
+    /// Byte-wise per-chunk popcount (the seed's `FailBitCounter::count_per_chunk`).
+    pub fn count_per_chunk(latch: &[u8], chunk_bytes: usize) -> Vec<u32> {
+        latch
+            .chunks(chunk_bytes)
+            .map(|c| c.iter().map(|b| b.count_ones()).sum())
+            .collect()
+    }
+
+    /// Byte-wise Hamming distance (the seed's `BinaryVector::hamming_distance`).
+    pub fn hamming(a: &[u8], b: &[u8]) -> u32 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum()
     }
 }
 
@@ -279,10 +325,7 @@ mod tests {
     use reis_workloads::{DatasetProfile, SyntheticDataset};
 
     fn small_dataset() -> SyntheticDataset {
-        SyntheticDataset::generate(
-            DatasetProfile::hotpotqa().scaled(512).with_queries(4),
-            13,
-        )
+        SyntheticDataset::generate(DatasetProfile::hotpotqa().scaled(512).with_queries(4), 13)
     }
 
     #[test]
@@ -291,7 +334,10 @@ mod tests {
         let calibration = calibrate(&dataset, 0.47, 10);
         assert!(calibration.pass_fraction > 0.0 && calibration.pass_fraction < 1.0);
         let recalls: Vec<f64> = calibration.recall_curve.iter().map(|&(_, r)| r).collect();
-        assert!(recalls.windows(2).all(|w| w[1] >= w[0] - 1e-9), "recall must not drop as nprobe grows: {recalls:?}");
+        assert!(
+            recalls.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "recall must not drop as nprobe grows: {recalls:?}"
+        );
         assert!(*recalls.last().unwrap() > 0.8);
         let fraction = nprobe_fraction_for_recall(&calibration, 0.5);
         assert!(fraction <= 1.0);
@@ -305,7 +351,15 @@ mod tests {
         let ssd2 = ReisConfig::ssd2();
         let bf1 = estimate_reis(&profile, &ssd1, SearchMode::BruteForce, 0.01, 10);
         let bf2 = estimate_reis(&profile, &ssd2, SearchMode::BruteForce, 0.01, 10);
-        let ivf1 = estimate_reis(&profile, &ssd1, SearchMode::Ivf { nprobe_fraction: 0.02 }, 0.01, 10);
+        let ivf1 = estimate_reis(
+            &profile,
+            &ssd1,
+            SearchMode::Ivf {
+                nprobe_fraction: 0.02,
+            },
+            0.01,
+            10,
+        );
         // SSD2 beats SSD1; IVF beats brute force.
         assert!(bf2.qps > bf1.qps);
         assert!(ivf1.qps > bf1.qps);

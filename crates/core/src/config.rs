@@ -22,22 +22,37 @@ pub struct Optimizations {
 impl Optimizations {
     /// All optimizations enabled (the full REIS design).
     pub fn all() -> Self {
-        Optimizations { distance_filtering: true, pipelining: true, multi_plane_ibc: true }
+        Optimizations {
+            distance_filtering: true,
+            pipelining: true,
+            multi_plane_ibc: true,
+        }
     }
 
     /// All optimizations disabled (the `No-OPT` baseline of Fig. 9).
     pub fn none() -> Self {
-        Optimizations { distance_filtering: false, pipelining: false, multi_plane_ibc: false }
+        Optimizations {
+            distance_filtering: false,
+            pipelining: false,
+            multi_plane_ibc: false,
+        }
     }
 
     /// `No-OPT` plus Distance Filtering only.
     pub fn df_only() -> Self {
-        Optimizations { distance_filtering: true, ..Optimizations::none() }
+        Optimizations {
+            distance_filtering: true,
+            ..Optimizations::none()
+        }
     }
 
     /// Distance Filtering plus Pipelining.
     pub fn df_pl() -> Self {
-        Optimizations { distance_filtering: true, pipelining: true, multi_plane_ibc: false }
+        Optimizations {
+            distance_filtering: true,
+            pipelining: true,
+            multi_plane_ibc: false,
+        }
     }
 }
 
@@ -84,12 +99,18 @@ impl ReisConfig {
 
     /// REIS on the performance-oriented SSD2 with all optimizations.
     pub fn ssd2() -> Self {
-        ReisConfig { ssd: SsdConfig::ssd2(), ..ReisConfig::ssd1() }
+        ReisConfig {
+            ssd: SsdConfig::ssd2(),
+            ..ReisConfig::ssd1()
+        }
     }
 
     /// A miniature configuration for unit tests.
     pub fn tiny() -> Self {
-        ReisConfig { ssd: SsdConfig::tiny(), ..ReisConfig::ssd1() }
+        ReisConfig {
+            ssd: SsdConfig::tiny(),
+            ..ReisConfig::ssd1()
+        }
     }
 
     /// Builder-style override of the optimization set.

@@ -181,12 +181,18 @@ mod tests {
 
     fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|i| (0..dim).map(|d| (((i * 13 + d * 7) % 29) as f32 - 14.0) / 7.0).collect())
+            .map(|i| {
+                (0..dim)
+                    .map(|d| (((i * 13 + d * 7) % 29) as f32 - 14.0) / 7.0)
+                    .collect()
+            })
             .collect()
     }
 
     fn documents(n: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|i| format!("document chunk {i}").into_bytes()).collect()
+        (0..n)
+            .map(|i| format!("document chunk {i}").into_bytes())
+            .collect()
     }
 
     #[test]

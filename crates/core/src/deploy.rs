@@ -58,7 +58,10 @@ impl DeployedDatabase {
 
     /// The OOB layout of its embedding pages.
     pub fn oob_layout(&self, oob_size_bytes: usize) -> Result<OobLayout> {
-        Ok(OobLayout::new(oob_size_bytes, self.layout.embeddings_per_page)?)
+        Ok(OobLayout::new(
+            oob_size_bytes,
+            self.layout.embeddings_per_page,
+        )?)
     }
 }
 
@@ -120,7 +123,8 @@ pub fn deploy(
         entries: layout.entries,
     };
     ssd.coarse_ftl_mut().deploy(record)?;
-    ssd.dram_mut().allocate(&format!("db{db_id}/r-ivf"), rivf.footprint_bytes())?;
+    ssd.dram_mut()
+        .allocate(&format!("db{db_id}/r-ivf"), rivf.footprint_bytes())?;
 
     Ok(DeployedDatabase {
         db_id,
@@ -216,8 +220,7 @@ fn write_embedding_region(
                 });
             }
             let oob = oob_layout.pack(&oob_entries)?;
-            latency +=
-                ssd.program_region_page(region, page, RegionKind::Centroids, &data, &oob)?;
+            latency += ssd.program_region_page(region, page, RegionKind::Centroids, &data, &oob)?;
         }
     }
 
@@ -266,10 +269,14 @@ fn write_int8_region(
                 break;
             }
             let original = storage_to_original[storage_index] as usize;
-            data.extend(database.int8()[original].as_slice().iter().map(|&v| v as u8));
+            data.extend(
+                database.int8()[original]
+                    .as_slice()
+                    .iter()
+                    .map(|&v| v as u8),
+            );
         }
-        latency +=
-            ssd.program_region_page(region, page, RegionKind::Int8Embeddings, &data, &[])?;
+        latency += ssd.program_region_page(region, page, RegionKind::Int8Embeddings, &data, &[])?;
     }
     Ok(latency)
 }
@@ -305,12 +312,18 @@ mod tests {
 
     fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|i| (0..dim).map(|d| (((i * 31 + d * 7) % 23) as f32 - 11.0) / 5.0).collect())
+            .map(|i| {
+                (0..dim)
+                    .map(|d| (((i * 31 + d * 7) % 23) as f32 - 11.0) / 5.0)
+                    .collect()
+            })
             .collect()
     }
 
     fn documents(n: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|i| format!("chunk number {i} with some body text").into_bytes()).collect()
+        (0..n)
+            .map(|i| format!("chunk number {i} with some body text").into_bytes())
+            .collect()
     }
 
     #[test]
@@ -331,7 +344,10 @@ mod tests {
             assert!(ssd.device().is_programmed(addr).unwrap());
         }
         // Program counts match the layout's page totals.
-        assert_eq!(ssd.device().stats().page_programs as usize, deployed.layout.total_pages());
+        assert_eq!(
+            ssd.device().stats().page_programs as usize,
+            deployed.layout.total_pages()
+        );
     }
 
     #[test]
@@ -341,7 +357,12 @@ mod tests {
         let deployed = deploy(&mut ssd, &db, 3).unwrap();
         assert!(deployed.is_ivf());
         assert_eq!(deployed.rivf.len(), 5);
-        let covered: usize = deployed.rivf.entries().iter().map(RIvfEntry::member_count).sum();
+        let covered: usize = deployed
+            .rivf
+            .entries()
+            .iter()
+            .map(RIvfEntry::member_count)
+            .sum();
         assert_eq!(covered, 90);
         // Cluster ranges are contiguous and ordered.
         let mut expected_first = 0u32;

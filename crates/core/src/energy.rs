@@ -172,8 +172,18 @@ mod tests {
     #[test]
     fn energy_scales_with_activity() {
         let model = EnergyModel::default();
-        let small = model.query_energy(&stats(10, 10, 1_000), 1_000, Nanos::from_micros(10), Nanos::from_micros(100));
-        let large = model.query_energy(&stats(1000, 1000, 100_000), 100_000, Nanos::from_micros(100), Nanos::from_millis(1));
+        let small = model.query_energy(
+            &stats(10, 10, 1_000),
+            1_000,
+            Nanos::from_micros(10),
+            Nanos::from_micros(100),
+        );
+        let large = model.query_energy(
+            &stats(1000, 1000, 100_000),
+            100_000,
+            Nanos::from_micros(100),
+            Nanos::from_millis(1),
+        );
         assert!(large.total_j() > small.total_j());
         assert!(small.total_j() > 0.0);
         assert!(small.flash_array_j > 0.0);
@@ -187,8 +197,14 @@ mod tests {
     #[test]
     fn breakdown_components_sum_to_total() {
         let model = EnergyModel::default();
-        let b = model.query_energy(&stats(50, 50, 5_000), 2_000, Nanos::from_micros(20), Nanos::from_micros(500));
-        let manual = b.flash_array_j + b.in_plane_j + b.channel_j + b.dram_j + b.cores_j + b.static_j;
+        let b = model.query_energy(
+            &stats(50, 50, 5_000),
+            2_000,
+            Nanos::from_micros(20),
+            Nanos::from_micros(500),
+        );
+        let manual =
+            b.flash_array_j + b.in_plane_j + b.channel_j + b.dram_j + b.cores_j + b.static_j;
         assert!((b.total_j() - manual).abs() < 1e-15);
     }
 
@@ -205,7 +221,10 @@ mod tests {
             Nanos::from_millis(2),
         );
         let power = model.average_power_w(&b, Nanos::from_millis(2));
-        assert!(power < 40.0, "SSD average power {power} W should stay well below a server CPU");
+        assert!(
+            power < 40.0,
+            "SSD average power {power} W should stay well below a server CPU"
+        );
         assert!(power > 0.5);
         assert_eq!(
             model.average_power_w(&EnergyBreakdown::default(), Nanos::ZERO),

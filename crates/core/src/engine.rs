@@ -9,8 +9,28 @@
 //! the INT8 copies for reranking, quicksorts the survivors and finally reads
 //! the documents of the top-k results. Every step counts its activity in a
 //! [`crate::perf::QueryActivity`] so the latency model can price it.
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! # Hot-path invariants
+//!
+//! The scan loop is the throughput-critical path of the whole simulator, so
+//! it obeys three rules that any change here must preserve:
+//!
+//! 1. **Word kernels only.** All XOR-ing and bit counting goes through the
+//!    `u64`-word kernels of `reis_nand::peripheral` and the distance filter
+//!    uses the fused [`pass_fail_filter`](reis_nand::FlashDevice::pass_fail_filter)
+//!    path — no byte-at-a-time loops and no `Vec<bool>` materialization.
+//! 2. **No per-page allocation.** Every buffer a page scan needs (distance
+//!    counts, passing slots, TTL entries, page ranges) lives in a
+//!    [`ScanScratch`] that is reused across pages, across the coarse and
+//!    fine phases, and across queries. OOB bytes are borrowed from the
+//!    plane's page buffer, never copied.
+//! 3. **Page-ordered downstream phases.** Reranking and document retrieval
+//!    sort their candidates by flash page and stream each page once,
+//!    scoring INT8 slots directly from the borrowed page slice — no page
+//!    cache map and no per-candidate vector copies.
+//!
+//! Workers of a batched search each own one engine (and therefore one
+//! scratch), so queries parallelize without sharing any mutable state.
 
 use reis_ann::topk::Neighbor;
 use reis_ann::vector::{BinaryVector, Int8Vector};
@@ -33,18 +53,91 @@ pub struct ScanCounts {
     pub entries_passed: usize,
 }
 
-/// The functional in-storage search engine, borrowing the SSD controller for
-/// the duration of one query.
+/// Reusable buffers of the query hot path.
+///
+/// One scratch serves one engine at a time; creating it is cheap but the
+/// point is to create it *once* (per system, or per batch worker) so the
+/// steady-state scan performs no heap allocation. See the module docs for
+/// the invariants it upholds.
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    /// Per-chunk fail-bit counts of the current page.
+    distances: Vec<u32>,
+    /// `(slot, distance)` pairs that passed the distance filter on the
+    /// current page.
+    passing: Vec<(u32, u32)>,
+    /// The Temporal Top List accumulating candidates, reused across the
+    /// coarse and fine phases.
+    ttl: TemporalTopList,
+    /// Merged `(start, end)` page ranges selected for the fine scan.
+    page_ranges: Vec<(usize, usize)>,
+    /// Sorted `(first, last)` storage-index ranges of the probed clusters.
+    valid_ranges: Vec<(u32, u32)>,
+    /// Candidate visit order for the page-sorted rerank / document phases.
+    order: Vec<usize>,
+    /// Rerank scoring buffer.
+    neighbors: Vec<Neighbor>,
+    /// Number of fine-search candidates requested (bounds `ttl.top`).
+    candidate_count: usize,
+}
+
+impl ScanScratch {
+    /// Create an empty scratch.
+    pub fn new() -> Self {
+        ScanScratch::default()
+    }
+}
+
+/// The functional in-storage search engine, borrowing the SSD controller
+/// (and a [`ScanScratch`]) for the duration of one or more queries.
 #[derive(Debug)]
 pub struct InStorageEngine<'a> {
     ssd: &'a mut SsdController,
     config: ReisConfig,
+    scratch: &'a mut ScanScratch,
+}
+
+/// Merge a list of `(start, end)` half-open ranges in place: empty ranges
+/// are dropped, the rest sorted and overlapping/adjacent ranges coalesced.
+fn merge_page_ranges(ranges: &mut Vec<(usize, usize)>) {
+    ranges.retain(|&(start, end)| start < end);
+    if ranges.len() <= 1 {
+        return;
+    }
+    ranges.sort_unstable();
+    let mut write = 0usize;
+    for read in 1..ranges.len() {
+        let (start, end) = ranges[read];
+        if start <= ranges[write].1 {
+            ranges[write].1 = ranges[write].1.max(end);
+        } else {
+            write += 1;
+            ranges[write] = (start, end);
+        }
+    }
+    ranges.truncate(write + 1);
+}
+
+/// Whether `index` falls inside one of the sorted, disjoint inclusive
+/// `(first, last)` ranges.
+fn in_valid_ranges(ranges: &[(u32, u32)], index: u32) -> bool {
+    let after = ranges.partition_point(|&(first, _)| first <= index);
+    after > 0 && ranges[after - 1].1 >= index
 }
 
 impl<'a> InStorageEngine<'a> {
-    /// Create an engine bound to a controller and configuration.
-    pub fn new(ssd: &'a mut SsdController, config: ReisConfig) -> Self {
-        InStorageEngine { ssd, config }
+    /// Create an engine bound to a controller, a configuration and the
+    /// scratch buffers it may reuse across queries.
+    pub fn new(
+        ssd: &'a mut SsdController,
+        config: ReisConfig,
+        scratch: &'a mut ScanScratch,
+    ) -> Self {
+        InStorageEngine {
+            ssd,
+            config,
+            scratch,
+        }
     }
 
     /// Broadcast the query embedding into the cache latches of every die
@@ -57,64 +150,86 @@ impl<'a> InStorageEngine<'a> {
         let multi_plane = self.config.optimizations.multi_plane_ibc;
         for channel in 0..geometry.channels {
             for die in 0..geometry.dies_per_channel {
-                self.ssd.device_mut().input_broadcast(channel, die, &payload, multi_plane)?;
+                self.ssd
+                    .device_mut()
+                    .input_broadcast(channel, die, &payload, multi_plane)?;
             }
         }
         Ok(())
     }
 
-    /// Scan a set of pages of the embedding region, computing in-plane
-    /// distances and returning the TTL entries that pass the distance filter.
+    /// Scan the pages of `ranges` (offsets relative to `page_base` within
+    /// the embedding region), computing in-plane distances with the fused
+    /// count-and-filter path and appending the TTL entries that pass the
+    /// distance filter to the scratch's Temporal Top List.
     ///
-    /// `valid_slots` maps a page offset (relative to the embedding region) to
-    /// the number of meaningful slots in that page; `make_entry` converts a
-    /// passing `(page_offset, slot, distance, oob_entry)` into a TTL entry,
-    /// or returns `None` to skip slots outside the caller's range of
-    /// interest.
+    /// `make_entry` converts a passing `(page_offset, slot, distance,
+    /// oob_entry)` into a TTL entry, or returns `None` to skip slots outside
+    /// the caller's range of interest. The whole loop reuses the scratch
+    /// buffers — no allocation per page.
+    #[allow(clippy::too_many_arguments)]
     fn scan_pages<F>(
         &mut self,
         region: &StripedRegion,
-        page_offsets: impl IntoIterator<Item = usize>,
+        ranges: &[(usize, usize)],
+        page_base: usize,
         slot_bytes: usize,
         threshold: u32,
         oob_entries_per_page: usize,
         mut make_entry: F,
-    ) -> Result<(Vec<TtlEntry>, ScanCounts)>
+    ) -> Result<ScanCounts>
     where
         F: FnMut(usize, usize, u32, reis_nand::OobEntry) -> Option<TtlEntry>,
     {
         let geometry = self.ssd.config().geometry;
         let oob_layout = reis_nand::OobLayout::new(geometry.oob_size_bytes, oob_entries_per_page)?;
         let mut counts = ScanCounts::default();
-        let mut out = Vec::new();
-        for offset in page_offsets {
-            let addr = region.page_at(&geometry, offset)?;
-            let device = self.ssd.device_mut();
-            device.sense_page(addr)?;
-            device.xor_latches(addr.plane_addr())?;
-            let (distances, _) = device.count_fail_bits(addr.plane_addr(), slot_bytes)?;
-            let (passes, _) = device.pass_fail_check(&distances, threshold);
-            let oob = device.page_buffer(addr.plane_addr())?.oob().unwrap_or(&[]).to_vec();
-            counts.pages += 1;
-            for (slot, (&distance, &pass)) in distances.iter().zip(passes.iter()).enumerate() {
-                if slot >= oob_entries_per_page {
-                    break;
-                }
-                counts.slots_scanned += 1;
-                if !pass {
-                    continue;
-                }
-                let oob_entry = oob_layout.unpack_entry(&oob, slot)?;
-                if let Some(entry) = make_entry(offset, slot, distance, oob_entry) {
-                    counts.entries_passed += 1;
-                    out.push(entry);
+        for &(start, end) in ranges {
+            for offset in start..end {
+                let page_offset = page_base + offset;
+                let addr = region.page_at(&geometry, page_offset)?;
+                let device = self.ssd.device_mut();
+                device.sense_page(addr)?;
+                device.xor_latches(addr.plane_addr())?;
+                device.count_fail_bits_into(
+                    addr.plane_addr(),
+                    slot_bytes,
+                    &mut self.scratch.distances,
+                )?;
+                let limit = self.scratch.distances.len().min(oob_entries_per_page);
+                counts.pages += 1;
+                counts.slots_scanned += limit;
+                let passing = &mut self.scratch.passing;
+                passing.clear();
+                device.pass_fail_filter(
+                    &self.scratch.distances[..limit],
+                    threshold,
+                    |slot, distance| passing.push((slot as u32, distance)),
+                );
+                // The OOB bytes are borrowed straight from the plane buffer;
+                // they were sensed together with the page.
+                let oob = self
+                    .ssd
+                    .device()
+                    .page_buffer(addr.plane_addr())?
+                    .oob()
+                    .unwrap_or(&[]);
+                for &(slot, distance) in &self.scratch.passing {
+                    let oob_entry = oob_layout.unpack_entry(oob, slot as usize)?;
+                    if let Some(entry) = make_entry(page_offset, slot as usize, distance, oob_entry)
+                    {
+                        counts.entries_passed += 1;
+                        self.scratch.ttl.push(entry);
+                    }
                 }
             }
         }
         // Account the aggregate channel traffic of all transferred entries.
         let entry_bytes = slot_bytes + self.config.ttl_metadata_bytes;
-        self.ssd.device_mut().transfer_to_controller(entry_bytes * counts.entries_passed);
-        Ok((out, counts))
+        self.ssd
+            .device_mut()
+            .transfer_to_controller(entry_bytes * counts.entries_passed);
+        Ok(counts)
     }
 
     /// Coarse-grained search: scan the centroid pages and return the
@@ -131,15 +246,18 @@ impl<'a> InStorageEngine<'a> {
         }
         let layout = db.layout;
         let centroids = layout.centroids;
-        let (entries, counts) = self.scan_pages(
+        let epp = layout.embeddings_per_page;
+        self.scratch.ttl.clear();
+        let counts = self.scan_pages(
             &db.record.embedding_region,
-            0..layout.centroid_pages,
+            &[(0, layout.centroid_pages)],
+            0,
             layout.embedding_slot_bytes,
             // Centroid scan is never filtered: every cluster distance is needed.
             u32::MAX,
-            layout.embeddings_per_page,
+            epp,
             |page, slot, distance, oob| {
-                let cluster = page * layout.embeddings_per_page + slot;
+                let cluster = page * epp + slot;
                 if cluster >= centroids {
                     return None;
                 }
@@ -152,61 +270,84 @@ impl<'a> InStorageEngine<'a> {
                 })
             },
         )?;
-        let mut ttl = TemporalTopList::new();
-        ttl.extend(entries);
-        ttl.quickselect(nprobe.max(1));
-        let clusters: Vec<usize> =
-            ttl.sorted_top(nprobe.max(1)).into_iter().map(|e| e.storage_index as usize).collect();
+        let keep = nprobe.max(1);
+        self.scratch.ttl.quickselect(keep);
+        self.scratch.ttl.sort_ascending();
+        let clusters: Vec<usize> = self
+            .scratch
+            .ttl
+            .top(keep)
+            .iter()
+            .map(|e| e.storage_index as usize)
+            .collect();
         Ok((clusters, counts))
     }
 
     /// Fine-grained search over the embedding pages of the given clusters
-    /// (or of the whole database for a brute-force search), returning the
-    /// Temporal Top List after the controller's quickselect pass.
+    /// (or of the whole database for a brute-force search). The surviving
+    /// candidates are left, in rank order, in the scratch's Temporal Top
+    /// List (see [`InStorageEngine::candidates`]).
     pub fn fine_search(
         &mut self,
         db: &DeployedDatabase,
         query: &BinaryVector,
         clusters: Option<&[usize]>,
         candidate_count: usize,
-    ) -> Result<(TemporalTopList, ScanCounts)> {
+    ) -> Result<ScanCounts> {
         let layout = db.layout;
         let threshold = self.config.filter_threshold(query.dim());
 
         // Which embedding pages (relative to the database-embedding
-        // sub-region) need scanning, and which storage-index range is of
-        // interest.
-        let mut pages: BTreeSet<usize> = BTreeSet::new();
-        let mut valid_ranges: Vec<(u32, u32)> = Vec::new();
+        // sub-region) need scanning, and which storage-index ranges are of
+        // interest. Page ranges are merged instead of materializing a page
+        // set; storage ranges are sorted for binary search in the scan loop.
+        self.scratch.page_ranges.clear();
+        self.scratch.valid_ranges.clear();
         match clusters {
             Some(selected) => {
                 for &cluster in selected {
-                    let entry = db
-                        .rivf
-                        .entry(cluster)
-                        .ok_or(ReisError::UnsupportedSearch(format!("cluster {cluster} unknown")))?;
+                    let entry =
+                        db.rivf
+                            .entry(cluster)
+                            .ok_or(ReisError::UnsupportedSearch(format!(
+                                "cluster {cluster} unknown"
+                            )))?;
                     if entry.member_count() == 0 {
                         continue;
                     }
-                    valid_ranges.push((entry.first_embedding, entry.last_embedding));
-                    let (start, end) = layout
-                        .embedding_page_range(entry.first_embedding as usize, entry.last_embedding as usize);
-                    pages.extend(start..end);
+                    self.scratch
+                        .valid_ranges
+                        .push((entry.first_embedding, entry.last_embedding));
+                    let range = layout.embedding_page_range(
+                        entry.first_embedding as usize,
+                        entry.last_embedding as usize,
+                    );
+                    self.scratch.page_ranges.push(range);
                 }
             }
             None => {
                 if layout.entries > 0 {
-                    valid_ranges.push((0, (layout.entries - 1) as u32));
-                    pages.extend(0..layout.embedding_pages);
+                    self.scratch
+                        .valid_ranges
+                        .push((0, (layout.entries - 1) as u32));
+                    self.scratch.page_ranges.push((0, layout.embedding_pages));
                 }
             }
         }
+        merge_page_ranges(&mut self.scratch.page_ranges);
+        self.scratch.valid_ranges.sort_unstable();
 
         let entries_total = layout.entries;
         let epp = layout.embeddings_per_page;
-        let (entries, counts) = self.scan_pages(
+        // Temporarily move the range buffers out of the scratch so the scan
+        // (which borrows the engine mutably) can read them.
+        let pages = std::mem::take(&mut self.scratch.page_ranges);
+        let valid = std::mem::take(&mut self.scratch.valid_ranges);
+        self.scratch.ttl.clear();
+        let scanned = self.scan_pages(
             &db.record.embedding_region,
-            pages.into_iter().map(|p| p + layout.centroid_pages),
+            &pages,
+            layout.centroid_pages,
             layout.embedding_slot_bytes,
             threshold,
             epp,
@@ -216,76 +357,137 @@ impl<'a> InStorageEngine<'a> {
                     return None;
                 }
                 let si = storage_index as u32;
-                if !valid_ranges.iter().any(|&(first, last)| si >= first && si <= last) {
+                if !in_valid_ranges(&valid, si) {
                     return None;
                 }
-                Some(TtlEntry { distance, storage_index: si, radr: oob.radr, dadr: oob.dadr, tag: oob.tag })
+                Some(TtlEntry {
+                    distance,
+                    storage_index: si,
+                    radr: oob.radr,
+                    dadr: oob.dadr,
+                    tag: oob.tag,
+                })
             },
-        )?;
-        let mut ttl = TemporalTopList::new();
-        ttl.extend(entries);
-        ttl.quickselect(candidate_count.max(1));
-        Ok((ttl, counts))
+        );
+        self.scratch.page_ranges = pages;
+        self.scratch.valid_ranges = valid;
+        let counts = scanned?;
+
+        self.scratch.ttl.quickselect(candidate_count.max(1));
+        self.scratch.ttl.sort_ascending();
+        self.scratch.candidate_count = candidate_count;
+        Ok(counts)
     }
 
-    /// Rerank the TTL candidates in INT8 precision on the embedded core:
-    /// fetch their INT8 copies from the TLC region (through the controller,
-    /// with ECC), recompute distances, and return the `k` nearest as
-    /// `(original id, INT8 squared distance)` plus the number of distinct
-    /// INT8 pages read.
+    /// The fine-search candidates in rank order (valid after
+    /// [`InStorageEngine::fine_search`]).
+    pub fn candidates(&self) -> &[TtlEntry] {
+        self.scratch.ttl.top(self.scratch.candidate_count)
+    }
+
+    /// Number of candidates the fine search produced for reranking.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates().len()
+    }
+
+    /// Rerank the fine-search candidates in INT8 precision on the embedded
+    /// core: fetch their INT8 copies from the TLC region (through the
+    /// controller, with ECC), recompute distances, and return the `k`
+    /// nearest as `(original id, INT8 squared distance)` plus the number of
+    /// distinct INT8 pages read.
+    ///
+    /// Candidates are visited in page order so every distinct page is read
+    /// exactly once and each slot is scored directly from the borrowed page
+    /// slice — no page cache and no per-candidate copy.
     pub fn rerank(
         &mut self,
         db: &DeployedDatabase,
         query_int8: &Int8Vector,
-        candidates: &[TtlEntry],
         k: usize,
     ) -> Result<(Vec<Neighbor>, usize)> {
         let layout = db.layout;
-        let mut page_cache: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
-        let mut scored: Vec<Neighbor> = Vec::with_capacity(candidates.len());
-        for candidate in candidates {
+        let candidate_count = self.scratch.candidate_count;
+        let ScanScratch {
+            ttl,
+            order,
+            neighbors,
+            ..
+        } = &mut *self.scratch;
+        let candidates = ttl.top(candidate_count);
+
+        order.clear();
+        order.extend(0..candidates.len());
+        order.sort_unstable_by_key(|&i| layout.int8_location(candidates[i].radr as usize).0);
+
+        neighbors.clear();
+        let mut pages_read = 0usize;
+        let mut current: Option<(usize, Vec<u8>)> = None;
+        for &i in order.iter() {
+            let candidate = &candidates[i];
             let (page, slot) = layout.int8_location(candidate.radr as usize);
-            if !page_cache.contains_key(&page) {
-                let readout =
-                    self.ssd.read_region_page(&db.record.int8_region, page, RegionKind::Int8Embeddings)?;
-                page_cache.insert(page, readout.data);
+            if current.as_ref().map(|&(p, _)| p) != Some(page) {
+                let readout = self.ssd.read_region_page(
+                    &db.record.int8_region,
+                    page,
+                    RegionKind::Int8Embeddings,
+                )?;
+                current = Some((page, readout.data));
+                pages_read += 1;
             }
-            let data = &page_cache[&page];
+            let data = &current.as_ref().expect("page just loaded").1;
             let start = slot * layout.int8_bytes;
-            let values: Vec<i8> =
-                data[start..start + layout.int8_bytes].iter().map(|&b| b as i8).collect();
-            let vector = Int8Vector::new(values);
-            let distance = vector.squared_l2(query_int8) as f32;
-            scored.push(Neighbor::new(candidate.dadr as usize, distance));
+            let distance =
+                query_int8.squared_l2_raw(&data[start..start + layout.int8_bytes]) as f32;
+            neighbors.push(Neighbor::new(candidate.dadr as usize, distance));
         }
-        scored.sort();
-        scored.truncate(k);
-        Ok((scored, page_cache.len()))
+        neighbors.sort_unstable();
+        let top = neighbors[..k.min(neighbors.len())].to_vec();
+        Ok((top, pages_read))
     }
 
     /// Document identification and retrieval: read the chunks of the top-k
-    /// results from the document region.
+    /// results from the document region, in page order (each document page
+    /// is read once), validating every slot's length prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReisError::CorruptDocument`] if a slot's 4-byte length
+    /// prefix is missing or points outside the slot.
     pub fn fetch_documents(
         &mut self,
         db: &DeployedDatabase,
         top: &[Neighbor],
     ) -> Result<Vec<Vec<u8>>> {
         let layout = db.layout;
-        let mut page_cache: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
-        let mut documents = Vec::with_capacity(top.len());
-        for result in top {
-            let (page, slot) = layout.document_location(result.id);
-            if !page_cache.contains_key(&page) {
-                let readout =
-                    self.ssd.read_region_page(&db.record.document_region, page, RegionKind::Documents)?;
-                page_cache.insert(page, readout.data);
+        let order = &mut self.scratch.order;
+        order.clear();
+        order.extend(0..top.len());
+        order.sort_unstable_by_key(|&i| layout.document_location(top[i].id).0);
+
+        let mut documents: Vec<Vec<u8>> = vec![Vec::new(); top.len()];
+        let mut current: Option<(usize, Vec<u8>)> = None;
+        for &i in order.iter() {
+            let (page, slot) = layout.document_location(top[i].id);
+            if current.as_ref().map(|&(p, _)| p) != Some(page) {
+                let readout = self.ssd.read_region_page(
+                    &db.record.document_region,
+                    page,
+                    RegionKind::Documents,
+                )?;
+                current = Some((page, readout.data));
             }
-            let data = &page_cache[&page];
+            let data = &current.as_ref().expect("page just loaded").1;
             let start = slot * layout.doc_slot_bytes;
-            let len = u32::from_le_bytes(
-                data[start..start + 4].try_into().expect("length prefix present"),
-            ) as usize;
-            documents.push(data[start + 4..start + 4 + len].to_vec());
+            let corrupt = ReisError::CorruptDocument { page, slot };
+            if start + 4 > data.len() {
+                return Err(corrupt);
+            }
+            let len = u32::from_le_bytes(data[start..start + 4].try_into().expect("4-byte prefix"))
+                as usize;
+            if len > layout.doc_slot_bytes - 4 || start + 4 + len > data.len() {
+                return Err(corrupt);
+            }
+            documents[i] = data[start + 4..start + 4 + len].to_vec();
         }
         Ok(documents)
     }
@@ -321,5 +523,83 @@ impl<'a> InStorageEngine<'a> {
             dim,
             doc_slot_bytes: db.layout.doc_slot_bytes,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::VectorDatabase;
+    use reis_ssd::SsdConfig;
+
+    #[test]
+    fn fetch_documents_reports_corrupt_slots_instead_of_panicking() {
+        let vectors: Vec<Vec<f32>> = (0..24)
+            .map(|i| {
+                (0..32)
+                    .map(|d| (((i * 7 + d) % 13) as f32 - 6.0) / 3.0)
+                    .collect()
+            })
+            .collect();
+        let documents: Vec<Vec<u8>> = (0..24).map(|i| format!("doc {i}").into_bytes()).collect();
+        let mut ssd = SsdController::new(SsdConfig::tiny());
+        let db = VectorDatabase::flat(&vectors, documents).unwrap();
+        let deployed = crate::deploy::deploy(&mut ssd, &db, 1).unwrap();
+
+        // Corrupt the first document page: erase its block and reprogram the
+        // page with all-ones, which makes every slot's length prefix invalid.
+        let geometry = ssd.config().geometry;
+        let addr = deployed
+            .record
+            .document_region
+            .page_at(&geometry, 0)
+            .unwrap();
+        ssd.device_mut().erase_block(addr.block_addr()).unwrap();
+        ssd.device_mut()
+            .program_page(
+                addr,
+                &vec![0xFF; geometry.page_size_bytes],
+                &[],
+                reis_nand::ProgramScheme::EnhancedSlc,
+            )
+            .unwrap();
+
+        let mut scratch = ScanScratch::new();
+        let config = crate::config::ReisConfig::tiny();
+        let mut engine = InStorageEngine::new(&mut ssd, config, &mut scratch);
+        let top = [Neighbor::new(0, 0.0)];
+        let err = engine.fetch_documents(&deployed, &top).unwrap_err();
+        assert!(
+            matches!(err, ReisError::CorruptDocument { page: 0, slot: 0 }),
+            "expected CorruptDocument, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn merge_page_ranges_coalesces_overlaps() {
+        let mut ranges = vec![(5, 7), (0, 2), (1, 4), (7, 9), (12, 12), (10, 11)];
+        merge_page_ranges(&mut ranges);
+        assert_eq!(ranges, vec![(0, 4), (5, 9), (10, 11)]);
+        let mut empty: Vec<(usize, usize)> = vec![(3, 3)];
+        merge_page_ranges(&mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn in_valid_ranges_uses_binary_search_semantics() {
+        let ranges = vec![(0u32, 4u32), (10, 10), (20, 29)];
+        for (index, expected) in [
+            (0, true),
+            (4, true),
+            (5, false),
+            (9, false),
+            (10, true),
+            (11, false),
+            (25, true),
+            (30, false),
+        ] {
+            assert_eq!(in_valid_ranges(&ranges, index), expected, "index {index}");
+        }
+        assert!(!in_valid_ranges(&[], 0));
     }
 }

@@ -32,6 +32,14 @@ pub enum ReisError {
     },
     /// A configuration parameter is outside its valid range.
     InvalidConfig(String),
+    /// A document slot read back with an invalid length prefix (e.g. after an
+    /// uncorrectable flash error), so the chunk cannot be returned.
+    CorruptDocument {
+        /// Page offset within the document region.
+        page: usize,
+        /// Slot index within the page.
+        slot: usize,
+    },
 }
 
 impl fmt::Display for ReisError {
@@ -44,9 +52,18 @@ impl fmt::Display for ReisError {
             ReisError::DatabaseNotDeployed(id) => write!(f, "database {id} is not deployed"),
             ReisError::UnsupportedSearch(msg) => write!(f, "unsupported search: {msg}"),
             ReisError::QueryDimensionMismatch { expected, actual } => {
-                write!(f, "query has {actual} dimensions but the database stores {expected}")
+                write!(
+                    f,
+                    "query has {actual} dimensions but the database stores {expected}"
+                )
             }
             ReisError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ReisError::CorruptDocument { page, slot } => {
+                write!(
+                    f,
+                    "document slot {slot} of page {page} has a corrupt length prefix"
+                )
+            }
         }
     }
 }
@@ -105,8 +122,12 @@ mod tests {
             ReisError::MalformedDatabase("0 documents".into()),
             ReisError::DatabaseNotDeployed(3),
             ReisError::UnsupportedSearch("IVF on flat".into()),
-            ReisError::QueryDimensionMismatch { expected: 1024, actual: 768 },
+            ReisError::QueryDimensionMismatch {
+                expected: 1024,
+                actual: 768,
+            },
             ReisError::InvalidConfig("rerank factor 0".into()),
+            ReisError::CorruptDocument { page: 3, slot: 1 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

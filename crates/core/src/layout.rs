@@ -96,13 +96,20 @@ impl LayoutPlan {
         let entries = database.len();
         let embedding_pages = entries.div_ceil(embeddings_per_page);
         let centroids = database.clusters().map(ClusterCount::count).unwrap_or(0);
-        let centroid_pages = if centroids == 0 { 0 } else { centroids.div_ceil(embeddings_per_page) };
+        let centroid_pages = if centroids == 0 {
+            0
+        } else {
+            centroids.div_ceil(embeddings_per_page)
+        };
 
         let int8_per_page = (page / int8_bytes).max(1);
         let int8_pages = entries.div_ceil(int8_per_page);
 
-        let doc_slot_bytes =
-            if max_doc + 4 <= DOC_SUBPAGE_BYTES { DOC_SUBPAGE_BYTES.min(page) } else { page };
+        let doc_slot_bytes = if max_doc + 4 <= DOC_SUBPAGE_BYTES {
+            DOC_SUBPAGE_BYTES.min(page)
+        } else {
+            page
+        };
         let docs_per_page = (page / doc_slot_bytes).max(1);
         let doc_pages = entries.div_ceil(docs_per_page);
 
@@ -131,7 +138,10 @@ impl LayoutPlan {
     /// Page offset (within the embedding region) and mini-page slot of the
     /// `index`-th database embedding in storage order.
     pub fn embedding_location(&self, index: usize) -> (usize, usize) {
-        (index / self.embeddings_per_page, index % self.embeddings_per_page)
+        (
+            index / self.embeddings_per_page,
+            index % self.embeddings_per_page,
+        )
     }
 
     /// Page offset (within the INT8 region) and slot of the `index`-th INT8
@@ -149,13 +159,19 @@ impl LayoutPlan {
     /// Page offset (within the centroid sub-region) and mini-page slot of the
     /// `cluster`-th centroid.
     pub fn centroid_location(&self, cluster: usize) -> (usize, usize) {
-        (cluster / self.embeddings_per_page, cluster % self.embeddings_per_page)
+        (
+            cluster / self.embeddings_per_page,
+            cluster % self.embeddings_per_page,
+        )
     }
 
     /// The range of embedding-region pages (inclusive start, exclusive end)
     /// that hold storage-order embedding indices `first..=last`.
     pub fn embedding_page_range(&self, first: usize, last: usize) -> (usize, usize) {
-        (first / self.embeddings_per_page, last / self.embeddings_per_page + 1)
+        (
+            first / self.embeddings_per_page,
+            last / self.embeddings_per_page + 1,
+        )
     }
 }
 
@@ -175,7 +191,11 @@ mod tests {
 
     fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|i| (0..dim).map(|d| (((i + d) % 17) as f32 - 8.0) / 4.0).collect())
+            .map(|i| {
+                (0..dim)
+                    .map(|d| (((i + d) % 17) as f32 - 8.0) / 4.0)
+                    .collect()
+            })
             .collect()
     }
 

@@ -197,16 +197,26 @@ impl PerfModel {
     /// Compose the full per-query latency from the activity counts.
     pub fn query_latency(&self, activity: &QueryActivity, k: usize) -> LatencyBreakdown {
         let input_broadcast = self.input_broadcast(activity.embedding_slot_bytes);
-        let coarse_scan =
-            self.scan(activity.coarse_pages, activity.coarse_entries, activity.embedding_slot_bytes);
-        let fine_scan =
-            self.scan(activity.fine_pages, activity.fine_entries, activity.embedding_slot_bytes);
+        let coarse_scan = self.scan(
+            activity.coarse_pages,
+            activity.coarse_entries,
+            activity.embedding_slot_bytes,
+        );
+        let fine_scan = self.scan(
+            activity.fine_pages,
+            activity.fine_entries,
+            activity.embedding_slot_bytes,
+        );
         let select = self.select(
             activity.coarse_entries + activity.fine_entries,
             self.config.rerank_factor * k,
             coarse_scan + fine_scan,
         );
-        let rerank = self.rerank(activity.rerank_candidates, activity.int8_pages, activity.dim);
+        let rerank = self.rerank(
+            activity.rerank_candidates,
+            activity.int8_pages,
+            activity.dim,
+        );
         let document_fetch = self.document_fetch(activity.documents, activity.doc_slot_bytes);
         let host_transfer = self.host_transfer(activity.documents, activity.doc_slot_bytes);
         LatencyBreakdown {
@@ -223,8 +233,10 @@ impl PerfModel {
     /// Time the embedded core is busy for one query (used for core energy).
     pub fn core_busy(&self, activity: &QueryActivity, k: usize) -> Nanos {
         let cores = EmbeddedCores::new(self.config.ssd.cores);
-        cores.quickselect(activity.coarse_entries + activity.fine_entries, self.config.rerank_factor * k)
-            + cores.rerank(activity.rerank_candidates, activity.dim)
+        cores.quickselect(
+            activity.coarse_entries + activity.fine_entries,
+            self.config.rerank_factor * k,
+        ) + cores.rerank(activity.rerank_candidates, activity.dim)
             + cores.quicksort(activity.rerank_candidates)
     }
 }
@@ -272,14 +284,15 @@ mod tests {
     #[test]
     fn pipelining_reduces_scan_latency() {
         let with = PerfModel::new(ReisConfig::ssd1());
-        let without = PerfModel::new(
-            ReisConfig::ssd1().with_optimizations(Optimizations {
-                pipelining: false,
-                ..Optimizations::all()
-            }),
-        );
+        let without = PerfModel::new(ReisConfig::ssd1().with_optimizations(Optimizations {
+            pipelining: false,
+            ..Optimizations::all()
+        }));
         let a = activity();
-        assert!(with.scan(a.fine_pages, a.fine_entries, 128) < without.scan(a.fine_pages, a.fine_entries, 128));
+        assert!(
+            with.scan(a.fine_pages, a.fine_entries, 128)
+                < without.scan(a.fine_pages, a.fine_entries, 128)
+        );
     }
 
     #[test]
@@ -305,15 +318,23 @@ mod tests {
     #[test]
     fn ssd2_is_faster_than_ssd1_for_the_same_activity() {
         let a = activity();
-        let t1 = PerfModel::new(ReisConfig::ssd1()).query_latency(&a, 10).total();
-        let t2 = PerfModel::new(ReisConfig::ssd2()).query_latency(&a, 10).total();
+        let t1 = PerfModel::new(ReisConfig::ssd1())
+            .query_latency(&a, 10)
+            .total();
+        let t2 = PerfModel::new(ReisConfig::ssd2())
+            .query_latency(&a, 10)
+            .total();
         assert!(t2 < t1);
     }
 
     #[test]
     fn empty_activity_costs_only_the_broadcast() {
         let model = PerfModel::new(ReisConfig::ssd1());
-        let empty = QueryActivity { embedding_slot_bytes: 128, dim: 1024, ..Default::default() };
+        let empty = QueryActivity {
+            embedding_slot_bytes: 128,
+            dim: 1024,
+            ..Default::default()
+        };
         let b = model.query_latency(&empty, 10);
         assert_eq!(b.coarse_scan, Nanos::ZERO);
         assert_eq!(b.fine_scan, Nanos::ZERO);
@@ -325,7 +346,15 @@ mod tests {
     #[test]
     fn core_busy_time_is_positive_and_scales() {
         let model = PerfModel::new(ReisConfig::ssd1());
-        let small = model.core_busy(&QueryActivity { fine_entries: 100, rerank_candidates: 10, dim: 128, ..activity() }, 10);
+        let small = model.core_busy(
+            &QueryActivity {
+                fine_entries: 100,
+                rerank_candidates: 10,
+                dim: 128,
+                ..activity()
+            },
+            10,
+        );
         let large = model.core_busy(&activity(), 10);
         assert!(large > small);
     }

@@ -131,6 +131,32 @@ impl TemporalTopList {
         self.entries.extend(entries);
     }
 
+    /// Append one entry streamed from a die.
+    pub fn push(&mut self, entry: TtlEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Drop all entries but keep the allocation, so one list can be reused
+    /// across the coarse and fine phases (and across queries) without
+    /// re-allocating.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Sort the retained entries ascending by `(distance, storage_index)` in
+    /// place (the final quicksort step, without copying the list).
+    pub fn sort_ascending(&mut self) {
+        self.entries
+            .sort_unstable_by_key(|e| (e.distance, e.storage_index));
+    }
+
+    /// The first `k` entries as a borrowed slice (call
+    /// [`TemporalTopList::sort_ascending`] first to make these the `k`
+    /// nearest in rank order).
+    pub fn top(&self, k: usize) -> &[TtlEntry] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+
     /// Total entries received so far (before any truncation).
     pub fn entries(&self) -> &[TtlEntry] {
         &self.entries
@@ -169,14 +195,32 @@ mod tests {
     use super::*;
 
     fn entry(distance: u32, idx: u32) -> TtlEntry {
-        TtlEntry { distance, storage_index: idx, radr: idx, dadr: idx * 2, tag: (idx % 256) as u8 }
+        TtlEntry {
+            distance,
+            storage_index: idx,
+            radr: idx,
+            dadr: idx * 2,
+            tag: (idx % 256) as u8,
+        }
     }
 
     #[test]
     fn rivf_tracks_clusters_and_footprint() {
         let rivf = RIvf::new(vec![
-            RIvfEntry { centroid_page: 0, centroid_slot: 0, first_embedding: 0, last_embedding: 9, tag: 0 },
-            RIvfEntry { centroid_page: 0, centroid_slot: 1, first_embedding: 10, last_embedding: 24, tag: 1 },
+            RIvfEntry {
+                centroid_page: 0,
+                centroid_slot: 0,
+                first_embedding: 0,
+                last_embedding: 9,
+                tag: 0,
+            },
+            RIvfEntry {
+                centroid_page: 0,
+                centroid_slot: 1,
+                first_embedding: 10,
+                last_embedding: 24,
+                tag: 1,
+            },
         ]);
         assert_eq!(rivf.len(), 2);
         assert_eq!(rivf.entry(0).unwrap().member_count(), 10);
@@ -201,6 +245,18 @@ mod tests {
         let sorted = ttl.sorted_top(3);
         assert_eq!(sorted[0].storage_index, 99);
         assert!(sorted.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn in_place_sort_and_top_match_sorted_top() {
+        let mut ttl = TemporalTopList::new();
+        ttl.extend((0..50).map(|i| entry((i * 37) % 23, i)));
+        let copied = ttl.sorted_top(7);
+        ttl.sort_ascending();
+        assert_eq!(ttl.top(7), &copied[..]);
+        ttl.clear();
+        assert!(ttl.is_empty());
+        assert!(ttl.top(3).is_empty());
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! [`ReisSystem`] owns the simulated SSD, deploys vector databases into it
 //! (`DB_Deploy` / `IVF_Deploy`) and serves `Search` / `IVF_Search` requests,
 //! returning both the retrieved documents and the modelled latency and
-//! energy of each query.
+//! energy of each query. Batched variants ([`ReisSystem::search_batch`],
+//! [`ReisSystem::ivf_search_batch`]) execute independent queries in parallel
+//! on per-worker replicas of the simulated device, each worker reusing its
+//! own engine scratch.
 
 use std::collections::HashMap;
 
@@ -18,7 +21,7 @@ use crate::config::ReisConfig;
 use crate::database::VectorDatabase;
 use crate::deploy::{self, DeployedDatabase};
 use crate::energy::{EnergyBreakdown, EnergyModel};
-use crate::engine::InStorageEngine;
+use crate::engine::{InStorageEngine, ScanScratch};
 use crate::error::{ReisError, Result};
 use crate::perf::{LatencyBreakdown, PerfModel, QueryActivity};
 
@@ -81,6 +84,8 @@ pub struct ReisSystem {
     energy: EnergyModel,
     databases: HashMap<u32, DeployedDatabase>,
     next_db_id: u32,
+    /// Scan scratch reused by every sequential query this system serves.
+    scratch: ScanScratch,
 }
 
 impl ReisSystem {
@@ -95,6 +100,7 @@ impl ReisSystem {
             energy: EnergyModel::default(),
             databases: HashMap::new(),
             next_db_id: 1,
+            scratch: ScanScratch::new(),
         }
     }
 
@@ -115,7 +121,9 @@ impl ReisSystem {
     ///
     /// Returns [`ReisError::DatabaseNotDeployed`] for an unknown id.
     pub fn database(&self, db_id: u32) -> Result<&DeployedDatabase> {
-        self.databases.get(&db_id).ok_or(ReisError::DatabaseNotDeployed(db_id))
+        self.databases
+            .get(&db_id)
+            .ok_or(ReisError::DatabaseNotDeployed(db_id))
     }
 
     /// Deploy a database (`DB_Deploy` for flat databases, `IVF_Deploy` when
@@ -208,54 +216,314 @@ impl ReisSystem {
         k: usize,
         nprobe: Option<usize>,
     ) -> Result<SearchOutcome> {
-        let db = self.databases.get(&db_id).ok_or(ReisError::DatabaseNotDeployed(db_id))?;
-        let dim = db.binary_quantizer.dim();
-        if query.len() != dim {
-            return Err(ReisError::QueryDimensionMismatch { expected: dim, actual: query.len() });
-        }
-        let query_binary = db.binary_quantizer.quantize(query)?;
-        let query_int8 = db.int8_quantizer.quantize(query)?;
-
-        let stats_before = *self.controller.device().stats();
-        let dram_before = self.controller.dram().bytes_read() + self.controller.dram().bytes_written();
-
-        let mut engine = InStorageEngine::new(&mut self.controller, self.config);
-        engine.broadcast_query(db, &query_binary)?;
-
-        let (clusters, coarse_counts) = match nprobe {
-            Some(nprobe) => {
-                let (clusters, counts) = engine.coarse_search(db, nprobe)?;
-                (Some(clusters), counts)
-            }
-            None => (None, Default::default()),
-        };
-
-        let candidate_count = engine.rerank_candidates(k);
-        let (ttl, fine_counts) =
-            engine.fine_search(db, &query_binary, clusters.as_deref(), candidate_count)?;
-        let candidates = ttl.sorted_top(candidate_count);
-        let (results, int8_pages) = engine.rerank(db, &query_int8, &candidates, k)?;
-        let documents = engine.fetch_documents(db, &results)?;
-
-        let activity = engine.activity(
+        let db = self
+            .databases
+            .get(&db_id)
+            .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        execute_query(
+            &self.config,
+            &mut self.controller,
+            &self.perf,
+            &self.energy,
+            &mut self.scratch,
             db,
-            coarse_counts,
-            fine_counts,
-            candidates.len(),
-            int8_pages,
-            results.len(),
-            dim,
-        );
-        let latency = self.perf.query_latency(&activity, k);
-        let core_busy = self.perf.core_busy(&activity, k);
-        let flash_stats = self.controller.device().stats().delta_since(&stats_before);
-        let dram_bytes = self.controller.dram().bytes_read() + self.controller.dram().bytes_written()
-            - dram_before;
-        let energy =
-            self.energy.query_energy(&flash_stats, dram_bytes, core_busy, latency.total());
-
-        Ok(SearchOutcome { results, documents, latency, activity, energy, flash_stats })
+            query,
+            k,
+            nprobe,
+        )
     }
+
+    /// `Search` over a whole batch of independent queries, executed in
+    /// parallel across up to `workers` threads.
+    ///
+    /// Each worker owns a replica of the simulated device and its own engine
+    /// scratch, so queries proceed without shared mutable state — the
+    /// software analogue of REIS serving concurrent queries from independent
+    /// channel/die groups. Results are returned in query order; search
+    /// results, documents and modelled latency/energy are identical to
+    /// running [`ReisSystem::search`] sequentially (only the raw
+    /// error-injection statistics may differ, since every replica draws its
+    /// own error stream). The flash, DRAM and ECC activity of all queries is
+    /// merged back into the primary controller afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::search`]; the first failing query's
+    /// error (in query order) is returned.
+    pub fn search_batch(
+        &mut self,
+        db_id: u32,
+        queries: &[Vec<f32>],
+        k: usize,
+        workers: usize,
+    ) -> Result<Vec<SearchOutcome>> {
+        self.run_batch(db_id, queries, k, None, workers)
+    }
+
+    /// `IVF_Search` over a batch of independent queries with a target
+    /// recall, executed in parallel across up to `workers` threads (see
+    /// [`ReisSystem::search_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::ivf_search`].
+    pub fn ivf_search_batch(
+        &mut self,
+        db_id: u32,
+        queries: &[Vec<f32>],
+        k: usize,
+        target_recall: f64,
+        workers: usize,
+    ) -> Result<Vec<SearchOutcome>> {
+        let nlist = self.database(db_id)?.rivf.len();
+        if nlist == 0 {
+            return Err(ReisError::UnsupportedSearch(
+                "IVF_Search requires an IVF deployment".into(),
+            ));
+        }
+        let nprobe = Self::nprobe_for_recall(nlist, target_recall);
+        self.run_batch(db_id, queries, k, Some(nprobe), workers)
+    }
+
+    /// IVF batch search with an explicit `nprobe` (see
+    /// [`ReisSystem::search_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::ivf_search_with_nprobe`].
+    pub fn ivf_search_batch_with_nprobe(
+        &mut self,
+        db_id: u32,
+        queries: &[Vec<f32>],
+        k: usize,
+        nprobe: usize,
+        workers: usize,
+    ) -> Result<Vec<SearchOutcome>> {
+        if self.database(db_id)?.rivf.is_empty() {
+            return Err(ReisError::UnsupportedSearch(
+                "IVF_Search requires an IVF deployment".into(),
+            ));
+        }
+        self.run_batch(db_id, queries, k, Some(nprobe), workers)
+    }
+
+    fn run_batch(
+        &mut self,
+        db_id: u32,
+        queries: &[Vec<f32>],
+        k: usize,
+        nprobe: Option<usize>,
+        workers: usize,
+    ) -> Result<Vec<SearchOutcome>> {
+        let db = self
+            .databases
+            .get(&db_id)
+            .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        // Validate up front so a malformed query fails before threads spawn.
+        let dim = db.binary_quantizer.dim();
+        if let Some(bad) = queries.iter().find(|q| q.len() != dim) {
+            return Err(ReisError::QueryDimensionMismatch {
+                expected: dim,
+                actual: bad.len(),
+            });
+        }
+
+        let workers = workers.clamp(1, queries.len().max(1));
+        if workers == 1 {
+            return queries
+                .iter()
+                .map(|query| {
+                    execute_query(
+                        &self.config,
+                        &mut self.controller,
+                        &self.perf,
+                        &self.energy,
+                        &mut self.scratch,
+                        db,
+                        query,
+                        k,
+                        nprobe,
+                    )
+                })
+                .collect();
+        }
+
+        // Latch contents are per-query scratch; dropping them first makes the
+        // per-worker clones (copy-on-write over the flash blocks) nearly
+        // free, so batch throughput scales with the worker count instead of
+        // being dominated by device copies.
+        self.controller.device_mut().clear_all_latches();
+        let config = &self.config;
+        let perf = &self.perf;
+        let energy = &self.energy;
+        let controller = &self.controller;
+        let stats_before = *controller.device().stats();
+        let dram_read_before = controller.dram().bytes_read();
+        let dram_written_before = controller.dram().bytes_written();
+        let ecc_pages_before = controller.ecc().pages_decoded();
+        let ecc_bits_before = controller.ecc().bits_corrected();
+        let chunk_len = queries.len().div_ceil(workers);
+
+        let mut worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(worker, chunk)| {
+                    scope.spawn(move || {
+                        // Each worker gets its own device replica and its
+                        // own scratch; no state is shared between queries
+                        // in flight. Re-seeding the replica's error RNG
+                        // decorrelates the workers' injected error streams
+                        // (they would otherwise all replay the primary's).
+                        let mut replica = controller.clone();
+                        replica.device_mut().reseed_error_rng(
+                            0x9E37_79B9_7F4A_7C15
+                                ^ stats_before.page_reads
+                                ^ ((worker as u64) << 32),
+                        );
+                        let mut scratch = ScanScratch::new();
+                        let outcomes: Vec<Result<SearchOutcome>> = chunk
+                            .iter()
+                            .map(|query| {
+                                execute_query(
+                                    config,
+                                    &mut replica,
+                                    perf,
+                                    energy,
+                                    &mut scratch,
+                                    db,
+                                    query,
+                                    k,
+                                    nprobe,
+                                )
+                            })
+                            .collect();
+                        WorkerOutput {
+                            outcomes,
+                            flash: replica.device().stats().delta_since(&stats_before),
+                            dram_read: replica.dram().bytes_read() - dram_read_before,
+                            dram_written: replica.dram().bytes_written() - dram_written_before,
+                            ecc_pages: replica.ecc().pages_decoded() - ecc_pages_before,
+                            ecc_bits: replica.ecc().bits_corrected() - ecc_bits_before,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+
+        // Merge every worker's flash, DRAM and ECC activity into the primary
+        // controller before surfacing any per-query error: even a failing
+        // batch performed real work on the replicas, and the primary's
+        // counters stay authoritative for monitoring.
+        let mut merged = FlashStats::new();
+        for output in &worker_outputs {
+            merged.accumulate(&output.flash);
+            self.controller
+                .dram_mut()
+                .absorb_traffic(output.dram_read, output.dram_written);
+            self.controller
+                .ecc_mut()
+                .absorb_counters(output.ecc_pages, output.ecc_bits);
+        }
+        self.controller.device_mut().absorb_stats(&merged);
+
+        let mut outcomes = Vec::with_capacity(queries.len());
+        for output in worker_outputs.drain(..) {
+            for outcome in output.outcomes {
+                outcomes.push(outcome?);
+            }
+        }
+        Ok(outcomes)
+    }
+}
+
+/// Per-worker products of one batch-search chunk: the query outcomes plus
+/// the controller-activity deltas to merge back into the primary.
+struct WorkerOutput {
+    outcomes: Vec<Result<SearchOutcome>>,
+    flash: FlashStats,
+    dram_read: u64,
+    dram_written: u64,
+    ecc_pages: u64,
+    ecc_bits: u64,
+}
+
+/// Execute one query against a deployed database on the given controller.
+///
+/// This is the shared body of the sequential and batched search paths: the
+/// caller supplies the controller (the system's own, or a per-worker
+/// replica) and the [`ScanScratch`] to reuse.
+#[allow(clippy::too_many_arguments)]
+fn execute_query(
+    config: &ReisConfig,
+    controller: &mut SsdController,
+    perf: &PerfModel,
+    energy: &EnergyModel,
+    scratch: &mut ScanScratch,
+    db: &DeployedDatabase,
+    query: &[f32],
+    k: usize,
+    nprobe: Option<usize>,
+) -> Result<SearchOutcome> {
+    let dim = db.binary_quantizer.dim();
+    if query.len() != dim {
+        return Err(ReisError::QueryDimensionMismatch {
+            expected: dim,
+            actual: query.len(),
+        });
+    }
+    let query_binary = db.binary_quantizer.quantize(query)?;
+    let query_int8 = db.int8_quantizer.quantize(query)?;
+
+    let stats_before = *controller.device().stats();
+    let dram_before = controller.dram().bytes_read() + controller.dram().bytes_written();
+
+    let mut engine = InStorageEngine::new(controller, *config, scratch);
+    engine.broadcast_query(db, &query_binary)?;
+
+    let (clusters, coarse_counts) = match nprobe {
+        Some(nprobe) => {
+            let (clusters, counts) = engine.coarse_search(db, nprobe)?;
+            (Some(clusters), counts)
+        }
+        None => (None, Default::default()),
+    };
+
+    let candidate_count = engine.rerank_candidates(k);
+    let fine_counts =
+        engine.fine_search(db, &query_binary, clusters.as_deref(), candidate_count)?;
+    let num_candidates = engine.num_candidates();
+    let (results, int8_pages) = engine.rerank(db, &query_int8, k)?;
+    let documents = engine.fetch_documents(db, &results)?;
+
+    let activity = engine.activity(
+        db,
+        coarse_counts,
+        fine_counts,
+        num_candidates,
+        int8_pages,
+        results.len(),
+        dim,
+    );
+    let latency = perf.query_latency(&activity, k);
+    let core_busy = perf.core_busy(&activity, k);
+    let flash_stats = controller.device().stats().delta_since(&stats_before);
+    let dram_bytes =
+        controller.dram().bytes_read() + controller.dram().bytes_written() - dram_before;
+    let energy = energy.query_energy(&flash_stats, dram_bytes, core_busy, latency.total());
+
+    Ok(SearchOutcome {
+        results,
+        documents,
+        latency,
+        activity,
+        energy,
+        flash_stats,
+    })
 }
 
 #[cfg(test)]
@@ -283,7 +551,9 @@ mod tests {
     }
 
     fn documents(n: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|i| format!("document {i}").into_bytes()).collect()
+        (0..n)
+            .map(|i| format!("document {i}").into_bytes())
+            .collect()
     }
 
     fn deploy_flat(system: &mut ReisSystem, n: usize, dim: usize) -> (u32, Vec<Vec<f32>>) {
@@ -293,7 +563,12 @@ mod tests {
         (id, vectors)
     }
 
-    fn deploy_ivf(system: &mut ReisSystem, n: usize, dim: usize, nlist: usize) -> (u32, Vec<Vec<f32>>) {
+    fn deploy_ivf(
+        system: &mut ReisSystem,
+        n: usize,
+        dim: usize,
+        nlist: usize,
+    ) -> (u32, Vec<Vec<f32>>) {
         let vectors = clustered_vectors(n, dim);
         let db = VectorDatabase::ivf(&vectors, documents(n), nlist).unwrap();
         let id = system.deploy(&db).unwrap();
@@ -306,7 +581,10 @@ mod tests {
         let (id, vectors) = deploy_flat(&mut system, 96, 64);
         let outcome = system.search(id, &vectors[17], 5).unwrap();
         assert_eq!(outcome.results.len(), 5);
-        assert_eq!(outcome.results[0].id, 17, "an indexed vector is its own nearest neighbor");
+        assert_eq!(
+            outcome.results[0].id, 17,
+            "an indexed vector is its own nearest neighbor"
+        );
         assert_eq!(outcome.documents[0], b"document 17");
         assert!(outcome.total_latency() > Nanos::ZERO);
         assert!(outcome.energy.total_j() > 0.0);
@@ -328,7 +606,12 @@ mod tests {
         let queries = 8usize;
         for q in 0..queries {
             let query = &vectors[q * 19];
-            let truth: Vec<usize> = flat.search(query, 10).unwrap().iter().map(|n| n.id).collect();
+            let truth: Vec<usize> = flat
+                .search(query, 10)
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
             let outcome = system.ivf_search_with_nprobe(id, query, 10, 8).unwrap();
             recall += recall_at_k(&outcome.result_ids(), &truth, 10);
         }
@@ -385,6 +668,70 @@ mod tests {
     }
 
     #[test]
+    fn search_batch_matches_sequential_search_for_any_worker_count() {
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_flat(&mut system, 96, 64);
+        let queries: Vec<Vec<f32>> = (0..7).map(|q| vectors[q * 11].clone()).collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| system.search(id, q, 5).unwrap())
+            .collect();
+        for workers in [1usize, 2, 3, 8] {
+            let batch = system.search_batch(id, &queries, 5, workers).unwrap();
+            assert_eq!(batch.len(), sequential.len());
+            for (b, s) in batch.iter().zip(&sequential) {
+                assert_eq!(b.result_ids(), s.result_ids(), "workers {workers}");
+                assert_eq!(b.documents, s.documents, "workers {workers}");
+                assert_eq!(b.latency, s.latency, "workers {workers}");
+                assert_eq!(b.activity, s.activity, "workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn ivf_search_batch_matches_sequential_and_merges_stats() {
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_ivf(&mut system, 160, 64, 8);
+        let queries: Vec<Vec<f32>> = (0..6).map(|q| vectors[q * 19].clone()).collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| system.ivf_search_with_nprobe(id, q, 10, 4).unwrap())
+            .collect();
+        let before = *system.controller().device().stats();
+        let batch = system
+            .ivf_search_batch_with_nprobe(id, &queries, 10, 4, 3)
+            .unwrap();
+        for (b, s) in batch.iter().zip(&sequential) {
+            assert_eq!(b.result_ids(), s.result_ids());
+            assert_eq!(b.documents, s.documents);
+        }
+        // The workers' flash activity is folded back into the primary device.
+        let delta = system.controller().device().stats().delta_since(&before);
+        let per_query: u64 = batch.iter().map(|o| o.flash_stats.page_reads).sum();
+        assert_eq!(delta.page_reads, per_query);
+        assert!(delta.page_reads > 0);
+    }
+
+    #[test]
+    fn batch_searches_validate_inputs() {
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_flat(&mut system, 32, 64);
+        assert!(matches!(
+            system.search_batch(99, &[vectors[0].clone()], 5, 2),
+            Err(ReisError::DatabaseNotDeployed(99))
+        ));
+        assert!(matches!(
+            system.search_batch(id, &[vectors[0][..10].to_vec()], 5, 2),
+            Err(ReisError::QueryDimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            system.ivf_search_batch(id, &[vectors[0].clone()], 5, 0.94, 2),
+            Err(ReisError::UnsupportedSearch(_))
+        ));
+        assert!(system.search_batch(id, &[], 5, 4).unwrap().is_empty());
+    }
+
+    #[test]
     fn nprobe_mapping_is_monotone_in_recall() {
         let low = ReisSystem::nprobe_for_recall(16384, 0.90);
         let mid = ReisSystem::nprobe_for_recall(16384, 0.94);
@@ -405,8 +752,14 @@ mod tests {
         let a = ssd1.deploy(&db).unwrap();
         let b = ssd2.deploy(&db).unwrap();
         let q = &vectors[5];
-        let t1 = ssd1.ivf_search_with_nprobe(a, q, 10, 4).unwrap().total_latency();
-        let t2 = ssd2.ivf_search_with_nprobe(b, q, 10, 4).unwrap().total_latency();
+        let t1 = ssd1
+            .ivf_search_with_nprobe(a, q, 10, 4)
+            .unwrap()
+            .total_latency();
+        let t2 = ssd2
+            .ivf_search_with_nprobe(b, q, 10, 4)
+            .unwrap()
+            .total_latency();
         assert!(t2 < t1, "REIS-SSD2 ({t2}) should beat REIS-SSD1 ({t1})");
     }
 }

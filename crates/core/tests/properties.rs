@@ -8,9 +8,15 @@ use reis_nand::Geometry;
 
 fn database(entries: usize, dim: usize) -> VectorDatabase {
     let vectors: Vec<Vec<f32>> = (0..entries)
-        .map(|i| (0..dim).map(|d| (((i * 13 + d * 7) % 31) as f32 - 15.0) / 7.0).collect())
+        .map(|i| {
+            (0..dim)
+                .map(|d| (((i * 13 + d * 7) % 31) as f32 - 15.0) / 7.0)
+                .collect()
+        })
         .collect();
-    let documents: Vec<Vec<u8>> = (0..entries).map(|i| format!("doc {i}").into_bytes()).collect();
+    let documents: Vec<Vec<u8>> = (0..entries)
+        .map(|i| format!("doc {i}").into_bytes())
+        .collect();
     VectorDatabase::flat(&vectors, documents).expect("valid database")
 }
 

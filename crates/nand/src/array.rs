@@ -6,6 +6,8 @@
 //! latency of the operation, so higher layers can compose latencies with or
 //! without pipelining while relying on functionally correct data.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::cell::ProgramScheme;
@@ -46,15 +48,24 @@ struct Block {
 
 impl Block {
     fn new(pages_per_block: usize) -> Self {
-        Block { pages: vec![Page::default(); pages_per_block], erase_count: 0 }
+        Block {
+            pages: vec![Page::default(); pages_per_block],
+            erase_count: 0,
+        }
     }
 }
 
 /// One plane: lazily allocated blocks plus the plane's page buffer.
+///
+/// Blocks are held behind [`Arc`] with copy-on-write mutation
+/// ([`Arc::make_mut`]): cloning a device for a batch-search worker then
+/// costs one refcount bump per programmed block instead of a deep copy of
+/// the stored pages, and read-only scans on the replicas share the flash
+/// contents with the primary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Plane {
     buffer: PageBuffer,
-    blocks: Vec<Option<Box<Block>>>,
+    blocks: Vec<Option<Arc<Block>>>,
 }
 
 impl Plane {
@@ -66,7 +77,9 @@ impl Plane {
     }
 
     fn block_mut(&mut self, block: usize, pages_per_block: usize) -> &mut Block {
-        self.blocks[block].get_or_insert_with(|| Box::new(Block::new(pages_per_block)))
+        Arc::make_mut(
+            self.blocks[block].get_or_insert_with(|| Arc::new(Block::new(pages_per_block))),
+        )
     }
 
     fn block(&self, block: usize) -> Option<&Block> {
@@ -134,7 +147,10 @@ impl FlashDevice {
         reliability: ReliabilityModel,
         seed: u64,
     ) -> Self {
-        let planes = geometry.planes().map(|addr| Plane::new(addr, &geometry)).collect();
+        let planes = geometry
+            .planes()
+            .map(|addr| Plane::new(addr, &geometry))
+            .collect();
         FlashDevice {
             geometry,
             timing,
@@ -163,6 +179,21 @@ impl FlashDevice {
     /// Reset the operation counters (the stored data is untouched).
     pub fn reset_stats(&mut self) {
         self.stats = FlashStats::new();
+    }
+
+    /// Merge externally measured operation counters into this device's
+    /// statistics. Batch search runs queries on per-worker device replicas;
+    /// their per-query deltas are folded back here so the primary device's
+    /// counters stay authoritative.
+    pub fn absorb_stats(&mut self, delta: &FlashStats) {
+        self.stats.accumulate(delta);
+    }
+
+    /// Re-seed the read-error-injection generator. Cloned devices (batch
+    /// search workers) inherit the primary's RNG state; giving every replica
+    /// a distinct seed decorrelates their injected error streams.
+    pub fn reseed_error_rng(&mut self, seed: u64) {
+        self.rng = SplitMix64::new(seed);
     }
 
     fn plane_index(&self, addr: PlaneAddr) -> Result<usize> {
@@ -223,7 +254,10 @@ impl FlashDevice {
     pub fn erase_count(&self, addr: BlockAddr) -> Result<u64> {
         self.geometry.check_plane(addr.plane_addr())?;
         let idx = self.geometry.plane_index(addr.plane_addr());
-        Ok(self.planes[idx].block(addr.block).map(|b| b.erase_count).unwrap_or(0))
+        Ok(self.planes[idx]
+            .block(addr.block)
+            .map(|b| b.erase_count)
+            .unwrap_or(0))
     }
 
     /// Program a page with user data and OOB metadata using `scheme`.
@@ -284,24 +318,38 @@ impl FlashDevice {
     fn sense_into_buffer(&mut self, addr: PageAddr) -> Result<(ProgramScheme, usize, Nanos)> {
         self.geometry.check_page(addr)?;
         let idx = self.geometry.plane_index(addr.plane_addr());
-        let (data, oob, scheme) = {
-            let plane = &self.planes[idx];
-            let block = plane
-                .block(addr.block)
+        // Split-borrow the plane so the stored page (immutable) can be copied
+        // into the plane's buffer (mutable) without cloning it first: a scan
+        // re-senses thousands of pages into the same latch buffers.
+        let Plane { buffer, blocks } = &mut self.planes[idx];
+        let scheme = {
+            let block = blocks
+                .get(addr.block)
+                .and_then(|b| b.as_deref())
                 .ok_or(NandError::PageNotProgrammed(addr))?;
             let page = &block.pages[addr.page];
-            let data = page.data.clone().ok_or(NandError::PageNotProgrammed(addr))?;
-            let oob = page.oob.clone().unwrap_or_default();
-            let scheme = page.scheme.unwrap_or_default();
-            (data, oob, scheme)
+            let data = page
+                .data
+                .as_deref()
+                .ok_or(NandError::PageNotProgrammed(addr))?;
+            let oob = page.oob.as_deref().unwrap_or(&[]);
+            buffer.load_sensing_copy(data, oob);
+            page.scheme.unwrap_or_default()
         };
-        let mut sensed = data;
-        let bit_errors =
-            self.reliability.inject_read_errors(&mut sensed, scheme, &mut self.rng);
-        self.planes[idx].buffer.load_sensing(sensed, oob);
+        let bit_errors = if self.reliability.effective_ber(scheme) > 0.0 {
+            let sensed = buffer.sensing_mut().expect("sensing latch was just filled");
+            self.reliability
+                .inject_read_errors(sensed, scheme, &mut self.rng)
+        } else {
+            0
+        };
         self.stats.page_reads += 1;
         self.stats.injected_bit_errors += bit_errors as u64;
-        Ok((scheme, bit_errors, self.timing.read_latency(scheme) + self.timing.t_command_overhead))
+        Ok((
+            scheme,
+            bit_errors,
+            self.timing.read_latency(scheme) + self.timing.t_command_overhead,
+        ))
     }
 
     /// Sense a page into its plane's sensing latch without transferring it to
@@ -327,12 +375,21 @@ impl FlashDevice {
         let (scheme, bit_errors, sense_latency) = self.sense_into_buffer(addr)?;
         let idx = self.geometry.plane_index(addr.plane_addr());
         let buffer = &self.planes[idx].buffer;
-        let data = buffer.sensing().expect("sensing latch was just filled").to_vec();
+        let data = buffer
+            .sensing()
+            .expect("sensing latch was just filled")
+            .to_vec();
         let oob = buffer.oob().unwrap_or(&[]).to_vec();
         let bytes = data.len() + oob.len();
         self.stats.bytes_to_controller += bytes as u64;
         let latency = sense_latency + self.timing.channel_transfer(bytes);
-        Ok(PageReadout { data, oob, scheme, bit_errors, latency })
+        Ok(PageReadout {
+            data,
+            oob,
+            scheme,
+            bit_errors,
+            latency,
+        })
     }
 
     /// Read only the OOB bytes of a page to the controller.
@@ -367,7 +424,9 @@ impl FlashDevice {
     ) -> Result<Nanos> {
         self.geometry.check_plane(PlaneAddr::new(channel, die, 0))?;
         for plane in 0..self.geometry.planes_per_die {
-            let idx = self.geometry.plane_index(PlaneAddr::new(channel, die, plane));
+            let idx = self
+                .geometry
+                .plane_index(PlaneAddr::new(channel, die, plane));
             self.planes[idx].buffer.broadcast_into_cache(payload)?;
         }
         self.stats.broadcast_ops += 1;
@@ -376,7 +435,9 @@ impl FlashDevice {
         } else {
             (payload.len() * self.geometry.planes_per_die) as u64
         };
-        Ok(self.timing.input_broadcast(payload.len(), self.geometry.planes_per_die, multi_plane))
+        Ok(self
+            .timing
+            .input_broadcast(payload.len(), self.geometry.planes_per_die, multi_plane))
     }
 
     /// XOR the cache latch (query copies) into the sensing latch (database
@@ -400,19 +461,60 @@ impl FlashDevice {
     /// # Errors
     ///
     /// Returns [`NandError::LatchEmpty`] if the data latch is empty.
-    pub fn count_fail_bits(&mut self, addr: PlaneAddr, chunk_bytes: usize) -> Result<(Vec<u32>, Nanos)> {
+    pub fn count_fail_bits(
+        &mut self,
+        addr: PlaneAddr,
+        chunk_bytes: usize,
+    ) -> Result<(Vec<u32>, Nanos)> {
+        let mut counts = Vec::new();
+        let latency = self.count_fail_bits_into(addr, chunk_bytes, &mut counts)?;
+        Ok((counts, latency))
+    }
+
+    /// Allocation-free variant of [`FlashDevice::count_fail_bits`]: the
+    /// counts are written into `out` (cleared first), so a page-scan loop can
+    /// reuse one buffer for every page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::LatchEmpty`] if the data latch is empty.
+    pub fn count_fail_bits_into(
+        &mut self,
+        addr: PlaneAddr,
+        chunk_bytes: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<Nanos> {
         let idx = self.plane_index(addr)?;
         let data = self.planes[idx].buffer.read_latch(Latch::Data)?;
-        let counts = FailBitCounter::count_per_chunk(data, chunk_bytes);
+        FailBitCounter::count_per_chunk_into(data, chunk_bytes, out);
         self.stats.bit_count_ops += 1;
-        Ok((counts, self.timing.t_fail_bit_count))
+        Ok(self.timing.t_fail_bit_count)
     }
 
     /// Apply the pass/fail checker to a set of counts with the given
     /// distance-filter threshold, returning the per-entry pass flags.
     pub fn pass_fail_check(&mut self, counts: &[u32], threshold: u32) -> (Vec<bool>, Nanos) {
         self.stats.pass_fail_ops += 1;
-        (PassFailChecker::passes(counts, threshold), self.timing.t_pass_fail_check)
+        (
+            PassFailChecker::passes(counts, threshold),
+            self.timing.t_pass_fail_check,
+        )
+    }
+
+    /// Fused pass/fail check: invoke `emit(slot, count)` for every count at
+    /// or below `threshold`, returning how many passed and the checker
+    /// latency. Unlike [`FlashDevice::pass_fail_check`] this never
+    /// materializes a `Vec<bool>`, which keeps the scan hot path
+    /// allocation-free.
+    pub fn pass_fail_filter(
+        &mut self,
+        counts: &[u32],
+        threshold: u32,
+        emit: impl FnMut(usize, u32),
+    ) -> (usize, Nanos) {
+        self.stats.pass_fail_ops += 1;
+        let passed = PassFailChecker::filter_passing(counts, threshold, emit);
+        (passed, self.timing.t_pass_fail_check)
     }
 
     /// Transfer `bytes` from a die to the controller over its channel,
@@ -421,6 +523,17 @@ impl FlashDevice {
     pub fn transfer_to_controller(&mut self, bytes: usize) -> Nanos {
         self.stats.bytes_to_controller += bytes as u64;
         self.timing.channel_transfer(bytes)
+    }
+
+    /// Clear every plane's page buffer (all latches and OOB bytes).
+    ///
+    /// Latch contents are per-query scratch, not persistent state; clearing
+    /// them before cloning the device for batch-search workers keeps the
+    /// clones as cheap as the copy-on-write block sharing allows.
+    pub fn clear_all_latches(&mut self) {
+        for plane in &mut self.planes {
+            plane.buffer.clear();
+        }
     }
 
     /// Promote the sensing latch of a plane to its cache latch, freeing the
@@ -448,9 +561,14 @@ impl FlashDevice {
     pub fn pristine_page_data(&self, addr: PageAddr) -> Result<(Vec<u8>, Vec<u8>)> {
         self.geometry.check_page(addr)?;
         let idx = self.geometry.plane_index(addr.plane_addr());
-        let block = self.planes[idx].block(addr.block).ok_or(NandError::PageNotProgrammed(addr))?;
+        let block = self.planes[idx]
+            .block(addr.block)
+            .ok_or(NandError::PageNotProgrammed(addr))?;
         let page = &block.pages[addr.page];
-        let data = page.data.clone().ok_or(NandError::PageNotProgrammed(addr))?;
+        let data = page
+            .data
+            .clone()
+            .ok_or(NandError::PageNotProgrammed(addr))?;
         Ok((data, page.oob.clone().unwrap_or_default()))
     }
 
@@ -492,7 +610,8 @@ mod tests {
         let mut dev = device();
         let data = vec![0x3C; 4096];
         let oob = vec![0x11; 64];
-        dev.program_page(page0(), &data, &oob, ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(page0(), &data, &oob, ProgramScheme::EnhancedSlc)
+            .unwrap();
         let readout = dev.read_page(page0()).unwrap();
         assert_eq!(readout.data, data);
         assert_eq!(&readout.oob[..64], &oob[..]);
@@ -504,20 +623,25 @@ mod tests {
     fn reprogramming_without_erase_is_rejected() {
         let mut dev = device();
         let data = vec![1u8; 16];
-        dev.program_page(page0(), &data, &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(page0(), &data, &[], ProgramScheme::EnhancedSlc)
+            .unwrap();
         assert!(matches!(
             dev.program_page(page0(), &data, &[], ProgramScheme::EnhancedSlc),
             Err(NandError::PageAlreadyProgrammed(_))
         ));
         dev.erase_block(page0().block_addr()).unwrap();
-        dev.program_page(page0(), &data, &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(page0(), &data, &[], ProgramScheme::EnhancedSlc)
+            .unwrap();
         assert_eq!(dev.erase_count(page0().block_addr()).unwrap(), 1);
     }
 
     #[test]
     fn reading_unprogrammed_page_fails() {
         let mut dev = device();
-        assert!(matches!(dev.read_page(page0()), Err(NandError::PageNotProgrammed(_))));
+        assert!(matches!(
+            dev.read_page(page0()),
+            Err(NandError::PageNotProgrammed(_))
+        ));
     }
 
     #[test]
@@ -530,7 +654,12 @@ mod tests {
         ));
         let oob_too_big = vec![0u8; 257];
         assert!(matches!(
-            dev.program_page(page0(), &[0u8; 16], &oob_too_big, ProgramScheme::EnhancedSlc),
+            dev.program_page(
+                page0(),
+                &[0u8; 16],
+                &oob_too_big,
+                ProgramScheme::EnhancedSlc
+            ),
             Err(NandError::OobTooLarge { .. })
         ));
     }
@@ -543,15 +672,18 @@ mod tests {
         let mut page = Vec::with_capacity(4096);
         for i in 0..(4096 / emb_bytes) {
             // Embedding i = i-th byte pattern.
-            page.extend(std::iter::repeat((i % 256) as u8).take(emb_bytes));
+            page.extend(std::iter::repeat_n((i % 256) as u8, emb_bytes));
         }
-        dev.program_page(page0(), &page, &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(page0(), &page, &[], ProgramScheme::EnhancedSlc)
+            .unwrap();
 
         let query = vec![0u8; emb_bytes];
         dev.input_broadcast(0, 0, &query, true).unwrap();
         dev.sense_page(page0()).unwrap();
         dev.xor_latches(page0().plane_addr()).unwrap();
-        let (counts, _) = dev.count_fail_bits(page0().plane_addr(), emb_bytes).unwrap();
+        let (counts, _) = dev
+            .count_fail_bits(page0().plane_addr(), emb_bytes)
+            .unwrap();
         assert_eq!(counts.len(), 4096 / emb_bytes);
         // Against an all-zero query the Hamming distance of embedding i is
         // popcount(i) * emb_bytes.
@@ -582,8 +714,18 @@ mod tests {
         let t_without = without.input_broadcast(0, 0, &[1u8; 128], false).unwrap();
         assert!(t_with < t_without);
         for plane in 0..with.geometry().planes_per_die {
-            let a = with.page_buffer(PlaneAddr::new(0, 0, plane)).unwrap().cache().unwrap().to_vec();
-            let b = without.page_buffer(PlaneAddr::new(0, 0, plane)).unwrap().cache().unwrap().to_vec();
+            let a = with
+                .page_buffer(PlaneAddr::new(0, 0, plane))
+                .unwrap()
+                .cache()
+                .unwrap()
+                .to_vec();
+            let b = without
+                .page_buffer(PlaneAddr::new(0, 0, plane))
+                .unwrap()
+                .cache()
+                .unwrap()
+                .to_vec();
             assert_eq!(a, b);
         }
     }
@@ -600,8 +742,10 @@ mod tests {
         let data = vec![0u8; 4096];
         let tlc_addr = page0();
         let esp_addr = PageAddr::new(0, 0, 0, 0, 1);
-        dev.program_page(tlc_addr, &data, &[], ProgramScheme::Ispp(CellMode::Tlc)).unwrap();
-        dev.program_page(esp_addr, &data, &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(tlc_addr, &data, &[], ProgramScheme::Ispp(CellMode::Tlc))
+            .unwrap();
+        dev.program_page(esp_addr, &data, &[], ProgramScheme::EnhancedSlc)
+            .unwrap();
         let mut tlc_errors = 0usize;
         for _ in 0..5 {
             tlc_errors += dev.read_page(tlc_addr).unwrap().bit_errors;
@@ -617,8 +761,10 @@ mod tests {
         let data = vec![0u8; 256];
         let esp = PageAddr::new(0, 0, 0, 0, 0);
         let tlc = PageAddr::new(0, 0, 0, 0, 1);
-        dev.program_page(esp, &data, &[], ProgramScheme::EnhancedSlc).unwrap();
-        dev.program_page(tlc, &data, &[], ProgramScheme::Ispp(CellMode::Tlc)).unwrap();
+        dev.program_page(esp, &data, &[], ProgramScheme::EnhancedSlc)
+            .unwrap();
+        dev.program_page(tlc, &data, &[], ProgramScheme::Ispp(CellMode::Tlc))
+            .unwrap();
         let t_esp = dev.read_page(esp).unwrap().latency;
         let t_tlc = dev.read_page(tlc).unwrap().latency;
         assert!(t_esp < t_tlc);
@@ -628,7 +774,8 @@ mod tests {
     fn stats_track_operations() {
         let mut dev = device();
         let before = *dev.stats();
-        dev.program_page(page0(), &[1u8; 128], &[2u8; 8], ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(page0(), &[1u8; 128], &[2u8; 8], ProgramScheme::EnhancedSlc)
+            .unwrap();
         dev.read_page(page0()).unwrap();
         dev.read_oob(page0()).unwrap();
         dev.erase_block(page0().block_addr()).unwrap();
@@ -649,8 +796,10 @@ mod tests {
         let b_addr = PageAddr::new(0, 0, 0, 0, 1);
         let a = vec![0b1111_0000u8; 4096];
         let b = vec![0b1010_1010u8; 4096];
-        dev.program_page(a_addr, &a, &[], ProgramScheme::EnhancedSlc).unwrap();
-        dev.program_page(b_addr, &b, &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(a_addr, &a, &[], ProgramScheme::EnhancedSlc)
+            .unwrap();
+        dev.program_page(b_addr, &b, &[], ProgramScheme::EnhancedSlc)
+            .unwrap();
         let x = dev.xor_pages(a_addr, b_addr).unwrap();
         assert!(x.iter().all(|&v| v == 0b0101_1010));
     }
@@ -658,7 +807,8 @@ mod tests {
     #[test]
     fn read_page_cache_mode_frees_sensing_latch() {
         let mut dev = device();
-        dev.program_page(page0(), &[9u8; 64], &[], ProgramScheme::EnhancedSlc).unwrap();
+        dev.program_page(page0(), &[9u8; 64], &[], ProgramScheme::EnhancedSlc)
+            .unwrap();
         dev.sense_page(page0()).unwrap();
         dev.promote_sensing_to_cache(page0().plane_addr()).unwrap();
         let buf = dev.page_buffer(page0().plane_addr()).unwrap();

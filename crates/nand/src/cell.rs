@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of bits stored per flash cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum CellMode {
     /// Single-level cell: 1 bit per cell, fastest and most reliable.
     Slc,
@@ -20,6 +22,7 @@ pub enum CellMode {
     Mlc,
     /// Triple-level cell: 3 bits per cell (the common density point for
     /// data-center SSDs such as the PM9A3 and Micron 9400).
+    #[default]
     Tlc,
     /// Quad-level cell: 4 bits per cell.
     Qlc,
@@ -57,12 +60,6 @@ impl fmt::Display for CellMode {
             CellMode::Qlc => "QLC",
         };
         f.write_str(name)
-    }
-}
-
-impl Default for CellMode {
-    fn default() -> Self {
-        CellMode::Tlc
     }
 }
 
@@ -158,7 +155,10 @@ mod tests {
         let tlc = ProgramScheme::Ispp(CellMode::Tlc).raw_bit_error_rate();
         let qlc = ProgramScheme::Ispp(CellMode::Qlc).raw_bit_error_rate();
         assert!(slc < mlc && mlc < tlc && tlc < qlc);
-        assert!(slc > 0.0, "normal SLC is reliable but not guaranteed error-free");
+        assert!(
+            slc > 0.0,
+            "normal SLC is reliable but not guaranteed error-free"
+        );
     }
 
     #[test]

@@ -163,32 +163,72 @@ pub fn execute(device: &mut FlashDevice, command: FlashCommand) -> Result<Comman
         }
         FlashCommand::Sense { addr } => {
             let latency = device.sense_page(addr)?;
-            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+            Ok(CommandOutcome {
+                response: CommandResponse::Done,
+                latency,
+            })
         }
-        FlashCommand::Program { addr, data, oob, scheme } => {
+        FlashCommand::Program {
+            addr,
+            data,
+            oob,
+            scheme,
+        } => {
             let latency = device.program_page(addr, &data, &oob, scheme)?;
-            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+            Ok(CommandOutcome {
+                response: CommandResponse::Done,
+                latency,
+            })
         }
         FlashCommand::Erase { block } => {
             let latency = device.erase_block(block)?;
-            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+            Ok(CommandOutcome {
+                response: CommandResponse::Done,
+                latency,
+            })
         }
-        FlashCommand::Ibc { channel, die, query, multi_plane } => {
+        FlashCommand::Ibc {
+            channel,
+            die,
+            query,
+            multi_plane,
+        } => {
             let latency = device.input_broadcast(channel, die, &query, multi_plane)?;
-            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+            Ok(CommandOutcome {
+                response: CommandResponse::Done,
+                latency,
+            })
         }
         FlashCommand::Xor { plane } => {
             let latency = device.xor_latches(plane)?;
-            Ok(CommandOutcome { response: CommandResponse::Done, latency })
+            Ok(CommandOutcome {
+                response: CommandResponse::Done,
+                latency,
+            })
         }
-        FlashCommand::GenDist { plane, embedding_bytes } => {
+        FlashCommand::GenDist {
+            plane,
+            embedding_bytes,
+        } => {
             let (counts, latency) = device.count_fail_bits(plane, embedding_bytes)?;
-            Ok(CommandOutcome { response: CommandResponse::Distances(counts), latency })
+            Ok(CommandOutcome {
+                response: CommandResponse::Distances(counts),
+                latency,
+            })
         }
-        FlashCommand::RdTtl { plane: _, distances, threshold, entry_bytes } => {
+        FlashCommand::RdTtl {
+            plane: _,
+            distances,
+            threshold,
+            entry_bytes,
+        } => {
             let (passes, check_latency) = device.pass_fail_check(&distances, threshold);
-            let selected: Vec<usize> =
-                passes.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i).collect();
+            let selected: Vec<usize> = passes
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p)
+                .map(|(i, _)| i)
+                .collect();
             let transfer = device.transfer_to_controller(selected.len() * entry_bytes);
             Ok(CommandOutcome {
                 response: CommandResponse::TtlEntries(selected),
@@ -209,11 +249,16 @@ mod tests {
         // Fill the page with 64-byte embeddings of increasing fill patterns.
         let mut data = Vec::with_capacity(4096);
         for i in 0..(4096 / 64) {
-            data.extend(std::iter::repeat(i as u8).take(64));
+            data.extend(std::iter::repeat_n(i as u8, 64));
         }
         execute(
             &mut dev,
-            FlashCommand::Program { addr, data, oob: vec![], scheme: ProgramScheme::EnhancedSlc },
+            FlashCommand::Program {
+                addr,
+                data,
+                oob: vec![],
+                scheme: ProgramScheme::EnhancedSlc,
+            },
         )
         .unwrap();
         (dev, addr)
@@ -224,14 +269,28 @@ mod tests {
         let (mut dev, addr) = setup();
         execute(
             &mut dev,
-            FlashCommand::Ibc { channel: 0, die: 0, query: vec![0u8; 64], multi_plane: true },
+            FlashCommand::Ibc {
+                channel: 0,
+                die: 0,
+                query: vec![0u8; 64],
+                multi_plane: true,
+            },
         )
         .unwrap();
         execute(&mut dev, FlashCommand::Sense { addr }).unwrap();
-        execute(&mut dev, FlashCommand::Xor { plane: addr.plane_addr() }).unwrap();
+        execute(
+            &mut dev,
+            FlashCommand::Xor {
+                plane: addr.plane_addr(),
+            },
+        )
+        .unwrap();
         let outcome = execute(
             &mut dev,
-            FlashCommand::GenDist { plane: addr.plane_addr(), embedding_bytes: 64 },
+            FlashCommand::GenDist {
+                plane: addr.plane_addr(),
+                embedding_bytes: 64,
+            },
         )
         .unwrap();
         let distances = match outcome.response {
@@ -239,7 +298,10 @@ mod tests {
             other => panic!("expected distances, got {other:?}"),
         };
         assert_eq!(distances.len(), 64);
-        assert_eq!(distances[0], 0, "embedding 0 is identical to the all-zero query");
+        assert_eq!(
+            distances[0], 0,
+            "embedding 0 is identical to the all-zero query"
+        );
 
         let outcome = execute(
             &mut dev,
@@ -267,10 +329,21 @@ mod tests {
         let (mut dev, addr) = setup();
         execute(
             &mut dev,
-            FlashCommand::Ibc { channel: 0, die: 0, query: vec![0u8; 64], multi_plane: true },
+            FlashCommand::Ibc {
+                channel: 0,
+                die: 0,
+                query: vec![0u8; 64],
+                multi_plane: true,
+            },
         )
         .unwrap();
-        assert!(execute(&mut dev, FlashCommand::Xor { plane: addr.plane_addr() }).is_err());
+        assert!(execute(
+            &mut dev,
+            FlashCommand::Xor {
+                plane: addr.plane_addr()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -278,7 +351,13 @@ mod tests {
         let (mut dev, addr) = setup();
         let read = execute(&mut dev, FlashCommand::Read { addr }).unwrap();
         assert!(matches!(read.response, CommandResponse::Page { .. }));
-        execute(&mut dev, FlashCommand::Erase { block: addr.block_addr() }).unwrap();
+        execute(
+            &mut dev,
+            FlashCommand::Erase {
+                block: addr.block_addr(),
+            },
+        )
+        .unwrap();
         assert!(execute(&mut dev, FlashCommand::Read { addr }).is_err());
     }
 

@@ -113,20 +113,39 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_style() {
         let errs: Vec<NandError> = vec![
-            NandError::AddressOutOfRange { what: "channel", index: 9, limit: 8 },
+            NandError::AddressOutOfRange {
+                what: "channel",
+                index: 9,
+                limit: 8,
+            },
             NandError::PageAlreadyProgrammed(PageAddr::new(0, 0, 0, 0, 0)),
             NandError::PageNotProgrammed(PageAddr::new(1, 1, 1, 1, 1)),
-            NandError::DataTooLarge { provided: 20000, capacity: 16384 },
-            NandError::OobTooLarge { provided: 4096, capacity: 2208 },
+            NandError::DataTooLarge {
+                provided: 20000,
+                capacity: 16384,
+            },
+            NandError::OobTooLarge {
+                provided: 4096,
+                capacity: 2208,
+            },
             NandError::BlockOutOfRange(BlockAddr::new(0, 0, 0, 77)),
-            NandError::InvalidBroadcastPayload { payload_len: 100, page_size: 16384 },
-            NandError::MiniPageOutOfRange { offset: 200, limit: 128 },
+            NandError::InvalidBroadcastPayload {
+                payload_len: 100,
+                page_size: 16384,
+            },
+            NandError::MiniPageOutOfRange {
+                offset: 200,
+                limit: 128,
+            },
             NandError::InvalidCommandSequence("xor before sense"),
         ];
         for e in errs {
             let s = e.to_string();
             assert!(!s.is_empty());
-            assert!(!s.ends_with('.'), "error messages should not end with punctuation: {s}");
+            assert!(
+                !s.ends_with('.'),
+                "error messages should not end with punctuation: {s}"
+            );
         }
     }
 

@@ -198,12 +198,19 @@ impl Geometry {
     ///
     /// Panics if `index >= self.total_planes()`.
     pub fn plane_at(&self, index: usize) -> PlaneAddr {
-        assert!(index < self.total_planes(), "plane index {index} out of range");
+        assert!(
+            index < self.total_planes(),
+            "plane index {index} out of range"
+        );
         let plane = index % self.planes_per_die;
         let die_global = index / self.planes_per_die;
         let die = die_global % self.dies_per_channel;
         let channel = die_global / self.dies_per_channel;
-        PlaneAddr { channel, die, plane }
+        PlaneAddr {
+            channel,
+            die,
+            plane,
+        }
     }
 
     /// Convert a page address to a dense index in `0..total_pages()`.
@@ -218,13 +225,22 @@ impl Geometry {
     ///
     /// Panics if `index >= self.total_pages()`.
     pub fn page_at(&self, index: usize) -> PageAddr {
-        assert!(index < self.total_pages(), "page index {index} out of range");
+        assert!(
+            index < self.total_pages(),
+            "page index {index} out of range"
+        );
         let page = index % self.pages_per_block;
         let rest = index / self.pages_per_block;
         let block = rest % self.blocks_per_plane;
         let plane_idx = rest / self.blocks_per_plane;
         let plane = self.plane_at(plane_idx);
-        PageAddr { channel: plane.channel, die: plane.die, plane: plane.plane, block, page }
+        PageAddr {
+            channel: plane.channel,
+            die: plane.die,
+            plane: plane.plane,
+            block,
+            page,
+        }
     }
 
     /// Iterate over all plane addresses in dense-index order.
@@ -253,7 +269,11 @@ pub struct PlaneAddr {
 impl PlaneAddr {
     /// Create a plane address from its components.
     pub fn new(channel: usize, die: usize, plane: usize) -> Self {
-        PlaneAddr { channel, die, plane }
+        PlaneAddr {
+            channel,
+            die,
+            plane,
+        }
     }
 }
 
@@ -279,12 +299,21 @@ pub struct BlockAddr {
 impl BlockAddr {
     /// Create a block address from its components.
     pub fn new(channel: usize, die: usize, plane: usize, block: usize) -> Self {
-        BlockAddr { channel, die, plane, block }
+        BlockAddr {
+            channel,
+            die,
+            plane,
+            block,
+        }
     }
 
     /// The plane containing this block.
     pub fn plane_addr(&self) -> PlaneAddr {
-        PlaneAddr { channel: self.channel, die: self.die, plane: self.plane }
+        PlaneAddr {
+            channel: self.channel,
+            die: self.die,
+            plane: self.plane,
+        }
     }
 }
 
@@ -312,17 +341,32 @@ pub struct PageAddr {
 impl PageAddr {
     /// Create a page address from its components.
     pub fn new(channel: usize, die: usize, plane: usize, block: usize, page: usize) -> Self {
-        PageAddr { channel, die, plane, block, page }
+        PageAddr {
+            channel,
+            die,
+            plane,
+            block,
+            page,
+        }
     }
 
     /// The plane containing this page.
     pub fn plane_addr(&self) -> PlaneAddr {
-        PlaneAddr { channel: self.channel, die: self.die, plane: self.plane }
+        PlaneAddr {
+            channel: self.channel,
+            die: self.die,
+            plane: self.plane,
+        }
     }
 
     /// The block containing this page.
     pub fn block_addr(&self) -> BlockAddr {
-        BlockAddr { channel: self.channel, die: self.die, plane: self.plane, block: self.block }
+        BlockAddr {
+            channel: self.channel,
+            die: self.die,
+            plane: self.plane,
+            block: self.block,
+        }
     }
 }
 
@@ -409,7 +453,10 @@ mod tests {
         let bad_channel = PageAddr::new(g.channels, 0, 0, 0, 0);
         assert!(matches!(
             g.check_page(bad_channel),
-            Err(NandError::AddressOutOfRange { what: "channel", .. })
+            Err(NandError::AddressOutOfRange {
+                what: "channel",
+                ..
+            })
         ));
         let bad_die = PageAddr::new(0, g.dies_per_channel, 0, 0, 0);
         assert!(matches!(

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{NandError, Result};
 use crate::geometry::PlaneAddr;
+use crate::peripheral::xor_bytes_into;
 
 /// Identifies one of the latches inside a page buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,7 +64,14 @@ impl PageBuffer {
     /// Create an empty page buffer for the plane at `plane` with pages of
     /// `page_size` bytes.
     pub fn new(plane: PlaneAddr, page_size: usize) -> Self {
-        PageBuffer { plane, page_size, sensing: None, data: None, cache: None, oob: None }
+        PageBuffer {
+            plane,
+            page_size,
+            sensing: None,
+            data: None,
+            cache: None,
+            oob: None,
+        }
     }
 
     /// The plane this buffer belongs to.
@@ -84,6 +92,26 @@ impl PageBuffer {
         debug_assert_eq!(data.len(), self.page_size);
         self.sensing = Some(data);
         self.oob = Some(oob);
+    }
+
+    /// Copy sensed page data (and its OOB bytes) into the sensing latch,
+    /// reusing the latch's existing buffers. This is the scan hot path: a
+    /// multi-page scan re-senses into the same plane buffer without
+    /// allocating per page.
+    pub fn load_sensing_copy(&mut self, data: &[u8], oob: &[u8]) {
+        debug_assert_eq!(data.len(), self.page_size);
+        let sensing = self.sensing.get_or_insert_with(Vec::new);
+        sensing.clear();
+        sensing.extend_from_slice(data);
+        let oob_buf = self.oob.get_or_insert_with(Vec::new);
+        oob_buf.clear();
+        oob_buf.extend_from_slice(oob);
+    }
+
+    /// Mutable view of the sensing latch (used by the device to inject read
+    /// errors in place after [`PageBuffer::load_sensing_copy`]).
+    pub fn sensing_mut(&mut self) -> Option<&mut [u8]> {
+        self.sensing.as_deref_mut()
     }
 
     /// Contents of the sensing latch, if a page has been sensed.
@@ -115,14 +143,16 @@ impl PageBuffer {
     /// or does not evenly divide the page size, since misaligned copies would
     /// not line up with the database embeddings for the subsequent XOR.
     pub fn broadcast_into_cache(&mut self, payload: &[u8]) -> Result<()> {
-        if payload.is_empty() || self.page_size % payload.len() != 0 {
+        if payload.is_empty() || !self.page_size.is_multiple_of(payload.len()) {
             return Err(NandError::InvalidBroadcastPayload {
                 payload_len: payload.len(),
                 page_size: self.page_size,
             });
         }
         let copies = self.page_size / payload.len();
-        let mut cache = Vec::with_capacity(self.page_size);
+        let mut cache = self.cache.take().unwrap_or_default();
+        cache.clear();
+        cache.reserve(self.page_size);
         for _ in 0..copies {
             cache.extend_from_slice(payload);
         }
@@ -133,6 +163,9 @@ impl PageBuffer {
     /// XOR the cache latch into the sensing latch, storing the result in the
     /// data latch (REIS step 3: bitwise difference between the query and the
     /// database embeddings).
+    ///
+    /// The XOR runs over `u64` words and reuses the data latch's existing
+    /// buffer, so repeated per-page XORs during a scan allocate nothing.
     ///
     /// # Errors
     ///
@@ -146,7 +179,8 @@ impl PageBuffer {
             latch: Latch::Cache.name(),
             plane: self.plane,
         })?;
-        let out: Vec<u8> = sensing.iter().zip(cache.iter()).map(|(a, b)| a ^ b).collect();
+        let mut out = self.data.take().unwrap_or_default();
+        xor_bytes_into(sensing, cache, &mut out);
         self.data = Some(out);
         Ok(())
     }
@@ -177,7 +211,10 @@ impl PageBuffer {
             Latch::Data => self.data.as_deref(),
             Latch::Cache => self.cache.as_deref(),
         };
-        contents.ok_or(NandError::LatchEmpty { latch: latch.name(), plane: self.plane })
+        contents.ok_or(NandError::LatchEmpty {
+            latch: latch.name(),
+            plane: self.plane,
+        })
     }
 
     /// Clear all latches (used when the die switches workloads).
@@ -211,9 +248,18 @@ mod tests {
     fn broadcast_rejects_misaligned_payload() {
         let mut buf = buffer();
         let err = buf.broadcast_into_cache(&[0u8; 100]).unwrap_err();
-        assert!(matches!(err, NandError::InvalidBroadcastPayload { payload_len: 100, .. }));
+        assert!(matches!(
+            err,
+            NandError::InvalidBroadcastPayload {
+                payload_len: 100,
+                ..
+            }
+        ));
         let err = buf.broadcast_into_cache(&[]).unwrap_err();
-        assert!(matches!(err, NandError::InvalidBroadcastPayload { payload_len: 0, .. }));
+        assert!(matches!(
+            err,
+            NandError::InvalidBroadcastPayload { payload_len: 0, .. }
+        ));
     }
 
     #[test]
@@ -232,7 +278,10 @@ mod tests {
         let mut buf = buffer();
         assert!(matches!(
             buf.xor_cache_into_data(),
-            Err(NandError::LatchEmpty { latch: "sensing", .. })
+            Err(NandError::LatchEmpty {
+                latch: "sensing",
+                ..
+            })
         ));
         buf.load_sensing(vec![0; 1024], vec![]);
         assert!(matches!(

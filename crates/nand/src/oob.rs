@@ -61,7 +61,11 @@ impl OobEntry {
     ///
     /// Panics if `bytes` is shorter than [`OobEntry::SIZE`].
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        assert!(bytes.len() >= Self::SIZE, "OOB entry needs {} bytes", Self::SIZE);
+        assert!(
+            bytes.len() >= Self::SIZE,
+            "OOB entry needs {} bytes",
+            Self::SIZE
+        );
         OobEntry {
             dadr: u32::from_le_bytes(bytes[0..4].try_into().expect("slice length checked")),
             radr: u32::from_le_bytes(bytes[4..8].try_into().expect("slice length checked")),
@@ -90,9 +94,15 @@ impl OobLayout {
     pub fn new(oob_size_bytes: usize, entries_per_page: usize) -> Result<Self> {
         let needed = entries_per_page * OobEntry::SIZE;
         if needed > oob_size_bytes {
-            return Err(NandError::OobTooLarge { provided: needed, capacity: oob_size_bytes });
+            return Err(NandError::OobTooLarge {
+                provided: needed,
+                capacity: oob_size_bytes,
+            });
         }
-        Ok(OobLayout { oob_size_bytes, entries_per_page })
+        Ok(OobLayout {
+            oob_size_bytes,
+            entries_per_page,
+        })
     }
 
     /// Bytes of the OOB area consumed by linkage entries.
@@ -163,7 +173,10 @@ impl OobLayout {
         }
         let start = offset * OobEntry::SIZE;
         if oob.len() < start + OobEntry::SIZE {
-            return Err(NandError::OobTooLarge { provided: start + OobEntry::SIZE, capacity: oob.len() });
+            return Err(NandError::OobTooLarge {
+                provided: start + OobEntry::SIZE,
+                capacity: oob.len(),
+            });
         }
         Ok(OobEntry::from_bytes(&oob[start..]))
     }
@@ -175,7 +188,11 @@ mod tests {
 
     #[test]
     fn entry_roundtrip() {
-        let entry = OobEntry { dadr: 123_456, radr: u32::MAX, tag: 7 };
+        let entry = OobEntry {
+            dadr: 123_456,
+            radr: u32::MAX,
+            tag: 7,
+        };
         assert_eq!(OobEntry::from_bytes(&entry.to_bytes()), entry);
     }
 
@@ -183,7 +200,11 @@ mod tests {
     fn layout_packs_and_unpacks_entries() {
         let layout = OobLayout::new(2208, 128).unwrap();
         let entries: Vec<OobEntry> = (0..128)
-            .map(|i| OobEntry { dadr: i, radr: i * 2, tag: (i % 256) as u8 })
+            .map(|i| OobEntry {
+                dadr: i,
+                radr: i * 2,
+                tag: (i % 256) as u8,
+            })
             .collect();
         let oob = layout.pack(&entries).unwrap();
         assert_eq!(oob.len(), 2208);
@@ -195,7 +216,10 @@ mod tests {
     #[test]
     fn layout_rejects_oversized_configurations() {
         // 9 bytes/entry x 300 entries = 2700 bytes > 2208-byte OOB.
-        assert!(matches!(OobLayout::new(2208, 300), Err(NandError::OobTooLarge { .. })));
+        assert!(matches!(
+            OobLayout::new(2208, 300),
+            Err(NandError::OobTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -208,10 +232,13 @@ mod tests {
     #[test]
     fn unpack_entry_checks_offset() {
         let layout = OobLayout::new(256, 8).unwrap();
-        let oob = layout.pack(&vec![OobEntry::default(); 8]).unwrap();
+        let oob = layout.pack(&[OobEntry::default(); 8]).unwrap();
         assert!(matches!(
             layout.unpack_entry(&oob, 8),
-            Err(NandError::MiniPageOutOfRange { offset: 8, limit: 8 })
+            Err(NandError::MiniPageOutOfRange {
+                offset: 8,
+                limit: 8
+            })
         ));
     }
 

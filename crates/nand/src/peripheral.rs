@@ -7,8 +7,102 @@
 //! the XOR logic to compute bitwise differences, the fail-bit counter to turn
 //! those differences into Hamming distances, and the pass/fail checker to
 //! implement distance filtering.
+//!
+//! # Hot-path invariants
+//!
+//! These helpers sit at the bottom of the query scan loop, so they follow
+//! the word-kernel discipline the rest of the hot path relies on:
+//!
+//! * All bit counting and XOR-ing operates on `u64` words (8 bytes at a
+//!   time) with exact byte-wise handling of any trailing partial word —
+//!   mirroring how the physical peripheral processes a whole bitline stripe
+//!   per cycle.
+//! * The `_into` variants write into caller-provided buffers and the fused
+//!   [`PassFailChecker::filter_passing`] never materializes a `Vec<bool>`,
+//!   so a steady-state page scan performs no heap allocation here.
 
 use serde::{Deserialize, Serialize};
+
+/// Word-parallel popcount body, shared by the portable and the
+/// POPCNT-enabled entry points: `u64` words four at a time with independent
+/// accumulators so the popcounts pipeline, then a byte-wise tail.
+#[inline(always)]
+fn popcount_bytes_core(bytes: &[u8]) -> u64 {
+    #[inline(always)]
+    fn word(chunk: &[u8]) -> u64 {
+        u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+    }
+    let mut blocks = bytes.chunks_exact(32);
+    let (mut s0, mut s1, mut s2, mut s3) = (0u64, 0u64, 0u64, 0u64);
+    for block in blocks.by_ref() {
+        s0 += word(&block[0..8]).count_ones() as u64;
+        s1 += word(&block[8..16]).count_ones() as u64;
+        s2 += word(&block[16..24]).count_ones() as u64;
+        s3 += word(&block[24..32]).count_ones() as u64;
+    }
+    let mut words = blocks.remainder().chunks_exact(8);
+    let mut total = s0 + s1 + s2 + s3;
+    for w in words.by_ref() {
+        total += word(w).count_ones() as u64;
+    }
+    for &b in words.remainder() {
+        total += b.count_ones() as u64;
+    }
+    total
+}
+
+/// `popcount_bytes_core` compiled with the hardware POPCNT instruction
+/// (baseline x86-64 only has the multi-op SWAR fallback for `count_ones`).
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports the `popcnt` feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn popcount_bytes_popcnt(bytes: &[u8]) -> u64 {
+    popcount_bytes_core(bytes)
+}
+
+/// Set-bit count of a byte slice, processed as `u64` words with a byte-wise
+/// tail; uses the hardware POPCNT instruction when the CPU has it.
+#[inline]
+pub fn popcount_bytes(bytes: &[u8]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: feature presence checked at runtime just above.
+        return unsafe { popcount_bytes_popcnt(bytes) };
+    }
+    popcount_bytes_core(bytes)
+}
+
+/// XOR `a` and `b` into `out` (cleared and resized first), processed as
+/// `u64` words with a byte-wise tail.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+#[inline]
+pub fn xor_bytes_into(a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+    assert_eq!(a.len(), b.len(), "latch contents must have identical sizes");
+    out.clear();
+    out.resize(a.len(), 0);
+    let mut aw = a.chunks_exact(8);
+    let mut bw = b.chunks_exact(8);
+    let mut ow = out.chunks_exact_mut(8);
+    for ((x, y), o) in aw.by_ref().zip(bw.by_ref()).zip(ow.by_ref()) {
+        let xw = u64::from_le_bytes(x.try_into().expect("8-byte chunk"));
+        let yw = u64::from_le_bytes(y.try_into().expect("8-byte chunk"));
+        o.copy_from_slice(&(xw ^ yw).to_le_bytes());
+    }
+    for ((x, y), o) in aw
+        .remainder()
+        .iter()
+        .zip(bw.remainder())
+        .zip(ow.into_remainder())
+    {
+        *o = x ^ y;
+    }
+}
 
 /// The on-die fail-bit counter, repurposed as a per-mini-page popcount
 /// engine.
@@ -42,17 +136,51 @@ impl FailBitCounter {
     ///
     /// Panics if `chunk_bytes` is zero.
     pub fn count_per_chunk(latch: &[u8], chunk_bytes: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        Self::count_per_chunk_into(latch, chunk_bytes, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`FailBitCounter::count_per_chunk`]: the
+    /// counts are written into `out` (cleared first), so a page-scan loop can
+    /// reuse one buffer for every page. The POPCNT dispatch is hoisted out of
+    /// the per-chunk loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero.
+    pub fn count_per_chunk_into(latch: &[u8], chunk_bytes: usize, out: &mut Vec<u32>) {
+        #[inline(always)]
+        fn core(latch: &[u8], chunk_bytes: usize, out: &mut Vec<u32>) {
+            out.extend(
+                latch
+                    .chunks(chunk_bytes)
+                    .map(|chunk| popcount_bytes_core(chunk) as u32),
+            );
+        }
+        /// # Safety: caller checks the `popcnt` feature.
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "popcnt")]
+        unsafe fn core_popcnt(latch: &[u8], chunk_bytes: usize, out: &mut Vec<u32>) {
+            core(latch, chunk_bytes, out)
+        }
+
         assert!(chunk_bytes > 0, "chunk size must be non-zero");
-        latch
-            .chunks(chunk_bytes)
-            .map(|chunk| chunk.iter().map(|b| b.count_ones()).sum())
-            .collect()
+        out.clear();
+        out.reserve(latch.len().div_ceil(chunk_bytes));
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            // SAFETY: feature presence checked at runtime just above.
+            unsafe { core_popcnt(latch, chunk_bytes, out) };
+            return;
+        }
+        core(latch, chunk_bytes, out);
     }
 
     /// Count the set bits of the entire latch (the original use of the
     /// fail-bit counter during program verification).
     pub fn count_total(latch: &[u8]) -> u64 {
-        latch.iter().map(|b| b.count_ones() as u64).sum()
+        popcount_bytes(latch)
     }
 }
 
@@ -75,6 +203,24 @@ impl PassFailChecker {
     pub fn pass_count(counts: &[u32], threshold: u32) -> usize {
         counts.iter().filter(|&&c| c <= threshold).count()
     }
+
+    /// Fused count-and-filter: invoke `emit(slot, count)` for every count at
+    /// or below `threshold` and return how many passed, without materializing
+    /// a `Vec<bool>`. This is the form the scan hot path uses.
+    pub fn filter_passing(
+        counts: &[u32],
+        threshold: u32,
+        mut emit: impl FnMut(usize, u32),
+    ) -> usize {
+        let mut passed = 0usize;
+        for (slot, &count) in counts.iter().enumerate() {
+            if count <= threshold {
+                passed += 1;
+                emit(slot, count);
+            }
+        }
+        passed
+    }
 }
 
 /// The inter-latch XOR logic (normally used for on-chip data randomization),
@@ -91,8 +237,19 @@ impl XorLogic {
     /// Panics if the buffers have different lengths; the latches of one plane
     /// always have identical sizes.
     pub fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
-        assert_eq!(a.len(), b.len(), "latch contents must have identical sizes");
-        a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect()
+        let mut out = Vec::new();
+        xor_bytes_into(a, b, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`XorLogic::xor`]: XOR into a reused
+    /// output buffer (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers have different lengths.
+    pub fn xor_into(a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+        xor_bytes_into(a, b, out);
     }
 }
 
@@ -126,10 +283,57 @@ mod tests {
     #[test]
     fn pass_fail_threshold_is_inclusive() {
         let counts = vec![10, 200, 42, 43];
-        assert_eq!(PassFailChecker::passes(&counts, 42), vec![true, false, true, false]);
+        assert_eq!(
+            PassFailChecker::passes(&counts, 42),
+            vec![true, false, true, false]
+        );
         assert_eq!(PassFailChecker::pass_count(&counts, 42), 2);
         assert_eq!(PassFailChecker::pass_count(&counts, 0), 0);
         assert_eq!(PassFailChecker::pass_count(&counts, u32::MAX), 4);
+    }
+
+    #[test]
+    fn word_kernels_match_bytewise_reference_on_odd_tails() {
+        // Lengths straddling word boundaries exercise the tail handling.
+        for len in [1usize, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let reference: u64 = data.iter().map(|b| b.count_ones() as u64).sum();
+            assert_eq!(popcount_bytes(&data), reference, "len {len}");
+            for chunk in [1usize, 3, 8, 13, 32] {
+                let got = FailBitCounter::count_per_chunk(&data, chunk);
+                let want: Vec<u32> = data
+                    .chunks(chunk)
+                    .map(|c| c.iter().map(|b| b.count_ones()).sum())
+                    .collect();
+                assert_eq!(got, want, "len {len} chunk {chunk}");
+            }
+            let other: Vec<u8> = (0..len).map(|i| (i * 101 + 3) as u8).collect();
+            let xor_ref: Vec<u8> = data.iter().zip(&other).map(|(a, b)| a ^ b).collect();
+            assert_eq!(XorLogic::xor(&data, &other), xor_ref, "len {len}");
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let mut counts = vec![99u32; 4];
+        FailBitCounter::count_per_chunk_into(&[0xFF, 0x01], 1, &mut counts);
+        assert_eq!(counts, vec![8, 1]);
+        let mut out = vec![7u8; 10];
+        XorLogic::xor_into(&[0xF0, 0x0F], &[0xFF, 0xFF], &mut out);
+        assert_eq!(out, vec![0x0F, 0xF0]);
+    }
+
+    #[test]
+    fn filter_passing_matches_passes() {
+        let counts = vec![10, 200, 42, 43, 0];
+        let mut got = Vec::new();
+        let passed = PassFailChecker::filter_passing(&counts, 42, |slot, c| got.push((slot, c)));
+        assert_eq!(passed, 3);
+        assert_eq!(got, vec![(0, 10), (2, 42), (4, 0)]);
+        let flags = PassFailChecker::passes(&counts, 42);
+        for (slot, &flag) in flags.iter().enumerate() {
+            assert_eq!(flag, got.iter().any(|&(s, _)| s == slot));
+        }
     }
 
     #[test]

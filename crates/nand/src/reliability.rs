@@ -197,7 +197,8 @@ mod tests {
         let model = ReliabilityModel { ber_scale: 1e3 };
         let mut rng = SplitMix64::new(5);
         let mut data = vec![0u8; 1024];
-        let flips = model.inject_read_errors(&mut data, ProgramScheme::Ispp(CellMode::Tlc), &mut rng);
+        let flips =
+            model.inject_read_errors(&mut data, ProgramScheme::Ispp(CellMode::Tlc), &mut rng);
         assert!(flips > 0);
         let ones: u32 = data.iter().map(|b| b.count_ones()).sum();
         assert!(ones > 0);

@@ -55,6 +55,22 @@ impl FlashStats {
         self.bytes_to_controller + self.bytes_from_controller
     }
 
+    /// Element-wise accumulation of another counter set into this one, used
+    /// to merge the activity of per-worker device replicas (batch search)
+    /// back into the primary device's counters.
+    pub fn accumulate(&mut self, other: &FlashStats) {
+        self.page_reads += other.page_reads;
+        self.page_programs += other.page_programs;
+        self.block_erases += other.block_erases;
+        self.xor_ops += other.xor_ops;
+        self.bit_count_ops += other.bit_count_ops;
+        self.pass_fail_ops += other.pass_fail_ops;
+        self.broadcast_ops += other.broadcast_ops;
+        self.bytes_to_controller += other.bytes_to_controller;
+        self.bytes_from_controller += other.bytes_from_controller;
+        self.injected_bit_errors += other.injected_bit_errors;
+    }
+
     /// Element-wise difference `self - earlier`, useful for measuring a
     /// single query's activity by snapshotting the counters around it.
     pub fn delta_since(&self, earlier: &FlashStats) -> FlashStats {
@@ -98,11 +114,36 @@ mod tests {
 
     #[test]
     fn delta_since_subtracts_counters() {
-        let earlier = FlashStats { page_reads: 4, bytes_to_controller: 10, ..FlashStats::new() };
-        let later = FlashStats { page_reads: 9, bytes_to_controller: 25, ..FlashStats::new() };
+        let earlier = FlashStats {
+            page_reads: 4,
+            bytes_to_controller: 10,
+            ..FlashStats::new()
+        };
+        let later = FlashStats {
+            page_reads: 9,
+            bytes_to_controller: 25,
+            ..FlashStats::new()
+        };
         let delta = later.delta_since(&earlier);
         assert_eq!(delta.page_reads, 5);
         assert_eq!(delta.bytes_to_controller, 15);
         assert_eq!(delta.page_programs, 0);
+    }
+
+    #[test]
+    fn accumulate_is_the_inverse_of_delta_since() {
+        let earlier = FlashStats {
+            page_reads: 4,
+            xor_ops: 2,
+            ..FlashStats::new()
+        };
+        let later = FlashStats {
+            page_reads: 9,
+            xor_ops: 6,
+            ..FlashStats::new()
+        };
+        let mut rebuilt = earlier;
+        rebuilt.accumulate(&later.delta_since(&earlier));
+        assert_eq!(rebuilt, later);
     }
 }

@@ -27,7 +27,9 @@ use crate::cell::{CellMode, ProgramScheme};
 /// assert_eq!(t.as_nanos(), 22_500);
 /// assert!((t.as_secs_f64() - 22.5e-6).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Nanos(u64);
 
 impl Nanos {
@@ -309,7 +311,11 @@ mod tests {
         assert_eq!((b - a).as_nanos(), 0, "subtraction saturates at zero");
         assert_eq!((a * 3).as_nanos(), 30_000);
         assert_eq!((a / 4).as_nanos(), 2_500);
-        assert_eq!((a / 0).as_nanos(), 10_000, "division by zero clamps divisor to one");
+        assert_eq!(
+            (a / 0).as_nanos(),
+            10_000,
+            "division by zero clamps divisor to one"
+        );
         let total: Nanos = vec![a, b, a].into_iter().sum();
         assert_eq!(total.as_nanos(), 20_500);
     }
@@ -332,7 +338,10 @@ mod tests {
     #[test]
     fn esp_read_matches_paper_parameter() {
         let t = TimingParams::reis_ssd1();
-        assert_eq!(t.read_latency(ProgramScheme::EnhancedSlc).as_nanos(), 22_500);
+        assert_eq!(
+            t.read_latency(ProgramScheme::EnhancedSlc).as_nanos(),
+            22_500
+        );
         assert!(t.read_latency(ProgramScheme::Ispp(CellMode::Tlc)) > t.t_read_esp_slc);
     }
 

@@ -86,6 +86,46 @@ proptest! {
         );
     }
 
+    /// The word-level popcount/XOR kernels and their buffer-reusing `_into`
+    /// variants match the byte-wise reference for arbitrary lengths
+    /// (including odd tails) and chunk sizes.
+    #[test]
+    fn word_kernels_and_into_variants_match_reference(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        chunk in 1usize..200,
+        threshold in any::<u32>(),
+    ) {
+        // Popcount per chunk against a bit-by-bit reference.
+        let reference: Vec<u32> = data
+            .chunks(chunk)
+            .map(|c| c.iter().map(|b| b.count_ones()).sum())
+            .collect();
+        prop_assert_eq!(&FailBitCounter::count_per_chunk(&data, chunk), &reference);
+        let mut reused = vec![0xFFFF_FFFFu32; 3];
+        FailBitCounter::count_per_chunk_into(&data, chunk, &mut reused);
+        prop_assert_eq!(&reused, &reference);
+
+        // Word-level XOR against the byte-wise reference, both variants.
+        let other: Vec<u8> = data.iter().map(|b| b.rotate_left(3)).collect();
+        let xor_ref: Vec<u8> = data.iter().zip(&other).map(|(a, b)| a ^ b).collect();
+        prop_assert_eq!(&XorLogic::xor(&data, &other), &xor_ref);
+        let mut xor_out = vec![0u8; 7];
+        XorLogic::xor_into(&data, &other, &mut xor_out);
+        prop_assert_eq!(&xor_out, &xor_ref);
+
+        // The fused filter agrees with the Vec<bool> checker.
+        let flags = PassFailChecker::passes(&reference, threshold);
+        let mut fused = Vec::new();
+        let passed = PassFailChecker::filter_passing(&reference, threshold, |slot, count| {
+            fused.push((slot, count));
+        });
+        prop_assert_eq!(passed, flags.iter().filter(|&&p| p).count());
+        for (slot, count) in fused {
+            prop_assert!(flags[slot]);
+            prop_assert_eq!(count, reference[slot]);
+        }
+    }
+
     /// XOR is an involution: applying it twice restores the original buffer.
     #[test]
     fn xor_is_involution(

@@ -93,7 +93,10 @@ impl RagModelParams {
     /// A larger generator (e.g. a 90B-class model): generation grows by
     /// roughly an order of magnitude, which is the caveat Sec. 3.1 discusses.
     pub fn large_generator() -> Self {
-        RagModelParams { generation_s: 170.0, ..RagModelParams::roberta_llama_1b() }
+        RagModelParams {
+            generation_s: 170.0,
+            ..RagModelParams::roberta_llama_1b()
+        }
     }
 }
 

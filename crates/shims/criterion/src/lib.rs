@@ -1,0 +1,224 @@
+//! Offline shim of `criterion`: a minimal, API-compatible benchmark harness.
+//!
+//! Each benchmark adaptively doubles its iteration count until the measured
+//! window exceeds [`MIN_MEASURE`], then reports nanoseconds per iteration on
+//! stdout. Results are also collected in a process-wide registry so
+//! `criterion_main!` can dump them as JSON when the `REIS_BENCH_JSON`
+//! environment variable names an output file.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Minimum measured window per benchmark.
+pub const MIN_MEASURE: Duration = Duration::from_millis(20);
+
+/// Hard cap on iterations per benchmark.
+pub const MAX_ITERS: u64 = 10_000_000;
+
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Opaque value barrier re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, adaptively choosing the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        std::hint::black_box(f());
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_MEASURE || iters >= MAX_ITERS {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters = (iters * 4).min(MAX_ITERS);
+        }
+    }
+
+    /// Time `routine` over inputs produced by the untimed `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while measured < MIN_MEASURE && iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = measured.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named group of benchmarks (subset of criterion's `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim sizes runs adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_named(&full, f);
+        self
+    }
+
+    /// End the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Accepted for compatibility with `Criterion::default().configure_from_args()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        println!("bench: {name:<48} {:>14.1} ns/iter", bencher.ns_per_iter);
+        self.results.push((name.to_string(), bencher.ns_per_iter));
+        RESULTS
+            .lock()
+            .unwrap()
+            .push((name.to_string(), bencher.ns_per_iter));
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_named(name, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// The `(name, ns_per_iter)` results measured so far by this driver.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+/// All results measured by the process so far, as a JSON string.
+pub fn results_json() -> String {
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1} }}{}\n",
+            name.replace('"', "'"),
+            ns,
+            comma
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the collected results to `$REIS_BENCH_JSON` if the variable is set.
+/// Called automatically by `criterion_main!`.
+pub fn write_json_if_requested() {
+    if let Ok(path) = std::env::var("REIS_BENCH_JSON") {
+        if !path.is_empty() {
+            if let Err(e) = std::fs::write(&path, results_json()) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                println!("wrote benchmark results to {path}");
+            }
+        }
+    }
+}
+
+/// Define a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_json_if_requested();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("x", |b| b.iter(|| 2 * 2));
+        g.finish();
+        assert!(c.results()[0].0.starts_with("grp/"));
+        assert!(results_json().contains("grp/x"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline shim of `rand`: the `StdRng` / `SeedableRng` / `Rng::gen_range`
+//! subset the workspace uses.
+//!
+//! The generator is SplitMix64 seeded through `seed_from_u64`; it is
+//! deterministic for a given seed (matching how the workspace uses the real
+//! `StdRng`) but does not reproduce the real crate's exact streams.
+
+use std::ops::Range;
+
+/// Types that can seed themselves from a `u64` (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a uniform sampler (subset of `rand`'s `SampleUniform`).
+///
+/// Mirroring the real crate, [`SampleRange`] has a single blanket impl over
+/// `Range<T>` for `T: SampleUniform`, which is what lets the surrounding
+/// expression drive the inference of float range literals.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// One uniform draw in `[start, end)` using `next` as the entropy source.
+    fn sample_in(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(start: $t, end: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                let span = (end as i128 - start as i128) as u128;
+                let draw = ((next() as u128) << 64 | next() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_in(start: f32, end: f32, next: &mut dyn FnMut() -> u64) -> f32 {
+        let unit = (next() >> 40) as f32 / (1u64 << 24) as f32;
+        start + (end - start) * unit
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_in(start: f64, end: f64, next: &mut dyn FnMut() -> u64) -> f64 {
+        let unit = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        start + (end - start) * unit
+    }
+}
+
+/// Ranges that can be sampled uniformly (subset of `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample using `next` as the entropy source.
+    fn sample(&self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(&self, next: &mut dyn FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(self.start, self.end, next)
+    }
+}
+
+/// Subset of `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range, matching `rand::Rng::gen_range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+
+    /// Uniform value in `[0, 1)` (subset of `rand::Rng::gen`).
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The generators module, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64 core).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up scramble so nearby seeds diverge immediately.
+            let mut rng = StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let f = rng.gen_range(-0.5f32..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let d = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(d > 0.0 && d < 1.0);
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline shim of `serde`: marker traits plus the no-op derive macros.
+//!
+//! See `crates/shims/README.md`. Only the derive surface is used by the
+//! workspace; the traits exist so explicit `T: Serialize` bounds would still
+//! compile if one were ever written.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Subset of `serde::de` referenced by blanket imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

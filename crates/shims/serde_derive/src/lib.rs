@@ -1,0 +1,19 @@
+//! Offline shim of `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize`; no code
+//! path serializes at runtime, so empty expansions are sufficient and keep
+//! the shim free of `syn`/`quote` dependencies.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

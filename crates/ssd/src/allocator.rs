@@ -78,7 +78,10 @@ impl StripedRegion {
 ///
 /// Panics if the stripe index exceeds the device capacity.
 pub fn stripe_to_page(geometry: &Geometry, stripe: usize) -> PageAddr {
-    assert!(stripe < geometry.total_pages(), "stripe {stripe} beyond device capacity");
+    assert!(
+        stripe < geometry.total_pages(),
+        "stripe {stripe} beyond device capacity"
+    );
     let channel = stripe % geometry.channels;
     let rest = stripe / geometry.channels;
     let die = rest % geometry.dies_per_channel;
@@ -118,7 +121,10 @@ pub struct PageAllocator {
 impl PageAllocator {
     /// Create an allocator covering the whole device.
     pub fn new(geometry: &Geometry) -> Self {
-        PageAllocator { total_pages: geometry.total_pages(), next_free: 0 }
+        PageAllocator {
+            total_pages: geometry.total_pages(),
+            next_free: 0,
+        }
     }
 
     /// Pages not yet reserved.
@@ -143,7 +149,10 @@ impl PageAllocator {
                 available_pages: self.free_pages(),
             });
         }
-        let region = StripedRegion { start: self.next_free, len: pages };
+        let region = StripedRegion {
+            start: self.next_free,
+            len: pages,
+        };
         self.next_free += pages;
         Ok(region)
     }
@@ -172,10 +181,15 @@ mod tests {
             assert!(seen.insert(addr), "stripe mapping must be injective");
         }
         // Consecutive stripes hit distinct planes until every plane was used.
-        let first_planes: Vec<usize> =
-            (0..planes).map(|s| geom.plane_index(stripe_to_page(&geom, s).plane_addr())).collect();
+        let first_planes: Vec<usize> = (0..planes)
+            .map(|s| geom.plane_index(stripe_to_page(&geom, s).plane_addr()))
+            .collect();
         let unique: HashSet<_> = first_planes.iter().collect();
-        assert_eq!(unique.len(), planes, "first {planes} stripes must cover all planes");
+        assert_eq!(
+            unique.len(),
+            planes,
+            "first {planes} stripes must cover all planes"
+        );
     }
 
     #[test]
@@ -213,7 +227,11 @@ mod tests {
         assert!(region.page_at(&geom, 2).is_ok());
         assert!(matches!(
             region.page_at(&geom, 3),
-            Err(SsdError::RegionOutOfBounds { offset: 3, limit: 3, .. })
+            Err(SsdError::RegionOutOfBounds {
+                offset: 3,
+                limit: 3,
+                ..
+            })
         ));
         assert!(StripedRegion::EMPTY.is_empty());
     }
@@ -221,8 +239,15 @@ mod tests {
     #[test]
     fn consecutive_region_pages_spread_over_channels() {
         let geom = Geometry::reis_ssd1();
-        let region = StripedRegion { start: 0, len: geom.channels * 4 };
+        let region = StripedRegion {
+            start: 0,
+            len: geom.channels * 4,
+        };
         let channels: HashSet<usize> = region.pages(&geom).map(|p| p.channel).collect();
-        assert_eq!(channels.len(), geom.channels, "a short scan must already touch every channel");
+        assert_eq!(
+            channels.len(),
+            geom.channels,
+            "a short scan must already touch every channel"
+        );
     }
 }

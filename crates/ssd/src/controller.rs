@@ -207,7 +207,11 @@ impl SsdController {
         }
         // Staging the page in controller DRAM before it moves to the host.
         latency += self.dram.write(data.len());
-        Ok(HostReadOutcome { data, latency, corrected })
+        Ok(HostReadOutcome {
+            data,
+            latency,
+            corrected,
+        })
     }
 
     /// Conventional host write of one logical page.
@@ -222,7 +226,10 @@ impl SsdController {
     /// * Flash programming errors.
     pub fn host_write(&mut self, lpa: u64, data: &[u8]) -> Result<Nanos> {
         if self.mode() != SsdMode::Normal {
-            return Err(SsdError::WrongMode { current: "RAG", required: "normal" });
+            return Err(SsdError::WrongMode {
+                current: "RAG",
+                required: "normal",
+            });
         }
         let region = self.allocator.reserve(1)?;
         let addr = region.page_at(&self.config.geometry, 0)?;
@@ -245,7 +252,10 @@ impl SsdController {
     /// * Flash read errors.
     pub fn host_read(&mut self, lpa: u64) -> Result<HostReadOutcome> {
         if self.mode() != SsdMode::Normal {
-            return Err(SsdError::WrongMode { current: "RAG", required: "normal" });
+            return Err(SsdError::WrongMode {
+                current: "RAG",
+                required: "normal",
+            });
         }
         let addr = self.page_ftl.translate(lpa)?;
         let mut latency = self.cores.ftl_lookups(1) + self.dram.read(crate::ftl::PAGE_ENTRY_BYTES);
@@ -258,7 +268,11 @@ impl SsdController {
         } else {
             readout.data
         };
-        Ok(HostReadOutcome { data, latency, corrected: ecc_outcome.corrected })
+        Ok(HostReadOutcome {
+            data,
+            latency,
+            corrected: ecc_outcome.corrected,
+        })
     }
 
     /// Translate a page address helper for a region offset (convenience for
@@ -297,7 +311,10 @@ mod tests {
         assert!(read.corrected);
         assert!(read.latency > Nanos::ZERO);
         assert_eq!(ssd.ecc().pages_decoded(), 1);
-        assert!(matches!(ssd.host_read(99), Err(SsdError::UnmappedLogicalPage(99))));
+        assert!(matches!(
+            ssd.host_read(99),
+            Err(SsdError::UnmappedLogicalPage(99))
+        ));
     }
 
     #[test]
@@ -316,7 +333,10 @@ mod tests {
     fn rag_mode_blocks_conventional_io() {
         let mut ssd = controller();
         ssd.switch_mode(SsdMode::Rag);
-        assert!(matches!(ssd.host_write(1, &[0u8; 16]), Err(SsdError::WrongMode { .. })));
+        assert!(matches!(
+            ssd.host_write(1, &[0u8; 16]),
+            Err(SsdError::WrongMode { .. })
+        ));
         assert!(matches!(ssd.host_read(1), Err(SsdError::WrongMode { .. })));
         ssd.switch_mode(SsdMode::Normal);
         ssd.host_write(1, &[0u8; 16]).unwrap();
@@ -325,13 +345,28 @@ mod tests {
     #[test]
     fn region_lifecycle_program_and_read_with_policy_schemes() {
         let mut ssd = controller();
-        let emb = ssd.reserve_region("db0/embeddings", 4, RegionKind::BinaryEmbeddings).unwrap();
-        let docs = ssd.reserve_region("db0/documents", 4, RegionKind::Documents).unwrap();
-        ssd.program_region_page(&emb, 0, RegionKind::BinaryEmbeddings, &[0xAB; 4096], &[1, 2, 3])
+        let emb = ssd
+            .reserve_region("db0/embeddings", 4, RegionKind::BinaryEmbeddings)
             .unwrap();
-        ssd.program_region_page(&docs, 0, RegionKind::Documents, &[0xCD; 4096], &[]).unwrap();
-        let emb_read = ssd.read_region_page(&emb, 0, RegionKind::BinaryEmbeddings).unwrap();
-        let doc_read = ssd.read_region_page(&docs, 0, RegionKind::Documents).unwrap();
+        let docs = ssd
+            .reserve_region("db0/documents", 4, RegionKind::Documents)
+            .unwrap();
+        ssd.program_region_page(
+            &emb,
+            0,
+            RegionKind::BinaryEmbeddings,
+            &[0xAB; 4096],
+            &[1, 2, 3],
+        )
+        .unwrap();
+        ssd.program_region_page(&docs, 0, RegionKind::Documents, &[0xCD; 4096], &[])
+            .unwrap();
+        let emb_read = ssd
+            .read_region_page(&emb, 0, RegionKind::BinaryEmbeddings)
+            .unwrap();
+        let doc_read = ssd
+            .read_region_page(&docs, 0, RegionKind::Documents)
+            .unwrap();
         assert_eq!(emb_read.data[0], 0xAB);
         assert_eq!(doc_read.data[0], 0xCD);
         // Only the document (TLC) read goes through ECC.
@@ -344,7 +379,8 @@ mod tests {
     fn reserve_region_fails_when_flash_is_full() {
         let mut ssd = controller();
         let total = ssd.config().geometry.total_pages();
-        ssd.reserve_region("big", total, RegionKind::Documents).unwrap();
+        ssd.reserve_region("big", total, RegionKind::Documents)
+            .unwrap();
         assert!(matches!(
             ssd.reserve_region("more", 1, RegionKind::Documents),
             Err(SsdError::OutOfSpace { .. })

@@ -41,7 +41,10 @@ impl DramParams {
 
     /// Parameters for a 2 GB internal DRAM (REIS-SSD2-class device).
     pub fn two_gigabytes() -> Self {
-        DramParams { capacity_bytes: 2 << 30, ..DramParams::one_gigabyte() }
+        DramParams {
+            capacity_bytes: 2 << 30,
+            ..DramParams::one_gigabyte()
+        }
     }
 }
 
@@ -63,7 +66,12 @@ pub struct InternalDram {
 impl InternalDram {
     /// Create a DRAM with the given parameters and no allocations.
     pub fn new(params: DramParams) -> Self {
-        InternalDram { params, allocations: BTreeMap::new(), bytes_read: 0, bytes_written: 0 }
+        InternalDram {
+            params,
+            allocations: BTreeMap::new(),
+            bytes_read: 0,
+            bytes_written: 0,
+        }
     }
 
     /// The configured parameters.
@@ -123,6 +131,13 @@ impl InternalDram {
         self.params.access_latency + Nanos::from_secs_f64(bytes as f64 / self.params.bandwidth_bps)
     }
 
+    /// Merge externally measured traffic into this DRAM's counters (used to
+    /// fold batch-search worker replicas' activity back into the primary).
+    pub fn absorb_traffic(&mut self, bytes_read: u64, bytes_written: u64) {
+        self.bytes_read += bytes_read;
+        self.bytes_written += bytes_written;
+    }
+
     /// Total bytes read since construction.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read
@@ -154,7 +169,10 @@ mod tests {
         assert_eq!(dram.free_bytes(), 400);
         assert!(matches!(
             dram.allocate("ttl", 500),
-            Err(SsdError::DramExhausted { requested_bytes: 500, available_bytes: 400 })
+            Err(SsdError::DramExhausted {
+                requested_bytes: 500,
+                available_bytes: 400
+            })
         ));
         dram.allocate("ttl", 400).unwrap();
         assert_eq!(dram.free_bytes(), 0);
@@ -191,6 +209,8 @@ mod tests {
 
     #[test]
     fn reference_capacities_differ() {
-        assert!(DramParams::two_gigabytes().capacity_bytes > DramParams::one_gigabyte().capacity_bytes);
+        assert!(
+            DramParams::two_gigabytes().capacity_bytes > DramParams::one_gigabyte().capacity_bytes
+        );
     }
 }

@@ -63,7 +63,11 @@ pub struct EccEngine {
 impl EccEngine {
     /// Create an engine with the given parameters.
     pub fn new(params: EccParams) -> Self {
-        EccEngine { params, pages_decoded: 0, bits_corrected: 0 }
+        EccEngine {
+            params,
+            pages_decoded: 0,
+            bits_corrected: 0,
+        }
     }
 
     /// The configured parameters.
@@ -87,6 +91,14 @@ impl EccEngine {
                 + self.params.latency_per_corrected_bit * corrected_bits as u64,
             energy_joules: self.params.energy_nj_per_page * 1e-9,
         }
+    }
+
+    /// Merge externally measured decode activity into this engine's counters
+    /// (used to fold batch-search worker replicas' activity back into the
+    /// primary).
+    pub fn absorb_counters(&mut self, pages_decoded: u64, bits_corrected: u64) {
+        self.pages_decoded += pages_decoded;
+        self.bits_corrected += bits_corrected;
     }
 
     /// Pages decoded so far.

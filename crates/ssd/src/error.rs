@@ -115,14 +115,27 @@ mod tests {
     #[test]
     fn display_messages_are_meaningful() {
         let errs = vec![
-            SsdError::OutOfSpace { requested_pages: 10, available_pages: 3 },
-            SsdError::DramExhausted { requested_bytes: 100, available_bytes: 10 },
+            SsdError::OutOfSpace {
+                requested_pages: 10,
+                available_pages: 3,
+            },
+            SsdError::DramExhausted {
+                requested_bytes: 100,
+                available_bytes: 10,
+            },
             SsdError::UnmappedLogicalPage(42),
             SsdError::UnknownDatabase(3),
             SsdError::DatabaseAlreadyDeployed(3),
-            SsdError::RegionOutOfBounds { region: "embedding", offset: 10, limit: 5 },
+            SsdError::RegionOutOfBounds {
+                region: "embedding",
+                offset: 10,
+                limit: 5,
+            },
             SsdError::InvalidHostCommand("opcode 0x01".into()),
-            SsdError::WrongMode { current: "normal", required: "RAG" },
+            SsdError::WrongMode {
+                current: "normal",
+                required: "RAG",
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

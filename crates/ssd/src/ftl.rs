@@ -64,7 +64,10 @@ impl PageLevelFtl {
     /// Returns [`SsdError::UnmappedLogicalPage`] if the page was never
     /// written.
     pub fn translate(&self, lpa: u64) -> Result<PageAddr> {
-        self.map.get(&lpa).copied().ok_or(SsdError::UnmappedLogicalPage(lpa))
+        self.map
+            .get(&lpa)
+            .copied()
+            .ok_or(SsdError::UnmappedLogicalPage(lpa))
     }
 
     /// Remove the mapping of a logical page, returning it if present.
@@ -148,7 +151,10 @@ impl CoarseFtl {
     ///
     /// Returns [`SsdError::UnknownDatabase`] if the id is not deployed.
     pub fn record(&self, db_id: u32) -> Result<&DatabaseRecord> {
-        self.records.iter().find(|r| r.db_id == db_id).ok_or(SsdError::UnknownDatabase(db_id))
+        self.records
+            .iter()
+            .find(|r| r.db_id == db_id)
+            .ok_or(SsdError::UnknownDatabase(db_id))
     }
 
     /// Remove a database record.
@@ -172,8 +178,15 @@ impl CoarseFtl {
     ///
     /// * [`SsdError::UnknownDatabase`] if the id is not deployed.
     /// * [`SsdError::RegionOutOfBounds`] if `offset` exceeds the region.
-    pub fn embedding_page(&self, geometry: &Geometry, db_id: u32, offset: usize) -> Result<PageAddr> {
-        self.record(db_id)?.embedding_region.page_at(geometry, offset)
+    pub fn embedding_page(
+        &self,
+        geometry: &Geometry,
+        db_id: u32,
+        offset: usize,
+    ) -> Result<PageAddr> {
+        self.record(db_id)?
+            .embedding_region
+            .page_at(geometry, offset)
     }
 
     /// Translate the `offset`-th document-region page of a database.
@@ -181,8 +194,15 @@ impl CoarseFtl {
     /// # Errors
     ///
     /// Same conditions as [`CoarseFtl::embedding_page`].
-    pub fn document_page(&self, geometry: &Geometry, db_id: u32, offset: usize) -> Result<PageAddr> {
-        self.record(db_id)?.document_region.page_at(geometry, offset)
+    pub fn document_page(
+        &self,
+        geometry: &Geometry,
+        db_id: u32,
+        offset: usize,
+    ) -> Result<PageAddr> {
+        self.record(db_id)?
+            .document_region
+            .page_at(geometry, offset)
     }
 
     /// Translate the `offset`-th INT8-region page of a database.
@@ -221,7 +241,10 @@ mod tests {
         // Overwriting returns the stale physical page for GC.
         assert_eq!(ftl.map(7, p1), Some(p0));
         assert_eq!(ftl.translate(7).unwrap(), p1);
-        assert!(matches!(ftl.translate(8), Err(SsdError::UnmappedLogicalPage(8))));
+        assert!(matches!(
+            ftl.translate(8),
+            Err(SsdError::UnmappedLogicalPage(8))
+        ));
         assert_eq!(ftl.footprint_bytes(), PAGE_ENTRY_BYTES);
         assert_eq!(ftl.unmap(7), Some(p1));
         assert!(ftl.is_empty());
@@ -247,13 +270,22 @@ mod tests {
         let b = rdb.embedding_page(&geom, 1, 1).unwrap();
         assert_ne!(a, b);
         assert_eq!(a, emb.page_at(&geom, 0).unwrap());
-        assert_eq!(rdb.document_page(&geom, 1, 3).unwrap(), docs.page_at(&geom, 3).unwrap());
-        assert_eq!(rdb.int8_page(&geom, 1, 5).unwrap(), int8.page_at(&geom, 5).unwrap());
+        assert_eq!(
+            rdb.document_page(&geom, 1, 3).unwrap(),
+            docs.page_at(&geom, 3).unwrap()
+        );
+        assert_eq!(
+            rdb.int8_page(&geom, 1, 5).unwrap(),
+            int8.page_at(&geom, 5).unwrap()
+        );
         assert!(matches!(
             rdb.embedding_page(&geom, 1, 16),
             Err(SsdError::RegionOutOfBounds { .. })
         ));
-        assert!(matches!(rdb.embedding_page(&geom, 9, 0), Err(SsdError::UnknownDatabase(9))));
+        assert!(matches!(
+            rdb.embedding_page(&geom, 9, 0),
+            Err(SsdError::UnknownDatabase(9))
+        ));
     }
 
     #[test]
@@ -267,7 +299,10 @@ mod tests {
             entries: 10,
         };
         rdb.deploy(record).unwrap();
-        assert!(matches!(rdb.deploy(record), Err(SsdError::DatabaseAlreadyDeployed(2))));
+        assert!(matches!(
+            rdb.deploy(record),
+            Err(SsdError::DatabaseAlreadyDeployed(2))
+        ));
         assert_eq!(rdb.footprint_bytes(), COARSE_RECORD_BYTES);
         assert_eq!(rdb.record(2).unwrap().entries, 10);
         assert_eq!(rdb.iter().count(), 1);
@@ -282,6 +317,9 @@ mod tests {
         // FTL collapses to a 21-byte record.
         let pages_1tb = (1u64 << 40) / (16 * 1024);
         let saving = coarse_ftl_saving(pages_1tb as usize);
-        assert!(saving > 1e7, "saving factor {saving} should exceed ten million");
+        assert!(
+            saving > 1e7,
+            "saving factor {saving} should exceed ten million"
+        );
     }
 }

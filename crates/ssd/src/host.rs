@@ -110,7 +110,9 @@ impl HostCommand {
             HostCommand::DbDeploy { entries, .. } if *entries == 0 => Err(
                 SsdError::InvalidHostCommand("DB_Deploy requires at least one entry".into()),
             ),
-            HostCommand::IvfDeploy { entries, clusters, .. } => {
+            HostCommand::IvfDeploy {
+                entries, clusters, ..
+            } => {
                 if *entries == 0 {
                     Err(SsdError::InvalidHostCommand(
                         "IVF_Deploy requires at least one entry".into(),
@@ -123,12 +125,16 @@ impl HostCommand {
                     Ok(())
                 }
             }
-            HostCommand::Search { k, .. } if *k == 0 => {
-                Err(SsdError::InvalidHostCommand("Search requires k >= 1".into()))
-            }
-            HostCommand::IvfSearch { k, target_recall, .. } => {
+            HostCommand::Search { k, .. } if *k == 0 => Err(SsdError::InvalidHostCommand(
+                "Search requires k >= 1".into(),
+            )),
+            HostCommand::IvfSearch {
+                k, target_recall, ..
+            } => {
                 if *k == 0 {
-                    Err(SsdError::InvalidHostCommand("IVF_Search requires k >= 1".into()))
+                    Err(SsdError::InvalidHostCommand(
+                        "IVF_Search requires k >= 1".into(),
+                    ))
                 } else if !(*target_recall > 0.0 && *target_recall <= 1.0) {
                     Err(SsdError::InvalidHostCommand(format!(
                         "IVF_Search target recall {target_recall} must be in (0, 1]"
@@ -149,10 +155,26 @@ mod tests {
     #[test]
     fn vendor_extensions_use_the_reserved_opcode_range() {
         let commands = [
-            HostCommand::DbDeploy { db_id: 1, entries: 10 },
-            HostCommand::IvfDeploy { db_id: 1, entries: 10, clusters: 2 },
-            HostCommand::Search { query_id: 0, db_id: 1, k: 10 },
-            HostCommand::IvfSearch { query_id: 0, db_id: 1, k: 10, target_recall: 0.94 },
+            HostCommand::DbDeploy {
+                db_id: 1,
+                entries: 10,
+            },
+            HostCommand::IvfDeploy {
+                db_id: 1,
+                entries: 10,
+                clusters: 2,
+            },
+            HostCommand::Search {
+                query_id: 0,
+                db_id: 1,
+                k: 10,
+            },
+            HostCommand::IvfSearch {
+                query_id: 0,
+                db_id: 1,
+                k: 10,
+                target_recall: 0.94,
+            },
         ];
         for c in &commands {
             assert!(c.is_vendor_extension());
@@ -169,23 +191,65 @@ mod tests {
     #[test]
     fn conventional_commands_are_not_extensions() {
         assert!(!HostCommand::Read { lpa: 0 }.is_vendor_extension());
-        assert!(!HostCommand::Write { lpa: 0, data: vec![] }.is_vendor_extension());
+        assert!(!HostCommand::Write {
+            lpa: 0,
+            data: vec![]
+        }
+        .is_vendor_extension());
     }
 
     #[test]
     fn validation_rejects_degenerate_parameters() {
-        assert!(HostCommand::DbDeploy { db_id: 1, entries: 0 }.validate().is_err());
-        assert!(HostCommand::IvfDeploy { db_id: 1, entries: 0, clusters: 0 }.validate().is_err());
-        assert!(HostCommand::IvfDeploy { db_id: 1, entries: 5, clusters: 6 }.validate().is_err());
-        assert!(HostCommand::Search { query_id: 0, db_id: 1, k: 0 }.validate().is_err());
-        assert!(HostCommand::IvfSearch { query_id: 0, db_id: 1, k: 0, target_recall: 0.9 }
-            .validate()
-            .is_err());
-        assert!(HostCommand::IvfSearch { query_id: 0, db_id: 1, k: 5, target_recall: 0.0 }
-            .validate()
-            .is_err());
-        assert!(HostCommand::IvfSearch { query_id: 0, db_id: 1, k: 5, target_recall: 1.5 }
-            .validate()
-            .is_err());
+        assert!(HostCommand::DbDeploy {
+            db_id: 1,
+            entries: 0
+        }
+        .validate()
+        .is_err());
+        assert!(HostCommand::IvfDeploy {
+            db_id: 1,
+            entries: 0,
+            clusters: 0
+        }
+        .validate()
+        .is_err());
+        assert!(HostCommand::IvfDeploy {
+            db_id: 1,
+            entries: 5,
+            clusters: 6
+        }
+        .validate()
+        .is_err());
+        assert!(HostCommand::Search {
+            query_id: 0,
+            db_id: 1,
+            k: 0
+        }
+        .validate()
+        .is_err());
+        assert!(HostCommand::IvfSearch {
+            query_id: 0,
+            db_id: 1,
+            k: 0,
+            target_recall: 0.9
+        }
+        .validate()
+        .is_err());
+        assert!(HostCommand::IvfSearch {
+            query_id: 0,
+            db_id: 1,
+            k: 5,
+            target_recall: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(HostCommand::IvfSearch {
+            query_id: 0,
+            db_id: 1,
+            k: 5,
+            target_recall: 1.5
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -90,8 +90,14 @@ mod tests {
     #[test]
     fn reis_policy_puts_compute_data_in_esp_slc() {
         let policy = HybridPolicy::reis();
-        assert_eq!(policy.scheme_for(RegionKind::BinaryEmbeddings), ProgramScheme::EnhancedSlc);
-        assert_eq!(policy.scheme_for(RegionKind::Centroids), ProgramScheme::EnhancedSlc);
+        assert_eq!(
+            policy.scheme_for(RegionKind::BinaryEmbeddings),
+            ProgramScheme::EnhancedSlc
+        );
+        assert_eq!(
+            policy.scheme_for(RegionKind::Centroids),
+            ProgramScheme::EnhancedSlc
+        );
         assert_eq!(
             policy.scheme_for(RegionKind::Documents),
             ProgramScheme::Ispp(CellMode::Tlc)
@@ -118,7 +124,10 @@ mod tests {
     #[test]
     fn slc_storage_costs_three_times_the_capacity() {
         let policy = HybridPolicy::reis();
-        assert_eq!(policy.capacity_cost_factor(RegionKind::BinaryEmbeddings), 3.0);
+        assert_eq!(
+            policy.capacity_cost_factor(RegionKind::BinaryEmbeddings),
+            3.0
+        );
         assert_eq!(policy.capacity_cost_factor(RegionKind::Documents), 1.0);
         // Binary embeddings are 32x smaller than f32, so even at 3x capacity
         // cost the SLC partition is a net win — check the combined factor.

@@ -17,9 +17,10 @@ use crate::error::Result;
 use crate::ftl::PageLevelFtl;
 
 /// The mode the SSD is operating in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SsdMode {
     /// Conventional block-I/O mode: page-level FTL active.
+    #[default]
     Normal,
     /// RAG retrieval mode: coarse-grained FTL active, in-storage search
     /// enabled.
@@ -58,12 +59,6 @@ pub struct MaintenanceManager {
     pages_relocated: u64,
 }
 
-impl Default for SsdMode {
-    fn default() -> Self {
-        SsdMode::Normal
-    }
-}
-
 impl MaintenanceManager {
     /// Create a manager in normal mode with no invalid pages.
     pub fn new() -> Self {
@@ -92,12 +87,18 @@ impl MaintenanceManager {
     /// Record that the page at `addr` no longer holds live data (its logical
     /// page was overwritten or trimmed).
     pub fn mark_invalid(&mut self, addr: PageAddr) {
-        self.invalid_pages.entry(addr.block_addr()).or_default().insert(addr.page);
+        self.invalid_pages
+            .entry(addr.block_addr())
+            .or_default()
+            .insert(addr.page);
     }
 
     /// Number of invalid pages in a block.
     pub fn invalid_count(&self, block: BlockAddr) -> usize {
-        self.invalid_pages.get(&block).map(HashSet::len).unwrap_or(0)
+        self.invalid_pages
+            .get(&block)
+            .map(HashSet::len)
+            .unwrap_or(0)
     }
 
     /// The block with the most invalid pages, if any block has invalid pages
@@ -213,7 +214,12 @@ mod tests {
         for i in 0..4usize {
             let ppa = PageAddr::new(0, 0, 0, 0, i);
             device
-                .program_page(ppa, &vec![i as u8; 64], &[], ProgramScheme::Ispp(reis_nand::CellMode::Tlc))
+                .program_page(
+                    ppa,
+                    &[i as u8; 64],
+                    &[],
+                    ProgramScheme::Ispp(reis_nand::CellMode::Tlc),
+                )
                 .unwrap();
             ftl.map(i as u64, ppa);
         }
@@ -221,7 +227,12 @@ mod tests {
         for i in 0..2usize {
             let new = PageAddr::new(0, 0, 0, 1, i);
             device
-                .program_page(new, &vec![0xAA; 64], &[], ProgramScheme::Ispp(reis_nand::CellMode::Tlc))
+                .program_page(
+                    new,
+                    &[0xAA; 64],
+                    &[],
+                    ProgramScheme::Ispp(reis_nand::CellMode::Tlc),
+                )
                 .unwrap();
             let old = ftl.map(i as u64, new).unwrap();
             m.mark_invalid(old);

@@ -59,7 +59,11 @@ impl GroundTruth {
     ///
     /// Panics if `retrieved` does not have one entry per query.
     pub fn mean_recall(&self, retrieved: &[Vec<usize>]) -> f64 {
-        assert_eq!(retrieved.len(), self.neighbors.len(), "one result list per query required");
+        assert_eq!(
+            retrieved.len(),
+            self.neighbors.len(),
+            "one result list per query required"
+        );
         if retrieved.is_empty() {
             return 0.0;
         }
@@ -95,7 +99,9 @@ mod tests {
     fn perfect_retrieval_scores_recall_one() {
         let data = dataset();
         let truth = GroundTruth::compute(&data, 5).unwrap();
-        let perfect: Vec<Vec<usize>> = (0..truth.len()).map(|q| truth.neighbors(q).to_vec()).collect();
+        let perfect: Vec<Vec<usize>> = (0..truth.len())
+            .map(|q| truth.neighbors(q).to_vec())
+            .collect();
         assert_eq!(truth.mean_recall(&perfect), 1.0);
         let empty: Vec<Vec<usize>> = vec![vec![]; truth.len()];
         assert_eq!(truth.mean_recall(&empty), 0.0);

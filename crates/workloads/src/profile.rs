@@ -102,7 +102,12 @@ impl DatasetProfile {
 
     /// The four retrieval datasets of the main evaluation (Figs. 7, 8, 10).
     pub fn main_evaluation() -> Vec<DatasetProfile> {
-        vec![Self::nq(), Self::hotpotqa(), Self::wiki_en(), Self::wiki_full()]
+        vec![
+            Self::nq(),
+            Self::hotpotqa(),
+            Self::wiki_en(),
+            Self::wiki_full(),
+        ]
     }
 
     /// Builder-style override of the scaled entry count (and a proportional
@@ -182,8 +187,10 @@ mod tests {
         let p = DatasetProfile::wiki_en();
         let docs_gb = p.full_document_bytes() as f64 / 1e9;
         let total_bq_gb = p.full_load_bytes_bq() as f64 / 1e9;
-        assert!((50.0..80.0).contains(&(docs_gb / total_bq_gb * 100.0)),
-            "documents should dominate the post-BQ transfer ({docs_gb:.1} of {total_bq_gb:.1} GB)");
+        assert!(
+            (50.0..80.0).contains(&(docs_gb / total_bq_gb * 100.0)),
+            "documents should dominate the post-BQ transfer ({docs_gb:.1} of {total_bq_gb:.1} GB)"
+        );
         // BQ shrinks the embedding transfer by far more than 10x.
         assert!(p.full_f32_bytes() > 30 * p.full_binary_bytes());
     }

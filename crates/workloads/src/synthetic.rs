@@ -67,18 +67,18 @@ impl SyntheticDataset {
         let queries: Vec<Vec<f32>> = (0..profile.queries)
             .map(|q| {
                 let base = &vectors[(q * 7919) % n];
-                base.iter().map(|&x| x + rng.gen_range(-0.35f32..0.35)).collect()
+                base.iter()
+                    .map(|&x| x + rng.gen_range(-0.35f32..0.35))
+                    .collect()
             })
             .collect();
 
         // Documents: synthetic text of roughly the profile's chunk size.
         let documents: Vec<Vec<u8>> = (0..n)
             .map(|i| {
-                let mut text = format!(
-                    "[{name} chunk {i}] ",
-                    name = profile.name,
-                );
-                let filler = "retrieval augmented generation feeds external knowledge into the model. ";
+                let mut text = format!("[{name} chunk {i}] ", name = profile.name,);
+                let filler =
+                    "retrieval augmented generation feeds external knowledge into the model. ";
                 while text.len() < profile.doc_bytes.max(32) {
                     text.push_str(filler);
                 }
@@ -87,7 +87,13 @@ impl SyntheticDataset {
             })
             .collect();
 
-        SyntheticDataset { profile, vectors, queries, documents, latent_cluster }
+        SyntheticDataset {
+            profile,
+            vectors,
+            queries,
+            documents,
+            latent_cluster,
+        }
     }
 
     /// The profile this dataset was generated from.
@@ -183,7 +189,10 @@ mod tests {
         }
         let same_avg = same_sum / same_n.max(1) as f64;
         let diff_avg = diff_sum / diff_n.max(1) as f64;
-        assert!(same_avg < diff_avg, "intra-topic {same_avg} vs inter-topic {diff_avg}");
+        assert!(
+            same_avg < diff_avg,
+            "intra-topic {same_avg} vs inter-topic {diff_avg}"
+        );
     }
 
     #[test]
@@ -206,7 +215,10 @@ mod tests {
                 .iter()
                 .map(|v| squared_l2(v, query))
                 .fold(f32::INFINITY, f32::min);
-            assert!(nearest < 100.0, "query should have a close neighbor, got {nearest}");
+            assert!(
+                nearest < 100.0,
+                "query should have a close neighbor, got {nearest}"
+            );
         }
     }
 }

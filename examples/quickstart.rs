@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Deploy into a simulated REIS SSD (the cost-oriented SSD1 preset).
     let mut reis = ReisSystem::new(ReisConfig::ssd1());
     let db_id = reis.deploy(&database)?;
-    println!("deployed database {db_id} ({} flash pages)", reis.database(db_id)?.layout.total_pages());
+    println!(
+        "deployed database {db_id} ({} flash pages)",
+        reis.database(db_id)?.layout.total_pages()
+    );
 
     // 4. Run an IVF_Search for every query and show what came back.
     for (qi, query) in dataset.queries().iter().enumerate() {

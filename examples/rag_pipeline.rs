@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reis_breakdown = pipeline.reis_breakdown(outcome.total_latency().as_secs_f64());
 
     println!("wiki_en end-to-end RAG latency breakdown (fractions of total):\n");
-    println!("{:<30} {:>10} {:>10} {:>10}", "stage", "CPU f32", "CPU + BQ", "REIS");
+    println!(
+        "{:<30} {:>10} {:>10} {:>10}",
+        "stage", "CPU f32", "CPU + BQ", "REIS"
+    );
     for stage in RagStage::all() {
         println!(
             "{:<30} {:>9.1}% {:>9.1}% {:>9.2}%",

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("+MPIBC (full REIS)", Optimizations::all()),
     ];
 
-    println!("{:<22} {:>14} {:>18} {:>14}", "configuration", "latency", "entries moved", "energy (uJ)");
+    println!(
+        "{:<22} {:>14} {:>18} {:>14}",
+        "configuration", "latency", "entries moved", "energy (uJ)"
+    );
     let mut baseline_latency = None;
     for (name, opts) in ladder {
         let mut system = ReisSystem::new(ReisConfig::ssd1().with_optimizations(opts));
@@ -44,6 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             energy * 1e6 / dataset.queries().len() as f64
         );
     }
-    println!("\nDistance filtering removes most channel traffic; pipelining and MPIBC shave the rest.");
+    println!(
+        "\nDistance filtering removes most channel traffic; pipelining and MPIBC shave the rest."
+    );
     Ok(())
 }

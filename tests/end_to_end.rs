@@ -5,14 +5,18 @@
 use reis::ann::flat::FlatIndex;
 use reis::ann::metrics::recall_at_k;
 use reis::ann::Metric;
-use reis::baseline::{CpuPrecision, CpuSystem, IceModel, IceVariant, NdSearchAlgorithm, NdSearchModel};
+use reis::baseline::{
+    CpuPrecision, CpuSystem, IceModel, IceVariant, NdSearchAlgorithm, NdSearchModel,
+};
 use reis::core::{Optimizations, ReisConfig, ReisSystem, VectorDatabase};
 use reis::rag::{RagPipeline, RagStage};
 use reis::workloads::{DatasetProfile, GroundTruth, SyntheticDataset};
 
 fn scaled_dataset(entries: usize, queries: usize, seed: u64) -> SyntheticDataset {
     SyntheticDataset::generate(
-        DatasetProfile::hotpotqa().scaled(entries).with_queries(queries),
+        DatasetProfile::hotpotqa()
+            .scaled(entries)
+            .with_queries(queries),
         seed,
     )
 }
@@ -54,8 +58,13 @@ fn in_storage_search_agrees_with_cpu_bq_ivf_algorithm() {
     let flat = FlatIndex::new(dataset.vectors().to_vec(), Metric::SquaredL2).expect("flat");
     for base in [3usize, 77, 150] {
         let query = dataset.vectors()[base].clone();
-        let outcome = reis.ivf_search_with_nprobe(db_id, &query, 5, 8).expect("search");
-        assert_eq!(outcome.results[0].id, base, "self-query must return itself first");
+        let outcome = reis
+            .ivf_search_with_nprobe(db_id, &query, 5, 8)
+            .expect("search");
+        assert_eq!(
+            outcome.results[0].id, base,
+            "self-query must return itself first"
+        );
         let exact = flat.search(&query, 1).expect("exact");
         assert_eq!(exact[0].id, base);
     }
@@ -71,10 +80,21 @@ fn optimizations_change_performance_but_not_results() {
     let id_full = full.deploy(&database).expect("deploy");
     let id_none = none.deploy(&database).expect("deploy");
     for query in dataset.queries() {
-        let a = full.ivf_search_with_nprobe(id_full, query, 5, 8).expect("search");
-        let b = none.ivf_search_with_nprobe(id_none, query, 5, 8).expect("search");
-        assert_eq!(a.result_ids(), b.result_ids(), "optimizations must not change results");
-        assert!(a.total_latency() <= b.total_latency(), "optimizations must not slow REIS down");
+        let a = full
+            .ivf_search_with_nprobe(id_full, query, 5, 8)
+            .expect("search");
+        let b = none
+            .ivf_search_with_nprobe(id_none, query, 5, 8)
+            .expect("search");
+        assert_eq!(
+            a.result_ids(),
+            b.result_ids(),
+            "optimizations must not change results"
+        );
+        assert!(
+            a.total_latency() <= b.total_latency(),
+            "optimizations must not slow REIS down"
+        );
         assert!(a.activity.fine_entries <= b.activity.fine_entries);
     }
 }
@@ -88,8 +108,20 @@ fn full_scale_speedups_follow_the_paper_ordering() {
     let profile = DatasetProfile::wiki_en();
     let cpu = CpuSystem::default();
     let cpu_real = cpu.cpu_real(&profile, 1_000, None, CpuPrecision::Float32);
-    let reis1 = estimate_reis(&profile, &ReisConfig::ssd1(), SearchMode::BruteForce, 0.05, 10);
-    let reis2 = estimate_reis(&profile, &ReisConfig::ssd2(), SearchMode::BruteForce, 0.05, 10);
+    let reis1 = estimate_reis(
+        &profile,
+        &ReisConfig::ssd1(),
+        SearchMode::BruteForce,
+        0.05,
+        10,
+    );
+    let reis2 = estimate_reis(
+        &profile,
+        &ReisConfig::ssd2(),
+        SearchMode::BruteForce,
+        0.05,
+        10,
+    );
     assert!(reis1.qps > cpu_real.qps(), "REIS must beat CPU-Real on QPS");
     assert!(reis2.qps > reis1.qps, "SSD2 must beat SSD1");
     assert!(
@@ -104,9 +136,19 @@ fn full_scale_speedups_follow_the_paper_ordering() {
     );
     let sift = DatasetProfile::sift_1b();
     let nd = NdSearchModel::new(ReisConfig::ssd2(), NdSearchAlgorithm::Hnsw);
-    let reis_sift =
-        estimate_reis(&sift, &ReisConfig::ssd2(), SearchMode::Ivf { nprobe_fraction: 0.01 }, 0.02, 10);
-    assert!(reis_sift.qps > nd.qps(&sift), "REIS must beat NDSearch at billion scale");
+    let reis_sift = estimate_reis(
+        &sift,
+        &ReisConfig::ssd2(),
+        SearchMode::Ivf {
+            nprobe_fraction: 0.01,
+        },
+        0.02,
+        10,
+    );
+    assert!(
+        reis_sift.qps > nd.qps(&sift),
+        "REIS must beat NDSearch at billion scale"
+    );
 }
 
 #[test]
@@ -119,4 +161,35 @@ fn rag_pipeline_bottleneck_shifts_from_retrieval_to_generation() {
     assert!(cpu_breakdown.retrieval_fraction() > reis_breakdown.retrieval_fraction() * 10.0);
     assert!(reis_breakdown.fraction(RagStage::Generation) > 0.8);
     assert!(reis_breakdown.total() < cpu_breakdown.total());
+}
+
+#[test]
+fn batched_search_agrees_with_sequential_search_end_to_end() {
+    // The batched front door must be a pure throughput feature: same results,
+    // same documents, same modelled latency as issuing the queries one at a
+    // time, for any worker count.
+    let dataset = scaled_dataset(256, 6, 21);
+    let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), 8)
+        .expect("database construction");
+    let mut reis = ReisSystem::new(ReisConfig::ssd1());
+    let db_id = reis.deploy(&database).expect("deployment");
+
+    let queries: Vec<Vec<f32>> = dataset.queries().to_vec();
+    let sequential: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            reis.ivf_search_with_nprobe(db_id, q, 10, 4)
+                .expect("sequential search")
+        })
+        .collect();
+    for workers in [1usize, 2, 4] {
+        let batch = reis
+            .ivf_search_batch_with_nprobe(db_id, &queries, 10, 4, workers)
+            .expect("batch search");
+        for (b, s) in batch.iter().zip(&sequential) {
+            assert_eq!(b.result_ids(), s.result_ids(), "workers {workers}");
+            assert_eq!(b.documents, s.documents, "workers {workers}");
+            assert_eq!(b.total_latency(), s.total_latency(), "workers {workers}");
+        }
+    }
 }
