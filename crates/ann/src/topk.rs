@@ -81,6 +81,20 @@ where
     }
 }
 
+/// Total-order ranking key for a `(distance, index)` candidate pair:
+/// distance first, index as the tie-break.
+///
+/// Selection by raw distance leaves the kept set ambiguous when several
+/// candidates tie at the k-th position — whichever the partitioning happens
+/// to visit first survives, so the result depends on input order. Keying
+/// quickselect with this composite instead makes the kept set a pure
+/// function of the candidate *set*: REIS relies on that to merge the
+/// shard-local Temporal Top Lists of an intra-query sharded scan into
+/// exactly the candidates a sequential scan would have kept.
+pub fn distance_index_key(distance: u32, index: u32) -> u64 {
+    ((distance as u64) << 32) | index as u64
+}
+
 /// Select the `k` nearest neighbors from a slice of candidates, returned in
 /// ascending distance order (quickselect followed by a sort of the k
 /// survivors, mirroring REIS's quickselect + quicksort pipeline).

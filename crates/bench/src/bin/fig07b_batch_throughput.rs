@@ -6,8 +6,11 @@
 //! itself executes queries: the word-level XOR/popcount kernels versus the
 //! byte-wise reference they replaced, and end-to-end `search_batch` /
 //! `ivf_search_batch` throughput versus worker-thread count on a ≥10k-vector
-//! synthetic dataset. Results are written to `BENCH_pr1.json` (override the
-//! path with the `REIS_BENCH_OUT` environment variable).
+//! synthetic dataset. Results are written to `BENCH_fig07b.json` by default;
+//! pass `--output PATH` (or set `REIS_BENCH_OUT`) to write elsewhere — the
+//! committed `BENCH_pr1.json` artifact is only refreshed by an explicit
+//! `--output BENCH_pr1.json`. See `docs/BENCHMARKS.md` for the workflow and
+//! the JSON schema.
 
 use std::time::Instant;
 
@@ -252,7 +255,7 @@ fn main() {
         scaling_json(&bf_scaling),
         modelled_qps,
     );
-    let path = std::env::var("REIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr1.json".to_string());
+    let path = report::output_path("BENCH_fig07b.json");
     std::fs::write(&path, json).expect("write benchmark json");
     println!("\nwrote {path}");
 }

@@ -288,6 +288,40 @@ pub mod report {
         println!("==================================================================");
     }
 
+    /// Resolve the output path of a benchmark's JSON artifact: an
+    /// `--output PATH` (or `--output=PATH`) command-line argument wins,
+    /// then the `REIS_BENCH_OUT` environment variable, then `default`.
+    ///
+    /// `BENCH_pr*.json` files at the repository root are committed
+    /// artifacts (the run a PR shipped with). Benchmarks whose artifact
+    /// belongs to an *earlier* PR default to a non-committed,
+    /// `.gitignore`d path so a casual re-run never clobbers the recorded
+    /// measurement — refreshing one takes an explicit
+    /// `--output BENCH_prN.json`. A benchmark introduced by the current PR
+    /// may default to its own `BENCH_prN.json`, since that file is exactly
+    /// the run it is expected to (re)produce. See `docs/BENCHMARKS.md` for
+    /// the regeneration workflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--output` is given without a value (or followed by
+    /// another flag): silently falling back to the default could overwrite
+    /// a committed artifact the flag was meant to protect.
+    pub fn output_path(default: &str) -> String {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--output" {
+                match args.next() {
+                    Some(path) if !path.starts_with("--") => return path,
+                    _ => panic!("--output requires a path argument"),
+                }
+            } else if let Some(path) = arg.strip_prefix("--output=") {
+                return path.to_string();
+            }
+        }
+        std::env::var("REIS_BENCH_OUT").unwrap_or_else(|_| default.to_string())
+    }
+
     /// Print one labelled series as `label: v1 v2 v3 …` with fixed precision.
     pub fn series(label: &str, values: &[(String, f64)]) {
         println!("{label}");

@@ -62,6 +62,71 @@ impl Default for Optimizations {
     }
 }
 
+/// How far one query's fine scan is parallelized *inside* the device.
+///
+/// REIS partitions a single scan over the SSD's channel×die units so that
+/// the flash-internal parallelism shortens the *latency* of one query, not
+/// just the throughput of many (Sec. 4.3.4). The simulator mirrors that
+/// with worker threads, one per scan shard, each owning its own latch
+/// scratch and Temporal Top List; see `reis_nand::sharding` for the
+/// geometry-aware plan and [`crate::engine`] for the execution and merge.
+///
+/// The default is sequential (one shard), which keeps single-threaded
+/// behaviour — and determinism expectations of downstream tooling —
+/// unchanged; benchmarks and latency-sensitive deployments opt in via
+/// [`ReisConfig::with_scan_parallelism`]. Sharding composes with batched
+/// search: each batch worker drives its own intra-query shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanParallelism {
+    /// Maximum number of scan shards per query (1 = sequential scan). The
+    /// effective count is additionally capped by the device's channel×die
+    /// unit count and by the size of the scan.
+    pub max_shards: usize,
+    /// Minimum pages a shard must receive for sharding to be worthwhile;
+    /// scans smaller than `2 × min_pages_per_shard` run sequentially so
+    /// thread spawn overhead never dominates tiny scans.
+    pub min_pages_per_shard: usize,
+}
+
+impl ScanParallelism {
+    /// Sequential scanning (the default): one shard, no worker threads.
+    pub fn sequential() -> Self {
+        ScanParallelism {
+            max_shards: 1,
+            min_pages_per_shard: 16,
+        }
+    }
+
+    /// Shard every large-enough scan across up to `max_shards` workers.
+    pub fn sharded(max_shards: usize) -> Self {
+        ScanParallelism {
+            max_shards: max_shards.max(1),
+            ..ScanParallelism::sequential()
+        }
+    }
+
+    /// Builder-style override of the minimum shard size.
+    pub fn with_min_pages_per_shard(mut self, pages: usize) -> Self {
+        self.min_pages_per_shard = pages.max(1);
+        self
+    }
+
+    /// The shard count to actually use for a scan of `pages` pages on a
+    /// device with `scan_units` channel×die units (always at least 1).
+    pub fn effective_shards(&self, scan_units: usize, pages: usize) -> usize {
+        self.max_shards
+            .min(scan_units)
+            .min(pages / self.min_pages_per_shard.max(1))
+            .max(1)
+    }
+}
+
+impl Default for ScanParallelism {
+    fn default() -> Self {
+        ScanParallelism::sequential()
+    }
+}
+
 /// Complete configuration of a REIS system instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ReisConfig {
@@ -82,6 +147,8 @@ pub struct ReisConfig {
     /// Bytes of one Temporal-Top-List entry on the flash channel, excluding
     /// the embedding itself (DIST + EADR + RADR + DADR + TAG).
     pub ttl_metadata_bytes: usize,
+    /// Intra-query scan sharding across the device's channel/die units.
+    pub scan_parallelism: ScanParallelism,
 }
 
 impl ReisConfig {
@@ -94,6 +161,7 @@ impl ReisConfig {
             filter_threshold_fraction: 0.47,
             host_link_bandwidth_bps: 7.0e9,
             ttl_metadata_bytes: 13,
+            scan_parallelism: ScanParallelism::sequential(),
         }
     }
 
@@ -122,6 +190,12 @@ impl ReisConfig {
     /// Builder-style override of the distance-filter threshold fraction.
     pub fn with_filter_threshold(mut self, fraction: f64) -> Self {
         self.filter_threshold_fraction = fraction;
+        self
+    }
+
+    /// Builder-style override of the intra-query scan sharding policy.
+    pub fn with_scan_parallelism(mut self, scan_parallelism: ScanParallelism) -> Self {
+        self.scan_parallelism = scan_parallelism;
         self
     }
 
@@ -163,6 +237,24 @@ mod tests {
         assert_eq!(no_df.filter_threshold(1024), u32::MAX);
         let tighter = config.with_filter_threshold(0.25);
         assert_eq!(tighter.filter_threshold(1024), 256);
+    }
+
+    #[test]
+    fn effective_shards_respects_units_pages_and_floor() {
+        let seq = ScanParallelism::sequential();
+        assert_eq!(seq.effective_shards(128, 10_000), 1);
+        let sharded = ScanParallelism::sharded(8);
+        // Capped by the requested maximum.
+        assert_eq!(sharded.effective_shards(128, 10_000), 8);
+        // Capped by the device's scan units.
+        assert_eq!(sharded.effective_shards(4, 10_000), 4);
+        // Capped by the scan size: 40 pages / 16 per shard = 2 shards.
+        assert_eq!(sharded.effective_shards(128, 40), 2);
+        // Tiny scans stay sequential.
+        assert_eq!(sharded.effective_shards(128, 8), 1);
+        let fine = sharded.with_min_pages_per_shard(1);
+        assert_eq!(fine.effective_shards(128, 8), 8);
+        assert_eq!(fine.effective_shards(128, 0), 1);
     }
 
     #[test]

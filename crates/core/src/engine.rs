@@ -29,11 +29,30 @@
 //!    scoring INT8 slots directly from the borrowed page slice — no page
 //!    cache map and no per-candidate vector copies.
 //!
-//! Workers of a batched search each own one engine (and therefore one
-//! scratch), so queries parallelize without sharing any mutable state.
+//! # Two levels of parallelism
+//!
+//! The scan path parallelizes at two granularities, mirroring how REIS
+//! exploits the device:
+//!
+//! * **Across queries** — workers of a batched search each own one engine
+//!   (and therefore one scratch) on a device replica, so queries
+//!   parallelize without sharing any mutable state
+//!   (`ReisSystem::search_batch`).
+//! * **Within one query** — when
+//!   [`ScanParallelism`](crate::config::ScanParallelism) enables it, the
+//!   fine scan's merged page ranges are split into per-channel/per-die
+//!   shards ([`reis_nand::sharding`]) that scan concurrently. Shard workers
+//!   share the controller immutably (borrowed page reads, worker-owned
+//!   latch scratch) and their candidate lists merge into one Temporal Top
+//!   List whose total-order quickselect makes the sharded result
+//!   bit-identical to the sequential scan. Both levels compose: each batch
+//!   worker drives its own intra-query shards.
 
 use reis_ann::topk::Neighbor;
 use reis_ann::vector::{BinaryVector, Int8Vector};
+use reis_nand::latch::Latch;
+use reis_nand::peripheral::{FailBitCounter, PassFailChecker, XorLogic};
+use reis_nand::{FlashStats, OobEntry, OobLayout, ScanShardPlan};
 use reis_ssd::{RegionKind, SsdController, StripedRegion};
 
 use crate::config::ReisConfig;
@@ -79,6 +98,16 @@ pub struct ScanScratch {
     neighbors: Vec<Neighbor>,
     /// Number of fine-search candidates requested (bounds `ttl.top`).
     candidate_count: usize,
+    /// Worker-local data-latch image of a read-only scan shard: the XOR of a
+    /// stored page against the broadcast query, computed here instead of in
+    /// the plane's (shared) page buffer.
+    xor_latch: Vec<u8>,
+    /// Per-shard scratches of an intra-query sharded scan, grown on first
+    /// use and reused across queries. Each scan shard's worker thread owns
+    /// one — its own latch image, distance buffer and Temporal Top List —
+    /// so shards run without shared mutable state, exactly like batch
+    /// workers one level up.
+    shard_pool: Vec<ScanScratch>,
 }
 
 impl ScanScratch {
@@ -123,6 +152,98 @@ fn merge_page_ranges(ranges: &mut Vec<(usize, usize)>) {
 fn in_valid_ranges(ranges: &[(u32, u32)], index: u32) -> bool {
     let after = ranges.partition_point(|&(first, _)| first <= index);
     after > 0 && ranges[after - 1].1 >= index
+}
+
+/// Body of one scan-shard worker: scan `ranges` (offsets relative to
+/// `page_base` within the region) against the broadcast query, entirely in
+/// the worker's own [`ScanScratch`], and return the scan counts plus the
+/// flash activity to fold back into the primary device.
+///
+/// The worker mirrors the mutable scan loop step for step — borrow the
+/// stored page (the sense), XOR it against the plane's cache latch into the
+/// worker's latch image, count fail bits per slot, filter by threshold,
+/// unpack OOB linkage for the survivors — but never touches shared state:
+/// the controller is only read, and every operation that the sequential
+/// path counts on the device (`page_reads`, `xor_ops`, `bit_count_ops`,
+/// `pass_fail_ops`, TTL channel bytes) is tallied locally instead.
+///
+/// Counts and flash activity are returned even when the scan fails, so the
+/// work a shard performed before the error is still folded into the
+/// primary's counters — matching the sequential path, which counts each
+/// operation on the device as it happens.
+#[allow(clippy::too_many_arguments)]
+fn scan_shard_pages<F>(
+    ssd: &SsdController,
+    region: &StripedRegion,
+    ranges: &[(usize, usize)],
+    page_base: usize,
+    slot_bytes: usize,
+    threshold: u32,
+    oob_entries_per_page: usize,
+    oob_layout: &OobLayout,
+    entry_bytes: usize,
+    scratch: &mut ScanScratch,
+    make_entry: &F,
+) -> (ScanCounts, FlashStats, Option<ReisError>)
+where
+    F: Fn(usize, usize, u32, OobEntry) -> Option<TtlEntry>,
+{
+    let mut counts = ScanCounts::default();
+    let mut flash = FlashStats::new();
+    scratch.ttl.clear();
+    let ScanScratch {
+        ttl,
+        distances,
+        passing,
+        xor_latch,
+        ..
+    } = scratch;
+    let mut scan = || -> Result<()> {
+        for &(start, end) in ranges {
+            for offset in start..end {
+                let page_offset = page_base + offset;
+                let (addr, data, oob) = ssd.scan_region_page(region, page_offset)?;
+                // The borrowed read stands in for the sense; count it like
+                // the sequential path's sense_page does.
+                flash.page_reads += 1;
+                // The broadcast query tiled into this plane's cache latch.
+                let query = ssd
+                    .device()
+                    .page_buffer(addr.plane_addr())?
+                    .read_latch(Latch::Cache)?;
+                XorLogic::xor_into(data, query, xor_latch);
+                flash.xor_ops += 1;
+                FailBitCounter::count_per_chunk_into(xor_latch, slot_bytes, distances);
+                flash.bit_count_ops += 1;
+                let limit = distances.len().min(oob_entries_per_page);
+                counts.pages += 1;
+                counts.slots_scanned += limit;
+                passing.clear();
+                PassFailChecker::filter_passing(
+                    &distances[..limit],
+                    threshold,
+                    |slot, distance| passing.push((slot as u32, distance)),
+                );
+                flash.pass_fail_ops += 1;
+                for &(slot, distance) in passing.iter() {
+                    let oob_entry = oob_layout.unpack_entry(oob, slot as usize)?;
+                    if let Some(entry) = make_entry(page_offset, slot as usize, distance, oob_entry)
+                    {
+                        counts.entries_passed += 1;
+                        ttl.push(entry);
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    let error = scan().err();
+    if error.is_none() {
+        // The aggregate channel traffic of this shard's transferred entries
+        // (the sequential path, too, only accounts it after a whole scan).
+        flash.bytes_to_controller += (entry_bytes * counts.entries_passed) as u64;
+    }
+    (counts, flash, error)
 }
 
 impl<'a> InStorageEngine<'a> {
@@ -232,6 +353,109 @@ impl<'a> InStorageEngine<'a> {
         Ok(counts)
     }
 
+    /// Scan the planned shards of one query concurrently, one `std::thread`
+    /// worker per non-empty shard, and merge the shard-local results.
+    ///
+    /// Each worker shares the controller *immutably*: it borrows stored
+    /// pages through [`SsdController::scan_region_page`], reads the
+    /// broadcast query from the scanned plane's cache latch, and computes
+    /// the XOR + fail-bit counts in its own [`ScanScratch`] instead of the
+    /// plane's page buffer. Flash activity is tallied in shard-local
+    /// [`FlashStats`] and absorbed into the primary device after the shards
+    /// join, and the shard-local Temporal Top Lists are concatenated into
+    /// the engine's TTL — [`TemporalTopList::quickselect`]'s total-order
+    /// tie-break then makes the final candidate set bit-identical to a
+    /// sequential scan of the same pages.
+    ///
+    /// Only valid for regions whose reads are error-free (the ESP-SLC
+    /// embedding regions); the caller gates on
+    /// [`reis_nand::FlashDevice::read_is_error_free`].
+    #[allow(clippy::too_many_arguments)]
+    fn scan_pages_sharded<F>(
+        &mut self,
+        region: &StripedRegion,
+        plan: &ScanShardPlan,
+        page_base: usize,
+        slot_bytes: usize,
+        threshold: u32,
+        oob_entries_per_page: usize,
+        make_entry: F,
+    ) -> Result<ScanCounts>
+    where
+        F: Fn(usize, usize, u32, OobEntry) -> Option<TtlEntry> + Sync,
+    {
+        let geometry = self.ssd.config().geometry;
+        let oob_layout = OobLayout::new(geometry.oob_size_bytes, oob_entries_per_page)?;
+        let entry_bytes = slot_bytes + self.config.ttl_metadata_bytes;
+        let ScanScratch {
+            ttl, shard_pool, ..
+        } = &mut *self.scratch;
+        while shard_pool.len() < plan.shard_count() {
+            shard_pool.push(ScanScratch::new());
+        }
+
+        let ssd: &SsdController = self.ssd;
+        let oob_layout = &oob_layout;
+        let make_entry = &make_entry;
+        let shard_outputs: Vec<(ScanCounts, FlashStats, Option<ReisError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = plan
+                    .shards()
+                    .iter()
+                    .zip(shard_pool.iter_mut())
+                    .filter(|(shard, _)| !shard.is_empty())
+                    .map(|(shard, shard_scratch)| {
+                        scope.spawn(move || {
+                            scan_shard_pages(
+                                ssd,
+                                region,
+                                shard.ranges(),
+                                page_base,
+                                slot_bytes,
+                                threshold,
+                                oob_entries_per_page,
+                                oob_layout,
+                                entry_bytes,
+                                shard_scratch,
+                                make_entry,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("scan shard worker panicked"))
+                    .collect()
+            });
+
+        // Merge shard results in shard order: counts and flash activity are
+        // additive, candidates are concatenated (selection is order-free).
+        // Every shard — including a failing one — performed real flash
+        // work, so the stats merge happens before any error is surfaced,
+        // mirroring both the batch path's merge-then-fail policy and the
+        // sequential path's count-as-you-go device statistics.
+        let mut counts = ScanCounts::default();
+        let mut flash = FlashStats::new();
+        let mut first_error = None;
+        for (shard_counts, shard_flash, shard_error) in shard_outputs {
+            counts.pages += shard_counts.pages;
+            counts.slots_scanned += shard_counts.slots_scanned;
+            counts.entries_passed += shard_counts.entries_passed;
+            flash.accumulate(&shard_flash);
+            if first_error.is_none() {
+                first_error = shard_error;
+            }
+        }
+        for shard_scratch in shard_pool.iter_mut() {
+            ttl.absorb(&mut shard_scratch.ttl);
+        }
+        self.ssd.device_mut().absorb_stats(&flash);
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(counts),
+        }
+    }
+
     /// Coarse-grained search: scan the centroid pages and return the
     /// `nprobe` nearest cluster indices.
     pub fn coarse_search(
@@ -287,6 +511,16 @@ impl<'a> InStorageEngine<'a> {
     /// (or of the whole database for a brute-force search). The surviving
     /// candidates are left, in rank order, in the scratch's Temporal Top
     /// List (see [`InStorageEngine::candidates`]).
+    ///
+    /// When the configuration's
+    /// [`ScanParallelism`](crate::config::ScanParallelism) allows more than
+    /// one shard for a scan of this size, the merged page ranges are split
+    /// across per-channel/per-die shard workers and scanned concurrently;
+    /// the result — candidates, counts and flash statistics — is
+    /// bit-identical to the sequential scan. Both the brute-force and the
+    /// IVF search path run through this method, so both inherit the
+    /// sharding. The (much smaller) centroid scan of
+    /// [`InStorageEngine::coarse_search`] always runs sequentially.
     pub fn fine_search(
         &mut self,
         db: &DeployedDatabase,
@@ -339,36 +573,81 @@ impl<'a> InStorageEngine<'a> {
 
         let entries_total = layout.entries;
         let epp = layout.embeddings_per_page;
+        // Intra-query sharding decision: how many channel/die shards this
+        // scan is worth, and whether the read-only shard path is exact for
+        // the embedding region (error-free ESP reads).
+        let geometry = self.ssd.config().geometry;
+        let scan_pages_total: usize = self
+            .scratch
+            .page_ranges
+            .iter()
+            .map(|&(start, end)| end - start)
+            .sum();
+        let shard_count = self
+            .config
+            .scan_parallelism
+            .effective_shards(ScanShardPlan::scan_units(&geometry), scan_pages_total);
+        let embedding_scheme = self
+            .ssd
+            .hybrid_policy()
+            .scheme_for(RegionKind::BinaryEmbeddings);
+        let use_shards = shard_count > 1 && self.ssd.device().read_is_error_free(embedding_scheme);
+
         // Temporarily move the range buffers out of the scratch so the scan
         // (which borrows the engine mutably) can read them.
         let pages = std::mem::take(&mut self.scratch.page_ranges);
         let valid = std::mem::take(&mut self.scratch.valid_ranges);
         self.scratch.ttl.clear();
-        let scanned = self.scan_pages(
-            &db.record.embedding_region,
-            &pages,
-            layout.centroid_pages,
-            layout.embedding_slot_bytes,
-            threshold,
-            epp,
-            |page, slot, distance, oob| {
-                let storage_index = (page - layout.centroid_pages) * epp + slot;
-                if storage_index >= entries_total {
-                    return None;
-                }
-                let si = storage_index as u32;
-                if !in_valid_ranges(&valid, si) {
-                    return None;
-                }
-                Some(TtlEntry {
-                    distance,
-                    storage_index: si,
-                    radr: oob.radr,
-                    dadr: oob.dadr,
-                    tag: oob.tag,
-                })
-            },
-        );
+        let valid_ref = &valid;
+        let make_entry = move |page: usize, slot: usize, distance: u32, oob: OobEntry| {
+            let storage_index = (page - layout.centroid_pages) * epp + slot;
+            if storage_index >= entries_total {
+                return None;
+            }
+            let si = storage_index as u32;
+            if !in_valid_ranges(valid_ref, si) {
+                return None;
+            }
+            Some(TtlEntry {
+                distance,
+                storage_index: si,
+                radr: oob.radr,
+                dadr: oob.dadr,
+                tag: oob.tag,
+            })
+        };
+        let scanned = if use_shards {
+            // Plan per-channel/per-die shards over the merged ranges, then
+            // scan them concurrently and merge the shard-local TTLs.
+            let region = &db.record.embedding_region;
+            let plan = ScanShardPlan::build(&geometry, shard_count, &pages, |offset| {
+                region
+                    .page_at(&geometry, layout.centroid_pages + offset)
+                    .map(|addr| addr.plane_addr())
+            });
+            match plan {
+                Ok(plan) => self.scan_pages_sharded(
+                    region,
+                    &plan,
+                    layout.centroid_pages,
+                    layout.embedding_slot_bytes,
+                    threshold,
+                    epp,
+                    make_entry,
+                ),
+                Err(error) => Err(error.into()),
+            }
+        } else {
+            self.scan_pages(
+                &db.record.embedding_region,
+                &pages,
+                layout.centroid_pages,
+                layout.embedding_slot_bytes,
+                threshold,
+                epp,
+                make_entry,
+            )
+        };
         self.scratch.page_ranges = pages;
         self.scratch.valid_ranges = valid;
         let counts = scanned?;

@@ -13,7 +13,9 @@
 //!   Lists).
 //! * [`engine`] — the functional in-storage ANNS engine (Input Broadcasting,
 //!   in-plane XOR + fail-bit counting, distance filtering, quickselect,
-//!   INT8 reranking, document retrieval).
+//!   INT8 reranking, document retrieval), including the intra-query scan
+//!   sharding that runs one query's fine scan concurrently across the
+//!   device's channel/die units (see [`config::ScanParallelism`]).
 //! * [`perf`] — the latency model (plane/die/channel parallelism,
 //!   pipelining, MPIBC).
 //! * [`energy`] — the per-operation energy model.
@@ -56,7 +58,7 @@ pub mod perf;
 pub mod records;
 pub mod system;
 
-pub use config::{Optimizations, ReisConfig};
+pub use config::{Optimizations, ReisConfig, ScanParallelism};
 pub use database::{ClusterInfo, VectorDatabase};
 pub use deploy::DeployedDatabase;
 pub use energy::{EnergyBreakdown, EnergyModel, EnergyParams};

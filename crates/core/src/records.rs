@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use reis_ann::topk::quickselect_by_key;
+use reis_ann::topk::{distance_index_key, quickselect_by_key};
 
 /// DRAM bytes per R-IVF entry (the paper quotes 15 bytes: centroid address,
 /// first/last member index, and the tag).
@@ -143,6 +143,16 @@ impl TemporalTopList {
         self.entries.clear();
     }
 
+    /// Move every entry of `other` into this list, leaving `other` empty
+    /// (its allocation is kept for reuse). This is the shard-merge step of
+    /// an intra-query sharded scan: each scan shard accumulates candidates
+    /// in its own list, and the controller concatenates them before running
+    /// quickselect. Because [`TemporalTopList::quickselect`] selects under a
+    /// total order, the merge order does not affect the final top-k.
+    pub fn absorb(&mut self, other: &mut TemporalTopList) {
+        self.entries.append(&mut other.entries);
+    }
+
     /// Sort the retained entries ascending by `(distance, storage_index)` in
     /// place (the final quicksort step, without copying the list).
     pub fn sort_ascending(&mut self) {
@@ -162,14 +172,22 @@ impl TemporalTopList {
         &self.entries
     }
 
-    /// Run the quickselect kernel: keep only the `k` smallest-distance
-    /// entries (unordered), discarding the rest, and return how many entries
-    /// were examined. This mirrors what the embedded core does after each
-    /// batch of pages so the list never grows unboundedly.
+    /// Run the quickselect kernel: keep only the `k` smallest entries under
+    /// the total order `(distance, storage_index)` (unordered), discarding
+    /// the rest, and return how many entries were examined. This mirrors
+    /// what the embedded core does after each batch of pages so the list
+    /// never grows unboundedly.
+    ///
+    /// The `storage_index` tie-break makes the kept set independent of the
+    /// order entries were streamed in, so a sharded scan that merges
+    /// per-channel/per-die candidate lists selects bit-identically to a
+    /// sequential scan of the same pages.
     pub fn quickselect(&mut self, k: usize) -> usize {
         let examined = self.entries.len();
         if self.entries.len() > k {
-            quickselect_by_key(&mut self.entries, k, |e| e.distance);
+            quickselect_by_key(&mut self.entries, k, |e| {
+                distance_index_key(e.distance, e.storage_index)
+            });
             self.entries.truncate(k);
         }
         examined

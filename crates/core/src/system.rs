@@ -15,9 +15,9 @@ use serde::{Deserialize, Serialize};
 
 use reis_ann::topk::Neighbor;
 use reis_nand::{FlashStats, Nanos};
-use reis_ssd::{SsdController, SsdMode};
+use reis_ssd::{ControllerActivity, SsdController, SsdMode};
 
-use crate::config::ReisConfig;
+use crate::config::{ReisConfig, ScanParallelism};
 use crate::database::VectorDatabase;
 use crate::deploy::{self, DeployedDatabase};
 use crate::energy::{EnergyBreakdown, EnergyModel};
@@ -109,6 +109,16 @@ impl ReisSystem {
         &self.config
     }
 
+    /// Change the intra-query scan sharding policy of subsequent queries.
+    ///
+    /// Sharding is a host-side execution knob, not a property of the
+    /// deployed data, so it can be reconfigured at any time — benchmarks
+    /// sweep it over one deployment. Results are bit-identical across
+    /// settings; only wall-clock latency changes.
+    pub fn set_scan_parallelism(&mut self, scan_parallelism: ScanParallelism) {
+        self.config.scan_parallelism = scan_parallelism;
+    }
+
     /// Access to the underlying SSD controller (primarily for inspection in
     /// tests and benchmarks).
     pub fn controller(&self) -> &SsdController {
@@ -159,6 +169,30 @@ impl ReisSystem {
     /// * [`ReisError::DatabaseNotDeployed`] for an unknown id.
     /// * [`ReisError::QueryDimensionMismatch`] for a query of the wrong
     ///   dimensionality.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reis_core::{ReisConfig, ReisSystem, VectorDatabase};
+    ///
+    /// # fn main() -> Result<(), reis_core::ReisError> {
+    /// let vectors: Vec<Vec<f32>> = (0..64)
+    ///     .map(|i| (0..32).map(|d| ((i * 7 + d) % 13) as f32 - 6.0).collect())
+    ///     .collect();
+    /// let documents: Vec<Vec<u8>> = (0..64).map(|i| format!("doc {i}").into_bytes()).collect();
+    ///
+    /// let mut reis = ReisSystem::new(ReisConfig::tiny());
+    /// let db = reis.deploy(&VectorDatabase::flat(&vectors, documents)?)?;
+    /// let outcome = reis.search(db, &vectors[5], 5)?;
+    ///
+    /// // An indexed vector is its own nearest neighbor, and the linked
+    /// // document chunk comes back with the hit.
+    /// assert_eq!(outcome.results[0].id, 5);
+    /// assert_eq!(outcome.documents[0], b"doc 5");
+    /// assert!(outcome.total_latency().as_secs_f64() > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn search(&mut self, db_id: u32, query: &[f32], k: usize) -> Result<SearchOutcome> {
         self.run_query(db_id, query, k, None)
     }
@@ -357,11 +391,7 @@ impl ReisSystem {
         let perf = &self.perf;
         let energy = &self.energy;
         let controller = &self.controller;
-        let stats_before = *controller.device().stats();
-        let dram_read_before = controller.dram().bytes_read();
-        let dram_written_before = controller.dram().bytes_written();
-        let ecc_pages_before = controller.ecc().pages_decoded();
-        let ecc_bits_before = controller.ecc().bits_corrected();
+        let activity_before = controller.activity_snapshot();
         let chunk_len = queries.len().div_ceil(workers);
 
         let mut worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
@@ -378,7 +408,7 @@ impl ReisSystem {
                         let mut replica = controller.clone();
                         replica.device_mut().reseed_error_rng(
                             0x9E37_79B9_7F4A_7C15
-                                ^ stats_before.page_reads
+                                ^ activity_before.flash.page_reads
                                 ^ ((worker as u64) << 32),
                         );
                         let mut scratch = ScanScratch::new();
@@ -400,11 +430,7 @@ impl ReisSystem {
                             .collect();
                         WorkerOutput {
                             outcomes,
-                            flash: replica.device().stats().delta_since(&stats_before),
-                            dram_read: replica.dram().bytes_read() - dram_read_before,
-                            dram_written: replica.dram().bytes_written() - dram_written_before,
-                            ecc_pages: replica.ecc().pages_decoded() - ecc_pages_before,
-                            ecc_bits: replica.ecc().bits_corrected() - ecc_bits_before,
+                            activity: replica.activity_since(&activity_before),
                         }
                     })
                 })
@@ -419,17 +445,9 @@ impl ReisSystem {
         // controller before surfacing any per-query error: even a failing
         // batch performed real work on the replicas, and the primary's
         // counters stay authoritative for monitoring.
-        let mut merged = FlashStats::new();
         for output in &worker_outputs {
-            merged.accumulate(&output.flash);
-            self.controller
-                .dram_mut()
-                .absorb_traffic(output.dram_read, output.dram_written);
-            self.controller
-                .ecc_mut()
-                .absorb_counters(output.ecc_pages, output.ecc_bits);
+            self.controller.absorb_activity(&output.activity);
         }
-        self.controller.device_mut().absorb_stats(&merged);
 
         let mut outcomes = Vec::with_capacity(queries.len());
         for output in worker_outputs.drain(..) {
@@ -442,14 +460,10 @@ impl ReisSystem {
 }
 
 /// Per-worker products of one batch-search chunk: the query outcomes plus
-/// the controller-activity deltas to merge back into the primary.
+/// the controller-activity delta to merge back into the primary.
 struct WorkerOutput {
     outcomes: Vec<Result<SearchOutcome>>,
-    flash: FlashStats,
-    dram_read: u64,
-    dram_written: u64,
-    ecc_pages: u64,
-    ecc_bits: u64,
+    activity: ControllerActivity,
 }
 
 /// Execute one query against a deployed database on the given controller.
@@ -729,6 +743,89 @@ mod tests {
             Err(ReisError::UnsupportedSearch(_))
         ));
         assert!(system.search_batch(id, &[], 5, 4).unwrap().is_empty());
+    }
+
+    /// Equality of everything a query computes. The raw
+    /// `injected_bit_errors` counter is exempt: it reflects the device RNG's
+    /// position, which depends on the *history* of TLC reads on that device,
+    /// not on how the scan of the compared query was parallelized (the batch
+    /// path documents the same exemption for its worker replicas).
+    fn assert_outcome_eq(a: &SearchOutcome, b: &SearchOutcome, ctx: &str) {
+        assert_eq!(a.results, b.results, "results: {ctx}");
+        assert_eq!(a.documents, b.documents, "documents: {ctx}");
+        assert_eq!(a.latency, b.latency, "latency: {ctx}");
+        assert_eq!(a.activity, b.activity, "activity: {ctx}");
+        assert_eq!(a.energy, b.energy, "energy: {ctx}");
+        let mut fa = a.flash_stats;
+        let mut fb = b.flash_stats;
+        fa.injected_bit_errors = 0;
+        fb.injected_bit_errors = 0;
+        assert_eq!(fa, fb, "flash stats: {ctx}");
+    }
+
+    #[test]
+    fn sharded_scan_is_bit_identical_to_sequential() {
+        let vectors = clustered_vectors(160, 64);
+        let db = VectorDatabase::ivf(&vectors, documents(160), 8).unwrap();
+        for shards in [2usize, 3, 4, 8] {
+            // Fresh systems per shard count so both devices see the same
+            // query history; everything including the raw error-injection
+            // stream must then agree.
+            let mut sequential = ReisSystem::new(ReisConfig::tiny());
+            let seq_id = sequential.deploy(&db).unwrap();
+            let config = ReisConfig::tiny().with_scan_parallelism(
+                crate::config::ScanParallelism::sharded(shards).with_min_pages_per_shard(1),
+            );
+            let mut system = ReisSystem::new(config);
+            let id = system.deploy(&db).unwrap();
+            for q in [0usize, 19, 57] {
+                let query = &vectors[q];
+                let a = sequential.search(seq_id, query, 10).unwrap();
+                let b = system.search(id, query, 10).unwrap();
+                assert_eq!(a, b, "brute force, {shards} shards, query {q}");
+                let a = sequential
+                    .ivf_search_with_nprobe(seq_id, query, 10, 4)
+                    .unwrap();
+                let b = system.ivf_search_with_nprobe(id, query, 10, 4).unwrap();
+                assert_eq!(a, b, "ivf, {shards} shards, query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_parallelism_is_reconfigurable_at_runtime() {
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_flat(&mut system, 96, 64);
+        let baseline = system.search(id, &vectors[11], 5).unwrap();
+        system.set_scan_parallelism(
+            crate::config::ScanParallelism::sharded(4).with_min_pages_per_shard(1),
+        );
+        let sharded = system.search(id, &vectors[11], 5).unwrap();
+        assert_outcome_eq(&baseline, &sharded, "sharded after reconfigure");
+        system.set_scan_parallelism(crate::config::ScanParallelism::sequential());
+        let again = system.search(id, &vectors[11], 5).unwrap();
+        assert_outcome_eq(&again, &baseline, "sequential after reconfigure");
+    }
+
+    #[test]
+    fn batch_workers_compose_with_intra_query_shards() {
+        let config = ReisConfig::tiny().with_scan_parallelism(
+            crate::config::ScanParallelism::sharded(2).with_min_pages_per_shard(1),
+        );
+        let mut system = ReisSystem::new(config);
+        let (id, vectors) = deploy_flat(&mut system, 96, 64);
+        let queries: Vec<Vec<f32>> = (0..5).map(|q| vectors[q * 13].clone()).collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| system.search(id, q, 5).unwrap())
+            .collect();
+        let batch = system.search_batch(id, &queries, 5, 3).unwrap();
+        for (b, s) in batch.iter().zip(&sequential) {
+            assert_eq!(b.result_ids(), s.result_ids());
+            assert_eq!(b.documents, s.documents);
+            assert_eq!(b.latency, s.latency);
+            assert_eq!(b.activity, s.activity);
+        }
     }
 
     #[test]

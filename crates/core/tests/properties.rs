@@ -1,10 +1,14 @@
 //! Property-based tests of the REIS core: layout arithmetic, the Temporal
-//! Top List kernels, and the latency model's monotonicity.
+//! Top List kernels, the latency model's monotonicity, and shard-count
+//! invariance of the sharded scan path.
 
 use proptest::prelude::*;
 use reis_core::records::{TemporalTopList, TtlEntry};
-use reis_core::{LayoutPlan, PerfModel, QueryActivity, ReisConfig, VectorDatabase};
+use reis_core::{
+    LayoutPlan, PerfModel, QueryActivity, ReisConfig, ReisSystem, ScanParallelism, VectorDatabase,
+};
 use reis_nand::Geometry;
+use reis_ssd::SsdConfig;
 
 fn database(entries: usize, dim: usize) -> VectorDatabase {
     let vectors: Vec<Vec<f32>> = (0..entries)
@@ -87,6 +91,62 @@ proptest! {
         let more_pages = model.scan(pages + extra_pages, entries, 128);
         prop_assert!(more_pages.as_secs_f64() >= base.as_secs_f64() * 0.98);
         prop_assert!(model.scan(pages, entries + extra_entries, 128) >= base);
+    }
+
+    /// Shard-count invariance: a 2/4/8-shard intra-query scan returns
+    /// identical top-k ids, distances, documents and modelled activity to
+    /// the sequential (1-shard) path, across random flash geometries and
+    /// database shapes. Fresh systems serve the same query sequence, so
+    /// even the raw flash statistics must agree.
+    #[test]
+    fn sharded_scan_matches_sequential_across_geometries(
+        channels in 1usize..4,
+        dies in 1usize..4,
+        planes in 1usize..3,
+        blocks in 4usize..7,
+        entries in 12usize..28,
+        dim_words in 1usize..3,
+        query_seed in 0usize..1_000,
+    ) {
+        let dim = dim_words * 32;
+        let geometry = Geometry {
+            channels,
+            dies_per_channel: dies,
+            planes_per_die: planes,
+            blocks_per_plane: blocks,
+            pages_per_block: 8,
+            page_size_bytes: 4096,
+            oob_size_bytes: 256,
+        };
+        let ssd = SsdConfig { geometry, ..SsdConfig::tiny() };
+        let base_config = ReisConfig { ssd, ..ReisConfig::tiny() };
+
+        let vectors: Vec<Vec<f32>> = (0..entries)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| (((i * 13 + d * 7 + query_seed) % 29) as f32 - 14.0) / 5.0)
+                    .collect()
+            })
+            .collect();
+        let documents: Vec<Vec<u8>> = (0..entries)
+            .map(|i| format!("chunk {i}").into_bytes())
+            .collect();
+        let db = VectorDatabase::flat(&vectors, documents).expect("valid database");
+        let query = &vectors[query_seed % entries];
+
+        let mut sequential = ReisSystem::new(base_config);
+        let seq_id = sequential.deploy(&db).expect("sequential deploy");
+        let expected = sequential.search(seq_id, query, 10).expect("sequential search");
+
+        for shards in [2usize, 4, 8] {
+            let config = base_config.with_scan_parallelism(
+                ScanParallelism::sharded(shards).with_min_pages_per_shard(1),
+            );
+            let mut system = ReisSystem::new(config);
+            let id = system.deploy(&db).expect("sharded deploy");
+            let outcome = system.search(id, query, 10).expect("sharded search");
+            prop_assert_eq!(&outcome, &expected, "{} shards on {:?}", shards, geometry);
+        }
     }
 
     /// Query latency grows with fine-scan activity and never underflows the

@@ -547,6 +547,49 @@ impl FlashDevice {
         self.planes[idx].buffer.promote_sensing_to_cache()
     }
 
+    /// Borrow the stored contents of a page (user data, OOB bytes and the
+    /// programming scheme) without copying, error injection, timing, or
+    /// statistics.
+    ///
+    /// This is the readout primitive of read-only scan shards
+    /// (see [`crate::sharding`]): shard workers share the device immutably,
+    /// compute distances in worker-owned latch scratch instead of the
+    /// plane's page buffer, and account their flash activity in shard-local
+    /// [`FlashStats`] that the controller absorbs
+    /// afterwards. Because no error injection happens here, callers must
+    /// only use it for schemes whose reads are error-free (ESP-SLC) if they
+    /// need bit-identical results to the latch-based read path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PageNotProgrammed`] if the page holds no data, or
+    /// [`NandError::AddressOutOfRange`] for an invalid address.
+    pub fn stored_page(&self, addr: PageAddr) -> Result<(&[u8], &[u8], ProgramScheme)> {
+        self.geometry.check_page(addr)?;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        let page = self.planes[idx]
+            .block(addr.block)
+            .map(|block| &block.pages[addr.page])
+            .ok_or(NandError::PageNotProgrammed(addr))?;
+        let data = page
+            .data
+            .as_deref()
+            .ok_or(NandError::PageNotProgrammed(addr))?;
+        Ok((
+            data,
+            page.oob.as_deref().unwrap_or(&[]),
+            page.scheme.unwrap_or_default(),
+        ))
+    }
+
+    /// Whether reads of pages programmed with `scheme` are error-free on
+    /// this device (no raw bit errors to inject). Scan sharding relies on
+    /// this to guarantee that its read-only page accesses produce exactly
+    /// the bytes a latch-based sense would.
+    pub fn read_is_error_free(&self, scheme: ProgramScheme) -> bool {
+        self.reliability.effective_ber(scheme) <= 0.0
+    }
+
     /// Return the pristine stored contents of a page (user data and OOB)
     /// without error injection, timing, or statistics.
     ///

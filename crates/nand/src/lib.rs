@@ -11,7 +11,7 @@
 //!   and the Input-Broadcast and XOR operations REIS performs on it.
 //! * [`peripheral`] — the fail-bit counter, pass/fail checker and XOR logic
 //!   already present in flash dies, repurposed as a Hamming-distance engine.
-//! * [`array`] — the [`array::FlashDevice`] tying everything together, with
+//! * [`mod@array`] — the [`array::FlashDevice`] tying everything together, with
 //!   per-operation latency and statistics.
 //! * [`command`] — the flash command set plus the REIS extensions of
 //!   Table 2 (`IBC`, `XOR`, `GEN_DIST`, `RD_TTL`).
@@ -19,6 +19,8 @@
 //!   [`timing::Nanos`] simulated-time type.
 //! * [`reliability`] — raw bit-error injection for non-ESP reads.
 //! * [`oob`] — the out-of-band layout that links embeddings to documents.
+//! * [`sharding`] — geometry-aware planning of intra-query scan shards over
+//!   the device's channel×die units.
 //!
 //! # Example: an in-plane Hamming distance computation
 //!
@@ -57,6 +59,7 @@ pub mod latch;
 pub mod oob;
 pub mod peripheral;
 pub mod reliability;
+pub mod sharding;
 pub mod stats;
 pub mod timing;
 
@@ -65,5 +68,6 @@ pub use cell::{CellMode, ProgramScheme};
 pub use error::{NandError, Result};
 pub use geometry::{BlockAddr, Geometry, MiniPageAddr, PageAddr, PlaneAddr};
 pub use oob::{OobEntry, OobLayout};
+pub use sharding::{ScanShard, ScanShardPlan};
 pub use stats::FlashStats;
 pub use timing::{Nanos, TimingParams};

@@ -10,8 +10,9 @@
 //! * [`ann`] — ANNS algorithm library (IVF, HNSW, LSH, flat search,
 //!   binary/INT8/product quantization, reranking, recall metrics).
 //! * [`core`] — the REIS system itself: database layout, embedding–document
-//!   linkage, R-DB / R-IVF / TTL structures, the in-storage ANNS engine and
-//!   the energy model.
+//!   linkage, R-DB / R-IVF / TTL structures, the in-storage ANNS engine
+//!   (with batch-parallel search and intra-query scan sharding) and the
+//!   energy model.
 //! * [`baseline`] — comparator system models (CPU-Real, No-I/O, CPU+BQ, ICE,
 //!   ICE-ESP, NDSearch, REIS-ASIC).
 //! * [`workloads`] — synthetic dataset generators and ground-truth
