@@ -1,0 +1,300 @@
+//! Online update throughput and search-under-update latency.
+//!
+//! PR 3 adds the mutation subsystem (`ReisSystem::{insert, delete,
+//! upsert}`, append segments, tombstones, compaction). This benchmark
+//! measures what it costs and what it preserves:
+//!
+//! 1. **Insert throughput** — batched appends into per-cluster segments
+//!    (wall-clock ops/s plus the modelled flash latency per op).
+//! 2. **Delete/upsert throughput** — tombstones and relocations.
+//! 3. **Search under update** — single-query latency on the clean
+//!    deployment, after the mutation trace dirtied it (segments +
+//!    tombstones), and again after compaction folded it back; plus the
+//!    check that compaction leaves results bit-identical.
+//! 4. **Compaction** — wall-clock and modelled cost, pages rewritten and
+//!    blocks erased.
+//!
+//! Results are written to `BENCH_pr3.json` by default; pass
+//! `--output PATH` (or set `REIS_BENCH_OUT`) to write elsewhere. Pass
+//! `--smoke` (or set `REIS_BENCH_SMOKE=1`) for the fast CI configuration;
+//! the emitted JSON records which mode produced it.
+
+use std::time::Instant;
+
+use reis_bench::report;
+use reis_core::{CompactionPolicy, ReisConfig, ReisSystem, SearchOutcome, VectorDatabase};
+use reis_workloads::{DatasetProfile, MutationMix, MutationOp, MutationTrace, SyntheticDataset};
+
+const K: usize = 10;
+const NPROBE: usize = 16;
+
+struct Scale {
+    mode: &'static str,
+    entries: usize,
+    nlist: usize,
+    insert_batches: usize,
+    batch_size: usize,
+    trace_ops: usize,
+    probe_queries: usize,
+}
+
+impl Scale {
+    fn pick() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke")
+            || std::env::var("REIS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        if smoke {
+            Scale {
+                mode: "smoke",
+                entries: 768,
+                nlist: 16,
+                insert_batches: 4,
+                batch_size: 16,
+                trace_ops: 60,
+                probe_queries: 2,
+            }
+        } else {
+            Scale {
+                mode: "full",
+                entries: 16_384,
+                nlist: 64,
+                insert_batches: 16,
+                batch_size: 64,
+                trace_ops: 600,
+                probe_queries: 4,
+            }
+        }
+    }
+}
+
+fn signature(outcome: &SearchOutcome) -> Vec<(usize, f32)> {
+    outcome.results.iter().map(|n| (n.id, n.distance)).collect()
+}
+
+/// Mean wall-clock latency (µs) of one IVF search per probe query.
+fn probe_search_us(system: &mut ReisSystem, db: u32, queries: &[Vec<f32>]) -> f64 {
+    let mut total = 0.0;
+    for query in queries {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            system
+                .ivf_search_with_nprobe(db, query, K, NPROBE)
+                .expect("probe search");
+            best = best.min(start.elapsed().as_secs_f64() * 1e6);
+        }
+        total += best;
+    }
+    total / queries.len() as f64
+}
+
+fn main() {
+    let scale = Scale::pick();
+    report::header(
+        "Update throughput",
+        "Insert/delete QPS and search latency under online mutations",
+    );
+    println!(
+        "mode {} · {} entries · nlist {}",
+        scale.mode, scale.entries, scale.nlist
+    );
+
+    let dataset = SyntheticDataset::generate(
+        DatasetProfile::hotpotqa()
+            .scaled(scale.entries)
+            .with_queries(scale.probe_queries),
+        47,
+    );
+    let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), scale.nlist)
+        .expect("database construction");
+    let config = ReisConfig::ssd1().with_compaction(CompactionPolicy::manual());
+    let mut system = ReisSystem::new(config);
+    let db = system.deploy(&database).expect("deployment");
+    let probe_queries: Vec<Vec<f32>> = dataset.queries().to_vec();
+    let dim = dataset.profile().dim;
+    let doc_bytes = dataset.profile().doc_bytes;
+
+    // ---- Clean-deployment search baseline.
+    let clean_us = probe_search_us(&mut system, db, &probe_queries);
+    println!("\nclean search            {clean_us:>10.1} us/query");
+
+    // ---- Insert throughput (batched).
+    let trace = MutationTrace::generate(
+        scale.entries,
+        dim,
+        doc_bytes,
+        scale.insert_batches * scale.batch_size,
+        MutationMix {
+            insert: 1,
+            delete: 0,
+            upsert: 0,
+            search: 0,
+        },
+        11,
+    );
+    let inserts: Vec<(Vec<f32>, Vec<u8>)> = trace
+        .ops()
+        .iter()
+        .map(|op| match op {
+            MutationOp::Insert { vector, document } => (vector.clone(), document.clone()),
+            _ => unreachable!("insert-only mix"),
+        })
+        .collect();
+    let mut inserted_ids = Vec::new();
+    let mut modeled_insert_us = 0.0;
+    let mut insert_pages = 0usize;
+    let insert_start = Instant::now();
+    for batch in inserts.chunks(scale.batch_size) {
+        let vectors: Vec<Vec<f32>> = batch.iter().map(|(v, _)| v.clone()).collect();
+        let documents: Vec<Vec<u8>> = batch.iter().map(|(_, d)| d.clone()).collect();
+        let outcome = system
+            .insert_batch(db, &vectors, documents)
+            .expect("insert batch");
+        modeled_insert_us += outcome.latency.as_secs_f64() * 1e6;
+        insert_pages += outcome.pages_programmed;
+        inserted_ids.extend(outcome.ids);
+    }
+    let insert_wall = insert_start.elapsed().as_secs_f64();
+    let insert_qps = inserted_ids.len() as f64 / insert_wall;
+    println!(
+        "inserts                 {insert_qps:>10.0} ops/s wall ({} entries, {} pages programmed)",
+        inserted_ids.len(),
+        insert_pages
+    );
+
+    // ---- Upsert + delete throughput.
+    let upsert_count = inserted_ids.len() / 2;
+    let upsert_start = Instant::now();
+    for (i, &id) in inserted_ids.iter().take(upsert_count).enumerate() {
+        let (vector, _) = &inserts[i];
+        system
+            .upsert(db, id, vector, b"upserted during the benchmark run")
+            .expect("upsert");
+    }
+    let upsert_wall = upsert_start.elapsed().as_secs_f64();
+    let upsert_qps = upsert_count as f64 / upsert_wall.max(1e-9);
+
+    let delete_count = inserted_ids.len() / 4;
+    let delete_start = Instant::now();
+    for &id in inserted_ids.iter().rev().take(delete_count) {
+        system.delete(db, id).expect("delete");
+    }
+    let delete_wall = delete_start.elapsed().as_secs_f64();
+    let delete_qps = delete_count as f64 / delete_wall.max(1e-9);
+    println!("upserts                 {upsert_qps:>10.0} ops/s wall ({upsert_count} ops)");
+    println!("deletes                 {delete_qps:>10.0} ops/s wall ({delete_count} ops)");
+
+    // ---- Search under update: replay a mixed trace, probing latency.
+    let mixed = MutationTrace::generate(
+        scale.entries,
+        dim,
+        doc_bytes,
+        scale.trace_ops,
+        MutationMix::balanced(),
+        13,
+    );
+    // Logical trace ids -> stable system ids: initial entries map 1:1, and
+    // fresh inserts are appended in trace order.
+    let mut logical_to_stable: Vec<Option<u32>> = (0..scale.entries as u32).map(Some).collect();
+    let mut trace_searches = 0usize;
+    for op in mixed.ops() {
+        match op {
+            MutationOp::Insert { vector, document } => {
+                let outcome = system
+                    .insert(db, vector, document.clone())
+                    .expect("trace insert");
+                logical_to_stable.push(Some(outcome.ids[0]));
+            }
+            MutationOp::Delete { target } => {
+                if let Some(id) = logical_to_stable[*target].take() {
+                    system.delete(db, id).expect("trace delete");
+                }
+            }
+            MutationOp::Upsert {
+                target,
+                vector,
+                document,
+            } => {
+                if let Some(id) = logical_to_stable[*target] {
+                    system
+                        .upsert(db, id, vector, document)
+                        .expect("trace upsert");
+                }
+            }
+            MutationOp::Search { query } => {
+                system
+                    .ivf_search_with_nprobe(db, query, K, NPROBE)
+                    .expect("trace search");
+                trace_searches += 1;
+            }
+        }
+    }
+    let deployed = system.database(db).expect("deployed");
+    let segment_entries = deployed.updates.store.len();
+    let tombstones = deployed.updates.tombstones.dead_count();
+    let dirty_us = probe_search_us(&mut system, db, &probe_queries);
+    println!(
+        "dirty search            {dirty_us:>10.1} us/query ({segment_entries} segment entries, {tombstones} tombstones)"
+    );
+
+    // ---- Compaction: fold back, verify results unchanged, re-probe.
+    let before: Vec<_> = probe_queries
+        .iter()
+        .map(|q| {
+            signature(
+                &system
+                    .ivf_search_with_nprobe(db, q, K, NPROBE)
+                    .expect("pre-compaction search"),
+            )
+        })
+        .collect();
+    let compact_start = Instant::now();
+    let compaction = system.compact(db).expect("compaction");
+    let compact_wall_ms = compact_start.elapsed().as_secs_f64() * 1e3;
+    let identical = probe_queries.iter().zip(&before).all(|(q, reference)| {
+        signature(
+            &system
+                .ivf_search_with_nprobe(db, q, K, NPROBE)
+                .expect("post-compaction search"),
+        ) == *reference
+    });
+    assert!(identical, "compaction changed search results");
+    let compacted_us = probe_search_us(&mut system, db, &probe_queries);
+    println!(
+        "compacted search        {compacted_us:>10.1} us/query (identical_to_pre_compaction: {identical})"
+    );
+    println!(
+        "compaction              {compact_wall_ms:>10.1} ms wall · {} pages rewritten · {} blocks reclaimed",
+        compaction.pages_rewritten, compaction.blocks_reclaimed
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"available_cores\": {cores},\n  \"mode\": \"{mode}\",\n  \
+         \"dataset\": {{ \"entries\": {entries}, \"dim\": {dim}, \"nlist\": {nlist} }},\n  \
+         \"insert\": {{ \"batch_size\": {batch}, \"entries\": {ins}, \"wall_qps\": {insert_qps:.0}, \
+         \"modeled_latency_us_per_op\": {model_ins:.2}, \"pages_programmed\": {insert_pages} }},\n  \
+         \"upsert\": {{ \"ops\": {upsert_count}, \"wall_qps\": {upsert_qps:.0} }},\n  \
+         \"delete\": {{ \"ops\": {delete_count}, \"wall_qps\": {delete_qps:.0} }},\n  \
+         \"search_under_update\": {{ \"trace_ops\": {trace_ops}, \"trace_searches\": {trace_searches}, \
+         \"clean_mean_us\": {clean_us:.1}, \"dirty_mean_us\": {dirty_us:.1}, \
+         \"post_compaction_mean_us\": {compacted_us:.1}, \"segment_entries_at_peak\": {segment_entries}, \
+         \"tombstones_at_peak\": {tombstones}, \"identical_after_compaction\": {identical} }},\n  \
+         \"compaction\": {{ \"wall_ms\": {compact_wall_ms:.1}, \"modeled_latency_ms\": {model_comp:.2}, \
+         \"pages_rewritten\": {rewritten}, \"blocks_reclaimed\": {reclaimed} }}\n}}\n",
+        mode = scale.mode,
+        entries = scale.entries,
+        nlist = scale.nlist,
+        batch = scale.batch_size,
+        ins = inserted_ids.len(),
+        model_ins = modeled_insert_us / inserted_ids.len().max(1) as f64,
+        trace_ops = scale.trace_ops,
+        model_comp = compaction.latency.as_secs_f64() * 1e3,
+        rewritten = compaction.pages_rewritten,
+        reclaimed = compaction.blocks_reclaimed,
+    );
+    let path = report::output_path("BENCH_pr3.json");
+    std::fs::write(&path, json).expect("write benchmark json");
+    println!("\nwrote {path}");
+}

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use reis_ssd::SsdConfig;
+use reis_update::CompactionPolicy;
 
 /// The three optimizations evaluated in the sensitivity study of Fig. 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -149,6 +150,15 @@ pub struct ReisConfig {
     pub ttl_metadata_bytes: usize,
     /// Intra-query scan sharding across the device's channel/die units.
     pub scan_parallelism: ScanParallelism,
+    /// Adaptive distance filtering: tighten the filter threshold during the
+    /// scan as the Temporal Top List fills (see
+    /// [`ReisConfig::with_adaptive_filtering`]). Off by default — the
+    /// static paper threshold is used for the whole scan.
+    pub adaptive_filtering: bool,
+    /// When the update path compacts automatically (append segments folded
+    /// back into dense regions). [`CompactionPolicy::manual`] disables
+    /// auto-compaction entirely.
+    pub compaction: CompactionPolicy,
 }
 
 impl ReisConfig {
@@ -162,6 +172,8 @@ impl ReisConfig {
             host_link_bandwidth_bps: 7.0e9,
             ttl_metadata_bytes: 13,
             scan_parallelism: ScanParallelism::sequential(),
+            adaptive_filtering: false,
+            compaction: CompactionPolicy::auto(),
         }
     }
 
@@ -196,6 +208,26 @@ impl ReisConfig {
     /// Builder-style override of the intra-query scan sharding policy.
     pub fn with_scan_parallelism(mut self, scan_parallelism: ScanParallelism) -> Self {
         self.scan_parallelism = scan_parallelism;
+        self
+    }
+
+    /// Builder-style toggle of adaptive distance filtering.
+    ///
+    /// With adaptive filtering on, each scan (and each scan shard) tightens
+    /// its pass/fail threshold once its Temporal Top List holds a full
+    /// candidate set: an embedding whose distance exceeds the current k-th
+    /// best can never enter the final candidate list, so transferring it is
+    /// pure waste. The top-k result is provably identical to the static
+    /// threshold; only the number of transferred entries (and the TTL's
+    /// DRAM high-water mark) shrinks.
+    pub fn with_adaptive_filtering(mut self, adaptive: bool) -> Self {
+        self.adaptive_filtering = adaptive;
+        self
+    }
+
+    /// Builder-style override of the automatic compaction policy.
+    pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
+        self.compaction = compaction;
         self
     }
 

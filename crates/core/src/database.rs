@@ -80,6 +80,84 @@ impl VectorDatabase {
         Ok(Self::from_ivf_index(&index, documents))
     }
 
+    /// Build a flat database from raw `f32` embeddings using *given*
+    /// quantizers instead of fitting fresh ones.
+    ///
+    /// The online update path freezes a deployment's quantizers (every
+    /// mutation is encoded with them), so a reference rebuild of the same
+    /// logical corpus — the ground truth the mutation property tests compare
+    /// against — must quantize with the original quantizers, not ones
+    /// re-fitted to the surviving vectors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VectorDatabase::flat`], plus quantization errors
+    /// for vectors whose dimensionality does not match the quantizers.
+    pub fn flat_with_quantizers(
+        vectors: &[Vec<f32>],
+        documents: Vec<Vec<u8>>,
+        binary_quantizer: BinaryQuantizer,
+        int8_quantizer: Int8Quantizer,
+    ) -> Result<Self> {
+        Self::validate(vectors, &documents)?;
+        Ok(VectorDatabase {
+            dim: binary_quantizer.dim(),
+            binary: binary_quantizer.quantize_all(vectors)?,
+            int8: int8_quantizer.quantize_all(vectors)?,
+            documents,
+            binary_quantizer,
+            int8_quantizer,
+            clusters: None,
+        })
+    }
+
+    /// Build an IVF-organised database from raw `f32` embeddings with
+    /// *given* quantizers and an explicit cluster structure (centroids and
+    /// member lists), instead of training k-means.
+    ///
+    /// Companion of [`VectorDatabase::flat_with_quantizers`] for IVF
+    /// deployments: a reference rebuild after online mutations must reuse
+    /// the original centroids and the mutated system's cluster assignment to
+    /// be comparable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VectorDatabase::flat_with_quantizers`], plus
+    /// [`ReisError::MalformedDatabase`] if the member lists are not a
+    /// partition of the entry indices.
+    pub fn ivf_with_clusters(
+        vectors: &[Vec<f32>],
+        documents: Vec<Vec<u8>>,
+        binary_quantizer: BinaryQuantizer,
+        int8_quantizer: Int8Quantizer,
+        clusters: ClusterInfo,
+    ) -> Result<Self> {
+        Self::validate(vectors, &documents)?;
+        let mut seen = vec![false; vectors.len()];
+        for &member in clusters.lists.iter().flatten() {
+            if member >= vectors.len() || seen[member] {
+                return Err(ReisError::MalformedDatabase(format!(
+                    "cluster member {member} is out of range or duplicated"
+                )));
+            }
+            seen[member] = true;
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(ReisError::MalformedDatabase(
+                "cluster lists do not cover every entry".into(),
+            ));
+        }
+        Ok(VectorDatabase {
+            dim: binary_quantizer.dim(),
+            binary: binary_quantizer.quantize_all(vectors)?,
+            int8: int8_quantizer.quantize_all(vectors)?,
+            documents,
+            binary_quantizer,
+            int8_quantizer,
+            clusters: Some(clusters),
+        })
+    }
+
     /// Build an IVF-organised database from an already-trained
     /// [`IvfBqIndex`] (useful when the same index also drives a CPU
     /// baseline, so both systems search identical clusters).

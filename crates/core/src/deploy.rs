@@ -8,17 +8,53 @@
 //! the R-DB record in the coarse-grained FTL, and the R-IVF array in
 //! controller DRAM.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use reis_ann::quantize::{BinaryQuantizer, Int8Quantizer};
 use reis_nand::oob::{OobEntry, OobLayout};
 use reis_nand::Nanos;
 use reis_ssd::{DatabaseRecord, RegionKind, SsdController, StripedRegion};
+use reis_update::UpdateState;
 
 use crate::database::VectorDatabase;
 use crate::error::Result;
 use crate::layout::LayoutPlan;
 use crate::records::{RIvf, RIvfEntry};
+
+/// The DRAM bookkeeping names of a database's three base regions. Regions
+/// are renamed per compaction generation, and releasing a region needs the
+/// name it was reserved under, so the names travel with the deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionNames {
+    /// Name of the ESP-SLC embedding (and centroid) region.
+    pub embeddings: String,
+    /// Name of the TLC INT8 region.
+    pub int8: String,
+    /// Name of the TLC document region.
+    pub documents: String,
+}
+
+impl RegionNames {
+    /// The names of generation `generation` of database `db_id` (generation
+    /// 0 is the original deployment; each compaction starts a new one).
+    pub fn generation(db_id: u32, generation: u64) -> Self {
+        if generation == 0 {
+            RegionNames {
+                embeddings: format!("db{db_id}/embeddings"),
+                int8: format!("db{db_id}/int8"),
+                documents: format!("db{db_id}/documents"),
+            }
+        } else {
+            RegionNames {
+                embeddings: format!("db{db_id}/g{generation}/embeddings"),
+                int8: format!("db{db_id}/g{generation}/int8"),
+                documents: format!("db{db_id}/g{generation}/documents"),
+            }
+        }
+    }
+}
 
 /// Host-visible handle to a deployed database.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,10 +65,15 @@ pub struct DeployedDatabase {
     pub layout: LayoutPlan,
     /// Where its regions live (also registered in the coarse FTL).
     pub record: DatabaseRecord,
+    /// DRAM bookkeeping names of the current base regions.
+    pub region_names: RegionNames,
     /// Per-cluster R-IVF array (empty for flat deployments).
     pub rivf: RIvf,
     /// Mapping from storage order to original entry id.
     pub storage_to_original: Vec<u32>,
+    /// Mapping from original entry id to storage order (inverse of
+    /// `storage_to_original`; ids become sparse once entries are deleted).
+    pub original_to_storage: HashMap<u32, u32>,
     /// Cluster tag of every storage-order position (0 for flat deployments).
     pub storage_tags: Vec<u8>,
     /// Binary quantizer used to encode queries consistently with the
@@ -43,6 +84,9 @@ pub struct DeployedDatabase {
     /// Total latency of writing the database to flash (the offline indexing
     /// cost; not part of query latency).
     pub deploy_latency: Nanos,
+    /// Online mutation state: append segments, tombstones, relocations and
+    /// mutation counters (see `reis-update`).
+    pub updates: UpdateState,
 }
 
 impl DeployedDatabase {
@@ -51,9 +95,22 @@ impl DeployedDatabase {
         !self.rivf.is_empty()
     }
 
-    /// Number of database entries.
+    /// Number of entries in the base region (the deployed corpus before
+    /// online mutations; see [`DeployedDatabase::live_entries`]).
     pub fn entries(&self) -> usize {
         self.layout.entries
+    }
+
+    /// Number of live logical entries: base entries minus tombstones plus
+    /// live append-segment entries.
+    pub fn live_entries(&self) -> usize {
+        self.updates.live_entries(self.layout.entries)
+    }
+
+    /// Number of clusters the update path tracks (1 for flat deployments,
+    /// which treat the whole database as one pseudo-cluster).
+    pub fn update_clusters(&self) -> usize {
+        self.rivf.len().max(1)
     }
 
     /// The OOB layout of its embedding pages.
@@ -83,18 +140,19 @@ pub fn deploy(
 
     // Region reservation: centroids and embeddings share the ESP-SLC
     // embedding region; INT8 and documents get TLC regions.
+    let region_names = RegionNames::generation(db_id, 0);
     let embedding_region = ssd.reserve_region(
-        &format!("db{db_id}/embeddings"),
+        &region_names.embeddings,
         layout.centroid_pages + layout.embedding_pages,
         RegionKind::BinaryEmbeddings,
     )?;
     let int8_region = ssd.reserve_region(
-        &format!("db{db_id}/int8"),
+        &region_names.int8,
         layout.int8_pages,
         RegionKind::Int8Embeddings,
     )?;
     let document_region = ssd.reserve_region(
-        &format!("db{db_id}/documents"),
+        &region_names.documents,
         layout.doc_pages,
         RegionKind::Documents,
     )?;
@@ -126,16 +184,25 @@ pub fn deploy(
     ssd.dram_mut()
         .allocate(&format!("db{db_id}/r-ivf"), rivf.footprint_bytes())?;
 
+    let original_to_storage = storage_to_original
+        .iter()
+        .enumerate()
+        .map(|(storage, &original)| (original, storage as u32))
+        .collect();
+    let updates = UpdateState::new(layout.entries, rivf.len().max(1));
     Ok(DeployedDatabase {
         db_id,
         layout,
         record,
+        region_names,
         rivf,
         storage_to_original,
+        original_to_storage,
         storage_tags,
         binary_quantizer: database.binary_quantizer().clone(),
         int8_quantizer: database.int8_quantizer().clone(),
         deploy_latency: latency,
+        updates,
     })
 }
 
@@ -183,7 +250,7 @@ fn storage_order(database: &VectorDatabase, layout: &LayoutPlan) -> (Vec<u32>, V
     }
 }
 
-fn pad_slot(bytes: &[u8], slot: usize) -> Vec<u8> {
+pub(crate) fn pad_slot(bytes: &[u8], slot: usize) -> Vec<u8> {
     let mut out = vec![0u8; slot];
     out[..bytes.len()].copy_from_slice(bytes);
     out

@@ -54,6 +54,7 @@ use reis_nand::latch::Latch;
 use reis_nand::peripheral::{FailBitCounter, PassFailChecker, XorLogic};
 use reis_nand::{FlashStats, OobEntry, OobLayout, ScanShardPlan};
 use reis_ssd::{RegionKind, SsdController, StripedRegion};
+use reis_update::OOB_INVALID_RADR;
 
 use crate::config::ReisConfig;
 use crate::deploy::DeployedDatabase;
@@ -94,8 +95,16 @@ pub struct ScanScratch {
     valid_ranges: Vec<(u32, u32)>,
     /// Candidate visit order for the page-sorted rerank / document phases.
     order: Vec<usize>,
-    /// Rerank scoring buffer.
-    neighbors: Vec<Neighbor>,
+    /// Rerank scoring buffer: exact INT8 distances keyed for the
+    /// deterministic `(distance, storage position)` tie-break.
+    rerank_buf: Vec<RerankCandidate>,
+    /// Pooled controller staging buffer for ECC'd TLC page reads (the
+    /// rerank and document-fetch phases reuse it across pages and queries).
+    page_buf: Vec<u8>,
+    /// Pooled OOB staging buffer accompanying `page_buf`.
+    page_oob: Vec<u8>,
+    /// Clusters whose append segments the current fine scan must cover.
+    cluster_buf: Vec<usize>,
     /// Number of fine-search candidates requested (bounds `ttl.top`).
     candidate_count: usize,
     /// Worker-local data-latch image of a read-only scan shard: the XOR of a
@@ -114,6 +123,40 @@ impl ScanScratch {
     /// Create an empty scratch.
     pub fn new() -> Self {
         ScanScratch::default()
+    }
+}
+
+/// One reranked candidate: the exact INT8 squared distance plus the keys of
+/// the deterministic final sort. Sorting by `(raw, storage_index)` — the
+/// entry's position in the scan order rather than its stable id — makes the
+/// final ranking invariant under relocations: an index mutated online and
+/// the same logical corpus redeployed from scratch order ties identically.
+#[derive(Debug, Clone, Copy)]
+struct RerankCandidate {
+    raw: i64,
+    storage_index: u32,
+    dadr: u32,
+}
+
+/// Tighten an adaptive distance-filter threshold against the current
+/// contents of a Temporal Top List: once at least `2 × candidate_count`
+/// entries accumulated, quickselect down to the candidate count and clamp
+/// the threshold to the worst surviving distance. Any embedding farther
+/// than that can never enter the final candidate set (its total-order key
+/// exceeds every kept key, and more candidates only shrink the cut), so
+/// filtering it in-plane is lossless. The `<=` pass condition keeps
+/// equal-distance entries flowing, which the `storage_index` tie-break may
+/// still admit.
+fn tighten_threshold(
+    ttl: &mut crate::records::TemporalTopList,
+    candidate_count: usize,
+    threshold: &mut u32,
+) {
+    if ttl.len() >= candidate_count.saturating_mul(2) {
+        ttl.quickselect(candidate_count);
+        if let Some(max) = ttl.entries().iter().map(|e| e.distance).max() {
+            *threshold = (*threshold).min(max);
+        }
     }
 }
 
@@ -178,7 +221,8 @@ fn scan_shard_pages<F>(
     ranges: &[(usize, usize)],
     page_base: usize,
     slot_bytes: usize,
-    threshold: u32,
+    mut threshold: u32,
+    adapt: Option<usize>,
     oob_entries_per_page: usize,
     oob_layout: &OobLayout,
     entry_bytes: usize,
@@ -232,6 +276,12 @@ where
                         counts.entries_passed += 1;
                         ttl.push(entry);
                     }
+                }
+                if let Some(candidate_count) = adapt {
+                    // Shard-local tightening is exact: every shard keeps (at
+                    // least) its own candidate_count best entries, and the
+                    // global best set is contained in the union of those.
+                    tighten_threshold(ttl, candidate_count, &mut threshold);
                 }
             }
         }
@@ -295,7 +345,8 @@ impl<'a> InStorageEngine<'a> {
         ranges: &[(usize, usize)],
         page_base: usize,
         slot_bytes: usize,
-        threshold: u32,
+        mut threshold: u32,
+        adapt: Option<usize>,
         oob_entries_per_page: usize,
         mut make_entry: F,
     ) -> Result<ScanCounts>
@@ -343,6 +394,9 @@ impl<'a> InStorageEngine<'a> {
                         self.scratch.ttl.push(entry);
                     }
                 }
+                if let Some(candidate_count) = adapt {
+                    tighten_threshold(&mut self.scratch.ttl, candidate_count, &mut threshold);
+                }
             }
         }
         // Account the aggregate channel traffic of all transferred entries.
@@ -378,6 +432,7 @@ impl<'a> InStorageEngine<'a> {
         page_base: usize,
         slot_bytes: usize,
         threshold: u32,
+        adapt: Option<usize>,
         oob_entries_per_page: usize,
         make_entry: F,
     ) -> Result<ScanCounts>
@@ -413,6 +468,7 @@ impl<'a> InStorageEngine<'a> {
                                 page_base,
                                 slot_bytes,
                                 threshold,
+                                adapt,
                                 oob_entries_per_page,
                                 oob_layout,
                                 entry_bytes,
@@ -479,6 +535,7 @@ impl<'a> InStorageEngine<'a> {
             layout.embedding_slot_bytes,
             // Centroid scan is never filtered: every cluster distance is needed.
             u32::MAX,
+            None,
             epp,
             |page, slot, distance, oob| {
                 let cluster = page * epp + slot;
@@ -535,8 +592,11 @@ impl<'a> InStorageEngine<'a> {
         // sub-region) need scanning, and which storage-index ranges are of
         // interest. Page ranges are merged instead of materializing a page
         // set; storage ranges are sorted for binary search in the scan loop.
+        // The probed clusters are remembered so the append-segment pass
+        // below covers the same selection.
         self.scratch.page_ranges.clear();
         self.scratch.valid_ranges.clear();
+        self.scratch.cluster_buf.clear();
         match clusters {
             Some(selected) => {
                 for &cluster in selected {
@@ -546,6 +606,7 @@ impl<'a> InStorageEngine<'a> {
                             .ok_or(ReisError::UnsupportedSearch(format!(
                                 "cluster {cluster} unknown"
                             )))?;
+                    self.scratch.cluster_buf.push(cluster);
                     if entry.member_count() == 0 {
                         continue;
                     }
@@ -560,6 +621,7 @@ impl<'a> InStorageEngine<'a> {
                 }
             }
             None => {
+                self.scratch.cluster_buf.extend(0..db.update_clusters());
                 if layout.entries > 0 {
                     self.scratch
                         .valid_ranges
@@ -593,15 +655,31 @@ impl<'a> InStorageEngine<'a> {
             .scheme_for(RegionKind::BinaryEmbeddings);
         let use_shards = shard_count > 1 && self.ssd.device().read_is_error_free(embedding_scheme);
 
+        // Adaptive distance filtering tightens the in-plane threshold as
+        // the Temporal Top List fills; only meaningful when the static
+        // filter is on in the first place.
+        let adapt =
+            if self.config.optimizations.distance_filtering && self.config.adaptive_filtering {
+                Some(candidate_count.max(1))
+            } else {
+                None
+            };
+
         // Temporarily move the range buffers out of the scratch so the scan
         // (which borrows the engine mutably) can read them.
         let pages = std::mem::take(&mut self.scratch.page_ranges);
         let valid = std::mem::take(&mut self.scratch.valid_ranges);
         self.scratch.ttl.clear();
         let valid_ref = &valid;
+        let tombstones = &db.updates.tombstones;
         let make_entry = move |page: usize, slot: usize, distance: u32, oob: OobEntry| {
             let storage_index = (page - layout.centroid_pages) * epp + slot;
             if storage_index >= entries_total {
+                return None;
+            }
+            // Tombstoned base entries are dead; their flash pages still hold
+            // them, so the scan must drop them here.
+            if tombstones.contains(storage_index) {
                 return None;
             }
             let si = storage_index as u32;
@@ -632,6 +710,7 @@ impl<'a> InStorageEngine<'a> {
                     layout.centroid_pages,
                     layout.embedding_slot_bytes,
                     threshold,
+                    adapt,
                     epp,
                     make_entry,
                 ),
@@ -644,13 +723,61 @@ impl<'a> InStorageEngine<'a> {
                 layout.centroid_pages,
                 layout.embedding_slot_bytes,
                 threshold,
+                adapt,
                 epp,
                 make_entry,
             )
         };
         self.scratch.page_ranges = pages;
         self.scratch.valid_ranges = valid;
-        let counts = scanned?;
+        let mut counts = scanned?;
+
+        // Append-segment pass: entries inserted since deployment live in
+        // per-cluster segment runs that the base region does not cover.
+        // Segment runs are small (compaction folds them back), so they scan
+        // sequentially after the (possibly sharded) base scan; their
+        // candidates join the same Temporal Top List, and the total-order
+        // quickselect keeps the combined result deterministic. OOB validity
+        // (the RADR sentinel of unfilled slots) and the DRAM-side deletion
+        // flags filter dead slots.
+        if !db.updates.store.is_empty() {
+            let seg_clusters = std::mem::take(&mut self.scratch.cluster_buf);
+            let base_capacity = db.updates.base_capacity;
+            let store = &db.updates.store;
+            for &cluster in &seg_clusters {
+                for run in store.runs(cluster) {
+                    let seg_counts = self.scan_pages(
+                        run,
+                        &[(0, run.len)],
+                        0,
+                        layout.embedding_slot_bytes,
+                        threshold,
+                        adapt,
+                        epp,
+                        |_page, _slot, distance, oob| {
+                            if oob.radr == OOB_INVALID_RADR || oob.radr < base_capacity {
+                                return None;
+                            }
+                            let entry = store.entry(oob.radr - base_capacity)?;
+                            if entry.deleted {
+                                return None;
+                            }
+                            Some(TtlEntry {
+                                distance,
+                                storage_index: oob.radr,
+                                radr: oob.radr,
+                                dadr: oob.dadr,
+                                tag: oob.tag,
+                            })
+                        },
+                    )?;
+                    counts.pages += seg_counts.pages;
+                    counts.slots_scanned += seg_counts.slots_scanned;
+                    counts.entries_passed += seg_counts.entries_passed;
+                }
+            }
+            self.scratch.cluster_buf = seg_clusters;
+        }
 
         self.scratch.ttl.quickselect(candidate_count.max(1));
         self.scratch.ttl.sort_ascending();
@@ -670,14 +797,20 @@ impl<'a> InStorageEngine<'a> {
     }
 
     /// Rerank the fine-search candidates in INT8 precision on the embedded
-    /// core: fetch their INT8 copies from the TLC region (through the
+    /// core: fetch their INT8 copies from the TLC regions (through the
     /// controller, with ECC), recompute distances, and return the `k`
     /// nearest as `(original id, INT8 squared distance)` plus the number of
     /// distinct INT8 pages read.
     ///
     /// Candidates are visited in page order so every distinct page is read
-    /// exactly once and each slot is scored directly from the borrowed page
-    /// slice — no page cache and no per-candidate copy.
+    /// exactly once and each slot is scored directly from the pooled staging
+    /// buffer — no page cache, no per-candidate copy and no per-page
+    /// allocation (the ECC staging buffer lives in the [`ScanScratch`]).
+    /// Base-region candidates resolve their INT8 copy through the layout's
+    /// RADR arithmetic; append-segment candidates resolve through the
+    /// segment store's slot references. The final ranking ties on
+    /// `(distance, storage_index)`, matching the candidate selection's total
+    /// order.
     pub fn rerank(
         &mut self,
         db: &DeployedDatabase,
@@ -685,88 +818,164 @@ impl<'a> InStorageEngine<'a> {
         k: usize,
     ) -> Result<(Vec<Neighbor>, usize)> {
         let layout = db.layout;
+        let base_capacity = db.updates.base_capacity;
         let candidate_count = self.scratch.candidate_count;
         let ScanScratch {
             ttl,
             order,
-            neighbors,
+            rerank_buf,
+            page_buf,
+            page_oob,
             ..
         } = &mut *self.scratch;
         let candidates = ttl.top(candidate_count);
 
+        // Resolve a candidate's INT8 page: `(region, page, slot)`.
+        let locate = |candidate: &TtlEntry| -> (StripedRegion, usize, usize) {
+            if candidate.radr < base_capacity {
+                let (page, slot) = layout.int8_location(candidate.radr as usize);
+                (db.record.int8_region, page, slot)
+            } else {
+                let entry = db
+                    .updates
+                    .store
+                    .entry(candidate.radr - base_capacity)
+                    .expect("candidate segment entry exists");
+                (entry.int8.region, entry.int8.page, entry.int8.slot)
+            }
+        };
+
         order.clear();
         order.extend(0..candidates.len());
-        order.sort_unstable_by_key(|&i| layout.int8_location(candidates[i].radr as usize).0);
+        order.sort_unstable_by_key(|&i| {
+            let (region, page, _) = locate(&candidates[i]);
+            (region.start, page)
+        });
 
-        neighbors.clear();
+        rerank_buf.clear();
         let mut pages_read = 0usize;
-        let mut current: Option<(usize, Vec<u8>)> = None;
+        let mut current: Option<(usize, usize)> = None;
         for &i in order.iter() {
             let candidate = &candidates[i];
-            let (page, slot) = layout.int8_location(candidate.radr as usize);
-            if current.as_ref().map(|&(p, _)| p) != Some(page) {
-                let readout = self.ssd.read_region_page(
-                    &db.record.int8_region,
+            let (region, page, slot) = locate(candidate);
+            if current != Some((region.start, page)) {
+                self.ssd.read_region_page_into(
+                    &region,
                     page,
                     RegionKind::Int8Embeddings,
+                    page_buf,
+                    page_oob,
                 )?;
-                current = Some((page, readout.data));
+                current = Some((region.start, page));
                 pages_read += 1;
             }
-            let data = &current.as_ref().expect("page just loaded").1;
             let start = slot * layout.int8_bytes;
-            let distance =
-                query_int8.squared_l2_raw(&data[start..start + layout.int8_bytes]) as f32;
-            neighbors.push(Neighbor::new(candidate.dadr as usize, distance));
+            let raw = query_int8.squared_l2_raw(&page_buf[start..start + layout.int8_bytes]);
+            rerank_buf.push(RerankCandidate {
+                raw,
+                storage_index: candidate.storage_index,
+                dadr: candidate.dadr,
+            });
         }
-        neighbors.sort_unstable();
-        let top = neighbors[..k.min(neighbors.len())].to_vec();
+        rerank_buf.sort_unstable_by_key(|c| (c.raw, c.storage_index));
+        let top = rerank_buf[..k.min(rerank_buf.len())]
+            .iter()
+            .map(|c| Neighbor::new(c.dadr as usize, c.raw as f32))
+            .collect();
         Ok((top, pages_read))
     }
 
     /// Document identification and retrieval: read the chunks of the top-k
-    /// results from the document region, in page order (each document page
+    /// results from the document regions, in page order (each document page
     /// is read once), validating every slot's length prefix.
+    ///
+    /// A result id resolves to its live chunk: relocated ids (inserts, and
+    /// upserts of base entries) read from their append-segment page; base
+    /// ids read from the base document region at the slot the update state
+    /// maps them to (identity before the first compaction). The page reads
+    /// stage through the scratch's pooled buffer.
     ///
     /// # Errors
     ///
-    /// Returns [`ReisError::CorruptDocument`] if a slot's 4-byte length
-    /// prefix is missing or points outside the slot.
+    /// * [`ReisError::CorruptDocument`] if a slot's 4-byte length prefix is
+    ///   missing or points outside the slot.
+    /// * [`ReisError::EntryNotFound`] if a result id has no live document
+    ///   (cannot happen for ids produced by the same search).
     pub fn fetch_documents(
         &mut self,
         db: &DeployedDatabase,
         top: &[Neighbor],
     ) -> Result<Vec<Vec<u8>>> {
         let layout = db.layout;
-        let order = &mut self.scratch.order;
+        // Resolve an id's document page: `(region, page, slot)`.
+        let locate = |id: u32| -> Result<(StripedRegion, usize, usize)> {
+            if let Some(&sid) = db.updates.relocated.get(&id) {
+                let entry = db
+                    .updates
+                    .store
+                    .entry(sid)
+                    .ok_or(ReisError::EntryNotFound(id))?;
+                return Ok((
+                    entry.document.region,
+                    entry.document.page,
+                    entry.document.slot,
+                ));
+            }
+            let slot_index = db
+                .updates
+                .base_doc_slot(id)
+                .ok_or(ReisError::EntryNotFound(id))? as usize;
+            let (page, slot) = layout.document_location(slot_index);
+            Ok((db.record.document_region, page, slot))
+        };
+
+        let ScanScratch {
+            order,
+            page_buf,
+            page_oob,
+            ..
+        } = &mut *self.scratch;
+        // Resolve every result's location once, up front; the sort and the
+        // read loop then work off the resolved triples.
+        let locations = top
+            .iter()
+            .map(|n| locate(n.id as u32))
+            .collect::<Result<Vec<_>>>()?;
         order.clear();
         order.extend(0..top.len());
-        order.sort_unstable_by_key(|&i| layout.document_location(top[i].id).0);
+        order.sort_unstable_by_key(|&i| {
+            let (region, page, _) = locations[i];
+            (region.start, page)
+        });
 
         let mut documents: Vec<Vec<u8>> = vec![Vec::new(); top.len()];
-        let mut current: Option<(usize, Vec<u8>)> = None;
+        let mut current: Option<(usize, usize)> = None;
         for &i in order.iter() {
-            let (page, slot) = layout.document_location(top[i].id);
-            if current.as_ref().map(|&(p, _)| p) != Some(page) {
-                let readout = self.ssd.read_region_page(
-                    &db.record.document_region,
+            let (region, page, slot) = locations[i];
+            if current != Some((region.start, page)) {
+                self.ssd.read_region_page_into(
+                    &region,
                     page,
                     RegionKind::Documents,
+                    page_buf,
+                    page_oob,
                 )?;
-                current = Some((page, readout.data));
+                current = Some((region.start, page));
             }
-            let data = &current.as_ref().expect("page just loaded").1;
             let start = slot * layout.doc_slot_bytes;
             let corrupt = ReisError::CorruptDocument { page, slot };
-            if start + 4 > data.len() {
+            if start + 4 > page_buf.len() {
                 return Err(corrupt);
             }
-            let len = u32::from_le_bytes(data[start..start + 4].try_into().expect("4-byte prefix"))
-                as usize;
-            if len > layout.doc_slot_bytes - 4 || start + 4 + len > data.len() {
+            let len = u32::from_le_bytes(
+                page_buf[start..start + 4]
+                    .try_into()
+                    .expect("4-byte prefix"),
+            ) as usize;
+            if len > layout.doc_slot_bytes - 4 || start + 4 + len > page_buf.len() {
                 return Err(corrupt);
             }
-            documents[i] = data[start + 4..start + 4 + len].to_vec();
+            documents[i] = page_buf[start + 4..start + 4 + len].to_vec();
         }
         Ok(documents)
     }

@@ -32,6 +32,9 @@ pub enum ReisError {
     },
     /// A configuration parameter is outside its valid range.
     InvalidConfig(String),
+    /// A mutation referenced a logical entry id that does not exist (never
+    /// assigned, or already deleted).
+    EntryNotFound(u32),
     /// A document slot read back with an invalid length prefix (e.g. after an
     /// uncorrectable flash error), so the chunk cannot be returned.
     CorruptDocument {
@@ -58,6 +61,9 @@ impl fmt::Display for ReisError {
                 )
             }
             ReisError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ReisError::EntryNotFound(id) => {
+                write!(f, "entry {id} does not exist (or was deleted)")
+            }
             ReisError::CorruptDocument { page, slot } => {
                 write!(
                     f,
@@ -127,6 +133,7 @@ mod tests {
                 actual: 768,
             },
             ReisError::InvalidConfig("rerank factor 0".into()),
+            ReisError::EntryNotFound(42),
             ReisError::CorruptDocument { page: 3, slot: 1 },
         ];
         for e in errs {

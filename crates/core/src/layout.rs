@@ -130,6 +130,20 @@ impl LayoutPlan {
         })
     }
 
+    /// The layout of a database with the same per-page parameters (slot
+    /// sizes, entries per page, centroids) but a different entry count —
+    /// what compaction needs when it rewrites the surviving corpus densely:
+    /// only the page counts change.
+    pub fn with_entries(&self, entries: usize) -> LayoutPlan {
+        LayoutPlan {
+            entries,
+            embedding_pages: entries.div_ceil(self.embeddings_per_page),
+            int8_pages: entries.div_ceil(self.int8_per_page),
+            doc_pages: entries.div_ceil(self.docs_per_page),
+            ..*self
+        }
+    }
+
     /// Total flash pages the deployment needs across all regions.
     pub fn total_pages(&self) -> usize {
         self.centroid_pages + self.embedding_pages + self.int8_pages + self.doc_pages

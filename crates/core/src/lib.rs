@@ -54,6 +54,7 @@ pub mod energy;
 pub mod engine;
 pub mod error;
 pub mod layout;
+pub mod mutate;
 pub mod perf;
 pub mod records;
 pub mod system;
@@ -64,6 +65,8 @@ pub use deploy::DeployedDatabase;
 pub use energy::{EnergyBreakdown, EnergyModel, EnergyParams};
 pub use error::{ReisError, Result};
 pub use layout::LayoutPlan;
+pub use mutate::{CompactionOutcome, MutationOutcome};
 pub use perf::{LatencyBreakdown, PerfModel, QueryActivity};
 pub use records::{RIvf, RIvfEntry, TemporalTopList, TtlEntry};
+pub use reis_update::{CompactionPolicy, MutationStats, UpdateState};
 pub use system::{ReisSystem, SearchOutcome};

@@ -1,0 +1,856 @@
+//! Online index mutations: insert, delete, upsert and compaction.
+//!
+//! NAND flash permits no in-place update, so every mutation is realised
+//! out-of-place, mirroring how an FTL serves host writes:
+//!
+//! * **Insert** — the new entry's binary embedding, INT8 copy and document
+//!   chunk are appended to its cluster's *append segment*: freshly reserved
+//!   pages programmed through the controller (ESP-SLC for the embedding run
+//!   so the in-plane scan can cover it, TLC for the INT8/document pages),
+//!   with the stable id, rescoring address and validity recorded in the
+//!   embedding pages' OOB bytes. Cluster assignment reuses the in-storage
+//!   coarse path: the centroid pages are scanned and the nearest centroid
+//!   (by binary Hamming distance, the same metric the coarse search uses)
+//!   wins.
+//! * **Delete** — a tombstone: the base-region validity bitmap (or the
+//!   segment entry's deletion flag) is set in controller DRAM; the flash
+//!   pages are untouched until compaction.
+//! * **Upsert** — a delete of the live version plus an append under the
+//!   *same* stable id.
+//! * **Compaction** — reads the surviving corpus (base + segments, through
+//!   the controller with ECC where the scheme needs it), rewrites it as a
+//!   densely packed cluster-contiguous base region of a new *generation*,
+//!   swaps the R-DB record, releases every old region and erases each block
+//!   whose programmed pages all became invalid — returning the space to the
+//!   allocator for recycling.
+//!
+//! The search path (see [`crate::engine`]) composes with all of this:
+//! scans cover base + live segments and filter tombstones, so a search
+//! after any mutation sequence returns exactly what a from-scratch
+//! deployment of the surviving corpus (under the same quantizers and
+//! cluster structure) would return.
+
+use std::collections::{BTreeMap, HashMap};
+
+use reis_ann::vector::{hamming_bytes, BinaryVector, Int8Vector};
+use reis_nand::{FlashStats, Nanos, OobEntry, OobLayout};
+use reis_ssd::{DatabaseRecord, RegionKind, SsdController, StripedRegion};
+use reis_update::{EntryLocation, SegmentEntry, SlotRef, OOB_INVALID_RADR};
+
+use crate::deploy::{pad_slot, DeployedDatabase, RegionNames};
+use crate::error::{ReisError, Result};
+use crate::records::{RIvf, RIvfEntry};
+
+/// Outcome of one insert/delete/upsert call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationOutcome {
+    /// Stable ids assigned (inserts/upserts) or affected (deletes), in
+    /// request order.
+    pub ids: Vec<u32>,
+    /// Modelled flash latency of the mutation (page programs, and the
+    /// centroid scan of the cluster assignment).
+    pub latency: Nanos,
+    /// Flash pages programmed by the mutation.
+    pub pages_programmed: usize,
+    /// The compaction this mutation triggered under the configured policy,
+    /// if any.
+    pub compaction: Option<CompactionOutcome>,
+}
+
+/// Outcome of a compaction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Modelled flash latency of the pass (reads, rewrites and erases).
+    pub latency: Nanos,
+    /// Pages programmed while rewriting the surviving corpus.
+    pub pages_rewritten: usize,
+    /// Blocks erased because every programmed page in them was invalid.
+    pub blocks_reclaimed: usize,
+    /// Live entries in the compacted base region.
+    pub live_entries: usize,
+}
+
+/// Validate and quantize a batch of vectors/documents for appending.
+fn encode_batch(
+    db: &DeployedDatabase,
+    vectors: &[Vec<f32>],
+    documents: &[Vec<u8>],
+) -> Result<(Vec<BinaryVector>, Vec<Int8Vector>)> {
+    if vectors.len() != documents.len() {
+        return Err(ReisError::MalformedDatabase(format!(
+            "{} vectors but {} documents in mutation batch",
+            vectors.len(),
+            documents.len()
+        )));
+    }
+    let dim = db.binary_quantizer.dim();
+    for vector in vectors {
+        if vector.len() != dim {
+            return Err(ReisError::QueryDimensionMismatch {
+                expected: dim,
+                actual: vector.len(),
+            });
+        }
+    }
+    for document in documents {
+        if document.len() + 4 > db.layout.doc_slot_bytes {
+            return Err(ReisError::MalformedDatabase(format!(
+                "document chunk of {} bytes does not fit the deployment's {}-byte slots",
+                document.len(),
+                db.layout.doc_slot_bytes
+            )));
+        }
+    }
+    let binaries = vectors
+        .iter()
+        .map(|v| db.binary_quantizer.quantize(v))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    let int8s = vectors
+        .iter()
+        .map(|v| db.int8_quantizer.quantize(v))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    Ok((binaries, int8s))
+}
+
+/// Assign a quantized embedding to its nearest IVF centroid by scanning the
+/// centroid pages (binary Hamming distance, ties to the lower cluster — the
+/// same total order the coarse search selects under). Returns the cluster
+/// (0 for flat deployments) plus the modelled latency of the scan's page
+/// senses.
+fn nearest_cluster(
+    ssd: &mut SsdController,
+    db: &DeployedDatabase,
+    binary: &BinaryVector,
+) -> Result<(usize, Nanos)> {
+    if !db.is_ivf() {
+        return Ok((0, Nanos::ZERO));
+    }
+    let layout = db.layout;
+    let slot_bytes = layout.embedding_slot_bytes;
+    let padded = pad_slot(binary.as_bytes(), slot_bytes);
+    let scheme = ssd.hybrid_policy().scheme_for(RegionKind::Centroids);
+    let timing = ssd.config().timing;
+    let mut best: Option<(u32, usize)> = None;
+    let mut pages_read = 0u64;
+    let mut latency = Nanos::ZERO;
+    for page in 0..layout.centroid_pages {
+        let (_, data, _) = ssd.scan_region_page(&db.record.embedding_region, page)?;
+        pages_read += 1;
+        // The borrowed read stands in for an in-plane sense; price it like
+        // `sense_page` would.
+        latency += timing.read_latency(scheme) + timing.t_command_overhead;
+        for slot in 0..layout.embeddings_per_page {
+            let cluster = page * layout.embeddings_per_page + slot;
+            if cluster >= layout.centroids {
+                break;
+            }
+            let start = slot * slot_bytes;
+            let distance = hamming_bytes(&padded, &data[start..start + slot_bytes]);
+            if best.is_none_or(|(d, c)| (distance, cluster) < (d, c)) {
+                best = Some((distance, cluster));
+            }
+        }
+    }
+    ssd.device_mut().absorb_stats(&FlashStats {
+        page_reads: pages_read,
+        ..FlashStats::new()
+    });
+    Ok((best.map(|(_, cluster)| cluster).unwrap_or(0), latency))
+}
+
+/// One cluster group of an append batch with its reserved regions.
+struct GroupPlan {
+    cluster: usize,
+    members: Vec<usize>,
+    emb_name: String,
+    emb_region: StripedRegion,
+    int8_name: String,
+    int8_region: StripedRegion,
+    doc_name: String,
+    doc_region: StripedRegion,
+}
+
+/// Append already-encoded entries (with pre-assigned stable ids and cluster
+/// assignments) into their clusters' segments, programming fresh pages and
+/// recording the DRAM-side bookkeeping. Returns the program latency and the
+/// number of pages programmed.
+///
+/// All flash regions of every cluster group are reserved *before* anything
+/// is programmed or any bookkeeping mutates, and a failed reservation
+/// releases the ones already made — so a batch that cannot fit leaves the
+/// database exactly as it was (no phantom entries, no leaked regions).
+fn append_entries(
+    ssd: &mut SsdController,
+    db: &mut DeployedDatabase,
+    ids: &[u32],
+    binaries: &[BinaryVector],
+    int8s: &[Int8Vector],
+    documents: &[Vec<u8>],
+    clusters: &[usize],
+) -> Result<(Nanos, usize)> {
+    let layout = db.layout;
+    let geometry = ssd.config().geometry;
+    let oob_layout = OobLayout::new(geometry.oob_size_bytes, layout.embeddings_per_page)?;
+    let mut latency = Nanos::ZERO;
+    let mut pages_programmed = 0usize;
+    let epp = layout.embeddings_per_page;
+    let i8pp = layout.int8_per_page;
+    let dpp = layout.docs_per_page;
+
+    // Group the batch per cluster, preserving batch order within a group so
+    // segment append order is deterministic.
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, &cluster) in clusters.iter().enumerate() {
+        groups.entry(cluster).or_default().push(i);
+    }
+
+    // Reservation pass: all-or-nothing.
+    let mut plans: Vec<GroupPlan> = Vec::with_capacity(groups.len());
+    for (seq, (&cluster, members)) in groups.iter().enumerate() {
+        let prefix = format!(
+            "db{}/g{}/seg{}",
+            db.db_id,
+            db.updates.generation,
+            db.updates.store.regions().len() + seq * 3
+        );
+        let emb_name = format!("{prefix}/emb");
+        let int8_name = format!("{prefix}/int8");
+        let doc_name = format!("{prefix}/doc");
+        let reserve =
+            |ssd: &mut SsdController| -> Result<(StripedRegion, StripedRegion, StripedRegion)> {
+                let emb = ssd.reserve_region(
+                    &emb_name,
+                    members.len().div_ceil(epp),
+                    RegionKind::BinaryEmbeddings,
+                )?;
+                let int8 = ssd.reserve_region(
+                    &int8_name,
+                    members.len().div_ceil(i8pp),
+                    RegionKind::Int8Embeddings,
+                )?;
+                let doc = ssd.reserve_region(
+                    &doc_name,
+                    members.len().div_ceil(dpp),
+                    RegionKind::Documents,
+                )?;
+                Ok((emb, int8, doc))
+            };
+        match reserve(ssd) {
+            Ok((emb_region, int8_region, doc_region)) => plans.push(GroupPlan {
+                cluster,
+                members: members.clone(),
+                emb_name,
+                emb_region,
+                int8_name,
+                int8_region,
+                doc_name,
+                doc_region,
+            }),
+            Err(error) => {
+                // Unwind: nothing was programmed yet, so releasing the
+                // reserved (still unprogrammed) regions restores the
+                // allocator and DRAM exactly.
+                for plan in &plans {
+                    ssd.release_region(&plan.emb_name, &plan.emb_region);
+                    ssd.release_region(&plan.int8_name, &plan.int8_region);
+                    ssd.release_region(&plan.doc_name, &plan.doc_region);
+                }
+                return Err(error);
+            }
+        }
+    }
+
+    for GroupPlan {
+        cluster,
+        members,
+        emb_name,
+        emb_region,
+        int8_name,
+        int8_region,
+        doc_name,
+        doc_region,
+    } in plans
+    {
+        let tag = (cluster % 256) as u8;
+        let sid_base = db.updates.store.len() as u32;
+
+        // Embedding pages: slot-padded binaries plus OOB linkage. Unfilled
+        // slots get the RADR sentinel so the scan rejects them from the OOB
+        // bytes alone (validity recorded at program time).
+        for page in 0..emb_region.len {
+            let mut data = Vec::with_capacity(epp * layout.embedding_slot_bytes);
+            let mut oob_entries = Vec::with_capacity(epp);
+            for s in 0..epp {
+                let j = page * epp + s;
+                if j < members.len() {
+                    data.extend(pad_slot(
+                        binaries[members[j]].as_bytes(),
+                        layout.embedding_slot_bytes,
+                    ));
+                    oob_entries.push(OobEntry {
+                        dadr: ids[members[j]],
+                        radr: db.updates.base_capacity + sid_base + j as u32,
+                        tag,
+                    });
+                } else {
+                    oob_entries.push(OobEntry {
+                        dadr: u32::MAX,
+                        radr: OOB_INVALID_RADR,
+                        tag: 0,
+                    });
+                }
+            }
+            let oob = oob_layout.pack(&oob_entries)?;
+            latency += ssd.program_region_page(
+                &emb_region,
+                page,
+                RegionKind::BinaryEmbeddings,
+                &data,
+                &oob,
+            )?;
+            pages_programmed += 1;
+        }
+        // INT8 pages.
+        for page in 0..int8_region.len {
+            let mut data = Vec::with_capacity(i8pp * layout.int8_bytes);
+            for s in 0..i8pp {
+                let j = page * i8pp + s;
+                if j >= members.len() {
+                    break;
+                }
+                data.extend(int8s[members[j]].as_slice().iter().map(|&v| v as u8));
+            }
+            latency += ssd.program_region_page(
+                &int8_region,
+                page,
+                RegionKind::Int8Embeddings,
+                &data,
+                &[],
+            )?;
+            pages_programmed += 1;
+        }
+        // Document pages.
+        for page in 0..doc_region.len {
+            let mut data = vec![0u8; (dpp * layout.doc_slot_bytes).min(geometry.page_size_bytes)];
+            for s in 0..dpp {
+                let j = page * dpp + s;
+                if j >= members.len() {
+                    break;
+                }
+                let doc = &documents[members[j]];
+                let start = s * layout.doc_slot_bytes;
+                data[start..start + 4].copy_from_slice(&(doc.len() as u32).to_le_bytes());
+                data[start + 4..start + 4 + doc.len()].copy_from_slice(doc);
+            }
+            latency +=
+                ssd.program_region_page(&doc_region, page, RegionKind::Documents, &data, &[])?;
+            pages_programmed += 1;
+        }
+
+        // DRAM-side bookkeeping: the run joins the cluster's scan set, the
+        // regions are remembered for release at compaction, and each member
+        // becomes a live, relocatable segment entry.
+        db.updates.store.add_run(cluster, emb_region);
+        db.updates.store.register_region(emb_name, emb_region);
+        db.updates.store.register_region(int8_name, int8_region);
+        db.updates.store.register_region(doc_name, doc_region);
+        for (j, &m) in members.iter().enumerate() {
+            let sid = db.updates.store.push(SegmentEntry {
+                id: ids[m],
+                cluster,
+                embedding: SlotRef {
+                    region: emb_region,
+                    page: j / epp,
+                    slot: j % epp,
+                },
+                int8: SlotRef {
+                    region: int8_region,
+                    page: j / i8pp,
+                    slot: j % i8pp,
+                },
+                document: SlotRef {
+                    region: doc_region,
+                    page: j / dpp,
+                    slot: j % dpp,
+                },
+                deleted: false,
+            });
+            debug_assert_eq!(sid, sid_base + j as u32);
+            db.updates.relocated.insert(ids[m], sid);
+        }
+    }
+    db.updates.stats.segment_pages_programmed += pages_programmed as u64;
+    Ok((latency, pages_programmed))
+}
+
+/// Insert a batch of entries, assigning fresh stable ids. Returns the ids
+/// (in batch order), the flash latency and the pages programmed.
+pub(crate) fn insert_batch(
+    ssd: &mut SsdController,
+    db: &mut DeployedDatabase,
+    vectors: &[Vec<f32>],
+    documents: &[Vec<u8>],
+) -> Result<(Vec<u32>, Nanos, usize)> {
+    let (binaries, int8s) = encode_batch(db, vectors, documents)?;
+    let mut latency = Nanos::ZERO;
+    let mut clusters = Vec::with_capacity(binaries.len());
+    for binary in &binaries {
+        let (cluster, scan_latency) = nearest_cluster(ssd, db, binary)?;
+        clusters.push(cluster);
+        latency += scan_latency;
+    }
+    let ids: Vec<u32> = (0..vectors.len() as u32)
+        .map(|i| db.updates.next_id + i)
+        .collect();
+    let appended = append_entries(ssd, db, &ids, &binaries, &int8s, documents, &clusters);
+    let (append_latency, pages) = appended?;
+    db.updates.next_id += vectors.len() as u32;
+    db.updates.stats.inserts += vectors.len() as u64;
+    account_update_state(ssd, db)?;
+    Ok((ids, latency + append_latency, pages))
+}
+
+/// Tombstone the live version of `id`.
+pub(crate) fn delete_entry(
+    ssd: &mut SsdController,
+    db: &mut DeployedDatabase,
+    id: u32,
+) -> Result<()> {
+    let location = db
+        .updates
+        .locate(id, |id| db.original_to_storage.get(&id).copied())
+        .ok_or(ReisError::EntryNotFound(id))?;
+    match location {
+        EntryLocation::Base(storage) => {
+            db.updates.tombstones.mark(storage as usize);
+        }
+        EntryLocation::Segment(sid) => {
+            db.updates.store.mark_deleted(sid);
+        }
+    }
+    db.updates.stats.deletes += 1;
+    account_update_state(ssd, db)?;
+    Ok(())
+}
+
+/// Replace (or revive) the entry with stable id `id`: tombstone the live
+/// version, if any, and append the new one under the same id. The id must
+/// have been assigned before (by the deployment or an insert).
+pub(crate) fn upsert_entry(
+    ssd: &mut SsdController,
+    db: &mut DeployedDatabase,
+    id: u32,
+    vector: &[f32],
+    document: &[u8],
+) -> Result<(Nanos, usize)> {
+    if id >= db.updates.next_id {
+        return Err(ReisError::EntryNotFound(id));
+    }
+    let vec_owned = vec![vector.to_vec()];
+    let docs_owned = vec![document.to_vec()];
+    let (binaries, int8s) = encode_batch(db, &vec_owned, &docs_owned)?;
+    let (cluster, scan_latency) = nearest_cluster(ssd, db, &binaries[0])?;
+    // Capture the live version *before* the append (afterwards the
+    // relocation table already points at the new one), but only tombstone
+    // it once the append has succeeded — a failed upsert must leave the old
+    // version live. A missing live version just revives the id.
+    let old_location = db
+        .updates
+        .locate(id, |id| db.original_to_storage.get(&id).copied());
+    let (append_latency, pages) =
+        append_entries(ssd, db, &[id], &binaries, &int8s, &docs_owned, &[cluster])?;
+    if let Some(location) = old_location {
+        match location {
+            EntryLocation::Base(storage) => {
+                db.updates.tombstones.mark(storage as usize);
+            }
+            EntryLocation::Segment(sid) => {
+                db.updates.store.mark_deleted(sid);
+            }
+        }
+        db.updates.stats.deletes += 1;
+    }
+    db.updates.stats.inserts += 1;
+    db.updates.stats.upserts += 1;
+    account_update_state(ssd, db)?;
+    Ok((scan_latency + append_latency, pages))
+}
+
+/// Re-account the update state's controller-DRAM footprint (tombstone
+/// bitmap, segment entry table, relocation and document-slot maps).
+fn account_update_state(ssd: &mut SsdController, db: &DeployedDatabase) -> Result<()> {
+    let bytes = db.updates.tombstones.footprint_bytes()
+        + db.updates.store.footprint_bytes()
+        + db.updates.relocated.len() * 8
+        + db.updates.doc_slots.as_ref().map_or(0, |m| m.len() * 8);
+    ssd.dram_mut()
+        .allocate(&format!("db{}/update-state", db.db_id), bytes)?;
+    Ok(())
+}
+
+/// One surviving logical entry, staged in host memory between the read and
+/// rewrite halves of a compaction pass.
+struct Survivor {
+    id: u32,
+    tag: u8,
+    binary: Vec<u8>,
+    int8: Vec<u8>,
+    doc: Vec<u8>,
+}
+
+/// One-page staging cache for a single payload kind. Compaction keeps one
+/// per kind (embedding / INT8 / document), so the per-survivor interleaved
+/// reads do not evict each other and every page is read once per kind, not
+/// once per survivor.
+#[derive(Default)]
+struct PageCache {
+    key: Option<(usize, usize)>,
+    buf: Vec<u8>,
+    oob: Vec<u8>,
+}
+
+impl PageCache {
+    /// Stage a region page in the cache unless it already is, returning the
+    /// read latency (zero on a hit).
+    fn load(
+        &mut self,
+        ssd: &mut SsdController,
+        region: &StripedRegion,
+        page: usize,
+        kind: RegionKind,
+    ) -> Result<Nanos> {
+        if self.key == Some((region.start, page)) {
+            return Ok(Nanos::ZERO);
+        }
+        let (latency, _) =
+            ssd.read_region_page_into(region, page, kind, &mut self.buf, &mut self.oob)?;
+        self.key = Some((region.start, page));
+        Ok(latency)
+    }
+}
+
+/// Parse a document slot (4-byte length prefix + payload) out of a staged
+/// document page.
+fn parse_doc_slot(buf: &[u8], slot: usize, slot_bytes: usize, page: usize) -> Result<Vec<u8>> {
+    let start = slot * slot_bytes;
+    let corrupt = ReisError::CorruptDocument { page, slot };
+    if start + 4 > buf.len() {
+        return Err(corrupt);
+    }
+    let len = u32::from_le_bytes(buf[start..start + 4].try_into().expect("4-byte prefix")) as usize;
+    if len > slot_bytes - 4 || start + 4 + len > buf.len() {
+        return Err(corrupt);
+    }
+    Ok(buf[start + 4..start + 4 + len].to_vec())
+}
+
+/// Fold the database's append segments and tombstones back into a densely
+/// packed base region: read the surviving corpus, rewrite it as a new
+/// region generation, swap the R-DB record, release every superseded region
+/// and erase the blocks they complete.
+pub(crate) fn compact(
+    ssd: &mut SsdController,
+    db: &mut DeployedDatabase,
+) -> Result<CompactionOutcome> {
+    let old_layout = db.layout;
+    let nclusters = db.update_clusters();
+    let mut latency = Nanos::ZERO;
+
+    // ---- Read the surviving corpus, cluster-major, base before segments
+    // (the same logical order the mutated scan visits entries in, so the
+    // compacted storage order preserves every deterministic tie-break).
+    let mut survivors: Vec<Survivor> = Vec::with_capacity(db.live_entries());
+    let mut cluster_bounds: Vec<(usize, usize)> = Vec::with_capacity(nclusters);
+    let mut emb_cache = PageCache::default();
+    let mut int8_cache = PageCache::default();
+    let mut doc_cache = PageCache::default();
+
+    for cluster in 0..nclusters {
+        let begin = survivors.len();
+        // Base members of the cluster, in storage order.
+        let base_range = if db.is_ivf() {
+            db.rivf
+                .entry(cluster)
+                .filter(|e| e.member_count() > 0)
+                .map(|e| (e.first_embedding as usize, e.last_embedding as usize + 1))
+        } else if old_layout.entries > 0 {
+            Some((0, old_layout.entries))
+        } else {
+            None
+        };
+        if let Some((first, end)) = base_range {
+            for storage in first..end {
+                if db.updates.tombstones.contains(storage) {
+                    continue;
+                }
+                let id = db.storage_to_original[storage];
+                let tag = db.storage_tags[storage];
+                let (epage, eslot) = old_layout.embedding_location(storage);
+                latency += emb_cache.load(
+                    ssd,
+                    &db.record.embedding_region,
+                    old_layout.centroid_pages + epage,
+                    RegionKind::BinaryEmbeddings,
+                )?;
+                let estart = eslot * old_layout.embedding_slot_bytes;
+                let binary = emb_cache.buf[estart..estart + old_layout.embedding_bytes].to_vec();
+                let (ipage, islot) = old_layout.int8_location(storage);
+                latency += int8_cache.load(
+                    ssd,
+                    &db.record.int8_region,
+                    ipage,
+                    RegionKind::Int8Embeddings,
+                )?;
+                let istart = islot * old_layout.int8_bytes;
+                let int8 = int8_cache.buf[istart..istart + old_layout.int8_bytes].to_vec();
+                let doc_index = db
+                    .updates
+                    .base_doc_slot(id)
+                    .ok_or(ReisError::EntryNotFound(id))? as usize;
+                let (dpage, dslot) = old_layout.document_location(doc_index);
+                latency += doc_cache.load(
+                    ssd,
+                    &db.record.document_region,
+                    dpage,
+                    RegionKind::Documents,
+                )?;
+                let doc = parse_doc_slot(&doc_cache.buf, dslot, old_layout.doc_slot_bytes, dpage)?;
+                survivors.push(Survivor {
+                    id,
+                    tag,
+                    binary,
+                    int8,
+                    doc,
+                });
+            }
+        }
+        // Live segment members of the cluster, in append order.
+        for entry in db.updates.store.entries() {
+            if entry.cluster != cluster || entry.deleted {
+                continue;
+            }
+            latency += emb_cache.load(
+                ssd,
+                &entry.embedding.region,
+                entry.embedding.page,
+                RegionKind::BinaryEmbeddings,
+            )?;
+            let estart = entry.embedding.slot * old_layout.embedding_slot_bytes;
+            let binary = emb_cache.buf[estart..estart + old_layout.embedding_bytes].to_vec();
+            latency += int8_cache.load(
+                ssd,
+                &entry.int8.region,
+                entry.int8.page,
+                RegionKind::Int8Embeddings,
+            )?;
+            let istart = entry.int8.slot * old_layout.int8_bytes;
+            let int8 = int8_cache.buf[istart..istart + old_layout.int8_bytes].to_vec();
+            latency += doc_cache.load(
+                ssd,
+                &entry.document.region,
+                entry.document.page,
+                RegionKind::Documents,
+            )?;
+            let doc = parse_doc_slot(
+                &doc_cache.buf,
+                entry.document.slot,
+                old_layout.doc_slot_bytes,
+                entry.document.page,
+            )?;
+            survivors.push(Survivor {
+                id: entry.id,
+                tag: (cluster % 256) as u8,
+                binary,
+                int8,
+                doc,
+            });
+        }
+        cluster_bounds.push((begin, survivors.len()));
+    }
+
+    // Stage the centroid pages (data + OOB) for verbatim rewrite.
+    let mut centroid_pages: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(old_layout.centroid_pages);
+    for page in 0..old_layout.centroid_pages {
+        let mut buf = Vec::new();
+        let mut oob_buf = Vec::new();
+        let (read_latency, _) = ssd.read_region_page_into(
+            &db.record.embedding_region,
+            page,
+            RegionKind::BinaryEmbeddings,
+            &mut buf,
+            &mut oob_buf,
+        )?;
+        latency += read_latency;
+        centroid_pages.push((buf, oob_buf));
+    }
+
+    // ---- Rewrite as a new region generation.
+    let total = survivors.len();
+    let new_layout = old_layout.with_entries(total);
+    let generation = db.updates.generation + 1;
+    let names = RegionNames::generation(db.db_id, generation);
+    let geometry = ssd.config().geometry;
+    let oob_layout = OobLayout::new(geometry.oob_size_bytes, new_layout.embeddings_per_page)?;
+    let emb_region = ssd.reserve_region(
+        &names.embeddings,
+        new_layout.centroid_pages + new_layout.embedding_pages,
+        RegionKind::BinaryEmbeddings,
+    )?;
+    let int8_region = ssd.reserve_region(
+        &names.int8,
+        new_layout.int8_pages,
+        RegionKind::Int8Embeddings,
+    )?;
+    let doc_region = ssd.reserve_region(
+        &names.documents,
+        new_layout.doc_pages,
+        RegionKind::Documents,
+    )?;
+    let mut pages_rewritten = 0usize;
+
+    for (page, (data, oob)) in centroid_pages.iter().enumerate() {
+        latency += ssd.program_region_page(&emb_region, page, RegionKind::Centroids, data, oob)?;
+        pages_rewritten += 1;
+    }
+    let epp = new_layout.embeddings_per_page;
+    for page in 0..new_layout.embedding_pages {
+        let mut data = Vec::with_capacity(epp * new_layout.embedding_slot_bytes);
+        let mut oob_entries = Vec::with_capacity(epp);
+        for s in 0..epp {
+            let storage = page * epp + s;
+            if storage < total {
+                let survivor = &survivors[storage];
+                data.extend(pad_slot(&survivor.binary, new_layout.embedding_slot_bytes));
+                oob_entries.push(OobEntry {
+                    dadr: survivor.id,
+                    radr: storage as u32,
+                    tag: survivor.tag,
+                });
+            } else {
+                oob_entries.push(OobEntry {
+                    dadr: u32::MAX,
+                    radr: OOB_INVALID_RADR,
+                    tag: 0,
+                });
+            }
+        }
+        let oob = oob_layout.pack(&oob_entries)?;
+        latency += ssd.program_region_page(
+            &emb_region,
+            new_layout.centroid_pages + page,
+            RegionKind::BinaryEmbeddings,
+            &data,
+            &oob,
+        )?;
+        pages_rewritten += 1;
+    }
+    for page in 0..new_layout.int8_pages {
+        let mut data = Vec::with_capacity(new_layout.int8_per_page * new_layout.int8_bytes);
+        for s in 0..new_layout.int8_per_page {
+            let storage = page * new_layout.int8_per_page + s;
+            if storage >= total {
+                break;
+            }
+            data.extend_from_slice(&survivors[storage].int8);
+        }
+        latency +=
+            ssd.program_region_page(&int8_region, page, RegionKind::Int8Embeddings, &data, &[])?;
+        pages_rewritten += 1;
+    }
+    for page in 0..new_layout.doc_pages {
+        let mut data = vec![
+            0u8;
+            (new_layout.docs_per_page * new_layout.doc_slot_bytes)
+                .min(geometry.page_size_bytes)
+        ];
+        for s in 0..new_layout.docs_per_page {
+            let storage = page * new_layout.docs_per_page + s;
+            if storage >= total {
+                break;
+            }
+            let doc = &survivors[storage].doc;
+            let start = s * new_layout.doc_slot_bytes;
+            data[start..start + 4].copy_from_slice(&(doc.len() as u32).to_le_bytes());
+            data[start + 4..start + 4 + doc.len()].copy_from_slice(doc);
+        }
+        latency += ssd.program_region_page(&doc_region, page, RegionKind::Documents, &data, &[])?;
+        pages_rewritten += 1;
+    }
+
+    // ---- Swap the metadata: R-IVF ranges, R-DB record, host-side maps.
+    let rivf = if db.is_ivf() {
+        let entries = (0..nclusters)
+            .map(|cluster| {
+                let old = db.rivf.entry(cluster).expect("cluster exists");
+                let (begin, end) = cluster_bounds[cluster];
+                if begin == end {
+                    RIvfEntry {
+                        first_embedding: 1,
+                        last_embedding: 0,
+                        ..*old
+                    }
+                } else {
+                    RIvfEntry {
+                        first_embedding: begin as u32,
+                        last_embedding: (end - 1) as u32,
+                        ..*old
+                    }
+                }
+            })
+            .collect();
+        RIvf::new(entries)
+    } else {
+        RIvf::new(Vec::new())
+    };
+    let record = DatabaseRecord {
+        db_id: db.db_id,
+        embedding_region: emb_region,
+        int8_region,
+        document_region: doc_region,
+        entries: total,
+    };
+    ssd.coarse_ftl_mut().remove(db.db_id)?;
+    ssd.coarse_ftl_mut().deploy(record)?;
+    ssd.dram_mut()
+        .allocate(&format!("db{}/r-ivf", db.db_id), rivf.footprint_bytes())?;
+
+    // ---- Release everything the new generation supersedes, then erase the
+    // blocks whose programmed pages all became invalid.
+    let old_names = db.region_names.clone();
+    ssd.release_region(&old_names.embeddings, &db.record.embedding_region);
+    ssd.release_region(&old_names.int8, &db.record.int8_region);
+    ssd.release_region(&old_names.documents, &db.record.document_region);
+    for (name, region) in db.updates.store.regions().to_vec() {
+        ssd.release_region(&name, &region);
+    }
+    let (blocks_reclaimed, erase_latency) = ssd.reclaim_invalid_blocks()?;
+    latency += erase_latency;
+
+    // ---- Install the new generation on the host-side handle.
+    let storage_to_original: Vec<u32> = survivors.iter().map(|s| s.id).collect();
+    let original_to_storage: HashMap<u32, u32> = storage_to_original
+        .iter()
+        .enumerate()
+        .map(|(storage, &id)| (id, storage as u32))
+        .collect();
+    let doc_slots: HashMap<u32, u32> = original_to_storage.clone();
+    db.layout = new_layout;
+    db.record = record;
+    db.region_names = names;
+    db.rivf = rivf;
+    db.storage_tags = survivors.iter().map(|s| s.tag).collect();
+    db.storage_to_original = storage_to_original;
+    db.original_to_storage = original_to_storage;
+    db.updates
+        .reset_after_compaction(total, nclusters, doc_slots);
+    db.updates.stats.pages_rewritten += pages_rewritten as u64;
+    db.updates.stats.blocks_reclaimed += blocks_reclaimed as u64;
+    account_update_state(ssd, db)?;
+
+    Ok(CompactionOutcome {
+        latency,
+        pages_rewritten,
+        blocks_reclaimed,
+        live_entries: total,
+    })
+}

@@ -23,6 +23,7 @@ use crate::deploy::{self, DeployedDatabase};
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::engine::{InStorageEngine, ScanScratch};
 use crate::error::{ReisError, Result};
+use crate::mutate::{self, CompactionOutcome, MutationOutcome};
 use crate::perf::{LatencyBreakdown, PerfModel, QueryActivity};
 
 /// Result of one REIS search.
@@ -241,6 +242,189 @@ impl ReisSystem {
             ));
         }
         self.run_query(db_id, query, k, Some(nprobe))
+    }
+
+    /// Insert one entry into a deployed database and return its assigned
+    /// stable id (plus the mutation's cost breakdown).
+    ///
+    /// The embedding is quantized with the deployment's frozen quantizers,
+    /// assigned to its nearest IVF centroid (cluster 0 for flat
+    /// deployments) and appended — together with its INT8 copy and document
+    /// chunk — to that cluster's append segment on freshly programmed
+    /// pages. The entry is searchable immediately; no rebuild or redeploy
+    /// happens. May trigger an automatic compaction afterwards, per the
+    /// configured [`CompactionPolicy`](reis_update::CompactionPolicy).
+    ///
+    /// # Errors
+    ///
+    /// * [`ReisError::DatabaseNotDeployed`] for an unknown id.
+    /// * [`ReisError::QueryDimensionMismatch`] for a vector of the wrong
+    ///   dimensionality.
+    /// * [`ReisError::MalformedDatabase`] for a document chunk that does
+    ///   not fit the deployment's document slots.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reis_core::{ReisConfig, ReisSystem, VectorDatabase};
+    ///
+    /// # fn main() -> Result<(), reis_core::ReisError> {
+    /// let vectors: Vec<Vec<f32>> = (0..32)
+    ///     .map(|i| (0..16).map(|d| ((i * 5 + d) % 11) as f32 - 5.0).collect())
+    ///     .collect();
+    /// let documents: Vec<Vec<u8>> = (0..32).map(|i| format!("doc {i}").into_bytes()).collect();
+    /// let mut reis = ReisSystem::new(ReisConfig::tiny());
+    /// let db = reis.deploy(&VectorDatabase::flat(&vectors, documents)?)?;
+    ///
+    /// let fresh: Vec<f32> = (0..16).map(|d| (d % 3) as f32).collect();
+    /// let outcome = reis.insert(db, &fresh, b"fresh doc".to_vec())?;
+    /// let id = outcome.ids[0];
+    ///
+    /// // The inserted entry is immediately searchable and returns its chunk.
+    /// let hit = reis.search(db, &fresh, 1)?;
+    /// assert_eq!(hit.results[0].id, id as usize);
+    /// assert_eq!(hit.documents[0], b"fresh doc");
+    ///
+    /// // And it can be deleted again.
+    /// reis.delete(db, id)?;
+    /// let miss = reis.search(db, &fresh, 1)?;
+    /// assert_ne!(miss.results[0].id, id as usize);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn insert(
+        &mut self,
+        db_id: u32,
+        vector: &[f32],
+        document: Vec<u8>,
+    ) -> Result<MutationOutcome> {
+        self.insert_batch(
+            db_id,
+            std::slice::from_ref(&vector.to_vec()),
+            vec![document],
+        )
+    }
+
+    /// Insert a batch of entries (see [`ReisSystem::insert`]); ids are
+    /// returned in batch order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::insert`].
+    pub fn insert_batch(
+        &mut self,
+        db_id: u32,
+        vectors: &[Vec<f32>],
+        documents: Vec<Vec<u8>>,
+    ) -> Result<MutationOutcome> {
+        let db = self
+            .databases
+            .get_mut(&db_id)
+            .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        let (ids, latency, pages_programmed) =
+            mutate::insert_batch(&mut self.controller, db, vectors, &documents)?;
+        let compaction = self.maybe_auto_compact(db_id)?;
+        Ok(MutationOutcome {
+            ids,
+            latency,
+            pages_programmed,
+            compaction,
+        })
+    }
+
+    /// Delete the entry with stable id `id` (a tombstone: the flash pages
+    /// are reclaimed by the next compaction).
+    ///
+    /// # Errors
+    ///
+    /// * [`ReisError::DatabaseNotDeployed`] for an unknown database.
+    /// * [`ReisError::EntryNotFound`] if the id never existed or was
+    ///   already deleted.
+    pub fn delete(&mut self, db_id: u32, id: u32) -> Result<MutationOutcome> {
+        let db = self
+            .databases
+            .get_mut(&db_id)
+            .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        mutate::delete_entry(&mut self.controller, db, id)?;
+        let compaction = self.maybe_auto_compact(db_id)?;
+        Ok(MutationOutcome {
+            ids: vec![id],
+            latency: Nanos::ZERO,
+            pages_programmed: 0,
+            compaction,
+        })
+    }
+
+    /// Replace the entry with stable id `id` by a new embedding/document
+    /// pair under the same id (delete + append in one call; a deleted id is
+    /// revived). The id must have been assigned by the deployment or an
+    /// earlier insert.
+    ///
+    /// # Errors
+    ///
+    /// Union of the conditions of [`ReisSystem::insert`] and
+    /// [`ReisSystem::delete`].
+    pub fn upsert(
+        &mut self,
+        db_id: u32,
+        id: u32,
+        vector: &[f32],
+        document: &[u8],
+    ) -> Result<MutationOutcome> {
+        let db = self
+            .databases
+            .get_mut(&db_id)
+            .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        let (latency, pages_programmed) =
+            mutate::upsert_entry(&mut self.controller, db, id, vector, document)?;
+        let compaction = self.maybe_auto_compact(db_id)?;
+        Ok(MutationOutcome {
+            ids: vec![id],
+            latency,
+            pages_programmed,
+            compaction,
+        })
+    }
+
+    /// Compact a database now: fold its append segments and tombstones into
+    /// a densely packed base region, swap the R-DB record and erase every
+    /// block the rewrite freed completely. Search results are unchanged by
+    /// compaction; only the scan cost shrinks back to the dense layout's.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReisError::DatabaseNotDeployed`] for an unknown database.
+    /// * Flash/allocator errors if the device cannot hold the old and new
+    ///   generation simultaneously during the rewrite.
+    pub fn compact(&mut self, db_id: u32) -> Result<CompactionOutcome> {
+        let db = self
+            .databases
+            .get_mut(&db_id)
+            .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        mutate::compact(&mut self.controller, db)
+    }
+
+    /// Run the configured [`CompactionPolicy`](reis_update::CompactionPolicy)
+    /// against a database's current shape, compacting if it says so.
+    fn maybe_auto_compact(&mut self, db_id: u32) -> Result<Option<CompactionOutcome>> {
+        let db = self
+            .databases
+            .get(&db_id)
+            .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        let store = &db.updates.store;
+        let dead = db.updates.tombstones.dead_count() + (store.len() - store.live_count());
+        let should = self.config.compaction.should_compact(
+            db.entries(),
+            store.len(),
+            dead,
+            db.live_entries(),
+            db.updates.stats.mutations(),
+        );
+        if should {
+            Ok(Some(self.compact(db_id)?))
+        } else {
+            Ok(None)
+        }
     }
 
     fn run_query(

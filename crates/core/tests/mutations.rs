@@ -1,0 +1,554 @@
+//! Correctness of the online mutation subsystem: a database mutated through
+//! insert/delete/upsert (with or without compaction) must answer every
+//! search exactly like a from-scratch deployment of the surviving logical
+//! corpus under the same quantizers — bit-identical results and documents,
+//! under both sequential and sharded scans.
+
+use proptest::prelude::*;
+
+use reis_core::{
+    CompactionPolicy, ReisConfig, ReisSystem, ScanParallelism, SearchOutcome, VectorDatabase,
+};
+
+const DIM: usize = 32;
+
+/// Deterministic pseudo-random vector for a logical entry id.
+fn vector_for(id: u32, salt: u64) -> Vec<f32> {
+    (0..DIM)
+        .map(|d| {
+            let x = (id as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(d as u64 * 0x85EB_CA6B)
+                .wrapping_add(salt.wrapping_mul(0xC2B2_AE35));
+            ((x >> 7) % 23) as f32 - 11.0
+        })
+        .collect()
+}
+
+fn doc_for(id: u32, version: u32) -> Vec<u8> {
+    format!("doc {id} v{version}").into_bytes()
+}
+
+/// Host-side mirror of the logical corpus: ids in the exact scan order the
+/// mutated system visits them (base survivors in storage order, then
+/// segment entries in append order; compaction preserves this order).
+struct Mirror {
+    order: Vec<u32>,
+    versions: std::collections::HashMap<u32, (Vec<f32>, Vec<u8>)>,
+}
+
+impl Mirror {
+    fn new(initial: &[(u32, Vec<f32>, Vec<u8>)]) -> Self {
+        Mirror {
+            order: initial.iter().map(|(id, _, _)| *id).collect(),
+            versions: initial
+                .iter()
+                .map(|(id, v, d)| (*id, (v.clone(), d.clone())))
+                .collect(),
+        }
+    }
+
+    fn remove(&mut self, id: u32) {
+        self.order.retain(|&x| x != id);
+        self.versions.remove(&id);
+    }
+
+    fn append(&mut self, id: u32, vector: Vec<f32>, doc: Vec<u8>) {
+        self.order.retain(|&x| x != id);
+        self.order.push(id);
+        self.versions.insert(id, (vector, doc));
+    }
+
+    fn live_ids(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Rebuild the surviving corpus as a fresh flat deployment under the
+    /// same quantizers, in the mirrored scan order.
+    fn rebuild_flat(&self, template: &VectorDatabase) -> Option<VectorDatabase> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let vectors: Vec<Vec<f32>> = self
+            .order
+            .iter()
+            .map(|id| self.versions[id].0.clone())
+            .collect();
+        let documents: Vec<Vec<u8>> = self
+            .order
+            .iter()
+            .map(|id| self.versions[id].1.clone())
+            .collect();
+        Some(
+            VectorDatabase::flat_with_quantizers(
+                &vectors,
+                documents,
+                template.binary_quantizer().clone(),
+                template.int8_quantizer().clone(),
+            )
+            .expect("reference rebuild"),
+        )
+    }
+}
+
+/// Map a reference search outcome (dense position ids) back to stable ids.
+fn mapped_ids(reference: &SearchOutcome, order: &[u32]) -> Vec<u32> {
+    reference.results.iter().map(|n| order[n.id]).collect()
+}
+
+fn assert_equivalent(mutated: &SearchOutcome, reference: &SearchOutcome, order: &[u32], ctx: &str) {
+    assert_eq!(
+        mutated
+            .results
+            .iter()
+            .map(|n| n.id as u32)
+            .collect::<Vec<_>>(),
+        mapped_ids(reference, order),
+        "result ids: {ctx}"
+    );
+    let d_mut: Vec<f32> = mutated.results.iter().map(|n| n.distance).collect();
+    let d_ref: Vec<f32> = reference.results.iter().map(|n| n.distance).collect();
+    assert_eq!(d_mut, d_ref, "result distances: {ctx}");
+    assert_eq!(mutated.documents, reference.documents, "documents: {ctx}");
+}
+
+/// One mutation op drawn by the property test.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert,
+    Delete,
+    Upsert,
+    Compact,
+}
+
+fn decode_op(code: u8) -> Op {
+    match code % 8 {
+        0..=2 => Op::Insert,
+        3 | 4 => Op::Delete,
+        5 | 6 => Op::Upsert,
+        _ => Op::Compact,
+    }
+}
+
+/// Apply a random interleaving of mutations to both the system and the
+/// mirror, then check search equivalence for a handful of queries under a
+/// given scan parallelism.
+fn run_interleaving(ops: &[(u8, u64)], initial_entries: usize, parallelism: ScanParallelism) {
+    let initial: Vec<(u32, Vec<f32>, Vec<u8>)> = (0..initial_entries as u32)
+        .map(|id| (id, vector_for(id, 0), doc_for(id, 0)))
+        .collect();
+    let vectors: Vec<Vec<f32>> = initial.iter().map(|e| e.1.clone()).collect();
+    let documents: Vec<Vec<u8>> = initial.iter().map(|e| e.2.clone()).collect();
+    let template = VectorDatabase::flat(&vectors, documents).expect("initial database");
+
+    let config = ReisConfig::tiny()
+        .with_scan_parallelism(parallelism)
+        .with_compaction(CompactionPolicy::manual());
+    let mut system = ReisSystem::new(config);
+    let db = system.deploy(&template).expect("deploy");
+    let mut mirror = Mirror::new(&initial);
+    let mut version = 1u32;
+
+    for &(code, payload) in ops {
+        match decode_op(code) {
+            Op::Insert => {
+                let vector = vector_for(1000 + payload as u32, payload);
+                let doc = doc_for(1000 + payload as u32, version);
+                let outcome = system.insert(db, &vector, doc.clone()).expect("insert");
+                mirror.append(outcome.ids[0], vector, doc);
+            }
+            Op::Delete => {
+                if mirror.live_ids().is_empty() {
+                    continue;
+                }
+                let id = mirror.live_ids()[payload as usize % mirror.live_ids().len()];
+                system.delete(db, id).expect("delete");
+                mirror.remove(id);
+            }
+            Op::Upsert => {
+                if mirror.live_ids().is_empty() {
+                    continue;
+                }
+                let id = mirror.live_ids()[payload as usize % mirror.live_ids().len()];
+                let vector = vector_for(id, payload.wrapping_add(7));
+                let doc = doc_for(id, version);
+                system.upsert(db, id, &vector, &doc).expect("upsert");
+                mirror.append(id, vector, doc);
+            }
+            Op::Compact => {
+                system.compact(db).expect("compact");
+            }
+        }
+        version += 1;
+    }
+
+    // Search equivalence against a from-scratch rebuild of the survivors.
+    let deployed = system.database(db).expect("deployed");
+    assert_eq!(deployed.live_entries(), mirror.live_ids().len());
+    match mirror.rebuild_flat(&template) {
+        None => {
+            let outcome = system.search(db, &vector_for(1, 3), 5).expect("search");
+            assert!(outcome.results.is_empty(), "empty corpus yields no results");
+        }
+        Some(reference_db) => {
+            let mut reference = ReisSystem::new(ReisConfig::tiny());
+            let ref_id = reference.deploy(&reference_db).expect("reference deploy");
+            let order = mirror.live_ids().to_vec();
+            for q in 0..4u32 {
+                let query = vector_for(2000 + q, 17);
+                let a = system.search(db, &query, 5).expect("mutated search");
+                let b = reference
+                    .search(ref_id, &query, 5)
+                    .expect("reference search");
+                assert_equivalent(&a, &b, &order, &format!("query {q}"));
+            }
+            // A query that exactly matches a live entry must find it (other
+            // entries may quantize identically and tie ahead of it, so
+            // membership — not rank — is the invariant).
+            if let Some(&id) = order.last() {
+                let (vector, doc) = &mirror.versions[&id];
+                let hit = system.search(db, vector, order.len()).expect("self search");
+                let position = hit
+                    .results
+                    .iter()
+                    .position(|n| n.id as u32 == id)
+                    .unwrap_or_else(|| panic!("live entry {id} missing from its own query"));
+                assert_eq!(&hit.documents[position], doc);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random interleavings of insert/delete/upsert (with occasional
+    /// compactions) keep every search bit-identical to a from-scratch
+    /// rebuild of the surviving corpus — under the sequential scan.
+    #[test]
+    fn mutations_match_rebuild_sequential(
+        ops in proptest::collection::vec((0u8..8, 0u64..1_000), 1..40),
+        entries in 6usize..40,
+    ) {
+        run_interleaving(&ops, entries, ScanParallelism::sequential());
+    }
+
+    /// The same invariant under intra-query sharded scans (segments scan
+    /// sequentially after the sharded base pass; results must not change).
+    #[test]
+    fn mutations_match_rebuild_sharded(
+        ops in proptest::collection::vec((0u8..8, 0u64..1_000), 1..30),
+        entries in 6usize..32,
+        shards in 2usize..5,
+    ) {
+        run_interleaving(
+            &ops,
+            entries,
+            ScanParallelism::sharded(shards).with_min_pages_per_shard(1),
+        );
+    }
+}
+
+#[test]
+fn insert_is_immediately_searchable_and_upsert_replaces() {
+    let mut system = ReisSystem::new(ReisConfig::tiny());
+    let vectors: Vec<Vec<f32>> = (0..24).map(|i| vector_for(i, 0)).collect();
+    let documents: Vec<Vec<u8>> = (0..24).map(|i| doc_for(i, 0)).collect();
+    let db_id = system
+        .deploy(&VectorDatabase::flat(&vectors, documents).unwrap())
+        .unwrap();
+
+    let fresh = vector_for(500, 9);
+    let outcome = system.insert(db_id, &fresh, b"fresh".to_vec()).unwrap();
+    assert_eq!(outcome.ids, vec![24]);
+    assert!(outcome.pages_programmed >= 3, "emb + int8 + doc pages");
+    assert!(outcome.latency > reis_nand::Nanos::ZERO);
+
+    let hit = system.search(db_id, &fresh, 1).unwrap();
+    assert_eq!(hit.results[0].id, 24);
+    assert_eq!(hit.documents[0], b"fresh");
+
+    // Upsert replaces the document under the same id.
+    system.upsert(db_id, 24, &fresh, b"fresher").unwrap();
+    let hit = system.search(db_id, &fresh, 1).unwrap();
+    assert_eq!(hit.results[0].id, 24);
+    assert_eq!(hit.documents[0], b"fresher");
+
+    // Upserting a base entry relocates it without changing its id.
+    let moved = vector_for(600, 11);
+    system.upsert(db_id, 3, &moved, b"moved").unwrap();
+    let hit = system.search(db_id, &moved, 1).unwrap();
+    assert_eq!(hit.results[0].id, 3);
+    assert_eq!(hit.documents[0], b"moved");
+
+    // Deleting removes it from every future result.
+    system.delete(db_id, 3).unwrap();
+    let gone = system.search(db_id, &moved, 24).unwrap();
+    assert!(gone.results.iter().all(|n| n.id != 3));
+    assert!(matches!(
+        system.delete(db_id, 3),
+        Err(reis_core::ReisError::EntryNotFound(3))
+    ));
+    assert!(matches!(
+        system.delete(db_id, 999),
+        Err(reis_core::ReisError::EntryNotFound(999))
+    ));
+}
+
+#[test]
+fn failed_mutations_leave_the_index_untouched() {
+    let mut system = ReisSystem::new(ReisConfig::tiny());
+    let vectors: Vec<Vec<f32>> = (0..16).map(|i| vector_for(i, 0)).collect();
+    let documents: Vec<Vec<u8>> = (0..16).map(|i| doc_for(i, 0)).collect();
+    let db_id = system
+        .deploy(&VectorDatabase::flat(&vectors, documents).unwrap())
+        .unwrap();
+    let query = vector_for(3, 0);
+    let before = system.search(db_id, &query, 16).unwrap();
+
+    // An upsert whose document does not fit must fail WITHOUT tombstoning
+    // the live version it was meant to replace.
+    let doc_slot = system.database(db_id).unwrap().layout.doc_slot_bytes;
+    let oversized = vec![0u8; doc_slot];
+    assert!(system
+        .upsert(db_id, 3, &vector_for(3, 9), &oversized)
+        .is_err());
+    // A mutation with a bad dimensionality fails too.
+    assert!(system
+        .insert(db_id, &vector_for(99, 1)[..DIM - 1], b"x".to_vec())
+        .is_err());
+
+    let after = system.search(db_id, &query, 16).unwrap();
+    assert_eq!(after.result_ids(), before.result_ids());
+    assert_eq!(after.documents, before.documents);
+    let deployed = system.database(db_id).unwrap();
+    assert!(
+        deployed.updates.is_clean(),
+        "failed mutations left state behind"
+    );
+    assert_eq!(deployed.live_entries(), 16);
+}
+
+#[test]
+fn compaction_reclaims_blocks_without_changing_results() {
+    let config = ReisConfig::tiny().with_compaction(CompactionPolicy::manual());
+    let mut system = ReisSystem::new(config);
+    let vectors: Vec<Vec<f32>> = (0..40).map(|i| vector_for(i, 0)).collect();
+    let documents: Vec<Vec<u8>> = (0..40).map(|i| doc_for(i, 0)).collect();
+    let db_id = system
+        .deploy(&VectorDatabase::flat(&vectors, documents).unwrap())
+        .unwrap();
+
+    // Churn: delete a third, upsert some, insert a batch.
+    for id in (0..40u32).step_by(3) {
+        system.delete(db_id, id).unwrap();
+    }
+    for id in [1u32, 7, 13] {
+        system
+            .upsert(db_id, id, &vector_for(id, 5), &doc_for(id, 5))
+            .unwrap();
+    }
+    let batch: Vec<Vec<f32>> = (100..110u32).map(|i| vector_for(i, 2)).collect();
+    let docs: Vec<Vec<u8>> = (100..110u32).map(|i| doc_for(i, 2)).collect();
+    system.insert_batch(db_id, &batch, docs).unwrap();
+
+    let queries: Vec<Vec<f32>> = (0..5u32).map(|q| vector_for(3000 + q, 23)).collect();
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| system.search(db_id, q, 8).unwrap())
+        .collect();
+    let erases_before = system.controller().device().stats().block_erases;
+
+    let outcome = system.compact(db_id).unwrap();
+    assert!(outcome.pages_rewritten > 0);
+    assert!(
+        outcome.blocks_reclaimed > 0,
+        "compaction must erase fully-invalidated blocks"
+    );
+    assert_eq!(
+        system.controller().device().stats().block_erases - erases_before,
+        outcome.blocks_reclaimed as u64
+    );
+    assert_eq!(
+        outcome.live_entries,
+        system.database(db_id).unwrap().live_entries()
+    );
+    assert!(system.database(db_id).unwrap().updates.is_clean());
+
+    // Results and documents are unchanged by compaction; the fine scan
+    // shrinks back to the dense layout.
+    for (query, reference) in queries.iter().zip(&before) {
+        let after = system.search(db_id, query, 8).unwrap();
+        assert_eq!(after.result_ids(), reference.result_ids());
+        assert_eq!(after.documents, reference.documents);
+        assert!(after.activity.fine_pages <= reference.activity.fine_pages);
+    }
+
+    // A second round of mutations on the compacted generation still works.
+    let id = system
+        .insert(db_id, &vector_for(700, 7), b"post".to_vec())
+        .unwrap()
+        .ids[0];
+    let hit = system.search(db_id, &vector_for(700, 7), 1).unwrap();
+    assert_eq!(hit.results[0].id as u32, id);
+    system.compact(db_id).unwrap();
+    let hit = system.search(db_id, &vector_for(700, 7), 1).unwrap();
+    assert_eq!(hit.results[0].id as u32, id);
+}
+
+#[test]
+fn ivf_mutations_match_rebuild_with_same_clusters() {
+    let config = ReisConfig::tiny().with_compaction(CompactionPolicy::manual());
+    let mut system = ReisSystem::new(config);
+    let vectors: Vec<Vec<f32>> = (0..60).map(|i| vector_for(i, 0)).collect();
+    let documents: Vec<Vec<u8>> = (0..60).map(|i| doc_for(i, 0)).collect();
+    let template = VectorDatabase::ivf(&vectors, documents, 5).unwrap();
+    let db_id = system.deploy(&template).unwrap();
+
+    // Mutate: deletes, upserts and inserts across clusters, tracking each
+    // id's live version host-side.
+    let mut versions: std::collections::HashMap<u32, (Vec<f32>, Vec<u8>)> = (0..60u32)
+        .map(|id| (id, (vector_for(id, 0), doc_for(id, 0))))
+        .collect();
+    for id in [2u32, 9, 25, 33, 48] {
+        system.delete(db_id, id).unwrap();
+        versions.remove(&id);
+    }
+    for id in [5u32, 17, 41] {
+        let (vector, doc) = (vector_for(id, 3), doc_for(id, 3));
+        system.upsert(db_id, id, &vector, &doc).unwrap();
+        versions.insert(id, (vector, doc));
+    }
+    for i in 200..212u32 {
+        let (vector, doc) = (vector_for(i, 1), doc_for(i, 1));
+        let assigned = system.insert(db_id, &vector, doc.clone()).unwrap().ids[0];
+        versions.insert(assigned, (vector, doc));
+    }
+
+    // Build the reference corpus in the mutated system's logical order:
+    // per cluster, surviving base members then live segment members.
+    let build_reference = |system: &ReisSystem| {
+        let deployed = system.database(db_id).unwrap();
+        let mut order: Vec<u32> = Vec::new();
+        let mut lists: Vec<Vec<usize>> = Vec::new();
+        for cluster in 0..deployed.rivf.len() {
+            let mut members = Vec::new();
+            let entry = deployed.rivf.entry(cluster).unwrap();
+            if entry.member_count() > 0 {
+                for storage in entry.first_embedding..=entry.last_embedding {
+                    if !deployed.updates.tombstones.contains(storage as usize) {
+                        members.push(order.len());
+                        order.push(deployed.storage_to_original[storage as usize]);
+                    }
+                }
+            }
+            for seg in deployed.updates.store.entries() {
+                if seg.cluster == cluster && !seg.deleted {
+                    members.push(order.len());
+                    order.push(seg.id);
+                }
+            }
+            lists.push(members);
+        }
+        (order, lists)
+    };
+
+    let check = |system: &mut ReisSystem, ctx: &str| {
+        let (order, lists) = build_reference(system);
+        let ref_vectors: Vec<Vec<f32>> = order.iter().map(|id| versions[id].0.clone()).collect();
+        let ref_docs: Vec<Vec<u8>> = order.iter().map(|id| versions[id].1.clone()).collect();
+        let reference_db = VectorDatabase::ivf_with_clusters(
+            &ref_vectors,
+            ref_docs,
+            template.binary_quantizer().clone(),
+            template.int8_quantizer().clone(),
+            reis_core::ClusterInfo {
+                centroids: template.clusters().unwrap().centroids.clone(),
+                lists,
+            },
+        )
+        .unwrap();
+        let mut reference = ReisSystem::new(ReisConfig::tiny());
+        let ref_id = reference.deploy(&reference_db).unwrap();
+        for q in 0..4u32 {
+            let query = vector_for(4000 + q, 29);
+            for nprobe in [1usize, 3, 5] {
+                let a = system
+                    .ivf_search_with_nprobe(db_id, &query, 8, nprobe)
+                    .unwrap();
+                let b = reference
+                    .ivf_search_with_nprobe(ref_id, &query, 8, nprobe)
+                    .unwrap();
+                assert_equivalent(
+                    &a,
+                    &b,
+                    &order,
+                    &format!("{ctx}, query {q}, nprobe {nprobe}"),
+                );
+            }
+        }
+    };
+
+    check(&mut system, "pre-compaction");
+    system.compact(db_id).unwrap();
+    check(&mut system, "post-compaction");
+}
+
+#[test]
+fn auto_compaction_triggers_under_churn() {
+    let policy = CompactionPolicy {
+        max_segment_fraction: 0.25,
+        max_dead_fraction: 0.25,
+        min_mutations: 4,
+    };
+    let config = ReisConfig::tiny().with_compaction(policy);
+    let mut system = ReisSystem::new(config);
+    let vectors: Vec<Vec<f32>> = (0..20).map(|i| vector_for(i, 0)).collect();
+    let documents: Vec<Vec<u8>> = (0..20).map(|i| doc_for(i, 0)).collect();
+    let db_id = system
+        .deploy(&VectorDatabase::flat(&vectors, documents).unwrap())
+        .unwrap();
+
+    let mut compacted = false;
+    for i in 0..8u32 {
+        let outcome = system
+            .insert(db_id, &vector_for(300 + i, 1), doc_for(300 + i, 1))
+            .unwrap();
+        compacted |= outcome.compaction.is_some();
+    }
+    assert!(compacted, "the policy must have fired during the churn");
+    let deployed = system.database(db_id).unwrap();
+    assert!(deployed.updates.stats.compactions >= 1);
+    assert_eq!(deployed.live_entries(), 28);
+    // Every inserted entry survived the automatic fold.
+    for i in 0..8u32 {
+        let hit = system.search(db_id, &vector_for(300 + i, 1), 1).unwrap();
+        assert_eq!(hit.documents[0], doc_for(300 + i, 1));
+    }
+}
+
+#[test]
+fn mutations_compose_with_batch_search() {
+    let mut system = ReisSystem::new(ReisConfig::tiny());
+    let vectors: Vec<Vec<f32>> = (0..32).map(|i| vector_for(i, 0)).collect();
+    let documents: Vec<Vec<u8>> = (0..32).map(|i| doc_for(i, 0)).collect();
+    let db_id = system
+        .deploy(&VectorDatabase::flat(&vectors, documents).unwrap())
+        .unwrap();
+    for i in 0..6u32 {
+        system
+            .insert(db_id, &vector_for(100 + i, 2), doc_for(100 + i, 2))
+            .unwrap();
+    }
+    system.delete(db_id, 4).unwrap();
+
+    let queries: Vec<Vec<f32>> = (0..6u32).map(|q| vector_for(5000 + q, 31)).collect();
+    let sequential: Vec<_> = queries
+        .iter()
+        .map(|q| system.search(db_id, q, 5).unwrap())
+        .collect();
+    let batch = system.search_batch(db_id, &queries, 5, 3).unwrap();
+    for (b, s) in batch.iter().zip(&sequential) {
+        assert_eq!(b.result_ids(), s.result_ids());
+        assert_eq!(b.documents, s.documents);
+        assert_eq!(b.activity, s.activity);
+    }
+}

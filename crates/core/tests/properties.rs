@@ -24,6 +24,41 @@ fn database(entries: usize, dim: usize) -> VectorDatabase {
     VectorDatabase::flat(&vectors, documents).expect("valid database")
 }
 
+/// On a scan large enough to fill the Temporal Top List many times over,
+/// the adaptive threshold must actually cut transfers, not just match them.
+#[test]
+fn adaptive_filtering_cuts_transferred_entries_on_large_scans() {
+    let entries = 150usize;
+    let dim = 64usize;
+    let vectors: Vec<Vec<f32>> = (0..entries)
+        .map(|i| {
+            (0..dim)
+                .map(|d| (((i * 17 + d * 11) % 37) as f32 - 18.0) / 7.0)
+                .collect()
+        })
+        .collect();
+    let documents: Vec<Vec<u8>> = (0..entries)
+        .map(|i| format!("doc {i}").into_bytes())
+        .collect();
+    let db = VectorDatabase::flat(&vectors, documents).unwrap();
+
+    let mut static_system = ReisSystem::new(ReisConfig::tiny());
+    let static_id = static_system.deploy(&db).unwrap();
+    let mut adaptive_system = ReisSystem::new(ReisConfig::tiny().with_adaptive_filtering(true));
+    let adaptive_id = adaptive_system.deploy(&db).unwrap();
+
+    let query = &vectors[123];
+    let a = static_system.search(static_id, query, 1).unwrap();
+    let b = adaptive_system.search(adaptive_id, query, 1).unwrap();
+    assert_eq!(a.results, b.results);
+    assert!(
+        b.activity.fine_entries < a.activity.fine_entries,
+        "adaptive {} should beat static {}",
+        b.activity.fine_entries,
+        a.activity.fine_entries
+    );
+}
+
 proptest! {
     /// Layout locations always stay inside the planned page counts, for any
     /// database size and (byte-aligned) dimensionality.
@@ -147,6 +182,56 @@ proptest! {
             let outcome = system.search(id, query, 10).expect("sharded search");
             prop_assert_eq!(&outcome, &expected, "{} shards on {:?}", shards, geometry);
         }
+    }
+
+    /// Adaptive distance filtering (tightening the threshold as the TTL
+    /// fills) returns the identical top-k — ids, distances and documents —
+    /// while never transferring more entries than the static threshold,
+    /// across database shapes and under both sequential and sharded scans.
+    #[test]
+    fn adaptive_filtering_matches_static_topk(
+        entries in 24usize..160,
+        dim_words in 1usize..4,
+        query_seed in 0usize..1_000,
+        shards in 1usize..4,
+    ) {
+        let dim = dim_words * 32;
+        let vectors: Vec<Vec<f32>> = (0..entries)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| (((i * 29 + d * 13 + query_seed * 7) % 31) as f32 - 15.0) / 6.0)
+                    .collect()
+            })
+            .collect();
+        let documents: Vec<Vec<u8>> = (0..entries)
+            .map(|i| format!("doc {i}").into_bytes())
+            .collect();
+        let db = VectorDatabase::flat(&vectors, documents).expect("valid database");
+        let query = &vectors[query_seed % entries];
+
+        let parallelism = if shards == 1 {
+            ScanParallelism::sequential()
+        } else {
+            ScanParallelism::sharded(shards).with_min_pages_per_shard(1)
+        };
+        let static_config = ReisConfig::tiny().with_scan_parallelism(parallelism);
+        let adaptive_config = static_config.with_adaptive_filtering(true);
+
+        let mut static_system = ReisSystem::new(static_config);
+        let static_id = static_system.deploy(&db).expect("static deploy");
+        let mut adaptive_system = ReisSystem::new(adaptive_config);
+        let adaptive_id = adaptive_system.deploy(&db).expect("adaptive deploy");
+
+        let a = static_system.search(static_id, query, 5).expect("static search");
+        let b = adaptive_system.search(adaptive_id, query, 5).expect("adaptive search");
+        prop_assert_eq!(&a.results, &b.results, "top-k must be identical");
+        prop_assert_eq!(&a.documents, &b.documents);
+        prop_assert!(
+            b.activity.fine_entries <= a.activity.fine_entries,
+            "adaptive transferred {} > static {}",
+            b.activity.fine_entries,
+            a.activity.fine_entries
+        );
     }
 
     /// Query latency grows with fine-scan activity and never underflows the

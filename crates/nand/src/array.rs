@@ -87,6 +87,18 @@ impl Plane {
     }
 }
 
+/// Metadata of a page read whose payload was written into caller-supplied
+/// buffers (the allocation-free variant of [`PageReadout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageReadMeta {
+    /// The scheme the page was programmed with.
+    pub scheme: ProgramScheme,
+    /// Number of raw bit errors injected into this read.
+    pub bit_errors: usize,
+    /// Simulated latency of the read, including the channel transfer.
+    pub latency: Nanos,
+}
+
 /// Result of a full page read that reaches the SSD controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PageReadout {
@@ -392,6 +404,38 @@ impl FlashDevice {
         })
     }
 
+    /// Read a page all the way to the controller, writing the user data and
+    /// OOB bytes into caller-supplied buffers (which are cleared first).
+    ///
+    /// Functionally and statistically identical to
+    /// [`FlashDevice::read_page`], but reuses the caller's allocations so a
+    /// pooled readout loop performs no per-page heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::sense_page`].
+    pub fn read_page_into(
+        &mut self,
+        addr: PageAddr,
+        data: &mut Vec<u8>,
+        oob: &mut Vec<u8>,
+    ) -> Result<PageReadMeta> {
+        let (scheme, bit_errors, sense_latency) = self.sense_into_buffer(addr)?;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        let buffer = &self.planes[idx].buffer;
+        data.clear();
+        data.extend_from_slice(buffer.sensing().expect("sensing latch was just filled"));
+        oob.clear();
+        oob.extend_from_slice(buffer.oob().unwrap_or(&[]));
+        let bytes = data.len() + oob.len();
+        self.stats.bytes_to_controller += bytes as u64;
+        Ok(PageReadMeta {
+            scheme,
+            bit_errors,
+            latency: sense_latency + self.timing.channel_transfer(bytes),
+        })
+    }
+
     /// Read only the OOB bytes of a page to the controller.
     ///
     /// # Errors
@@ -613,6 +657,46 @@ impl FlashDevice {
             .clone()
             .ok_or(NandError::PageNotProgrammed(addr))?;
         Ok((data, page.oob.clone().unwrap_or_default()))
+    }
+
+    /// Write the pristine stored user data of a page into a caller-supplied
+    /// buffer (the allocation-free variant of
+    /// [`FlashDevice::pristine_page_data`], used by the controller's pooled
+    /// ECC readout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PageNotProgrammed`] if the page holds no data.
+    pub fn pristine_page_into(&self, addr: PageAddr, data: &mut Vec<u8>) -> Result<()> {
+        self.geometry.check_page(addr)?;
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        let stored = self.planes[idx]
+            .block(addr.block)
+            .and_then(|block| block.pages[addr.page].data.as_deref())
+            .ok_or(NandError::PageNotProgrammed(addr))?;
+        data.clear();
+        data.extend_from_slice(stored);
+        Ok(())
+    }
+
+    /// Number of currently programmed pages in a block (0 for a block that
+    /// was never touched or was erased). Garbage collection uses this to
+    /// decide when every live page of a block has been invalidated and the
+    /// block can be reclaimed by an erase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::AddressOutOfRange`] for an invalid block address.
+    pub fn programmed_pages_in_block(&self, addr: BlockAddr) -> Result<usize> {
+        self.geometry.check_plane(addr.plane_addr())?;
+        if addr.block >= self.geometry.blocks_per_plane {
+            return Err(NandError::BlockOutOfRange(addr));
+        }
+        let idx = self.geometry.plane_index(addr.plane_addr());
+        Ok(self.planes[idx]
+            .block(addr.block)
+            .map(|b| b.pages.iter().filter(|p| p.is_programmed()).count())
+            .unwrap_or(0))
     }
 
     /// Read the raw XOR of two programmed pages, as the randomizer logic

@@ -15,8 +15,8 @@ use reis_nand::{Geometry, PageAddr};
 use crate::error::{Result, SsdError};
 
 /// A contiguous range of stripe indices reserved for one purpose (one region
-/// of one database).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// of one database). The default value is the empty region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct StripedRegion {
     /// First stripe index of the region.
     pub start: usize,
@@ -106,16 +106,23 @@ pub fn page_to_stripe(geometry: &Geometry, addr: PageAddr) -> usize {
         + addr.channel
 }
 
-/// Bump allocator over the stripe index space.
+/// Bump allocator over the stripe index space, with a recycling free list.
 ///
-/// Databases are deployed once and read many times, so a simple
+/// Base database regions are deployed once and read many times, so a simple
 /// high-watermark allocator (with whole-region reservation to guarantee
 /// physical contiguity) models the defragmented layout REIS creates during
-/// `DB_Deploy` (Sec. 4.1.4).
+/// `DB_Deploy` (Sec. 4.1.4). The online update path additionally needs to
+/// give pages back: released regions enter a coalesced free-range list, and
+/// subsequent reservations may recycle a released range — but only once the
+/// caller can prove its pages were erased, which is why
+/// [`PageAllocator::reserve_recycled`] takes a per-stripe usability
+/// predicate (the controller passes "not currently programmed").
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageAllocator {
     total_pages: usize,
     next_free: usize,
+    /// Released `(start, len)` stripe ranges, sorted by start and coalesced.
+    recycled: Vec<(usize, usize)>,
 }
 
 impl PageAllocator {
@@ -124,26 +131,36 @@ impl PageAllocator {
         PageAllocator {
             total_pages: geometry.total_pages(),
             next_free: 0,
+            recycled: Vec::new(),
         }
     }
 
-    /// Pages not yet reserved.
+    /// Pages not currently reserved (never-touched pages above the bump
+    /// watermark plus released ranges awaiting recycling).
     pub fn free_pages(&self) -> usize {
-        self.total_pages - self.next_free
+        self.total_pages - self.next_free + self.recycled_pages()
     }
 
-    /// Pages already reserved.
+    /// Pages currently reserved.
     pub fn used_pages(&self) -> usize {
-        self.next_free
+        self.next_free - self.recycled_pages()
     }
 
-    /// Reserve a contiguous striped region of `pages` pages.
+    /// Pages sitting in released ranges, available for recycling.
+    pub fn recycled_pages(&self) -> usize {
+        self.recycled.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Reserve a contiguous striped region of `pages` pages from the bump
+    /// watermark (never from released ranges; see
+    /// [`PageAllocator::reserve_recycled`]).
     ///
     /// # Errors
     ///
-    /// Returns [`SsdError::OutOfSpace`] if fewer than `pages` pages are free.
+    /// Returns [`SsdError::OutOfSpace`] if the watermark cannot fit the
+    /// region, even if enough released pages exist.
     pub fn reserve(&mut self, pages: usize) -> Result<StripedRegion> {
-        if pages > self.free_pages() {
+        if self.next_free + pages > self.total_pages {
             return Err(SsdError::OutOfSpace {
                 requested_pages: pages,
                 available_pages: self.free_pages(),
@@ -157,10 +174,89 @@ impl PageAllocator {
         Ok(region)
     }
 
+    /// Try to reserve `pages` contiguous stripes from the released ranges.
+    ///
+    /// `usable` is consulted for every stripe of a candidate window; a
+    /// window is only handed out if all of its stripes qualify (the
+    /// controller passes "page not programmed", so recycled regions are
+    /// immediately programmable). Returns `None` — without side effects —
+    /// when no released window qualifies; callers then fall back to
+    /// [`PageAllocator::reserve`].
+    pub fn reserve_recycled(
+        &mut self,
+        pages: usize,
+        usable: impl Fn(usize) -> bool,
+    ) -> Option<StripedRegion> {
+        if pages == 0 {
+            return None;
+        }
+        for i in 0..self.recycled.len() {
+            let (start, len) = self.recycled[i];
+            if len < pages {
+                continue;
+            }
+            // First window of the range whose stripes are all usable.
+            let mut window = start;
+            while window + pages <= start + len {
+                if let Some(bad) = (window..window + pages).find(|&stripe| !usable(stripe)) {
+                    // Skip past the offending stripe.
+                    window = bad + 1;
+                    continue;
+                }
+                // Found: carve [window, window+pages) out of the range.
+                let region = StripedRegion {
+                    start: window,
+                    len: pages,
+                };
+                let head = window - start;
+                let tail = (start + len) - (window + pages);
+                match (head > 0, tail > 0) {
+                    (false, false) => {
+                        self.recycled.remove(i);
+                    }
+                    (true, false) => self.recycled[i] = (start, head),
+                    (false, true) => self.recycled[i] = (window + pages, tail),
+                    (true, true) => {
+                        self.recycled[i] = (start, head);
+                        self.recycled.insert(i + 1, (window + pages, tail));
+                    }
+                }
+                return Some(region);
+            }
+        }
+        None
+    }
+
+    /// Return a region's stripes to the free list (coalescing with adjacent
+    /// released ranges). The pages may still be programmed; recycling them
+    /// is gated by the predicate of [`PageAllocator::reserve_recycled`].
+    pub fn release(&mut self, region: &StripedRegion) {
+        if region.is_empty() {
+            return;
+        }
+        let (start, len) = (region.start, region.len);
+        let at = self.recycled.partition_point(|&(other, _)| other < start);
+        self.recycled.insert(at, (start, len));
+        // Coalesce around the insertion point.
+        let mut i = at.saturating_sub(1);
+        while i + 1 < self.recycled.len() {
+            let (a_start, a_len) = self.recycled[i];
+            let (b_start, b_len) = self.recycled[i + 1];
+            if a_start + a_len >= b_start {
+                let end = (a_start + a_len).max(b_start + b_len);
+                self.recycled[i] = (a_start, end - a_start);
+                self.recycled.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     /// Release every reservation (used when a database is torn down in
     /// tests; real deployments erase and redeploy).
     pub fn reset(&mut self) {
         self.next_free = 0;
+        self.recycled.clear();
     }
 }
 
@@ -234,6 +330,54 @@ mod tests {
             })
         ));
         assert!(StripedRegion::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn released_ranges_coalesce_and_recycle_under_a_predicate() {
+        let geom = Geometry::tiny();
+        let mut alloc = PageAllocator::new(&geom);
+        let a = alloc.reserve(8).unwrap();
+        let b = alloc.reserve(8).unwrap();
+        let c = alloc.reserve(8).unwrap();
+        let used = alloc.used_pages();
+        alloc.release(&a);
+        alloc.release(&c);
+        assert_eq!(alloc.recycled_pages(), 16);
+        assert_eq!(alloc.used_pages(), used - 16);
+        // Releasing b bridges a and c into one 24-stripe range.
+        alloc.release(&b);
+        assert_eq!(alloc.recycled_pages(), 24);
+
+        // A predicate rejecting stripe 3 forces the window past it.
+        let r = alloc.reserve_recycled(8, |stripe| stripe != 3).unwrap();
+        assert_eq!(r.start, 4);
+        assert_eq!(r.len, 8);
+        assert_eq!(alloc.recycled_pages(), 16);
+        // Nothing qualifies when the predicate rejects everything; the free
+        // list is untouched.
+        assert!(alloc.reserve_recycled(4, |_| false).is_none());
+        assert_eq!(alloc.recycled_pages(), 16);
+        // The remaining head [0,4) and tail [12,24) are still usable.
+        let head = alloc.reserve_recycled(4, |_| true).unwrap();
+        assert_eq!((head.start, head.len), (0, 4));
+        let tail = alloc.reserve_recycled(12, |_| true).unwrap();
+        assert_eq!((tail.start, tail.len), (12, 12));
+        assert_eq!(alloc.recycled_pages(), 0);
+    }
+
+    #[test]
+    fn recycled_pages_count_as_free() {
+        let geom = Geometry::tiny();
+        let mut alloc = PageAllocator::new(&geom);
+        let total = geom.total_pages();
+        let a = alloc.reserve(total).unwrap();
+        assert_eq!(alloc.free_pages(), 0);
+        alloc.release(&a);
+        assert_eq!(alloc.free_pages(), total);
+        // The bump watermark is exhausted, so plain reserve still fails …
+        assert!(alloc.reserve(1).is_err());
+        // … but recycling succeeds.
+        assert!(alloc.reserve_recycled(total, |_| true).is_some());
     }
 
     #[test]

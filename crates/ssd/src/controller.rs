@@ -167,6 +167,12 @@ impl SsdController {
     /// pages for a database region of the given kind, accounting its DRAM
     /// bookkeeping under `name`.
     ///
+    /// Released regions are recycled first: a previously released stripe
+    /// range is handed out again once every page in it has been erased
+    /// (compaction reclaims fully-invalid blocks, which is what makes the
+    /// pages reprogrammable). Only if no released window qualifies does the
+    /// reservation fall back to never-touched pages.
+    ///
     /// # Errors
     ///
     /// * [`SsdError::OutOfSpace`] if the flash array cannot fit the region.
@@ -177,10 +183,49 @@ impl SsdController {
         pages: usize,
         _kind: RegionKind,
     ) -> Result<StripedRegion> {
-        let region = self.allocator.reserve(pages)?;
+        let geometry = self.config.geometry;
+        let device = &self.device;
+        let recycled = self.allocator.reserve_recycled(pages, |stripe| {
+            let addr = crate::allocator::stripe_to_page(&geometry, stripe);
+            !device.is_programmed(addr).unwrap_or(true)
+        });
+        let region = match recycled {
+            Some(region) => region,
+            None => self.allocator.reserve(pages)?,
+        };
         // Region bookkeeping lives in DRAM next to the R-DB record.
         self.dram.allocate(name, crate::ftl::COARSE_RECORD_BYTES)?;
         Ok(region)
+    }
+
+    /// Release a database region: its still-programmed pages are marked
+    /// invalid for block reclamation, its stripes return to the allocator's
+    /// free list, and its DRAM bookkeeping under `name` is freed.
+    ///
+    /// The pages stay physically programmed until
+    /// [`SsdController::reclaim_invalid_blocks`] erases the blocks they
+    /// complete; only then can the stripes actually be recycled.
+    pub fn release_region(&mut self, name: &str, region: &StripedRegion) {
+        for offset in 0..region.len {
+            if let Ok(addr) = region.page_at(&self.config.geometry, offset) {
+                if self.device.is_programmed(addr).unwrap_or(false) {
+                    self.maintenance.mark_invalid(addr);
+                }
+            }
+        }
+        self.allocator.release(region);
+        self.dram.release(name);
+    }
+
+    /// Erase every block whose programmed pages have all been invalidated
+    /// (see [`MaintenanceManager::reclaim_invalid_blocks`]), returning the
+    /// number of blocks erased and the total erase latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash erase errors.
+    pub fn reclaim_invalid_blocks(&mut self) -> Result<(usize, Nanos)> {
+        self.maintenance.reclaim_invalid_blocks(&mut self.device)
     }
 
     /// Program one page of a database region with the scheme mandated by the
@@ -206,6 +251,10 @@ impl SsdController {
     /// Read one page of a database region through the controller, applying
     /// ECC when the region's programming scheme requires it.
     ///
+    /// Allocates a fresh buffer per call; hot loops should prefer
+    /// [`SsdController::read_region_page_into`], which stages the readout in
+    /// caller-pooled buffers instead.
+    ///
     /// # Errors
     ///
     /// Propagates flash read errors.
@@ -215,26 +264,53 @@ impl SsdController {
         offset: usize,
         kind: RegionKind,
     ) -> Result<HostReadOutcome> {
-        let addr = region.page_at(&self.config.geometry, offset)?;
-        let readout = self.device.read_page(addr)?;
-        let mut latency = readout.latency;
-        let mut corrected = true;
-        let mut data = readout.data;
-        if self.config.hybrid.needs_ecc(kind) {
-            let outcome = self.ecc.decode_page(readout.bit_errors);
-            latency += outcome.latency;
-            corrected = outcome.corrected;
-            if corrected && readout.bit_errors > 0 {
-                data = self.device.pristine_page_data(addr)?.0;
-            }
-        }
-        // Staging the page in controller DRAM before it moves to the host.
-        latency += self.dram.write(data.len());
+        let mut data = Vec::new();
+        let mut oob = Vec::new();
+        let (latency, corrected) =
+            self.read_region_page_into(region, offset, kind, &mut data, &mut oob)?;
         Ok(HostReadOutcome {
             data,
             latency,
             corrected,
         })
+    }
+
+    /// Read one page of a database region through the controller into
+    /// caller-supplied staging buffers (cleared first), applying ECC when
+    /// the region's programming scheme requires it. Returns the read latency
+    /// and whether ECC fully corrected the raw read.
+    ///
+    /// This is the pooled variant of [`SsdController::read_region_page`]:
+    /// `data` stands in for the controller's ECC staging buffer, so a
+    /// page-ordered rerank or document-fetch loop that reuses one buffer
+    /// performs no per-page heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash read errors.
+    pub fn read_region_page_into(
+        &mut self,
+        region: &StripedRegion,
+        offset: usize,
+        kind: RegionKind,
+        data: &mut Vec<u8>,
+        oob: &mut Vec<u8>,
+    ) -> Result<(Nanos, bool)> {
+        let addr = region.page_at(&self.config.geometry, offset)?;
+        let meta = self.device.read_page_into(addr, data, oob)?;
+        let mut latency = meta.latency;
+        let mut corrected = true;
+        if self.config.hybrid.needs_ecc(kind) {
+            let outcome = self.ecc.decode_page(meta.bit_errors);
+            latency += outcome.latency;
+            corrected = outcome.corrected;
+            if corrected && meta.bit_errors > 0 {
+                self.device.pristine_page_into(addr, data)?;
+            }
+        }
+        // Staging the page in controller DRAM before it moves to the host.
+        latency += self.dram.write(data.len());
+        Ok((latency, corrected))
     }
 
     /// Conventional host write of one logical page.

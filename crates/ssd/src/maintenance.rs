@@ -57,6 +57,7 @@ pub struct MaintenanceManager {
     mode: SsdMode,
     gc_runs: u64,
     pages_relocated: u64,
+    blocks_reclaimed: u64,
 }
 
 impl MaintenanceManager {
@@ -146,6 +147,43 @@ impl MaintenanceManager {
         latency += device.erase_block(victim)?;
         self.gc_runs += 1;
         Ok(latency)
+    }
+
+    /// Erase every block whose programmed pages have all been invalidated
+    /// (the block-reclaim half of compaction: once an update pass migrated
+    /// or tombstone-dropped every live page of a block, the block holds no
+    /// useful data and an erase returns it to service).
+    ///
+    /// Returns the number of blocks erased and the total erase latency.
+    /// Blocks with a mix of live and invalid pages are left alone — a later
+    /// release of the neighbouring region may complete them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash erase errors.
+    pub fn reclaim_invalid_blocks(&mut self, device: &mut FlashDevice) -> Result<(usize, Nanos)> {
+        let mut victims: Vec<BlockAddr> = Vec::new();
+        for (&block, invalid) in &self.invalid_pages {
+            let programmed = device.programmed_pages_in_block(block)?;
+            if programmed > 0 && invalid.len() >= programmed {
+                victims.push(block);
+            }
+        }
+        // Deterministic erase order regardless of hash-map iteration.
+        victims.sort_unstable_by_key(|b| (b.channel, b.die, b.plane, b.block));
+        let mut latency = Nanos::ZERO;
+        for block in &victims {
+            latency += device.erase_block(*block)?;
+            self.invalid_pages.remove(block);
+            self.blocks_reclaimed += 1;
+        }
+        Ok((victims.len(), latency))
+    }
+
+    /// Number of blocks reclaimed (erased) because all their programmed
+    /// pages had been invalidated.
+    pub fn blocks_reclaimed(&self) -> u64 {
+        self.blocks_reclaimed
     }
 
     /// Number of garbage collection runs performed.
@@ -270,5 +308,43 @@ mod tests {
     fn gc_candidate_is_none_without_invalid_pages() {
         let m = MaintenanceManager::new();
         assert_eq!(m.gc_candidate(), None);
+    }
+
+    #[test]
+    fn reclaim_erases_only_fully_invalid_blocks() {
+        let geom = Geometry::tiny();
+        let mut device = FlashDevice::new(geom, TimingParams::default());
+        let mut m = MaintenanceManager::new();
+
+        // Block 0: two programmed pages, both invalidated -> reclaimable.
+        // Block 1: two programmed pages, one invalidated -> must survive.
+        for block in 0..2usize {
+            for page in 0..2usize {
+                let addr = PageAddr::new(0, 0, 0, block, page);
+                device
+                    .program_page(addr, &[7u8; 32], &[], ProgramScheme::EnhancedSlc)
+                    .unwrap();
+            }
+        }
+        m.mark_invalid(PageAddr::new(0, 0, 0, 0, 0));
+        m.mark_invalid(PageAddr::new(0, 0, 0, 0, 1));
+        m.mark_invalid(PageAddr::new(0, 0, 0, 1, 0));
+
+        let (reclaimed, latency) = m.reclaim_invalid_blocks(&mut device).unwrap();
+        assert_eq!(reclaimed, 1);
+        assert!(latency > Nanos::ZERO);
+        assert_eq!(m.blocks_reclaimed(), 1);
+        assert_eq!(device.erase_count(BlockAddr::new(0, 0, 0, 0)).unwrap(), 1);
+        assert_eq!(device.erase_count(BlockAddr::new(0, 0, 0, 1)).unwrap(), 0);
+        // The partially invalid block keeps its record; a second pass with
+        // nothing new reclaims nothing.
+        assert_eq!(m.invalid_count(BlockAddr::new(0, 0, 0, 1)), 1);
+        let (again, _) = m.reclaim_invalid_blocks(&mut device).unwrap();
+        assert_eq!(again, 0);
+        // Invalidating the remaining live page completes block 1.
+        m.mark_invalid(PageAddr::new(0, 0, 0, 1, 1));
+        let (last, _) = m.reclaim_invalid_blocks(&mut device).unwrap();
+        assert_eq!(last, 1);
+        assert_eq!(m.blocks_reclaimed(), 2);
     }
 }

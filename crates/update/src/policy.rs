@@ -1,0 +1,95 @@
+//! Compaction policy: when to fold segments back into the base region.
+//!
+//! Mutations make searches strictly more expensive — every live segment run
+//! adds pages to the fine scan, and every tombstone is a slot scanned for
+//! nothing — so the question is not *whether* to compact but *when*. The
+//! policy triggers on either form of accumulated debt: too many appended
+//! entries relative to the base region (scan amplification) or too many
+//! dead slots (wasted scan work and held-back blocks).
+
+use serde::{Deserialize, Serialize};
+
+/// Thresholds that trigger an automatic compaction after a mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompactionPolicy {
+    /// Compact when `segment entries / max(base entries, 1)` exceeds this
+    /// fraction (scan-amplification bound). `f64::INFINITY` disables the
+    /// trigger.
+    pub max_segment_fraction: f64,
+    /// Compact when `(tombstoned base slots + dead segment entries) /
+    /// max(live entries, 1)` exceeds this fraction (dead-space bound).
+    /// `f64::INFINITY` disables the trigger.
+    pub max_dead_fraction: f64,
+    /// Never auto-compact while the database holds fewer than this many
+    /// accumulated mutations, so small bursts do not thrash rewrites.
+    pub min_mutations: u64,
+}
+
+impl CompactionPolicy {
+    /// The default automatic policy: compact once segments grow past half
+    /// the base region or a quarter of the corpus is dead, but never before
+    /// 64 mutations accumulated.
+    pub fn auto() -> Self {
+        CompactionPolicy {
+            max_segment_fraction: 0.5,
+            max_dead_fraction: 0.25,
+            min_mutations: 64,
+        }
+    }
+
+    /// Manual-only compaction: nothing ever triggers automatically.
+    pub fn manual() -> Self {
+        CompactionPolicy {
+            max_segment_fraction: f64::INFINITY,
+            max_dead_fraction: f64::INFINITY,
+            min_mutations: u64::MAX,
+        }
+    }
+
+    /// Whether a database with the given shape should be compacted now.
+    pub fn should_compact(
+        &self,
+        base_entries: usize,
+        segment_entries: usize,
+        dead_entries: usize,
+        live_entries: usize,
+        mutations: u64,
+    ) -> bool {
+        if mutations < self.min_mutations {
+            return false;
+        }
+        let segment_fraction = segment_entries as f64 / base_entries.max(1) as f64;
+        let dead_fraction = dead_entries as f64 / live_entries.max(1) as f64;
+        segment_fraction > self.max_segment_fraction || dead_fraction > self.max_dead_fraction
+    }
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_policy_triggers_on_either_form_of_debt() {
+        let policy = CompactionPolicy::auto();
+        // Too few mutations: never.
+        assert!(!policy.should_compact(100, 80, 80, 100, 63));
+        // Segment amplification.
+        assert!(policy.should_compact(100, 51, 0, 151, 64));
+        assert!(!policy.should_compact(100, 50, 0, 150, 64));
+        // Dead space.
+        assert!(policy.should_compact(100, 0, 26, 100, 64));
+        assert!(!policy.should_compact(100, 0, 25, 100, 64));
+    }
+
+    #[test]
+    fn manual_policy_never_triggers() {
+        let policy = CompactionPolicy::manual();
+        assert!(!policy.should_compact(1, 1000, 1000, 1, u64::MAX - 1));
+    }
+}

@@ -1,0 +1,50 @@
+//! Mutation and compaction counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Running counters of every mutation a database served and of the
+/// compaction work they triggered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationStats {
+    /// Entries inserted (including the insert half of upserts).
+    pub inserts: u64,
+    /// Entries deleted (including the delete half of upserts).
+    pub deletes: u64,
+    /// Upserts served.
+    pub upserts: u64,
+    /// Flash pages programmed by the append path (embedding, INT8 and
+    /// document pages of every insert batch).
+    pub segment_pages_programmed: u64,
+    /// Compaction passes executed.
+    pub compactions: u64,
+    /// Pages rewritten by compaction passes (the write-amplification cost of
+    /// folding segments back into dense regions).
+    pub pages_rewritten: u64,
+    /// Blocks erased by compaction passes because every programmed page in
+    /// them had been invalidated.
+    pub blocks_reclaimed: u64,
+}
+
+impl MutationStats {
+    /// Total mutations served (inserts + deletes; upserts count one of
+    /// each).
+    pub fn mutations(&self) -> u64 {
+        self.inserts + self.deletes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutations_sum_inserts_and_deletes() {
+        let stats = MutationStats {
+            inserts: 3,
+            deletes: 2,
+            upserts: 1,
+            ..Default::default()
+        };
+        assert_eq!(stats.mutations(), 5);
+    }
+}

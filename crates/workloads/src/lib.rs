@@ -28,9 +28,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ground_truth;
+pub mod mutation;
 pub mod profile;
 pub mod synthetic;
 
 pub use ground_truth::GroundTruth;
+pub use mutation::{MutationMix, MutationOp, MutationTrace};
 pub use profile::DatasetProfile;
 pub use synthetic::SyntheticDataset;
