@@ -8,106 +8,21 @@
 
 use serde::{Deserialize, Serialize};
 
-#[inline(always)]
-fn word(chunk: &[u8]) -> u64 {
-    u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
-}
-
-/// Word-parallel popcount body (two `u64` words per step with independent
-/// accumulators, byte-wise tail), shared by the portable and POPCNT entry
-/// points.
-#[inline(always)]
-fn popcount_core(bytes: &[u8]) -> u32 {
-    let mut blocks = bytes.chunks_exact(16);
-    let (mut s0, mut s1) = (0u32, 0u32);
-    for block in blocks.by_ref() {
-        s0 += word(&block[0..8]).count_ones();
-        s1 += word(&block[8..16]).count_ones();
-    }
-    let mut words = blocks.remainder().chunks_exact(8);
-    let mut total = s0 + s1;
-    for w in words.by_ref() {
-        total += word(w).count_ones();
-    }
-    for &b in words.remainder() {
-        total += b.count_ones();
-    }
-    total
-}
-
-/// Word-parallel XOR-popcount body, shared by the portable and POPCNT entry
-/// points.
-#[inline(always)]
-fn hamming_core(a: &[u8], b: &[u8]) -> u32 {
-    let mut ab = a.chunks_exact(16);
-    let mut bb = b.chunks_exact(16);
-    let (mut s0, mut s1) = (0u32, 0u32);
-    for (x, y) in ab.by_ref().zip(bb.by_ref()) {
-        s0 += (word(&x[0..8]) ^ word(&y[0..8])).count_ones();
-        s1 += (word(&x[8..16]) ^ word(&y[8..16])).count_ones();
-    }
-    let mut aw = ab.remainder().chunks_exact(8);
-    let mut bw = bb.remainder().chunks_exact(8);
-    let mut total = s0 + s1;
-    for (x, y) in aw.by_ref().zip(bw.by_ref()) {
-        total += (word(x) ^ word(y)).count_ones();
-    }
-    for (x, y) in aw.remainder().iter().zip(bw.remainder()) {
-        total += (x ^ y).count_ones();
-    }
-    total
-}
-
-/// `popcount_core` compiled with the hardware POPCNT instruction.
-///
-/// # Safety
-///
-/// The caller must ensure the CPU supports the `popcnt` feature.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "popcnt")]
-unsafe fn popcount_popcnt(bytes: &[u8]) -> u32 {
-    popcount_core(bytes)
-}
-
-/// `hamming_core` compiled with the hardware POPCNT instruction.
-///
-/// # Safety
-///
-/// The caller must ensure the CPU supports the `popcnt` feature.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "popcnt")]
-unsafe fn hamming_popcnt(a: &[u8], b: &[u8]) -> u32 {
-    hamming_core(a, b)
-}
-
-/// Set-bit count of a packed bit vector, processed as `u64` words with a
-/// byte-wise tail; uses the hardware POPCNT instruction when the CPU has it.
-#[inline]
-pub fn popcount(bytes: &[u8]) -> u32 {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("popcnt") {
-        // SAFETY: feature presence checked at runtime just above.
-        return unsafe { popcount_popcnt(bytes) };
-    }
-    popcount_core(bytes)
-}
-
-/// Hamming distance between two equally long packed bit vectors, processed
-/// as `u64` words with a byte-wise tail; uses the hardware POPCNT
-/// instruction when the CPU has it.
+/// Hamming distance between two equally long packed bit vectors — the
+/// workspace's single word-parallel kernel ([`reis_kernels::hamming_bytes`]),
+/// re-exported where the vector types live.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+pub use reis_kernels::hamming_bytes;
+
+/// Set-bit count of a packed bit vector, processed as `u64` words with a
+/// byte-wise tail; uses the hardware POPCNT instruction when the CPU has it
+/// (delegates to the workspace kernel crate, [`reis_kernels`]).
 #[inline]
-pub fn hamming_bytes(a: &[u8], b: &[u8]) -> u32 {
-    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("popcnt") {
-        // SAFETY: feature presence checked at runtime just above.
-        return unsafe { hamming_popcnt(a, b) };
-    }
-    hamming_core(a, b)
+pub fn popcount(bytes: &[u8]) -> u32 {
+    reis_kernels::popcount_bytes(bytes) as u32
 }
 
 /// A binary-quantized embedding: one bit per dimension, packed into bytes.

@@ -45,6 +45,20 @@ fn bench_in_plane_distance(c: &mut Criterion) {
             counts.len()
         })
     });
+    // The multi-query fused kernel of the batch executor: one pass over the
+    // page words scores 8 resident queries (compare against 8× the
+    // single-query number above).
+    let queries: Vec<Vec<u8>> = (0..8)
+        .map(|q| (0..128).map(|i| ((i * 7 + q * 13) % 256) as u8).collect())
+        .collect();
+    let query_refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+    let mut fused_counts = Vec::new();
+    c.bench_function("in_plane_fused_8query_page", |b| {
+        b.iter(|| {
+            FailBitCounter::count_fused_into(&page, 128, &query_refs, &mut fused_counts);
+            fused_counts.len()
+        })
+    });
 }
 
 fn bench_hamming_kernels(c: &mut Criterion) {

@@ -11,11 +11,17 @@
 //! committed `BENCH_pr1.json` artifact is only refreshed by an explicit
 //! `--output BENCH_pr1.json`. See `docs/BENCHMARKS.md` for the workflow and
 //! the JSON schema.
+//!
+//! The sweep pins the *replica* batch path (`BatchFusion::Replicas`, static
+//! thresholds) so the worker column keeps measuring what `BENCH_pr1.json`
+//! recorded — per-worker device replicas scaling with threads. The fused
+//! shared-device path that is now the `search_batch` default is measured by
+//! its own benchmark, `fig_fused_batch`.
 
 use std::time::Instant;
 
 use reis_bench::{report, seed_reference};
-use reis_core::{ReisConfig, ReisSystem, VectorDatabase};
+use reis_core::{BatchFusion, ReisConfig, ReisSystem, VectorDatabase};
 use reis_nand::peripheral::{FailBitCounter, XorLogic};
 use reis_workloads::{DatasetProfile, SyntheticDataset};
 
@@ -195,7 +201,10 @@ fn main() {
     );
     let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), NLIST)
         .expect("database construction");
-    let mut system = ReisSystem::new(ReisConfig::ssd1());
+    let config = ReisConfig::ssd1()
+        .with_batch_fusion(BatchFusion::Replicas)
+        .with_adaptive_filtering(false);
+    let mut system = ReisSystem::new(config);
     let db_id = system.deploy(&database).expect("deployment");
 
     let ivf_queries: Vec<Vec<f32>> = dataset.queries().to_vec();

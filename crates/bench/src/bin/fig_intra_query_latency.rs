@@ -8,11 +8,17 @@
 //! `search` / `ivf_search` calls. It also re-verifies, on every shard
 //! count, that the sharded results are identical to the sequential scan.
 //!
-//! Results are written to `BENCH_pr2.json` by default; pass `--output PATH`
-//! (or set `REIS_BENCH_OUT`) to write elsewhere. Like all wall-clock
-//! benchmarks in this repo, the scaling column is only meaningful on
-//! multi-core hosts — the emitted JSON records `available_cores` so readers
-//! can tell (see `docs/BENCHMARKS.md`).
+//! Results are written to `BENCH_intra_query.json` by default (the
+//! committed `BENCH_pr2.json` is PR 2's recorded run; refreshing it takes
+//! an explicit `--output BENCH_pr2.json`); pass `--output PATH` (or set
+//! `REIS_BENCH_OUT`) to write elsewhere. Like all wall-clock benchmarks in
+//! this repo, the scaling column is only meaningful on multi-core hosts —
+//! the emitted JSON records `available_cores` so readers can tell (see
+//! `docs/BENCHMARKS.md`).
+//!
+//! Adaptive distance filtering is disabled for this sweep: an adapting scan
+//! pins itself to the sequential path (its threshold schedule is defined by
+//! page order), which would make the brute-force shard sweep a no-op.
 
 use std::time::Instant;
 
@@ -88,8 +94,10 @@ fn sweep(
     nprobe: Option<usize>,
     label: &str,
 ) -> Vec<LatencyPoint> {
-    // Sequential reference signatures for the invariance check.
-    system.set_scan_parallelism(ScanParallelism::sequential());
+    // Sequential reference signatures for the invariance check. Pinned:
+    // the plain `sequential()` default would be auto-upgraded to
+    // `available_parallelism` shards by single-query search.
+    system.set_scan_parallelism(ScanParallelism::pinned_sequential());
     let reference: Vec<_> = queries
         .iter()
         .map(|q| signature(system, db_id, q, nprobe))
@@ -100,7 +108,7 @@ fn sweep(
         .iter()
         .map(|&shards| {
             system.set_scan_parallelism(if shards == 1 {
-                ScanParallelism::sequential()
+                ScanParallelism::pinned_sequential()
             } else {
                 ScanParallelism::sharded(shards)
             });
@@ -162,7 +170,7 @@ fn main() {
     );
     let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), NLIST)
         .expect("database construction");
-    let mut system = ReisSystem::new(ReisConfig::ssd1());
+    let mut system = ReisSystem::new(ReisConfig::ssd1().with_adaptive_filtering(false));
     let db_id = system.deploy(&database).expect("deployment");
     let queries: Vec<Vec<f32>> = dataset.queries().to_vec();
 
@@ -214,7 +222,7 @@ fn main() {
         speedup(&bf),
         speedup(&ivf),
     );
-    let path = report::output_path("BENCH_pr2.json");
+    let path = report::output_path("BENCH_intra_query.json");
     std::fs::write(&path, json).expect("write benchmark json");
     println!("\nwrote {path}");
 }

@@ -252,30 +252,13 @@ pub mod fullscale {
 pub mod seed_reference {
     //! Byte-at-a-time reference kernels matching the seed implementation.
     //!
-    //! Kept as the single baseline both the criterion `kernels` bench and
+    //! The single baseline both the criterion `kernels` bench and
     //! `fig07b_batch_throughput` measure the u64-word kernels against, so
-    //! the reported speedups always refer to the same code.
+    //! the reported speedups always refer to the same code. The
+    //! implementations live in the workspace's kernel crate
+    //! ([`reis_kernels::reference`]) next to the word kernels they baseline.
 
-    /// Byte-wise XOR (the seed's `XorLogic::xor`).
-    pub fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
-        a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect()
-    }
-
-    /// Byte-wise per-chunk popcount (the seed's `FailBitCounter::count_per_chunk`).
-    pub fn count_per_chunk(latch: &[u8], chunk_bytes: usize) -> Vec<u32> {
-        latch
-            .chunks(chunk_bytes)
-            .map(|c| c.iter().map(|b| b.count_ones()).sum())
-            .collect()
-    }
-
-    /// Byte-wise Hamming distance (the seed's `BinaryVector::hamming_distance`).
-    pub fn hamming(a: &[u8], b: &[u8]) -> u32 {
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| (x ^ y).count_ones())
-            .sum()
-    }
+    pub use reis_kernels::reference::{count_per_chunk, hamming, xor};
 }
 
 pub mod report {

@@ -90,7 +90,15 @@ pub struct ScanParallelism {
 }
 
 impl ScanParallelism {
-    /// Sequential scanning (the default): one shard, no worker threads.
+    /// Sequential scanning (the constructor default): one shard, no worker
+    /// threads.
+    ///
+    /// For *single-query* searches this exact value doubles as the "no
+    /// preference" sentinel: `ReisSystem::search` upgrades it to
+    /// `sharded(available_parallelism)` (results are bit-identical; only
+    /// wall-clock changes, and adapting scans stay sequential regardless).
+    /// Use [`ScanParallelism::pinned_sequential`] to force single-threaded
+    /// scans even there.
     pub fn sequential() -> Self {
         ScanParallelism {
             max_shards: 1,
@@ -98,10 +106,29 @@ impl ScanParallelism {
         }
     }
 
-    /// Shard every large-enough scan across up to `max_shards` workers.
-    pub fn sharded(max_shards: usize) -> Self {
+    /// A setting that always scans sequentially, bypassing the
+    /// auto-sharding that `ReisSystem::search` applies when it sees the
+    /// plain [`ScanParallelism::sequential`] constructor default (the two
+    /// differ only in the unreachable per-shard page minimum).
+    pub fn pinned_sequential() -> Self {
         ScanParallelism {
-            max_shards: max_shards.max(1),
+            max_shards: 1,
+            min_pages_per_shard: usize::MAX,
+        }
+    }
+
+    /// Shard every large-enough scan across up to `max_shards` workers.
+    ///
+    /// `sharded(1)` is an *explicit* one-shard request and returns
+    /// [`ScanParallelism::pinned_sequential`], so it is never mistaken for
+    /// the [`ScanParallelism::sequential`] "no preference" default that
+    /// single-query searches auto-upgrade.
+    pub fn sharded(max_shards: usize) -> Self {
+        if max_shards <= 1 {
+            return ScanParallelism::pinned_sequential();
+        }
+        ScanParallelism {
+            max_shards,
             ..ScanParallelism::sequential()
         }
     }
@@ -110,6 +137,17 @@ impl ScanParallelism {
     pub fn with_min_pages_per_shard(mut self, pages: usize) -> Self {
         self.min_pages_per_shard = pages.max(1);
         self
+    }
+
+    /// Whether this value is the "no preference" constructor default that
+    /// single-query searches and fused batch scans upgrade to the host's
+    /// available parallelism. The check is structural, so a hand-built
+    /// value identical to [`ScanParallelism::sequential`] counts as the
+    /// default too — use [`ScanParallelism::pinned_sequential`] (and leave
+    /// its page minimum alone) to express an unforgeable "stay
+    /// sequential".
+    pub fn is_auto_default(&self) -> bool {
+        *self == ScanParallelism::sequential()
     }
 
     /// The shard count to actually use for a scan of `pages` pages on a
@@ -126,6 +164,44 @@ impl Default for ScanParallelism {
     fn default() -> Self {
         ScanParallelism::sequential()
     }
+}
+
+/// Which scans tighten their distance-filter threshold adaptively as the
+/// Temporal Top List fills (see [`ReisConfig::with_adaptive_filtering`]).
+///
+/// The adaptive schedule is defined by *sequential page order*: the
+/// threshold after page `p` depends on the entries admitted on the pages
+/// before `p`. To keep the transferred-entry counts (and therefore the
+/// modelled latency) identical on every machine, a scan that adapts always
+/// executes sequentially — intra-query sharding and fused-scan threading
+/// apply only to static-threshold scans, whose results and counts are
+/// partition-invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdaptiveFiltering {
+    /// Never adapt; the static paper threshold holds for the whole scan.
+    Off,
+    /// Adapt only brute-force fine scans (the default): those scans walk the
+    /// whole embedding region, so tightening pays the most, and their page
+    /// order is the plain storage order on every machine.
+    BruteForce,
+    /// Adapt every fine scan, IVF included.
+    All,
+}
+
+/// How a batched search executes on the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchFusion {
+    /// Page-major fused execution on the *shared* device (the default):
+    /// the batch's probed pages are sensed once each and scored against
+    /// every in-flight query by the fused multi-query kernel. Per-query
+    /// results, activity and modelled latency are bit-identical to running
+    /// the queries sequentially; only the physical sense count (and the
+    /// wall clock) shrinks.
+    Fused,
+    /// Per-worker device replicas (the pre-fusion path): every worker clones
+    /// the controller copy-on-write and executes its chunk of queries
+    /// independently, so every query re-senses every page it scans.
+    Replicas,
 }
 
 /// Complete configuration of a REIS system instance.
@@ -150,11 +226,14 @@ pub struct ReisConfig {
     pub ttl_metadata_bytes: usize,
     /// Intra-query scan sharding across the device's channel/die units.
     pub scan_parallelism: ScanParallelism,
-    /// Adaptive distance filtering: tighten the filter threshold during the
-    /// scan as the Temporal Top List fills (see
-    /// [`ReisConfig::with_adaptive_filtering`]). Off by default — the
-    /// static paper threshold is used for the whole scan.
-    pub adaptive_filtering: bool,
+    /// Which scans tighten the distance-filter threshold adaptively (see
+    /// [`ReisConfig::with_adaptive_filtering`]). Defaults to
+    /// [`AdaptiveFiltering::BruteForce`]: brute-force fine scans adapt, IVF
+    /// scans keep the static paper threshold.
+    pub adaptive_filtering: AdaptiveFiltering,
+    /// How batched searches execute (see [`BatchFusion`]); defaults to the
+    /// page-major fused path on the shared device.
+    pub batch_fusion: BatchFusion,
     /// When the update path compacts automatically (append segments folded
     /// back into dense regions). [`CompactionPolicy::manual`] disables
     /// auto-compaction entirely.
@@ -172,7 +251,8 @@ impl ReisConfig {
             host_link_bandwidth_bps: 7.0e9,
             ttl_metadata_bytes: 13,
             scan_parallelism: ScanParallelism::sequential(),
-            adaptive_filtering: false,
+            adaptive_filtering: AdaptiveFiltering::BruteForce,
+            batch_fusion: BatchFusion::Fused,
             compaction: CompactionPolicy::auto(),
         }
     }
@@ -211,17 +291,38 @@ impl ReisConfig {
         self
     }
 
-    /// Builder-style toggle of adaptive distance filtering.
+    /// Builder-style toggle of adaptive distance filtering: `true` adapts
+    /// every fine scan ([`AdaptiveFiltering::All`]), `false` disables
+    /// adaptation entirely ([`AdaptiveFiltering::Off`]). The constructor
+    /// default sits between the two ([`AdaptiveFiltering::BruteForce`]).
     ///
-    /// With adaptive filtering on, each scan (and each scan shard) tightens
-    /// its pass/fail threshold once its Temporal Top List holds a full
-    /// candidate set: an embedding whose distance exceeds the current k-th
-    /// best can never enter the final candidate list, so transferring it is
-    /// pure waste. The top-k result is provably identical to the static
-    /// threshold; only the number of transferred entries (and the TTL's
-    /// DRAM high-water mark) shrinks.
+    /// With adaptive filtering on, a scan tightens its pass/fail threshold
+    /// once its Temporal Top List holds a full candidate set: an embedding
+    /// whose distance exceeds the current k-th best can never enter the
+    /// final candidate list, so transferring it is pure waste. The top-k
+    /// result is provably identical to the static threshold; only the
+    /// number of transferred entries — and with it the modelled channel
+    /// transfer and quickselect latency, which [`crate::perf::PerfModel`]
+    /// prices from the actual entry count — shrinks. An adapting scan
+    /// always executes sequentially (see [`AdaptiveFiltering`]).
     pub fn with_adaptive_filtering(mut self, adaptive: bool) -> Self {
-        self.adaptive_filtering = adaptive;
+        self.adaptive_filtering = if adaptive {
+            AdaptiveFiltering::All
+        } else {
+            AdaptiveFiltering::Off
+        };
+        self
+    }
+
+    /// Builder-style override of the adaptive-filtering scope.
+    pub fn with_adaptive_scope(mut self, scope: AdaptiveFiltering) -> Self {
+        self.adaptive_filtering = scope;
+        self
+    }
+
+    /// Builder-style override of the batched-search execution mode.
+    pub fn with_batch_fusion(mut self, fusion: BatchFusion) -> Self {
+        self.batch_fusion = fusion;
         self
     }
 
@@ -229,6 +330,18 @@ impl ReisConfig {
     pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
         self.compaction = compaction;
         self
+    }
+
+    /// Whether a fine scan adapts its distance-filter threshold, given
+    /// whether the scan is brute-force (no cluster selection). Adapting
+    /// requires distance filtering to be enabled in the first place.
+    pub fn adapts(&self, brute_force: bool) -> bool {
+        self.optimizations.distance_filtering
+            && match self.adaptive_filtering {
+                AdaptiveFiltering::Off => false,
+                AdaptiveFiltering::BruteForce => brute_force,
+                AdaptiveFiltering::All => true,
+            }
     }
 
     /// The absolute Hamming-distance filter threshold for embeddings of
@@ -287,6 +400,31 @@ mod tests {
         let fine = sharded.with_min_pages_per_shard(1);
         assert_eq!(fine.effective_shards(128, 8), 8);
         assert_eq!(fine.effective_shards(128, 0), 1);
+    }
+
+    #[test]
+    fn adaptive_scope_and_fusion_defaults() {
+        let config = ReisConfig::ssd1();
+        assert_eq!(config.adaptive_filtering, AdaptiveFiltering::BruteForce);
+        assert_eq!(config.batch_fusion, BatchFusion::Fused);
+        assert!(config.adapts(true));
+        assert!(!config.adapts(false));
+        assert!(config.with_adaptive_filtering(true).adapts(false));
+        assert!(!config.with_adaptive_filtering(false).adapts(true));
+        // Without distance filtering there is no threshold to tighten.
+        assert!(!config
+            .with_optimizations(Optimizations::none())
+            .adapts(true));
+        assert_eq!(
+            config.with_batch_fusion(BatchFusion::Replicas).batch_fusion,
+            BatchFusion::Replicas
+        );
+        assert_eq!(
+            config
+                .with_adaptive_scope(AdaptiveFiltering::Off)
+                .adaptive_filtering,
+            AdaptiveFiltering::Off
+        );
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub struct ScanScratch {
     passing: Vec<(u32, u32)>,
     /// The Temporal Top List accumulating candidates, reused across the
     /// coarse and fine phases.
-    ttl: TemporalTopList,
+    pub(crate) ttl: TemporalTopList,
     /// Merged `(start, end)` page ranges selected for the fine scan.
     page_ranges: Vec<(usize, usize)>,
     /// Sorted `(first, last)` storage-index ranges of the probed clusters.
@@ -106,7 +106,7 @@ pub struct ScanScratch {
     /// Clusters whose append segments the current fine scan must cover.
     cluster_buf: Vec<usize>,
     /// Number of fine-search candidates requested (bounds `ttl.top`).
-    candidate_count: usize,
+    pub(crate) candidate_count: usize,
     /// Worker-local data-latch image of a read-only scan shard: the XOR of a
     /// stored page against the broadcast query, computed here instead of in
     /// the plane's (shared) page buffer.
@@ -147,7 +147,7 @@ struct RerankCandidate {
 /// filtering it in-plane is lossless. The `<=` pass condition keeps
 /// equal-distance entries flowing, which the `storage_index` tie-break may
 /// still admit.
-fn tighten_threshold(
+pub(crate) fn tighten_threshold(
     ttl: &mut crate::records::TemporalTopList,
     candidate_count: usize,
     threshold: &mut u32,
@@ -171,7 +171,7 @@ pub struct InStorageEngine<'a> {
 
 /// Merge a list of `(start, end)` half-open ranges in place: empty ranges
 /// are dropped, the rest sorted and overlapping/adjacent ranges coalesced.
-fn merge_page_ranges(ranges: &mut Vec<(usize, usize)>) {
+pub(crate) fn merge_page_ranges(ranges: &mut Vec<(usize, usize)>) {
     ranges.retain(|&(start, end)| start < end);
     if ranges.len() <= 1 {
         return;
@@ -192,9 +192,155 @@ fn merge_page_ranges(ranges: &mut Vec<(usize, usize)>) {
 
 /// Whether `index` falls inside one of the sorted, disjoint inclusive
 /// `(first, last)` ranges.
-fn in_valid_ranges(ranges: &[(u32, u32)], index: u32) -> bool {
+pub(crate) fn in_valid_ranges(ranges: &[(u32, u32)], index: u32) -> bool {
     let after = ranges.partition_point(|&(first, _)| first <= index);
     after > 0 && ranges[after - 1].1 >= index
+}
+
+/// Whether relative page `offset` falls inside one of the sorted, disjoint
+/// half-open `(start, end)` merged page ranges (the fused scan's per-query
+/// membership test).
+pub(crate) fn in_page_ranges(ranges: &[(usize, usize)], offset: usize) -> bool {
+    let after = ranges.partition_point(|&(start, _)| start <= offset);
+    after > 0 && ranges[after - 1].1 > offset
+}
+
+/// Compute the fine-scan selection of one query: the merged page ranges
+/// (relative to the database-embedding sub-region), the sorted storage-index
+/// ranges of interest, and the clusters whose append segments the scan must
+/// also cover. This is the shared prologue of the sequential
+/// [`InStorageEngine::fine_search`] and the fused batch executor, so both
+/// paths select exactly the same pages and entries.
+pub(crate) fn plan_fine_selection(
+    db: &DeployedDatabase,
+    clusters: Option<&[usize]>,
+    page_ranges: &mut Vec<(usize, usize)>,
+    valid_ranges: &mut Vec<(u32, u32)>,
+    cluster_buf: &mut Vec<usize>,
+) -> Result<()> {
+    let layout = db.layout;
+    page_ranges.clear();
+    valid_ranges.clear();
+    cluster_buf.clear();
+    match clusters {
+        Some(selected) => {
+            for &cluster in selected {
+                let entry = db
+                    .rivf
+                    .entry(cluster)
+                    .ok_or(ReisError::UnsupportedSearch(format!(
+                        "cluster {cluster} unknown"
+                    )))?;
+                cluster_buf.push(cluster);
+                if entry.member_count() == 0 {
+                    continue;
+                }
+                valid_ranges.push((entry.first_embedding, entry.last_embedding));
+                let range = layout.embedding_page_range(
+                    entry.first_embedding as usize,
+                    entry.last_embedding as usize,
+                );
+                page_ranges.push(range);
+            }
+        }
+        None => {
+            cluster_buf.extend(0..db.update_clusters());
+            if layout.entries > 0 {
+                valid_ranges.push((0, (layout.entries - 1) as u32));
+                page_ranges.push((0, layout.embedding_pages));
+            }
+        }
+    }
+    merge_page_ranges(page_ranges);
+    valid_ranges.sort_unstable();
+    Ok(())
+}
+
+/// Convert one passing base-region slot into a TTL entry, or `None` for
+/// slots that are out of range, tombstoned or outside the probed clusters.
+/// Shared by the sequential/sharded scan closures and the fused executor so
+/// every path admits exactly the same candidates.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn base_scan_entry(
+    centroid_pages: usize,
+    epp: usize,
+    entries_total: usize,
+    tombstones: &reis_update::TombstoneSet,
+    valid_ranges: &[(u32, u32)],
+    page: usize,
+    slot: usize,
+    distance: u32,
+    oob: OobEntry,
+) -> Option<TtlEntry> {
+    let storage_index = (page - centroid_pages) * epp + slot;
+    if storage_index >= entries_total {
+        return None;
+    }
+    // Tombstoned base entries are dead; their flash pages still hold
+    // them, so the scan must drop them here.
+    if tombstones.contains(storage_index) {
+        return None;
+    }
+    let si = storage_index as u32;
+    if !in_valid_ranges(valid_ranges, si) {
+        return None;
+    }
+    Some(TtlEntry {
+        distance,
+        storage_index: si,
+        radr: oob.radr,
+        dadr: oob.dadr,
+        tag: oob.tag,
+    })
+}
+
+/// Convert one passing append-segment slot into a TTL entry, filtering the
+/// OOB validity sentinel of unfilled slots and DRAM-side deletions. Shared
+/// by the sequential scan closure and the fused executor.
+pub(crate) fn segment_scan_entry(
+    store: &reis_update::SegmentStore,
+    base_capacity: u32,
+    distance: u32,
+    oob: OobEntry,
+) -> Option<TtlEntry> {
+    if oob.radr == OOB_INVALID_RADR || oob.radr < base_capacity {
+        return None;
+    }
+    let entry = store.entry(oob.radr - base_capacity)?;
+    if entry.deleted {
+        return None;
+    }
+    Some(TtlEntry {
+        distance,
+        storage_index: oob.radr,
+        radr: oob.radr,
+        dadr: oob.dadr,
+        tag: oob.tag,
+    })
+}
+
+/// Convert one passing centroid slot into a TTL-C entry, or `None` for pad
+/// slots past the last centroid. Shared by the sequential coarse search and
+/// the fused executor.
+pub(crate) fn coarse_scan_entry(
+    epp: usize,
+    centroids: usize,
+    page: usize,
+    slot: usize,
+    distance: u32,
+    oob: OobEntry,
+) -> Option<TtlEntry> {
+    let cluster = page * epp + slot;
+    if cluster >= centroids {
+        return None;
+    }
+    Some(TtlEntry {
+        distance,
+        storage_index: cluster as u32,
+        radr: oob.radr,
+        dadr: oob.dadr,
+        tag: oob.tag,
+    })
 }
 
 /// Body of one scan-shard worker: scan `ranges` (offsets relative to
@@ -538,17 +684,7 @@ impl<'a> InStorageEngine<'a> {
             None,
             epp,
             |page, slot, distance, oob| {
-                let cluster = page * epp + slot;
-                if cluster >= centroids {
-                    return None;
-                }
-                Some(TtlEntry {
-                    distance,
-                    storage_index: cluster as u32,
-                    radr: oob.radr,
-                    dadr: oob.dadr,
-                    tag: oob.tag,
-                })
+                coarse_scan_entry(epp, centroids, page, slot, distance, oob)
             },
         )?;
         let keep = nprobe.max(1);
@@ -593,48 +729,32 @@ impl<'a> InStorageEngine<'a> {
         // interest. Page ranges are merged instead of materializing a page
         // set; storage ranges are sorted for binary search in the scan loop.
         // The probed clusters are remembered so the append-segment pass
-        // below covers the same selection.
-        self.scratch.page_ranges.clear();
-        self.scratch.valid_ranges.clear();
-        self.scratch.cluster_buf.clear();
-        match clusters {
-            Some(selected) => {
-                for &cluster in selected {
-                    let entry =
-                        db.rivf
-                            .entry(cluster)
-                            .ok_or(ReisError::UnsupportedSearch(format!(
-                                "cluster {cluster} unknown"
-                            )))?;
-                    self.scratch.cluster_buf.push(cluster);
-                    if entry.member_count() == 0 {
-                        continue;
-                    }
-                    self.scratch
-                        .valid_ranges
-                        .push((entry.first_embedding, entry.last_embedding));
-                    let range = layout.embedding_page_range(
-                        entry.first_embedding as usize,
-                        entry.last_embedding as usize,
-                    );
-                    self.scratch.page_ranges.push(range);
-                }
-            }
-            None => {
-                self.scratch.cluster_buf.extend(0..db.update_clusters());
-                if layout.entries > 0 {
-                    self.scratch
-                        .valid_ranges
-                        .push((0, (layout.entries - 1) as u32));
-                    self.scratch.page_ranges.push((0, layout.embedding_pages));
-                }
-            }
+        // below covers the same selection. The planning is shared with the
+        // fused batch executor (`plan_fine_selection`), so both paths select
+        // identically.
+        {
+            let ScanScratch {
+                page_ranges,
+                valid_ranges,
+                cluster_buf,
+                ..
+            } = &mut *self.scratch;
+            plan_fine_selection(db, clusters, page_ranges, valid_ranges, cluster_buf)?;
         }
-        merge_page_ranges(&mut self.scratch.page_ranges);
-        self.scratch.valid_ranges.sort_unstable();
 
         let entries_total = layout.entries;
         let epp = layout.embeddings_per_page;
+        // Adaptive distance filtering tightens the in-plane threshold as the
+        // Temporal Top List fills. The adaptive schedule is defined by
+        // sequential page order, so an adapting scan never shards (see
+        // `AdaptiveFiltering`); only static-threshold scans are
+        // partition-invariant.
+        let adapt = if self.config.adapts(clusters.is_none()) {
+            Some(candidate_count.max(1))
+        } else {
+            None
+        };
+
         // Intra-query sharding decision: how many channel/die shards this
         // scan is worth, and whether the read-only shard path is exact for
         // the embedding region (error-free ESP reads).
@@ -653,17 +773,9 @@ impl<'a> InStorageEngine<'a> {
             .ssd
             .hybrid_policy()
             .scheme_for(RegionKind::BinaryEmbeddings);
-        let use_shards = shard_count > 1 && self.ssd.device().read_is_error_free(embedding_scheme);
-
-        // Adaptive distance filtering tightens the in-plane threshold as
-        // the Temporal Top List fills; only meaningful when the static
-        // filter is on in the first place.
-        let adapt =
-            if self.config.optimizations.distance_filtering && self.config.adaptive_filtering {
-                Some(candidate_count.max(1))
-            } else {
-                None
-            };
+        let use_shards = shard_count > 1
+            && adapt.is_none()
+            && self.ssd.device().read_is_error_free(embedding_scheme);
 
         // Temporarily move the range buffers out of the scratch so the scan
         // (which borrows the engine mutably) can read them.
@@ -673,26 +785,17 @@ impl<'a> InStorageEngine<'a> {
         let valid_ref = &valid;
         let tombstones = &db.updates.tombstones;
         let make_entry = move |page: usize, slot: usize, distance: u32, oob: OobEntry| {
-            let storage_index = (page - layout.centroid_pages) * epp + slot;
-            if storage_index >= entries_total {
-                return None;
-            }
-            // Tombstoned base entries are dead; their flash pages still hold
-            // them, so the scan must drop them here.
-            if tombstones.contains(storage_index) {
-                return None;
-            }
-            let si = storage_index as u32;
-            if !in_valid_ranges(valid_ref, si) {
-                return None;
-            }
-            Some(TtlEntry {
+            base_scan_entry(
+                layout.centroid_pages,
+                epp,
+                entries_total,
+                tombstones,
+                valid_ref,
+                page,
+                slot,
                 distance,
-                storage_index: si,
-                radr: oob.radr,
-                dadr: oob.dadr,
-                tag: oob.tag,
-            })
+                oob,
+            )
         };
         let scanned = if use_shards {
             // Plan per-channel/per-die shards over the merged ranges, then
@@ -755,20 +858,7 @@ impl<'a> InStorageEngine<'a> {
                         adapt,
                         epp,
                         |_page, _slot, distance, oob| {
-                            if oob.radr == OOB_INVALID_RADR || oob.radr < base_capacity {
-                                return None;
-                            }
-                            let entry = store.entry(oob.radr - base_capacity)?;
-                            if entry.deleted {
-                                return None;
-                            }
-                            Some(TtlEntry {
-                                distance,
-                                storage_index: oob.radr,
-                                radr: oob.radr,
-                                dadr: oob.dadr,
-                                tag: oob.tag,
-                            })
+                            segment_scan_entry(store, base_capacity, distance, oob)
                         },
                     )?;
                     counts.pages += seg_counts.pages;

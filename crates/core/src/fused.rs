@@ -1,0 +1,737 @@
+//! Page-major fused execution of batched searches (the shared-device batch
+//! path).
+//!
+//! The replica batch path parallelizes *across* queries: every worker clones
+//! the simulated device and each query re-senses every page it scans, so the
+//! physical sense count grows linearly with the batch. This module inverts
+//! the loop, the way REIS amortizes flash sensing across in-flight queries:
+//! the batch's probed pages are computed up front, each distinct page is
+//! sensed **once** through the borrowed
+//! [`SsdController::scan_region_page`] path, and the fused multi-query
+//! kernel ([`FailBitCounter::count_fused_into`]) scores the sensed page
+//! against every query whose selection covers it in a single pass over the
+//! page words. Each query accumulates candidates in its own Temporal Top
+//! List, and the downstream phases (quickselect, INT8 rerank, document
+//! fetch) run per query on the shared controller.
+//!
+//! # Bit-identity
+//!
+//! Per-query outcomes — results, documents, activity counters, modelled
+//! latency and energy — are bit-identical to running
+//! [`ReisSystem::search`](crate::system::ReisSystem::search) sequentially
+//! per query:
+//!
+//! * The per-query *logical* activity is unchanged: a query is charged every
+//!   page its own selection covers, exactly as the sequential scan counts
+//!   them, even though the device sensed the page once for the whole batch.
+//!   Only the device-level counters (and the wall clock) see the
+//!   amortization.
+//! * Candidate admission reuses the engine's entry constructors
+//!   ([`engine::base_scan_entry`], [`engine::segment_scan_entry`],
+//!   [`engine::coarse_scan_entry`]), and selection runs under the same
+//!   `(distance, storage_index)` total order, so the kept set is
+//!   order-independent.
+//! * Adaptive thresholds tighten in each query's own page order: the union
+//!   scan visits pages ascending, so the subsequence a query scores is the
+//!   same sequence the sequential scan would walk. Scans that adapt run
+//!   unsharded (the schedule is defined by sequential page order, see
+//!   [`AdaptiveFiltering`](crate::config::AdaptiveFiltering)); append
+//!   segments fuse per group of queries that share a probed-cluster order.
+//!
+//! # Accounting
+//!
+//! The fused scan performs no device mutation while scanning; after the scan
+//! the *physical* flash activity — each page sensed once, the in-plane
+//! XOR/count/check per `(page, query)` pair, the aggregate TTL traffic — is
+//! folded into the primary controller via
+//! [`ControllerActivity::flash_only`], mirroring how intra-query scan shards
+//! account their work.
+
+use std::collections::HashMap;
+
+use reis_nand::peripheral::{FailBitCounter, PassFailChecker};
+use reis_nand::{FlashStats, OobEntry, OobLayout, ScanShardPlan};
+use reis_ssd::{ControllerActivity, SsdController, StripedRegion};
+
+use crate::config::{ReisConfig, ScanParallelism};
+use crate::deploy::DeployedDatabase;
+use crate::energy::EnergyModel;
+use crate::engine::{self, InStorageEngine, ScanCounts, ScanScratch};
+use crate::error::{ReisError, Result};
+use crate::perf::{PerfModel, QueryActivity};
+use crate::records::{TemporalTopList, TtlEntry};
+use crate::system::SearchOutcome;
+
+/// The immutable per-query plan: the slot-padded binary query image the
+/// fused kernel scores against, and the selection the query's fine scan
+/// covers (shared with the sequential path via
+/// [`engine::plan_fine_selection`]).
+struct QueryPlan {
+    /// Binary query padded to the embedding slot size (the broadcast image).
+    padded: Vec<u8>,
+    /// Merged page ranges of the fine scan, relative to the embedding
+    /// sub-region.
+    page_ranges: Vec<(usize, usize)>,
+    /// Sorted storage-index ranges of the probed clusters.
+    valid_ranges: Vec<(u32, u32)>,
+    /// Probed clusters in selection order (segment-scan order).
+    cluster_buf: Vec<usize>,
+    /// Probed clusters sorted, for the fused segment pass's membership test.
+    cluster_sorted: Vec<usize>,
+}
+
+/// The mutable per-query scan state.
+struct QueryScanState {
+    /// Current distance-filter threshold (tightens under adaptation).
+    threshold: u32,
+    /// The query's Temporal Top List.
+    ttl: TemporalTopList,
+    /// Coarse-phase activity.
+    coarse: ScanCounts,
+    /// Fine-phase activity (base region plus append segments).
+    fine: ScanCounts,
+}
+
+impl QueryScanState {
+    fn new(threshold: u32) -> Self {
+        QueryScanState {
+            threshold,
+            ttl: TemporalTopList::new(),
+            coarse: ScanCounts::default(),
+            fine: ScanCounts::default(),
+        }
+    }
+}
+
+/// Which per-query counter a scored page belongs to.
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    Coarse,
+    Fine,
+}
+
+/// Score one borrowed page against the active queries with the fused
+/// kernel, filter per query, and push the admitted entries into each
+/// query's Temporal Top List.
+///
+/// `slice_buf` and `fused_counts` are reusable buffers; `make_entry` maps
+/// `(query, page, slot, distance, oob)` to an admitted entry. When `adapt`
+/// is set, each active query tightens its own threshold after this page —
+/// pages arrive in every query's own ascending page order, so the schedule
+/// equals the sequential scan's.
+#[allow(clippy::too_many_arguments)]
+fn score_page<'a>(
+    data: &[u8],
+    oob: &[u8],
+    page_offset: usize,
+    slot_bytes: usize,
+    epp: usize,
+    oob_layout: &OobLayout,
+    plans: &'a [QueryPlan],
+    active: &[usize],
+    states: &mut [QueryScanState],
+    slice_buf: &mut Vec<&'a [u8]>,
+    fused_counts: &mut Vec<u32>,
+    passing: &mut Vec<(u32, u32)>,
+    adapt: Option<usize>,
+    phase: Phase,
+    make_entry: &(dyn Fn(usize, usize, usize, u32, OobEntry) -> Option<TtlEntry> + Sync),
+) -> Result<()> {
+    slice_buf.clear();
+    slice_buf.extend(active.iter().map(|&q| plans[q].padded.as_slice()));
+    FailBitCounter::count_fused_into(data, slot_bytes, slice_buf, fused_counts);
+    let n_chunks = data.len().div_ceil(slot_bytes);
+    let limit = n_chunks.min(epp);
+    for (j, &q) in active.iter().enumerate() {
+        let state = &mut states[q];
+        let counts = &fused_counts[j * n_chunks..(j + 1) * n_chunks];
+        let phase_counts = match phase {
+            Phase::Coarse => &mut state.coarse,
+            Phase::Fine => &mut state.fine,
+        };
+        phase_counts.pages += 1;
+        phase_counts.slots_scanned += limit;
+        passing.clear();
+        PassFailChecker::filter_passing(&counts[..limit], state.threshold, |slot, distance| {
+            passing.push((slot as u32, distance));
+        });
+        for &(slot, distance) in passing.iter() {
+            let oob_entry = oob_layout.unpack_entry(oob, slot as usize)?;
+            if let Some(entry) = make_entry(q, page_offset, slot as usize, distance, oob_entry) {
+                phase_counts.entries_passed += 1;
+                state.ttl.push(entry);
+            }
+        }
+        if let Some(candidate_count) = adapt {
+            engine::tighten_threshold(&mut state.ttl, candidate_count, &mut state.threshold);
+        }
+    }
+    Ok(())
+}
+
+/// The logical flash activity of one query's scan phases, reconstructed
+/// from its counts exactly as the sequential engine tallies them on the
+/// device: one sense, one XOR, one fail-bit count and one pass/fail check
+/// per scanned page, plus the aggregate TTL channel traffic.
+///
+/// This (and [`broadcast_stats`]) mirrors the device-side accounting of
+/// `InStorageEngine::scan_pages` / `FlashDevice::input_broadcast` rather
+/// than sharing code with it; any drift between the two is caught by the
+/// fused-vs-sequential `flash_stats` equality assertions in
+/// `crates/core/tests/fused.rs`, which fail CI.
+fn logical_scan_stats(coarse: &ScanCounts, fine: &ScanCounts, entry_bytes: usize) -> FlashStats {
+    let pages = (coarse.pages + fine.pages) as u64;
+    FlashStats {
+        page_reads: pages,
+        xor_ops: pages,
+        bit_count_ops: pages,
+        pass_fail_ops: pages,
+        bytes_to_controller: (entry_bytes * (coarse.entries_passed + fine.entries_passed)) as u64,
+        ..FlashStats::new()
+    }
+}
+
+/// The logical flash activity of broadcasting one query into every die's
+/// cache latches, matching `InStorageEngine::broadcast_query` +
+/// `FlashDevice::input_broadcast` counter for counter.
+fn broadcast_stats(config: &ReisConfig, payload_bytes: usize) -> FlashStats {
+    let geometry = &config.ssd.geometry;
+    let dies = (geometry.channels * geometry.dies_per_channel) as u64;
+    let per_die = if config.optimizations.multi_plane_ibc {
+        payload_bytes as u64
+    } else {
+        (payload_bytes * geometry.planes_per_die) as u64
+    };
+    FlashStats {
+        broadcast_ops: dies,
+        bytes_from_controller: dies * per_die,
+        ..FlashStats::new()
+    }
+}
+
+/// Execute a whole batch of queries page-major on the shared controller.
+///
+/// The caller has already validated the query dimensions and checked that
+/// the embedding regions read error-free (the borrowed scan path's
+/// exactness precondition, same as intra-query sharding).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_batch_fused(
+    config: &ReisConfig,
+    controller: &mut SsdController,
+    perf: &PerfModel,
+    energy: &EnergyModel,
+    scratch: &mut ScanScratch,
+    db: &DeployedDatabase,
+    queries: &[Vec<f32>],
+    k: usize,
+    nprobe: Option<usize>,
+    shard_budget: usize,
+) -> Result<Vec<SearchOutcome>> {
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let layout = db.layout;
+    let geometry = controller.config().geometry;
+    let slot_bytes = layout.embedding_slot_bytes;
+    let epp = layout.embeddings_per_page;
+    let oob_layout = OobLayout::new(geometry.oob_size_bytes, epp)?;
+    let entry_bytes = slot_bytes + config.ttl_metadata_bytes;
+    let dim = db.binary_quantizer.dim();
+    let candidate_count = config.rerank_factor.max(1) * k.max(1);
+    let static_threshold = config.filter_threshold(dim);
+    let adapt = if config.adapts(nprobe.is_none()) {
+        Some(candidate_count.max(1))
+    } else {
+        None
+    };
+
+    // ---- Quantize every query up front and build the padded images the
+    // fused kernel scores against (the broadcast payloads).
+    let binaries = queries
+        .iter()
+        .map(|q| db.binary_quantizer.quantize(q))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    let int8s = queries
+        .iter()
+        .map(|q| db.int8_quantizer.quantize(q))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    let mut plans: Vec<QueryPlan> = binaries
+        .iter()
+        .map(|binary| {
+            let mut padded = vec![0u8; slot_bytes];
+            padded[..binary.as_bytes().len()].copy_from_slice(binary.as_bytes());
+            QueryPlan {
+                padded,
+                page_ranges: Vec::new(),
+                valid_ranges: Vec::new(),
+                cluster_buf: Vec::new(),
+                cluster_sorted: Vec::new(),
+            }
+        })
+        .collect();
+    let mut states: Vec<QueryScanState> = (0..queries.len())
+        .map(|_| QueryScanState::new(static_threshold))
+        .collect();
+
+    let mut physical_senses = 0u64;
+    let mut fused_counts: Vec<u32> = Vec::new();
+    let mut passing: Vec<(u32, u32)> = Vec::new();
+    let all_queries: Vec<usize> = (0..queries.len()).collect();
+    // Reusable per-page active-query list: cleared and refilled for every
+    // sensed page, like every other scan buffer (no per-page allocation).
+    let mut active: Vec<usize> = Vec::with_capacity(queries.len());
+
+    // The whole scan (coarse, planning, fused base, segments) runs inside
+    // one fallible block so that the physical activity it accumulated is
+    // folded into the primary device even when a phase fails midway — the
+    // merge-then-fail policy the replica and shard paths follow.
+    let scan_error = (|| -> Result<()> {
+        // ---- Coarse phase (IVF): the centroid pages are common to every
+        // query, so each is sensed once and scored against the whole batch.
+        // The centroid scan never filters and never adapts, so the fused order
+        // is immaterial — entries match the sequential coarse search exactly.
+        let per_query_clusters: Option<Vec<Vec<usize>>> = match nprobe {
+            Some(nprobe) => {
+                let centroids = layout.centroids;
+                let make_coarse =
+                    |_q: usize, page: usize, slot: usize, distance: u32, oob: OobEntry| {
+                        engine::coarse_scan_entry(epp, centroids, page, slot, distance, oob)
+                    };
+                // Thresholds are u32::MAX during the coarse phase; save and
+                // restore the fine-scan thresholds around it. The query-slice
+                // buffer is scoped to the phase so its borrow of `plans` ends
+                // before the fine-scan planning mutates them.
+                let mut slice_buf: Vec<&[u8]> = Vec::new();
+                for state in states.iter_mut() {
+                    state.threshold = u32::MAX;
+                }
+                for page_offset in 0..layout.centroid_pages {
+                    let (_, data, oob) =
+                        controller.scan_region_page(&db.record.embedding_region, page_offset)?;
+                    physical_senses += 1;
+                    score_page(
+                        data,
+                        oob,
+                        page_offset,
+                        slot_bytes,
+                        epp,
+                        &oob_layout,
+                        &plans,
+                        &all_queries,
+                        &mut states,
+                        &mut slice_buf,
+                        &mut fused_counts,
+                        &mut passing,
+                        None,
+                        Phase::Coarse,
+                        &make_coarse,
+                    )?;
+                }
+                let keep = nprobe.max(1);
+                let clusters = states
+                    .iter_mut()
+                    .map(|state| {
+                        state.threshold = static_threshold;
+                        state.ttl.quickselect(keep);
+                        state.ttl.sort_ascending();
+                        let selected = state
+                            .ttl
+                            .top(keep)
+                            .iter()
+                            .map(|e| e.storage_index as usize)
+                            .collect();
+                        state.ttl.clear();
+                        selected
+                    })
+                    .collect();
+                Some(clusters)
+            }
+            None => None,
+        };
+
+        // ---- Fine-scan planning: per-query selections (identical to the
+        // sequential prologue) plus their union, which is what the device
+        // actually senses.
+        for (q, plan) in plans.iter_mut().enumerate() {
+            let clusters = per_query_clusters.as_ref().map(|c| c[q].as_slice());
+            engine::plan_fine_selection(
+                db,
+                clusters,
+                &mut plan.page_ranges,
+                &mut plan.valid_ranges,
+                &mut plan.cluster_buf,
+            )?;
+            plan.cluster_sorted = plan.cluster_buf.clone();
+            plan.cluster_sorted.sort_unstable();
+        }
+        let mut union_ranges: Vec<(usize, usize)> = plans
+            .iter()
+            .flat_map(|p| p.page_ranges.iter().copied())
+            .collect();
+        engine::merge_page_ranges(&mut union_ranges);
+        let union_pages: usize = union_ranges.iter().map(|&(s, e)| e - s).sum();
+
+        // ---- Fused base scan over the union, page-major and ascending. Static
+        // scans may shard across channel/die workers (each worker scores all
+        // active queries for its pages); adapting scans run unsharded so every
+        // query's threshold schedule equals its sequential scan's.
+        let tombstones = &db.updates.tombstones;
+        let entries_total = layout.entries;
+        let centroid_pages = layout.centroid_pages;
+        let plans_ref = &plans;
+        let make_base = move |q: usize, page: usize, slot: usize, distance: u32, oob: OobEntry| {
+            engine::base_scan_entry(
+                centroid_pages,
+                epp,
+                entries_total,
+                tombstones,
+                &plans_ref[q].valid_ranges,
+                page,
+                slot,
+                distance,
+                oob,
+            )
+        };
+        let mut slice_buf: Vec<&[u8]> = Vec::new();
+        let parallelism = if config.scan_parallelism.is_auto_default() {
+            ScanParallelism::sharded(shard_budget)
+        } else {
+            config.scan_parallelism
+        };
+        let shard_count =
+            parallelism.effective_shards(ScanShardPlan::scan_units(&geometry), union_pages);
+        let region = &db.record.embedding_region;
+        if shard_count > 1 && adapt.is_none() {
+            fused_scan_sharded(
+                controller,
+                region,
+                &union_ranges,
+                shard_count,
+                centroid_pages,
+                slot_bytes,
+                epp,
+                &oob_layout,
+                plans_ref,
+                &mut states,
+                &mut physical_senses,
+                &make_base,
+            )?;
+        } else {
+            for &(start, end) in &union_ranges {
+                for offset in start..end {
+                    let page_offset = centroid_pages + offset;
+                    let (_, data, oob) = controller.scan_region_page(region, page_offset)?;
+                    physical_senses += 1;
+                    active.clear();
+                    active
+                        .extend((0..queries.len()).filter(|&q| {
+                            engine::in_page_ranges(&plans_ref[q].page_ranges, offset)
+                        }));
+                    score_page(
+                        data,
+                        oob,
+                        page_offset,
+                        slot_bytes,
+                        epp,
+                        &oob_layout,
+                        plans_ref,
+                        &active,
+                        &mut states,
+                        &mut slice_buf,
+                        &mut fused_counts,
+                        &mut passing,
+                        adapt,
+                        Phase::Fine,
+                        &make_base,
+                    )?;
+                }
+            }
+        }
+
+        // ---- Append segments of mutated indexes. Statically filtered batches
+        // fuse per cluster (each run page sensed once for every query probing
+        // the cluster — admission is order-independent). Adapting batches fuse
+        // per *group of queries with the same probed-cluster order*, so each
+        // query still visits segment pages in its own sequential order with the
+        // per-run threshold reset the sequential path applies; brute-force
+        // batches (the adaptive default) share one order and fuse fully.
+        if !db.updates.store.is_empty() {
+            let store = &db.updates.store;
+            let base_capacity = db.updates.base_capacity;
+            let make_segment =
+                move |_q: usize, _page: usize, _slot: usize, distance: u32, oob: OobEntry| {
+                    engine::segment_scan_entry(store, base_capacity, distance, oob)
+                };
+            if adapt.is_none() {
+                for cluster in 0..store.clusters() {
+                    active.clear();
+                    active.extend(
+                        (0..queries.len()).filter(|&q| {
+                            plans_ref[q].cluster_sorted.binary_search(&cluster).is_ok()
+                        }),
+                    );
+                    if active.is_empty() {
+                        continue;
+                    }
+                    for run in store.runs(cluster) {
+                        for offset in 0..run.len {
+                            let (_, data, oob) = controller.scan_region_page(run, offset)?;
+                            physical_senses += 1;
+                            score_page(
+                                data,
+                                oob,
+                                offset,
+                                slot_bytes,
+                                epp,
+                                &oob_layout,
+                                plans_ref,
+                                &active,
+                                &mut states,
+                                &mut slice_buf,
+                                &mut fused_counts,
+                                &mut passing,
+                                None,
+                                Phase::Fine,
+                                &make_segment,
+                            )?;
+                        }
+                    }
+                }
+            } else {
+                let mut groups: HashMap<&[usize], Vec<usize>> = HashMap::new();
+                for (q, plan) in plans.iter().enumerate() {
+                    groups
+                        .entry(plan.cluster_buf.as_slice())
+                        .or_default()
+                        .push(q);
+                }
+                let mut ordered: Vec<(&[usize], Vec<usize>)> = groups.into_iter().collect();
+                // Group iteration order only affects which queries share a
+                // sense, never any per-query outcome; sort for determinism of
+                // the physical counters.
+                ordered.sort_unstable_by_key(|(_, members)| members[0]);
+                for (cluster_order, members) in ordered {
+                    for &cluster in cluster_order {
+                        for run in store.runs(cluster) {
+                            // The sequential path starts every run's scan_pages
+                            // call from the static threshold.
+                            for &q in &members {
+                                states[q].threshold = static_threshold;
+                            }
+                            for offset in 0..run.len {
+                                let (_, data, oob) = controller.scan_region_page(run, offset)?;
+                                physical_senses += 1;
+                                score_page(
+                                    data,
+                                    oob,
+                                    offset,
+                                    slot_bytes,
+                                    epp,
+                                    &oob_layout,
+                                    plans_ref,
+                                    &members,
+                                    &mut states,
+                                    &mut slice_buf,
+                                    &mut fused_counts,
+                                    &mut passing,
+                                    adapt,
+                                    Phase::Fine,
+                                    &make_segment,
+                                )?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    })()
+    .err();
+
+    // ---- Fold the physical scan activity into the primary device — each
+    // page sensed once, the in-plane compute and TTL traffic per
+    // (page, query), plus every query's broadcast — *before* surfacing any
+    // scan error or running a downstream phase that could fail: even a
+    // failing scan walked real pages.
+    let broadcast = broadcast_stats(config, slot_bytes);
+    let mut page_scores = 0u64;
+    let mut ttl_bytes = 0u64;
+    for state in &states {
+        let logical = logical_scan_stats(&state.coarse, &state.fine, entry_bytes);
+        page_scores += logical.xor_ops;
+        ttl_bytes += logical.bytes_to_controller;
+    }
+    let mut physical = FlashStats::fused_scan(physical_senses, page_scores, ttl_bytes);
+    for _ in 0..states.len() {
+        physical.accumulate(&broadcast);
+    }
+    controller.absorb_activity(&ControllerActivity::flash_only(physical));
+    if let Some(error) = scan_error {
+        return Err(error);
+    }
+
+    // ---- Per-query downstream phases on the shared controller: candidate
+    // selection, INT8 rerank and document fetch, measured with per-query
+    // device deltas so the outcome's flash/DRAM accounting matches a
+    // sequential run of the same query.
+    let mut outcomes = Vec::with_capacity(queries.len());
+    for (q, state) in states.iter_mut().enumerate() {
+        state.ttl.quickselect(candidate_count.max(1));
+        state.ttl.sort_ascending();
+        std::mem::swap(&mut scratch.ttl, &mut state.ttl);
+        scratch.candidate_count = candidate_count;
+
+        let stats_before = *controller.device().stats();
+        let dram_before = controller.dram().bytes_read() + controller.dram().bytes_written();
+        let (results, documents, num_candidates, int8_pages) = {
+            let mut query_engine = InStorageEngine::new(controller, *config, scratch);
+            let num_candidates = query_engine.num_candidates();
+            let (results, int8_pages) = query_engine.rerank(db, &int8s[q], k)?;
+            let documents = query_engine.fetch_documents(db, &results)?;
+            (results, documents, num_candidates, int8_pages)
+        };
+        let rerank_delta = controller.device().stats().delta_since(&stats_before);
+        let dram_bytes =
+            controller.dram().bytes_read() + controller.dram().bytes_written() - dram_before;
+
+        let activity = QueryActivity {
+            coarse_pages: state.coarse.pages,
+            coarse_entries: state.coarse.entries_passed,
+            fine_pages: state.fine.pages,
+            fine_entries: state.fine.entries_passed,
+            rerank_candidates: num_candidates,
+            int8_pages,
+            documents: results.len(),
+            embedding_slot_bytes: slot_bytes,
+            dim,
+            doc_slot_bytes: layout.doc_slot_bytes,
+        };
+        let mut flash_stats = logical_scan_stats(&state.coarse, &state.fine, entry_bytes);
+        flash_stats.accumulate(&broadcast);
+        flash_stats.accumulate(&rerank_delta);
+        let latency = perf.query_latency(&activity, k);
+        let core_busy = perf.core_busy(&activity, k);
+        let energy_breakdown =
+            energy.query_energy(&flash_stats, dram_bytes, core_busy, latency.total());
+        outcomes.push(SearchOutcome {
+            results,
+            documents,
+            latency,
+            activity,
+            energy: energy_breakdown,
+            flash_stats,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Shard the fused base scan across channel/die workers: each shard worker
+/// senses its own page subset once and scores all queries whose selection
+/// covers the page, in its own per-query state. Only valid for static
+/// thresholds (admission is order-independent) — the caller gates on
+/// `adapt.is_none()`. The physical sense count accumulates into
+/// `physical_senses` even when a shard fails, so the caller's
+/// merge-then-fail accounting sees the work every shard performed.
+#[allow(clippy::too_many_arguments)]
+fn fused_scan_sharded(
+    controller: &SsdController,
+    region: &StripedRegion,
+    union_ranges: &[(usize, usize)],
+    shard_count: usize,
+    page_base: usize,
+    slot_bytes: usize,
+    epp: usize,
+    oob_layout: &OobLayout,
+    plans: &[QueryPlan],
+    states: &mut [QueryScanState],
+    physical_senses: &mut u64,
+    make_entry: &(dyn Fn(usize, usize, usize, u32, OobEntry) -> Option<TtlEntry> + Sync),
+) -> Result<()> {
+    let geometry = controller.config().geometry;
+    let plan = ScanShardPlan::build(&geometry, shard_count, union_ranges, |offset| {
+        region
+            .page_at(&geometry, page_base + offset)
+            .map(|addr| addr.plane_addr())
+    })?;
+    let static_threshold = states.first().map(|s| s.threshold).unwrap_or(u32::MAX);
+
+    type ShardOutput = (Vec<QueryScanState>, u64, Option<ReisError>);
+    let shard_outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .shards()
+            .iter()
+            .filter(|shard| !shard.is_empty())
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut local: Vec<QueryScanState> = (0..plans.len())
+                        .map(|_| QueryScanState::new(static_threshold))
+                        .collect();
+                    let mut senses = 0u64;
+                    let mut slice_buf: Vec<&[u8]> = Vec::new();
+                    let mut fused_counts: Vec<u32> = Vec::new();
+                    let mut passing: Vec<(u32, u32)> = Vec::new();
+                    let mut active: Vec<usize> = Vec::with_capacity(plans.len());
+                    let mut scan = || -> Result<()> {
+                        for &(start, end) in shard.ranges() {
+                            for offset in start..end {
+                                let page_offset = page_base + offset;
+                                let (_, data, oob) =
+                                    controller.scan_region_page(region, page_offset)?;
+                                senses += 1;
+                                active.clear();
+                                active.extend((0..plans.len()).filter(|&q| {
+                                    engine::in_page_ranges(&plans[q].page_ranges, offset)
+                                }));
+                                score_page(
+                                    data,
+                                    oob,
+                                    page_offset,
+                                    slot_bytes,
+                                    epp,
+                                    oob_layout,
+                                    plans,
+                                    &active,
+                                    &mut local,
+                                    &mut slice_buf,
+                                    &mut fused_counts,
+                                    &mut passing,
+                                    None,
+                                    Phase::Fine,
+                                    make_entry,
+                                )?;
+                            }
+                        }
+                        Ok(())
+                    };
+                    let error = scan().err();
+                    (local, senses, error)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("fused scan shard worker panicked"))
+            .collect()
+    });
+
+    // Merge shard-local states per query (selection is order-free under the
+    // total-order quickselect) and the physical sense counts; the work a
+    // failing shard performed is still merged before the error surfaces.
+    let mut first_error = None;
+    for (mut local, shard_senses, error) in shard_outputs {
+        *physical_senses += shard_senses;
+        for (state, shard_state) in states.iter_mut().zip(local.iter_mut()) {
+            state.fine.pages += shard_state.fine.pages;
+            state.fine.slots_scanned += shard_state.fine.slots_scanned;
+            state.fine.entries_passed += shard_state.fine.entries_passed;
+            state.ttl.absorb(&mut shard_state.ttl);
+        }
+        if first_error.is_none() {
+            first_error = error;
+        }
+    }
+    match first_error {
+        Some(error) => Err(error),
+        None => Ok(()),
+    }
+}

@@ -19,7 +19,11 @@
 //! * [`perf`] — the latency model (plane/die/channel parallelism,
 //!   pipelining, MPIBC).
 //! * [`energy`] — the per-operation energy model.
-//! * [`system`] — [`system::ReisSystem`], the host-facing API of Table 1.
+//! * [`system`] — [`system::ReisSystem`], the host-facing API of Table 1,
+//!   whose batched searches default to page-major *fused* execution on the
+//!   shared device: each probed page is sensed once and scored against
+//!   every in-flight query (see [`config::BatchFusion`]), bit-identical
+//!   per query to sequential search.
 //! * [`config`] — REIS-SSD1 / REIS-SSD2 configurations and the optimization
 //!   toggles of the Fig. 9 sensitivity study.
 //!
@@ -53,13 +57,14 @@ pub mod deploy;
 pub mod energy;
 pub mod engine;
 pub mod error;
+mod fused;
 pub mod layout;
 pub mod mutate;
 pub mod perf;
 pub mod records;
 pub mod system;
 
-pub use config::{Optimizations, ReisConfig, ScanParallelism};
+pub use config::{AdaptiveFiltering, BatchFusion, Optimizations, ReisConfig, ScanParallelism};
 pub use database::{ClusterInfo, VectorDatabase};
 pub use deploy::DeployedDatabase;
 pub use energy::{EnergyBreakdown, EnergyModel, EnergyParams};

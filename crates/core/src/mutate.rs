@@ -435,14 +435,16 @@ pub(crate) fn delete_entry(
 
 /// Replace (or revive) the entry with stable id `id`: tombstone the live
 /// version, if any, and append the new one under the same id. The id must
-/// have been assigned before (by the deployment or an insert).
+/// have been assigned before (by the deployment or an insert). Returns the
+/// flash latency, the pages programmed, and whether a live previous version
+/// was actually tombstoned (false when the upsert revived a deleted id).
 pub(crate) fn upsert_entry(
     ssd: &mut SsdController,
     db: &mut DeployedDatabase,
     id: u32,
     vector: &[f32],
     document: &[u8],
-) -> Result<(Nanos, usize)> {
+) -> Result<(Nanos, usize, bool)> {
     if id >= db.updates.next_id {
         return Err(ReisError::EntryNotFound(id));
     }
@@ -459,6 +461,7 @@ pub(crate) fn upsert_entry(
         .locate(id, |id| db.original_to_storage.get(&id).copied());
     let (append_latency, pages) =
         append_entries(ssd, db, &[id], &binaries, &int8s, &docs_owned, &[cluster])?;
+    let tombstoned = old_location.is_some();
     if let Some(location) = old_location {
         match location {
             EntryLocation::Base(storage) => {
@@ -473,7 +476,7 @@ pub(crate) fn upsert_entry(
     db.updates.stats.inserts += 1;
     db.updates.stats.upserts += 1;
     account_update_state(ssd, db)?;
-    Ok((scan_latency + append_latency, pages))
+    Ok((scan_latency + append_latency, pages, tombstoned))
 }
 
 /// Re-account the update state's controller-DRAM footprint (tombstone

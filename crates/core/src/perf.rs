@@ -16,6 +16,10 @@ use reis_ssd::{EccParams, EmbeddedCores};
 
 use crate::config::ReisConfig;
 
+/// DRAM bytes of one relocation-map slot (stable id → segment id), matching
+/// the update path's bookkeeping accounting.
+const RELOCATION_ENTRY_BYTES: usize = 8;
+
 /// What one query did, as counted by the functional engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryActivity {
@@ -107,7 +111,35 @@ impl PerfModel {
 
     /// Latency of scanning `pages` embedding (or centroid) pages and
     /// transferring `entries_out` TTL entries to the controller.
+    ///
+    /// `entries_out` is the *actual* transferred-entry count the functional
+    /// engine measured, so optimizations that shrink the transfer — static
+    /// distance filtering, and the adaptive threshold tightening that
+    /// discards provably-unrankable entries in-plane — are priced directly:
+    /// fewer entries mean smaller per-round channel transfers here and a
+    /// cheaper quickselect in [`PerfModel::select`].
     pub fn scan(&self, pages: usize, entries_out: usize, embedding_slot_bytes: usize) -> Nanos {
+        self.fused_scan(pages, 1, entries_out, embedding_slot_bytes)
+    }
+
+    /// Latency of one *fused multi-query* scan pass: `pages` pages sensed
+    /// once each, every sensed page scored in-plane against `batch`
+    /// resident queries, and `entries_out` TTL entries (across the whole
+    /// batch) transferred to the controller.
+    ///
+    /// This prices the single-sense/multi-score asymmetry of page-major
+    /// batch execution: the sense amortizes over the batch while the
+    /// XOR + fail-bit-count peripheral still runs once per query, so a
+    /// fused pass over `B` queries costs far less than `B` independent
+    /// scans but more than one. With `batch == 1` this is exactly
+    /// [`PerfModel::scan`].
+    pub fn fused_scan(
+        &self,
+        pages: usize,
+        batch: usize,
+        entries_out: usize,
+        embedding_slot_bytes: usize,
+    ) -> Nanos {
         if pages == 0 {
             return Nanos::ZERO;
         }
@@ -118,7 +150,7 @@ impl PerfModel {
         let total_planes = geom.total_planes();
         let rounds = pages.div_ceil(total_planes);
         let sense = timing.read_latency(ProgramScheme::EnhancedSlc);
-        let compute = timing.in_plane_distance(opts.distance_filtering);
+        let compute = timing.in_plane_distance(opts.distance_filtering) * batch.max(1) as u64;
 
         // Channel transfer per round: the entries produced in one round are
         // spread evenly over the channels.
@@ -228,6 +260,58 @@ impl PerfModel {
             document_fetch,
             host_transfer,
         }
+    }
+
+    /// Controller-side cost of appending `entries` new index entries: the
+    /// in-plane compute of the centroid-assignment scan (its page senses are
+    /// priced by the mutation path itself), the nearest-centroid selection
+    /// on the embedded core, and the DRAM bookkeeping of the segment-entry
+    /// table and relocation map. Flat deployments skip the assignment scan
+    /// (`centroid_pages == 0`) and pay only the DRAM bookkeeping.
+    ///
+    /// This is what makes the modelled insert/upsert latency more than
+    /// flash-only: page programs + centroid senses come from the mutation
+    /// path, controller cores and DRAM from here.
+    pub fn append_overhead(
+        &self,
+        entries: usize,
+        centroid_pages: usize,
+        centroids: usize,
+    ) -> Nanos {
+        if entries == 0 {
+            return Nanos::ZERO;
+        }
+        let timing = &self.config.ssd.timing;
+        let cores = EmbeddedCores::new(self.config.ssd.cores);
+        let mut per_entry = Nanos::ZERO;
+        if centroid_pages > 0 {
+            // XOR + fail-bit count per centroid page (no pass/fail check —
+            // the assignment keeps every distance), then the min-selection
+            // over all centroid distances on the embedded core.
+            per_entry += timing.in_plane_distance(false) * centroid_pages as u64;
+            per_entry += cores.quickselect(centroids.max(1), 1);
+        }
+        // DRAM bookkeeping: one segment-table entry plus one relocation-map
+        // slot per appended entry.
+        per_entry +=
+            self.dram_write(reis_update::segment::SEGMENT_ENTRY_BYTES + RELOCATION_ENTRY_BYTES);
+        per_entry * entries as u64
+    }
+
+    /// Controller-side cost of tombstoning one entry: the id-map lookup on
+    /// the embedded core plus the DRAM write of the validity bit. Deletes
+    /// touch no flash, so this is their entire modelled latency.
+    pub fn tombstone_overhead(&self) -> Nanos {
+        let cores = EmbeddedCores::new(self.config.ssd.cores);
+        cores.ftl_lookups(1) + self.dram_write(1)
+    }
+
+    /// Latency of one bookkeeping write of `bytes` to the controller DRAM
+    /// (one access plus the streaming transfer, the same model
+    /// `InternalDram::write` applies).
+    fn dram_write(&self, bytes: usize) -> Nanos {
+        let dram = &self.config.ssd.dram;
+        dram.access_latency + Nanos::from_secs_f64(bytes as f64 / dram.bandwidth_bps)
     }
 
     /// Time the embedded core is busy for one query (used for core energy).
@@ -341,6 +425,50 @@ mod tests {
         assert_eq!(b.rerank, Nanos::ZERO);
         assert_eq!(b.document_fetch, Nanos::ZERO);
         assert!(b.input_broadcast > Nanos::ZERO);
+    }
+
+    #[test]
+    fn fused_scan_amortizes_the_sense_but_not_the_compute() {
+        let model = PerfModel::new(ReisConfig::ssd1());
+        let (pages, entries, slot) = (4096usize, 5_000usize, 128usize);
+        let single = model.scan(pages, entries, slot);
+        // batch == 1 is exactly the single-query scan.
+        assert_eq!(model.fused_scan(pages, 1, entries, slot), single);
+        for batch in [2usize, 4, 8] {
+            let fused = model.fused_scan(pages, batch, entries * batch, slot);
+            let independent = single * batch as u64;
+            assert!(
+                fused < independent,
+                "fused batch {batch}: {fused} should beat {independent}"
+            );
+            // The per-query in-plane compute still runs, so fusing is not free.
+            assert!(
+                fused > single,
+                "fused batch {batch} must cost more than one scan"
+            );
+        }
+    }
+
+    #[test]
+    fn append_overhead_prices_cores_and_dram() {
+        let model = PerfModel::new(ReisConfig::ssd1());
+        assert_eq!(model.append_overhead(0, 4, 100), Nanos::ZERO);
+        // Flat deployments still pay the DRAM bookkeeping.
+        let flat = model.append_overhead(1, 0, 0);
+        assert!(flat > Nanos::ZERO);
+        // IVF appends add the assignment scan and the centroid selection.
+        let ivf = model.append_overhead(1, 4, 100);
+        assert!(ivf > flat);
+        assert!(model.append_overhead(2, 4, 100) == ivf * 2);
+        assert!(model.append_overhead(1, 8, 100) > ivf);
+    }
+
+    #[test]
+    fn tombstone_overhead_is_positive_and_tiny() {
+        let model = PerfModel::new(ReisConfig::ssd1());
+        let t = model.tombstone_overhead();
+        assert!(t > Nanos::ZERO);
+        assert!(t < model.append_overhead(1, 0, 0) * 10);
     }
 
     #[test]

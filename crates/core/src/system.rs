@@ -15,14 +15,15 @@ use serde::{Deserialize, Serialize};
 
 use reis_ann::topk::Neighbor;
 use reis_nand::{FlashStats, Nanos};
-use reis_ssd::{ControllerActivity, SsdController, SsdMode};
+use reis_ssd::{ControllerActivity, RegionKind, SsdController, SsdMode};
 
-use crate::config::{ReisConfig, ScanParallelism};
+use crate::config::{BatchFusion, ReisConfig, ScanParallelism};
 use crate::database::VectorDatabase;
 use crate::deploy::{self, DeployedDatabase};
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::engine::{InStorageEngine, ScanScratch};
 use crate::error::{ReisError, Result};
+use crate::fused;
 use crate::mutate::{self, CompactionOutcome, MutationOutcome};
 use crate::perf::{LatencyBreakdown, PerfModel, QueryActivity};
 
@@ -87,6 +88,9 @@ pub struct ReisSystem {
     next_db_id: u32,
     /// Scan scratch reused by every sequential query this system serves.
     scratch: ScanScratch,
+    /// The host's available parallelism, captured once: the shard budget of
+    /// auto-sharded single-query scans and of fused batch scans.
+    auto_shards: usize,
 }
 
 impl ReisSystem {
@@ -102,6 +106,9 @@ impl ReisSystem {
             databases: HashMap::new(),
             next_db_id: 1,
             scratch: ScanScratch::new(),
+            auto_shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 
@@ -116,6 +123,12 @@ impl ReisSystem {
     /// deployed data, so it can be reconfigured at any time — benchmarks
     /// sweep it over one deployment. Results are bit-identical across
     /// settings; only wall-clock latency changes.
+    ///
+    /// Note that the plain [`ScanParallelism::sequential`] value is the
+    /// "no preference" default that single-query searches auto-upgrade to
+    /// `available_parallelism` shards; pass
+    /// [`ScanParallelism::pinned_sequential`] to actually force
+    /// single-threaded scans.
     pub fn set_scan_parallelism(&mut self, scan_parallelism: ScanParallelism) {
         self.config.scan_parallelism = scan_parallelism;
     }
@@ -321,12 +334,23 @@ impl ReisSystem {
             .databases
             .get_mut(&db_id)
             .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        let (centroid_pages, centroids) = if db.is_ivf() {
+            (db.layout.centroid_pages, db.layout.centroids)
+        } else {
+            (0, 0)
+        };
         let (ids, latency, pages_programmed) =
             mutate::insert_batch(&mut self.controller, db, vectors, &documents)?;
+        // The mutation path prices the flash work (page programs, centroid
+        // senses); the controller-core and DRAM costs of the append are
+        // modelled here.
+        let overhead = self
+            .perf
+            .append_overhead(ids.len(), centroid_pages, centroids);
         let compaction = self.maybe_auto_compact(db_id)?;
         Ok(MutationOutcome {
             ids,
-            latency,
+            latency: latency + overhead,
             pages_programmed,
             compaction,
         })
@@ -349,7 +373,9 @@ impl ReisSystem {
         let compaction = self.maybe_auto_compact(db_id)?;
         Ok(MutationOutcome {
             ids: vec![id],
-            latency: Nanos::ZERO,
+            // A tombstone touches no flash; its modelled cost is the id-map
+            // lookup plus the DRAM validity-bit write.
+            latency: self.perf.tombstone_overhead(),
             pages_programmed: 0,
             compaction,
         })
@@ -375,12 +401,22 @@ impl ReisSystem {
             .databases
             .get_mut(&db_id)
             .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
-        let (latency, pages_programmed) =
+        let (centroid_pages, centroids) = if db.is_ivf() {
+            (db.layout.centroid_pages, db.layout.centroids)
+        } else {
+            (0, 0)
+        };
+        let (latency, pages_programmed, tombstoned) =
             mutate::upsert_entry(&mut self.controller, db, id, vector, document)?;
+        // A revival of a deleted id writes no tombstone, so it costs none.
+        let mut overhead = self.perf.append_overhead(1, centroid_pages, centroids);
+        if tombstoned {
+            overhead += self.perf.tombstone_overhead();
+        }
         let compaction = self.maybe_auto_compact(db_id)?;
         Ok(MutationOutcome {
             ids: vec![id],
-            latency,
+            latency: latency + overhead,
             pages_programmed,
             compaction,
         })
@@ -427,6 +463,17 @@ impl ReisSystem {
         }
     }
 
+    /// Single-query execution. When the configured [`ScanParallelism`] is
+    /// the constructor default (sequential) and no batch is in flight —
+    /// which is always true here, since batches run through
+    /// [`ReisSystem::search_batch`] — the fine scan is auto-sharded across
+    /// up to `available_parallelism` channel/die workers: a latency-only
+    /// optimization whose results, activity and modelled latency are
+    /// bit-identical to the sequential scan (adapting scans pin themselves
+    /// sequential regardless, see
+    /// [`AdaptiveFiltering`](crate::config::AdaptiveFiltering)). An
+    /// explicitly configured parallelism — including
+    /// [`ScanParallelism::pinned_sequential`] — is used as-is.
     fn run_query(
         &mut self,
         db_id: u32,
@@ -438,8 +485,12 @@ impl ReisSystem {
             .databases
             .get(&db_id)
             .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
+        let mut config = self.config;
+        if config.scan_parallelism.is_auto_default() {
+            config.scan_parallelism = ScanParallelism::sharded(self.auto_shards);
+        }
         execute_query(
-            &self.config,
+            &config,
             &mut self.controller,
             &self.perf,
             &self.energy,
@@ -451,18 +502,30 @@ impl ReisSystem {
         )
     }
 
-    /// `Search` over a whole batch of independent queries, executed in
-    /// parallel across up to `workers` threads.
+    /// `Search` over a whole batch of independent queries.
     ///
-    /// Each worker owns a replica of the simulated device and its own engine
-    /// scratch, so queries proceed without shared mutable state — the
-    /// software analogue of REIS serving concurrent queries from independent
-    /// channel/die groups. Results are returned in query order; search
-    /// results, documents and modelled latency/energy are identical to
-    /// running [`ReisSystem::search`] sequentially (only the raw
-    /// error-injection statistics may differ, since every replica draws its
-    /// own error stream). The flash, DRAM and ECC activity of all queries is
-    /// merged back into the primary controller afterwards.
+    /// By default ([`BatchFusion::Fused`]) the batch executes page-major on
+    /// the *shared* device: the union of the batch's probed pages is
+    /// computed up front, each distinct page is sensed once, and the fused
+    /// multi-query kernel scores it against every query whose selection
+    /// covers it — the same sense-amortization REIS applies to in-flight
+    /// query batches. Static-threshold scans additionally shard the fused
+    /// pass across up to `workers` (capped at the host's parallelism)
+    /// channel/die workers. Per-query results, documents, activity and
+    /// modelled latency/energy are bit-identical to running
+    /// [`ReisSystem::search`] sequentially; only the device-level sense
+    /// count (and the wall clock) shrinks. The physical scan activity is
+    /// folded into the primary controller with each page counted as sensed
+    /// once.
+    ///
+    /// With [`BatchFusion::Replicas`] (or when the embedding regions are
+    /// not error-free to read) the pre-fusion path runs instead: up to
+    /// `workers` threads each own a copy-on-write replica of the device and
+    /// execute their chunk of queries independently, re-sensing every page
+    /// per query; the workers' flash, DRAM and ECC activity is merged back
+    /// into the primary controller afterwards. Either way, only the raw
+    /// error-injection statistics may differ from the sequential run, since
+    /// TLC rerank reads draw from different points of the error stream.
     ///
     /// # Errors
     ///
@@ -544,6 +607,41 @@ impl ReisSystem {
                 expected: dim,
                 actual: bad.len(),
             });
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Page-major fused execution on the shared device (the default):
+        // every distinct probed page is sensed once and scored against all
+        // covering queries; per-query outcomes are bit-identical to
+        // sequential search. Exactness of the borrowed page reads requires
+        // error-free embedding reads (ESP-SLC), the same gate the
+        // intra-query shard path applies; otherwise — or when configured —
+        // fall back to the per-worker replica path below.
+        let embedding_scheme = self
+            .controller
+            .hybrid_policy()
+            .scheme_for(RegionKind::BinaryEmbeddings);
+        if self.config.batch_fusion == BatchFusion::Fused
+            && self
+                .controller
+                .device()
+                .read_is_error_free(embedding_scheme)
+        {
+            let shard_budget = workers.clamp(1, self.auto_shards.max(1));
+            return fused::execute_batch_fused(
+                &self.config,
+                &mut self.controller,
+                &self.perf,
+                &self.energy,
+                &mut self.scratch,
+                db,
+                queries,
+                k,
+                nprobe,
+                shard_budget,
+            );
         }
 
         let workers = workers.clamp(1, queries.len().max(1));
@@ -888,7 +986,10 @@ mod tests {
 
     #[test]
     fn ivf_search_batch_matches_sequential_and_merges_stats() {
-        let mut system = ReisSystem::new(ReisConfig::tiny());
+        // Replica mode: every query re-senses its own pages, so the merged
+        // device delta equals the per-query sum exactly.
+        let config = ReisConfig::tiny().with_batch_fusion(crate::config::BatchFusion::Replicas);
+        let mut system = ReisSystem::new(config);
         let (id, vectors) = deploy_ivf(&mut system, 160, 64, 8);
         let queries: Vec<Vec<f32>> = (0..6).map(|q| vectors[q * 19].clone()).collect();
         let sequential: Vec<_> = queries
@@ -907,6 +1008,42 @@ mod tests {
         let delta = system.controller().device().stats().delta_since(&before);
         let per_query: u64 = batch.iter().map(|o| o.flash_stats.page_reads).sum();
         assert_eq!(delta.page_reads, per_query);
+        assert!(delta.page_reads > 0);
+    }
+
+    #[test]
+    fn fused_batch_amortizes_senses_but_reports_per_query_activity() {
+        // Fused mode (the default): per-query outcomes are unchanged, but
+        // the device senses the shared pages once for the whole batch, so
+        // the merged delta is strictly below the per-query sum.
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_ivf(&mut system, 160, 64, 8);
+        let queries: Vec<Vec<f32>> = (0..6).map(|q| vectors[q * 19].clone()).collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| system.ivf_search_with_nprobe(id, q, 10, 4).unwrap())
+            .collect();
+        let before = *system.controller().device().stats();
+        let batch = system
+            .ivf_search_batch_with_nprobe(id, &queries, 10, 4, 3)
+            .unwrap();
+        for (b, s) in batch.iter().zip(&sequential) {
+            assert_eq!(b.result_ids(), s.result_ids());
+            assert_eq!(b.documents, s.documents);
+            assert_eq!(b.latency, s.latency);
+            assert_eq!(b.activity, s.activity);
+        }
+        let delta = system.controller().device().stats().delta_since(&before);
+        let per_query: u64 = batch.iter().map(|o| o.flash_stats.page_reads).sum();
+        assert!(
+            delta.page_reads < per_query,
+            "fused batch sensed {} pages, per-query accounting says {}",
+            delta.page_reads,
+            per_query
+        );
+        // The in-plane compute is not amortized: one XOR per (page, query).
+        let per_query_xor: u64 = batch.iter().map(|o| o.flash_stats.xor_ops).sum();
+        assert_eq!(delta.xor_ops, per_query_xor);
         assert!(delta.page_reads > 0);
     }
 
@@ -954,12 +1091,16 @@ mod tests {
         for shards in [2usize, 3, 4, 8] {
             // Fresh systems per shard count so both devices see the same
             // query history; everything including the raw error-injection
-            // stream must then agree.
-            let mut sequential = ReisSystem::new(ReisConfig::tiny());
+            // stream must then agree. Adaptation is disabled so the
+            // brute-force legs genuinely shard (adapting scans pin
+            // themselves sequential).
+            let mut sequential = ReisSystem::new(ReisConfig::tiny().with_adaptive_filtering(false));
             let seq_id = sequential.deploy(&db).unwrap();
-            let config = ReisConfig::tiny().with_scan_parallelism(
-                crate::config::ScanParallelism::sharded(shards).with_min_pages_per_shard(1),
-            );
+            let config = ReisConfig::tiny()
+                .with_adaptive_filtering(false)
+                .with_scan_parallelism(
+                    crate::config::ScanParallelism::sharded(shards).with_min_pages_per_shard(1),
+                );
             let mut system = ReisSystem::new(config);
             let id = system.deploy(&db).unwrap();
             for q in [0usize, 19, 57] {
@@ -986,16 +1127,22 @@ mod tests {
         );
         let sharded = system.search(id, &vectors[11], 5).unwrap();
         assert_outcome_eq(&baseline, &sharded, "sharded after reconfigure");
-        system.set_scan_parallelism(crate::config::ScanParallelism::sequential());
+        system.set_scan_parallelism(crate::config::ScanParallelism::pinned_sequential());
         let again = system.search(id, &vectors[11], 5).unwrap();
         assert_outcome_eq(&again, &baseline, "sequential after reconfigure");
     }
 
     #[test]
     fn batch_workers_compose_with_intra_query_shards() {
-        let config = ReisConfig::tiny().with_scan_parallelism(
-            crate::config::ScanParallelism::sharded(2).with_min_pages_per_shard(1),
-        );
+        // Pin the replica batch path: this test is about replica workers
+        // each driving their own intra-query shards (fused composition is
+        // covered by the fused test suite).
+        let config = ReisConfig::tiny()
+            .with_batch_fusion(crate::config::BatchFusion::Replicas)
+            .with_adaptive_filtering(false)
+            .with_scan_parallelism(
+                crate::config::ScanParallelism::sharded(2).with_min_pages_per_shard(1),
+            );
         let mut system = ReisSystem::new(config);
         let (id, vectors) = deploy_flat(&mut system, 96, 64);
         let queries: Vec<Vec<f32>> = (0..5).map(|q| vectors[q * 13].clone()).collect();
@@ -1010,6 +1157,99 @@ mod tests {
             assert_eq!(b.latency, s.latency);
             assert_eq!(b.activity, s.activity);
         }
+    }
+
+    #[test]
+    fn auto_sharded_default_search_matches_forced_sequential() {
+        // The constructor default is ScanParallelism::sequential(), which
+        // single-query search upgrades to sharded(available_parallelism).
+        // A config that pins the scan sequential (one shard, unreachable
+        // minimum) must produce bit-identical outcomes on every machine.
+        let vectors = clustered_vectors(160, 64);
+        let db = VectorDatabase::ivf(&vectors, documents(160), 8).unwrap();
+        let mut auto = ReisSystem::new(ReisConfig::tiny());
+        let auto_id = auto.deploy(&db).unwrap();
+        let pinned_config = ReisConfig::tiny()
+            .with_scan_parallelism(crate::config::ScanParallelism::pinned_sequential());
+        let mut pinned = ReisSystem::new(pinned_config);
+        let pinned_id = pinned.deploy(&db).unwrap();
+        for q in [0usize, 19, 57] {
+            let query = &vectors[q];
+            let a = auto.search(auto_id, query, 10).unwrap();
+            let b = pinned.search(pinned_id, query, 10).unwrap();
+            assert_eq!(a, b, "brute force, query {q}");
+            let a = auto.ivf_search_with_nprobe(auto_id, query, 10, 4).unwrap();
+            let b = pinned
+                .ivf_search_with_nprobe(pinned_id, query, 10, 4)
+                .unwrap();
+            assert_eq!(a, b, "ivf, query {q}");
+        }
+    }
+
+    #[test]
+    fn default_adaptive_brute_force_keeps_topk_and_lowers_modelled_latency() {
+        // Adaptive filtering is default-on for brute-force scans; against an
+        // explicitly static system the top-k is identical while the
+        // transferred entries — and with them the modelled latency — shrink.
+        let vectors = clustered_vectors(150, 64);
+        let db = VectorDatabase::flat(&vectors, documents(150)).unwrap();
+        let mut adaptive = ReisSystem::new(ReisConfig::tiny());
+        let adaptive_id = adaptive.deploy(&db).unwrap();
+        let mut static_system = ReisSystem::new(ReisConfig::tiny().with_adaptive_filtering(false));
+        let static_id = static_system.deploy(&db).unwrap();
+        let query = &vectors[42];
+        let a = adaptive.search(adaptive_id, query, 1).unwrap();
+        let b = static_system.search(static_id, query, 1).unwrap();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.documents, b.documents);
+        assert!(
+            a.activity.fine_entries < b.activity.fine_entries,
+            "adaptive transferred {} entries, static {}",
+            a.activity.fine_entries,
+            b.activity.fine_entries
+        );
+        assert!(
+            a.total_latency() < b.total_latency(),
+            "adaptive modelled latency {} should beat static {}",
+            a.total_latency(),
+            b.total_latency()
+        );
+        // IVF scans keep the static threshold under the default scope
+        // (fresh systems — the tiny device cannot hold a second database).
+        let ivf_db = VectorDatabase::ivf(&vectors, documents(150), 8).unwrap();
+        let mut adaptive_ivf = ReisSystem::new(ReisConfig::tiny());
+        let ivf_a = adaptive_ivf.deploy(&ivf_db).unwrap();
+        let mut static_ivf = ReisSystem::new(ReisConfig::tiny().with_adaptive_filtering(false));
+        let ivf_b = static_ivf.deploy(&ivf_db).unwrap();
+        let x = adaptive_ivf
+            .ivf_search_with_nprobe(ivf_a, query, 5, 4)
+            .unwrap();
+        let y = static_ivf
+            .ivf_search_with_nprobe(ivf_b, query, 5, 4)
+            .unwrap();
+        assert_eq!(x.activity, y.activity);
+    }
+
+    #[test]
+    fn mutation_latency_includes_controller_overheads() {
+        let mut system = ReisSystem::new(ReisConfig::tiny());
+        let (id, vectors) = deploy_ivf(&mut system, 96, 64, 4);
+        let fresh: Vec<f32> = (0..64).map(|d| (d % 5) as f32).collect();
+        let insert = system.insert(id, &fresh, b"fresh".to_vec()).unwrap();
+        let perf = PerfModel::new(*system.config());
+        let db = system.database(id).unwrap();
+        let overhead = perf.append_overhead(1, db.layout.centroid_pages, db.layout.centroids);
+        assert!(overhead > Nanos::ZERO);
+        assert!(insert.latency > overhead, "insert prices flash + overhead");
+        // Deletes used to be modelled as free; they now cost the id-map
+        // lookup and the DRAM tombstone write.
+        let delete = system.delete(id, insert.ids[0]).unwrap();
+        assert_eq!(delete.latency, perf.tombstone_overhead());
+        assert!(delete.latency > Nanos::ZERO);
+        let upsert = system
+            .upsert(id, vectors.len() as u32 - 1, &fresh, b"updated")
+            .unwrap();
+        assert!(upsert.latency > overhead + perf.tombstone_overhead());
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Correctness of the page-major fused batch executor: every query of a
+//! fused batch must produce the bit-identical outcome — results, documents,
+//! activity counters, modelled latency and energy — of running that query
+//! alone through `ReisSystem::search` / `ivf_search`, across edge cases
+//! (batch of one, duplicate queries, candidate counts past the corpus
+//! size), mutated and compacted indexes, every `ScanParallelism` setting,
+//! and random flash geometries.
+
+use proptest::prelude::*;
+
+use reis_core::{
+    BatchFusion, CompactionPolicy, ReisConfig, ReisSystem, ScanParallelism, SearchOutcome,
+    VectorDatabase,
+};
+use reis_nand::Geometry;
+use reis_ssd::SsdConfig;
+
+fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| (((i * 17 + d * 11) % 29) as f32 - 14.0) / 6.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn documents(n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| format!("doc {i}").into_bytes()).collect()
+}
+
+/// Full-outcome equality modulo the raw error-injection counter, which
+/// tracks the device RNG's position in its stream (TLC rerank reads of a
+/// batch draw from different points than a standalone query would). Every
+/// modelled quantity — including energy, which is derived from the other
+/// counters — must agree exactly.
+fn assert_outcome_eq(a: &SearchOutcome, b: &SearchOutcome, ctx: &str) {
+    assert_eq!(a.results, b.results, "results: {ctx}");
+    assert_eq!(a.documents, b.documents, "documents: {ctx}");
+    assert_eq!(a.latency, b.latency, "latency: {ctx}");
+    assert_eq!(a.activity, b.activity, "activity: {ctx}");
+    assert_eq!(a.energy, b.energy, "energy: {ctx}");
+    let mut fa = a.flash_stats;
+    let mut fb = b.flash_stats;
+    fa.injected_bit_errors = 0;
+    fb.injected_bit_errors = 0;
+    assert_eq!(fa, fb, "flash stats: {ctx}");
+}
+
+/// Run the batch both fused and per-query-sequentially on `system` and
+/// compare every outcome (brute force when `nprobe` is `None`).
+fn check_batch(
+    system: &mut ReisSystem,
+    db_id: u32,
+    queries: &[Vec<f32>],
+    k: usize,
+    nprobe: Option<usize>,
+    workers: usize,
+    ctx: &str,
+) {
+    let sequential: Vec<SearchOutcome> = queries
+        .iter()
+        .map(|q| match nprobe {
+            Some(np) => system.ivf_search_with_nprobe(db_id, q, k, np).unwrap(),
+            None => system.search(db_id, q, k).unwrap(),
+        })
+        .collect();
+    let batch = match nprobe {
+        Some(np) => system
+            .ivf_search_batch_with_nprobe(db_id, queries, k, np, workers)
+            .unwrap(),
+        None => system.search_batch(db_id, queries, k, workers).unwrap(),
+    };
+    assert_eq!(batch.len(), sequential.len(), "{ctx}");
+    for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+        assert_outcome_eq(b, s, &format!("{ctx}, query {i}"));
+    }
+}
+
+#[test]
+fn fused_batch_matches_sequential_for_brute_force_and_ivf() {
+    let mut system = ReisSystem::new(ReisConfig::tiny());
+    let all = vectors(160, 64);
+    let db = VectorDatabase::ivf(&all, documents(160), 8).unwrap();
+    let id = system.deploy(&db).unwrap();
+    let queries: Vec<Vec<f32>> = (0..7).map(|q| all[q * 19].clone()).collect();
+    check_batch(&mut system, id, &queries, 10, None, 4, "brute force");
+    check_batch(&mut system, id, &queries, 10, Some(4), 4, "ivf nprobe 4");
+}
+
+#[test]
+fn fused_batch_of_one_matches_single_search() {
+    let mut system = ReisSystem::new(ReisConfig::tiny());
+    let all = vectors(96, 64);
+    let db = VectorDatabase::flat(&all, documents(96)).unwrap();
+    let id = system.deploy(&db).unwrap();
+    let queries = vec![all[33].clone()];
+    check_batch(&mut system, id, &queries, 5, None, 1, "batch of one");
+    check_batch(
+        &mut system,
+        id,
+        &queries,
+        5,
+        None,
+        8,
+        "batch of one, 8 workers",
+    );
+}
+
+#[test]
+fn fused_batch_with_duplicate_queries() {
+    let mut system = ReisSystem::new(ReisConfig::tiny());
+    let all = vectors(120, 64);
+    let db = VectorDatabase::ivf(&all, documents(120), 6).unwrap();
+    let id = system.deploy(&db).unwrap();
+    // The same embedding three times plus two distinct ones.
+    let queries = vec![
+        all[7].clone(),
+        all[50].clone(),
+        all[7].clone(),
+        all[7].clone(),
+        all[91].clone(),
+    ];
+    check_batch(
+        &mut system,
+        id,
+        &queries,
+        5,
+        None,
+        2,
+        "duplicates, brute force",
+    );
+    check_batch(&mut system, id, &queries, 5, Some(3), 2, "duplicates, ivf");
+    // Duplicates must also agree with each other exactly.
+    let batch = system.search_batch(id, &queries, 5, 2).unwrap();
+    assert_outcome_eq(&batch[0], &batch[2], "duplicate 0 vs 2");
+    assert_outcome_eq(&batch[0], &batch[3], "duplicate 0 vs 3");
+}
+
+#[test]
+fn fused_batch_with_candidate_count_beyond_the_corpus() {
+    // rerank_factor (10) × k (10) = 100 candidates requested from a
+    // 24-entry corpus: the Temporal Top List never fills its quickselect
+    // capacity, and every live entry becomes a candidate.
+    let mut system = ReisSystem::new(ReisConfig::tiny());
+    let all = vectors(24, 64);
+    let db = VectorDatabase::flat(&all, documents(24)).unwrap();
+    let id = system.deploy(&db).unwrap();
+    let queries: Vec<Vec<f32>> = (0..5).map(|q| all[q * 4].clone()).collect();
+    check_batch(&mut system, id, &queries, 10, None, 2, "k beyond corpus");
+    let outcome = &system.search_batch(id, &queries, 10, 2).unwrap()[0];
+    assert!(!outcome.results.is_empty());
+    // Every filter-passing entry became a candidate — far fewer than the
+    // 100 requested, and bounded by the corpus size.
+    assert!(outcome.activity.rerank_candidates <= 24);
+    assert_eq!(
+        outcome.results.len(),
+        10usize.min(outcome.activity.rerank_candidates)
+    );
+}
+
+#[test]
+fn fused_batch_over_mutated_and_compacted_index() {
+    let config = ReisConfig::tiny().with_compaction(CompactionPolicy::manual());
+    let mut system = ReisSystem::new(config);
+    let all = vectors(96, 64);
+    let db = VectorDatabase::ivf(&all, documents(96), 4).unwrap();
+    let id = system.deploy(&db).unwrap();
+
+    // Dirty the index: segment appends, tombstones, a revival.
+    let fresh = vectors(8, 64);
+    let ids = system
+        .insert_batch(
+            id,
+            &fresh,
+            (0..8).map(|i| format!("fresh {i}").into_bytes()).collect(),
+        )
+        .unwrap()
+        .ids;
+    system.delete(id, 11).unwrap();
+    system.delete(id, ids[2]).unwrap();
+    system.upsert(id, ids[3], &fresh[5], b"rewritten").unwrap();
+
+    let queries: Vec<Vec<f32>> = (0..4)
+        .map(|q| all[q * 23].clone())
+        .chain(fresh.iter().take(2).cloned())
+        .collect();
+    check_batch(&mut system, id, &queries, 5, None, 2, "dirty, brute force");
+    check_batch(&mut system, id, &queries, 5, Some(3), 2, "dirty, ivf");
+    // Adaptive everywhere exercises the grouped segment pass under IVF.
+    let mut adaptive = ReisSystem::new(
+        ReisConfig::tiny()
+            .with_compaction(CompactionPolicy::manual())
+            .with_adaptive_filtering(true),
+    );
+    let adaptive_id = adaptive.deploy(&db).unwrap();
+    adaptive
+        .insert_batch(
+            adaptive_id,
+            &fresh,
+            (0..8).map(|i| format!("fresh {i}").into_bytes()).collect(),
+        )
+        .unwrap();
+    adaptive.delete(adaptive_id, 11).unwrap();
+    check_batch(
+        &mut adaptive,
+        adaptive_id,
+        &queries,
+        5,
+        Some(3),
+        2,
+        "dirty, ivf, adaptive-all",
+    );
+
+    // A freshly compacted index fuses over its new dense generation.
+    system.compact(id).unwrap();
+    check_batch(
+        &mut system,
+        id,
+        &queries,
+        5,
+        None,
+        2,
+        "compacted, brute force",
+    );
+    check_batch(&mut system, id, &queries, 5, Some(3), 2, "compacted, ivf");
+}
+
+#[test]
+fn fused_batch_composes_with_intra_query_sharding() {
+    // Static thresholds (adaptation off) let the fused union scan shard
+    // across channel/die workers; results stay bit-identical.
+    let config = ReisConfig::tiny()
+        .with_adaptive_filtering(false)
+        .with_scan_parallelism(ScanParallelism::sharded(4).with_min_pages_per_shard(1));
+    let mut system = ReisSystem::new(config);
+    let all = vectors(160, 64);
+    let db = VectorDatabase::ivf(&all, documents(160), 8).unwrap();
+    let id = system.deploy(&db).unwrap();
+    let queries: Vec<Vec<f32>> = (0..6).map(|q| all[q * 13].clone()).collect();
+    check_batch(&mut system, id, &queries, 10, None, 4, "sharded fused, bf");
+    check_batch(
+        &mut system,
+        id,
+        &queries,
+        10,
+        Some(4),
+        4,
+        "sharded fused, ivf",
+    );
+}
+
+#[test]
+fn fused_and_replica_batches_return_identical_outcomes() {
+    let all = vectors(120, 64);
+    let db = VectorDatabase::ivf(&all, documents(120), 6).unwrap();
+    let queries: Vec<Vec<f32>> = (0..5).map(|q| all[q * 21].clone()).collect();
+    let mut fused = ReisSystem::new(ReisConfig::tiny());
+    let fused_id = fused.deploy(&db).unwrap();
+    let mut replicas = ReisSystem::new(ReisConfig::tiny().with_batch_fusion(BatchFusion::Replicas));
+    let replica_id = replicas.deploy(&db).unwrap();
+    let a = fused.search_batch(fused_id, &queries, 5, 3).unwrap();
+    let b = replicas.search_batch(replica_id, &queries, 5, 3).unwrap();
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_outcome_eq(x, y, &format!("fused vs replicas, query {i}"));
+    }
+}
+
+proptest! {
+    /// The fused batch executor is bit-identical to per-query sequential
+    /// search across random flash geometries, database shapes, mutation
+    /// traces and scan-parallelism settings, for both brute-force and IVF
+    /// batches.
+    #[test]
+    fn fused_batch_matches_sequential_across_geometries_and_mutations(
+        channels in 1usize..4,
+        dies in 1usize..3,
+        planes in 1usize..3,
+        entries in 16usize..40,
+        dim_words in 1usize..3,
+        shards in 1usize..4,
+        mutations in 0usize..10,
+        seed in 0usize..1_000,
+    ) {
+        let dim = dim_words * 32;
+        let geometry = Geometry {
+            channels,
+            dies_per_channel: dies,
+            planes_per_die: planes,
+            blocks_per_plane: 8,
+            pages_per_block: 8,
+            page_size_bytes: 4096,
+            oob_size_bytes: 256,
+        };
+        let ssd = SsdConfig { geometry, ..SsdConfig::tiny() };
+        let parallelism = if shards == 1 {
+            ScanParallelism::sequential()
+        } else {
+            ScanParallelism::sharded(shards).with_min_pages_per_shard(1)
+        };
+        let config = ReisConfig { ssd, ..ReisConfig::tiny() }
+            .with_compaction(CompactionPolicy::manual())
+            .with_scan_parallelism(parallelism);
+
+        let all = vectors(entries, dim);
+        let nlist = 4usize.min(entries / 4).max(1);
+        let db = VectorDatabase::ivf(&all, documents(entries), nlist).expect("database");
+        let mut system = ReisSystem::new(config);
+        let id = system.deploy(&db).expect("deploy");
+
+        // A deterministic little mutation trace: inserts, deletes, upserts.
+        let mut live_extra = Vec::new();
+        for m in 0..mutations {
+            let x = (seed * 31 + m * 7) % 10;
+            let vector: Vec<f32> = (0..dim)
+                .map(|d| (((m * 13 + d * 5 + seed) % 19) as f32 - 9.0) / 4.0)
+                .collect();
+            if x < 5 {
+                let outcome = system
+                    .insert(id, &vector, format!("ins {m}").into_bytes())
+                    .expect("insert");
+                live_extra.push(outcome.ids[0]);
+            } else if x < 7 {
+                let target = ((seed + m * 3) % entries) as u32;
+                // Deleting an already-deleted id is an error; ignore those.
+                let _ = system.delete(id, target);
+            } else {
+                let target = ((seed + m * 5) % entries) as u32;
+                let _ = system.upsert(id, target, &vector, format!("ups {m}").as_bytes());
+            }
+        }
+
+        let queries: Vec<Vec<f32>> = (0..4).map(|q| all[(seed + q * 11) % entries].clone()).collect();
+        let sequential: Vec<SearchOutcome> = queries
+            .iter()
+            .map(|q| system.search(id, q, 5).expect("sequential"))
+            .collect();
+        let batch = system.search_batch(id, &queries, 5, shards).expect("fused batch");
+        for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+            prop_assert_eq!(&b.results, &s.results, "results, query {}", i);
+            prop_assert_eq!(&b.documents, &s.documents, "documents, query {}", i);
+            prop_assert_eq!(&b.latency, &s.latency, "latency, query {}", i);
+            prop_assert_eq!(&b.activity, &s.activity, "activity, query {}", i);
+        }
+        let nprobe = nlist.min(2);
+        let ivf_sequential: Vec<SearchOutcome> = queries
+            .iter()
+            .map(|q| system.ivf_search_with_nprobe(id, q, 5, nprobe).expect("sequential ivf"))
+            .collect();
+        let ivf_batch = system
+            .ivf_search_batch_with_nprobe(id, &queries, 5, nprobe, shards)
+            .expect("fused ivf batch");
+        for (i, (b, s)) in ivf_batch.iter().zip(&ivf_sequential).enumerate() {
+            prop_assert_eq!(&b.results, &s.results, "ivf results, query {}", i);
+            prop_assert_eq!(&b.documents, &s.documents, "ivf documents, query {}", i);
+            prop_assert_eq!(&b.latency, &s.latency, "ivf latency, query {}", i);
+            prop_assert_eq!(&b.activity, &s.activity, "ivf activity, query {}", i);
+        }
+    }
+}

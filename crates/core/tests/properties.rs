@@ -42,7 +42,9 @@ fn adaptive_filtering_cuts_transferred_entries_on_large_scans() {
         .collect();
     let db = VectorDatabase::flat(&vectors, documents).unwrap();
 
-    let mut static_system = ReisSystem::new(ReisConfig::tiny());
+    // Adaptation is on by default for brute-force scans, so the static
+    // baseline must opt out explicitly.
+    let mut static_system = ReisSystem::new(ReisConfig::tiny().with_adaptive_filtering(false));
     let static_id = static_system.deploy(&db).unwrap();
     let mut adaptive_system = ReisSystem::new(ReisConfig::tiny().with_adaptive_filtering(true));
     let adaptive_id = adaptive_system.deploy(&db).unwrap();
@@ -154,7 +156,10 @@ proptest! {
             oob_size_bytes: 256,
         };
         let ssd = SsdConfig { geometry, ..SsdConfig::tiny() };
-        let base_config = ReisConfig { ssd, ..ReisConfig::tiny() };
+        // Adapting scans pin themselves sequential (their threshold schedule
+        // is defined by page order), so disable adaptation here to actually
+        // exercise the sharded path on the brute-force scan.
+        let base_config = ReisConfig { ssd, ..ReisConfig::tiny() }.with_adaptive_filtering(false);
 
         let vectors: Vec<Vec<f32>> = (0..entries)
             .map(|i| {
@@ -214,7 +219,9 @@ proptest! {
         } else {
             ScanParallelism::sharded(shards).with_min_pages_per_shard(1)
         };
-        let static_config = ReisConfig::tiny().with_scan_parallelism(parallelism);
+        let static_config = ReisConfig::tiny()
+            .with_scan_parallelism(parallelism)
+            .with_adaptive_filtering(false);
         let adaptive_config = static_config.with_adaptive_filtering(true);
 
         let mut static_system = ReisSystem::new(static_config);

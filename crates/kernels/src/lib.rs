@@ -1,0 +1,431 @@
+//! # reis-kernels — the word-level bit kernels of the REIS workspace
+//!
+//! The single home of the XOR/popcount and Hamming-distance kernels that the
+//! rest of the workspace computes with. `reis-nand`'s peripheral model (the
+//! fail-bit counter and inter-latch XOR logic), `reis-ann`'s vector types and
+//! `reis-bench`'s baseline measurements all re-export from here, so exactly
+//! one implementation of each kernel exists — including the runtime POPCNT
+//! dispatch that used to be duplicated per crate.
+//!
+//! # Kernel discipline
+//!
+//! * All bit counting and XOR-ing operates on `u64` words (8 bytes at a
+//!   time) with exact byte-wise handling of any trailing partial word —
+//!   mirroring how the physical peripheral processes a whole bitline stripe
+//!   per cycle.
+//! * Every entry point dispatches once to a body compiled with the hardware
+//!   POPCNT instruction when the CPU has it (baseline x86-64 only guarantees
+//!   the multi-op SWAR fallback for `count_ones`); the dispatch is hoisted
+//!   out of all inner loops.
+//! * The `_into` variants write into caller-provided buffers, so steady-state
+//!   page scans perform no heap allocation here.
+//!
+//! # The fused multi-query kernel
+//!
+//! [`fused_hamming_per_chunk_into`] scores one sensed page against `B`
+//! broadcast queries in a single pass over the page words: each page word is
+//! loaded once and XOR-popcounted against the corresponding word of every
+//! query. This is the software mirror of REIS amortizing a flash sense
+//! across a batch of in-flight queries — the page moves through the
+//! peripheral once, the per-query XOR + fail-bit count runs `B` times.
+//!
+//! The byte-at-a-time [`mod@reference`] kernels match the seed
+//! implementation and are kept solely as the baseline the benchmarks
+//! measure against.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+#[inline(always)]
+fn word(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+}
+
+/// Word-parallel popcount body, shared by the portable and the
+/// POPCNT-enabled entry points: `u64` words four at a time with independent
+/// accumulators so the popcounts pipeline, then a byte-wise tail.
+#[inline(always)]
+fn popcount_bytes_core(bytes: &[u8]) -> u64 {
+    let mut blocks = bytes.chunks_exact(32);
+    let (mut s0, mut s1, mut s2, mut s3) = (0u64, 0u64, 0u64, 0u64);
+    for block in blocks.by_ref() {
+        s0 += word(&block[0..8]).count_ones() as u64;
+        s1 += word(&block[8..16]).count_ones() as u64;
+        s2 += word(&block[16..24]).count_ones() as u64;
+        s3 += word(&block[24..32]).count_ones() as u64;
+    }
+    let mut words = blocks.remainder().chunks_exact(8);
+    let mut total = s0 + s1 + s2 + s3;
+    for w in words.by_ref() {
+        total += word(w).count_ones() as u64;
+    }
+    for &b in words.remainder() {
+        total += b.count_ones() as u64;
+    }
+    total
+}
+
+/// Word-parallel XOR-popcount body (two `u64` words per step with
+/// independent accumulators, byte-wise tail), shared by the portable and
+/// POPCNT entry points.
+#[inline(always)]
+fn hamming_core(a: &[u8], b: &[u8]) -> u32 {
+    let mut ab = a.chunks_exact(16);
+    let mut bb = b.chunks_exact(16);
+    let (mut s0, mut s1) = (0u32, 0u32);
+    for (x, y) in ab.by_ref().zip(bb.by_ref()) {
+        s0 += (word(&x[0..8]) ^ word(&y[0..8])).count_ones();
+        s1 += (word(&x[8..16]) ^ word(&y[8..16])).count_ones();
+    }
+    let mut aw = ab.remainder().chunks_exact(8);
+    let mut bw = bb.remainder().chunks_exact(8);
+    let mut total = s0 + s1;
+    for (x, y) in aw.by_ref().zip(bw.by_ref()) {
+        total += (word(x) ^ word(y)).count_ones();
+    }
+    for (x, y) in aw.remainder().iter().zip(bw.remainder()) {
+        total += (x ^ y).count_ones();
+    }
+    total
+}
+
+/// `popcount_bytes_core` compiled with the hardware POPCNT instruction.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports the `popcnt` feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn popcount_bytes_popcnt(bytes: &[u8]) -> u64 {
+    popcount_bytes_core(bytes)
+}
+
+/// `hamming_core` compiled with the hardware POPCNT instruction.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports the `popcnt` feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn hamming_popcnt(a: &[u8], b: &[u8]) -> u32 {
+    hamming_core(a, b)
+}
+
+/// Set-bit count of a byte slice, processed as `u64` words with a byte-wise
+/// tail; uses the hardware POPCNT instruction when the CPU has it.
+#[inline]
+pub fn popcount_bytes(bytes: &[u8]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: feature presence checked at runtime just above.
+        return unsafe { popcount_bytes_popcnt(bytes) };
+    }
+    popcount_bytes_core(bytes)
+}
+
+/// Hamming distance between two equally long byte slices, processed as
+/// `u64` words with a byte-wise tail; uses the hardware POPCNT instruction
+/// when the CPU has it.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn hamming_bytes(a: &[u8], b: &[u8]) -> u32 {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: feature presence checked at runtime just above.
+        return unsafe { hamming_popcnt(a, b) };
+    }
+    hamming_core(a, b)
+}
+
+/// XOR `a` and `b` into `out` (cleared and resized first), processed as
+/// `u64` words with a byte-wise tail.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+#[inline]
+pub fn xor_bytes_into(a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+    assert_eq!(a.len(), b.len(), "latch contents must have identical sizes");
+    out.clear();
+    out.resize(a.len(), 0);
+    let mut aw = a.chunks_exact(8);
+    let mut bw = b.chunks_exact(8);
+    let mut ow = out.chunks_exact_mut(8);
+    for ((x, y), o) in aw.by_ref().zip(bw.by_ref()).zip(ow.by_ref()) {
+        let xw = word(x);
+        let yw = word(y);
+        o.copy_from_slice(&(xw ^ yw).to_le_bytes());
+    }
+    for ((x, y), o) in aw
+        .remainder()
+        .iter()
+        .zip(bw.remainder())
+        .zip(ow.into_remainder())
+    {
+        *o = x ^ y;
+    }
+}
+
+/// Count the set bits of every `chunk_bytes`-sized chunk of `latch`,
+/// appending one count per chunk into `out` (cleared first). A trailing
+/// partial chunk is counted as its own entry. The POPCNT dispatch is hoisted
+/// out of the per-chunk loop.
+///
+/// # Panics
+///
+/// Panics if `chunk_bytes` is zero.
+pub fn count_per_chunk_into(latch: &[u8], chunk_bytes: usize, out: &mut Vec<u32>) {
+    #[inline(always)]
+    fn core(latch: &[u8], chunk_bytes: usize, out: &mut Vec<u32>) {
+        out.extend(
+            latch
+                .chunks(chunk_bytes)
+                .map(|chunk| popcount_bytes_core(chunk) as u32),
+        );
+    }
+    /// # Safety: caller checks the `popcnt` feature.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "popcnt")]
+    unsafe fn core_popcnt(latch: &[u8], chunk_bytes: usize, out: &mut Vec<u32>) {
+        core(latch, chunk_bytes, out)
+    }
+
+    assert!(chunk_bytes > 0, "chunk size must be non-zero");
+    out.clear();
+    out.reserve(latch.len().div_ceil(chunk_bytes));
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: feature presence checked at runtime just above.
+        unsafe { core_popcnt(latch, chunk_bytes, out) };
+        return;
+    }
+    core(latch, chunk_bytes, out);
+}
+
+/// Body of the fused multi-query kernel: each `chunk_bytes` page chunk is
+/// walked word by word, each page word loaded once and XOR-popcounted
+/// against the matching word of every query.
+#[inline(always)]
+fn fused_core(latch: &[u8], chunk_bytes: usize, queries: &[&[u8]], out: &mut [u32]) {
+    let n_chunks = latch.len().div_ceil(chunk_bytes);
+    for (c, chunk) in latch.chunks(chunk_bytes).enumerate() {
+        let mut words = chunk.chunks_exact(8);
+        let mut offset = 0usize;
+        for w in words.by_ref() {
+            let page_word = word(w);
+            for (q, query) in queries.iter().enumerate() {
+                let query_word = word(&query[offset..offset + 8]);
+                out[q * n_chunks + c] += (page_word ^ query_word).count_ones();
+            }
+            offset += 8;
+        }
+        for &b in words.remainder() {
+            for (q, query) in queries.iter().enumerate() {
+                out[q * n_chunks + c] += (b ^ query[offset]).count_ones();
+            }
+            offset += 1;
+        }
+    }
+}
+
+/// `fused_core` compiled with the hardware POPCNT instruction.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports the `popcnt` feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn fused_popcnt(latch: &[u8], chunk_bytes: usize, queries: &[&[u8]], out: &mut [u32]) {
+    fused_core(latch, chunk_bytes, queries, out)
+}
+
+/// Fused multi-query Hamming kernel: score every `chunk_bytes`-sized chunk
+/// of `latch` (one sensed page) against each query in a single pass over the
+/// page words.
+///
+/// `out` is cleared and filled query-major: the counts of query `q` occupy
+/// `out[q * n_chunks .. (q + 1) * n_chunks]`, where
+/// `n_chunks = latch.len().div_ceil(chunk_bytes)`, so each query's filter
+/// pass works on a contiguous slice. A trailing partial chunk is scored
+/// against the prefix of each query, exactly as XOR-ing the page against a
+/// query tiled across the whole latch would.
+///
+/// The result equals running [`count_per_chunk_into`] over the XOR of the
+/// page with each query's tiling, one query at a time — but the page words
+/// are loaded once for all queries.
+///
+/// # Panics
+///
+/// Panics if `chunk_bytes` is zero or any query is not exactly
+/// `chunk_bytes` long.
+pub fn fused_hamming_per_chunk_into(
+    latch: &[u8],
+    chunk_bytes: usize,
+    queries: &[&[u8]],
+    out: &mut Vec<u32>,
+) {
+    assert!(chunk_bytes > 0, "chunk size must be non-zero");
+    for query in queries {
+        assert_eq!(
+            query.len(),
+            chunk_bytes,
+            "fused queries must match the chunk size"
+        );
+    }
+    let n_chunks = latch.len().div_ceil(chunk_bytes);
+    out.clear();
+    out.resize(n_chunks * queries.len(), 0);
+    if queries.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: feature presence checked at runtime just above.
+        unsafe { fused_popcnt(latch, chunk_bytes, queries, out) };
+        return;
+    }
+    fused_core(latch, chunk_bytes, queries, out);
+}
+
+pub mod reference {
+    //! Byte-at-a-time reference kernels matching the seed implementation.
+    //!
+    //! Kept as the single baseline the criterion `kernels` bench and the
+    //! figure binaries measure the u64-word kernels against, so reported
+    //! speedups always refer to the same code. Never used on a hot path.
+
+    /// Byte-wise XOR (the seed's `XorLogic::xor`).
+    pub fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
+        a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect()
+    }
+
+    /// Byte-wise per-chunk popcount (the seed's
+    /// `FailBitCounter::count_per_chunk`).
+    pub fn count_per_chunk(latch: &[u8], chunk_bytes: usize) -> Vec<u32> {
+        latch
+            .chunks(chunk_bytes)
+            .map(|c| c.iter().map(|b| b.count_ones()).sum())
+            .collect()
+    }
+
+    /// Byte-wise Hamming distance (the seed's
+    /// `BinaryVector::hamming_distance`).
+    pub fn hamming(a: &[u8], b: &[u8]) -> u32 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize, mul: usize, add: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * mul + add) as u8).collect()
+    }
+
+    #[test]
+    fn word_kernels_match_bytewise_reference_on_odd_tails() {
+        for len in [1usize, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 255] {
+            let a = pattern(len, 37, 11);
+            let b = pattern(len, 101, 3);
+            let ref_pop: u64 = a.iter().map(|v| v.count_ones() as u64).sum();
+            assert_eq!(popcount_bytes(&a), ref_pop, "len {len}");
+            assert_eq!(
+                hamming_bytes(&a, &b),
+                reference::hamming(&a, &b),
+                "len {len}"
+            );
+            let mut xored = Vec::new();
+            xor_bytes_into(&a, &b, &mut xored);
+            assert_eq!(xored, reference::xor(&a, &b), "len {len}");
+            for chunk in [1usize, 3, 8, 13, 32] {
+                let mut got = Vec::new();
+                count_per_chunk_into(&a, chunk, &mut got);
+                assert_eq!(
+                    got,
+                    reference::count_per_chunk(&a, chunk),
+                    "len {len} chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_matches_per_query_xor_popcount() {
+        for page_len in [24usize, 64, 65, 100, 256] {
+            for chunk in [8usize, 13, 16, 32] {
+                let page = pattern(page_len, 29, 7);
+                let queries: Vec<Vec<u8>> = (0..4).map(|q| pattern(chunk, 17 + q, q)).collect();
+                let query_refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+                let mut fused = Vec::new();
+                fused_hamming_per_chunk_into(&page, chunk, &query_refs, &mut fused);
+                let n_chunks = page_len.div_ceil(chunk);
+                assert_eq!(fused.len(), n_chunks * queries.len());
+                for (q, query) in queries.iter().enumerate() {
+                    // Tile the query across the page (restarting at every
+                    // chunk boundary, like a broadcast into the cache latch),
+                    // XOR, count per chunk — the single-query flow.
+                    let tiled: Vec<u8> = (0..page_len).map(|i| query[i % chunk]).collect();
+                    let mut xored = Vec::new();
+                    xor_bytes_into(&page, &tiled, &mut xored);
+                    let expected = reference::count_per_chunk(&xored, chunk);
+                    assert_eq!(
+                        &fused[q * n_chunks..(q + 1) * n_chunks],
+                        &expected[..],
+                        "page {page_len} chunk {chunk} query {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_with_no_queries_clears_output() {
+        let mut out = vec![7u32; 5];
+        fused_hamming_per_chunk_into(&[1, 2, 3, 4], 2, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fused_kernel_handles_one_query_like_the_single_kernel() {
+        let page = pattern(128, 41, 5);
+        let query = pattern(16, 9, 2);
+        let mut fused = Vec::new();
+        fused_hamming_per_chunk_into(&page, 16, &[&query], &mut fused);
+        for (c, chunk) in page.chunks(16).enumerate() {
+            assert_eq!(fused[c], hamming_bytes(chunk, &query), "chunk {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be non-zero")]
+    fn fused_kernel_rejects_zero_chunks() {
+        fused_hamming_per_chunk_into(&[1, 2], 0, &[], &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the chunk size")]
+    fn fused_kernel_rejects_mis_sized_queries() {
+        let query = [1u8, 2, 3];
+        fused_hamming_per_chunk_into(&[1, 2, 3, 4], 2, &[&query], &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical sizes")]
+    fn xor_rejects_length_mismatch() {
+        xor_bytes_into(&[1, 2], &[1, 2, 3], &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_rejects_length_mismatch() {
+        hamming_bytes(&[1, 2], &[1]);
+    }
+}

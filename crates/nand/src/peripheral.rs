@@ -10,99 +10,16 @@
 //!
 //! # Hot-path invariants
 //!
-//! These helpers sit at the bottom of the query scan loop, so they follow
-//! the word-kernel discipline the rest of the hot path relies on:
-//!
-//! * All bit counting and XOR-ing operates on `u64` words (8 bytes at a
-//!   time) with exact byte-wise handling of any trailing partial word —
-//!   mirroring how the physical peripheral processes a whole bitline stripe
-//!   per cycle.
-//! * The `_into` variants write into caller-provided buffers and the fused
-//!   [`PassFailChecker::filter_passing`] never materializes a `Vec<bool>`,
-//!   so a steady-state page scan performs no heap allocation here.
+//! These helpers sit at the bottom of the query scan loop. The actual bit
+//! kernels — word-parallel `u64` processing, byte-wise tails, runtime POPCNT
+//! dispatch, allocation-free `_into` variants — live in the workspace's
+//! single kernel crate, [`reis_kernels`], and are re-exported here; this
+//! module only adds the peripheral framing (per-chunk semantics, the
+//! pass/fail comparator, the fused multi-query counter).
 
 use serde::{Deserialize, Serialize};
 
-/// Word-parallel popcount body, shared by the portable and the
-/// POPCNT-enabled entry points: `u64` words four at a time with independent
-/// accumulators so the popcounts pipeline, then a byte-wise tail.
-#[inline(always)]
-fn popcount_bytes_core(bytes: &[u8]) -> u64 {
-    #[inline(always)]
-    fn word(chunk: &[u8]) -> u64 {
-        u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
-    }
-    let mut blocks = bytes.chunks_exact(32);
-    let (mut s0, mut s1, mut s2, mut s3) = (0u64, 0u64, 0u64, 0u64);
-    for block in blocks.by_ref() {
-        s0 += word(&block[0..8]).count_ones() as u64;
-        s1 += word(&block[8..16]).count_ones() as u64;
-        s2 += word(&block[16..24]).count_ones() as u64;
-        s3 += word(&block[24..32]).count_ones() as u64;
-    }
-    let mut words = blocks.remainder().chunks_exact(8);
-    let mut total = s0 + s1 + s2 + s3;
-    for w in words.by_ref() {
-        total += word(w).count_ones() as u64;
-    }
-    for &b in words.remainder() {
-        total += b.count_ones() as u64;
-    }
-    total
-}
-
-/// `popcount_bytes_core` compiled with the hardware POPCNT instruction
-/// (baseline x86-64 only has the multi-op SWAR fallback for `count_ones`).
-///
-/// # Safety
-///
-/// The caller must ensure the CPU supports the `popcnt` feature.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "popcnt")]
-unsafe fn popcount_bytes_popcnt(bytes: &[u8]) -> u64 {
-    popcount_bytes_core(bytes)
-}
-
-/// Set-bit count of a byte slice, processed as `u64` words with a byte-wise
-/// tail; uses the hardware POPCNT instruction when the CPU has it.
-#[inline]
-pub fn popcount_bytes(bytes: &[u8]) -> u64 {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("popcnt") {
-        // SAFETY: feature presence checked at runtime just above.
-        return unsafe { popcount_bytes_popcnt(bytes) };
-    }
-    popcount_bytes_core(bytes)
-}
-
-/// XOR `a` and `b` into `out` (cleared and resized first), processed as
-/// `u64` words with a byte-wise tail.
-///
-/// # Panics
-///
-/// Panics if the inputs have different lengths.
-#[inline]
-pub fn xor_bytes_into(a: &[u8], b: &[u8], out: &mut Vec<u8>) {
-    assert_eq!(a.len(), b.len(), "latch contents must have identical sizes");
-    out.clear();
-    out.resize(a.len(), 0);
-    let mut aw = a.chunks_exact(8);
-    let mut bw = b.chunks_exact(8);
-    let mut ow = out.chunks_exact_mut(8);
-    for ((x, y), o) in aw.by_ref().zip(bw.by_ref()).zip(ow.by_ref()) {
-        let xw = u64::from_le_bytes(x.try_into().expect("8-byte chunk"));
-        let yw = u64::from_le_bytes(y.try_into().expect("8-byte chunk"));
-        o.copy_from_slice(&(xw ^ yw).to_le_bytes());
-    }
-    for ((x, y), o) in aw
-        .remainder()
-        .iter()
-        .zip(bw.remainder())
-        .zip(ow.into_remainder())
-    {
-        *o = x ^ y;
-    }
-}
+pub use reis_kernels::{popcount_bytes, xor_bytes_into};
 
 /// The on-die fail-bit counter, repurposed as a per-mini-page popcount
 /// engine.
@@ -150,31 +67,31 @@ impl FailBitCounter {
     ///
     /// Panics if `chunk_bytes` is zero.
     pub fn count_per_chunk_into(latch: &[u8], chunk_bytes: usize, out: &mut Vec<u32>) {
-        #[inline(always)]
-        fn core(latch: &[u8], chunk_bytes: usize, out: &mut Vec<u32>) {
-            out.extend(
-                latch
-                    .chunks(chunk_bytes)
-                    .map(|chunk| popcount_bytes_core(chunk) as u32),
-            );
-        }
-        /// # Safety: caller checks the `popcnt` feature.
-        #[cfg(target_arch = "x86_64")]
-        #[target_feature(enable = "popcnt")]
-        unsafe fn core_popcnt(latch: &[u8], chunk_bytes: usize, out: &mut Vec<u32>) {
-            core(latch, chunk_bytes, out)
-        }
+        reis_kernels::count_per_chunk_into(latch, chunk_bytes, out);
+    }
 
-        assert!(chunk_bytes > 0, "chunk size must be non-zero");
-        out.clear();
-        out.reserve(latch.len().div_ceil(chunk_bytes));
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("popcnt") {
-            // SAFETY: feature presence checked at runtime just above.
-            unsafe { core_popcnt(latch, chunk_bytes, out) };
-            return;
-        }
-        core(latch, chunk_bytes, out);
+    /// Fused multi-query fail-bit count: score one sensed page against every
+    /// broadcast query in a single pass over the page words, filling `out`
+    /// query-major (query `q`'s per-chunk counts occupy
+    /// `out[q * n_chunks .. (q + 1) * n_chunks]`).
+    ///
+    /// This models the multi-query form of REIS's in-plane computation: the
+    /// page is sensed into the latches *once*, and the XOR + fail-bit-count
+    /// peripheral runs once per resident query against the same sensed
+    /// stripe. Callers account the sense once and the in-plane operations
+    /// per `(page, query)` pair — see `FlashStats::fused_scan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero or a query's length differs from
+    /// `chunk_bytes`.
+    pub fn count_fused_into(
+        latch: &[u8],
+        chunk_bytes: usize,
+        queries: &[&[u8]],
+        out: &mut Vec<u32>,
+    ) {
+        reis_kernels::fused_hamming_per_chunk_into(latch, chunk_bytes, queries, out);
     }
 
     /// Count the set bits of the entire latch (the original use of the
@@ -333,6 +250,27 @@ mod tests {
         let flags = PassFailChecker::passes(&counts, 42);
         for (slot, &flag) in flags.iter().enumerate() {
             assert_eq!(flag, got.iter().any(|&(s, _)| s == slot));
+        }
+    }
+
+    #[test]
+    fn fused_count_matches_per_query_counts() {
+        let page: Vec<u8> = (0..64).map(|i| (i * 13 + 5) as u8).collect();
+        let queries: Vec<Vec<u8>> = (0..3)
+            .map(|q| (0..16).map(|i| (i * 7 + q) as u8).collect())
+            .collect();
+        let query_refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+        let mut fused = Vec::new();
+        FailBitCounter::count_fused_into(&page, 16, &query_refs, &mut fused);
+        let n_chunks = page.len() / 16;
+        for (q, query) in queries.iter().enumerate() {
+            let tiled: Vec<u8> = (0..page.len()).map(|i| query[i % 16]).collect();
+            let expected = FailBitCounter::count_per_chunk(&XorLogic::xor(&page, &tiled), 16);
+            assert_eq!(
+                &fused[q * n_chunks..(q + 1) * n_chunks],
+                &expected[..],
+                "query {q}"
+            );
         }
     }
 

@@ -39,6 +39,27 @@ impl FlashStats {
         FlashStats::default()
     }
 
+    /// Counters of one fused multi-query scan pass: `pages_sensed` pages
+    /// each sensed exactly once, `page_scores` `(page, query)` scoring
+    /// operations (one XOR, one fail-bit count and one pass/fail check per
+    /// resident query against each sensed page), and the aggregate TTL
+    /// traffic the pass moved to the controller.
+    ///
+    /// This is the *physical* accounting of a page-major batch scan: the
+    /// sense amortizes across the in-flight queries while the in-plane
+    /// compute still runs per query, which is exactly the asymmetry the
+    /// fused executor exploits.
+    pub fn fused_scan(pages_sensed: u64, page_scores: u64, bytes_to_controller: u64) -> FlashStats {
+        FlashStats {
+            page_reads: pages_sensed,
+            xor_ops: page_scores,
+            bit_count_ops: page_scores,
+            pass_fail_ops: page_scores,
+            bytes_to_controller,
+            ..FlashStats::new()
+        }
+    }
+
     /// Total number of flash array operations (reads + programs + erases).
     pub fn array_ops(&self) -> u64 {
         self.page_reads + self.page_programs + self.block_erases

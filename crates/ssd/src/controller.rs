@@ -55,6 +55,21 @@ pub struct ControllerActivity {
     pub ecc_bits_corrected: u64,
 }
 
+impl ControllerActivity {
+    /// An activity delta consisting of flash work only — the shape fused
+    /// multi-query scans produce: they sense borrowed pages and run the
+    /// in-plane kernels without touching DRAM or the ECC engine, then fold
+    /// the tally back via [`SsdController::absorb_activity`]. Each page of a
+    /// fused scan is counted as sensed *once* no matter how many queries it
+    /// was scored against (see `FlashStats::fused_scan`).
+    pub fn flash_only(flash: FlashStats) -> Self {
+        ControllerActivity {
+            flash,
+            ..ControllerActivity::default()
+        }
+    }
+}
+
 /// The simulated SSD controller.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SsdController {
