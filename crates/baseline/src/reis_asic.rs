@@ -86,6 +86,7 @@ mod tests {
             coarse_entries: 16_384,
             fine_pages: 4_096,
             fine_entries: 5_000,
+            fine_windows: 0,
             rerank_candidates: 100,
             int8_pages: 32,
             documents: 10,

@@ -1,0 +1,39 @@
+//! Validate measured-benchmark JSON artifacts against the schemas of
+//! `docs/BENCHMARKS.md`.
+//!
+//! Usage: `validate_bench_artifacts FILE [FILE …]`
+//!
+//! Each file is parsed with the offline JSON parser and checked for its
+//! family's required keys and types (`reis_bench::artifacts`); the binary
+//! prints one line per file and exits non-zero if any file fails. CI runs
+//! this over the committed `BENCH_pr*.json` files and every freshly
+//! produced smoke artifact before uploading them, so a hand-written JSON
+//! emitter can never silently drift from the documented schema.
+
+use reis_bench::artifacts;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate_bench_artifacts FILE [FILE ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        match artifacts::validate_file(file) {
+            Ok(()) => println!("ok      {file}"),
+            Err(problems) => {
+                failed = true;
+                println!("FAILED  {file}");
+                for problem in problems {
+                    println!("        - {problem}");
+                }
+            }
+        }
+    }
+    if failed {
+        eprintln!("\nbenchmark artifact validation failed (schemas: docs/BENCHMARKS.md)");
+        std::process::exit(1);
+    }
+    println!("\n{} artifact(s) valid", files.len());
+}

@@ -184,6 +184,10 @@ pub mod fullscale {
             coarse_entries,
             fine_pages,
             fine_entries: fine_entries.max(rerank_candidates),
+            // Full-scale extrapolations price the static-threshold scan; the
+            // windowed adaptive maintenance is a measured, not extrapolated,
+            // quantity.
+            fine_windows: 0,
             rerank_candidates,
             int8_pages,
             documents: k,
@@ -330,6 +334,517 @@ pub mod report {
         }
         let sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
         (sum / values.len() as f64).exp()
+    }
+}
+
+pub mod artifacts {
+    //! Schema validation of the measured-benchmark JSON artifacts.
+    //!
+    //! Every figure binary hand-writes its JSON (there is no serializer in
+    //! the offline workspace), which historically meant a malformed or
+    //! key-renamed artifact could land in the repository — or be uploaded
+    //! from CI — unnoticed until a reader choked on it. The
+    //! `validate-bench-artifacts` binary runs [`validate_file`] over the
+    //! committed `BENCH_pr*.json` files and the freshly produced smoke
+    //! artifacts in CI, enforcing the schemas documented in
+    //! `docs/BENCHMARKS.md`: required keys, value types, and
+    //! `available_cores` present on every measured artifact (it is the key
+    //! readers must consult before trusting any scaling column).
+
+    /// A parsed JSON value (minimal offline parser — the shimmed `serde`
+    /// has no deserializer).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number, kept as `f64`.
+        Num(f64),
+        /// A string (escape sequences decoded).
+        Str(String),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object, in source order.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Look up a key of an object (`None` for non-objects).
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The human name of the value's type, for error messages.
+        pub fn type_name(&self) -> &'static str {
+            match self {
+                Json::Null => "null",
+                Json::Bool(_) => "bool",
+                Json::Num(_) => "number",
+                Json::Str(_) => "string",
+                Json::Arr(_) => "array",
+                Json::Obj(_) => "object",
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-offset-annotated message on malformed input,
+    /// including trailing garbage after the document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&what) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", what as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+            Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+            Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        literal: &str,
+        value: Json,
+    ) -> Result<Json, String> {
+        if bytes[*pos..].starts_with(literal.as_bytes()) {
+            *pos += literal.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("malformed number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = bytes
+                        .get(*pos..*pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| format!("bad UTF-8 at byte {}", *pos))?;
+                    out.push_str(chunk);
+                    *pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            fields.push((key, parse_value(bytes, pos)?));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    /// The expected type of a required key.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Kind {
+        /// A JSON number.
+        Num,
+        /// A JSON string.
+        Str,
+        /// A JSON bool.
+        Bool,
+        /// A JSON object.
+        Obj,
+        /// A non-empty JSON array.
+        Arr,
+    }
+
+    fn check_kind(value: &Json, kind: Kind) -> bool {
+        match kind {
+            Kind::Num => matches!(value, Json::Num(_)),
+            Kind::Str => matches!(value, Json::Str(_)),
+            Kind::Bool => matches!(value, Json::Bool(_)),
+            Kind::Obj => matches!(value, Json::Obj(_)),
+            Kind::Arr => matches!(value, Json::Arr(items) if !items.is_empty()),
+        }
+    }
+
+    /// The required top-level keys of one artifact family, keyed off the
+    /// file name (`BENCH_pr5.json` and `BENCH_adaptive_smoke.json` share a
+    /// family, etc.). `None` for file names no schema is known for.
+    pub fn required_keys(file_name: &str) -> Option<&'static [(&'static str, Kind)]> {
+        const BATCH: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("dataset", Kind::Obj),
+            ("kernels", Kind::Obj),
+            ("batch_qps", Kind::Obj),
+            ("modelled_device_qps", Kind::Num),
+        ];
+        const INTRA: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("dataset", Kind::Obj),
+            ("queries", Kind::Num),
+            ("repeats_per_point", Kind::Num),
+            ("single_query_latency_us", Kind::Obj),
+            ("speedup_at_best_shard_count", Kind::Obj),
+        ];
+        const UPDATE: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("mode", Kind::Str),
+            ("dataset", Kind::Obj),
+            ("insert", Kind::Obj),
+            ("upsert", Kind::Obj),
+            ("delete", Kind::Obj),
+            ("search_under_update", Kind::Obj),
+            ("compaction", Kind::Obj),
+        ];
+        const FUSED: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("mode", Kind::Str),
+            ("results_identical_to_sequential", Kind::Bool),
+            ("brute_force", Kind::Obj),
+            ("ivf_nprobe8", Kind::Obj),
+            ("modelled_bf_scan_batch8_us", Kind::Obj),
+            ("bf_batch8_sense_reduction", Kind::Num),
+        ];
+        const ADAPTIVE: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("mode", Kind::Str),
+            ("dataset", Kind::Obj),
+            ("queries", Kind::Num),
+            ("repeats_per_point", Kind::Num),
+            ("k", Kind::Num),
+            ("partition_invariant", Kind::Bool),
+            ("static_baseline", Kind::Obj),
+            ("window_sweep", Kind::Arr),
+        ];
+        let base = file_name.rsplit('/').next().unwrap_or(file_name);
+        match base {
+            "BENCH_pr1.json" => Some(BATCH),
+            "BENCH_pr2.json" => Some(INTRA),
+            "BENCH_pr3.json" => Some(UPDATE),
+            "BENCH_pr4.json" => Some(FUSED),
+            "BENCH_pr5.json" => Some(ADAPTIVE),
+            _ if base.contains("fig07b") => Some(BATCH),
+            _ if base.contains("intra_query") => Some(INTRA),
+            _ if base.contains("update") => Some(UPDATE),
+            _ if base.contains("fused") => Some(FUSED),
+            _ if base.contains("adaptive") => Some(ADAPTIVE),
+            _ => None,
+        }
+    }
+
+    /// Validate one artifact's parsed document against its family schema,
+    /// returning every violation (empty = valid).
+    pub fn validate(file_name: &str, doc: &Json) -> Vec<String> {
+        let base = file_name.rsplit('/').next().unwrap_or(file_name);
+        let mut problems = Vec::new();
+        if base.contains("kernels-bench") {
+            // The criterion-shim emits a flat list of name/ns entries.
+            match doc {
+                Json::Arr(items) if !items.is_empty() => {
+                    for (i, item) in items.iter().enumerate() {
+                        if !matches!(item.get("name"), Some(Json::Str(_)))
+                            || !matches!(item.get("ns_per_iter"), Some(Json::Num(_)))
+                        {
+                            problems.push(format!(
+                                "entry {i}: expected {{ name: string, ns_per_iter: number }}"
+                            ));
+                        }
+                    }
+                }
+                _ => problems.push("expected a non-empty array of benchmark entries".into()),
+            }
+            return problems;
+        }
+        let Some(required) = required_keys(base) else {
+            problems.push(format!(
+                "no schema known for '{base}' (see docs/BENCHMARKS.md)"
+            ));
+            return problems;
+        };
+        if !matches!(doc, Json::Obj(_)) {
+            problems.push(format!(
+                "expected a top-level object, got {}",
+                doc.type_name()
+            ));
+            return problems;
+        }
+        for &(key, kind) in required {
+            match doc.get(key) {
+                None => problems.push(format!("missing required key '{key}'")),
+                Some(value) if !check_kind(value, kind) => problems.push(format!(
+                    "key '{key}': expected {kind:?}, got {}",
+                    value.type_name()
+                )),
+                Some(_) => {}
+            }
+        }
+        // Family-specific invariants beyond key presence.
+        if let Some(Json::Arr(points)) = doc.get("window_sweep") {
+            for (i, point) in points.iter().enumerate() {
+                for key in [
+                    "window",
+                    "fine_entries",
+                    "barriers",
+                    "modelled_us",
+                    "sequential_us",
+                    "sharded_us",
+                ] {
+                    if !matches!(point.get(key), Some(Json::Num(_))) {
+                        problems.push(format!("window_sweep[{i}]: missing numeric '{key}'"));
+                    }
+                }
+            }
+            if doc.get("partition_invariant") != Some(&Json::Bool(true)) {
+                problems.push("partition_invariant must be true".into());
+            }
+        }
+        problems
+    }
+
+    /// Read, parse and validate one artifact file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violations (I/O and parse errors included).
+    pub fn validate_file(path: &str) -> Result<(), Vec<String>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => return Err(vec![format!("cannot read: {error}")]),
+        };
+        let doc = match parse(&text) {
+            Ok(doc) => doc,
+            Err(error) => return Err(vec![format!("malformed JSON: {error}")]),
+        };
+        let problems = validate(path, &doc);
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+#[cfg(test)]
+mod artifact_tests {
+    use super::artifacts::{parse, required_keys, validate, Json, Kind};
+
+    #[test]
+    fn parser_round_trips_the_artifact_shapes() {
+        let doc = parse(
+            r#"{ "a": 1.5, "b": [true, null, "x\n\"yA"], "nested": { "k": -2e3 }, "empty": [], "eo": {} }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("a"), Some(&Json::Num(1.5)));
+        assert_eq!(
+            doc.get("b"),
+            Some(&Json::Arr(vec![
+                Json::Bool(true),
+                Json::Null,
+                Json::Str("x\n\"yA".into())
+            ]))
+        );
+        assert_eq!(
+            doc.get("nested").unwrap().get("k"),
+            Some(&Json::Num(-2000.0))
+        );
+        assert_eq!(doc.get("empty"), Some(&Json::Arr(vec![])));
+        assert!(parse("{ \"unterminated\": ").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn committed_artifacts_validate_and_corruptions_fail() {
+        // The real committed artifacts at the repository root must pass.
+        for name in [
+            "BENCH_pr1.json",
+            "BENCH_pr2.json",
+            "BENCH_pr3.json",
+            "BENCH_pr4.json",
+            "BENCH_pr5.json",
+        ] {
+            let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+            let text = std::fs::read_to_string(&path).expect("committed artifact readable");
+            let doc = parse(&text).expect("committed artifact parses");
+            let problems = validate(name, &doc);
+            assert!(problems.is_empty(), "{name}: {problems:?}");
+
+            // Dropping any required key must be caught.
+            let (first_key, _) = required_keys(name).unwrap()[0];
+            if let Json::Obj(ref fields) = doc {
+                let stripped = Json::Obj(
+                    fields
+                        .iter()
+                        .filter(|(k, _)| k != first_key)
+                        .cloned()
+                        .collect(),
+                );
+                assert!(
+                    !validate(name, &stripped).is_empty(),
+                    "{name}: dropping '{first_key}' must fail validation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schema_families_cover_smoke_artifacts_and_reject_unknown() {
+        assert_eq!(
+            required_keys("BENCH_adaptive_smoke.json"),
+            required_keys("BENCH_pr5.json")
+        );
+        assert_eq!(
+            required_keys("BENCH_fused_smoke.json"),
+            required_keys("BENCH_pr4.json")
+        );
+        assert_eq!(
+            required_keys("BENCH_update_smoke.json"),
+            required_keys("BENCH_pr3.json")
+        );
+        assert_eq!(
+            required_keys("path/to/BENCH_intra_query.json"),
+            required_keys("BENCH_pr2.json")
+        );
+        assert_eq!(
+            required_keys("BENCH_fig07b.json"),
+            required_keys("BENCH_pr1.json")
+        );
+        assert!(required_keys("mystery.json").is_none());
+        assert!(!validate("mystery.json", &Json::Obj(vec![])).is_empty());
+        // A wrongly typed required key is reported with both types.
+        let doc = parse(r#"{ "available_cores": "one" }"#).unwrap();
+        let problems = validate("BENCH_pr2.json", &doc);
+        assert!(problems.iter().any(|p| p.contains("available_cores")));
+        // The kernels list validates entry by entry.
+        let kernels = parse(r#"[ { "name": "x", "ns_per_iter": 1.0 } ]"#).unwrap();
+        assert!(validate("kernels-bench.json", &kernels).is_empty());
+        let bad = parse(r#"[ { "name": 3 } ]"#).unwrap();
+        assert!(!validate("kernels-bench.json", &bad).is_empty());
+        let _ = Kind::Num;
     }
 }
 

@@ -96,8 +96,9 @@ impl ScanParallelism {
     /// For *single-query* searches this exact value doubles as the "no
     /// preference" sentinel: `ReisSystem::search` upgrades it to
     /// `sharded(available_parallelism)` (results are bit-identical; only
-    /// wall-clock changes, and adapting scans stay sequential regardless).
-    /// Use [`ScanParallelism::pinned_sequential`] to force single-threaded
+    /// wall-clock changes — adaptive scans included, since their windowed
+    /// threshold schedule is partition-invariant). Use
+    /// [`ScanParallelism::pinned_sequential`] to force single-threaded
     /// scans even there.
     pub fn sequential() -> Self {
         ScanParallelism {
@@ -169,13 +170,19 @@ impl Default for ScanParallelism {
 /// Which scans tighten their distance-filter threshold adaptively as the
 /// Temporal Top List fills (see [`ReisConfig::with_adaptive_filtering`]).
 ///
-/// The adaptive schedule is defined by *sequential page order*: the
-/// threshold after page `p` depends on the entries admitted on the pages
-/// before `p`. To keep the transferred-entry counts (and therefore the
-/// modelled latency) identical on every machine, a scan that adapts always
-/// executes sequentially — intra-query sharding and fused-scan threading
-/// apply only to static-threshold scans, whose results and counts are
-/// partition-invariant.
+/// The adaptive schedule is *windowed*: the scan's deterministic page list
+/// (merged base ranges followed by the probed clusters' segment runs, in
+/// probe order) is split into fixed page-count windows
+/// ([`ReisConfig::adaptive_window_pages`]), and the threshold only tightens
+/// at window barriers, computed from the Temporal-Top-List state
+/// accumulated over all *completed* windows. The threshold any page is
+/// scanned under is therefore a pure function of the page's position in
+/// that list — never of which worker scanned it when — so adaptive scans
+/// are **partition-invariant**: results, documents and transferred-entry
+/// counts are bit-identical across every [`ScanParallelism`] setting and
+/// inside the fused batch executor, on every machine. (Earlier revisions pinned
+/// adapting scans sequential because the schedule tightened per page; the
+/// windowed schedule removed that restriction.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdaptiveFiltering {
     /// Never adapt; the static paper threshold holds for the whole scan.
@@ -231,6 +238,27 @@ pub struct ReisConfig {
     /// [`AdaptiveFiltering::BruteForce`]: brute-force fine scans adapt, IVF
     /// scans keep the static paper threshold.
     pub adaptive_filtering: AdaptiveFiltering,
+    /// Page-count window of the adaptive threshold schedule: an adapting
+    /// scan's threshold tightens only at barriers every
+    /// `adaptive_window_pages` pages of its deterministic page list (see
+    /// [`AdaptiveFiltering`]). Values are clamped to at least 1; a window
+    /// of 1 reproduces the historical tighten-after-every-page schedule,
+    /// and a window larger than the scan is the static threshold.
+    ///
+    /// The window is also the **unit of intra-scan parallelism**: between
+    /// two barriers the threshold is constant, so each window's pages feed
+    /// the same [`ScanParallelism::effective_shards`] rule a static scan
+    /// uses. Smaller windows tighten sooner — fewer transferred entries,
+    /// more barrier quickselects, and *less shardable work per window*:
+    /// under the default 16-page [`ScanParallelism::min_pages_per_shard`]
+    /// only windows of ≥ 32 pages actually split across channel/die
+    /// workers, so the 4-page default (tuned for transfer cuts) runs its
+    /// windows sequentially. Deployments that want adaptive scans to
+    /// parallelize choose a larger window (the `fig_adaptive_window` bench
+    /// sweeps the trade) or a lower per-shard minimum; the *results and
+    /// entry counts* are identical either way — that is the windowed
+    /// schedule's partition invariance.
+    pub adaptive_window_pages: usize,
     /// How batched searches execute (see [`BatchFusion`]); defaults to the
     /// page-major fused path on the shared device.
     pub batch_fusion: BatchFusion,
@@ -252,6 +280,7 @@ impl ReisConfig {
             ttl_metadata_bytes: 13,
             scan_parallelism: ScanParallelism::sequential(),
             adaptive_filtering: AdaptiveFiltering::BruteForce,
+            adaptive_window_pages: 4,
             batch_fusion: BatchFusion::Fused,
             compaction: CompactionPolicy::auto(),
         }
@@ -303,8 +332,11 @@ impl ReisConfig {
     /// result is provably identical to the static threshold; only the
     /// number of transferred entries — and with it the modelled channel
     /// transfer and quickselect latency, which [`crate::perf::PerfModel`]
-    /// prices from the actual entry count — shrinks. An adapting scan
-    /// always executes sequentially (see [`AdaptiveFiltering`]).
+    /// prices from the actual entry count — shrinks. The threshold tightens
+    /// at fixed page-window barriers, which makes the schedule — and the
+    /// transferred-entry counts — identical under every parallelism setting
+    /// (see [`AdaptiveFiltering`] and
+    /// [`ReisConfig::adaptive_window_pages`]).
     pub fn with_adaptive_filtering(mut self, adaptive: bool) -> Self {
         self.adaptive_filtering = if adaptive {
             AdaptiveFiltering::All
@@ -317,6 +349,14 @@ impl ReisConfig {
     /// Builder-style override of the adaptive-filtering scope.
     pub fn with_adaptive_scope(mut self, scope: AdaptiveFiltering) -> Self {
         self.adaptive_filtering = scope;
+        self
+    }
+
+    /// Builder-style override of the adaptive threshold-window size in
+    /// pages (clamped to at least 1; see
+    /// [`ReisConfig::adaptive_window_pages`]).
+    pub fn with_adaptive_window(mut self, pages: usize) -> Self {
+        self.adaptive_window_pages = pages.max(1);
         self
     }
 
@@ -400,6 +440,16 @@ mod tests {
         let fine = sharded.with_min_pages_per_shard(1);
         assert_eq!(fine.effective_shards(128, 8), 8);
         assert_eq!(fine.effective_shards(128, 0), 1);
+    }
+
+    #[test]
+    fn adaptive_window_builder_clamps_and_defaults() {
+        let config = ReisConfig::ssd1();
+        assert_eq!(config.adaptive_window_pages, 4);
+        assert_eq!(config.with_adaptive_window(32).adaptive_window_pages, 32);
+        // A zero window would never reach a barrier; it clamps to 1 (the
+        // historical per-page schedule).
+        assert_eq!(config.with_adaptive_window(0).adaptive_window_pages, 1);
     }
 
     #[test]

@@ -47,6 +47,14 @@
 //!   List whose total-order quickselect makes the sharded result
 //!   bit-identical to the sequential scan. Both levels compose: each batch
 //!   worker drives its own intra-query shards.
+//!
+//! Adaptive distance filtering composes with both levels through the
+//! *windowed* threshold schedule: an adapting scan consumes its
+//! deterministic page list in fixed page-count windows, each window scans
+//! under a constant threshold (and may itself shard), and the threshold
+//! tightens only at window barriers — so the admitted entry set, and every
+//! counter derived from it, is invariant under how the pages were
+//! partitioned across workers or machines.
 
 use reis_ann::topk::Neighbor;
 use reis_ann::vector::{BinaryVector, Int8Vector};
@@ -71,6 +79,21 @@ pub struct ScanCounts {
     pub slots_scanned: usize,
     /// Entries that passed the distance filter and were transferred.
     pub entries_passed: usize,
+    /// Adaptive window barriers crossed (0 for static-threshold scans): the
+    /// number of times the embedded core re-ran quickselect over the
+    /// accumulated Temporal Top List to tighten the in-plane threshold.
+    pub windows: usize,
+}
+
+impl ScanCounts {
+    /// Fold the page/slot/entry counters of another pass into this one
+    /// (window barriers are owned by the windowed driver, not by the
+    /// per-window passes, so they do not accumulate here).
+    pub(crate) fn absorb(&mut self, other: ScanCounts) {
+        self.pages += other.pages;
+        self.slots_scanned += other.slots_scanned;
+        self.entries_passed += other.entries_passed;
+    }
 }
 
 /// Reusable buffers of the query hot path.
@@ -105,6 +128,13 @@ pub struct ScanScratch {
     page_oob: Vec<u8>,
     /// Clusters whose append segments the current fine scan must cover.
     cluster_buf: Vec<usize>,
+    /// Cursor over the probed clusters' segment runs in deterministic scan
+    /// order (the segment tail of the windowed adaptive page list).
+    run_cursor: reis_update::RunCursor,
+    /// Per-window segment-run slices handed out by the cursor.
+    run_slices: Vec<reis_update::RunSlice>,
+    /// Base page ranges of the current adaptive window.
+    win_ranges: Vec<(usize, usize)>,
     /// Number of fine-search candidates requested (bounds `ttl.top`).
     pub(crate) candidate_count: usize,
     /// Worker-local data-latch image of a read-only scan shard: the XOR of a
@@ -147,6 +177,13 @@ struct RerankCandidate {
 /// filtering it in-plane is lossless. The `<=` pass condition keeps
 /// equal-distance entries flowing, which the `storage_index` tie-break may
 /// still admit.
+///
+/// Under the windowed schedule this runs only at window *barriers* — fixed
+/// page-count positions of the scan's deterministic page list — over the
+/// TTL state accumulated across all completed windows. Because the TTL
+/// quickselect keys on a total order, the merged state at a barrier (and
+/// therefore the tightened threshold) is independent of how the window's
+/// pages were partitioned across shard or fused-batch workers.
 pub(crate) fn tighten_threshold(
     ttl: &mut crate::records::TemporalTopList,
     candidate_count: usize,
@@ -367,8 +404,7 @@ fn scan_shard_pages<F>(
     ranges: &[(usize, usize)],
     page_base: usize,
     slot_bytes: usize,
-    mut threshold: u32,
-    adapt: Option<usize>,
+    threshold: u32,
     oob_entries_per_page: usize,
     oob_layout: &OobLayout,
     entry_bytes: usize,
@@ -422,12 +458,6 @@ where
                         counts.entries_passed += 1;
                         ttl.push(entry);
                     }
-                }
-                if let Some(candidate_count) = adapt {
-                    // Shard-local tightening is exact: every shard keeps (at
-                    // least) its own candidate_count best entries, and the
-                    // global best set is contained in the union of those.
-                    tighten_threshold(ttl, candidate_count, &mut threshold);
                 }
             }
         }
@@ -491,8 +521,7 @@ impl<'a> InStorageEngine<'a> {
         ranges: &[(usize, usize)],
         page_base: usize,
         slot_bytes: usize,
-        mut threshold: u32,
-        adapt: Option<usize>,
+        threshold: u32,
         oob_entries_per_page: usize,
         mut make_entry: F,
     ) -> Result<ScanCounts>
@@ -540,9 +569,6 @@ impl<'a> InStorageEngine<'a> {
                         self.scratch.ttl.push(entry);
                     }
                 }
-                if let Some(candidate_count) = adapt {
-                    tighten_threshold(&mut self.scratch.ttl, candidate_count, &mut threshold);
-                }
             }
         }
         // Account the aggregate channel traffic of all transferred entries.
@@ -578,7 +604,6 @@ impl<'a> InStorageEngine<'a> {
         page_base: usize,
         slot_bytes: usize,
         threshold: u32,
-        adapt: Option<usize>,
         oob_entries_per_page: usize,
         make_entry: F,
     ) -> Result<ScanCounts>
@@ -614,7 +639,6 @@ impl<'a> InStorageEngine<'a> {
                                 page_base,
                                 slot_bytes,
                                 threshold,
-                                adapt,
                                 oob_entries_per_page,
                                 oob_layout,
                                 entry_bytes,
@@ -640,9 +664,7 @@ impl<'a> InStorageEngine<'a> {
         let mut flash = FlashStats::new();
         let mut first_error = None;
         for (shard_counts, shard_flash, shard_error) in shard_outputs {
-            counts.pages += shard_counts.pages;
-            counts.slots_scanned += shard_counts.slots_scanned;
-            counts.entries_passed += shard_counts.entries_passed;
+            counts.absorb(shard_counts);
             flash.accumulate(&shard_flash);
             if first_error.is_none() {
                 first_error = shard_error;
@@ -681,7 +703,6 @@ impl<'a> InStorageEngine<'a> {
             layout.embedding_slot_bytes,
             // Centroid scan is never filtered: every cluster distance is needed.
             u32::MAX,
-            None,
             epp,
             |page, slot, distance, oob| {
                 coarse_scan_entry(epp, centroids, page, slot, distance, oob)
@@ -714,6 +735,14 @@ impl<'a> InStorageEngine<'a> {
     /// IVF search path run through this method, so both inherit the
     /// sharding. The (much smaller) centroid scan of
     /// [`InStorageEngine::coarse_search`] always runs sequentially.
+    ///
+    /// Scans that adapt their distance-filter threshold run the *windowed*
+    /// driver (`fine_scan_windowed`): the page list is
+    /// consumed in fixed page-count windows, each window scans under a
+    /// constant threshold (sharded when large enough), and the threshold
+    /// tightens only at the barrier between windows — which is what makes
+    /// adaptive results and transferred-entry counts identical under every
+    /// parallelism setting.
     pub fn fine_search(
         &mut self,
         db: &DeployedDatabase,
@@ -744,11 +773,11 @@ impl<'a> InStorageEngine<'a> {
 
         let entries_total = layout.entries;
         let epp = layout.embeddings_per_page;
-        // Adaptive distance filtering tightens the in-plane threshold as the
-        // Temporal Top List fills. The adaptive schedule is defined by
-        // sequential page order, so an adapting scan never shards (see
-        // `AdaptiveFiltering`); only static-threshold scans are
-        // partition-invariant.
+        // Adaptive distance filtering tightens the in-plane threshold at
+        // fixed page-window barriers of the scan's deterministic page list
+        // (base ranges, then the probed clusters' segment runs). The
+        // schedule is a pure function of page order, so it composes with
+        // every parallelism mode (see `AdaptiveFiltering`).
         let adapt = if self.config.adapts(clusters.is_none()) {
             Some(candidate_count.max(1))
         } else {
@@ -757,7 +786,9 @@ impl<'a> InStorageEngine<'a> {
 
         // Intra-query sharding decision: how many channel/die shards this
         // scan is worth, and whether the read-only shard path is exact for
-        // the embedding region (error-free ESP reads).
+        // the embedding region (error-free ESP reads). Adaptive scans make
+        // the same decision per window (a window is the unit of parallel
+        // work between two barriers), via the same `effective_shards` rule.
         let geometry = self.ssd.config().geometry;
         let scan_pages_total: usize = self
             .scratch
@@ -773,9 +804,8 @@ impl<'a> InStorageEngine<'a> {
             .ssd
             .hybrid_policy()
             .scheme_for(RegionKind::BinaryEmbeddings);
-        let use_shards = shard_count > 1
-            && adapt.is_none()
-            && self.ssd.device().read_is_error_free(embedding_scheme);
+        let shards_exact = self.ssd.device().read_is_error_free(embedding_scheme);
+        let use_shards = shard_count > 1 && shards_exact;
 
         // Temporarily move the range buffers out of the scratch so the scan
         // (which borrows the engine mutably) can read them.
@@ -797,11 +827,58 @@ impl<'a> InStorageEngine<'a> {
                 oob,
             )
         };
-        let scanned = if use_shards {
+
+        let scanned = match adapt {
+            None => {
+                self.fine_scan_static(db, &pages, threshold, use_shards, shard_count, &make_entry)
+            }
+            Some(candidates) => self.fine_scan_windowed(
+                db,
+                &pages,
+                threshold,
+                candidates,
+                shards_exact,
+                &make_entry,
+            ),
+        };
+        self.scratch.page_ranges = pages;
+        self.scratch.valid_ranges = valid;
+        let counts = scanned?;
+
+        self.scratch.ttl.quickselect(candidate_count.max(1));
+        self.scratch.ttl.sort_ascending();
+        self.scratch.candidate_count = candidate_count;
+        Ok(counts)
+    }
+
+    /// Static-threshold fine scan: the merged base ranges in one pass
+    /// (sharded across channel/die workers when `use_shards`), then the
+    /// probed clusters' segment runs sequentially. Candidates join the
+    /// scratch's Temporal Top List; the total-order quickselect keeps the
+    /// combined result deterministic. OOB validity (the RADR sentinel of
+    /// unfilled slots) and the DRAM-side deletion flags filter dead segment
+    /// slots.
+    fn fine_scan_static<F>(
+        &mut self,
+        db: &DeployedDatabase,
+        pages: &[(usize, usize)],
+        threshold: u32,
+        use_shards: bool,
+        shard_count: usize,
+        make_entry: &F,
+    ) -> Result<ScanCounts>
+    where
+        F: Fn(usize, usize, u32, OobEntry) -> Option<TtlEntry> + Sync,
+    {
+        let layout = db.layout;
+        let epp = layout.embeddings_per_page;
+        let slot_bytes = layout.embedding_slot_bytes;
+        let geometry = self.ssd.config().geometry;
+        let region = &db.record.embedding_region;
+        let mut counts = if use_shards {
             // Plan per-channel/per-die shards over the merged ranges, then
             // scan them concurrently and merge the shard-local TTLs.
-            let region = &db.record.embedding_region;
-            let plan = ScanShardPlan::build(&geometry, shard_count, &pages, |offset| {
+            let plan = ScanShardPlan::build(&geometry, shard_count, pages, |offset| {
                 region
                     .page_at(&geometry, layout.centroid_pages + offset)
                     .map(|addr| addr.plane_addr())
@@ -811,38 +888,29 @@ impl<'a> InStorageEngine<'a> {
                     region,
                     &plan,
                     layout.centroid_pages,
-                    layout.embedding_slot_bytes,
+                    slot_bytes,
                     threshold,
-                    adapt,
                     epp,
                     make_entry,
-                ),
-                Err(error) => Err(error.into()),
+                )?,
+                Err(error) => return Err(error.into()),
             }
         } else {
             self.scan_pages(
-                &db.record.embedding_region,
-                &pages,
+                region,
+                pages,
                 layout.centroid_pages,
-                layout.embedding_slot_bytes,
+                slot_bytes,
                 threshold,
-                adapt,
                 epp,
                 make_entry,
-            )
+            )?
         };
-        self.scratch.page_ranges = pages;
-        self.scratch.valid_ranges = valid;
-        let mut counts = scanned?;
 
         // Append-segment pass: entries inserted since deployment live in
         // per-cluster segment runs that the base region does not cover.
         // Segment runs are small (compaction folds them back), so they scan
-        // sequentially after the (possibly sharded) base scan; their
-        // candidates join the same Temporal Top List, and the total-order
-        // quickselect keeps the combined result deterministic. OOB validity
-        // (the RADR sentinel of unfilled slots) and the DRAM-side deletion
-        // flags filter dead slots.
+        // sequentially after the (possibly sharded) base scan.
         if !db.updates.store.is_empty() {
             let seg_clusters = std::mem::take(&mut self.scratch.cluster_buf);
             let base_capacity = db.updates.base_capacity;
@@ -853,26 +921,179 @@ impl<'a> InStorageEngine<'a> {
                         run,
                         &[(0, run.len)],
                         0,
-                        layout.embedding_slot_bytes,
+                        slot_bytes,
                         threshold,
-                        adapt,
                         epp,
                         |_page, _slot, distance, oob| {
                             segment_scan_entry(store, base_capacity, distance, oob)
                         },
                     )?;
-                    counts.pages += seg_counts.pages;
-                    counts.slots_scanned += seg_counts.slots_scanned;
-                    counts.entries_passed += seg_counts.entries_passed;
+                    counts.absorb(seg_counts);
                 }
             }
             self.scratch.cluster_buf = seg_clusters;
         }
-
-        self.scratch.ttl.quickselect(candidate_count.max(1));
-        self.scratch.ttl.sort_ascending();
-        self.scratch.candidate_count = candidate_count;
         Ok(counts)
+    }
+
+    /// Windowed adaptive fine scan — the partition-invariant adaptive
+    /// driver.
+    ///
+    /// The scan's deterministic page list — the merged base ranges followed
+    /// by the probed clusters' segment runs (clusters in probe order, runs
+    /// in append order) — is consumed in fixed windows of
+    /// [`ReisConfig::adaptive_window_pages`](crate::config::ReisConfig)
+    /// pages. Within a window the threshold is constant, so the window's
+    /// base portion may shard across channel/die workers exactly like a
+    /// static scan (the per-window page count feeds the same
+    /// `effective_shards` rule, so tiny windows stay sequential); its
+    /// segment slices scan sequentially. At each window *barrier* the
+    /// threshold tightens from the Temporal-Top-List state accumulated over
+    /// all completed windows ([`tighten_threshold`]). A trailing partial
+    /// window ends the scan without a barrier.
+    ///
+    /// Because the threshold any page sees is a pure function of the page's
+    /// position in the list — never of which worker scanned it when — the
+    /// results, documents *and transferred-entry counts* are bit-identical
+    /// across `ScanParallelism` settings, machines, and the fused batch
+    /// executor (which implements the same schedule per query).
+    fn fine_scan_windowed<F>(
+        &mut self,
+        db: &DeployedDatabase,
+        pages: &[(usize, usize)],
+        mut threshold: u32,
+        candidate_count: usize,
+        shards_exact: bool,
+        make_entry: &F,
+    ) -> Result<ScanCounts>
+    where
+        F: Fn(usize, usize, u32, OobEntry) -> Option<TtlEntry> + Sync,
+    {
+        let layout = db.layout;
+        let epp = layout.embeddings_per_page;
+        let slot_bytes = layout.embedding_slot_bytes;
+        let geometry = self.ssd.config().geometry;
+        let scan_units = ScanShardPlan::scan_units(&geometry);
+        let window = self.config.adaptive_window_pages.max(1);
+        let base_capacity = db.updates.base_capacity;
+        let store = &db.updates.store;
+        let region = &db.record.embedding_region;
+
+        // The segment tail of the page list, pinned in probe order.
+        let seg_clusters = std::mem::take(&mut self.scratch.cluster_buf);
+        let mut run_cursor = std::mem::take(&mut self.scratch.run_cursor);
+        run_cursor.reset(store, &seg_clusters);
+        let mut run_slices = std::mem::take(&mut self.scratch.run_slices);
+        let mut win_ranges = std::mem::take(&mut self.scratch.win_ranges);
+
+        let seg_entry = |_page: usize, _slot: usize, distance: u32, oob: OobEntry| {
+            segment_scan_entry(store, base_capacity, distance, oob)
+        };
+
+        let mut base_idx = 0usize;
+        let mut base_off = 0usize;
+        let mut scan = |engine: &mut Self,
+                        run_cursor: &mut reis_update::RunCursor,
+                        run_slices: &mut Vec<reis_update::RunSlice>,
+                        win_ranges: &mut Vec<(usize, usize)>|
+         -> Result<ScanCounts> {
+            let mut counts = ScanCounts::default();
+            loop {
+                let mut budget = window;
+
+                // ---- Base portion of this window.
+                win_ranges.clear();
+                while budget > 0 && base_idx < pages.len() {
+                    let (start, end) = pages[base_idx];
+                    let from = start + base_off;
+                    let take = (end - from).min(budget);
+                    win_ranges.push((from, from + take));
+                    budget -= take;
+                    base_off += take;
+                    if from + take == end {
+                        base_idx += 1;
+                        base_off = 0;
+                    }
+                }
+                if !win_ranges.is_empty() {
+                    let win_pages: usize = win_ranges.iter().map(|&(s, e)| e - s).sum();
+                    let wshards = engine
+                        .config
+                        .scan_parallelism
+                        .effective_shards(scan_units, win_pages);
+                    let scanned = if wshards > 1 && shards_exact {
+                        let plan = ScanShardPlan::build(&geometry, wshards, win_ranges, |offset| {
+                            region
+                                .page_at(&geometry, layout.centroid_pages + offset)
+                                .map(|addr| addr.plane_addr())
+                        });
+                        match plan {
+                            Ok(plan) => engine.scan_pages_sharded(
+                                region,
+                                &plan,
+                                layout.centroid_pages,
+                                slot_bytes,
+                                threshold,
+                                epp,
+                                make_entry,
+                            )?,
+                            Err(error) => return Err(error.into()),
+                        }
+                    } else {
+                        engine.scan_pages(
+                            region,
+                            win_ranges,
+                            layout.centroid_pages,
+                            slot_bytes,
+                            threshold,
+                            epp,
+                            make_entry,
+                        )?
+                    };
+                    counts.absorb(scanned);
+                }
+
+                // ---- Segment portion of this window (a window may straddle
+                // the base/segment boundary and any number of runs).
+                if budget > 0 {
+                    run_slices.clear();
+                    budget -= run_cursor.take_into(budget, run_slices);
+                    for slice in run_slices.iter() {
+                        let seg_counts = engine.scan_pages(
+                            &slice.region,
+                            &[(slice.start, slice.end)],
+                            0,
+                            slot_bytes,
+                            threshold,
+                            epp,
+                            &seg_entry,
+                        )?;
+                        counts.absorb(seg_counts);
+                    }
+                }
+
+                if budget == window {
+                    // The page list was exhausted before this window began.
+                    break;
+                }
+                if budget > 0 {
+                    // Trailing partial window: the scan ends, no barrier.
+                    break;
+                }
+                // ---- Window barrier: tighten against every completed
+                // window's accumulated TTL state.
+                tighten_threshold(&mut engine.scratch.ttl, candidate_count, &mut threshold);
+                counts.windows += 1;
+            }
+            Ok(counts)
+        };
+        let result = scan(self, &mut run_cursor, &mut run_slices, &mut win_ranges);
+
+        self.scratch.cluster_buf = seg_clusters;
+        self.scratch.run_cursor = run_cursor;
+        self.scratch.run_slices = run_slices;
+        self.scratch.win_ranges = win_ranges;
+        result
     }
 
     /// The fine-search candidates in rank order (valid after
@@ -1094,6 +1315,7 @@ impl<'a> InStorageEngine<'a> {
             coarse_entries: coarse.entries_passed,
             fine_pages: fine.pages,
             fine_entries: fine.entries_passed,
+            fine_windows: fine.windows,
             rerank_candidates,
             int8_pages,
             documents,

@@ -31,12 +31,18 @@
 //!   [`engine::coarse_scan_entry`]), and selection runs under the same
 //!   `(distance, storage_index)` total order, so the kept set is
 //!   order-independent.
-//! * Adaptive thresholds tighten in each query's own page order: the union
-//!   scan visits pages ascending, so the subsequence a query scores is the
-//!   same sequence the sequential scan would walk. Scans that adapt run
-//!   unsharded (the schedule is defined by sequential page order, see
-//!   [`AdaptiveFiltering`](crate::config::AdaptiveFiltering)); append
-//!   segments fuse per group of queries that share a probed-cluster order.
+//! * Adaptive thresholds follow each query's own *windowed* schedule: a
+//!   query's threshold tightens only at barriers every
+//!   [`adaptive_window_pages`](crate::config::ReisConfig::adaptive_window_pages)
+//!   pages of its own deterministic page list (base subsequence of the
+//!   union scan, then its probed clusters' segment runs), from the TTL
+//!   state accumulated over its completed windows — exactly the schedule
+//!   the sequential engine runs. The union scan advances in *chunks* that
+//!   end whenever any in-flight query reaches a barrier, so within a chunk
+//!   every threshold is constant and the chunk may shard across channel/die
+//!   workers like a static scan. Append segments fuse per group of queries
+//!   that share a probed-cluster order (equal order ⇒ aligned windows);
+//!   brute-force batches share one order and fuse fully.
 //!
 //! # Accounting
 //!
@@ -49,8 +55,8 @@
 
 use std::collections::HashMap;
 
-use reis_nand::peripheral::{FailBitCounter, PassFailChecker};
-use reis_nand::{FlashStats, OobEntry, OobLayout, ScanShardPlan};
+use reis_nand::peripheral::PassFailChecker;
+use reis_nand::{FlashStats, FusedHit, OobEntry, OobLayout, ScanShardPlan};
 use reis_ssd::{ControllerActivity, SsdController, StripedRegion};
 
 use crate::config::{ReisConfig, ScanParallelism};
@@ -110,15 +116,29 @@ enum Phase {
     Fine,
 }
 
-/// Score one borrowed page against the active queries with the fused
-/// kernel, filter per query, and push the admitted entries into each
+/// Reusable buffers of one fused scoring loop: the active queries' padded
+/// images and current thresholds, the kernel's per-query accumulator and
+/// the emitted hits. One set serves one thread; workers own their own.
+#[derive(Default)]
+struct ScoreBufs<'a> {
+    queries: Vec<&'a [u8]>,
+    thresholds: Vec<u32>,
+    acc: Vec<u32>,
+    hits: Vec<FusedHit>,
+}
+
+/// Score one borrowed page against the active queries with the
+/// threshold-aware fused kernel and push the admitted entries into each
 /// query's Temporal Top List.
 ///
-/// `slice_buf` and `fused_counts` are reusable buffers; `make_entry` maps
-/// `(query, page, slot, distance, oob)` to an admitted entry. When `adapt`
-/// is set, each active query tightens its own threshold after this page —
-/// pages arrive in every query's own ascending page order, so the schedule
-/// equals the sequential scan's.
+/// Each active query is scored under its *current* threshold — constant for
+/// the duration of a window under the windowed adaptive schedule (barrier
+/// tightening is the caller's job), and the static paper threshold
+/// otherwise. [`PassFailChecker::filter_fused`] folds the per-query
+/// comparison into the single pass over the page words and emits hits
+/// chunk-major, so the OOB linkage of a slot unpacks once for every query
+/// that passed it. `make_entry` maps `(query, page, slot, distance, oob)`
+/// to an admitted entry.
 #[allow(clippy::too_many_arguments)]
 fn score_page<'a>(
     data: &[u8],
@@ -130,40 +150,101 @@ fn score_page<'a>(
     plans: &'a [QueryPlan],
     active: &[usize],
     states: &mut [QueryScanState],
-    slice_buf: &mut Vec<&'a [u8]>,
-    fused_counts: &mut Vec<u32>,
-    passing: &mut Vec<(u32, u32)>,
-    adapt: Option<usize>,
+    bufs: &mut ScoreBufs<'a>,
     phase: Phase,
     make_entry: &(dyn Fn(usize, usize, usize, u32, OobEntry) -> Option<TtlEntry> + Sync),
 ) -> Result<()> {
-    slice_buf.clear();
-    slice_buf.extend(active.iter().map(|&q| plans[q].padded.as_slice()));
-    FailBitCounter::count_fused_into(data, slot_bytes, slice_buf, fused_counts);
+    let ScoreBufs {
+        queries,
+        thresholds,
+        acc,
+        hits,
+    } = bufs;
+    queries.clear();
+    queries.extend(active.iter().map(|&q| plans[q].padded.as_slice()));
+    thresholds.clear();
+    thresholds.extend(active.iter().map(|&q| states[q].threshold));
     let n_chunks = data.len().div_ceil(slot_bytes);
     let limit = n_chunks.min(epp);
-    for (j, &q) in active.iter().enumerate() {
+    PassFailChecker::filter_fused(data, slot_bytes, limit, queries, thresholds, acc, hits);
+    for &q in active {
         let state = &mut states[q];
-        let counts = &fused_counts[j * n_chunks..(j + 1) * n_chunks];
         let phase_counts = match phase {
             Phase::Coarse => &mut state.coarse,
             Phase::Fine => &mut state.fine,
         };
         phase_counts.pages += 1;
         phase_counts.slots_scanned += limit;
-        passing.clear();
-        PassFailChecker::filter_passing(&counts[..limit], state.threshold, |slot, distance| {
-            passing.push((slot as u32, distance));
-        });
-        for &(slot, distance) in passing.iter() {
-            let oob_entry = oob_layout.unpack_entry(oob, slot as usize)?;
-            if let Some(entry) = make_entry(q, page_offset, slot as usize, distance, oob_entry) {
-                phase_counts.entries_passed += 1;
-                state.ttl.push(entry);
+    }
+    // Hits arrive chunk-major (ascending slot), so a slot's OOB entry is
+    // unpacked once and reused across the queries that passed it.
+    let mut cached: Option<(u32, OobEntry)> = None;
+    for hit in hits.iter() {
+        let oob_entry = match cached {
+            Some((slot, entry)) if slot == hit.slot => entry,
+            _ => {
+                let entry = oob_layout.unpack_entry(oob, hit.slot as usize)?;
+                cached = Some((hit.slot, entry));
+                entry
             }
+        };
+        let q = active[hit.query as usize];
+        if let Some(entry) = make_entry(q, page_offset, hit.slot as usize, hit.distance, oob_entry)
+        {
+            let state = &mut states[q];
+            let phase_counts = match phase {
+                Phase::Coarse => &mut state.coarse,
+                Phase::Fine => &mut state.fine,
+            };
+            phase_counts.entries_passed += 1;
+            state.ttl.push(entry);
         }
-        if let Some(candidate_count) = adapt {
-            engine::tighten_threshold(&mut state.ttl, candidate_count, &mut state.threshold);
+    }
+    Ok(())
+}
+
+/// Walk `ranges` of `region` sequentially, sensing each page once and
+/// scoring it against every query whose selection covers it. The shared
+/// body of the unsharded static base scan and of one adaptive chunk.
+#[allow(clippy::too_many_arguments)]
+fn fused_walk_pages<'a>(
+    controller: &SsdController,
+    region: &StripedRegion,
+    ranges: &[(usize, usize)],
+    page_base: usize,
+    slot_bytes: usize,
+    epp: usize,
+    oob_layout: &OobLayout,
+    plans: &'a [QueryPlan],
+    states: &mut [QueryScanState],
+    bufs: &mut ScoreBufs<'a>,
+    active: &mut Vec<usize>,
+    physical_senses: &mut u64,
+    make_entry: &(dyn Fn(usize, usize, usize, u32, OobEntry) -> Option<TtlEntry> + Sync),
+) -> Result<()> {
+    for &(start, end) in ranges {
+        for offset in start..end {
+            let page_offset = page_base + offset;
+            let (_, data, oob) = controller.scan_region_page(region, page_offset)?;
+            *physical_senses += 1;
+            active.clear();
+            active.extend(
+                (0..plans.len()).filter(|&q| engine::in_page_ranges(&plans[q].page_ranges, offset)),
+            );
+            score_page(
+                data,
+                oob,
+                page_offset,
+                slot_bytes,
+                epp,
+                oob_layout,
+                plans,
+                active,
+                states,
+                bufs,
+                Phase::Fine,
+                make_entry,
+            )?;
         }
     }
     Ok(())
@@ -274,8 +355,6 @@ pub(crate) fn execute_batch_fused(
         .collect();
 
     let mut physical_senses = 0u64;
-    let mut fused_counts: Vec<u32> = Vec::new();
-    let mut passing: Vec<(u32, u32)> = Vec::new();
     let all_queries: Vec<usize> = (0..queries.len()).collect();
     // Reusable per-page active-query list: cleared and refilled for every
     // sensed page, like every other scan buffer (no per-page allocation).
@@ -298,10 +377,10 @@ pub(crate) fn execute_batch_fused(
                         engine::coarse_scan_entry(epp, centroids, page, slot, distance, oob)
                     };
                 // Thresholds are u32::MAX during the coarse phase; save and
-                // restore the fine-scan thresholds around it. The query-slice
-                // buffer is scoped to the phase so its borrow of `plans` ends
-                // before the fine-scan planning mutates them.
-                let mut slice_buf: Vec<&[u8]> = Vec::new();
+                // restore the fine-scan thresholds around it. The scoring
+                // buffers are scoped to the phase so their borrow of `plans`
+                // ends before the fine-scan planning mutates them.
+                let mut bufs = ScoreBufs::default();
                 for state in states.iter_mut() {
                     state.threshold = u32::MAX;
                 }
@@ -319,10 +398,7 @@ pub(crate) fn execute_batch_fused(
                         &plans,
                         &all_queries,
                         &mut states,
-                        &mut slice_buf,
-                        &mut fused_counts,
-                        &mut passing,
-                        None,
+                        &mut bufs,
                         Phase::Coarse,
                         &make_coarse,
                     )?;
@@ -371,10 +447,14 @@ pub(crate) fn execute_batch_fused(
         engine::merge_page_ranges(&mut union_ranges);
         let union_pages: usize = union_ranges.iter().map(|&(s, e)| e - s).sum();
 
-        // ---- Fused base scan over the union, page-major and ascending. Static
-        // scans may shard across channel/die workers (each worker scores all
-        // active queries for its pages); adapting scans run unsharded so every
-        // query's threshold schedule equals its sequential scan's.
+        // ---- Fused base scan over the union, page-major and ascending.
+        // Static scans cover the whole union in one pass, sharded across
+        // channel/die workers when large enough (each worker scores all
+        // active queries for its pages). Adapting scans advance in *chunks*
+        // bounded by the next window barrier of any in-flight query: within
+        // a chunk every threshold is constant, so the chunk shards exactly
+        // like a static scan, and the barrier tightening between chunks
+        // reproduces each query's sequential windowed schedule.
         let tombstones = &db.updates.tombstones;
         let entries_total = layout.entries;
         let centroid_pages = layout.centroid_pages;
@@ -392,58 +472,137 @@ pub(crate) fn execute_batch_fused(
                 oob,
             )
         };
-        let mut slice_buf: Vec<&[u8]> = Vec::new();
+        let mut bufs = ScoreBufs::default();
         let parallelism = if config.scan_parallelism.is_auto_default() {
             ScanParallelism::sharded(shard_budget)
         } else {
             config.scan_parallelism
         };
-        let shard_count =
-            parallelism.effective_shards(ScanShardPlan::scan_units(&geometry), union_pages);
+        let scan_units = ScanShardPlan::scan_units(&geometry);
         let region = &db.record.embedding_region;
-        if shard_count > 1 && adapt.is_none() {
-            fused_scan_sharded(
-                controller,
-                region,
-                &union_ranges,
-                shard_count,
-                centroid_pages,
-                slot_bytes,
-                epp,
-                &oob_layout,
-                plans_ref,
-                &mut states,
-                &mut physical_senses,
-                &make_base,
-            )?;
-        } else {
-            for &(start, end) in &union_ranges {
-                for offset in start..end {
-                    let page_offset = centroid_pages + offset;
-                    let (_, data, oob) = controller.scan_region_page(region, page_offset)?;
-                    physical_senses += 1;
-                    active.clear();
-                    active
-                        .extend((0..queries.len()).filter(|&q| {
-                            engine::in_page_ranges(&plans_ref[q].page_ranges, offset)
-                        }));
-                    score_page(
-                        data,
-                        oob,
-                        page_offset,
+        let window = config.adaptive_window_pages.max(1);
+        match adapt {
+            None => {
+                let shard_count = parallelism.effective_shards(scan_units, union_pages);
+                if shard_count > 1 {
+                    fused_scan_sharded(
+                        controller,
+                        region,
+                        &union_ranges,
+                        shard_count,
+                        centroid_pages,
                         slot_bytes,
                         epp,
                         &oob_layout,
                         plans_ref,
-                        &active,
                         &mut states,
-                        &mut slice_buf,
-                        &mut fused_counts,
-                        &mut passing,
-                        adapt,
-                        Phase::Fine,
+                        &mut physical_senses,
                         &make_base,
                     )?;
+                } else {
+                    fused_walk_pages(
+                        controller,
+                        region,
+                        &union_ranges,
+                        centroid_pages,
+                        slot_bytes,
+                        epp,
+                        &oob_layout,
+                        plans_ref,
+                        &mut states,
+                        &mut bufs,
+                        &mut active,
+                        &mut physical_senses,
+                        &make_base,
+                    )?;
+                }
+            }
+            Some(candidate_count) => {
+                // Per-query page positions (the index into each query's own
+                // page list) advance deterministically with the union walk,
+                // so chunk boundaries — the positions where some query
+                // completes a window — are computed up front per chunk,
+                // independent of how the chunk is then scanned.
+                let mut chunk_ranges: Vec<(usize, usize)> = Vec::new();
+                let mut pos: Vec<usize> = states.iter().map(|s| s.fine.pages).collect();
+                let mut prev = pos.clone();
+                let mut range_idx = 0usize;
+                let mut off_in = 0usize;
+                loop {
+                    chunk_ranges.clear();
+                    prev.copy_from_slice(&pos);
+                    let mut crossed = false;
+                    while !crossed && range_idx < union_ranges.len() {
+                        let (start, end) = union_ranges[range_idx];
+                        let offset = start + off_in;
+                        match chunk_ranges.last_mut() {
+                            Some(last) if last.1 == offset => last.1 = offset + 1,
+                            _ => chunk_ranges.push((offset, offset + 1)),
+                        }
+                        off_in += 1;
+                        if start + off_in == end {
+                            range_idx += 1;
+                            off_in = 0;
+                        }
+                        for (q, plan) in plans_ref.iter().enumerate() {
+                            if engine::in_page_ranges(&plan.page_ranges, offset) {
+                                pos[q] += 1;
+                                if pos[q].is_multiple_of(window) {
+                                    crossed = true;
+                                }
+                            }
+                        }
+                    }
+                    let chunk_pages: usize = chunk_ranges.iter().map(|&(s, e)| e - s).sum();
+                    if chunk_pages == 0 {
+                        break;
+                    }
+                    let shard_count = parallelism.effective_shards(scan_units, chunk_pages);
+                    if shard_count > 1 {
+                        fused_scan_sharded(
+                            controller,
+                            region,
+                            &chunk_ranges,
+                            shard_count,
+                            centroid_pages,
+                            slot_bytes,
+                            epp,
+                            &oob_layout,
+                            plans_ref,
+                            &mut states,
+                            &mut physical_senses,
+                            &make_base,
+                        )?;
+                    } else {
+                        fused_walk_pages(
+                            controller,
+                            region,
+                            &chunk_ranges,
+                            centroid_pages,
+                            slot_bytes,
+                            epp,
+                            &oob_layout,
+                            plans_ref,
+                            &mut states,
+                            &mut bufs,
+                            &mut active,
+                            &mut physical_senses,
+                            &make_base,
+                        )?;
+                    }
+                    // ---- Window barriers (by construction only at the
+                    // chunk's end): every query that just completed a window
+                    // tightens against its accumulated TTL state.
+                    for (q, state) in states.iter_mut().enumerate() {
+                        if state.fine.pages > prev[q] && state.fine.pages.is_multiple_of(window) {
+                            state.fine.windows += 1;
+                            engine::tighten_threshold(
+                                &mut state.ttl,
+                                candidate_count,
+                                &mut state.threshold,
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -451,10 +610,12 @@ pub(crate) fn execute_batch_fused(
         // ---- Append segments of mutated indexes. Statically filtered batches
         // fuse per cluster (each run page sensed once for every query probing
         // the cluster — admission is order-independent). Adapting batches fuse
-        // per *group of queries with the same probed-cluster order*, so each
-        // query still visits segment pages in its own sequential order with the
-        // per-run threshold reset the sequential path applies; brute-force
-        // batches (the adaptive default) share one order and fuse fully.
+        // per *group of queries with the same probed-cluster order*: queries
+        // of one group share the whole page list, so their window positions
+        // stay aligned and the windowed schedule continues seamlessly from
+        // the base scan into the runs (a window may straddle the boundary and
+        // any number of runs). Brute-force batches (the adaptive default)
+        // share one order and fuse fully.
         if !db.updates.store.is_empty() {
             let store = &db.updates.store;
             let base_capacity = db.updates.base_capacity;
@@ -462,62 +623,17 @@ pub(crate) fn execute_batch_fused(
                 move |_q: usize, _page: usize, _slot: usize, distance: u32, oob: OobEntry| {
                     engine::segment_scan_entry(store, base_capacity, distance, oob)
                 };
-            if adapt.is_none() {
-                for cluster in 0..store.clusters() {
-                    active.clear();
-                    active.extend(
-                        (0..queries.len()).filter(|&q| {
+            match adapt {
+                None => {
+                    for cluster in 0..store.clusters() {
+                        active.clear();
+                        active.extend((0..queries.len()).filter(|&q| {
                             plans_ref[q].cluster_sorted.binary_search(&cluster).is_ok()
-                        }),
-                    );
-                    if active.is_empty() {
-                        continue;
-                    }
-                    for run in store.runs(cluster) {
-                        for offset in 0..run.len {
-                            let (_, data, oob) = controller.scan_region_page(run, offset)?;
-                            physical_senses += 1;
-                            score_page(
-                                data,
-                                oob,
-                                offset,
-                                slot_bytes,
-                                epp,
-                                &oob_layout,
-                                plans_ref,
-                                &active,
-                                &mut states,
-                                &mut slice_buf,
-                                &mut fused_counts,
-                                &mut passing,
-                                None,
-                                Phase::Fine,
-                                &make_segment,
-                            )?;
+                        }));
+                        if active.is_empty() {
+                            continue;
                         }
-                    }
-                }
-            } else {
-                let mut groups: HashMap<&[usize], Vec<usize>> = HashMap::new();
-                for (q, plan) in plans.iter().enumerate() {
-                    groups
-                        .entry(plan.cluster_buf.as_slice())
-                        .or_default()
-                        .push(q);
-                }
-                let mut ordered: Vec<(&[usize], Vec<usize>)> = groups.into_iter().collect();
-                // Group iteration order only affects which queries share a
-                // sense, never any per-query outcome; sort for determinism of
-                // the physical counters.
-                ordered.sort_unstable_by_key(|(_, members)| members[0]);
-                for (cluster_order, members) in ordered {
-                    for &cluster in cluster_order {
                         for run in store.runs(cluster) {
-                            // The sequential path starts every run's scan_pages
-                            // call from the static threshold.
-                            for &q in &members {
-                                states[q].threshold = static_threshold;
-                            }
                             for offset in 0..run.len {
                                 let (_, data, oob) = controller.scan_region_page(run, offset)?;
                                 physical_senses += 1;
@@ -529,15 +645,66 @@ pub(crate) fn execute_batch_fused(
                                     epp,
                                     &oob_layout,
                                     plans_ref,
-                                    &members,
+                                    &active,
                                     &mut states,
-                                    &mut slice_buf,
-                                    &mut fused_counts,
-                                    &mut passing,
-                                    adapt,
+                                    &mut bufs,
                                     Phase::Fine,
                                     &make_segment,
                                 )?;
+                            }
+                        }
+                    }
+                }
+                Some(candidate_count) => {
+                    let mut groups: HashMap<&[usize], Vec<usize>> = HashMap::new();
+                    for (q, plan) in plans.iter().enumerate() {
+                        groups
+                            .entry(plan.cluster_buf.as_slice())
+                            .or_default()
+                            .push(q);
+                    }
+                    let mut ordered: Vec<(&[usize], Vec<usize>)> = groups.into_iter().collect();
+                    // Group iteration order only affects which queries share a
+                    // sense, never any per-query outcome; sort for determinism
+                    // of the physical counters.
+                    ordered.sort_unstable_by_key(|(_, members)| members[0]);
+                    for (cluster_order, members) in ordered {
+                        for &cluster in cluster_order {
+                            for run in store.runs(cluster) {
+                                for offset in 0..run.len {
+                                    let (_, data, oob) =
+                                        controller.scan_region_page(run, offset)?;
+                                    physical_senses += 1;
+                                    score_page(
+                                        data,
+                                        oob,
+                                        offset,
+                                        slot_bytes,
+                                        epp,
+                                        &oob_layout,
+                                        plans_ref,
+                                        &members,
+                                        &mut states,
+                                        &mut bufs,
+                                        Phase::Fine,
+                                        &make_segment,
+                                    )?;
+                                    // Window barrier checks continue across
+                                    // the base/segment boundary: a member
+                                    // whose page position hits a multiple of
+                                    // the window tightens here too.
+                                    for &q in &members {
+                                        let state = &mut states[q];
+                                        if state.fine.pages.is_multiple_of(window) {
+                                            state.fine.windows += 1;
+                                            engine::tighten_threshold(
+                                                &mut state.ttl,
+                                                candidate_count,
+                                                &mut state.threshold,
+                                            );
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -599,6 +766,7 @@ pub(crate) fn execute_batch_fused(
             coarse_entries: state.coarse.entries_passed,
             fine_pages: state.fine.pages,
             fine_entries: state.fine.entries_passed,
+            fine_windows: state.fine.windows,
             rerank_candidates: num_candidates,
             int8_pages,
             documents: results.len(),
@@ -625,11 +793,14 @@ pub(crate) fn execute_batch_fused(
     Ok(outcomes)
 }
 
-/// Shard the fused base scan across channel/die workers: each shard worker
+/// Shard a fused scan pass across channel/die workers: each shard worker
 /// senses its own page subset once and scores all queries whose selection
-/// covers the page, in its own per-query state. Only valid for static
-/// thresholds (admission is order-independent) — the caller gates on
-/// `adapt.is_none()`. The physical sense count accumulates into
+/// covers the page, in its own per-query state seeded with that query's
+/// *current* threshold. Valid whenever every threshold is constant for the
+/// duration of the pass — the whole union for a static scan, one
+/// window-bounded chunk for an adaptive scan (the caller tightens at the
+/// barrier after the pass; admission within the pass is then
+/// order-independent). The physical sense count accumulates into
 /// `physical_senses` even when a shard fails, so the caller's
 /// merge-then-fail accounting sees the work every shard performed.
 #[allow(clippy::too_many_arguments)]
@@ -653,7 +824,8 @@ fn fused_scan_sharded(
             .page_at(&geometry, page_base + offset)
             .map(|addr| addr.plane_addr())
     })?;
-    let static_threshold = states.first().map(|s| s.threshold).unwrap_or(u32::MAX);
+    let thresholds: Vec<u32> = states.iter().map(|s| s.threshold).collect();
+    let thresholds = &thresholds;
 
     type ShardOutput = (Vec<QueryScanState>, u64, Option<ReisError>);
     let shard_outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
@@ -663,47 +835,29 @@ fn fused_scan_sharded(
             .filter(|shard| !shard.is_empty())
             .map(|shard| {
                 scope.spawn(move || {
-                    let mut local: Vec<QueryScanState> = (0..plans.len())
-                        .map(|_| QueryScanState::new(static_threshold))
+                    let mut local: Vec<QueryScanState> = thresholds
+                        .iter()
+                        .map(|&threshold| QueryScanState::new(threshold))
                         .collect();
                     let mut senses = 0u64;
-                    let mut slice_buf: Vec<&[u8]> = Vec::new();
-                    let mut fused_counts: Vec<u32> = Vec::new();
-                    let mut passing: Vec<(u32, u32)> = Vec::new();
+                    let mut bufs = ScoreBufs::default();
                     let mut active: Vec<usize> = Vec::with_capacity(plans.len());
-                    let mut scan = || -> Result<()> {
-                        for &(start, end) in shard.ranges() {
-                            for offset in start..end {
-                                let page_offset = page_base + offset;
-                                let (_, data, oob) =
-                                    controller.scan_region_page(region, page_offset)?;
-                                senses += 1;
-                                active.clear();
-                                active.extend((0..plans.len()).filter(|&q| {
-                                    engine::in_page_ranges(&plans[q].page_ranges, offset)
-                                }));
-                                score_page(
-                                    data,
-                                    oob,
-                                    page_offset,
-                                    slot_bytes,
-                                    epp,
-                                    oob_layout,
-                                    plans,
-                                    &active,
-                                    &mut local,
-                                    &mut slice_buf,
-                                    &mut fused_counts,
-                                    &mut passing,
-                                    None,
-                                    Phase::Fine,
-                                    make_entry,
-                                )?;
-                            }
-                        }
-                        Ok(())
-                    };
-                    let error = scan().err();
+                    let error = fused_walk_pages(
+                        controller,
+                        region,
+                        shard.ranges(),
+                        page_base,
+                        slot_bytes,
+                        epp,
+                        oob_layout,
+                        plans,
+                        &mut local,
+                        &mut bufs,
+                        &mut active,
+                        &mut senses,
+                        make_entry,
+                    )
+                    .err();
                     (local, senses, error)
                 })
             })
@@ -721,9 +875,7 @@ fn fused_scan_sharded(
     for (mut local, shard_senses, error) in shard_outputs {
         *physical_senses += shard_senses;
         for (state, shard_state) in states.iter_mut().zip(local.iter_mut()) {
-            state.fine.pages += shard_state.fine.pages;
-            state.fine.slots_scanned += shard_state.fine.slots_scanned;
-            state.fine.entries_passed += shard_state.fine.entries_passed;
+            state.fine.absorb(shard_state.fine);
             state.ttl.absorb(&mut shard_state.ttl);
         }
         if first_error.is_none() {

@@ -31,6 +31,14 @@ pub struct QueryActivity {
     pub fine_pages: usize,
     /// TTL-E entries transferred to the controller during the fine search.
     pub fine_entries: usize,
+    /// Adaptive window barriers the fine scan crossed (0 for
+    /// static-threshold scans). At each barrier the embedded core re-ran
+    /// quickselect over the accumulated Temporal Top List to tighten the
+    /// in-plane threshold; [`PerfModel::window_maintenance`] prices that
+    /// from the per-window entry counts. The barrier count is a pure
+    /// function of the scan's page list and the configured window size, so
+    /// it is identical across every parallelism setting.
+    pub fine_windows: usize,
     /// Candidates handed to the reranking kernel.
     pub rerank_candidates: usize,
     /// Distinct INT8 pages fetched for reranking.
@@ -174,13 +182,50 @@ impl PerfModel {
     /// Latency of the quickselect kernel over `entries` TTL entries, given
     /// the scan time it can hide behind when pipelining is enabled.
     pub fn select(&self, entries: usize, k: usize, scan_time: Nanos) -> Nanos {
+        self.select_with_maintenance(entries, k, Nanos::ZERO, scan_time)
+    }
+
+    /// Latency of the selection phase including the windowed adaptive
+    /// maintenance: the final quickselect over `entries` TTL entries plus
+    /// the (precomputed, see [`PerfModel::window_maintenance`]) per-barrier
+    /// TTL upkeep, hidden together behind `scan_time` when pipelining is
+    /// enabled — both run on the embedded core, interleaved with the scan
+    /// they overlap. This is the single implementation of the selection
+    /// pricing rule; [`PerfModel::select`] is the static-scan special case.
+    pub fn select_with_maintenance(
+        &self,
+        entries: usize,
+        k: usize,
+        maintenance: Nanos,
+        scan_time: Nanos,
+    ) -> Nanos {
         let cores = EmbeddedCores::new(self.config.ssd.cores);
-        let select = cores.quickselect(entries, k);
+        let kernel = cores.quickselect(entries, k) + maintenance;
         if self.config.optimizations.pipelining {
-            select.saturating_sub(scan_time)
+            kernel.saturating_sub(scan_time)
         } else {
-            select
+            kernel
         }
+    }
+
+    /// Controller cost of the windowed adaptive-threshold maintenance: one
+    /// quickselect of the accumulated Temporal Top List per window barrier.
+    ///
+    /// Priced from the per-window entry counts: between two barriers the
+    /// scan admits `entries / barriers` entries on average on top of the
+    /// `candidates` the list was last truncated to, so each barrier's
+    /// quickselect examines roughly `candidates + entries / barriers`
+    /// entries and keeps `candidates`. Static scans (`barriers == 0`) cost
+    /// nothing. Like the final selection kernel, this runs on the embedded
+    /// core and — with pipelining enabled — overlaps the ongoing scan (see
+    /// [`PerfModel::query_latency`] for how the two are hidden together).
+    pub fn window_maintenance(&self, barriers: usize, entries: usize, candidates: usize) -> Nanos {
+        if barriers == 0 {
+            return Nanos::ZERO;
+        }
+        let cores = EmbeddedCores::new(self.config.ssd.cores);
+        let per_window = entries / barriers;
+        cores.quickselect(candidates + per_window, candidates) * barriers as u64
     }
 
     /// Latency of the reranking phase: fetching `int8_pages` pages of INT8
@@ -239,9 +284,11 @@ impl PerfModel {
             activity.fine_entries,
             activity.embedding_slot_bytes,
         );
-        let select = self.select(
+        let candidates = self.config.rerank_factor * k;
+        let select = self.select_with_maintenance(
             activity.coarse_entries + activity.fine_entries,
-            self.config.rerank_factor * k,
+            candidates,
+            self.window_maintenance(activity.fine_windows, activity.fine_entries, candidates),
             coarse_scan + fine_scan,
         );
         let rerank = self.rerank(
@@ -315,12 +362,14 @@ impl PerfModel {
     }
 
     /// Time the embedded core is busy for one query (used for core energy).
+    /// Includes the per-barrier TTL maintenance of windowed adaptive scans —
+    /// hidden or not, the core performs that work.
     pub fn core_busy(&self, activity: &QueryActivity, k: usize) -> Nanos {
         let cores = EmbeddedCores::new(self.config.ssd.cores);
-        cores.quickselect(
-            activity.coarse_entries + activity.fine_entries,
-            self.config.rerank_factor * k,
-        ) + cores.rerank(activity.rerank_candidates, activity.dim)
+        let candidates = self.config.rerank_factor * k;
+        cores.quickselect(activity.coarse_entries + activity.fine_entries, candidates)
+            + self.window_maintenance(activity.fine_windows, activity.fine_entries, candidates)
+            + cores.rerank(activity.rerank_candidates, activity.dim)
             + cores.quicksort(activity.rerank_candidates)
     }
 }
@@ -336,6 +385,7 @@ mod tests {
             coarse_entries: 64,
             fine_pages: 512,
             fine_entries: 2_000,
+            fine_windows: 0,
             rerank_candidates: 100,
             int8_pages: 32,
             documents: 10,
@@ -447,6 +497,35 @@ mod tests {
                 "fused batch {batch} must cost more than one scan"
             );
         }
+    }
+
+    #[test]
+    fn window_maintenance_prices_barrier_quickselects() {
+        let model = PerfModel::new(ReisConfig::ssd1());
+        // Static scans cost nothing.
+        assert_eq!(model.window_maintenance(0, 5_000, 100), Nanos::ZERO);
+        let few = model.window_maintenance(4, 5_000, 100);
+        assert!(few > Nanos::ZERO);
+        // More barriers over the same entries cost more core time (each
+        // barrier pays the candidate-set floor again).
+        let many = model.window_maintenance(64, 5_000, 100);
+        assert!(many > few);
+        // The maintenance flows into core busy time and — without
+        // pipelining to hide it — into the modelled select latency.
+        let static_activity = activity();
+        let windowed = QueryActivity {
+            fine_windows: 64,
+            ..static_activity
+        };
+        assert!(model.core_busy(&windowed, 10) > model.core_busy(&static_activity, 10));
+        let unpipelined = PerfModel::new(ReisConfig::ssd1().with_optimizations(Optimizations {
+            pipelining: false,
+            ..Optimizations::all()
+        }));
+        assert!(
+            unpipelined.query_latency(&windowed, 10).select
+                > unpipelined.query_latency(&static_activity, 10).select
+        );
     }
 
     #[test]

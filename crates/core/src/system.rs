@@ -95,9 +95,25 @@ pub struct ReisSystem {
 
 impl ReisSystem {
     /// Create a REIS system on a freshly initialised SSD.
+    ///
+    /// The host's available parallelism is captured once and used as the
+    /// shard budget of auto-sharded scans. Results never depend on it (the
+    /// windowed adaptive schedule and the total-order candidate selection
+    /// are partition-invariant); the `REIS_TEST_PARALLELISM` environment
+    /// variable overrides the captured value so CI can *prove* that by
+    /// diffing runs pinned to different budgets on the same machine.
     pub fn new(config: ReisConfig) -> Self {
         let mut controller = SsdController::new(config.ssd);
         controller.switch_mode(SsdMode::Rag);
+        let auto_shards = std::env::var("REIS_TEST_PARALLELISM")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
         ReisSystem {
             config,
             controller,
@@ -106,9 +122,7 @@ impl ReisSystem {
             databases: HashMap::new(),
             next_db_id: 1,
             scratch: ScanScratch::new(),
-            auto_shards: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            auto_shards,
         }
     }
 
@@ -131,6 +145,21 @@ impl ReisSystem {
     /// single-threaded scans.
     pub fn set_scan_parallelism(&mut self, scan_parallelism: ScanParallelism) {
         self.config.scan_parallelism = scan_parallelism;
+    }
+
+    /// Change the adaptive threshold-window size of subsequent queries
+    /// (clamped to at least 1; see
+    /// [`ReisConfig::adaptive_window_pages`](crate::config::ReisConfig)).
+    ///
+    /// Like scan parallelism, the window is a host-side execution knob, not
+    /// a property of the deployed data, so benchmarks sweep it over one
+    /// deployment. The returned top-k and documents are invariant under the
+    /// window size; the transferred-entry counts — and the latency the
+    /// model prices from them — are what change. The latency model is
+    /// rebuilt so the per-barrier maintenance cost follows the new window.
+    pub fn set_adaptive_window(&mut self, pages: usize) {
+        self.config.adaptive_window_pages = pages.max(1);
+        self.perf = PerfModel::new(self.config);
     }
 
     /// Access to the underlying SSD controller (primarily for inspection in
@@ -469,8 +498,9 @@ impl ReisSystem {
     /// [`ReisSystem::search_batch`] — the fine scan is auto-sharded across
     /// up to `available_parallelism` channel/die workers: a latency-only
     /// optimization whose results, activity and modelled latency are
-    /// bit-identical to the sequential scan (adapting scans pin themselves
-    /// sequential regardless, see
+    /// bit-identical to the sequential scan. Adapting scans shard too —
+    /// their windowed threshold schedule is a pure function of page order,
+    /// so even the transferred-entry counts are machine-invariant (see
     /// [`AdaptiveFiltering`](crate::config::AdaptiveFiltering)). An
     /// explicitly configured parallelism — including
     /// [`ScanParallelism::pinned_sequential`] — is used as-is.
@@ -509,9 +539,10 @@ impl ReisSystem {
     /// computed up front, each distinct page is sensed once, and the fused
     /// multi-query kernel scores it against every query whose selection
     /// covers it — the same sense-amortization REIS applies to in-flight
-    /// query batches. Static-threshold scans additionally shard the fused
-    /// pass across up to `workers` (capped at the host's parallelism)
-    /// channel/die workers. Per-query results, documents, activity and
+    /// query batches. The fused pass additionally shards across up to
+    /// `workers` (capped at the host's parallelism) channel/die workers —
+    /// adaptive scans included, chunked at their window barriers — and
+    /// per-query results, documents, activity and
     /// modelled latency/energy are bit-identical to running
     /// [`ReisSystem::search`] sequentially; only the device-level sense
     /// count (and the wall clock) shrinks. The physical scan activity is
@@ -1091,9 +1122,9 @@ mod tests {
         for shards in [2usize, 3, 4, 8] {
             // Fresh systems per shard count so both devices see the same
             // query history; everything including the raw error-injection
-            // stream must then agree. Adaptation is disabled so the
-            // brute-force legs genuinely shard (adapting scans pin
-            // themselves sequential).
+            // stream must then agree. This test pins static thresholds; the
+            // adaptive (windowed) counterpart lives in
+            // `crates/core/tests/adaptive.rs`.
             let mut sequential = ReisSystem::new(ReisConfig::tiny().with_adaptive_filtering(false));
             let seq_id = sequential.deploy(&db).unwrap();
             let config = ReisConfig::tiny()

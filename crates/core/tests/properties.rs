@@ -156,9 +156,9 @@ proptest! {
             oob_size_bytes: 256,
         };
         let ssd = SsdConfig { geometry, ..SsdConfig::tiny() };
-        // Adapting scans pin themselves sequential (their threshold schedule
-        // is defined by page order), so disable adaptation here to actually
-        // exercise the sharded path on the brute-force scan.
+        // Static thresholds here; the windowed *adaptive* schedule has its
+        // own sharded/fused/sequential identity suite in
+        // `crates/core/tests/adaptive.rs`.
         let base_config = ReisConfig { ssd, ..ReisConfig::tiny() }.with_adaptive_filtering(false);
 
         let vectors: Vec<Vec<f32>> = (0..entries)

@@ -28,6 +28,10 @@
 //! query. This is the software mirror of REIS amortizing a flash sense
 //! across a batch of in-flight queries — the page moves through the
 //! peripheral once, the per-query XOR + fail-bit count runs `B` times.
+//! [`fused_hamming_filter_into`] additionally folds the pass/fail
+//! comparison into the same pass: each query carries its own threshold
+//! (fixed for the duration of one page window under the windowed adaptive
+//! schedule) and only passing [`FusedHit`]s are emitted.
 //!
 //! The byte-at-a-time [`mod@reference`] kernels match the seed
 //! implementation and are kept solely as the baseline the benchmarks
@@ -291,6 +295,169 @@ pub fn fused_hamming_per_chunk_into(
     fused_core(latch, chunk_bytes, queries, out);
 }
 
+/// One passing slot of a threshold-aware fused scan: which query it passed
+/// for, which page chunk (slot) it is, and the Hamming distance.
+///
+/// Hits are emitted chunk-major (ascending slot, then query order), so
+/// consecutive hits of different queries on the same slot are adjacent —
+/// callers that unpack per-slot metadata (e.g. flash OOB linkage) can reuse
+/// the unpacked value across queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedHit {
+    /// Index into the `queries` slice the hit belongs to.
+    pub query: u32,
+    /// Chunk (mini-page slot) index within the scored page.
+    pub slot: u32,
+    /// Hamming distance between the chunk and the query.
+    pub distance: u32,
+}
+
+/// Body of the threshold-aware fused kernel: walk each chunk's words once,
+/// accumulate the per-query distances in `acc`, then emit the queries whose
+/// distance passes their own threshold.
+#[inline(always)]
+fn fused_filter_core(
+    latch: &[u8],
+    chunk_bytes: usize,
+    slot_limit: usize,
+    queries: &[&[u8]],
+    thresholds: &[u32],
+    acc: &mut [u32],
+    out: &mut Vec<FusedHit>,
+) {
+    for (c, chunk) in latch.chunks(chunk_bytes).take(slot_limit).enumerate() {
+        acc.fill(0);
+        let mut words = chunk.chunks_exact(8);
+        let mut offset = 0usize;
+        for w in words.by_ref() {
+            let page_word = word(w);
+            for (q, query) in queries.iter().enumerate() {
+                let query_word = word(&query[offset..offset + 8]);
+                acc[q] += (page_word ^ query_word).count_ones();
+            }
+            offset += 8;
+        }
+        for &b in words.remainder() {
+            for (q, query) in queries.iter().enumerate() {
+                acc[q] += (b ^ query[offset]).count_ones();
+            }
+            offset += 1;
+        }
+        for (q, (&distance, &threshold)) in acc.iter().zip(thresholds).enumerate() {
+            if distance <= threshold {
+                out.push(FusedHit {
+                    query: q as u32,
+                    slot: c as u32,
+                    distance,
+                });
+            }
+        }
+    }
+}
+
+/// `fused_filter_core` compiled with the hardware POPCNT instruction.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports the `popcnt` feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn fused_filter_popcnt(
+    latch: &[u8],
+    chunk_bytes: usize,
+    slot_limit: usize,
+    queries: &[&[u8]],
+    thresholds: &[u32],
+    acc: &mut [u32],
+    out: &mut Vec<FusedHit>,
+) {
+    fused_filter_core(
+        latch,
+        chunk_bytes,
+        slot_limit,
+        queries,
+        thresholds,
+        acc,
+        out,
+    )
+}
+
+/// Threshold-aware fused multi-query kernel: score the first `slot_limit`
+/// `chunk_bytes`-sized chunks of `latch` (one sensed page) against every
+/// query in a single pass over the page words, and emit only the
+/// [`FusedHit`]s whose distance is at or below that query's threshold.
+///
+/// This fuses [`fused_hamming_per_chunk_into`] with the pass/fail
+/// comparison: distances that fail a query's filter are never materialized
+/// outside the per-chunk accumulator, which is what the windowed adaptive
+/// scan wants — each query's threshold is fixed for the duration of one page
+/// window, so the comparison can run inside the scoring pass. `acc` is a
+/// reusable per-query accumulator and `out` a reusable hit buffer (both
+/// cleared/resized here), so steady-state scans allocate nothing.
+///
+/// Hits are chunk-major: ascending slot, queries in input order within a
+/// slot (see [`FusedHit`]).
+///
+/// # Panics
+///
+/// Panics if `chunk_bytes` is zero, any query is not exactly `chunk_bytes`
+/// long, or `thresholds.len() != queries.len()`.
+pub fn fused_hamming_filter_into(
+    latch: &[u8],
+    chunk_bytes: usize,
+    slot_limit: usize,
+    queries: &[&[u8]],
+    thresholds: &[u32],
+    acc: &mut Vec<u32>,
+    out: &mut Vec<FusedHit>,
+) {
+    assert!(chunk_bytes > 0, "chunk size must be non-zero");
+    assert_eq!(
+        queries.len(),
+        thresholds.len(),
+        "one threshold per fused query"
+    );
+    for query in queries {
+        assert_eq!(
+            query.len(),
+            chunk_bytes,
+            "fused queries must match the chunk size"
+        );
+    }
+    out.clear();
+    if queries.is_empty() {
+        return;
+    }
+    acc.clear();
+    acc.resize(queries.len(), 0);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: feature presence checked at runtime just above.
+        unsafe {
+            fused_filter_popcnt(
+                latch,
+                chunk_bytes,
+                slot_limit,
+                queries,
+                thresholds,
+                acc,
+                out,
+            )
+        };
+        return;
+    }
+    fused_filter_core(
+        latch,
+        chunk_bytes,
+        slot_limit,
+        queries,
+        thresholds,
+        acc,
+        out,
+    );
+}
+
 pub mod reference {
     //! Byte-at-a-time reference kernels matching the seed implementation.
     //!
@@ -402,6 +569,106 @@ mod tests {
         for (c, chunk) in page.chunks(16).enumerate() {
             assert_eq!(fused[c], hamming_bytes(chunk, &query), "chunk {c}");
         }
+    }
+
+    #[test]
+    fn fused_filter_matches_count_then_filter() {
+        for page_len in [24usize, 64, 65, 100, 256] {
+            for chunk in [8usize, 13, 16, 32] {
+                let page = pattern(page_len, 29, 7);
+                let queries: Vec<Vec<u8>> = (0..4).map(|q| pattern(chunk, 17 + q, q)).collect();
+                let query_refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+                // Distinct per-query thresholds straddling the typical
+                // distance range.
+                let thresholds: Vec<u32> = (0..4).map(|q| (chunk as u32) * (2 + q)).collect();
+                let n_chunks = page_len.div_ceil(chunk);
+                for slot_limit in [0usize, 1, n_chunks / 2, n_chunks, n_chunks + 3] {
+                    let mut acc = Vec::new();
+                    let mut hits = Vec::new();
+                    fused_hamming_filter_into(
+                        &page,
+                        chunk,
+                        slot_limit,
+                        &query_refs,
+                        &thresholds,
+                        &mut acc,
+                        &mut hits,
+                    );
+                    // Reference: the unfused count kernel followed by an
+                    // explicit threshold pass, reordered chunk-major.
+                    let mut counts = Vec::new();
+                    fused_hamming_per_chunk_into(&page, chunk, &query_refs, &mut counts);
+                    let mut expected = Vec::new();
+                    for slot in 0..n_chunks.min(slot_limit) {
+                        for (q, &threshold) in thresholds.iter().enumerate() {
+                            let distance = counts[q * n_chunks + slot];
+                            if distance <= threshold {
+                                expected.push(FusedHit {
+                                    query: q as u32,
+                                    slot: slot as u32,
+                                    distance,
+                                });
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        hits, expected,
+                        "page {page_len} chunk {chunk} limit {slot_limit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_filter_emits_chunk_major_and_respects_thresholds() {
+        // Page of two chunks; query 0 matches chunk 0 exactly, query 1
+        // matches chunk 1 exactly. With a threshold of 0 each query passes
+        // only its own chunk, in slot order.
+        let page = [0xAAu8, 0x55, 0x0F, 0xF0];
+        let q0 = [0xAAu8, 0x55];
+        let q1 = [0x0Fu8, 0xF0];
+        let mut acc = Vec::new();
+        let mut hits = Vec::new();
+        fused_hamming_filter_into(&page, 2, 2, &[&q0, &q1], &[0, 0], &mut acc, &mut hits);
+        assert_eq!(
+            hits,
+            vec![
+                FusedHit {
+                    query: 0,
+                    slot: 0,
+                    distance: 0
+                },
+                FusedHit {
+                    query: 1,
+                    slot: 1,
+                    distance: 0
+                },
+            ]
+        );
+        // No queries: the hit buffer is cleared.
+        let mut stale = vec![FusedHit {
+            query: 9,
+            slot: 9,
+            distance: 9,
+        }];
+        fused_hamming_filter_into(&page, 2, 2, &[], &[], &mut acc, &mut stale);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per fused query")]
+    fn fused_filter_rejects_threshold_mismatch() {
+        let query = [0u8; 2];
+        fused_hamming_filter_into(
+            &[1, 2],
+            2,
+            1,
+            &[&query],
+            &[],
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub use cell::{CellMode, ProgramScheme};
 pub use error::{NandError, Result};
 pub use geometry::{BlockAddr, Geometry, MiniPageAddr, PageAddr, PlaneAddr};
 pub use oob::{OobEntry, OobLayout};
+pub use peripheral::FusedHit;
 pub use sharding::{ScanShard, ScanShardPlan};
 pub use stats::FlashStats;
 pub use timing::{Nanos, TimingParams};

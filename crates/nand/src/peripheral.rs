@@ -19,7 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 
-pub use reis_kernels::{popcount_bytes, xor_bytes_into};
+pub use reis_kernels::{popcount_bytes, xor_bytes_into, FusedHit};
 
 /// The on-die fail-bit counter, repurposed as a per-mini-page popcount
 /// engine.
@@ -137,6 +137,43 @@ impl PassFailChecker {
             }
         }
         passed
+    }
+
+    /// Threshold-aware fused scoring: score the first `slot_limit` chunks of
+    /// one sensed page against every query (each page word loaded once, as
+    /// in [`FailBitCounter::count_fused_into`]) and emit only the
+    /// [`FusedHit`]s at or below that query's own threshold.
+    ///
+    /// This is the comparator form the windowed adaptive scan uses: every
+    /// query's threshold is constant for the duration of one page window, so
+    /// the pass/fail check folds into the scoring pass and failing distances
+    /// are never materialized. Callers still account one fail-bit count and
+    /// one pass/fail check per `(page, query)` pair — fusing the comparison
+    /// changes where the work happens, not how much of it the peripheral
+    /// performs.
+    ///
+    /// `acc` and `out` are reusable buffers (see
+    /// [`reis_kernels::fused_hamming_filter_into`] for the exact contract
+    /// and panics).
+    #[allow(clippy::too_many_arguments)]
+    pub fn filter_fused(
+        latch: &[u8],
+        chunk_bytes: usize,
+        slot_limit: usize,
+        queries: &[&[u8]],
+        thresholds: &[u32],
+        acc: &mut Vec<u32>,
+        out: &mut Vec<FusedHit>,
+    ) {
+        reis_kernels::fused_hamming_filter_into(
+            latch,
+            chunk_bytes,
+            slot_limit,
+            queries,
+            thresholds,
+            acc,
+            out,
+        );
     }
 }
 

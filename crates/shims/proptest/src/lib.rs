@@ -2,11 +2,28 @@
 //! workspace's property tests use.
 //!
 //! Differences from the real crate: a fixed number of cases per property
-//! (`NUM_CASES`), deterministic seeding derived from the test name, and no
-//! shrinking — a failing case panics with the ordinary assertion message.
+//! ([`NUM_CASES`] by default, overridable at runtime via the standard
+//! `PROPTEST_CASES` environment variable), deterministic seeding derived
+//! from the test name, and no shrinking — a failing case panics with the
+//! ordinary assertion message.
 
-/// Number of cases each property runs.
+/// Default number of cases each property runs (see [`cases`]).
 pub const NUM_CASES: usize = 64;
+
+/// Number of cases each property runs: the `PROPTEST_CASES` environment
+/// variable when set to a positive integer (the same knob the real crate
+/// honors — CI's determinism gate uses it to run the identity properties at
+/// a high count), [`NUM_CASES`] otherwise. Case generation is a pure
+/// function of the test name and the case index, so two runs with the same
+/// `PROPTEST_CASES` enumerate identical cases regardless of machine or
+/// thread count.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(NUM_CASES)
+}
 
 /// The deterministic RNG driving value generation.
 pub mod test_runner {
@@ -276,7 +293,8 @@ macro_rules! prop_assert_ne {
 }
 
 /// Define property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` that runs the body for [`NUM_CASES`] generated cases.
+/// becomes a `#[test]` that runs the body for [`cases`] generated cases
+/// (`PROPTEST_CASES` in the environment, [`NUM_CASES`] otherwise).
 #[macro_export]
 macro_rules! proptest {
     ($(
@@ -288,7 +306,7 @@ macro_rules! proptest {
             fn $name() {
                 let mut rng =
                     $crate::test_runner::TestRng::deterministic(stringify!($name));
-                for _case in 0..$crate::NUM_CASES {
+                for _case in 0..$crate::cases() {
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
                     $body
                 }
