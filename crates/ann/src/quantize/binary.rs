@@ -73,6 +73,13 @@ impl BinaryQuantizer {
         Ok(BinaryQuantizer { thresholds })
     }
 
+    /// Rebuild a quantizer from previously-extracted thresholds (the
+    /// durable-snapshot path: [`thresholds`](Self::thresholds) out,
+    /// `from_thresholds` back in, bit-exactly).
+    pub fn from_thresholds(thresholds: Vec<f32>) -> Self {
+        BinaryQuantizer { thresholds }
+    }
+
     /// Dimensionality this quantizer was built for.
     pub fn dim(&self) -> usize {
         self.thresholds.len()
@@ -186,6 +193,14 @@ mod tests {
             BinaryQuantizer::fit(&ragged),
             Err(AnnError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn from_thresholds_round_trips_bit_exactly() {
+        let data = vec![vec![0.1, -0.7, 3.5], vec![0.3, 0.2, -1.0]];
+        let q = BinaryQuantizer::fit(&data).unwrap();
+        let rebuilt = BinaryQuantizer::from_thresholds(q.thresholds().to_vec());
+        assert_eq!(rebuilt, q);
     }
 
     #[test]

@@ -73,9 +73,36 @@ impl Int8Quantizer {
         Ok(Int8Quantizer { offsets, scales })
     }
 
+    /// Rebuild a quantizer from previously-extracted parameters (the
+    /// durable-snapshot path: [`offsets`](Self::offsets) /
+    /// [`scales`](Self::scales) out, `from_parts` back in, bit-exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` and `scales` differ in length (a caller bug —
+    /// the pair always travels together).
+    pub fn from_parts(offsets: Vec<f32>, scales: Vec<f32>) -> Self {
+        assert_eq!(
+            offsets.len(),
+            scales.len(),
+            "offsets and scales must cover the same dimensions"
+        );
+        Int8Quantizer { offsets, scales }
+    }
+
     /// Dimensionality this quantizer was built for.
     pub fn dim(&self) -> usize {
         self.offsets.len()
+    }
+
+    /// The per-dimension offsets (the affine shift of each dimension).
+    pub fn offsets(&self) -> &[f32] {
+        &self.offsets
+    }
+
+    /// The per-dimension scales (the affine step of each INT8 level).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
     }
 
     /// Quantize one vector.
@@ -201,6 +228,19 @@ mod tests {
                 actual: 1
             })
         ));
+    }
+
+    #[test]
+    fn from_parts_round_trips_bit_exactly() {
+        let q = Int8Quantizer::fit(&training_data()).unwrap();
+        let rebuilt = Int8Quantizer::from_parts(q.offsets().to_vec(), q.scales().to_vec());
+        assert_eq!(rebuilt, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimensions")]
+    fn from_parts_rejects_ragged_parameters() {
+        Int8Quantizer::from_parts(vec![0.0], vec![1.0, 2.0]);
     }
 
     #[test]

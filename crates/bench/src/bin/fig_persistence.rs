@@ -1,0 +1,260 @@
+//! Durability costs and crash recovery: checkpoint size and write time,
+//! WAL logging overhead on the mutation path, and recovery latency — with
+//! an in-binary check that the recovered system answers searches exactly
+//! like the one that "crashed".
+//!
+//! Four measurements:
+//!
+//! * **Snapshot** — bytes and wall time of the deploy checkpoint (the full
+//!   corpus read back from simulated flash and serialized with per-section
+//!   CRC32C).
+//! * **WAL overhead** — the same seeded mutation trace driven through an
+//!   in-memory system and a durably opened one; the delta is the cost of
+//!   framing + checksumming + appending one record per mutation.
+//! * **Recovery** — wall time of `ReisSystem::recover` (newest snapshot +
+//!   full WAL replay through the normal mutation paths), and the
+//!   recovered-equals-pre-crash search check that gates the artifact.
+//! * **Torn tail** — recovery time and quarantine flag when the WAL ends
+//!   mid-frame, as after a real power cut.
+//!
+//! Results are written to `BENCH_pr6.json` by default (this benchmark's
+//! committed artifact); pass `--output PATH` (or `REIS_BENCH_OUT`) to
+//! write elsewhere, and `--smoke` (or `REIS_BENCH_SMOKE=1`) for the fast
+//! CI variant.
+
+use std::time::Instant;
+
+use reis_bench::report;
+use reis_core::{CompactionPolicy, DirVfs, DurableStore, ReisConfig, ReisSystem, VectorDatabase};
+use reis_workloads::{MutationMix, MutationOp, MutationTrace};
+
+const DIM: usize = 64;
+const TRACE_DOC_BYTES: usize = 64;
+const INIT_DOC_BYTES: usize = 72;
+const K: usize = 10;
+const TRACE_SEED: u64 = 0x9E15_7ED5;
+
+struct RunShape {
+    mode: &'static str,
+    entries: usize,
+    mutations: usize,
+}
+
+fn shape() -> RunShape {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("REIS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    if smoke {
+        RunShape {
+            mode: "smoke",
+            entries: 1_024,
+            mutations: 64,
+        }
+    } else {
+        RunShape {
+            mode: "full",
+            entries: 8_192,
+            mutations: 512,
+        }
+    }
+}
+
+fn vector_for(id: u32) -> Vec<f32> {
+    (0..DIM)
+        .map(|d| {
+            let x = (id as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(d as u64 * 0x85EB_CA6B);
+            ((x >> 7) % 23) as f32 - 11.0
+        })
+        .collect()
+}
+
+fn doc_for(id: u32) -> Vec<u8> {
+    let mut text = format!("persistence bench doc {id:06} ");
+    while text.len() < INIT_DOC_BYTES {
+        text.push('.');
+    }
+    text.into_bytes()
+}
+
+/// Apply the trace's mutating ops (searches are skipped — this times the
+/// write path), returning the op count and elapsed seconds.
+fn run_mutations(system: &mut ReisSystem, db: u32, trace: &MutationTrace) -> (usize, f64) {
+    let start = Instant::now();
+    let mut ops = 0usize;
+    for op in trace.ops() {
+        match op {
+            MutationOp::Insert { vector, document } => {
+                system.insert(db, vector, document.clone()).expect("insert");
+            }
+            MutationOp::Delete { target } => {
+                system.delete(db, *target as u32).expect("delete");
+            }
+            MutationOp::Upsert {
+                target,
+                vector,
+                document,
+            } => {
+                system
+                    .upsert(db, *target as u32, vector, document)
+                    .expect("upsert");
+            }
+            MutationOp::Search { .. } => continue,
+        }
+        ops += 1;
+    }
+    (ops, start.elapsed().as_secs_f64())
+}
+
+fn search_signatures(system: &mut ReisSystem, db: u32) -> Vec<Vec<(usize, u32)>> {
+    (0..4u32)
+        .map(|q| {
+            let outcome = system
+                .search(db, &vector_for(500_000 + q), K)
+                .expect("search");
+            outcome
+                .results
+                .iter()
+                .map(|n| (n.id, n.distance.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+fn file_bytes(root: &std::path::Path, prefix: &str) -> u64 {
+    std::fs::read_dir(root)
+        .expect("store dir")
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with(prefix))
+        .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+        .sum()
+}
+
+fn main() {
+    let shape = shape();
+    report::header(
+        "Persistence and crash recovery",
+        "Snapshot size/time, WAL logging overhead, recovery latency",
+    );
+
+    let entries = shape.entries;
+    println!("Building {entries}-entry corpus ({} mode)…", shape.mode);
+    let vectors: Vec<Vec<f32>> = (0..entries as u32).map(vector_for).collect();
+    let documents: Vec<Vec<u8>> = (0..entries as u32).map(doc_for).collect();
+    let template = VectorDatabase::flat(&vectors, documents).expect("database");
+    let trace = MutationTrace::generate(
+        entries,
+        DIM,
+        TRACE_DOC_BYTES,
+        shape.mutations,
+        MutationMix::ingest_heavy(),
+        TRACE_SEED,
+    );
+    let config = ReisConfig::ssd1().with_compaction(CompactionPolicy::manual());
+
+    // --- Baseline leg: the same trace with durability off. -------------
+    let mut volatile = ReisSystem::new(config);
+    let vol_db = volatile.deploy(&template).expect("deploy");
+    let (ops, unlogged_s) = run_mutations(&mut volatile, vol_db, &trace);
+    let unlogged_ops_per_s = ops as f64 / unlogged_s.max(1e-12);
+    drop(volatile);
+
+    // --- Durable leg: deploy checkpoint + logged mutations. ------------
+    let root = std::env::temp_dir().join("reis-fig-persistence");
+    let _ = std::fs::remove_dir_all(&root);
+    let store = DurableStore::new(Box::new(DirVfs::new(&root)));
+    let (mut system, _) = ReisSystem::open(config, store).expect("open");
+    let start = Instant::now();
+    let db = system.deploy(&template).expect("deploy durable");
+    let snapshot_us = start.elapsed().as_secs_f64() * 1e6;
+    let snapshot_bytes = file_bytes(&root, &DurableStore::snapshot_name(1));
+    println!(
+        "\nDeploy checkpoint: {snapshot_bytes} bytes \
+         ({:.1} bytes/entry), {snapshot_us:.0} us",
+        snapshot_bytes as f64 / entries as f64
+    );
+
+    let (logged_ops, logged_s) = run_mutations(&mut system, db, &trace);
+    assert_eq!(ops, logged_ops);
+    let logged_ops_per_s = logged_ops as f64 / logged_s.max(1e-12);
+    let wal_bytes = file_bytes(&root, &DurableStore::wal_name(1));
+    let overhead_pct = (logged_s / unlogged_s.max(1e-12) - 1.0) * 100.0;
+    println!(
+        "Mutations ({ops} ops): {unlogged_ops_per_s:.0} ops/s volatile, \
+         {logged_ops_per_s:.0} ops/s logged ({overhead_pct:+.1}% wall), \
+         WAL {wal_bytes} bytes ({:.1} bytes/op)",
+        wal_bytes as f64 / ops as f64
+    );
+
+    let before = search_signatures(&mut system, db);
+    drop(system); // crash: the mutations exist only in the WAL
+
+    // --- Recovery. ------------------------------------------------------
+    let store = DurableStore::new(Box::new(DirVfs::new(&root)));
+    let start = Instant::now();
+    let (mut recovered, rep) = ReisSystem::recover(config, store).expect("recover");
+    let recover_us = start.elapsed().as_secs_f64() * 1e6;
+    let identical = search_signatures(&mut recovered, db) == before;
+    assert!(identical, "recovered searches diverged from pre-crash");
+    assert_eq!(rep.wal_records_applied, ops as u64);
+    assert!(rep.quarantined.is_none());
+    println!(
+        "Recovery: {} WAL records replayed in {recover_us:.0} us \
+         ({:.2} us/record); searches bit-identical to pre-crash",
+        rep.wal_records_applied,
+        recover_us / ops.max(1) as f64
+    );
+    drop(recovered);
+
+    // --- Torn-tail recovery. ---------------------------------------------
+    // Recovery re-checkpointed, so the newest WAL is empty; tear it the
+    // way a mid-append power cut would and recover once more.
+    let newest_wal = std::fs::read_dir(&root)
+        .expect("store dir")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("wal-"))
+        .max()
+        .expect("a WAL exists");
+    let mut torn = std::fs::read(root.join(&newest_wal)).expect("read wal");
+    torn.extend_from_slice(&[0x01, 0x02, 0x03, 0x04, 0x05]);
+    std::fs::write(root.join(&newest_wal), torn).expect("tear wal");
+    let store = DurableStore::new(Box::new(DirVfs::new(&root)));
+    let start = Instant::now();
+    let (mut after_tear, rep2) = ReisSystem::recover(config, store).expect("recover torn");
+    let torn_recover_us = start.elapsed().as_secs_f64() * 1e6;
+    let quarantined = rep2.quarantined.is_some();
+    assert!(quarantined, "the torn tail must be quarantined");
+    assert!(
+        search_signatures(&mut after_tear, db) == before,
+        "torn-tail recovery diverged"
+    );
+    println!("Torn-tail recovery: quarantined and recovered in {torn_recover_us:.0} us");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"available_cores\": {cores},\n  \"mode\": \"{}\",\n  \
+         \"dataset\": {{ \"entries\": {entries}, \"dim\": {DIM} }},\n  \
+         \"results_identical_to_precrash\": {identical},\n  \
+         \"snapshot\": {{ \"bytes\": {snapshot_bytes}, \"write_us\": {snapshot_us:.1}, \
+         \"bytes_per_entry\": {:.2} }},\n  \
+         \"wal\": {{ \"ops\": {ops}, \"bytes\": {wal_bytes}, \
+         \"bytes_per_op\": {:.2}, \"logged_ops_per_s\": {logged_ops_per_s:.1}, \
+         \"unlogged_ops_per_s\": {unlogged_ops_per_s:.1}, \
+         \"logging_overhead_pct\": {overhead_pct:.2} }},\n  \
+         \"recovery\": {{ \"wal_records_replayed\": {}, \"recover_us\": {recover_us:.1}, \
+         \"us_per_record\": {:.3} }},\n  \
+         \"torn_tail\": {{ \"quarantined\": {quarantined}, \
+         \"recover_us\": {torn_recover_us:.1} }}\n}}\n",
+        shape.mode,
+        snapshot_bytes as f64 / entries as f64,
+        wal_bytes as f64 / ops as f64,
+        rep.wal_records_applied,
+        recover_us / ops.max(1) as f64,
+    );
+    let path = report::output_path("BENCH_pr6.json");
+    std::fs::write(&path, json).expect("write benchmark artifact");
+    println!("\nWrote {path}");
+}

@@ -640,6 +640,16 @@ pub mod artifacts {
             ("static_baseline", Kind::Obj),
             ("window_sweep", Kind::Arr),
         ];
+        const PERSISTENCE: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("mode", Kind::Str),
+            ("dataset", Kind::Obj),
+            ("results_identical_to_precrash", Kind::Bool),
+            ("snapshot", Kind::Obj),
+            ("wal", Kind::Obj),
+            ("recovery", Kind::Obj),
+            ("torn_tail", Kind::Obj),
+        ];
         let base = file_name.rsplit('/').next().unwrap_or(file_name);
         match base {
             "BENCH_pr1.json" => Some(BATCH),
@@ -647,11 +657,13 @@ pub mod artifacts {
             "BENCH_pr3.json" => Some(UPDATE),
             "BENCH_pr4.json" => Some(FUSED),
             "BENCH_pr5.json" => Some(ADAPTIVE),
+            "BENCH_pr6.json" => Some(PERSISTENCE),
             _ if base.contains("fig07b") => Some(BATCH),
             _ if base.contains("intra_query") => Some(INTRA),
             _ if base.contains("update") => Some(UPDATE),
             _ if base.contains("fused") => Some(FUSED),
             _ if base.contains("adaptive") => Some(ADAPTIVE),
+            _ if base.contains("persistence") => Some(PERSISTENCE),
             _ => None,
         }
     }
@@ -722,6 +734,31 @@ pub mod artifacts {
                 problems.push("partition_invariant must be true".into());
             }
         }
+        if let Some(torn) = doc.get("torn_tail") {
+            if doc.get("results_identical_to_precrash") != Some(&Json::Bool(true)) {
+                problems.push("results_identical_to_precrash must be true".into());
+            }
+            if torn.get("quarantined") != Some(&Json::Bool(true)) {
+                problems.push("torn_tail.quarantined must be true".into());
+            }
+            for (section, keys) in [
+                ("snapshot", &["bytes", "write_us", "bytes_per_entry"][..]),
+                (
+                    "wal",
+                    &["ops", "bytes", "logged_ops_per_s", "unlogged_ops_per_s"][..],
+                ),
+                ("recovery", &["wal_records_replayed", "recover_us"][..]),
+            ] {
+                let Some(obj) = doc.get(section) else {
+                    continue;
+                };
+                for key in keys {
+                    if !matches!(obj.get(key), Some(Json::Num(_))) {
+                        problems.push(format!("{section}: missing numeric '{key}'"));
+                    }
+                }
+            }
+        }
         problems
     }
 
@@ -786,6 +823,7 @@ mod artifact_tests {
             "BENCH_pr3.json",
             "BENCH_pr4.json",
             "BENCH_pr5.json",
+            "BENCH_pr6.json",
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path).expect("committed artifact readable");
@@ -832,6 +870,10 @@ mod artifact_tests {
         assert_eq!(
             required_keys("BENCH_fig07b.json"),
             required_keys("BENCH_pr1.json")
+        );
+        assert_eq!(
+            required_keys("BENCH_persistence_smoke.json"),
+            required_keys("BENCH_pr6.json")
         );
         assert!(required_keys("mystery.json").is_none());
         assert!(!validate("mystery.json", &Json::Obj(vec![])).is_empty());

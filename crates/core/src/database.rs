@@ -158,6 +158,92 @@ impl VectorDatabase {
         })
     }
 
+    /// Rebuild a database from *already-quantized* parts — the snapshot
+    /// recovery path.
+    ///
+    /// A durable snapshot stores the binary/INT8 codes read back from
+    /// flash, not the original `f32` embeddings (REIS never keeps those
+    /// after deployment), so recovery cannot go through the quantizing
+    /// constructors: it reassembles the database from the codes directly.
+    /// Cluster member lists, when given, must partition the entry indices
+    /// exactly as [`VectorDatabase::ivf_with_clusters`] requires.
+    ///
+    /// # Errors
+    ///
+    /// [`ReisError::MalformedDatabase`] if the corpus is empty, the
+    /// binary/INT8/document counts disagree, any code has the wrong byte
+    /// width for `dim`, or the cluster lists are not a partition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_quantized_parts(
+        dim: usize,
+        binary: Vec<BinaryVector>,
+        int8: Vec<Int8Vector>,
+        documents: Vec<Vec<u8>>,
+        binary_quantizer: BinaryQuantizer,
+        int8_quantizer: Int8Quantizer,
+        clusters: Option<ClusterInfo>,
+    ) -> Result<Self> {
+        if binary.is_empty() {
+            return Err(ReisError::MalformedDatabase("no embeddings".into()));
+        }
+        if binary.len() != int8.len() || binary.len() != documents.len() {
+            return Err(ReisError::MalformedDatabase(format!(
+                "{} binary codes, {} INT8 codes, {} documents",
+                binary.len(),
+                int8.len(),
+                documents.len()
+            )));
+        }
+        if binary_quantizer.dim() != dim || int8_quantizer.dim() != dim {
+            return Err(ReisError::MalformedDatabase(format!(
+                "quantizers cover {} / {} dimensions, database stores {dim}",
+                binary_quantizer.dim(),
+                int8_quantizer.dim()
+            )));
+        }
+        for v in &binary {
+            if v.dim() != dim {
+                return Err(ReisError::MalformedDatabase(format!(
+                    "binary code of {} dimensions in a {dim}-dimensional database",
+                    v.dim()
+                )));
+            }
+        }
+        for v in &int8 {
+            if v.as_slice().len() != dim {
+                return Err(ReisError::MalformedDatabase(format!(
+                    "INT8 code of {} dimensions in a {dim}-dimensional database",
+                    v.as_slice().len()
+                )));
+            }
+        }
+        if let Some(info) = &clusters {
+            let mut seen = vec![false; binary.len()];
+            for &member in info.lists.iter().flatten() {
+                if member >= binary.len() || seen[member] {
+                    return Err(ReisError::MalformedDatabase(format!(
+                        "cluster member {member} is out of range or duplicated"
+                    )));
+                }
+                seen[member] = true;
+            }
+            if seen.iter().any(|&s| !s) {
+                return Err(ReisError::MalformedDatabase(
+                    "cluster lists do not cover every entry".into(),
+                ));
+            }
+        }
+        Ok(VectorDatabase {
+            dim,
+            binary,
+            int8,
+            documents,
+            binary_quantizer,
+            int8_quantizer,
+            clusters,
+        })
+    }
+
     /// Build an IVF-organised database from an already-trained
     /// [`IvfBqIndex`] (useful when the same index also drives a CPU
     /// baseline, so both systems search identical clusters).

@@ -134,8 +134,75 @@ pub fn deploy(
     database: &VectorDatabase,
     db_id: u32,
 ) -> Result<DeployedDatabase> {
+    deploy_inner(ssd, database, db_id, None, None)
+}
+
+/// Deploy with *externally assigned* stable entry ids — the snapshot
+/// recovery path.
+///
+/// A fresh [`deploy`] numbers entries `0..n` and records those numbers as
+/// the OOB `dadr` linkage. After online mutations the surviving ids are
+/// sparse, and a recovered deployment must reproduce them exactly (WAL
+/// replay and client-visible search results address entries by stable id).
+/// `stable_ids[i]` is the id of the database's `i`-th entry;
+/// `min_doc_slot_bytes` floors the document slot size so documents larger
+/// than the snapshot corpus's current maximum — still possible under
+/// replayed or future mutations, as they were before the crash — keep
+/// fitting their slots.
+///
+/// # Errors
+///
+/// Same as [`deploy`], plus [`crate::error::ReisError::MalformedDatabase`]
+/// if `stable_ids` does not cover the corpus one-to-one.
+pub(crate) fn deploy_with_ids(
+    ssd: &mut SsdController,
+    database: &VectorDatabase,
+    db_id: u32,
+    stable_ids: &[u32],
+    min_doc_slot_bytes: usize,
+) -> Result<DeployedDatabase> {
+    deploy_inner(
+        ssd,
+        database,
+        db_id,
+        Some(stable_ids),
+        Some(min_doc_slot_bytes),
+    )
+}
+
+fn deploy_inner(
+    ssd: &mut SsdController,
+    database: &VectorDatabase,
+    db_id: u32,
+    stable_ids: Option<&[u32]>,
+    min_doc_slot_bytes: Option<usize>,
+) -> Result<DeployedDatabase> {
     let geometry = ssd.config().geometry;
-    let layout = LayoutPlan::plan(database, &geometry)?;
+    let mut layout = LayoutPlan::plan(database, &geometry)?;
+    if let Some(min_slot) = min_doc_slot_bytes {
+        let slot = min_slot.min(geometry.page_size_bytes);
+        if slot > layout.doc_slot_bytes {
+            layout.doc_slot_bytes = slot;
+            layout.docs_per_page = (geometry.page_size_bytes / slot).max(1);
+            layout.doc_pages = layout.entries.div_ceil(layout.docs_per_page);
+        }
+    }
+    if let Some(ids) = stable_ids {
+        if ids.len() != database.len() {
+            return Err(crate::error::ReisError::MalformedDatabase(format!(
+                "{} stable ids for {} entries",
+                ids.len(),
+                database.len()
+            )));
+        }
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(crate::error::ReisError::MalformedDatabase(
+                "duplicate stable ids".into(),
+            ));
+        }
+    }
     let oob_layout = OobLayout::new(geometry.oob_size_bytes, layout.embeddings_per_page)?;
 
     // Region reservation: centroids and embeddings share the ESP-SLC
@@ -158,7 +225,17 @@ pub fn deploy(
     )?;
 
     // Storage order: cluster-contiguous for IVF, entry order for flat.
-    let (storage_to_original, storage_tags, rivf) = storage_order(database, &layout);
+    // `storage_to_entry` indexes the database arrays; `storage_to_original`
+    // is the stable-id view recorded in the OOB linkage (identical unless
+    // recovery supplied explicit ids).
+    let (storage_to_entry, storage_tags, rivf) = storage_order(database, &layout);
+    let storage_to_original: Vec<u32> = match stable_ids {
+        Some(ids) => storage_to_entry
+            .iter()
+            .map(|&entry| ids[entry as usize])
+            .collect(),
+        None => storage_to_entry.clone(),
+    };
 
     let mut latency = Nanos::ZERO;
     latency += write_embedding_region(
@@ -167,10 +244,11 @@ pub fn deploy(
         &layout,
         &oob_layout,
         &embedding_region,
+        &storage_to_entry,
         &storage_to_original,
         &storage_tags,
     )?;
-    latency += write_int8_region(ssd, database, &layout, &int8_region, &storage_to_original)?;
+    latency += write_int8_region(ssd, database, &layout, &int8_region, &storage_to_entry)?;
     latency += write_document_region(ssd, database, &layout, &document_region)?;
 
     let record = DatabaseRecord {
@@ -256,12 +334,14 @@ pub(crate) fn pad_slot(bytes: &[u8], slot: usize) -> Vec<u8> {
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_embedding_region(
     ssd: &mut SsdController,
     database: &VectorDatabase,
     layout: &LayoutPlan,
     oob_layout: &OobLayout,
     region: &StripedRegion,
+    storage_to_entry: &[u32],
     storage_to_original: &[u32],
     storage_tags: &[u8],
 ) -> Result<Nanos> {
@@ -300,8 +380,8 @@ fn write_embedding_region(
             if storage_index >= layout.entries {
                 break;
             }
-            let original = storage_to_original[storage_index] as usize;
-            data.extend(pad_slot(database.binary()[original].as_bytes(), slot));
+            let entry = storage_to_entry[storage_index] as usize;
+            data.extend(pad_slot(database.binary()[entry].as_bytes(), slot));
             oob_entries.push(OobEntry {
                 dadr: storage_to_original[storage_index],
                 radr: storage_index as u32,
@@ -325,7 +405,7 @@ fn write_int8_region(
     database: &VectorDatabase,
     layout: &LayoutPlan,
     region: &StripedRegion,
-    storage_to_original: &[u32],
+    storage_to_entry: &[u32],
 ) -> Result<Nanos> {
     let mut latency = Nanos::ZERO;
     for page in 0..layout.int8_pages {
@@ -335,13 +415,8 @@ fn write_int8_region(
             if storage_index >= layout.entries {
                 break;
             }
-            let original = storage_to_original[storage_index] as usize;
-            data.extend(
-                database.int8()[original]
-                    .as_slice()
-                    .iter()
-                    .map(|&v| v as u8),
-            );
+            let entry = storage_to_entry[storage_index] as usize;
+            data.extend(database.int8()[entry].as_slice().iter().map(|&v| v as u8));
         }
         latency += ssd.program_region_page(region, page, RegionKind::Int8Embeddings, &data, &[])?;
     }

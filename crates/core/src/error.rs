@@ -4,10 +4,16 @@ use std::fmt;
 
 use reis_ann::AnnError;
 use reis_nand::NandError;
+use reis_persist::PersistError;
 use reis_ssd::SsdError;
 
 /// Errors returned by REIS deployment and search operations.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, so new failure modes (the durability variants below were
+/// the first addition) are not breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ReisError {
     /// An error propagated from the SSD controller layer.
     Ssd(SsdError),
@@ -43,6 +49,19 @@ pub enum ReisError {
         /// Slot index within the page.
         slot: usize,
     },
+    /// A snapshot file failed validation during recovery: bad magic, an
+    /// unsupported format version, a checksum mismatch or an inconsistent
+    /// section payload. The wrapped [`PersistError`] pinpoints what rotted
+    /// and is exposed through [`std::error::Error::source`].
+    CorruptSnapshot(PersistError),
+    /// A WAL failed validation in a context that does not tolerate
+    /// quarantining (recovery itself quarantines torn tails and reports
+    /// them instead of erroring). Wraps the precise [`PersistError`],
+    /// exposed through [`std::error::Error::source`].
+    CorruptWal(PersistError),
+    /// Any other durability failure (storage I/O, missing files, replay
+    /// divergence), with the underlying [`PersistError`] as the source.
+    Persist(PersistError),
 }
 
 impl fmt::Display for ReisError {
@@ -70,6 +89,9 @@ impl fmt::Display for ReisError {
                     "document slot {slot} of page {page} has a corrupt length prefix"
                 )
             }
+            ReisError::CorruptSnapshot(e) => write!(f, "corrupt snapshot: {e}"),
+            ReisError::CorruptWal(e) => write!(f, "corrupt WAL: {e}"),
+            ReisError::Persist(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -80,7 +102,24 @@ impl std::error::Error for ReisError {
             ReisError::Ssd(e) => Some(e),
             ReisError::Nand(e) => Some(e),
             ReisError::Ann(e) => Some(e),
+            ReisError::CorruptSnapshot(e) | ReisError::CorruptWal(e) | ReisError::Persist(e) => {
+                Some(e)
+            }
             _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for ReisError {
+    /// Route checksum/validation failures to the dedicated `Corrupt*`
+    /// variants and everything else to the generic [`ReisError::Persist`].
+    fn from(e: PersistError) -> Self {
+        match &e {
+            PersistError::CorruptSnapshot { .. } | PersistError::UnsupportedVersion { .. } => {
+                ReisError::CorruptSnapshot(e)
+            }
+            PersistError::CorruptWal { .. } => ReisError::CorruptWal(e),
+            _ => ReisError::Persist(e),
         }
     }
 }
@@ -120,6 +159,40 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e = ReisError::DatabaseNotDeployed(7);
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn persist_conversions_pick_the_structured_variant_and_chain_sources() {
+        let e: ReisError = PersistError::CorruptSnapshot {
+            file: "snapshot-00000001".into(),
+            detail: "section 0x102 checksum mismatch".into(),
+        }
+        .into();
+        assert!(matches!(e, ReisError::CorruptSnapshot(_)));
+        // The chained source keeps the precise detail reachable.
+        let source = std::error::Error::source(&e).expect("chained source");
+        assert!(source.to_string().contains("checksum mismatch"));
+
+        let e: ReisError = PersistError::UnsupportedVersion {
+            file: "snapshot-00000001".into(),
+            found: 2,
+            supported: 1,
+        }
+        .into();
+        assert!(matches!(e, ReisError::CorruptSnapshot(_)));
+
+        let e: ReisError = PersistError::CorruptWal {
+            file: "wal-00000001".into(),
+            offset: 40,
+            detail: "torn frame".into(),
+        }
+        .into();
+        assert!(matches!(e, ReisError::CorruptWal(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: ReisError = PersistError::NoSnapshot.into();
+        assert!(matches!(e, ReisError::Persist(_)));
+        assert!(e.to_string().contains("durability"));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 pub mod config;
 pub mod database;
 pub mod deploy;
+pub mod durable;
 pub mod energy;
 pub mod engine;
 pub mod error;
@@ -67,11 +68,15 @@ pub mod system;
 pub use config::{AdaptiveFiltering, BatchFusion, Optimizations, ReisConfig, ScanParallelism};
 pub use database::{ClusterInfo, VectorDatabase};
 pub use deploy::DeployedDatabase;
+pub use durable::{RecoveryReport, WalQuarantine};
 pub use energy::{EnergyBreakdown, EnergyModel, EnergyParams};
 pub use error::{ReisError, Result};
 pub use layout::LayoutPlan;
 pub use mutate::{CompactionOutcome, MutationOutcome};
 pub use perf::{LatencyBreakdown, PerfModel, QueryActivity};
 pub use records::{RIvf, RIvfEntry, TemporalTopList, TtlEntry};
+pub use reis_persist::{
+    DirVfs, DurableStore, FaultHandle, FaultVfs, MemVfs, PersistError, Vfs, WalRecord,
+};
 pub use reis_update::{CompactionPolicy, MutationStats, UpdateState};
 pub use system::{ReisSystem, SearchOutcome};

@@ -492,13 +492,25 @@ fn account_update_state(ssd: &mut SsdController, db: &DeployedDatabase) -> Resul
 }
 
 /// One surviving logical entry, staged in host memory between the read and
-/// rewrite halves of a compaction pass.
-struct Survivor {
-    id: u32,
-    tag: u8,
-    binary: Vec<u8>,
-    int8: Vec<u8>,
-    doc: Vec<u8>,
+/// rewrite halves of a compaction pass — and the unit a durable snapshot
+/// stores per entry (`crate::durable` reads survivors through the same
+/// path, so what a snapshot persists is exactly what a compaction would
+/// rewrite).
+pub(crate) struct Survivor {
+    pub(crate) id: u32,
+    pub(crate) tag: u8,
+    pub(crate) binary: Vec<u8>,
+    pub(crate) int8: Vec<u8>,
+    pub(crate) doc: Vec<u8>,
+}
+
+/// The full surviving corpus of one database as read back from flash:
+/// survivors in logical scan order, per-cluster `(begin, end)` bounds over
+/// that vector, and the accumulated modelled read latency.
+pub(crate) struct Sweep {
+    pub(crate) survivors: Vec<Survivor>,
+    pub(crate) cluster_bounds: Vec<(usize, usize)>,
+    pub(crate) read_latency: Nanos,
 }
 
 /// One-page staging cache for a single payload kind. Compaction keeps one
@@ -547,21 +559,19 @@ fn parse_doc_slot(buf: &[u8], slot: usize, slot_bytes: usize, page: usize) -> Re
     Ok(buf[start + 4..start + 4 + len].to_vec())
 }
 
-/// Fold the database's append segments and tombstones back into a densely
-/// packed base region: read the surviving corpus, rewrite it as a new
-/// region generation, swap the R-DB record, release every superseded region
-/// and erase the blocks they complete.
-pub(crate) fn compact(
-    ssd: &mut SsdController,
-    db: &mut DeployedDatabase,
-) -> Result<CompactionOutcome> {
+/// Read the surviving corpus of a database from flash, cluster-major, base
+/// entries before segment entries (the same logical order the mutated scan
+/// visits entries in, so downstream consumers preserve every deterministic
+/// tie-break). Returns the survivors, per-cluster `(begin, end)` bounds
+/// over the survivor vector and the accumulated read latency.
+///
+/// This is the shared read half of both [`compact`] (which rewrites the
+/// corpus as a new region generation) and `crate::durable` snapshots
+/// (which persist it byte-for-byte).
+pub(crate) fn collect_survivors(ssd: &mut SsdController, db: &DeployedDatabase) -> Result<Sweep> {
     let old_layout = db.layout;
     let nclusters = db.update_clusters();
     let mut latency = Nanos::ZERO;
-
-    // ---- Read the surviving corpus, cluster-major, base before segments
-    // (the same logical order the mutated scan visits entries in, so the
-    // compacted storage order preserves every deterministic tie-break).
     let mut survivors: Vec<Survivor> = Vec::with_capacity(db.live_entries());
     let mut cluster_bounds: Vec<(usize, usize)> = Vec::with_capacity(nclusters);
     let mut emb_cache = PageCache::default();
@@ -670,6 +680,29 @@ pub(crate) fn compact(
         }
         cluster_bounds.push((begin, survivors.len()));
     }
+    Ok(Sweep {
+        survivors,
+        cluster_bounds,
+        read_latency: latency,
+    })
+}
+
+/// Fold the database's append segments and tombstones back into a densely
+/// packed base region: read the surviving corpus, rewrite it as a new
+/// region generation, swap the R-DB record, release every superseded region
+/// and erase the blocks they complete.
+pub(crate) fn compact(
+    ssd: &mut SsdController,
+    db: &mut DeployedDatabase,
+) -> Result<CompactionOutcome> {
+    let old_layout = db.layout;
+    let nclusters = db.update_clusters();
+
+    // ---- Read the surviving corpus.
+    let sweep = collect_survivors(ssd, db)?;
+    let (survivors, cluster_bounds) = (sweep.survivors, sweep.cluster_bounds);
+    let mut latency = sweep.read_latency;
+    debug_assert_eq!(cluster_bounds.len(), nclusters);
 
     // Stage the centroid pages (data + OOB) for verbatim rewrite.
     let mut centroid_pages: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(old_layout.centroid_pages);

@@ -15,11 +15,13 @@ use serde::{Deserialize, Serialize};
 
 use reis_ann::topk::Neighbor;
 use reis_nand::{FlashStats, Nanos};
+use reis_persist::WalRecord;
 use reis_ssd::{ControllerActivity, RegionKind, SsdController, SsdMode};
 
 use crate::config::{BatchFusion, ReisConfig, ScanParallelism};
 use crate::database::VectorDatabase;
 use crate::deploy::{self, DeployedDatabase};
+use crate::durable::Durability;
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::engine::{InStorageEngine, ScanScratch};
 use crate::error::{ReisError, Result};
@@ -80,17 +82,23 @@ impl SearchOutcome {
 /// The REIS retrieval system.
 #[derive(Debug)]
 pub struct ReisSystem {
-    config: ReisConfig,
-    controller: SsdController,
-    perf: PerfModel,
-    energy: EnergyModel,
-    databases: HashMap<u32, DeployedDatabase>,
-    next_db_id: u32,
+    pub(crate) config: ReisConfig,
+    pub(crate) controller: SsdController,
+    pub(crate) perf: PerfModel,
+    pub(crate) energy: EnergyModel,
+    pub(crate) databases: HashMap<u32, DeployedDatabase>,
+    pub(crate) next_db_id: u32,
     /// Scan scratch reused by every sequential query this system serves.
-    scratch: ScanScratch,
+    pub(crate) scratch: ScanScratch,
     /// The host's available parallelism, captured once: the shard budget of
     /// auto-sharded single-query scans and of fused batch scans.
-    auto_shards: usize,
+    pub(crate) auto_shards: usize,
+    /// The durable store this system checkpoints snapshots to and logs
+    /// mutations into — `None` for a purely in-memory system (the
+    /// [`ReisSystem::new`] default) and during WAL replay, which is how
+    /// replayed mutations avoid re-logging themselves. Attached by
+    /// [`ReisSystem::open`] / [`ReisSystem::recover`] (see `crate::durable`).
+    pub(crate) durability: Option<Durability>,
 }
 
 impl ReisSystem {
@@ -123,6 +131,7 @@ impl ReisSystem {
             next_db_id: 1,
             scratch: ScanScratch::new(),
             auto_shards,
+            durability: None,
         }
     }
 
@@ -182,6 +191,11 @@ impl ReisSystem {
     /// Deploy a database (`DB_Deploy` for flat databases, `IVF_Deploy` when
     /// the database carries cluster information) and return its id.
     ///
+    /// On a durably-opened system (see [`ReisSystem::open`]) a deployment
+    /// immediately checkpoints a new snapshot: deployments are carried by
+    /// snapshots, mutations by the WAL, so a database is crash-durable from
+    /// the moment this method returns.
+    ///
     /// # Errors
     ///
     /// Propagates layout and capacity errors from the deployment path.
@@ -190,6 +204,9 @@ impl ReisSystem {
         let deployed = deploy::deploy(&mut self.controller, database, db_id)?;
         self.databases.insert(db_id, deployed);
         self.next_db_id += 1;
+        if self.durability.is_some() {
+            self.save()?;
+        }
         Ok(db_id)
     }
 
@@ -359,6 +376,33 @@ impl ReisSystem {
         vectors: &[Vec<f32>],
         documents: Vec<Vec<u8>>,
     ) -> Result<MutationOutcome> {
+        // Clone the batch for the WAL only when a durable store is attached
+        // (the clone is the record's payload; the ids it carries are filled
+        // in after the mutation assigns them).
+        let wal_payload = self
+            .durability
+            .is_some()
+            .then(|| (vectors.to_vec(), documents.clone()));
+        let outcome = self.insert_batch_inner(db_id, vectors, documents)?;
+        if let Some((vectors, documents)) = wal_payload {
+            self.log_wal(WalRecord::InsertBatch {
+                db_id,
+                vectors,
+                documents,
+                ids: outcome.ids.clone(),
+            })?;
+        }
+        Ok(outcome)
+    }
+
+    /// The body of [`ReisSystem::insert_batch`], minus WAL logging (WAL
+    /// replay re-applies records through this path).
+    pub(crate) fn insert_batch_inner(
+        &mut self,
+        db_id: u32,
+        vectors: &[Vec<f32>],
+        documents: Vec<Vec<u8>>,
+    ) -> Result<MutationOutcome> {
         let db = self
             .databases
             .get_mut(&db_id)
@@ -394,6 +438,13 @@ impl ReisSystem {
     /// * [`ReisError::EntryNotFound`] if the id never existed or was
     ///   already deleted.
     pub fn delete(&mut self, db_id: u32, id: u32) -> Result<MutationOutcome> {
+        let outcome = self.delete_inner(db_id, id)?;
+        self.log_wal(WalRecord::Delete { db_id, id })?;
+        Ok(outcome)
+    }
+
+    /// The body of [`ReisSystem::delete`], minus WAL logging.
+    pub(crate) fn delete_inner(&mut self, db_id: u32, id: u32) -> Result<MutationOutcome> {
         let db = self
             .databases
             .get_mut(&db_id)
@@ -420,6 +471,26 @@ impl ReisSystem {
     /// Union of the conditions of [`ReisSystem::insert`] and
     /// [`ReisSystem::delete`].
     pub fn upsert(
+        &mut self,
+        db_id: u32,
+        id: u32,
+        vector: &[f32],
+        document: &[u8],
+    ) -> Result<MutationOutcome> {
+        let outcome = self.upsert_inner(db_id, id, vector, document)?;
+        if self.durability.is_some() {
+            self.log_wal(WalRecord::Upsert {
+                db_id,
+                id,
+                vector: vector.to_vec(),
+                document: document.to_vec(),
+            })?;
+        }
+        Ok(outcome)
+    }
+
+    /// The body of [`ReisSystem::upsert`], minus WAL logging.
+    pub(crate) fn upsert_inner(
         &mut self,
         db_id: u32,
         id: u32,
@@ -462,11 +533,33 @@ impl ReisSystem {
     /// * Flash/allocator errors if the device cannot hold the old and new
     ///   generation simultaneously during the rewrite.
     pub fn compact(&mut self, db_id: u32) -> Result<CompactionOutcome> {
+        let outcome = self.compact_inner(db_id)?;
+        self.log_wal(WalRecord::Compact { db_id })?;
+        Ok(outcome)
+    }
+
+    /// The body of [`ReisSystem::compact`], minus WAL logging. Also the
+    /// compaction the auto-compaction policy triggers: a policy-driven
+    /// compaction is *derived* state, re-derived identically during WAL
+    /// replay, so only explicitly requested compactions are logged.
+    pub(crate) fn compact_inner(&mut self, db_id: u32) -> Result<CompactionOutcome> {
         let db = self
             .databases
             .get_mut(&db_id)
             .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
         mutate::compact(&mut self.controller, db)
+    }
+
+    /// Append one mutation record to the open WAL epoch, if a durable store
+    /// is attached (no-op otherwise — including during WAL replay, which
+    /// runs before the store is re-attached). An I/O failure here surfaces
+    /// as an error *after* the in-memory mutation applied; the next
+    /// successful [`ReisSystem::save`] re-establishes durability.
+    fn log_wal(&mut self, record: WalRecord) -> Result<()> {
+        if let Some(durability) = self.durability.as_mut() {
+            durability.append(&record)?;
+        }
+        Ok(())
     }
 
     /// Run the configured [`CompactionPolicy`](reis_update::CompactionPolicy)
@@ -486,7 +579,7 @@ impl ReisSystem {
             db.updates.stats.mutations(),
         );
         if should {
-            Ok(Some(self.compact(db_id)?))
+            Ok(Some(self.compact_inner(db_id)?))
         } else {
             Ok(None)
         }

@@ -1,0 +1,507 @@
+//! Crash-recovery fault injection: a durably opened system driven through a
+//! seeded mutation trace, killed at an arbitrary byte of its write stream,
+//! must recover to exactly the *durable prefix* of that history — every
+//! mutation whose WAL frame fully reached storage, none after the first
+//! that did not — and answer searches bit-identically to a from-scratch
+//! deployment of the prefix's survivors, under both sequential and sharded
+//! scans. Recovery itself must never panic, whatever the crash point.
+
+use proptest::prelude::*;
+
+use reis_core::{
+    CompactionPolicy, DurableStore, FaultHandle, FaultVfs, MemVfs, RecoveryReport, ReisConfig,
+    ReisSystem, ScanParallelism, SearchOutcome, VectorDatabase,
+};
+use reis_workloads::{CrashSchedule, MutationMix, MutationOp, MutationTrace};
+
+const DIM: usize = 32;
+/// Initial documents are padded to this size so every trace-generated
+/// document (sized `TRACE_DOC_BYTES`) fits the deployed document slots.
+const INIT_DOC_BYTES: usize = 40;
+const TRACE_DOC_BYTES: usize = 32;
+/// Fold the index every this many mutating operations, so the crash stream
+/// also contains Compact frames.
+const COMPACT_EVERY: usize = 7;
+
+fn vector_for(id: u32, salt: u64) -> Vec<f32> {
+    (0..DIM)
+        .map(|d| {
+            let x = (id as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(d as u64 * 0x85EB_CA6B)
+                .wrapping_add(salt.wrapping_mul(0xC2B2_AE35));
+            ((x >> 7) % 23) as f32 - 11.0
+        })
+        .collect()
+}
+
+fn doc_for(id: u32) -> Vec<u8> {
+    let mut text = format!("doc {id} ");
+    while text.len() < INIT_DOC_BYTES {
+        text.push('.');
+    }
+    text.into_bytes()
+}
+
+/// One durably logged operation, replayable against the host-side mirror.
+#[derive(Debug, Clone)]
+enum Effective {
+    Insert {
+        id: u32,
+        vector: Vec<f32>,
+        document: Vec<u8>,
+    },
+    Delete {
+        id: u32,
+    },
+    Upsert {
+        id: u32,
+        vector: Vec<f32>,
+        document: Vec<u8>,
+    },
+    Compact,
+}
+
+/// Host-side mirror of the logical corpus in the system's scan order (base
+/// survivors in storage order, then appends; compaction preserves this).
+struct Mirror {
+    order: Vec<u32>,
+    versions: std::collections::HashMap<u32, (Vec<f32>, Vec<u8>)>,
+}
+
+impl Mirror {
+    fn initial(entries: usize) -> Self {
+        Mirror {
+            order: (0..entries as u32).collect(),
+            versions: (0..entries as u32)
+                .map(|id| (id, (vector_for(id, 0), doc_for(id))))
+                .collect(),
+        }
+    }
+
+    fn apply(&mut self, op: &Effective) {
+        match op {
+            Effective::Insert {
+                id,
+                vector,
+                document,
+            }
+            | Effective::Upsert {
+                id,
+                vector,
+                document,
+            } => {
+                self.order.retain(|x| x != id);
+                self.order.push(*id);
+                self.versions
+                    .insert(*id, (vector.clone(), document.clone()));
+            }
+            Effective::Delete { id } => {
+                self.order.retain(|x| x != id);
+                self.versions.remove(id);
+            }
+            Effective::Compact => {}
+        }
+    }
+
+    fn rebuild_flat(&self, template: &VectorDatabase) -> Option<VectorDatabase> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let vectors: Vec<Vec<f32>> = self
+            .order
+            .iter()
+            .map(|id| self.versions[id].0.clone())
+            .collect();
+        let documents: Vec<Vec<u8>> = self
+            .order
+            .iter()
+            .map(|id| self.versions[id].1.clone())
+            .collect();
+        Some(
+            VectorDatabase::flat_with_quantizers(
+                &vectors,
+                documents,
+                template.binary_quantizer().clone(),
+                template.int8_quantizer().clone(),
+            )
+            .expect("reference rebuild"),
+        )
+    }
+}
+
+fn assert_equivalent(
+    recovered: &SearchOutcome,
+    reference: &SearchOutcome,
+    order: &[u32],
+    ctx: &str,
+) {
+    assert_eq!(
+        recovered
+            .results
+            .iter()
+            .map(|n| n.id as u32)
+            .collect::<Vec<_>>(),
+        reference
+            .results
+            .iter()
+            .map(|n| order[n.id])
+            .collect::<Vec<_>>(),
+        "result ids: {ctx}"
+    );
+    let d_rec: Vec<f32> = recovered.results.iter().map(|n| n.distance).collect();
+    let d_ref: Vec<f32> = reference.results.iter().map(|n| n.distance).collect();
+    assert_eq!(d_rec, d_ref, "result distances: {ctx}");
+    assert_eq!(recovered.documents, reference.documents, "documents: {ctx}");
+}
+
+/// Drive `trace` against a durably opened system, interleaving a manual
+/// compaction every [`COMPACT_EVERY`] mutations. Returns, per *mutating*
+/// op, the cumulative post-`base` bytes its WAL frame ends at, plus the op
+/// itself in mirror-replayable form. The in-memory outcome is identical
+/// whether or not a kill is armed (a dying VFS still returns `Ok`), so the
+/// pilot and every crash run share this exact driver.
+fn drive(
+    system: &mut ReisSystem,
+    db: u32,
+    trace: &MutationTrace,
+    handle: &FaultHandle,
+    base: u64,
+) -> (Vec<u64>, Vec<Effective>) {
+    let mut marks = Vec::new();
+    let mut effective: Vec<Effective> = Vec::new();
+    let mutated = |system: &mut ReisSystem,
+                   marks: &mut Vec<u64>,
+                   effective: &mut Vec<Effective>,
+                   op: Effective| {
+        effective.push(op);
+        marks.push(handle.bytes_written() - base);
+        if effective.len().is_multiple_of(COMPACT_EVERY) {
+            system.compact(db).expect("compact");
+            effective.push(Effective::Compact);
+            marks.push(handle.bytes_written() - base);
+        }
+    };
+    for op in trace.ops() {
+        match op {
+            MutationOp::Insert { vector, document } => {
+                let id = system
+                    .insert(db, vector, document.clone())
+                    .expect("insert")
+                    .ids[0];
+                mutated(
+                    system,
+                    &mut marks,
+                    &mut effective,
+                    Effective::Insert {
+                        id,
+                        vector: vector.clone(),
+                        document: document.clone(),
+                    },
+                );
+            }
+            MutationOp::Delete { target } => {
+                // Trace logical ids coincide with assigned stable ids: the
+                // initial corpus gets 0..n-1 and inserts continue from n in
+                // trace order on both sides.
+                let id = *target as u32;
+                system.delete(db, id).expect("delete");
+                mutated(system, &mut marks, &mut effective, Effective::Delete { id });
+            }
+            MutationOp::Upsert {
+                target,
+                vector,
+                document,
+            } => {
+                let id = *target as u32;
+                system.upsert(db, id, vector, document).expect("upsert");
+                mutated(
+                    system,
+                    &mut marks,
+                    &mut effective,
+                    Effective::Upsert {
+                        id,
+                        vector: vector.clone(),
+                        document: document.clone(),
+                    },
+                );
+            }
+            MutationOp::Search { query } => {
+                let hit = system.search(db, query, 5).expect("search under churn");
+                assert!(hit.results.len() <= 5);
+            }
+        }
+    }
+    (marks, effective)
+}
+
+/// Open a fresh fault-wrapped store, deploy the initial corpus (which
+/// checkpoints it as epoch 1), and return everything a run needs.
+fn open_deployed(
+    entries: usize,
+    config: ReisConfig,
+) -> (ReisSystem, u32, MemVfs, FaultHandle, u64, VectorDatabase) {
+    let vectors: Vec<Vec<f32>> = (0..entries as u32).map(|id| vector_for(id, 0)).collect();
+    let documents: Vec<Vec<u8>> = (0..entries as u32).map(doc_for).collect();
+    let template = VectorDatabase::flat(&vectors, documents).expect("initial database");
+
+    let mem = MemVfs::new();
+    let (fault, handle) = FaultVfs::new(mem.clone());
+    let store = DurableStore::new(Box::new(fault));
+    let (mut system, report) = ReisSystem::open(config, store).expect("open fresh store");
+    assert!(report.is_none(), "fresh store has nothing to recover");
+    let db = system.deploy(&template).expect("deploy");
+    assert_eq!(system.durable_seq(), Some(1), "deploy checkpoints epoch 1");
+    let base = handle.bytes_written();
+    (system, db, mem, handle, base, template)
+}
+
+/// The whole property for one `(trace, crash point, parallelism)` triple:
+/// crash at byte `point` of the mutation stream, recover from the
+/// survivors, check the report against the durable prefix, and check
+/// search equivalence against a from-scratch rebuild of that prefix.
+fn check_crash_point(
+    entries: usize,
+    trace: &MutationTrace,
+    marks: &[u64],
+    effective: &[Effective],
+    point: u64,
+    config: ReisConfig,
+) {
+    let total = marks.last().copied().unwrap_or(0);
+    let (mut doomed, db, mem, handle, _base, template) = open_deployed(entries, config);
+    handle.arm_kill_after(point);
+    drive(&mut doomed, db, trace, &handle, 0);
+    drop(doomed); // the crash
+
+    let store = DurableStore::new(Box::new(mem.clone()));
+    let (mut recovered, report): (ReisSystem, RecoveryReport) =
+        ReisSystem::recover(config, store).expect("recovery must succeed from any crash point");
+
+    // The durable prefix: every mutation whose frame fully landed.
+    let durable = marks.iter().filter(|&&m| m <= point).count();
+    assert_eq!(
+        report.snapshot_seq, 1,
+        "the pre-crash deploy checkpoint is the newest intact snapshot"
+    );
+    assert_eq!(report.snapshots_skipped, 0);
+    assert_eq!(report.records_skipped_unknown_db, 0);
+    assert_eq!(
+        report.wal_records_applied, durable as u64,
+        "replay applies exactly the durable prefix (crash at byte {point})"
+    );
+    assert_eq!(report.checkpoint_seq, 2, "recovery re-checkpoints");
+    let torn = point > 0 && point < total && !marks.contains(&point);
+    assert_eq!(
+        report.quarantined.is_some(),
+        torn,
+        "a tail is quarantined iff the crash tore a frame (crash at byte {point})"
+    );
+
+    let mut mirror = Mirror::initial(entries);
+    for op in &effective[..durable] {
+        mirror.apply(op);
+    }
+    assert_eq!(
+        recovered.database(db).expect("db survives").live_entries(),
+        mirror.order.len(),
+        "live entries after crash at byte {point}"
+    );
+
+    let reference_db = mirror
+        .rebuild_flat(&template)
+        .expect("trace never empties the corpus");
+    let mut reference = ReisSystem::new(ReisConfig::tiny());
+    let ref_id = reference.deploy(&reference_db).expect("reference deploy");
+    for q in 0..3u32 {
+        let query = vector_for(9_000 + q, 17);
+        let a = recovered.search(db, &query, 5).expect("recovered search");
+        let b = reference
+            .search(ref_id, &query, 5)
+            .expect("reference search");
+        assert_equivalent(
+            &a,
+            &b,
+            &mirror.order,
+            &format!("crash byte {point}, query {q}"),
+        );
+    }
+}
+
+/// The crash points a trace run is checked at: the edges, seeded interior
+/// bytes, and every frame boundary ±1 byte.
+fn schedule_for(marks: &[u64], samples: usize, seed: u64) -> CrashSchedule {
+    let total = marks.last().copied().unwrap_or(0);
+    CrashSchedule::covering(total, samples, seed).with_boundaries(marks)
+}
+
+/// Exhaustive-at-the-boundaries deterministic run: one seeded trace, every
+/// WAL frame boundary (±1 byte) plus seeded interior points, sequential
+/// scan. This is the suite's anchor — a failure here replays exactly.
+#[test]
+fn recovery_matches_durable_prefix_at_every_frame_boundary() {
+    let entries = 16;
+    let trace = MutationTrace::generate(
+        entries,
+        DIM,
+        TRACE_DOC_BYTES,
+        20,
+        MutationMix::churn_heavy(),
+        0xC0FF_EE01,
+    );
+    let config = ReisConfig::tiny().with_compaction(CompactionPolicy::manual());
+
+    let (mut pilot, db, _mem, handle, base, _template) = open_deployed(entries, config);
+    let (marks, effective) = drive(&mut pilot, db, &trace, &handle, base);
+    assert!(
+        marks.len() >= 10,
+        "trace must produce a substantial mutation stream"
+    );
+    assert!(
+        effective.iter().any(|op| matches!(op, Effective::Compact)),
+        "the stream must contain Compact frames"
+    );
+
+    let schedule = schedule_for(&marks, 8, 0xC0FF_EE01);
+    for &point in schedule.points() {
+        check_crash_point(entries, &trace, &marks, &effective, point, config);
+    }
+}
+
+/// The same anchor trace under intra-query sharded scans: the recovered
+/// index must answer identically however the fine scan is partitioned.
+#[test]
+fn recovery_matches_durable_prefix_under_sharded_scans() {
+    let entries = 14;
+    let trace = MutationTrace::generate(
+        entries,
+        DIM,
+        TRACE_DOC_BYTES,
+        14,
+        MutationMix::churn_heavy(),
+        0xC0FF_EE02,
+    );
+    let config = ReisConfig::tiny()
+        .with_scan_parallelism(ScanParallelism::sharded(3).with_min_pages_per_shard(1))
+        .with_compaction(CompactionPolicy::manual());
+
+    let (mut pilot, db, _mem, handle, base, _template) = open_deployed(entries, config);
+    let (marks, effective) = drive(&mut pilot, db, &trace, &handle, base);
+
+    let schedule = schedule_for(&marks, 4, 0xC0FF_EE02);
+    for &point in schedule.points() {
+        check_crash_point(entries, &trace, &marks, &effective, point, config);
+    }
+}
+
+proptest! {
+    /// Seeded traces of varying shape, killed at seeded crash points plus a
+    /// few frame boundaries, recover to the durable prefix (sequential
+    /// scan). `PROPTEST_CASES` scales this up in the CI recovery gate.
+    #[test]
+    fn recovery_matches_durable_prefix_at_seeded_points(
+        seed in 0u64..1_000_000,
+        entries in 8usize..18,
+        ops in 6usize..14,
+        churny in 0u8..2,
+    ) {
+        let mix = if churny == 1 { MutationMix::churn_heavy() } else { MutationMix::ingest_heavy() };
+        let trace = MutationTrace::generate(entries, DIM, TRACE_DOC_BYTES, ops, mix, seed);
+        let config = ReisConfig::tiny().with_compaction(CompactionPolicy::manual());
+
+        let (mut pilot, db, _mem, handle, base, _template) = open_deployed(entries, config);
+        let (marks, effective) = drive(&mut pilot, db, &trace, &handle, base);
+
+        // A lean schedule per case: edges + 3 seeded interior points + the
+        // boundaries of one seeded frame; breadth comes from case count.
+        let total = marks.last().copied().unwrap_or(0);
+        let mut schedule = CrashSchedule::covering(total, 3, seed);
+        if !marks.is_empty() {
+            let pick = (seed as usize) % marks.len();
+            schedule = schedule.with_boundaries(&marks[pick..=pick]);
+        }
+        for &point in schedule.points() {
+            check_crash_point(entries, &trace, &marks, &effective, point, config);
+        }
+    }
+}
+
+/// A recovered system is fully live: it keeps accepting mutations, its id
+/// sequence continues past every pre-crash assignment (durable or not, so
+/// ids never collide with lost entries), and it can checkpoint and recover
+/// again — crash, recover, crash, recover.
+#[test]
+fn recovered_system_stays_mutable_and_survives_a_second_crash() {
+    let entries = 12;
+    let trace = MutationTrace::generate(
+        entries,
+        DIM,
+        TRACE_DOC_BYTES,
+        12,
+        MutationMix::ingest_heavy(),
+        0xC0FF_EE03,
+    );
+    let config = ReisConfig::tiny().with_compaction(CompactionPolicy::manual());
+
+    let (mut pilot, db, _mem, handle, base, _template) = open_deployed(entries, config);
+    let (marks, _effective) = drive(&mut pilot, db, &trace, &handle, base);
+    let mid = marks[marks.len() / 2] + 3; // strictly inside a frame
+
+    // First crash.
+    let (mut doomed, db, mem, handle, _base, _template) = open_deployed(entries, config);
+    handle.arm_kill_after(mid);
+    drive(&mut doomed, db, &trace, &handle, 0);
+    drop(doomed);
+
+    let store = DurableStore::new(Box::new(mem.clone()));
+    let (mut recovered, report) = ReisSystem::recover(config, store).expect("first recovery");
+    assert!(
+        report.quarantined.is_some(),
+        "mid-frame crash tears a frame"
+    );
+
+    // Still mutable: a fresh insert gets an id past the initial corpus and
+    // continuing the durable prefix's sequence (lost assignments are
+    // legitimately reusable — the entries they named never became durable).
+    let fresh = vector_for(7_777, 7);
+    let id = recovered
+        .insert(db, &fresh, doc_for(7_777))
+        .expect("insert after recovery")
+        .ids[0];
+    assert!(
+        id >= entries as u32,
+        "post-recovery ids continue past the initial corpus"
+    );
+    let hit = recovered
+        .search(db, &fresh, 1)
+        .expect("search after recovery");
+    assert_eq!(hit.results[0].id as u32, id);
+    assert_eq!(hit.documents[0], doc_for(7_777));
+
+    // Second crash: tear the WAL frame of a post-recovery delete, then
+    // recover again — the insert above (logged before the kill) survives.
+    let (fault, handle2) = FaultVfs::new(mem.clone());
+    let checkpoint = {
+        let store = DurableStore::new(Box::new(fault));
+        let (mut second, _) = ReisSystem::recover(config, store).expect("reopen");
+        let checkpoint = second.durable_seq().expect("durable");
+        handle2.arm_kill_after(4); // tear the very next frame
+        second.delete(db, id).expect("delete in memory");
+        checkpoint
+    };
+    let store = DurableStore::new(Box::new(mem.clone()));
+    let (mut third, report) = ReisSystem::recover(config, store).expect("second recovery");
+    assert_eq!(report.snapshot_seq, checkpoint);
+    assert!(
+        report.quarantined.is_some(),
+        "torn delete frame quarantined"
+    );
+    assert_eq!(report.wal_records_applied, 0);
+    let hit = third
+        .search(db, &fresh, 1)
+        .expect("search after second recovery");
+    assert_eq!(
+        hit.results[0].id as u32, id,
+        "the torn delete never happened"
+    );
+}

@@ -33,6 +33,15 @@
 //! (fixed for the duration of one page window under the windowed adaptive
 //! schedule) and only passing [`FusedHit`]s are emitted.
 //!
+//! # CRC32C
+//!
+//! [`crc32c`] / [`crc32c_extend`] implement the Castagnoli CRC
+//! (polynomial `0x1EDC6F41`, reflected) used by `reis-persist` for both the
+//! snapshot section checksums and the WAL frame checksums, so exactly one
+//! checksum implementation guards every durable byte. It is table-driven
+//! (the 256-entry table is built at compile time) with a bitwise
+//! [`reference::crc32c`] baseline the tests verify against.
+//!
 //! The byte-at-a-time [`mod@reference`] kernels match the seed
 //! implementation and are kept solely as the baseline the benchmarks
 //! measure against.
@@ -458,6 +467,55 @@ pub fn fused_hamming_filter_into(
     );
 }
 
+/// Reflected form of the Castagnoli polynomial `0x1EDC6F41`.
+const CRC32C_POLY_REFLECTED: u32 = 0x82F6_3B78;
+
+/// The byte-at-a-time CRC32C lookup table, built at compile time.
+const CRC32C_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC32C_POLY_REFLECTED
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Fold `bytes` into a running CRC32C state.
+///
+/// The state is the *finalized* checksum of everything folded so far:
+/// `crc32c_extend(crc32c(a), b) == crc32c(a ++ b)`, and the empty-input
+/// checksum `0` is the identity state. This is what the WAL reader uses to
+/// checksum a frame it consumes in pieces.
+#[inline]
+pub fn crc32c_extend(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !state;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// CRC32C (Castagnoli) checksum of `bytes`.
+///
+/// Standard parameters: initial state `0xFFFF_FFFF`, reflected input and
+/// output, final XOR `0xFFFF_FFFF` — the known-answer vector
+/// `crc32c(b"123456789") == 0xE306_9283` holds.
+#[inline]
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    crc32c_extend(0, bytes)
+}
+
 pub mod reference {
     //! Byte-at-a-time reference kernels matching the seed implementation.
     //!
@@ -486,6 +544,24 @@ pub mod reference {
             .zip(b.iter())
             .map(|(x, y)| (x ^ y).count_ones())
             .sum()
+    }
+
+    /// Bitwise CRC32C: one shift-and-conditional-XOR step per input bit,
+    /// straight off the polynomial definition. The baseline the table-driven
+    /// [`crate::crc32c`] is tested against.
+    pub fn crc32c(bytes: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in bytes {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ super::CRC32C_POLY_REFLECTED
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
     }
 }
 
@@ -682,6 +758,56 @@ mod tests {
     fn fused_kernel_rejects_mis_sized_queries() {
         let query = [1u8, 2, 3];
         fused_hamming_per_chunk_into(&[1, 2, 3, 4], 2, &[&query], &mut Vec::new());
+    }
+
+    #[test]
+    fn crc32c_known_answers() {
+        // The canonical check vector (RFC 3720 appendix B.4 parameters).
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        // Empty input is the identity state.
+        assert_eq!(crc32c(b""), 0);
+        // 32 zero bytes (an iSCSI test vector).
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // 32 0xFF bytes.
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        // Ascending 0..=31.
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+    }
+
+    #[test]
+    fn crc32c_matches_bitwise_reference_and_extends() {
+        for len in [0usize, 1, 2, 7, 8, 9, 63, 64, 65, 255, 1024] {
+            let data = pattern(len, 37, 11);
+            assert_eq!(crc32c(&data), reference::crc32c(&data), "len {len}");
+            // Folding the same bytes in two pieces at every split point
+            // gives the same checksum as one pass.
+            for split in [0, len / 3, len / 2, len] {
+                let state = crc32c(&data[..split]);
+                assert_eq!(
+                    crc32c_extend(state, &data[split..]),
+                    crc32c(&data),
+                    "len {len} split {split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc32c_detects_single_byte_corruption() {
+        let data = pattern(256, 41, 5);
+        let clean = crc32c(&data);
+        for offset in [0usize, 1, 100, 255] {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupted = data.clone();
+                corrupted[offset] ^= flip;
+                assert_ne!(
+                    crc32c(&corrupted),
+                    clean,
+                    "flip {flip:#x} at {offset} must change the checksum"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! The append-only mutation WAL.
+//!
+//! Between snapshots, every mutation is appended to the current epoch's
+//! WAL file as one self-checking frame:
+//!
+//! ```text
+//! [payload len u32][payload crc32c u32][payload]
+//! ```
+//!
+//! The payload is a [`WalRecord`] in the [`crate::wire`] format: an opcode
+//! byte, the target database id, and the operation's arguments. Replay
+//! applies records through the ordinary mutation paths, so the WAL never
+//! needs to encode any *derived* state (segments, tombstones, relocation
+//! tables) — it re-derives on replay, byte-identically.
+//!
+//! Reading is prefix-consistent by construction: [`read_records`] decodes
+//! frames until the first one that is truncated, checksum-broken or
+//! undecodable, and reports everything from that offset on as a
+//! quarantined tail ([`WalTail`]). A torn append (power loss mid-frame)
+//! therefore costs exactly the operations that were never acknowledged as
+//! durable — never a panic, never a misparse of half-written bytes.
+
+use reis_kernels::crc32c;
+
+use crate::error::{PersistError, Result};
+use crate::wire::{ByteReader, ByteWriter};
+
+/// Bytes of a frame header (length + checksum).
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+const OP_INSERT_BATCH: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_UPSERT: u8 = 3;
+const OP_COMPACT: u8 = 4;
+
+/// One durable mutation record.
+///
+/// Targets are *stable entry ids* (the OOB `dadr` namespace), and an
+/// insert batch carries the ids the live system assigned, so replay can
+/// verify it re-derives the same assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A batch insert with the vectors, documents and assigned stable ids.
+    InsertBatch {
+        /// Target deployed database.
+        db_id: u32,
+        /// One embedding per inserted entry.
+        vectors: Vec<Vec<f32>>,
+        /// One document chunk per inserted entry.
+        documents: Vec<Vec<u8>>,
+        /// The stable ids the system assigned, in batch order.
+        ids: Vec<u32>,
+    },
+    /// Deletion of one stable id.
+    Delete {
+        /// Target deployed database.
+        db_id: u32,
+        /// Stable id of the deleted entry.
+        id: u32,
+    },
+    /// Replacement of one stable id's embedding and document.
+    Upsert {
+        /// Target deployed database.
+        db_id: u32,
+        /// Stable id of the replaced entry.
+        id: u32,
+        /// The replacement embedding.
+        vector: Vec<f32>,
+        /// The replacement document chunk.
+        document: Vec<u8>,
+    },
+    /// An explicit compaction pass (folds segments/tombstones into a fresh
+    /// base region; search-invisible but changes physical layout).
+    Compact {
+        /// Target deployed database.
+        db_id: u32,
+    },
+}
+
+impl WalRecord {
+    /// The deployed database the record targets.
+    pub fn db_id(&self) -> u32 {
+        match self {
+            WalRecord::InsertBatch { db_id, .. }
+            | WalRecord::Delete { db_id, .. }
+            | WalRecord::Upsert { db_id, .. }
+            | WalRecord::Compact { db_id } => *db_id,
+        }
+    }
+
+    /// Encode the record payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            WalRecord::InsertBatch {
+                db_id,
+                vectors,
+                documents,
+                ids,
+            } => {
+                assert_eq!(vectors.len(), documents.len(), "one document per vector");
+                assert_eq!(vectors.len(), ids.len(), "one assigned id per vector");
+                w.put_u8(OP_INSERT_BATCH);
+                w.put_u32(*db_id);
+                w.put_u32(vectors.len() as u32);
+                for ((vector, document), id) in vectors.iter().zip(documents).zip(ids) {
+                    w.put_f32_slice(vector);
+                    w.put_bytes(document);
+                    w.put_u32(*id);
+                }
+            }
+            WalRecord::Delete { db_id, id } => {
+                w.put_u8(OP_DELETE);
+                w.put_u32(*db_id);
+                w.put_u32(*id);
+            }
+            WalRecord::Upsert {
+                db_id,
+                id,
+                vector,
+                document,
+            } => {
+                w.put_u8(OP_UPSERT);
+                w.put_u32(*db_id);
+                w.put_u32(*id);
+                w.put_f32_slice(vector);
+                w.put_bytes(document);
+            }
+            WalRecord::Compact { db_id } => {
+                w.put_u8(OP_COMPACT);
+                w.put_u32(*db_id);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a record payload. The payload must decode exactly — trailing
+    /// bytes are as malformed as missing ones.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(payload);
+        let op = r.get_u8()?;
+        let db_id = r.get_u32()?;
+        let record = match op {
+            OP_INSERT_BATCH => {
+                let count = r.get_u32()? as usize;
+                let mut vectors = Vec::with_capacity(count.min(payload.len()));
+                let mut documents = Vec::with_capacity(count.min(payload.len()));
+                let mut ids = Vec::with_capacity(count.min(payload.len()));
+                for _ in 0..count {
+                    vectors.push(r.get_f32_vec()?);
+                    documents.push(r.get_bytes()?.to_vec());
+                    ids.push(r.get_u32()?);
+                }
+                WalRecord::InsertBatch {
+                    db_id,
+                    vectors,
+                    documents,
+                    ids,
+                }
+            }
+            OP_DELETE => WalRecord::Delete {
+                db_id,
+                id: r.get_u32()?,
+            },
+            OP_UPSERT => WalRecord::Upsert {
+                db_id,
+                id: r.get_u32()?,
+                vector: r.get_f32_vec()?,
+                document: r.get_bytes()?.to_vec(),
+            },
+            OP_COMPACT => WalRecord::Compact { db_id },
+            other => {
+                return Err(PersistError::Malformed(format!(
+                    "unknown WAL opcode {other}"
+                )))
+            }
+        };
+        r.expect_end()?;
+        Ok(record)
+    }
+
+    /// Encode the record as one framed WAL append.
+    pub fn encode_framed(&self) -> Vec<u8> {
+        frame(&self.encode())
+    }
+}
+
+/// Frame a payload for appending: length, CRC32C, payload.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32c(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// What the end of a WAL file looked like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// Every byte belonged to a valid frame.
+    Clean,
+    /// Bytes from `offset` on were quarantined: `detail` says why the
+    /// frame there failed validation. Everything before `offset` was
+    /// replayable.
+    Quarantined {
+        /// Byte offset of the first invalid frame.
+        offset: u64,
+        /// Why the frame failed.
+        detail: String,
+    },
+}
+
+impl WalTail {
+    /// Whether the whole file was valid.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, WalTail::Clean)
+    }
+}
+
+/// Decode the longest valid prefix of a WAL file into records.
+///
+/// Returns the records and the tail status. A record for an unknown opcode
+/// or with a mismatched checksum terminates decoding at that frame — the
+/// caller decides whether a non-clean tail is tolerable (crash recovery)
+/// or an error (strict audits; see [`read_records_strict`]).
+pub fn read_records(bytes: &[u8]) -> (Vec<WalRecord>, WalTail) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < FRAME_HEADER_BYTES {
+            return (
+                records,
+                WalTail::Quarantined {
+                    offset: pos as u64,
+                    detail: format!("{remaining}-byte tail is shorter than a frame header"),
+                },
+            );
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if remaining - FRAME_HEADER_BYTES < len {
+            return (
+                records,
+                WalTail::Quarantined {
+                    offset: pos as u64,
+                    detail: format!(
+                        "frame promises {len} payload bytes, only {} remain",
+                        remaining - FRAME_HEADER_BYTES
+                    ),
+                },
+            );
+        }
+        let payload = &bytes[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len];
+        let actual = crc32c(payload);
+        if actual != stored_crc {
+            return (
+                records,
+                WalTail::Quarantined {
+                    offset: pos as u64,
+                    detail: format!(
+                        "payload checksum mismatch (stored {stored_crc:#010x}, \
+                         computed {actual:#010x})"
+                    ),
+                },
+            );
+        }
+        match WalRecord::decode(payload) {
+            Ok(record) => records.push(record),
+            Err(err) => {
+                return (
+                    records,
+                    WalTail::Quarantined {
+                        offset: pos as u64,
+                        detail: format!("checksummed payload failed to decode: {err}"),
+                    },
+                )
+            }
+        }
+        pos += FRAME_HEADER_BYTES + len;
+    }
+    (records, WalTail::Clean)
+}
+
+/// [`read_records`], but a non-clean tail is a [`PersistError::CorruptWal`]
+/// — for contexts where quarantining is not acceptable (fixture audits,
+/// offline verification).
+pub fn read_records_strict(bytes: &[u8], file: &str) -> Result<Vec<WalRecord>> {
+    match read_records(bytes) {
+        (records, WalTail::Clean) => Ok(records),
+        (_, WalTail::Quarantined { offset, detail }) => Err(PersistError::CorruptWal {
+            file: file.to_string(),
+            offset,
+            detail,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::InsertBatch {
+                db_id: 0,
+                vectors: vec![vec![0.5, -1.25], vec![3.0, f32::MIN_POSITIVE]],
+                documents: vec![b"doc a".to_vec(), b"doc b".to_vec()],
+                ids: vec![10, 11],
+            },
+            WalRecord::Delete { db_id: 0, id: 3 },
+            WalRecord::Upsert {
+                db_id: 2,
+                id: 10,
+                vector: vec![-0.0, 7.5],
+                document: b"replacement".to_vec(),
+            },
+            WalRecord::Compact { db_id: 2 },
+        ]
+    }
+
+    fn log_of(records: &[WalRecord]) -> Vec<u8> {
+        let mut log = Vec::new();
+        for record in records {
+            log.extend_from_slice(&record.encode_framed());
+        }
+        log
+    }
+
+    #[test]
+    fn records_round_trip_through_frames() {
+        let records = sample_records();
+        let log = log_of(&records);
+        let (decoded, tail) = read_records(&log);
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(decoded, records);
+        assert_eq!(read_records_strict(&log, "wal").unwrap(), records);
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let (records, tail) = read_records(&[]);
+        assert!(records.is_empty());
+        assert!(tail.is_clean());
+    }
+
+    #[test]
+    fn every_truncation_keeps_the_valid_prefix() {
+        let records = sample_records();
+        let log = log_of(&records);
+        // Frame boundaries, for computing how many full frames survive.
+        let mut boundaries = vec![0usize];
+        for record in &records {
+            boundaries.push(boundaries.last().unwrap() + record.encode_framed().len());
+        }
+        for len in 0..log.len() {
+            let (decoded, tail) = read_records(&log[..len]);
+            let full_frames = boundaries.iter().filter(|&&b| b <= len).count() - 1;
+            assert_eq!(decoded, records[..full_frames], "truncation to {len}");
+            if len == *boundaries.last().unwrap() {
+                assert!(tail.is_clean());
+            } else if boundaries.contains(&len) {
+                assert!(tail.is_clean(), "truncation at a frame boundary is clean");
+            } else {
+                assert!(!tail.is_clean(), "mid-frame truncation to {len}");
+                assert!(read_records_strict(&log[..len], "wal").is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_quarantines_from_the_broken_frame() {
+        let records = sample_records();
+        let log = log_of(&records);
+        let mut boundaries = vec![0usize];
+        for record in &records {
+            boundaries.push(boundaries.last().unwrap() + record.encode_framed().len());
+        }
+        for offset in 0..log.len() {
+            let mut corrupted = log.clone();
+            corrupted[offset] ^= 0x10;
+            let (decoded, tail) = read_records(&corrupted);
+            // Frames strictly before the corrupted one must survive intact.
+            let broken_frame = boundaries[1..].iter().filter(|&&b| b <= offset).count();
+            match tail {
+                WalTail::Clean => panic!("flip at byte {offset} went undetected"),
+                WalTail::Quarantined { offset: at, .. } => {
+                    assert!(
+                        at as usize <= offset,
+                        "quarantine at {at} started after the corruption at {offset}"
+                    );
+                    assert!(
+                        decoded.len() >= broken_frame.min(records.len()).saturating_sub(1)
+                            && decoded.len() <= records.len(),
+                        "flip at {offset}: {} records survived",
+                        decoded.len()
+                    );
+                    assert_eq!(
+                        decoded[..],
+                        records[..decoded.len()],
+                        "surviving prefix must be exact (flip at {offset})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_are_quarantined_not_panicked() {
+        let bogus = frame(&[0xEEu8, 0, 0, 0, 0]);
+        let (records, tail) = read_records(&bogus);
+        assert!(records.is_empty());
+        assert!(matches!(tail, WalTail::Quarantined { offset: 0, .. }));
+    }
+}

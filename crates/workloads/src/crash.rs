@@ -1,0 +1,134 @@
+//! Deterministic crash-point schedules for fault-injection testing.
+//!
+//! A crash-recovery property ("recovery from *any* crash point yields the
+//! durable prefix") is quantified over every byte offset at which power
+//! could be lost. Exhaustively testing each of the millions of offsets in
+//! a realistic write stream is too slow, and sampling them ad hoc is not
+//! reproducible — so this module generates *schedules*: small, seeded,
+//! deterministic sets of crash points that always cover the structurally
+//! interesting offsets (the stream edges and caller-supplied boundaries
+//! such as per-operation write marks, where torn frames straddle record
+//! framing) plus pseudo-random interior points for the unstructured bulk.
+//! The same `(total_bytes, samples, seed)` always yields the same
+//! schedule, so a failing crash point can be replayed exactly.
+
+use reis_persist::splitmix64;
+
+/// A sorted, deduplicated set of byte-granular crash points over a write
+/// stream of `total_bytes` bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashSchedule {
+    total_bytes: u64,
+    points: Vec<u64>,
+}
+
+impl CrashSchedule {
+    /// A schedule covering `[0, total_bytes]`: the stream edges (`0`, `1`,
+    /// `total_bytes - 1`, `total_bytes`) plus `samples` seeded interior
+    /// points. A crash point `p` means "the write stream dies after
+    /// exactly `p` surviving bytes" — `0` is power loss before anything
+    /// landed, `total_bytes` is no crash at all (included on purpose: the
+    /// property must also hold trivially at the far edge).
+    pub fn covering(total_bytes: u64, samples: usize, seed: u64) -> Self {
+        let mut points = vec![
+            0,
+            1.min(total_bytes),
+            total_bytes.saturating_sub(1),
+            total_bytes,
+        ];
+        let mut state = seed ^ 0xC4A5_11FE_0000_0000;
+        if total_bytes > 1 {
+            for _ in 0..samples {
+                points.push(splitmix64(&mut state) % (total_bytes + 1));
+            }
+        }
+        CrashSchedule {
+            total_bytes,
+            points,
+        }
+        .normalised()
+    }
+
+    /// Add boundary-adjacent points: for each boundary `b` (for example the
+    /// cumulative bytes written after each operation of a trace), the
+    /// points `b - 1`, `b` and `b + 1`, clamped to the stream. A crash one
+    /// byte short of a boundary is the canonical torn-tail case; exactly on
+    /// it the canonical clean-prefix case.
+    pub fn with_boundaries(mut self, boundaries: &[u64]) -> Self {
+        for &b in boundaries {
+            let b = b.min(self.total_bytes);
+            self.points.push(b.saturating_sub(1));
+            self.points.push(b);
+            self.points.push((b + 1).min(self.total_bytes));
+        }
+        self.normalised()
+    }
+
+    fn normalised(mut self) -> Self {
+        self.points.sort_unstable();
+        self.points.dedup();
+        self
+    }
+
+    /// The crash points, ascending.
+    pub fn points(&self) -> &[u64] {
+        &self.points
+    }
+
+    /// The write-stream length the schedule covers.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of scheduled crash points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the schedule is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_sorted() {
+        let a = CrashSchedule::covering(10_000, 16, 7);
+        let b = CrashSchedule::covering(10_000, 16, 7);
+        assert_eq!(a, b, "same inputs, same schedule");
+        let c = CrashSchedule::covering(10_000, 16, 8);
+        assert_ne!(a, c, "different seed, different interior points");
+
+        assert!(
+            a.points().windows(2).all(|w| w[0] < w[1]),
+            "sorted, deduped"
+        );
+        assert_eq!(a.total_bytes(), 10_000);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn edges_and_boundaries_are_always_covered() {
+        let schedule =
+            CrashSchedule::covering(5_000, 8, 3).with_boundaries(&[100, 2_500, 4_999, 7_777]);
+        let points = schedule.points();
+        for expected in [0, 1, 99, 100, 101, 2_499, 2_500, 2_501, 4_998, 4_999, 5_000] {
+            assert!(points.contains(&expected), "missing point {expected}");
+        }
+        // Boundaries beyond the stream clamp to its end instead of escaping.
+        assert!(points.iter().all(|&p| p <= 5_000));
+        assert_eq!(schedule.len(), points.len());
+    }
+
+    #[test]
+    fn degenerate_streams_do_not_panic_or_escape() {
+        let empty = CrashSchedule::covering(0, 8, 1);
+        assert_eq!(empty.points(), &[0]);
+        let one = CrashSchedule::covering(1, 8, 1);
+        assert_eq!(one.points(), &[0, 1]);
+    }
+}

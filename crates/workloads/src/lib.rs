@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod crash;
 pub mod ground_truth;
 pub mod mutation;
 pub mod profile;
 pub mod synthetic;
 
+pub use crash::CrashSchedule;
 pub use ground_truth::GroundTruth;
 pub use mutation::{MutationMix, MutationOp, MutationTrace};
 pub use profile::DatasetProfile;

@@ -13,6 +13,9 @@
 //!   linkage, R-DB / R-IVF / TTL structures, the in-storage ANNS engine
 //!   (with batch-parallel search and intra-query scan sharding) and the
 //!   energy model.
+//! * [`persist`] — durability: CRC-checksummed snapshots, the mutation
+//!   write-ahead log, pluggable storage backends and fault injection
+//!   (consumed through `core`'s `ReisSystem::{open, save, recover}`).
 //! * [`baseline`] — comparator system models (CPU-Real, No-I/O, CPU+BQ, ICE,
 //!   ICE-ESP, NDSearch, REIS-ASIC).
 //! * [`workloads`] — synthetic dataset generators and ground-truth
@@ -44,6 +47,7 @@ pub use reis_ann as ann;
 pub use reis_baseline as baseline;
 pub use reis_core as core;
 pub use reis_nand as nand;
+pub use reis_persist as persist;
 pub use reis_rag as rag;
 pub use reis_ssd as ssd;
 pub use reis_workloads as workloads;
