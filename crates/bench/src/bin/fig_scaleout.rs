@@ -1,0 +1,305 @@
+//! Multi-device scale-out: modelled QPS versus leaf count and straggler
+//! hedging — with an in-binary check that the cluster answers every query
+//! bit-identically to a single device holding the union corpus.
+//!
+//! Two measurements:
+//!
+//! * **Leaf sweep** — one logical corpus sharded over 1→8 leaves; each
+//!   leaf scans a proportionally smaller shard, so with uniform per-leaf
+//!   service time the fan-out latency (the max over leaves) shrinks and
+//!   modelled QPS scales near-linearly in the leaf count. The sweep
+//!   reports per-point QPS and the speedup over one leaf, and the
+//!   identity check (results, documents, transferred-entry sums against
+//!   a single device) gates the artifact at every point.
+//! * **Hedging** — the same cluster under a seeded per-leaf skew model
+//!   (heavy-tailed jitter), swept over hedging deadlines: no hedging,
+//!   then progressively tighter deadlines that duplicate straggling leaf
+//!   requests. Mean fan-out latency drops as stragglers get hedged while
+//!   results stay bit-identical — the merge is schedule-independent.
+//!
+//! Results are written to `BENCH_pr7.json` by default (this benchmark's
+//! committed artifact); pass `--output PATH` (or `REIS_BENCH_OUT`) to
+//! write elsewhere, and `--smoke` (or `REIS_BENCH_SMOKE=1`) for the fast
+//! CI variant.
+
+use reis_bench::report;
+use reis_cluster::{ClusterSystem, HedgePolicy, LatencyModel};
+use reis_core::{ReisConfig, ReisSystem, VectorDatabase};
+use reis_nand::{Geometry, Nanos};
+
+const DIM: usize = 16;
+const K: usize = 10;
+const MAX_LEAVES: usize = 8;
+const SKEW_SEED: u64 = 0x5CA1_E0D7;
+/// Straggler model: 100 µs base service skew plus up to 3 ms of seeded
+/// per-(leaf, query) jitter — the heavy tail the hedging policy exists
+/// to cut. A hedge beats its primary exactly when the primary's drawn
+/// delay exceeds the deadline plus the hedge's delay (the scan compute
+/// cancels), so the jitter must dwarf the deadlines for hedging to pay.
+const SKEW_BASE_NS: u64 = 100_000;
+const SKEW_JITTER_NS: u64 = 3_000_000;
+
+/// Each leaf models one narrow flash package (2 channels × 2 dies ×
+/// 2 planes of 4 KB pages) with REIS-SSD1 timing — the scale-out story
+/// is many small devices versus one, so the per-leaf scan must span many
+/// plane rounds for sharding to have anything to parallelize. On the
+/// 256-plane SSD1 geometry any corpus this benchmark could build
+/// functionally fits in a single round and every sweep point would
+/// degenerate to the same fixed-cost latency.
+fn leaf_config() -> ReisConfig {
+    let mut config = ReisConfig::ssd1();
+    config.ssd.name = "REIS-LEAF";
+    config.ssd.geometry = Geometry {
+        channels: 2,
+        dies_per_channel: 2,
+        planes_per_die: 2,
+        blocks_per_plane: 128,
+        pages_per_block: 64,
+        page_size_bytes: 4 * 1024,
+        oob_size_bytes: 256,
+    };
+    config
+}
+
+struct RunShape {
+    mode: &'static str,
+    entries: usize,
+    queries: usize,
+}
+
+fn shape() -> RunShape {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("REIS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    if smoke {
+        RunShape {
+            mode: "smoke",
+            entries: 8_192,
+            queries: 4,
+        }
+    } else {
+        RunShape {
+            mode: "full",
+            entries: 32_768,
+            queries: 16,
+        }
+    }
+}
+
+fn vector_for(id: u32) -> Vec<f32> {
+    (0..DIM)
+        .map(|d| {
+            // splitmix64-style mixing: a plain multiplicative sequence is
+            // low-discrepancy, not random, and makes every query's nearest
+            // neighbors cluster in id space (→ on one leaf).
+            let mut x = (id as u64) << 32 | d as u64;
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            (x % 201) as f32 - 100.0
+        })
+        .collect()
+}
+
+fn doc_for(id: u32) -> Vec<u8> {
+    format!("scaleout bench doc {id:06}").into_bytes()
+}
+
+/// `(ids, rerank-distance bits, document bytes)` — the full bit-identity
+/// signature of one query's outcome.
+type Signature = (Vec<usize>, Vec<u32>, Vec<Vec<u8>>);
+
+fn cluster_signature(outcome: &reis_cluster::ClusterSearchOutcome) -> Signature {
+    (
+        outcome.results.iter().map(|n| n.id).collect(),
+        outcome
+            .results
+            .iter()
+            .map(|n| n.distance.to_bits())
+            .collect(),
+        outcome.documents.clone(),
+    )
+}
+
+fn main() {
+    let shape = shape();
+    report::header(
+        "Multi-device scale-out",
+        "Modelled QPS vs leaf count, straggler hedging, exact merge check",
+    );
+
+    let entries = shape.entries;
+    println!("Building {entries}-entry corpus ({} mode)…", shape.mode);
+    let vectors: Vec<Vec<f32>> = (0..entries as u32).map(vector_for).collect();
+    let documents: Vec<Vec<u8>> = (0..entries as u32).map(doc_for).collect();
+    let queries: Vec<Vec<f32>> = (0..shape.queries as u32)
+        .map(|q| vector_for(1_000_000 + q))
+        .collect();
+    let config = leaf_config();
+
+    // Single-device reference: the same corpus on one device. Leaf scans
+    // pin the static distance threshold, so the reference must too for the
+    // transferred-entry comparison to be exact.
+    let mut single = ReisSystem::new(config.with_adaptive_filtering(false));
+    let single_db = single
+        .deploy(&VectorDatabase::flat(&vectors, documents.clone()).expect("database"))
+        .expect("single-device deploy");
+    let reference: Vec<(Signature, usize)> = queries
+        .iter()
+        .map(|q| {
+            let outcome = single.search(single_db, q, K).expect("reference search");
+            (
+                (
+                    outcome.result_ids(),
+                    outcome
+                        .results
+                        .iter()
+                        .map(|n| n.distance.to_bits())
+                        .collect(),
+                    outcome.documents.clone(),
+                ),
+                outcome.activity.fine_entries,
+            )
+        })
+        .collect();
+
+    // --- Leaf sweep: QPS vs leaf count under a uniform skew model. -------
+    println!("\nLeaf sweep (uniform per-leaf service time):");
+    println!(
+        "{:>7} {:>14} {:>12} {:>10} {:>10}",
+        "leaves", "modelled QPS", "fanout (us)", "doc (us)", "speedup"
+    );
+    let mut identical = true;
+    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    for leaves in 1..=MAX_LEAVES {
+        let mut cluster = ClusterSystem::new(config, leaves).expect("cluster");
+        cluster
+            .deploy_flat(&vectors, &documents)
+            .expect("sharded deploy");
+        let mut total_latency = Nanos::ZERO;
+        let mut fanout = Nanos::ZERO;
+        let mut doc = Nanos::ZERO;
+        for (query, (signature, fine_entries)) in queries.iter().zip(&reference) {
+            let outcome = cluster.search(query, K).expect("cluster search");
+            identical &= cluster_signature(&outcome) == *signature
+                && outcome.activity.activity.fine_entries == *fine_entries;
+            total_latency += outcome.latency;
+            fanout += outcome.fanout_latency;
+            doc += outcome.document_latency;
+        }
+        let qps = queries.len() as f64 / total_latency.as_secs_f64().max(1e-12);
+        let per_query = 1e6 / queries.len() as f64;
+        sweep.push((leaves, qps));
+        println!(
+            "{leaves:>7} {qps:>14.0} {:>12.1} {:>10.1} {:>9.2}x",
+            fanout.as_secs_f64() * per_query,
+            doc.as_secs_f64() * per_query,
+            qps / sweep[0].1
+        );
+    }
+    assert!(
+        identical,
+        "cluster results diverged from the single device — the exact \
+         scatter–gather merge is broken; the artifact must not ship"
+    );
+    let speedup_at_max = sweep[MAX_LEAVES - 1].1 / sweep[0].1;
+    assert!(
+        speedup_at_max > MAX_LEAVES as f64 * 0.5,
+        "modelled QPS must scale near-linearly in leaf count \
+         (got {speedup_at_max:.2}x at {MAX_LEAVES} leaves)"
+    );
+    println!("All {MAX_LEAVES} sweep points bit-identical to the single device.");
+
+    // --- Hedging sweep: tail tolerance under a skewed schedule. ----------
+    // A fresh cluster per policy keeps the skew model's query sequence
+    // aligned, so every policy faces exactly the same straggler draws.
+    println!("\nHedging sweep ({} leaves, seeded skew):", 4);
+    println!(
+        "{:>13} {:>16} {:>8}",
+        "deadline", "mean fanout (us)", "hedges"
+    );
+    let deadlines: [Option<u64>; 4] = [None, Some(1_600_000), Some(800_000), Some(400_000)];
+    let mut hedging_rows: Vec<(String, f64, usize)> = Vec::new();
+    let mut hedged_identical = true;
+    for deadline_ns in deadlines {
+        let mut cluster = ClusterSystem::new(config, 4)
+            .expect("cluster")
+            .with_latency_model(LatencyModel::new(SKEW_SEED, SKEW_BASE_NS, SKEW_JITTER_NS))
+            .with_hedging(deadline_ns.map(|ns| HedgePolicy::new(Nanos::from_nanos(ns))));
+        cluster
+            .deploy_flat(&vectors, &documents)
+            .expect("sharded deploy");
+        let mut fanout = Nanos::ZERO;
+        let mut hedges = 0usize;
+        for (query, (signature, _)) in queries.iter().zip(&reference) {
+            let outcome = cluster.search(query, K).expect("hedged search");
+            hedged_identical &= cluster_signature(&outcome) == *signature;
+            fanout += outcome.fanout_latency;
+            hedges += outcome.hedges_launched;
+        }
+        let mean_us = fanout.as_secs_f64() * 1e6 / queries.len() as f64;
+        let label = match deadline_ns {
+            None => "none".to_string(),
+            Some(ns) => format!("{} us", ns / 1_000),
+        };
+        println!("{label:>13} {mean_us:>16.1} {hedges:>8}");
+        hedging_rows.push((label, mean_us, hedges));
+    }
+    assert!(
+        hedged_identical,
+        "hedged schedules changed results — the merge must be \
+         schedule-independent; the artifact must not ship"
+    );
+    let (unhedged_us, tightest_us) = (hedging_rows[0].1, hedging_rows.last().unwrap().1);
+    assert!(
+        tightest_us < unhedged_us,
+        "the tightest hedging deadline must cut mean fan-out latency \
+         ({tightest_us:.1} us vs {unhedged_us:.1} us unhedged)"
+    );
+    println!(
+        "Tightest deadline cuts mean fan-out {:.1}% below unhedged; \
+         results identical under every schedule.",
+        (1.0 - tightest_us / unhedged_us) * 100.0
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(leaves, qps)| {
+            format!(
+                "{{ \"leaves\": {leaves}, \"modelled_qps\": {qps:.1}, \
+                 \"speedup_vs_one_leaf\": {:.3} }}",
+                qps / sweep[0].1
+            )
+        })
+        .collect();
+    let hedging_json: Vec<String> = hedging_rows
+        .iter()
+        .map(|(label, mean_us, hedges)| {
+            format!(
+                "{{ \"deadline\": \"{label}\", \"mean_fanout_us\": {mean_us:.2}, \
+                 \"hedges_launched\": {hedges} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"available_cores\": {cores},\n  \"mode\": \"{}\",\n  \
+         \"dataset\": {{ \"entries\": {entries}, \"dim\": {DIM}, \
+         \"queries\": {}, \"k\": {K} }},\n  \
+         \"results_identical_to_single_device\": {identical},\n  \
+         \"leaf_sweep\": [\n    {}\n  ],\n  \
+         \"hedging\": {{ \"leaves\": 4, \"skew_base_ns\": {SKEW_BASE_NS}, \
+         \"skew_jitter_ns\": {SKEW_JITTER_NS}, \
+         \"results_invariant\": {hedged_identical}, \
+         \"policies\": [\n    {}\n  ] }}\n}}\n",
+        shape.mode,
+        queries.len(),
+        sweep_json.join(",\n    "),
+        hedging_json.join(",\n    "),
+    );
+    let path = report::output_path("BENCH_pr7.json");
+    std::fs::write(&path, json).expect("write benchmark artifact");
+    println!("\nWrote {path}");
+}

@@ -650,6 +650,14 @@ pub mod artifacts {
             ("recovery", Kind::Obj),
             ("torn_tail", Kind::Obj),
         ];
+        const SCALEOUT: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("mode", Kind::Str),
+            ("dataset", Kind::Obj),
+            ("results_identical_to_single_device", Kind::Bool),
+            ("leaf_sweep", Kind::Arr),
+            ("hedging", Kind::Obj),
+        ];
         let base = file_name.rsplit('/').next().unwrap_or(file_name);
         match base {
             "BENCH_pr1.json" => Some(BATCH),
@@ -658,12 +666,14 @@ pub mod artifacts {
             "BENCH_pr4.json" => Some(FUSED),
             "BENCH_pr5.json" => Some(ADAPTIVE),
             "BENCH_pr6.json" => Some(PERSISTENCE),
+            "BENCH_pr7.json" => Some(SCALEOUT),
             _ if base.contains("fig07b") => Some(BATCH),
             _ if base.contains("intra_query") => Some(INTRA),
             _ if base.contains("update") => Some(UPDATE),
             _ if base.contains("fused") => Some(FUSED),
             _ if base.contains("adaptive") => Some(ADAPTIVE),
             _ if base.contains("persistence") => Some(PERSISTENCE),
+            _ if base.contains("scaleout") => Some(SCALEOUT),
             _ => None,
         }
     }
@@ -824,6 +834,7 @@ mod artifact_tests {
             "BENCH_pr4.json",
             "BENCH_pr5.json",
             "BENCH_pr6.json",
+            "BENCH_pr7.json",
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path).expect("committed artifact readable");
@@ -874,6 +885,10 @@ mod artifact_tests {
         assert_eq!(
             required_keys("BENCH_persistence_smoke.json"),
             required_keys("BENCH_pr6.json")
+        );
+        assert_eq!(
+            required_keys("BENCH_scaleout_smoke.json"),
+            required_keys("BENCH_pr7.json")
         );
         assert!(required_keys("mystery.json").is_none());
         assert!(!validate("mystery.json", &Json::Obj(vec![])).is_empty());

@@ -1,0 +1,683 @@
+//! [`ClusterSystem`]: the aggregator over N leaf devices.
+//!
+//! The aggregator owns the leaves, the shard router, the skew model and
+//! the cluster manifest. Its public surface mirrors the single-device
+//! [`ReisSystem`] (deploy, search, batched search, insert/delete/upsert,
+//! compaction, save/recover) but every operation is scattered to the
+//! leaves and gathered exactly:
+//!
+//! * **Deploy** slices the union corpus's storage order contiguously
+//!   across leaves, re-using the union's quantizers (and, for IVF, the
+//!   full global centroid set) so every leaf scores exactly as the
+//!   single device would, and floors every leaf's document slot at the
+//!   union's slot size so document accounting matches.
+//! * **Search** fans out [`ReisSystem::leaf_query`], merges under the
+//!   lifted `(distance, leaf, storage index)` orders
+//!   ([`crate::merge`]) and fetches only the winners' chunks from their
+//!   owning leaves.
+//! * **Mutations** route to the owning leaf with globally assigned
+//!   stable ids, so the cluster's id namespace is the single device's.
+//! * **Durability** is per-leaf (each leaf keeps its own snapshot/WAL
+//!   store) plus one tiny cluster manifest
+//!   ([`reis_persist::ClusterManifest`]) tying the leaves together;
+//!   recovery restores each leaf independently and re-derives the id
+//!   watermark as the max over leaf watermarks.
+
+use reis_ann::topk::Neighbor;
+use reis_nand::Nanos;
+use reis_persist::{ClusterManifest, PersistError, Vfs};
+
+use reis_core::system::ReisSystem;
+use reis_core::{
+    ClusterInfo, CompactionOutcome, DurableStore, LeafCandidate, MutationOutcome, QueryActivity,
+    RecoveryReport, ReisConfig, ReisError, Result, VectorDatabase, DOC_SUBPAGE_BYTES,
+};
+
+use crate::latency::{leaf_completion, HedgePolicy, LatencyModel};
+use crate::merge::merge_top_k;
+use crate::router::ShardRouter;
+
+/// File name of the cluster manifest inside its VFS.
+pub const MANIFEST_FILE: &str = "CLUSTER.manifest";
+
+/// Skew-draw attempt index of the document-fetch phase (0 and 1 are the
+/// fan-out primary and its hedge).
+const DOC_ATTEMPT: u32 = 2;
+
+/// Cluster-wide activity accounting of one fanned-out query. Deliberately
+/// free of any schedule-dependent field: the same query against the same
+/// corpus reports the same `ClusterActivity` whatever the skew seed,
+/// hedging deadline, or hedge race outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterActivity {
+    /// Summed per-leaf activity (see [`QueryActivity::absorb`]); its
+    /// `fine_entries` is the cluster's transferred-entry count, equal to a
+    /// single device's under the static-threshold leaf protocol.
+    pub activity: QueryActivity,
+    /// Number of leaves fanned out to.
+    pub leaves: usize,
+    /// Union candidate count before the global cut.
+    pub merged_candidates: usize,
+    /// Candidates surviving the global `rerank_factor × k` cut.
+    pub cut_candidates: usize,
+}
+
+/// Outcome of one cluster query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSearchOutcome {
+    /// The global top-k as `(stable id, INT8 rerank distance)`.
+    pub results: Vec<Neighbor>,
+    /// The winners' document chunks, aligned with `results`.
+    pub documents: Vec<Vec<u8>>,
+    /// Schedule-independent work accounting.
+    pub activity: ClusterActivity,
+    /// Modelled end-to-end latency: fan-out plus document phase.
+    pub latency: Nanos,
+    /// Modelled fan-out latency (max over hedged leaf completions).
+    pub fanout_latency: Nanos,
+    /// Modelled document-phase latency (max over owning leaves).
+    pub document_latency: Nanos,
+    /// Hedged duplicates launched by the straggler policy (schedule
+    /// dependent, deliberately outside [`ClusterActivity`]).
+    pub hedges_launched: usize,
+}
+
+impl ClusterSearchOutcome {
+    /// Queries per second the modelled latency corresponds to.
+    pub fn qps(&self) -> f64 {
+        let secs = self.latency.as_secs_f64();
+        if secs > 0.0 {
+            1.0 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// What cluster recovery found: the manifest epoch plus each leaf's own
+/// recovery report, in leaf order.
+#[derive(Debug)]
+pub struct ClusterRecovery {
+    /// Epoch recorded in the recovered manifest.
+    pub epoch: u64,
+    /// Per-leaf recovery reports.
+    pub leaves: Vec<RecoveryReport>,
+}
+
+/// The aggregator: N leaf systems behind one logical corpus.
+#[derive(Debug)]
+pub struct ClusterSystem {
+    config: ReisConfig,
+    leaves: Vec<ReisSystem>,
+    /// Per-leaf deployed database id (empty until `deploy_*`).
+    leaf_dbs: Vec<u32>,
+    router: ShardRouter,
+    latency: LatencyModel,
+    hedge: Option<HedgePolicy>,
+    manifest_vfs: Option<Box<dyn Vfs>>,
+    epoch: u64,
+    /// Query sequence number (the skew model's per-query key).
+    seq: u64,
+}
+
+impl ClusterSystem {
+    /// An in-memory cluster of `num_leaves` fresh leaves.
+    ///
+    /// # Errors
+    ///
+    /// [`ReisError::MalformedDatabase`] when `num_leaves` is zero.
+    pub fn new(config: ReisConfig, num_leaves: usize) -> Result<Self> {
+        let router = ShardRouter::new(num_leaves)?;
+        Ok(ClusterSystem {
+            config,
+            leaves: (0..num_leaves).map(|_| ReisSystem::new(config)).collect(),
+            leaf_dbs: Vec::new(),
+            router,
+            latency: LatencyModel::uniform(),
+            hedge: None,
+            manifest_vfs: None,
+            epoch: 0,
+            seq: 0,
+        })
+    }
+
+    /// Open a durable cluster: one snapshot/WAL store per leaf plus a VFS
+    /// holding the cluster manifest. A present manifest triggers full
+    /// recovery (each leaf from its own store, the router from the
+    /// manifest); an absent one opens every leaf fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates leaf recovery errors, and rejects a manifest whose leaf
+    /// count disagrees with `stores.len()`.
+    pub fn open(
+        config: ReisConfig,
+        stores: Vec<DurableStore>,
+        manifest_vfs: Box<dyn Vfs>,
+    ) -> Result<(Self, Option<ClusterRecovery>)> {
+        if stores.is_empty() {
+            return Err(ReisError::MalformedDatabase(
+                "a cluster needs at least one leaf store".into(),
+            ));
+        }
+        let num_leaves = stores.len();
+        if manifest_vfs.exists(MANIFEST_FILE) {
+            let bytes = manifest_vfs.read_file(MANIFEST_FILE)?;
+            let manifest = ClusterManifest::decode(&bytes, MANIFEST_FILE)?;
+            if manifest.num_leaves() != num_leaves {
+                return Err(PersistError::Malformed(format!(
+                    "manifest describes {} leaves but {num_leaves} stores were given",
+                    manifest.num_leaves()
+                ))
+                .into());
+            }
+            let mut leaves = Vec::with_capacity(num_leaves);
+            let mut reports = Vec::with_capacity(num_leaves);
+            for store in stores {
+                let (leaf, report) = ReisSystem::recover(config, store)?;
+                leaves.push(leaf);
+                reports.push(report);
+            }
+            // The id watermark is re-derived from the leaves: WAL replay may
+            // have carried inserts past the last manifest write.
+            let mut next_global = manifest.next_global;
+            for (leaf, &db_id) in leaves.iter().zip(&manifest.leaf_db_ids) {
+                next_global = next_global.max(leaf.next_stable_id(db_id)?);
+            }
+            let router =
+                ShardRouter::from_owners(manifest.initial_owners.clone(), num_leaves, next_global)?;
+            let cluster = ClusterSystem {
+                config,
+                leaves,
+                leaf_dbs: manifest.leaf_db_ids.clone(),
+                router,
+                latency: LatencyModel::uniform(),
+                hedge: None,
+                manifest_vfs: Some(manifest_vfs),
+                epoch: manifest.epoch,
+                seq: 0,
+            };
+            let recovery = ClusterRecovery {
+                epoch: manifest.epoch,
+                leaves: reports,
+            };
+            Ok((cluster, Some(recovery)))
+        } else {
+            let mut leaves = Vec::with_capacity(num_leaves);
+            for store in stores {
+                let (leaf, _) = ReisSystem::open(config, store)?;
+                leaves.push(leaf);
+            }
+            let router = ShardRouter::new(num_leaves)?;
+            let cluster = ClusterSystem {
+                config,
+                leaves,
+                leaf_dbs: Vec::new(),
+                router,
+                latency: LatencyModel::uniform(),
+                hedge: None,
+                manifest_vfs: Some(manifest_vfs),
+                epoch: 0,
+                seq: 0,
+            };
+            Ok((cluster, None))
+        }
+    }
+
+    /// Replace the skew model (chainable).
+    pub fn with_latency_model(mut self, model: LatencyModel) -> Self {
+        self.latency = model;
+        self
+    }
+
+    /// Replace the hedging policy (chainable; `None` disables hedging).
+    pub fn with_hedging(mut self, hedge: Option<HedgePolicy>) -> Self {
+        self.hedge = hedge;
+        self
+    }
+
+    /// Replace the skew model in place.
+    pub fn set_latency_model(&mut self, model: LatencyModel) {
+        self.latency = model;
+    }
+
+    /// Replace the hedging policy in place.
+    pub fn set_hedging(&mut self, hedge: Option<HedgePolicy>) {
+        self.hedge = hedge;
+    }
+
+    /// Deploy a flat corpus sharded across the leaves: union-fitted
+    /// quantizers, contiguous entry-order slices, global stable ids equal
+    /// to corpus positions — exactly the ids a single device would assign.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::deploy`], plus
+    /// [`ReisError::MalformedDatabase`] when the corpus has fewer entries
+    /// than the cluster has leaves or a corpus is already deployed.
+    pub fn deploy_flat(&mut self, vectors: &[Vec<f32>], documents: &[Vec<u8>]) -> Result<()> {
+        let union = VectorDatabase::flat(vectors, documents.to_vec())?;
+        self.deploy_sharded(&union, vectors, documents)
+    }
+
+    /// Deploy an IVF corpus sharded across the leaves: the union's
+    /// centroids are replicated to **every** leaf (so coarse search picks
+    /// identical probe sets everywhere) while the member lists split as
+    /// contiguous slices of the union's cluster-major storage order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterSystem::deploy_flat`].
+    pub fn deploy_ivf(
+        &mut self,
+        vectors: &[Vec<f32>],
+        documents: &[Vec<u8>],
+        nlist: usize,
+    ) -> Result<()> {
+        let union = VectorDatabase::ivf(vectors, documents.to_vec(), nlist)?;
+        self.deploy_sharded(&union, vectors, documents)
+    }
+
+    fn deploy_sharded(
+        &mut self,
+        union: &VectorDatabase,
+        vectors: &[Vec<f32>],
+        documents: &[Vec<u8>],
+    ) -> Result<()> {
+        if !self.leaf_dbs.is_empty() {
+            return Err(ReisError::MalformedDatabase(
+                "cluster already serves a deployed corpus".into(),
+            ));
+        }
+        let entries = vectors.len();
+        let num_leaves = self.leaves.len();
+        if entries < num_leaves {
+            return Err(ReisError::MalformedDatabase(format!(
+                "cannot shard {entries} entries across {num_leaves} leaves"
+            )));
+        }
+
+        // The union's storage order: entry order for flat, cluster-major
+        // for IVF. Slicing *this* order contiguously is what makes the
+        // lifted merge order coincide with the single-device scan order.
+        let order: Vec<usize> = match union.clusters() {
+            Some(info) => info.lists.iter().flatten().copied().collect(),
+            None => (0..entries).collect(),
+        };
+        let cluster_of: Option<Vec<usize>> = union.clusters().map(|info| {
+            let mut map = vec![0usize; entries];
+            for (cluster, members) in info.lists.iter().enumerate() {
+                for &member in members {
+                    map[member] = cluster;
+                }
+            }
+            map
+        });
+
+        // Every leaf must use the document slot size the *union* corpus
+        // would: the slot is a step function of the corpus's largest
+        // document, and per-leaf maxima can fall on the other side of the
+        // step.
+        let max_doc = documents.iter().map(Vec::len).max().unwrap_or(0);
+        let page = self.config.ssd.geometry.page_size_bytes;
+        let min_doc_slot = if max_doc + 4 <= DOC_SUBPAGE_BYTES {
+            DOC_SUBPAGE_BYTES.min(page)
+        } else {
+            page
+        };
+
+        let mut owners = vec![0u32; entries];
+        let mut leaf_dbs = Vec::with_capacity(num_leaves);
+        for (leaf_idx, range) in ShardRouter::slices(entries, num_leaves)
+            .into_iter()
+            .enumerate()
+        {
+            let slice = &order[range];
+            let ids: Vec<u32> = slice.iter().map(|&entry| entry as u32).collect();
+            for &entry in slice {
+                owners[entry] = leaf_idx as u32;
+            }
+            let leaf_vectors: Vec<Vec<f32>> =
+                slice.iter().map(|&entry| vectors[entry].clone()).collect();
+            let leaf_documents: Vec<Vec<u8>> = slice
+                .iter()
+                .map(|&entry| documents[entry].clone())
+                .collect();
+            let shard = match (union.clusters(), &cluster_of) {
+                (Some(info), Some(cluster_of)) => {
+                    let mut lists = vec![Vec::new(); info.nlist()];
+                    for (position, &entry) in slice.iter().enumerate() {
+                        lists[cluster_of[entry]].push(position);
+                    }
+                    VectorDatabase::ivf_with_clusters(
+                        &leaf_vectors,
+                        leaf_documents,
+                        union.binary_quantizer().clone(),
+                        union.int8_quantizer().clone(),
+                        ClusterInfo {
+                            centroids: info.centroids.clone(),
+                            lists,
+                        },
+                    )?
+                }
+                _ => VectorDatabase::flat_with_quantizers(
+                    &leaf_vectors,
+                    leaf_documents,
+                    union.binary_quantizer().clone(),
+                    union.int8_quantizer().clone(),
+                )?,
+            };
+            leaf_dbs.push(self.leaves[leaf_idx].deploy_with_ids(&shard, &ids, min_doc_slot)?);
+        }
+
+        self.leaf_dbs = leaf_dbs;
+        self.router.set_initial_owners(owners);
+        if self.manifest_vfs.is_some() {
+            self.write_manifest()?;
+        }
+        Ok(())
+    }
+
+    /// Brute-force top-k over the whole cluster.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::search`], plus
+    /// [`ReisError::MalformedDatabase`] before a corpus is deployed.
+    pub fn search(&mut self, query: &[f32], k: usize) -> Result<ClusterSearchOutcome> {
+        self.run(query, k, None)
+    }
+
+    /// IVF top-k probing `nprobe` clusters (the same clusters on every
+    /// leaf — they share the full centroid set).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::ivf_search_with_nprobe`], plus
+    /// [`ReisError::MalformedDatabase`] before a corpus is deployed.
+    pub fn ivf_search_with_nprobe(
+        &mut self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> Result<ClusterSearchOutcome> {
+        self.run(query, k, Some(nprobe))
+    }
+
+    /// Batched search: each query is fanned out and merged independently
+    /// (per-query outcomes, in request order). Every query advances the
+    /// skew model's sequence number exactly as the same queries issued
+    /// one at a time would, so batching never changes results *or*
+    /// modelled schedules.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterSystem::search`].
+    pub fn search_batch(
+        &mut self,
+        queries: &[Vec<f32>],
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Result<Vec<ClusterSearchOutcome>> {
+        queries.iter().map(|q| self.run(q, k, nprobe)).collect()
+    }
+
+    fn run(
+        &mut self,
+        query: &[f32],
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Result<ClusterSearchOutcome> {
+        if self.leaf_dbs.is_empty() {
+            return Err(ReisError::MalformedDatabase(
+                "cluster has no deployed corpus".into(),
+            ));
+        }
+        let seq = self.seq;
+        self.seq += 1;
+
+        // Scatter: every leaf runs the in-storage pipeline through the
+        // rerank and reports its full scored candidate set.
+        let mut per_leaf: Vec<Vec<LeafCandidate>> = Vec::with_capacity(self.leaves.len());
+        let mut activity = QueryActivity::default();
+        let mut budget = 0;
+        let mut fanout_latency = Nanos::ZERO;
+        let mut hedges_launched = 0;
+        for (leaf_idx, leaf) in self.leaves.iter_mut().enumerate() {
+            let outcome = leaf.leaf_query(self.leaf_dbs[leaf_idx], query, k, nprobe)?;
+            debug_assert!(
+                budget == 0 || budget == outcome.candidate_budget,
+                "leaves disagree on the candidate budget"
+            );
+            budget = outcome.candidate_budget;
+            let (completion, hedged) = leaf_completion(
+                &self.latency,
+                self.hedge,
+                leaf_idx,
+                seq,
+                outcome.latency.total(),
+            );
+            fanout_latency = fanout_latency.max(completion);
+            hedges_launched += usize::from(hedged);
+            activity.absorb(&outcome.activity);
+            per_leaf.push(outcome.candidates);
+        }
+
+        // Gather: replay the single-device cut and ranking over the union.
+        let merged = merge_top_k(&per_leaf, budget, k);
+        let results: Vec<Neighbor> = merged
+            .winners
+            .iter()
+            .map(|w| Neighbor::new(w.candidate.id as usize, w.candidate.raw as f32))
+            .collect();
+
+        // Fetch only the winners' chunks, each from its owning leaf, and
+        // splice them back into global rank order.
+        let mut documents: Vec<Vec<u8>> = vec![Vec::new(); results.len()];
+        let mut document_latency = Nanos::ZERO;
+        for leaf_idx in 0..self.leaves.len() {
+            let wanted: Vec<usize> = merged
+                .winners
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.leaf == leaf_idx)
+                .map(|(rank, _)| rank)
+                .collect();
+            if wanted.is_empty() {
+                continue;
+            }
+            let neighbors: Vec<Neighbor> = wanted.iter().map(|&rank| results[rank]).collect();
+            let fetched =
+                self.leaves[leaf_idx].leaf_fetch_documents(self.leaf_dbs[leaf_idx], &neighbors)?;
+            document_latency = document_latency
+                .max(fetched.latency + self.latency.delay(leaf_idx, seq, DOC_ATTEMPT));
+            for (rank, chunk) in wanted.into_iter().zip(fetched.documents) {
+                documents[rank] = chunk;
+            }
+        }
+        activity.documents = results.len();
+
+        Ok(ClusterSearchOutcome {
+            results,
+            documents,
+            activity: ClusterActivity {
+                activity,
+                leaves: self.leaves.len(),
+                merged_candidates: merged.merged_candidates,
+                cut_candidates: merged.cut_candidates,
+            },
+            latency: fanout_latency + document_latency,
+            fanout_latency,
+            document_latency,
+            hedges_launched,
+        })
+    }
+
+    /// Insert one entry; returns its globally assigned stable id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::insert`].
+    pub fn insert(&mut self, vector: &[f32], document: Vec<u8>) -> Result<u32> {
+        let ids = self.insert_batch(std::slice::from_ref(&vector.to_vec()), vec![document])?;
+        Ok(ids[0])
+    }
+
+    /// Insert a batch; global ids are minted consecutively and each entry
+    /// is routed to (and natively stored under its global id by) its
+    /// owning leaf.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::insert_batch`].
+    pub fn insert_batch(
+        &mut self,
+        vectors: &[Vec<f32>],
+        documents: Vec<Vec<u8>>,
+    ) -> Result<Vec<u32>> {
+        if self.leaf_dbs.is_empty() {
+            return Err(ReisError::MalformedDatabase(
+                "cluster has no deployed corpus".into(),
+            ));
+        }
+        if vectors.len() != documents.len() {
+            return Err(ReisError::MalformedDatabase(format!(
+                "{} vectors but {} documents in cluster insert",
+                vectors.len(),
+                documents.len()
+            )));
+        }
+        let ids = self.router.assign(vectors.len());
+        type RoutedBatch = (Vec<u32>, Vec<Vec<f32>>, Vec<Vec<u8>>);
+        let mut routed: Vec<RoutedBatch> = vec![Default::default(); self.leaves.len()];
+        for ((id, vector), document) in ids.iter().zip(vectors).zip(documents) {
+            let leaf = self.router.owner(*id);
+            routed[leaf].0.push(*id);
+            routed[leaf].1.push(vector.clone());
+            routed[leaf].2.push(document);
+        }
+        for (leaf_idx, (leaf_ids, leaf_vectors, leaf_documents)) in routed.into_iter().enumerate() {
+            if leaf_ids.is_empty() {
+                continue;
+            }
+            self.leaves[leaf_idx].insert_batch_at(
+                self.leaf_dbs[leaf_idx],
+                &leaf_ids,
+                &leaf_vectors,
+                leaf_documents,
+            )?;
+        }
+        Ok(ids)
+    }
+
+    /// Delete stable id `id` from its owning leaf.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::delete`].
+    pub fn delete(&mut self, id: u32) -> Result<MutationOutcome> {
+        let leaf = self.owning_leaf(id)?;
+        self.leaves[leaf].delete(self.leaf_dbs[leaf], id)
+    }
+
+    /// Upsert stable id `id` in place on its owning leaf.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::upsert`].
+    pub fn upsert(&mut self, id: u32, vector: &[f32], document: &[u8]) -> Result<MutationOutcome> {
+        let leaf = self.owning_leaf(id)?;
+        self.leaves[leaf].upsert(self.leaf_dbs[leaf], id, vector, document)
+    }
+
+    /// Compact every leaf, in leaf order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::compact`].
+    pub fn compact(&mut self) -> Result<Vec<CompactionOutcome>> {
+        if self.leaf_dbs.is_empty() {
+            return Err(ReisError::MalformedDatabase(
+                "cluster has no deployed corpus".into(),
+            ));
+        }
+        (0..self.leaves.len())
+            .map(|leaf| self.leaves[leaf].compact(self.leaf_dbs[leaf]))
+            .collect()
+    }
+
+    /// Checkpoint the whole cluster: every leaf saves a snapshot, then the
+    /// manifest is rewritten under a bumped epoch. Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ReisError::Persist`] when the cluster was not opened durably, or
+    /// on storage failure.
+    pub fn save(&mut self) -> Result<u64> {
+        if self.manifest_vfs.is_none() {
+            return Err(ReisError::Persist(PersistError::Malformed(
+                "save() requires a durably opened cluster (see ClusterSystem::open)".into(),
+            )));
+        }
+        for leaf in &mut self.leaves {
+            leaf.save()?;
+        }
+        self.epoch += 1;
+        self.write_manifest()?;
+        Ok(self.epoch)
+    }
+
+    fn write_manifest(&self) -> Result<()> {
+        let vfs = self
+            .manifest_vfs
+            .as_ref()
+            .expect("write_manifest is only called on durable clusters");
+        let manifest = ClusterManifest {
+            epoch: self.epoch,
+            leaf_db_ids: self.leaf_dbs.clone(),
+            next_global: self.router.next_global(),
+            initial_owners: self.router.initial_owners().to_vec(),
+        };
+        vfs.write_file(MANIFEST_FILE, &manifest.encode())?;
+        Ok(())
+    }
+
+    fn owning_leaf(&self, id: u32) -> Result<usize> {
+        if self.leaf_dbs.is_empty() {
+            return Err(ReisError::MalformedDatabase(
+                "cluster has no deployed corpus".into(),
+            ));
+        }
+        Ok(self.router.owner(id))
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The shard router (owner map and id watermark).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The manifest epoch of the last save (0 before any).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Borrow leaf `leaf` (tests inspect per-leaf state through this).
+    pub fn leaf(&self, leaf: usize) -> &ReisSystem {
+        &self.leaves[leaf]
+    }
+
+    /// The database id leaf `leaf` serves the shard under.
+    pub fn leaf_db_id(&self, leaf: usize) -> Option<u32> {
+        self.leaf_dbs.get(leaf).copied()
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ReisConfig {
+        &self.config
+    }
+}

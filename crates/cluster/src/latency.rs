@@ -1,0 +1,164 @@
+//! Modelled per-leaf latency skew and hedged requests.
+//!
+//! Real scale-out deployments see *stragglers*: one leaf's answer arrives
+//! late because of queueing, garbage collection or a slow link, and the
+//! aggregator's fan-out latency is the **max** over leaf completions. The
+//! standard mitigation is the hedged request: if a leaf has not answered
+//! by a deadline, dispatch a duplicate to a replica and take whichever
+//! answer lands first.
+//!
+//! Everything here is *modelled time*, deterministic under a seed — the
+//! leaf's in-storage work is computed exactly once, and the skew draws
+//! only decide how long that work is *deemed* to take. Because primary and
+//! hedge would execute the identical deterministic pipeline, the merged
+//! results are bit-identical no matter which replica "wins"; only the
+//! reported completion time differs. The scale-out test suite pins this
+//! down by sweeping schedules where the hedge wins, loses and ties.
+
+use reis_nand::Nanos;
+use reis_persist::splitmix64;
+
+/// Seeded per-leaf latency skew: every `(leaf, query, attempt)` triple maps
+/// to one deterministic delay draw in `base_ns + [0, jitter_ns)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    seed: u64,
+    base_ns: u64,
+    jitter_ns: u64,
+}
+
+impl LatencyModel {
+    /// No skew at all: every draw is zero (the default for bit-identity
+    /// tests, where modelled time is irrelevant).
+    pub const fn uniform() -> Self {
+        LatencyModel {
+            seed: 0,
+            base_ns: 0,
+            jitter_ns: 0,
+        }
+    }
+
+    /// A skew model drawing `base_ns + [0, jitter_ns)` under `seed`.
+    pub const fn new(seed: u64, base_ns: u64, jitter_ns: u64) -> Self {
+        LatencyModel {
+            seed,
+            base_ns,
+            jitter_ns,
+        }
+    }
+
+    /// The delay of attempt `attempt` of query `seq` on `leaf`.
+    /// Deterministic: same triple, same seed, same draw.
+    pub fn delay(&self, leaf: usize, seq: u64, attempt: u32) -> Nanos {
+        if self.jitter_ns == 0 {
+            return Nanos::from_nanos(self.base_ns);
+        }
+        let mut state = self
+            .seed
+            .wrapping_add((leaf as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+            .wrapping_add(seq.wrapping_mul(0x9FB2_1C65_1E98_DF25))
+            .wrapping_add((attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        Nanos::from_nanos(self.base_ns + splitmix64(&mut state) % self.jitter_ns)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::uniform()
+    }
+}
+
+/// Hedged-request policy: when a leaf's primary completion (compute plus
+/// skew) overshoots `deadline`, a duplicate is dispatched at the deadline
+/// and the leaf completes at the earlier of the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// Time after fan-out at which a straggling leaf is hedged.
+    pub deadline: Nanos,
+}
+
+impl HedgePolicy {
+    /// A policy hedging after `deadline`.
+    pub const fn new(deadline: Nanos) -> Self {
+        HedgePolicy { deadline }
+    }
+}
+
+/// One leaf's modelled completion of one fanned-out request: compute time
+/// plus the primary skew draw, hedged against `deadline + compute + hedge
+/// draw` when the policy says so. Returns the completion time and whether
+/// a hedge was launched.
+pub(crate) fn leaf_completion(
+    model: &LatencyModel,
+    hedge: Option<HedgePolicy>,
+    leaf: usize,
+    seq: u64,
+    compute: Nanos,
+) -> (Nanos, bool) {
+    let primary = compute + model.delay(leaf, seq, 0);
+    match hedge {
+        Some(policy) if primary > policy.deadline => {
+            let duplicate = policy.deadline + compute + model.delay(leaf, seq, 1);
+            (primary.min(duplicate), true)
+        }
+        _ => (primary, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_bounded() {
+        let model = LatencyModel::new(42, 1_000, 5_000);
+        for leaf in 0..4 {
+            for seq in 0..16u64 {
+                for attempt in 0..2 {
+                    let a = model.delay(leaf, seq, attempt);
+                    let b = model.delay(leaf, seq, attempt);
+                    assert_eq!(a, b);
+                    assert!(a >= Nanos::from_nanos(1_000));
+                    assert!(a < Nanos::from_nanos(6_000));
+                }
+            }
+        }
+        // Distinct triples actually vary.
+        let distinct: std::collections::BTreeSet<u64> = (0..16u64)
+            .map(|seq| model.delay(0, seq, 0).as_nanos())
+            .collect();
+        assert!(distinct.len() > 8, "jitter draws look constant");
+    }
+
+    #[test]
+    fn uniform_model_is_zero() {
+        let model = LatencyModel::uniform();
+        assert_eq!(model.delay(3, 99, 1), Nanos::ZERO);
+    }
+
+    #[test]
+    fn hedge_fires_only_past_deadline_and_takes_the_min() {
+        let compute = Nanos::from_micros(10);
+        // Huge jitter forces the primary past a tight deadline.
+        let model = LatencyModel::new(7, 100_000, 1);
+        let policy = HedgePolicy::new(Nanos::from_micros(50));
+        let (hedged, launched) = leaf_completion(&model, Some(policy), 0, 0, compute);
+        assert!(launched);
+        // The leaf completes at the earlier of the primary and the
+        // duplicate dispatched at the deadline.
+        let primary = compute + model.delay(0, 0, 0);
+        let duplicate = policy.deadline + compute + model.delay(0, 0, 1);
+        assert_eq!(hedged, primary.min(duplicate));
+
+        // A generous deadline never hedges.
+        let policy = HedgePolicy::new(Nanos::from_millis(10));
+        let (relaxed, launched) = leaf_completion(&model, Some(policy), 0, 0, compute);
+        assert!(!launched);
+        assert_eq!(relaxed, compute + model.delay(0, 0, 0));
+
+        // No policy, no hedge.
+        let (bare, launched) = leaf_completion(&model, None, 0, 0, compute);
+        assert!(!launched);
+        assert_eq!(bare, relaxed);
+    }
+}

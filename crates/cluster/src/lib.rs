@@ -1,0 +1,35 @@
+//! # reis-cluster — aggregator–leaf scale-out over N REIS devices
+//!
+//! One logical corpus, partitioned across N independent leaf
+//! [`ReisSystem`](reis_core::ReisSystem) instances behind an aggregator
+//! that fans queries out, merges per-leaf answers and routes mutations to
+//! the owning leaf. The headline property is **bit-identity**: for any
+//! leaf count, the cluster's search results, retrieved documents and
+//! summed transferred-entry accounting equal a single-device deployment
+//! of the union corpus (see `crates/core/tests/scaleout.rs`).
+//!
+//! * [`router`] — deterministic document sharding: contiguous slices of
+//!   the union's storage order, an owner map for deploy-time ids and
+//!   round-robin routing for later inserts.
+//! * [`merge`] — the exact scatter–gather merge: the single-device
+//!   candidate cut and top-k rules replayed over the union of leaf
+//!   candidate sets under the lifted `(distance, leaf, storage index)`
+//!   order.
+//! * [`latency`] — modelled per-leaf latency skew (seeded, deterministic)
+//!   and hedged duplicate requests for straggler tolerance.
+//! * [`cluster`] — [`ClusterSystem`], the aggregator itself: deploy,
+//!   search, batched search, mutation routing, per-leaf durability and
+//!   cluster-manifest recovery.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod latency;
+pub mod merge;
+pub mod router;
+
+pub use cluster::{ClusterActivity, ClusterRecovery, ClusterSearchOutcome, ClusterSystem};
+pub use latency::{HedgePolicy, LatencyModel};
+pub use merge::{merge_top_k, MergeOutcome, RankedCandidate};
+pub use router::ShardRouter;

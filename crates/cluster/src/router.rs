@@ -1,0 +1,194 @@
+//! Deterministic document sharding.
+//!
+//! The router answers two questions: *which leaf holds stable id `x`*, and
+//! *which global ids a new batch of inserts receives*. Both must be pure
+//! functions of durable state so that recovery — and any re-execution of
+//! the same mutation trace — routes identically.
+//!
+//! Deploy-time ids are assigned by slicing the union corpus's **storage
+//! order** (entry order for a flat database, cluster-major order for IVF)
+//! into one contiguous, near-even slice per leaf; the resulting
+//! id-to-leaf map is the manifest's `initial_owners` section. Ids minted
+//! later for online inserts carry no placement history, so they route
+//! arithmetically: id `x` lives on leaf `x mod N`.
+
+use reis_core::{ReisError, Result};
+use std::ops::Range;
+
+/// Deterministic shard map of one cluster deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    num_leaves: usize,
+    /// Owning leaf of each deploy-time stable id (`initial_owners[id]`).
+    initial_owners: Vec<u32>,
+    /// Next unassigned global stable id.
+    next_global: u32,
+}
+
+impl ShardRouter {
+    /// An empty router over `num_leaves` leaves (no corpus deployed yet).
+    ///
+    /// # Errors
+    ///
+    /// [`ReisError::MalformedDatabase`] when `num_leaves` is zero.
+    pub fn new(num_leaves: usize) -> Result<Self> {
+        if num_leaves == 0 {
+            return Err(ReisError::MalformedDatabase(
+                "a cluster needs at least one leaf".into(),
+            ));
+        }
+        Ok(ShardRouter {
+            num_leaves,
+            initial_owners: Vec::new(),
+            next_global: 0,
+        })
+    }
+
+    /// Rebuild a router from recovered durable state: the manifest's owner
+    /// map plus the id watermark re-derived from the leaves.
+    ///
+    /// # Errors
+    ///
+    /// [`ReisError::MalformedDatabase`] when the owner map names a leaf
+    /// outside `0..num_leaves` or the watermark precedes the initial
+    /// corpus.
+    pub fn from_owners(
+        initial_owners: Vec<u32>,
+        num_leaves: usize,
+        next_global: u32,
+    ) -> Result<Self> {
+        if num_leaves == 0 {
+            return Err(ReisError::MalformedDatabase(
+                "a cluster needs at least one leaf".into(),
+            ));
+        }
+        if let Some(&bad) = initial_owners
+            .iter()
+            .find(|&&leaf| leaf as usize >= num_leaves)
+        {
+            return Err(ReisError::MalformedDatabase(format!(
+                "owner map names leaf {bad} of a {num_leaves}-leaf cluster"
+            )));
+        }
+        if (next_global as usize) < initial_owners.len() {
+            return Err(ReisError::MalformedDatabase(format!(
+                "next_global {next_global} precedes the {}-entry initial corpus",
+                initial_owners.len()
+            )));
+        }
+        Ok(ShardRouter {
+            num_leaves,
+            initial_owners,
+            next_global,
+        })
+    }
+
+    /// Contiguous, near-even slices of `entries` storage positions over
+    /// `num_leaves` leaves: the first `entries % num_leaves` slices get one
+    /// extra entry. Pure and order-preserving, so the concatenation of the
+    /// slices is the identity over `0..entries`.
+    pub fn slices(entries: usize, num_leaves: usize) -> Vec<Range<usize>> {
+        let base = entries / num_leaves.max(1);
+        let extra = entries % num_leaves.max(1);
+        let mut start = 0;
+        (0..num_leaves)
+            .map(|leaf| {
+                let len = base + usize::from(leaf < extra);
+                let range = start..start + len;
+                start += len;
+                range
+            })
+            .collect()
+    }
+
+    /// Record the deploy-time owner map (called once, at deployment).
+    pub(crate) fn set_initial_owners(&mut self, owners: Vec<u32>) {
+        self.next_global = self.next_global.max(owners.len() as u32);
+        self.initial_owners = owners;
+    }
+
+    /// The leaf holding stable id `id`: the owner map for deploy-time ids,
+    /// round-robin `id mod N` for ids minted by later inserts.
+    pub fn owner(&self, id: u32) -> usize {
+        match self.initial_owners.get(id as usize) {
+            Some(&leaf) => leaf as usize,
+            None => id as usize % self.num_leaves,
+        }
+    }
+
+    /// Mint `count` fresh global stable ids (consecutive, ascending).
+    pub fn assign(&mut self, count: usize) -> Vec<u32> {
+        let first = self.next_global;
+        self.next_global += count as u32;
+        (first..self.next_global).collect()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The deploy-time owner map (`initial_owners[id]` is a leaf index).
+    pub fn initial_owners(&self) -> &[u32] {
+        &self.initial_owners
+    }
+
+    /// The next unassigned global stable id.
+    pub fn next_global(&self) -> u32 {
+        self.next_global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_are_contiguous_even_and_exhaustive() {
+        for entries in [0usize, 1, 7, 8, 9, 100] {
+            for leaves in [1usize, 2, 3, 5, 8] {
+                let slices = ShardRouter::slices(entries, leaves);
+                assert_eq!(slices.len(), leaves);
+                let mut next = 0;
+                for range in &slices {
+                    assert_eq!(range.start, next);
+                    next = range.end;
+                }
+                assert_eq!(next, entries);
+                let sizes: Vec<usize> = slices.iter().map(|r| r.len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "uneven split {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_uses_map_then_round_robin() {
+        let mut router = ShardRouter::new(3).unwrap();
+        router.set_initial_owners(vec![2, 2, 0, 1]);
+        assert_eq!(router.owner(0), 2);
+        assert_eq!(router.owner(3), 1);
+        // Ids past the initial corpus route arithmetically.
+        assert_eq!(router.owner(4), 1);
+        assert_eq!(router.owner(5), 2);
+        assert_eq!(router.owner(6), 0);
+    }
+
+    #[test]
+    fn assign_mints_consecutive_ids_past_the_corpus() {
+        let mut router = ShardRouter::new(2).unwrap();
+        router.set_initial_owners(vec![0, 1, 0]);
+        assert_eq!(router.assign(2), vec![3, 4]);
+        assert_eq!(router.assign(1), vec![5]);
+        assert_eq!(router.next_global(), 6);
+    }
+
+    #[test]
+    fn invalid_recovered_state_is_rejected() {
+        assert!(ShardRouter::new(0).is_err());
+        assert!(ShardRouter::from_owners(vec![3], 3, 1).is_err());
+        assert!(ShardRouter::from_owners(vec![0, 1], 2, 1).is_err());
+        assert!(ShardRouter::from_owners(vec![0, 1], 2, 2).is_ok());
+    }
+}

@@ -327,6 +327,17 @@ fn apply_record(system: &mut ReisSystem, record: WalRecord) -> Result<bool> {
         WalRecord::Compact { db_id } => {
             system.compact_inner(db_id)?;
         }
+        WalRecord::InsertBatchAt {
+            db_id,
+            vectors,
+            documents,
+            ids,
+        } => {
+            // The recorded ids are authoritative (the aggregator chose
+            // them); replay re-applies the assignment verbatim, and the
+            // routed-insert path re-validates freshness and uniqueness.
+            system.insert_batch_at_inner(db_id, &ids, &vectors, documents)?;
+        }
     }
     Ok(true)
 }

@@ -67,6 +67,7 @@ use reis_update::OOB_INVALID_RADR;
 use crate::config::ReisConfig;
 use crate::deploy::DeployedDatabase;
 use crate::error::{ReisError, Result};
+use crate::leaf::LeafCandidate;
 use crate::perf::QueryActivity;
 use crate::records::{TemporalTopList, TtlEntry};
 
@@ -1194,6 +1195,84 @@ impl<'a> InStorageEngine<'a> {
             .map(|c| Neighbor::new(c.dadr as usize, c.raw as f32))
             .collect();
         Ok((top, pages_read))
+    }
+
+    /// Rerank *every* fine-search candidate and return the full scored set
+    /// instead of a top-k cut — the leaf half of the scale-out protocol
+    /// (see `crate::leaf`). The aggregator needs each candidate's binary
+    /// scan distance (to reproduce the single-device candidate cut
+    /// globally) *and* its INT8 raw distance (to reproduce the final
+    /// ranking), so both are returned per candidate, together with the
+    /// stable id. INT8 pages are read in page order exactly like
+    /// [`InStorageEngine::rerank`]; the returned set is ordered by the
+    /// leaf-local `(binary distance, storage index)` total order.
+    pub fn rerank_all(
+        &mut self,
+        db: &DeployedDatabase,
+        query_int8: &Int8Vector,
+    ) -> Result<(Vec<LeafCandidate>, usize)> {
+        let layout = db.layout;
+        let base_capacity = db.updates.base_capacity;
+        let candidate_count = self.scratch.candidate_count;
+        let ScanScratch {
+            ttl,
+            order,
+            page_buf,
+            page_oob,
+            ..
+        } = &mut *self.scratch;
+        let candidates = ttl.top(candidate_count);
+
+        // Resolve a candidate's INT8 page: `(region, page, slot)`.
+        let locate = |candidate: &TtlEntry| -> (StripedRegion, usize, usize) {
+            if candidate.radr < base_capacity {
+                let (page, slot) = layout.int8_location(candidate.radr as usize);
+                (db.record.int8_region, page, slot)
+            } else {
+                let entry = db
+                    .updates
+                    .store
+                    .entry(candidate.radr - base_capacity)
+                    .expect("candidate segment entry exists");
+                (entry.int8.region, entry.int8.page, entry.int8.slot)
+            }
+        };
+
+        order.clear();
+        order.extend(0..candidates.len());
+        order.sort_unstable_by_key(|&i| {
+            let (region, page, _) = locate(&candidates[i]);
+            (region.start, page)
+        });
+
+        let mut scored: Vec<LeafCandidate> = Vec::with_capacity(candidates.len());
+        let mut pages_read = 0usize;
+        let mut current: Option<(usize, usize)> = None;
+        for &i in order.iter() {
+            let candidate = &candidates[i];
+            let (region, page, slot) = locate(candidate);
+            if current != Some((region.start, page)) {
+                self.ssd.read_region_page_into(
+                    &region,
+                    page,
+                    RegionKind::Int8Embeddings,
+                    page_buf,
+                    page_oob,
+                )?;
+                current = Some((region.start, page));
+                pages_read += 1;
+            }
+            let start = slot * layout.int8_bytes;
+            let raw = query_int8.squared_l2_raw(&page_buf[start..start + layout.int8_bytes]);
+            scored.push(LeafCandidate {
+                binary: candidate.distance,
+                storage_index: candidate.storage_index,
+                id: candidate.dadr,
+                raw,
+            });
+        }
+        scored.sort_unstable_by_key(|c| (c.binary, c.storage_index));
+        Ok((scored, pages_read))
     }
 
     /// Document identification and retrieval: read the chunks of the top-k

@@ -60,6 +60,7 @@ pub mod engine;
 pub mod error;
 mod fused;
 pub mod layout;
+pub mod leaf;
 pub mod mutate;
 pub mod perf;
 pub mod records;
@@ -71,7 +72,8 @@ pub use deploy::DeployedDatabase;
 pub use durable::{RecoveryReport, WalQuarantine};
 pub use energy::{EnergyBreakdown, EnergyModel, EnergyParams};
 pub use error::{ReisError, Result};
-pub use layout::LayoutPlan;
+pub use layout::{LayoutPlan, DOC_SUBPAGE_BYTES};
+pub use leaf::{LeafCandidate, LeafDocumentsOutcome, LeafQueryOutcome};
 pub use mutate::{CompactionOutcome, MutationOutcome};
 pub use perf::{LatencyBreakdown, PerfModel, QueryActivity};
 pub use records::{RIvf, RIvfEntry, TemporalTopList, TtlEntry};

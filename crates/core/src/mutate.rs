@@ -410,6 +410,59 @@ pub(crate) fn insert_batch(
     Ok((ids, latency + append_latency, pages))
 }
 
+/// Insert a batch of entries under *caller-chosen* stable ids (the cluster
+/// router uses this so each leaf stores the globally assigned id natively).
+/// Every id must be fresh — at or past the database's next unassigned id —
+/// and the batch must not repeat an id; `next_id` advances past the largest
+/// inserted id so later upserts and plain inserts stay collision-free.
+/// Returns the flash latency and the pages programmed.
+pub(crate) fn insert_batch_at(
+    ssd: &mut SsdController,
+    db: &mut DeployedDatabase,
+    ids: &[u32],
+    vectors: &[Vec<f32>],
+    documents: &[Vec<u8>],
+) -> Result<(Nanos, usize)> {
+    if ids.len() != vectors.len() {
+        return Err(ReisError::MalformedDatabase(format!(
+            "{} stable ids for {} vectors in routed insert batch",
+            ids.len(),
+            vectors.len()
+        )));
+    }
+    for &id in ids {
+        if id < db.updates.next_id {
+            return Err(ReisError::MalformedDatabase(format!(
+                "stable id {id} is not fresh (next unassigned id is {})",
+                db.updates.next_id
+            )));
+        }
+    }
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return Err(ReisError::MalformedDatabase(
+            "routed insert batch repeats a stable id".to_string(),
+        ));
+    }
+    let (binaries, int8s) = encode_batch(db, vectors, documents)?;
+    let mut latency = Nanos::ZERO;
+    let mut clusters = Vec::with_capacity(binaries.len());
+    for binary in &binaries {
+        let (cluster, scan_latency) = nearest_cluster(ssd, db, binary)?;
+        clusters.push(cluster);
+        latency += scan_latency;
+    }
+    let appended = append_entries(ssd, db, ids, &binaries, &int8s, documents, &clusters);
+    let (append_latency, pages) = appended?;
+    if let Some(&max_id) = sorted.last() {
+        db.updates.next_id = db.updates.next_id.max(max_id + 1);
+    }
+    db.updates.stats.inserts += vectors.len() as u64;
+    account_update_state(ssd, db)?;
+    Ok((latency + append_latency, pages))
+}
+
 /// Tombstone the live version of `id`.
 pub(crate) fn delete_entry(
     ssd: &mut SsdController,

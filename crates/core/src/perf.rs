@@ -53,6 +53,44 @@ pub struct QueryActivity {
     pub doc_slot_bytes: usize,
 }
 
+impl QueryActivity {
+    /// Fold another query's counters into this one — the scale-out
+    /// aggregator uses this to report cluster-wide activity as the sum of
+    /// its leaves' work. The geometry descriptors (slot bytes,
+    /// dimensionality) are not additive: they must agree across the merged
+    /// activities and the receiver's are kept (a zero-valued receiver, as
+    /// `QueryActivity::default()` produces, adopts the other side's).
+    pub fn absorb(&mut self, other: &QueryActivity) {
+        debug_assert!(
+            self.embedding_slot_bytes == 0
+                || other.embedding_slot_bytes == 0
+                || self.embedding_slot_bytes == other.embedding_slot_bytes,
+            "merging activities of different embedding layouts"
+        );
+        debug_assert!(
+            self.dim == 0 || other.dim == 0 || self.dim == other.dim,
+            "merging activities of different dimensionalities"
+        );
+        self.coarse_pages += other.coarse_pages;
+        self.coarse_entries += other.coarse_entries;
+        self.fine_pages += other.fine_pages;
+        self.fine_entries += other.fine_entries;
+        self.fine_windows += other.fine_windows;
+        self.rerank_candidates += other.rerank_candidates;
+        self.int8_pages += other.int8_pages;
+        self.documents += other.documents;
+        if self.embedding_slot_bytes == 0 {
+            self.embedding_slot_bytes = other.embedding_slot_bytes;
+        }
+        if self.dim == 0 {
+            self.dim = other.dim;
+        }
+        if self.doc_slot_bytes == 0 {
+            self.doc_slot_bytes = other.doc_slot_bytes;
+        }
+    }
+}
+
 /// Per-phase latency of one query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyBreakdown {

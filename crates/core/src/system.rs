@@ -555,7 +555,7 @@ impl ReisSystem {
     /// runs before the store is re-attached). An I/O failure here surfaces
     /// as an error *after* the in-memory mutation applied; the next
     /// successful [`ReisSystem::save`] re-establishes durability.
-    fn log_wal(&mut self, record: WalRecord) -> Result<()> {
+    pub(crate) fn log_wal(&mut self, record: WalRecord) -> Result<()> {
         if let Some(durability) = self.durability.as_mut() {
             durability.append(&record)?;
         }
@@ -564,7 +564,7 @@ impl ReisSystem {
 
     /// Run the configured [`CompactionPolicy`](reis_update::CompactionPolicy)
     /// against a database's current shape, compacting if it says so.
-    fn maybe_auto_compact(&mut self, db_id: u32) -> Result<Option<CompactionOutcome>> {
+    pub(crate) fn maybe_auto_compact(&mut self, db_id: u32) -> Result<Option<CompactionOutcome>> {
         let db = self
             .databases
             .get(&db_id)

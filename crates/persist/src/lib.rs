@@ -36,6 +36,7 @@
 
 pub mod error;
 pub mod fault;
+pub mod manifest;
 pub mod snapshot;
 pub mod store;
 pub mod vfs;
@@ -44,6 +45,7 @@ pub mod wire;
 
 pub use error::PersistError;
 pub use fault::{splitmix64, FaultHandle, FaultVfs};
+pub use manifest::ClusterManifest;
 pub use snapshot::{SnapshotBuilder, SnapshotReader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use store::DurableStore;
 pub use vfs::{DirVfs, MemVfs, Vfs};

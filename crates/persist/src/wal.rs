@@ -32,6 +32,7 @@ const OP_INSERT_BATCH: u8 = 1;
 const OP_DELETE: u8 = 2;
 const OP_UPSERT: u8 = 3;
 const OP_COMPACT: u8 = 4;
+const OP_INSERT_BATCH_AT: u8 = 5;
 
 /// One durable mutation record.
 ///
@@ -75,6 +76,20 @@ pub enum WalRecord {
         /// Target deployed database.
         db_id: u32,
     },
+    /// A batch insert at *caller-chosen* stable ids (cluster routing uses
+    /// this so every leaf stores the globally assigned id natively).
+    /// Unlike [`WalRecord::InsertBatch`], replay takes the recorded ids as
+    /// authoritative instead of cross-checking a re-derivation.
+    InsertBatchAt {
+        /// Target deployed database.
+        db_id: u32,
+        /// One embedding per inserted entry.
+        vectors: Vec<Vec<f32>>,
+        /// One document chunk per inserted entry.
+        documents: Vec<Vec<u8>>,
+        /// The caller-chosen stable ids, in batch order.
+        ids: Vec<u32>,
+    },
 }
 
 impl WalRecord {
@@ -84,7 +99,8 @@ impl WalRecord {
             WalRecord::InsertBatch { db_id, .. }
             | WalRecord::Delete { db_id, .. }
             | WalRecord::Upsert { db_id, .. }
-            | WalRecord::Compact { db_id } => *db_id,
+            | WalRecord::Compact { db_id }
+            | WalRecord::InsertBatchAt { db_id, .. } => *db_id,
         }
     }
 
@@ -130,6 +146,23 @@ impl WalRecord {
                 w.put_u8(OP_COMPACT);
                 w.put_u32(*db_id);
             }
+            WalRecord::InsertBatchAt {
+                db_id,
+                vectors,
+                documents,
+                ids,
+            } => {
+                assert_eq!(vectors.len(), documents.len(), "one document per vector");
+                assert_eq!(vectors.len(), ids.len(), "one chosen id per vector");
+                w.put_u8(OP_INSERT_BATCH_AT);
+                w.put_u32(*db_id);
+                w.put_u32(vectors.len() as u32);
+                for ((vector, document), id) in vectors.iter().zip(documents).zip(ids) {
+                    w.put_f32_slice(vector);
+                    w.put_bytes(document);
+                    w.put_u32(*id);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -169,6 +202,23 @@ impl WalRecord {
                 document: r.get_bytes()?.to_vec(),
             },
             OP_COMPACT => WalRecord::Compact { db_id },
+            OP_INSERT_BATCH_AT => {
+                let count = r.get_u32()? as usize;
+                let mut vectors = Vec::with_capacity(count.min(payload.len()));
+                let mut documents = Vec::with_capacity(count.min(payload.len()));
+                let mut ids = Vec::with_capacity(count.min(payload.len()));
+                for _ in 0..count {
+                    vectors.push(r.get_f32_vec()?);
+                    documents.push(r.get_bytes()?.to_vec());
+                    ids.push(r.get_u32()?);
+                }
+                WalRecord::InsertBatchAt {
+                    db_id,
+                    vectors,
+                    documents,
+                    ids,
+                }
+            }
             other => {
                 return Err(PersistError::Malformed(format!(
                     "unknown WAL opcode {other}"
@@ -316,6 +366,12 @@ mod tests {
                 document: b"replacement".to_vec(),
             },
             WalRecord::Compact { db_id: 2 },
+            WalRecord::InsertBatchAt {
+                db_id: 1,
+                vectors: vec![vec![1.5, -2.0]],
+                documents: vec![b"routed doc".to_vec()],
+                ids: vec![42],
+            },
         ]
     }
 

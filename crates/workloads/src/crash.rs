@@ -91,6 +91,63 @@ impl CrashSchedule {
     }
 }
 
+/// Per-leaf crash points for a scale-out cluster: one [`CrashSchedule`]
+/// over each leaf's own write stream, derived from one seed so a failing
+/// `(leaf, point)` pair replays exactly. A cluster crash property is
+/// quantified over *which* leaf dies as well as where in its stream — the
+/// other leaves' durable state must be unaffected by the victim's torn
+/// tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafCrashSchedule {
+    schedules: Vec<CrashSchedule>,
+}
+
+impl LeafCrashSchedule {
+    /// A schedule per leaf, covering each leaf's `[0, leaf_totals[l]]`
+    /// stream with `samples` seeded interior points (the per-leaf seed is
+    /// derived from `seed` and the leaf index).
+    pub fn covering(leaf_totals: &[u64], samples: usize, seed: u64) -> Self {
+        LeafCrashSchedule {
+            schedules: leaf_totals
+                .iter()
+                .enumerate()
+                .map(|(leaf, &total)| {
+                    let mut state = seed ^ (leaf as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let leaf_seed = splitmix64(&mut state);
+                    CrashSchedule::covering(total, samples, leaf_seed)
+                })
+                .collect(),
+        }
+    }
+
+    /// Add boundary-adjacent points (see [`CrashSchedule::with_boundaries`])
+    /// to one leaf's schedule.
+    pub fn with_boundaries(mut self, leaf: usize, boundaries: &[u64]) -> Self {
+        let schedule =
+            std::mem::replace(&mut self.schedules[leaf], CrashSchedule::covering(0, 0, 0));
+        self.schedules[leaf] = schedule.with_boundaries(boundaries);
+        self
+    }
+
+    /// The schedule of one leaf.
+    pub fn leaf(&self, leaf: usize) -> &CrashSchedule {
+        &self.schedules[leaf]
+    }
+
+    /// Number of leaves covered.
+    pub fn num_leaves(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Every `(leaf, crash point)` pair, leaf-major.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.schedules
+            .iter()
+            .enumerate()
+            .flat_map(|(leaf, schedule)| schedule.points().iter().map(move |&p| (leaf, p)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +187,29 @@ mod tests {
         assert_eq!(empty.points(), &[0]);
         let one = CrashSchedule::covering(1, 8, 1);
         assert_eq!(one.points(), &[0, 1]);
+    }
+
+    #[test]
+    fn leaf_schedules_are_deterministic_and_leaf_distinct() {
+        let totals = [4_000u64, 4_000, 900];
+        let a = LeafCrashSchedule::covering(&totals, 6, 11);
+        let b = LeafCrashSchedule::covering(&totals, 6, 11);
+        assert_eq!(a, b, "same inputs, same per-leaf schedules");
+        assert_eq!(a.num_leaves(), 3);
+        // Equal stream lengths still get distinct interior points per leaf.
+        assert_ne!(
+            a.leaf(0).points(),
+            a.leaf(1).points(),
+            "per-leaf seeds must differ"
+        );
+        // Every pair stays inside its own leaf's stream.
+        for (leaf, point) in a.pairs() {
+            assert!(point <= totals[leaf]);
+        }
+        let with = a.clone().with_boundaries(2, &[123]);
+        for expected in [122, 123, 124] {
+            assert!(with.leaf(2).points().contains(&expected));
+        }
+        assert_eq!(with.leaf(0), a.leaf(0), "other leaves untouched");
     }
 }

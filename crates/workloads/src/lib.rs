@@ -33,7 +33,7 @@ pub mod mutation;
 pub mod profile;
 pub mod synthetic;
 
-pub use crash::CrashSchedule;
+pub use crash::{CrashSchedule, LeafCrashSchedule};
 pub use ground_truth::GroundTruth;
 pub use mutation::{MutationMix, MutationOp, MutationTrace};
 pub use profile::DatasetProfile;

@@ -16,6 +16,10 @@
 //! * [`persist`] — durability: CRC-checksummed snapshots, the mutation
 //!   write-ahead log, pluggable storage backends and fault injection
 //!   (consumed through `core`'s `ReisSystem::{open, save, recover}`).
+//! * [`cluster`] — multi-device scale-out: an aggregator fanning queries
+//!   out over N leaf systems with an exact scatter–gather merge, routed
+//!   mutations, per-leaf durability plus a cluster manifest, and modelled
+//!   straggler hedging.
 //! * [`baseline`] — comparator system models (CPU-Real, No-I/O, CPU+BQ, ICE,
 //!   ICE-ESP, NDSearch, REIS-ASIC).
 //! * [`workloads`] — synthetic dataset generators and ground-truth
@@ -45,6 +49,7 @@
 
 pub use reis_ann as ann;
 pub use reis_baseline as baseline;
+pub use reis_cluster as cluster;
 pub use reis_core as core;
 pub use reis_nand as nand;
 pub use reis_persist as persist;

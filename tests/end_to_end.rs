@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the full path from synthetic corpus through
-//! indexing, deployment, in-storage search, baselines and the RAG pipeline
-//! model.
+//! indexing, deployment, in-storage search, online mutation, durability,
+//! batched execution, multi-device scale-out, baselines and the RAG
+//! pipeline model — everything through the public `reis` facade.
 
 use reis::ann::flat::FlatIndex;
 use reis::ann::metrics::recall_at_k;
@@ -8,7 +9,10 @@ use reis::ann::Metric;
 use reis::baseline::{
     CpuPrecision, CpuSystem, IceModel, IceVariant, NdSearchAlgorithm, NdSearchModel,
 };
-use reis::core::{Optimizations, ReisConfig, ReisSystem, VectorDatabase};
+use reis::cluster::ClusterSystem;
+use reis::core::{
+    BatchFusion, DurableStore, MemVfs, Optimizations, ReisConfig, ReisSystem, VectorDatabase,
+};
 use reis::rag::{RagPipeline, RagStage};
 use reis::workloads::{DatasetProfile, GroundTruth, SyntheticDataset};
 
@@ -161,6 +165,132 @@ fn rag_pipeline_bottleneck_shifts_from_retrieval_to_generation() {
     assert!(cpu_breakdown.retrieval_fraction() > reis_breakdown.retrieval_fraction() * 10.0);
     assert!(reis_breakdown.fraction(RagStage::Generation) > 0.8);
     assert!(reis_breakdown.total() < cpu_breakdown.total());
+}
+
+#[test]
+fn mutation_and_durability_round_trip_through_the_facade() {
+    // Online mutation on a durably opened system, checkpointed, reopened:
+    // the recovered corpus answers like the pre-crash one and stays live.
+    let dataset = scaled_dataset(96, 2, 33);
+    let database = VectorDatabase::flat(dataset.vectors(), dataset.documents_owned())
+        .expect("database construction");
+    let mem = MemVfs::new();
+    let (mut reis, report) =
+        ReisSystem::open(ReisConfig::tiny(), DurableStore::new(Box::new(mem.clone())))
+            .expect("open fresh store");
+    assert!(report.is_none(), "nothing to recover from a fresh store");
+    let db_id = reis.deploy(&database).expect("deployment");
+
+    let fresh: Vec<f32> = dataset.vectors()[0].iter().map(|x| x + 0.25).collect();
+    let inserted = reis
+        .insert(db_id, &fresh, b"freshly inserted".to_vec())
+        .expect("insert")
+        .ids[0];
+    reis.delete(db_id, 7).expect("delete");
+    reis.upsert(db_id, 11, &dataset.vectors()[12].clone(), b"upserted doc")
+        .expect("upsert");
+    reis.save().expect("checkpoint");
+
+    let queries: Vec<Vec<f32>> = vec![fresh.clone(), dataset.queries()[0].clone()];
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| reis.search(db_id, q, 5).expect("pre-crash search"))
+        .collect();
+    drop(reis);
+
+    let (mut recovered, report) =
+        ReisSystem::recover(ReisConfig::tiny(), DurableStore::new(Box::new(mem)))
+            .expect("recovery");
+    assert_eq!(report.snapshot_seq, 2, "deploy + explicit save");
+    for (query, expected) in queries.iter().zip(&before) {
+        let after = recovered
+            .search(db_id, query, 5)
+            .expect("post-crash search");
+        assert_eq!(after.result_ids(), expected.result_ids());
+        assert_eq!(after.documents, expected.documents);
+    }
+    let hit = recovered.search(db_id, &fresh, 1).expect("fresh lookup");
+    assert_eq!(hit.results[0].id, inserted as usize);
+    assert_eq!(hit.documents[0], b"freshly inserted");
+
+    // The recovered system keeps mutating: ids continue past the watermark.
+    let next = recovered
+        .insert(db_id, &fresh, b"post recovery".to_vec())
+        .expect("post-recovery insert")
+        .ids[0];
+    assert!(next > inserted);
+}
+
+#[test]
+fn batch_fusion_modes_agree_end_to_end() {
+    // Fused page-major execution and per-worker device replicas are two
+    // schedules of the same computation: identical results, documents and
+    // per-query modelled latency.
+    let dataset = scaled_dataset(256, 6, 27);
+    let database = VectorDatabase::ivf(dataset.vectors(), dataset.documents_owned(), 8)
+        .expect("database construction");
+    let queries: Vec<Vec<f32>> = dataset.queries().to_vec();
+
+    let mut outcomes = Vec::new();
+    for fusion in [BatchFusion::Fused, BatchFusion::Replicas] {
+        let mut reis = ReisSystem::new(ReisConfig::ssd1().with_batch_fusion(fusion));
+        let db_id = reis.deploy(&database).expect("deployment");
+        outcomes.push(
+            reis.ivf_search_batch_with_nprobe(db_id, &queries, 10, 4, 4)
+                .expect("batch search"),
+        );
+    }
+    let (fused, replicas) = (&outcomes[0], &outcomes[1]);
+    for (q, (a, b)) in fused.iter().zip(replicas.iter()).enumerate() {
+        assert_eq!(a.result_ids(), b.result_ids(), "query {q}");
+        assert_eq!(a.documents, b.documents, "query {q}");
+        assert_eq!(a.total_latency(), b.total_latency(), "query {q}");
+    }
+}
+
+#[test]
+fn cluster_facade_matches_a_single_device_end_to_end() {
+    // The scale-out aggregator behind `reis::cluster` serves a sharded
+    // synthetic corpus bit-identically to one device holding the union —
+    // including after routed mutations.
+    let dataset = scaled_dataset(120, 4, 41);
+    let vectors = dataset.vectors().to_vec();
+    let documents = dataset.documents_owned();
+    let config = ReisConfig::tiny();
+
+    let mut single = ReisSystem::new(config.with_adaptive_filtering(false));
+    let db_id = single
+        .deploy(&VectorDatabase::flat(&vectors, documents.clone()).expect("database"))
+        .expect("deployment");
+    let mut cluster = ClusterSystem::new(config, 4).expect("cluster");
+    cluster
+        .deploy_flat(&vectors, &documents)
+        .expect("sharded deployment");
+
+    for query in dataset.queries() {
+        let a = cluster.search(query, 8).expect("cluster search");
+        let b = single.search(db_id, query, 8).expect("single search");
+        let ids: Vec<usize> = a.results.iter().map(|n| n.id).collect();
+        assert_eq!(ids, b.result_ids());
+        assert_eq!(a.documents, b.documents);
+        assert_eq!(a.activity.activity.fine_entries, b.activity.fine_entries);
+    }
+
+    // A routed mutation stays bit-identical: both sides insert the same
+    // entry (the cluster mints the same global id a single device would).
+    let fresh: Vec<f32> = dataset.queries()[0].clone();
+    let cluster_id = cluster
+        .insert(&fresh, b"routed insert".to_vec())
+        .expect("cluster insert");
+    let single_id = single
+        .insert(db_id, &fresh, b"routed insert".to_vec())
+        .expect("single insert")
+        .ids[0];
+    assert_eq!(cluster_id, single_id);
+    let a = cluster.search(&fresh, 1).expect("cluster search");
+    let b = single.search(db_id, &fresh, 1).expect("single search");
+    assert_eq!(a.results[0].id, b.results[0].id);
+    assert_eq!(a.documents, b.documents);
 }
 
 #[test]
