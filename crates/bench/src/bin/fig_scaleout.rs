@@ -24,7 +24,7 @@
 
 use reis_bench::report;
 use reis_cluster::{ClusterSystem, HedgePolicy, LatencyModel};
-use reis_core::{ReisConfig, ReisSystem, VectorDatabase};
+use reis_core::{HistogramId, ReisConfig, ReisSystem, VectorDatabase};
 use reis_nand::{Geometry, Nanos};
 
 const DIM: usize = 16;
@@ -215,11 +215,11 @@ fn main() {
     // aligned, so every policy faces exactly the same straggler draws.
     println!("\nHedging sweep ({} leaves, seeded skew):", 4);
     println!(
-        "{:>13} {:>16} {:>8}",
-        "deadline", "mean fanout (us)", "hedges"
+        "{:>13} {:>16} {:>9} {:>9} {:>9} {:>8}",
+        "deadline", "mean fanout (us)", "p50 (us)", "p95 (us)", "p99 (us)", "hedges"
     );
     let deadlines: [Option<u64>; 4] = [None, Some(1_600_000), Some(800_000), Some(400_000)];
-    let mut hedging_rows: Vec<(String, f64, usize)> = Vec::new();
+    let mut hedging_rows: Vec<(String, f64, [f64; 3], usize)> = Vec::new();
     let mut hedged_identical = true;
     for deadline_ns in deadlines {
         let mut cluster = ClusterSystem::new(config, 4)
@@ -229,6 +229,9 @@ fn main() {
         cluster
             .deploy_flat(&vectors, &documents)
             .expect("sharded deploy");
+        // Per-leaf completion times land in the aggregator's telemetry
+        // histogram; each policy gets a fresh cluster, so no delta needed.
+        cluster.enable_telemetry();
         let mut fanout = Nanos::ZERO;
         let mut hedges = 0usize;
         for (query, (signature, _)) in queries.iter().zip(&reference) {
@@ -238,12 +241,17 @@ fn main() {
             hedges += outcome.hedges_launched;
         }
         let mean_us = fanout.as_secs_f64() * 1e6 / queries.len() as f64;
+        let completion = cluster.telemetry().histogram(HistogramId::LeafCompletionNs);
+        let completion_us = [0.50, 0.95, 0.99].map(|q| completion.quantile(q) / 1e3);
         let label = match deadline_ns {
             None => "none".to_string(),
             Some(ns) => format!("{} us", ns / 1_000),
         };
-        println!("{label:>13} {mean_us:>16.1} {hedges:>8}");
-        hedging_rows.push((label, mean_us, hedges));
+        println!(
+            "{label:>13} {mean_us:>16.1} {:>9.1} {:>9.1} {:>9.1} {hedges:>8}",
+            completion_us[0], completion_us[1], completion_us[2]
+        );
+        hedging_rows.push((label, mean_us, completion_us, hedges));
     }
     assert!(
         hedged_identical,
@@ -277,10 +285,12 @@ fn main() {
         .collect();
     let hedging_json: Vec<String> = hedging_rows
         .iter()
-        .map(|(label, mean_us, hedges)| {
+        .map(|(label, mean_us, completion_us, hedges)| {
             format!(
                 "{{ \"deadline\": \"{label}\", \"mean_fanout_us\": {mean_us:.2}, \
-                 \"hedges_launched\": {hedges} }}"
+                 \"completion_p50_us\": {:.2}, \"completion_p95_us\": {:.2}, \
+                 \"completion_p99_us\": {:.2}, \"hedges_launched\": {hedges} }}",
+                completion_us[0], completion_us[1], completion_us[2]
             )
         })
         .collect();

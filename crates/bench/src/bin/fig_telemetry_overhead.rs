@@ -1,0 +1,504 @@
+//! Telemetry overhead, search-vs-mutation interference, and hedge tail
+//! quantiles — the observability figure of PR 8.
+//!
+//! Four measurements:
+//!
+//! 1. **Fused batch-8 overhead** — wall-clock QPS of the fused batch-8
+//!    brute-force scan with telemetry disabled versus enabled, on two
+//!    systems holding the same deployment. Every enabled-run outcome is
+//!    asserted bit-identical (results, documents, modelled latency,
+//!    activity) to the disabled run first: the counters may only watch
+//!    the computation, never steer it. The committed full-mode artifact
+//!    must show `overhead_pct <= 3` (enforced by the artifact validator).
+//! 2. **Interference** — modelled single-query latency quantiles read
+//!    from the `reis_query_modelled_ns` histogram on a quiescent IVF
+//!    deployment, again after a mutation trace dirtied it (append
+//!    segments + tombstones), and once more after compaction folded it
+//!    back; plus the modelled per-mutation quantiles the same trace left
+//!    in `reis_mutation_modelled_ns`.
+//! 3. **Hedge quantiles** — p50/p95/p99 per-leaf completion times from
+//!    the aggregator's `reis_leaf_completion_ns` histogram under a seeded
+//!    straggler skew model, swept over hedging deadlines. Tightening the
+//!    deadline cuts the tail quantiles while the merged results stay
+//!    bit-identical across every policy.
+//! 4. **Exporters** — the Prometheus scrape is spot-checked for the
+//!    expected series and the JSON snapshot is parsed and shape-checked
+//!    with `reis_bench::artifacts` (the same parser that validates this
+//!    artifact).
+//!
+//! Results are written to `BENCH_pr8.json` by default (this benchmark's
+//! committed artifact); pass `--output PATH` (or `REIS_BENCH_OUT`) to
+//! write elsewhere, and `--smoke` (or `REIS_BENCH_SMOKE=1`) for the fast
+//! CI variant.
+
+use std::time::Instant;
+
+use reis_bench::{artifacts, report};
+use reis_cluster::{ClusterSystem, HedgePolicy, LatencyModel};
+use reis_core::{
+    CompactionPolicy, CounterId, HistogramId, ReisConfig, ReisSystem, SearchOutcome, VectorDatabase,
+};
+use reis_nand::Nanos;
+use reis_workloads::{DatasetProfile, MutationMix, MutationOp, MutationTrace, SyntheticDataset};
+
+const K: usize = 10;
+const BATCH: usize = 8;
+const NPROBE: usize = 16;
+const CLUSTER_LEAVES: usize = 4;
+const CLUSTER_DIM: usize = 16;
+const SKEW_SEED: u64 = 0x0B5E_7AB1;
+const SKEW_BASE_NS: u64 = 100_000;
+const SKEW_JITTER_NS: u64 = 3_000_000;
+
+struct Scale {
+    mode: &'static str,
+    bf_entries: usize,
+    ivf_entries: usize,
+    nlist: usize,
+    trace_ops: usize,
+    probe_rounds: usize,
+    cluster_entries: usize,
+    cluster_queries: usize,
+    min_measure_secs: f64,
+    qps_rounds: usize,
+}
+
+impl Scale {
+    fn pick() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke")
+            || std::env::var("REIS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        if smoke {
+            Scale {
+                mode: "smoke",
+                bf_entries: 2_048,
+                ivf_entries: 768,
+                nlist: 16,
+                trace_ops: 60,
+                probe_rounds: 4,
+                cluster_entries: 4_096,
+                cluster_queries: 8,
+                min_measure_secs: 0.05,
+                qps_rounds: 2,
+            }
+        } else {
+            // 131072 entries = 1024 embedding pages, the same shape the
+            // fused-batch figure uses: the scan dominates, so any
+            // per-query telemetry cost shows up as honestly as possible.
+            Scale {
+                mode: "full",
+                bf_entries: 131_072,
+                ivf_entries: 10_240,
+                nlist: 64,
+                trace_ops: 600,
+                probe_rounds: 8,
+                cluster_entries: 16_384,
+                cluster_queries: 32,
+                min_measure_secs: 0.3,
+                qps_rounds: 3,
+            }
+        }
+    }
+}
+
+/// One cluster query's identity signature: result ids plus documents.
+type ClusterSignature = (Vec<usize>, Vec<Vec<u8>>);
+
+/// The full bit-identity signature of one outcome.
+fn signature(outcome: &SearchOutcome) -> (Vec<(usize, u32)>, Vec<Vec<u8>>) {
+    (
+        outcome
+            .results
+            .iter()
+            .map(|n| (n.id, n.distance.to_bits()))
+            .collect(),
+        outcome.documents.clone(),
+    )
+}
+
+/// Best single-round batch QPS over at least `min_secs` of measurement.
+fn measure_qps(system: &mut ReisSystem, db: u32, queries: &[Vec<f32>], min_secs: f64) -> f64 {
+    let mut best = 0.0f64;
+    let mut elapsed = 0.0;
+    while elapsed < min_secs {
+        let start = Instant::now();
+        let outcomes = system
+            .search_batch(db, queries, K, queries.len())
+            .expect("batch search");
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(outcomes.len(), queries.len());
+        elapsed += secs;
+        best = best.max(queries.len() as f64 / secs);
+    }
+    best
+}
+
+/// `[p50, p95, p99]` of a histogram snapshot, converted to microseconds.
+fn quantiles_us(snapshot: &reis_core::Telemetry, id: HistogramId) -> [f64; 3] {
+    let snap = snapshot.histogram(id);
+    [0.50, 0.95, 0.99].map(|q| snap.quantile(q) / 1e3)
+}
+
+fn vector_for(id: u32) -> Vec<f32> {
+    (0..CLUSTER_DIM)
+        .map(|d| {
+            let mut x = (id as u64) << 32 | d as u64;
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            (x % 201) as f32 - 100.0
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::pick();
+    report::header(
+        "Telemetry overhead",
+        "Enabled-telemetry cost, interference quantiles, hedge tails",
+    );
+    println!(
+        "mode {} · brute force {} entries · IVF {} entries · cluster {} entries x {} leaves",
+        scale.mode, scale.bf_entries, scale.ivf_entries, scale.cluster_entries, CLUSTER_LEAVES
+    );
+
+    // ---- 1. Fused batch-8 QPS, telemetry off vs on. ---------------------
+    println!("\nBuilding {}-entry flat dataset…", scale.bf_entries);
+    let dataset = SyntheticDataset::generate(
+        DatasetProfile::hotpotqa()
+            .scaled(scale.bf_entries)
+            .with_queries(BATCH),
+        59,
+    );
+    let database =
+        VectorDatabase::flat(dataset.vectors(), dataset.documents_owned()).expect("flat database");
+    let mut off = ReisSystem::new(ReisConfig::ssd1());
+    let off_db = off.deploy(&database).expect("deploy");
+    let mut on = ReisSystem::new(ReisConfig::ssd1());
+    let on_db = on.deploy(&database).expect("deploy");
+    on.enable_telemetry();
+    let queries: Vec<Vec<f32>> = dataset.queries().to_vec();
+
+    // Identity first: the enabled system must answer the batch with
+    // bit-identical results, modelled latency and logical accounting.
+    let off_outcomes = off
+        .search_batch(off_db, &queries, K, queries.len())
+        .expect("batch search");
+    let on_outcomes = on
+        .search_batch(on_db, &queries, K, queries.len())
+        .expect("batch search");
+    let identical = off_outcomes.iter().zip(&on_outcomes).all(|(a, b)| {
+        signature(a) == signature(b) && a.latency == b.latency && a.activity == b.activity
+    });
+    assert!(
+        identical,
+        "telemetry perturbed search outcomes — the artifact must not ship"
+    );
+
+    // Interleave the off/on rounds so drift on the host biases neither
+    // side, and keep the best round of each.
+    let mut off_qps = 0.0f64;
+    let mut on_qps = 0.0f64;
+    for _ in 0..scale.qps_rounds {
+        off_qps = off_qps.max(measure_qps(
+            &mut off,
+            off_db,
+            &queries,
+            scale.min_measure_secs,
+        ));
+        on_qps = on_qps.max(measure_qps(
+            &mut on,
+            on_db,
+            &queries,
+            scale.min_measure_secs,
+        ));
+    }
+    let overhead_pct = (1.0 - on_qps / off_qps) * 100.0;
+    println!(
+        "\nFused batch-{BATCH} brute force: {off_qps:.1} QPS off · {on_qps:.1} QPS on · overhead {overhead_pct:.2}%"
+    );
+    if scale.mode == "full" {
+        assert!(
+            overhead_pct <= 3.0,
+            "enabled telemetry must cost <= 3% of fused batch-8 QPS, got {overhead_pct:.2}%"
+        );
+    }
+    let per_query_observed = on.telemetry().counter(CounterId::Queries);
+    assert!(
+        per_query_observed >= queries.len() as u64,
+        "query counter running"
+    );
+
+    // ---- 2. Modelled search-vs-mutation interference. -------------------
+    println!(
+        "\nBuilding {}-entry IVF dataset (nlist {})…",
+        scale.ivf_entries, scale.nlist
+    );
+    let ivf_dataset = SyntheticDataset::generate(
+        DatasetProfile::hotpotqa()
+            .scaled(scale.ivf_entries)
+            .with_queries(4),
+        47,
+    );
+    let ivf_database = VectorDatabase::ivf(
+        ivf_dataset.vectors(),
+        ivf_dataset.documents_owned(),
+        scale.nlist,
+    )
+    .expect("ivf database");
+    let mut system =
+        ReisSystem::new(ReisConfig::ssd1().with_compaction(CompactionPolicy::manual()));
+    let db = system.deploy(&ivf_database).expect("deploy");
+    system.enable_telemetry();
+    let probes: Vec<Vec<f32>> = ivf_dataset.queries().to_vec();
+    let dim = ivf_dataset.profile().dim;
+    let doc_bytes = ivf_dataset.profile().doc_bytes;
+
+    let probe_round = |system: &mut ReisSystem, rounds: usize| {
+        for _ in 0..rounds {
+            for query in &probes {
+                system
+                    .ivf_search_with_nprobe(db, query, K, NPROBE)
+                    .expect("probe search");
+            }
+        }
+    };
+
+    let before = system.telemetry().histogram(HistogramId::QueryModelledNs);
+    probe_round(&mut system, scale.probe_rounds);
+    let quiescent = system
+        .telemetry()
+        .histogram(HistogramId::QueryModelledNs)
+        .delta(&before);
+    let quiescent_us = [0.50, 0.95, 0.99].map(|q| quiescent.quantile(q) / 1e3);
+
+    // Dirty the deployment with a mixed mutation trace, then re-probe.
+    let trace = MutationTrace::generate(
+        scale.ivf_entries,
+        dim,
+        doc_bytes,
+        scale.trace_ops,
+        MutationMix {
+            insert: 2,
+            delete: 1,
+            upsert: 1,
+            search: 0,
+        },
+        13,
+    );
+    let mut logical_to_stable: Vec<Option<u32>> = (0..scale.ivf_entries as u32).map(Some).collect();
+    for op in trace.ops() {
+        match op {
+            MutationOp::Insert { vector, document } => {
+                let outcome = system.insert(db, vector, document.clone()).expect("insert");
+                logical_to_stable.push(Some(outcome.ids[0]));
+            }
+            MutationOp::Delete { target } => {
+                if let Some(id) = logical_to_stable[*target].take() {
+                    system.delete(db, id).expect("delete");
+                }
+            }
+            MutationOp::Upsert {
+                target,
+                vector,
+                document,
+            } => {
+                if let Some(id) = logical_to_stable[*target] {
+                    system.upsert(db, id, vector, document).expect("upsert");
+                }
+            }
+            MutationOp::Search { .. } => {}
+        }
+    }
+    let mutation_us = quantiles_us(system.telemetry(), HistogramId::MutationModelledNs);
+    let mutations_recorded = system
+        .telemetry()
+        .histogram(HistogramId::MutationModelledNs)
+        .count;
+    assert!(
+        mutations_recorded > 0,
+        "mutation histogram must be populated"
+    );
+
+    let before = system.telemetry().histogram(HistogramId::QueryModelledNs);
+    probe_round(&mut system, scale.probe_rounds);
+    let dirty = system
+        .telemetry()
+        .histogram(HistogramId::QueryModelledNs)
+        .delta(&before);
+    let dirty_us = [0.50, 0.95, 0.99].map(|q| dirty.quantile(q) / 1e3);
+
+    system.compact(db).expect("compaction");
+    let before = system.telemetry().histogram(HistogramId::QueryModelledNs);
+    probe_round(&mut system, scale.probe_rounds);
+    let compacted = system
+        .telemetry()
+        .histogram(HistogramId::QueryModelledNs)
+        .delta(&before);
+    let compacted_us = [0.50, 0.95, 0.99].map(|q| compacted.quantile(q) / 1e3);
+
+    println!("\nModelled search latency under mutations (p50/p95/p99 us):");
+    println!(
+        "    quiescent        {:>8.1} {:>8.1} {:>8.1}",
+        quiescent_us[0], quiescent_us[1], quiescent_us[2]
+    );
+    println!(
+        "    dirty            {:>8.1} {:>8.1} {:>8.1}",
+        dirty_us[0], dirty_us[1], dirty_us[2]
+    );
+    println!(
+        "    post-compaction  {:>8.1} {:>8.1} {:>8.1}",
+        compacted_us[0], compacted_us[1], compacted_us[2]
+    );
+    println!(
+        "    mutations        {:>8.1} {:>8.1} {:>8.1}  ({} ops)",
+        mutation_us[0], mutation_us[1], mutation_us[2], mutations_recorded
+    );
+    // The interference story: scans over segments + tombstone filtering
+    // cannot make the modelled query cheaper than the quiescent scan.
+    assert!(
+        dirty_us[0] >= quiescent_us[0] * 0.99,
+        "dirty p50 must not undercut the quiescent p50"
+    );
+
+    // ---- 3. Hedge completion-time quantiles from the aggregator. --------
+    println!(
+        "\nHedge quantiles ({CLUSTER_LEAVES} leaves, seeded skew, {} queries):",
+        scale.cluster_queries
+    );
+    println!(
+        "{:>13} {:>10} {:>10} {:>10} {:>8}",
+        "deadline", "p50 (us)", "p95 (us)", "p99 (us)", "hedges"
+    );
+    let cluster_vectors: Vec<Vec<f32>> =
+        (0..scale.cluster_entries as u32).map(vector_for).collect();
+    let cluster_documents: Vec<Vec<u8>> = (0..scale.cluster_entries as u32)
+        .map(|id| format!("telemetry bench doc {id:06}").into_bytes())
+        .collect();
+    let cluster_queries: Vec<Vec<f32>> = (0..scale.cluster_queries as u32)
+        .map(|q| vector_for(1_000_000 + q))
+        .collect();
+    let deadlines: [Option<u64>; 3] = [None, Some(800_000), Some(400_000)];
+    let mut policy_rows: Vec<(String, [f64; 3], u64)> = Vec::new();
+    let mut reference: Option<Vec<ClusterSignature>> = None;
+    for deadline_ns in deadlines {
+        let mut cluster = ClusterSystem::new(ReisConfig::ssd1(), CLUSTER_LEAVES)
+            .expect("cluster")
+            .with_latency_model(LatencyModel::new(SKEW_SEED, SKEW_BASE_NS, SKEW_JITTER_NS))
+            .with_hedging(deadline_ns.map(|ns| HedgePolicy::new(Nanos::from_nanos(ns))));
+        cluster
+            .deploy_flat(&cluster_vectors, &cluster_documents)
+            .expect("sharded deploy");
+        cluster.enable_telemetry();
+        let signatures: Vec<ClusterSignature> = cluster_queries
+            .iter()
+            .map(|query| {
+                let outcome = cluster.search(query, K).expect("cluster search");
+                (
+                    outcome.results.iter().map(|n| n.id).collect(),
+                    outcome.documents.clone(),
+                )
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(signatures),
+            Some(expected) => assert_eq!(
+                expected, &signatures,
+                "hedged schedules changed results — the merge must be schedule-independent"
+            ),
+        }
+        let completion_us = quantiles_us(cluster.telemetry(), HistogramId::LeafCompletionNs);
+        let hedges = cluster.telemetry().counter(CounterId::HedgesLaunched);
+        let leaf_requests = cluster.telemetry().counter(CounterId::LeafRequests);
+        assert_eq!(
+            leaf_requests,
+            (scale.cluster_queries * CLUSTER_LEAVES) as u64,
+            "every leaf request must be observed"
+        );
+        let label = match deadline_ns {
+            None => "none".to_string(),
+            Some(ns) => format!("{} us", ns / 1_000),
+        };
+        println!(
+            "{label:>13} {:>10.1} {:>10.1} {:>10.1} {hedges:>8}",
+            completion_us[0], completion_us[1], completion_us[2]
+        );
+        policy_rows.push((label, completion_us, hedges));
+    }
+    let (loose_p99, tight_p99) = (policy_rows[0].1[2], policy_rows.last().unwrap().1[2]);
+    assert!(
+        tight_p99 <= loose_p99,
+        "tightening the hedge deadline must not worsen the completion p99 \
+         ({tight_p99:.1} us vs {loose_p99:.1} us unhedged)"
+    );
+
+    // ---- 4. Exporters. --------------------------------------------------
+    let scrape = on.telemetry().prometheus();
+    assert!(scrape.contains("# TYPE reis_queries_total counter"));
+    assert!(scrape.contains("# TYPE reis_query_modelled_ns histogram"));
+    let snapshot = on.telemetry().json_snapshot();
+    let parsed = artifacts::parse(&snapshot).expect("json snapshot parses");
+    let json_snapshot_valid = ["counters", "gauges", "histograms"].iter().all(
+        |key| matches!(parsed.get(key), Some(artifacts::Json::Obj(fields)) if !fields.is_empty()),
+    );
+    assert!(
+        json_snapshot_valid,
+        "json snapshot must carry all three sections"
+    );
+    println!(
+        "\nExporters: {} B Prometheus scrape, JSON snapshot valid: {json_snapshot_valid}",
+        scrape.len()
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let policies_json: Vec<String> = policy_rows
+        .iter()
+        .map(|(label, q, hedges)| {
+            format!(
+                "{{ \"deadline\": \"{label}\", \"completion_p50_us\": {:.2}, \
+                 \"completion_p95_us\": {:.2}, \"completion_p99_us\": {:.2}, \
+                 \"hedges_launched\": {hedges} }}",
+                q[0], q[1], q[2]
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"available_cores\": {cores},\n  \"mode\": \"{mode}\",\n  \
+         \"dataset\": {{ \"bf_entries\": {bf}, \"dim\": 1024, \"ivf_entries\": {ivf}, \
+         \"nlist\": {nlist}, \"cluster_entries\": {ce}, \"cluster_dim\": {CLUSTER_DIM} }},\n  \
+         \"results_identical_with_telemetry\": {identical},\n  \
+         \"fused_batch8\": {{ \"batch\": {BATCH}, \"off_qps\": {off_qps:.1}, \
+         \"on_qps\": {on_qps:.1}, \"overhead_pct\": {overhead_pct:.2} }},\n  \
+         \"interference\": {{ \"trace_ops\": {trace_ops}, \
+         \"quiescent_p50_us\": {qp50:.2}, \"quiescent_p95_us\": {qp95:.2}, \"quiescent_p99_us\": {qp99:.2}, \
+         \"dirty_p50_us\": {dp50:.2}, \"dirty_p95_us\": {dp95:.2}, \"dirty_p99_us\": {dp99:.2}, \
+         \"post_compaction_p50_us\": {cp50:.2}, \
+         \"mutation_p50_us\": {mp50:.2}, \"mutation_p99_us\": {mp99:.2} }},\n  \
+         \"hedge_quantiles\": {{ \"leaves\": {CLUSTER_LEAVES}, \"skew_base_ns\": {SKEW_BASE_NS}, \
+         \"skew_jitter_ns\": {SKEW_JITTER_NS}, \"policies\": [\n    {policies}\n  ] }},\n  \
+         \"exporters\": {{ \"prometheus_bytes\": {prom_bytes}, \
+         \"json_snapshot_valid\": {json_snapshot_valid} }}\n}}\n",
+        mode = scale.mode,
+        bf = scale.bf_entries,
+        ivf = scale.ivf_entries,
+        nlist = scale.nlist,
+        ce = scale.cluster_entries,
+        trace_ops = scale.trace_ops,
+        qp50 = quiescent_us[0],
+        qp95 = quiescent_us[1],
+        qp99 = quiescent_us[2],
+        dp50 = dirty_us[0],
+        dp95 = dirty_us[1],
+        dp99 = dirty_us[2],
+        cp50 = compacted_us[0],
+        mp50 = mutation_us[0],
+        mp99 = mutation_us[2],
+        policies = policies_json.join(",\n    "),
+        prom_bytes = scrape.len(),
+    );
+    let path = report::output_path("BENCH_pr8.json");
+    std::fs::write(&path, json).expect("write benchmark artifact");
+    println!("\nWrote {path}");
+}

@@ -25,7 +25,10 @@
 use std::time::Instant;
 
 use reis_bench::report;
-use reis_core::{CompactionPolicy, ReisConfig, ReisSystem, SearchOutcome, VectorDatabase};
+use reis_core::{
+    CompactionPolicy, HistogramId, HistogramSnapshot, ReisConfig, ReisSystem, SearchOutcome,
+    VectorDatabase,
+};
 use reis_workloads::{DatasetProfile, MutationMix, MutationOp, MutationTrace, SyntheticDataset};
 
 const K: usize = 10;
@@ -73,6 +76,11 @@ fn signature(outcome: &SearchOutcome) -> Vec<(usize, f32)> {
     outcome.results.iter().map(|n| (n.id, n.distance)).collect()
 }
 
+/// `[p50, p95, p99]` of a histogram delta, in microseconds.
+fn quantiles_us(delta: &HistogramSnapshot) -> [f64; 3] {
+    [0.50, 0.95, 0.99].map(|q| delta.quantile(q) / 1e3)
+}
+
 /// Mean wall-clock latency (µs) of one IVF search per probe query.
 fn probe_search_us(system: &mut ReisSystem, db: u32, queries: &[Vec<f32>]) -> f64 {
     let mut total = 0.0;
@@ -112,12 +120,22 @@ fn main() {
     let config = ReisConfig::ssd1().with_compaction(CompactionPolicy::manual());
     let mut system = ReisSystem::new(config);
     let db = system.deploy(&database).expect("deployment");
+    // Telemetry watches the whole run (provably non-perturbing); the
+    // modelled-latency histograms feed the interference quantiles below.
+    system.enable_telemetry();
     let probe_queries: Vec<Vec<f32>> = dataset.queries().to_vec();
     let dim = dataset.profile().dim;
     let doc_bytes = dataset.profile().doc_bytes;
 
     // ---- Clean-deployment search baseline.
+    let before = system.telemetry().histogram(HistogramId::QueryModelledNs);
     let clean_us = probe_search_us(&mut system, db, &probe_queries);
+    let quiescent_q = quantiles_us(
+        &system
+            .telemetry()
+            .histogram(HistogramId::QueryModelledNs)
+            .delta(&before),
+    );
     println!("\nclean search            {clean_us:>10.1} us/query");
 
     // ---- Insert throughput (batched).
@@ -234,7 +252,21 @@ fn main() {
     let deployed = system.database(db).expect("deployed");
     let segment_entries = deployed.updates.store.len();
     let tombstones = deployed.updates.tombstones.dead_count();
+    // Every mutation so far (batch inserts, upserts, deletes, the mixed
+    // trace) landed in the modelled-mutation histogram.
+    let mutation_q = quantiles_us(
+        &system
+            .telemetry()
+            .histogram(HistogramId::MutationModelledNs),
+    );
+    let before = system.telemetry().histogram(HistogramId::QueryModelledNs);
     let dirty_us = probe_search_us(&mut system, db, &probe_queries);
+    let dirty_q = quantiles_us(
+        &system
+            .telemetry()
+            .histogram(HistogramId::QueryModelledNs)
+            .delta(&before),
+    );
     println!(
         "dirty search            {dirty_us:>10.1} us/query ({segment_entries} segment entries, {tombstones} tombstones)"
     );
@@ -261,13 +293,41 @@ fn main() {
         ) == *reference
     });
     assert!(identical, "compaction changed search results");
+    let before = system.telemetry().histogram(HistogramId::QueryModelledNs);
     let compacted_us = probe_search_us(&mut system, db, &probe_queries);
+    let compacted_q = quantiles_us(
+        &system
+            .telemetry()
+            .histogram(HistogramId::QueryModelledNs)
+            .delta(&before),
+    );
     println!(
         "compacted search        {compacted_us:>10.1} us/query (identical_to_pre_compaction: {identical})"
     );
     println!(
         "compaction              {compact_wall_ms:>10.1} ms wall · {} pages rewritten · {} blocks reclaimed",
         compaction.pages_rewritten, compaction.blocks_reclaimed
+    );
+
+    // ---- Interference: the modelled (not wall-clock) view of the same
+    // probes, read back from the telemetry histograms — how much latency
+    // the un-compacted mutation state adds to every search.
+    println!("\nmodelled search quantiles (p50/p95/p99 us):");
+    println!(
+        "    quiescent        {:>8.1} {:>8.1} {:>8.1}",
+        quiescent_q[0], quiescent_q[1], quiescent_q[2]
+    );
+    println!(
+        "    dirty            {:>8.1} {:>8.1} {:>8.1}",
+        dirty_q[0], dirty_q[1], dirty_q[2]
+    );
+    println!(
+        "    post-compaction  {:>8.1} {:>8.1} {:>8.1}",
+        compacted_q[0], compacted_q[1], compacted_q[2]
+    );
+    println!(
+        "    mutations        {:>8.1} {:>8.1} {:>8.1}",
+        mutation_q[0], mutation_q[1], mutation_q[2]
     );
 
     let cores = std::thread::available_parallelism()
@@ -285,7 +345,11 @@ fn main() {
          \"post_compaction_mean_us\": {compacted_us:.1}, \"segment_entries_at_peak\": {segment_entries}, \
          \"tombstones_at_peak\": {tombstones}, \"identical_after_compaction\": {identical} }},\n  \
          \"compaction\": {{ \"wall_ms\": {compact_wall_ms:.1}, \"modeled_latency_ms\": {model_comp:.2}, \
-         \"pages_rewritten\": {rewritten}, \"blocks_reclaimed\": {reclaimed} }}\n}}\n",
+         \"pages_rewritten\": {rewritten}, \"blocks_reclaimed\": {reclaimed} }},\n  \
+         \"interference\": {{ \"quiescent_p50_us\": {qq0:.2}, \"quiescent_p95_us\": {qq1:.2}, \
+         \"quiescent_p99_us\": {qq2:.2}, \"dirty_p50_us\": {dq0:.2}, \"dirty_p95_us\": {dq1:.2}, \
+         \"dirty_p99_us\": {dq2:.2}, \"post_compaction_p50_us\": {cq0:.2}, \
+         \"mutation_p50_us\": {mq0:.2}, \"mutation_p99_us\": {mq2:.2} }}\n}}\n",
         mode = scale.mode,
         entries = scale.entries,
         nlist = scale.nlist,
@@ -296,6 +360,15 @@ fn main() {
         model_comp = compaction.latency.as_secs_f64() * 1e3,
         rewritten = compaction.pages_rewritten,
         reclaimed = compaction.blocks_reclaimed,
+        qq0 = quiescent_q[0],
+        qq1 = quiescent_q[1],
+        qq2 = quiescent_q[2],
+        dq0 = dirty_q[0],
+        dq1 = dirty_q[1],
+        dq2 = dirty_q[2],
+        cq0 = compacted_q[0],
+        mq0 = mutation_q[0],
+        mq2 = mutation_q[2],
     );
     let path = report::output_path("BENCH_update.json");
     std::fs::write(&path, json).expect("write benchmark json");

@@ -658,6 +658,16 @@ pub mod artifacts {
             ("leaf_sweep", Kind::Arr),
             ("hedging", Kind::Obj),
         ];
+        const TELEMETRY: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("mode", Kind::Str),
+            ("dataset", Kind::Obj),
+            ("results_identical_with_telemetry", Kind::Bool),
+            ("fused_batch8", Kind::Obj),
+            ("interference", Kind::Obj),
+            ("hedge_quantiles", Kind::Obj),
+            ("exporters", Kind::Obj),
+        ];
         let base = file_name.rsplit('/').next().unwrap_or(file_name);
         match base {
             "BENCH_pr1.json" => Some(BATCH),
@@ -667,8 +677,10 @@ pub mod artifacts {
             "BENCH_pr5.json" => Some(ADAPTIVE),
             "BENCH_pr6.json" => Some(PERSISTENCE),
             "BENCH_pr7.json" => Some(SCALEOUT),
+            "BENCH_pr8.json" => Some(TELEMETRY),
             _ if base.contains("fig07b") => Some(BATCH),
             _ if base.contains("intra_query") => Some(INTRA),
+            _ if base.contains("telemetry") => Some(TELEMETRY),
             _ if base.contains("update") => Some(UPDATE),
             _ if base.contains("fused") => Some(FUSED),
             _ if base.contains("adaptive") => Some(ADAPTIVE),
@@ -769,6 +781,79 @@ pub mod artifacts {
                 }
             }
         }
+        // Telemetry family: the enabled-run must be result-identical, and
+        // the committed (full-mode) overhead on the fused batch-8 path must
+        // stay within the PR 8 budget. Smoke runs on shared CI runners are
+        // too noisy to gate on the percentage, so only `mode: "full"`
+        // artifacts enforce the bound.
+        if let Some(fused8) = doc.get("fused_batch8") {
+            if doc.get("results_identical_with_telemetry") != Some(&Json::Bool(true)) {
+                problems.push("results_identical_with_telemetry must be true".into());
+            }
+            for key in ["off_qps", "on_qps", "overhead_pct"] {
+                if !matches!(fused8.get(key), Some(Json::Num(_))) {
+                    problems.push(format!("fused_batch8: missing numeric '{key}'"));
+                }
+            }
+            if doc.get("mode") == Some(&Json::Str("full".into())) {
+                if let Some(Json::Num(pct)) = fused8.get("overhead_pct") {
+                    if *pct > 3.0 {
+                        problems.push(format!(
+                            "fused_batch8.overhead_pct must be <= 3.0 in full mode, got {pct}"
+                        ));
+                    }
+                }
+            }
+            if let Some(exporters) = doc.get("exporters") {
+                for key in ["prometheus_bytes", "json_snapshot_valid"] {
+                    if exporters.get(key).is_none() {
+                        problems.push(format!("exporters: missing '{key}'"));
+                    }
+                }
+            }
+        }
+        // The modelled search-vs-mutation interference section (always
+        // present in the telemetry family, opt-in for the update family —
+        // the committed `BENCH_pr3.json` predates it).
+        if let Some(interference) = doc.get("interference") {
+            for key in [
+                "quiescent_p50_us",
+                "quiescent_p95_us",
+                "quiescent_p99_us",
+                "dirty_p50_us",
+                "dirty_p95_us",
+                "dirty_p99_us",
+                "mutation_p50_us",
+                "mutation_p99_us",
+            ] {
+                if !matches!(interference.get(key), Some(Json::Num(_))) {
+                    problems.push(format!("interference: missing numeric '{key}'"));
+                }
+            }
+        }
+        // Per-policy hedge completion quantiles: any `policies` row that
+        // carries one quantile must carry the full p50/p95/p99 triple
+        // (opt-in for the scaleout family — `BENCH_pr7.json` predates it).
+        for section in ["hedging", "hedge_quantiles"] {
+            let Some(Json::Arr(policies)) = doc.get(section).and_then(|h| h.get("policies")) else {
+                continue;
+            };
+            let mandatory = section == "hedge_quantiles";
+            for (i, policy) in policies.iter().enumerate() {
+                if !mandatory && policy.get("completion_p50_us").is_none() {
+                    continue;
+                }
+                for key in [
+                    "completion_p50_us",
+                    "completion_p95_us",
+                    "completion_p99_us",
+                ] {
+                    if !matches!(policy.get(key), Some(Json::Num(_))) {
+                        problems.push(format!("{section}.policies[{i}]: missing numeric '{key}'"));
+                    }
+                }
+            }
+        }
         problems
     }
 
@@ -835,6 +920,7 @@ mod artifact_tests {
             "BENCH_pr5.json",
             "BENCH_pr6.json",
             "BENCH_pr7.json",
+            "BENCH_pr8.json",
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path).expect("committed artifact readable");
@@ -890,6 +976,10 @@ mod artifact_tests {
             required_keys("BENCH_scaleout_smoke.json"),
             required_keys("BENCH_pr7.json")
         );
+        assert_eq!(
+            required_keys("BENCH_telemetry_smoke.json"),
+            required_keys("BENCH_pr8.json")
+        );
         assert!(required_keys("mystery.json").is_none());
         assert!(!validate("mystery.json", &Json::Obj(vec![])).is_empty());
         // A wrongly typed required key is reported with both types.
@@ -902,6 +992,50 @@ mod artifact_tests {
         let bad = parse(r#"[ { "name": 3 } ]"#).unwrap();
         assert!(!validate("kernels-bench.json", &bad).is_empty());
         let _ = Kind::Num;
+    }
+
+    #[test]
+    fn telemetry_family_enforces_overhead_and_quantile_invariants() {
+        let doc = parse(
+            r#"{ "mode": "full", "results_identical_with_telemetry": false,
+                 "fused_batch8": { "off_qps": 100.0, "on_qps": 90.0, "overhead_pct": 10.0 },
+                 "hedge_quantiles": { "policies": [ { "deadline": "none" } ] } }"#,
+        )
+        .unwrap();
+        let problems = validate("BENCH_pr8.json", &doc);
+        assert!(problems.iter().any(|p| p.contains("overhead_pct must")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("results_identical_with_telemetry")));
+        assert!(problems.iter().any(|p| p.contains("completion_p50_us")));
+        // Smoke artifacts are too noisy to gate on the percentage.
+        let smoke = parse(
+            r#"{ "mode": "smoke", "results_identical_with_telemetry": true,
+                 "fused_batch8": { "off_qps": 100.0, "on_qps": 90.0, "overhead_pct": 10.0 } }"#,
+        )
+        .unwrap();
+        let smoke_problems = validate("BENCH_telemetry_smoke.json", &smoke);
+        assert!(!smoke_problems
+            .iter()
+            .any(|p| p.contains("overhead_pct must")));
+        // An update artifact that opts into the interference section must
+        // carry the full quantile set; scaleout policy rows that opt into
+        // completion quantiles must carry the whole triple.
+        let update = parse(r#"{ "interference": { "quiescent_p50_us": 1.0 } }"#).unwrap();
+        assert!(validate("BENCH_pr3.json", &update)
+            .iter()
+            .any(|p| p.contains("dirty_p99_us")));
+        let scaleout = parse(
+            r#"{ "hedging": { "policies": [
+                 { "deadline": "none", "completion_p50_us": 1.0 },
+                 { "deadline": "none" } ] } }"#,
+        )
+        .unwrap();
+        let scaleout_problems = validate("BENCH_pr7.json", &scaleout);
+        assert!(scaleout_problems
+            .iter()
+            .any(|p| p.contains("policies[0]") && p.contains("completion_p95_us")));
+        assert!(!scaleout_problems.iter().any(|p| p.contains("policies[1]")));
     }
 }
 

@@ -23,9 +23,12 @@
 //!   recovery restores each leaf independently and re-derives the id
 //!   watermark as the max over leaf watermarks.
 
+use std::time::Instant;
+
 use reis_ann::topk::Neighbor;
 use reis_nand::Nanos;
 use reis_persist::{ClusterManifest, PersistError, Vfs};
+use reis_telemetry::{CounterId, HistogramId, QueryTrace, Span, Telemetry};
 
 use reis_core::system::ReisSystem;
 use reis_core::{
@@ -118,6 +121,11 @@ pub struct ClusterSystem {
     epoch: u64,
     /// Query sequence number (the skew model's per-query key).
     seq: u64,
+    /// Aggregator-side telemetry (fan-out counters, completion
+    /// histograms, per-leaf trace spans). Each leaf additionally keeps
+    /// its own [`ReisSystem`] telemetry handle; see
+    /// [`ClusterSystem::enable_telemetry`].
+    telemetry: Telemetry,
 }
 
 impl ClusterSystem {
@@ -138,6 +146,7 @@ impl ClusterSystem {
             manifest_vfs: None,
             epoch: 0,
             seq: 0,
+            telemetry: Telemetry::from_env(),
         })
     }
 
@@ -196,6 +205,7 @@ impl ClusterSystem {
                 manifest_vfs: Some(manifest_vfs),
                 epoch: manifest.epoch,
                 seq: 0,
+                telemetry: Telemetry::from_env(),
             };
             let recovery = ClusterRecovery {
                 epoch: manifest.epoch,
@@ -219,6 +229,7 @@ impl ClusterSystem {
                 manifest_vfs: Some(manifest_vfs),
                 epoch: 0,
                 seq: 0,
+                telemetry: Telemetry::from_env(),
             };
             Ok((cluster, None))
         }
@@ -244,6 +255,26 @@ impl ClusterSystem {
     /// Replace the hedging policy in place.
     pub fn set_hedging(&mut self, hedge: Option<HedgePolicy>) {
         self.hedge = hedge;
+    }
+
+    /// The aggregator's telemetry handle (fan-out counters, leaf
+    /// completion and fan-out histograms, cluster query traces). Per-leaf
+    /// counters live on each leaf's own handle: `cluster.leaf(i).telemetry()`.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Enable telemetry on the aggregator and on every leaf (fresh
+    /// registries where not already enabled). Recording is strictly
+    /// observational: results, activity accounting and modelled schedules
+    /// are bit-identical with telemetry on or off.
+    pub fn enable_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::enabled();
+        }
+        for leaf in &mut self.leaves {
+            leaf.enable_telemetry();
+        }
     }
 
     /// Deploy a flat corpus sharded across the leaves: union-fitted
@@ -435,6 +466,8 @@ impl ClusterSystem {
         }
         let seq = self.seq;
         self.seq += 1;
+        let enabled = self.telemetry.is_enabled();
+        let mut spans: Vec<Span> = Vec::new();
 
         // Scatter: every leaf runs the in-storage pipeline through the
         // rerank and reports its full scored candidate set.
@@ -444,6 +477,7 @@ impl ClusterSystem {
         let mut fanout_latency = Nanos::ZERO;
         let mut hedges_launched = 0;
         for (leaf_idx, leaf) in self.leaves.iter_mut().enumerate() {
+            let leaf_started = enabled.then(Instant::now);
             let outcome = leaf.leaf_query(self.leaf_dbs[leaf_idx], query, k, nprobe)?;
             debug_assert!(
                 budget == 0 || budget == outcome.candidate_budget,
@@ -461,9 +495,26 @@ impl ClusterSystem {
             hedges_launched += usize::from(hedged);
             activity.absorb(&outcome.activity);
             per_leaf.push(outcome.candidates);
+            if enabled {
+                self.telemetry.count(CounterId::LeafRequests, 1);
+                if hedged {
+                    self.telemetry.count(CounterId::HedgesLaunched, 1);
+                }
+                self.telemetry
+                    .observe(HistogramId::LeafCompletionNs, completion.as_nanos());
+                spans.push(Span {
+                    stage: if hedged { "leaf_hedged" } else { "leaf" },
+                    index: leaf_idx as u32,
+                    wall_ns: leaf_started
+                        .map(|t0| t0.elapsed().as_nanos() as u64)
+                        .unwrap_or(0),
+                    modelled_ns: completion.as_nanos(),
+                });
+            }
         }
 
         // Gather: replay the single-device cut and ranking over the union.
+        let merge_started = enabled.then(Instant::now);
         let merged = merge_top_k(&per_leaf, budget, k);
         let results: Vec<Neighbor> = merged
             .winners
@@ -473,6 +524,10 @@ impl ClusterSystem {
 
         // Fetch only the winners' chunks, each from its owning leaf, and
         // splice them back into global rank order.
+        let merge_wall = merge_started
+            .map(|t0| t0.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        let doc_started = enabled.then(Instant::now);
         let mut documents: Vec<Vec<u8>> = vec![Vec::new(); results.len()];
         let mut document_latency = Nanos::ZERO;
         for leaf_idx in 0..self.leaves.len() {
@@ -496,6 +551,32 @@ impl ClusterSystem {
             }
         }
         activity.documents = results.len();
+
+        if enabled {
+            self.telemetry.count(CounterId::ClusterQueries, 1);
+            self.telemetry
+                .observe(HistogramId::FanoutNs, fanout_latency.as_nanos());
+            spans.push(Span {
+                stage: "merge",
+                index: 0,
+                wall_ns: merge_wall,
+                modelled_ns: 0,
+            });
+            spans.push(Span {
+                stage: "doc_fetch",
+                index: 0,
+                wall_ns: doc_started
+                    .map(|t0| t0.elapsed().as_nanos() as u64)
+                    .unwrap_or(0),
+                modelled_ns: document_latency.as_nanos(),
+            });
+            let sequence = self.telemetry.next_sequence();
+            self.telemetry.record_trace(QueryTrace {
+                sequence,
+                kind: "cluster_search",
+                spans,
+            });
+        }
 
         Ok(ClusterSearchOutcome {
             results,

@@ -32,6 +32,7 @@
 //! never changes search results.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use reis_ann::quantize::{BinaryQuantizer, Int8Quantizer};
 use reis_ann::vector::{BinaryVector, Int8Vector};
@@ -40,6 +41,7 @@ use reis_persist::{
     WalTail,
 };
 use reis_ssd::{RegionKind, SsdController};
+use reis_telemetry::{CounterId, HistogramId};
 
 use crate::config::ReisConfig;
 use crate::database::{ClusterInfo, VectorDatabase};
@@ -137,6 +139,8 @@ impl ReisSystem {
     pub fn open(config: ReisConfig, store: DurableStore) -> Result<(Self, Option<RecoveryReport>)> {
         if store.snapshot_seqs_desc()?.is_empty() {
             let mut system = ReisSystem::new(config);
+            let mut store = store;
+            store.set_telemetry(system.telemetry.clone());
             let bytes =
                 build_snapshot(&mut system.controller, &system.databases, system.next_db_id)?;
             store.write_snapshot(0, &bytes)?;
@@ -170,6 +174,7 @@ impl ReisSystem {
                 "save() requires a durably opened system (see ReisSystem::open)".into(),
             )));
         }
+        let started = self.telemetry.is_enabled().then(Instant::now);
         let bytes = build_snapshot(&mut self.controller, &self.databases, self.next_db_id)?;
         let durability = self.durability.as_mut().expect("checked above");
         let seq = durability.seq + 1;
@@ -177,6 +182,10 @@ impl ReisSystem {
         durability.store.create_wal(seq)?;
         durability.seq = seq;
         durability.store.prune_before(seq.saturating_sub(1))?;
+        if let Some(t0) = started {
+            self.telemetry
+                .observe(HistogramId::SnapshotWallNs, t0.elapsed().as_nanos() as u64);
+        }
         Ok(seq)
     }
 
@@ -204,6 +213,7 @@ impl ReisSystem {
     /// * Replay errors if an intact WAL record does not re-apply (id
     ///   divergence — a bug or foul play, not a crash artifact).
     pub fn recover(config: ReisConfig, store: DurableStore) -> Result<(Self, RecoveryReport)> {
+        let started = Instant::now();
         let snapshot_seqs = store.snapshot_seqs_desc()?;
         if snapshot_seqs.is_empty() {
             return Err(PersistError::NoSnapshot.into());
@@ -272,8 +282,24 @@ impl ReisSystem {
 
         // Checkpoint the recovered state as a fresh epoch; the quarantined
         // tail (if any) stays behind on storage, off the recovery path.
+        let mut store = store;
+        store.set_telemetry(system.telemetry.clone());
         system.durability = Some(Durability { store, seq: tip });
         let checkpoint_seq = system.save()?;
+
+        if system.telemetry.is_enabled() {
+            system.telemetry.count(CounterId::Recoveries, 1);
+            system
+                .telemetry
+                .count(CounterId::WalRecordsReplayed, wal_records_applied);
+            if quarantined.is_some() {
+                system.telemetry.count(CounterId::WalQuarantines, 1);
+            }
+            system.telemetry.observe(
+                HistogramId::RecoveryWallNs,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
 
         Ok((
             system,

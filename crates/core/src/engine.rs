@@ -142,6 +142,25 @@ pub struct ScanScratch {
     /// stored page against the broadcast query, computed here instead of in
     /// the plane's (shared) page buffer.
     xor_latch: Vec<u8>,
+    /// Per-window passed-entry counts of the most recent fine scan, filled
+    /// only when `record_windows` is set (telemetry enabled). A static scan
+    /// logs one window; a windowed adaptive scan logs one count per barrier
+    /// plus the trailing partial window, so the log always sums to the
+    /// scan's `entries_passed`. Recording happens at the existing barrier /
+    /// scan-end points on the driving thread, never inside a scan loop, so
+    /// it cannot perturb execution.
+    pub(crate) window_log: Vec<u64>,
+    /// Whether the next fine scan should fill `window_log`.
+    pub(crate) record_windows: bool,
+    /// Per-page explain capture of the next fine scan (telemetry explain
+    /// mode): `Some` arms the capture. Only pages walked by the sequential
+    /// scan driver are captured, so explain traces are exact under
+    /// [`ScanParallelism::pinned_sequential`](crate::config::ScanParallelism)
+    /// and cover the sequentially scanned subset otherwise.
+    pub(crate) explain_log: Option<Vec<reis_telemetry::ExplainEvent>>,
+    /// The adaptive-window index the windowed driver is currently in
+    /// (annotates explain events; maintained only while capturing).
+    pub(crate) explain_window: u32,
     /// Per-shard scratches of an intra-query sharded scan, grown on first
     /// use and reused across queries. Each scan shard's worker thread owns
     /// one — its own latch image, distance buffer and Temporal Top List —
@@ -562,6 +581,7 @@ impl<'a> InStorageEngine<'a> {
                     .page_buffer(addr.plane_addr())?
                     .oob()
                     .unwrap_or(&[]);
+                let entries_before = counts.entries_passed;
                 for &(slot, distance) in &self.scratch.passing {
                     let oob_entry = oob_layout.unpack_entry(oob, slot as usize)?;
                     if let Some(entry) = make_entry(page_offset, slot as usize, distance, oob_entry)
@@ -569,6 +589,14 @@ impl<'a> InStorageEngine<'a> {
                         counts.entries_passed += 1;
                         self.scratch.ttl.push(entry);
                     }
+                }
+                if let Some(events) = self.scratch.explain_log.as_mut() {
+                    events.push(reis_telemetry::ExplainEvent {
+                        page: page_offset as u32,
+                        window: self.scratch.explain_window,
+                        slots: limit as u32,
+                        passed: (counts.entries_passed - entries_before) as u32,
+                    });
                 }
             }
         }
@@ -934,6 +962,11 @@ impl<'a> InStorageEngine<'a> {
             }
             self.scratch.cluster_buf = seg_clusters;
         }
+        // A static scan is one telemetry "window": the whole page list under
+        // one threshold.
+        if self.scratch.record_windows && counts.entries_passed > 0 {
+            self.scratch.window_log.push(counts.entries_passed as u64);
+        }
         Ok(counts)
     }
 
@@ -993,6 +1026,9 @@ impl<'a> InStorageEngine<'a> {
 
         let mut base_idx = 0usize;
         let mut base_off = 0usize;
+        // Entries already logged into the telemetry window log (recording
+        // happens at the barriers below, on this thread only).
+        let mut logged_entries = 0usize;
         let mut scan = |engine: &mut Self,
                         run_cursor: &mut reis_update::RunCursor,
                         run_slices: &mut Vec<reis_update::RunSlice>,
@@ -1085,10 +1121,30 @@ impl<'a> InStorageEngine<'a> {
                 // window's accumulated TTL state.
                 tighten_threshold(&mut engine.scratch.ttl, candidate_count, &mut threshold);
                 counts.windows += 1;
+                if engine.scratch.record_windows {
+                    engine
+                        .scratch
+                        .window_log
+                        .push((counts.entries_passed - logged_entries) as u64);
+                    logged_entries = counts.entries_passed;
+                }
+                if engine.scratch.explain_log.is_some() {
+                    engine.scratch.explain_window += 1;
+                }
             }
             Ok(counts)
         };
         let result = scan(self, &mut run_cursor, &mut run_slices, &mut win_ranges);
+        // Trailing partial window: entries admitted since the last barrier.
+        if self.scratch.record_windows {
+            if let Ok(counts) = &result {
+                if counts.entries_passed > logged_entries {
+                    self.scratch
+                        .window_log
+                        .push((counts.entries_passed - logged_entries) as u64);
+                }
+            }
+        }
 
         self.scratch.cluster_buf = seg_clusters;
         self.scratch.run_cursor = run_cursor;

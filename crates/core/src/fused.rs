@@ -54,10 +54,12 @@
 //! account their work.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use reis_nand::peripheral::PassFailChecker;
 use reis_nand::{FlashStats, FusedHit, OobEntry, OobLayout, ScanShardPlan};
 use reis_ssd::{ControllerActivity, SsdController, StripedRegion};
+use reis_telemetry::Telemetry;
 
 use crate::config::{ReisConfig, ScanParallelism};
 use crate::deploy::DeployedDatabase;
@@ -66,7 +68,7 @@ use crate::engine::{self, InStorageEngine, ScanCounts, ScanScratch};
 use crate::error::{ReisError, Result};
 use crate::perf::{PerfModel, QueryActivity};
 use crate::records::{TemporalTopList, TtlEntry};
-use crate::system::SearchOutcome;
+use crate::system::{record_query_telemetry, SearchOutcome, StageWalls};
 
 /// The immutable per-query plan: the slot-padded binary query image the
 /// fused kernel scores against, and the selection the query's fine scan
@@ -96,6 +98,12 @@ struct QueryScanState {
     coarse: ScanCounts,
     /// Fine-phase activity (base region plus append segments).
     fine: ScanCounts,
+    /// Per-window passed-entry counts (telemetry only, recorded at the
+    /// chunk/segment barriers on the driving thread; sums to
+    /// `fine.entries_passed` like the sequential scan's log).
+    window_log: Vec<u64>,
+    /// Entries already pushed into `window_log`.
+    logged_entries: usize,
 }
 
 impl QueryScanState {
@@ -105,7 +113,16 @@ impl QueryScanState {
             ttl: TemporalTopList::new(),
             coarse: ScanCounts::default(),
             fine: ScanCounts::default(),
+            window_log: Vec::new(),
+            logged_entries: 0,
         }
+    }
+
+    /// Log the entries admitted since the last barrier as one window.
+    fn log_window(&mut self) {
+        self.window_log
+            .push((self.fine.entries_passed - self.logged_entries) as u64);
+        self.logged_entries = self.fine.entries_passed;
     }
 }
 
@@ -307,10 +324,13 @@ pub(crate) fn execute_batch_fused(
     k: usize,
     nprobe: Option<usize>,
     shard_budget: usize,
+    telemetry: &Telemetry,
 ) -> Result<Vec<SearchOutcome>> {
     if queries.is_empty() {
         return Ok(Vec::new());
     }
+    let record = telemetry.is_enabled();
+    let scan_started = record.then(Instant::now);
     let layout = db.layout;
     let geometry = controller.config().geometry;
     let slot_bytes = layout.embedding_slot_bytes;
@@ -601,6 +621,9 @@ pub(crate) fn execute_batch_fused(
                                 candidate_count,
                                 &mut state.threshold,
                             );
+                            if record {
+                                state.log_window();
+                            }
                         }
                     }
                 }
@@ -702,12 +725,24 @@ pub(crate) fn execute_batch_fused(
                                                 candidate_count,
                                                 &mut state.threshold,
                                             );
+                                            if record {
+                                                state.log_window();
+                                            }
                                         }
                                     }
                                 }
                             }
                         }
                     }
+                }
+            }
+        }
+        // Trailing telemetry window per query: entries admitted since the
+        // last barrier (the whole scan for a statically filtered batch).
+        if record {
+            for state in states.iter_mut() {
+                if state.fine.entries_passed > state.logged_entries {
+                    state.log_window();
                 }
             }
         }
@@ -741,8 +776,16 @@ pub(crate) fn execute_batch_fused(
     // selection, INT8 rerank and document fetch, measured with per-query
     // device deltas so the outcome's flash/DRAM accounting matches a
     // sequential run of the same query.
+    //
+    // Telemetry wall clocks: the fused scan served the whole batch at once,
+    // so its wall time is amortized evenly across the queries; the
+    // downstream phases are timed per query.
+    let scan_wall_per_query = scan_started
+        .map(|t0| t0.elapsed().as_nanos() as u64 / queries.len() as u64)
+        .unwrap_or(0);
     let mut outcomes = Vec::with_capacity(queries.len());
     for (q, state) in states.iter_mut().enumerate() {
+        let downstream_started = record.then(Instant::now);
         state.ttl.quickselect(candidate_count.max(1));
         state.ttl.sort_ascending();
         std::mem::swap(&mut scratch.ttl, &mut state.ttl);
@@ -781,14 +824,32 @@ pub(crate) fn execute_batch_fused(
         let core_busy = perf.core_busy(&activity, k);
         let energy_breakdown =
             energy.query_energy(&flash_stats, dram_bytes, core_busy, latency.total());
-        outcomes.push(SearchOutcome {
+        let outcome = SearchOutcome {
             results,
             documents,
             latency,
             activity,
             energy: energy_breakdown,
             flash_stats,
-        });
+        };
+        if record {
+            let walls = StageWalls {
+                fine: scan_wall_per_query,
+                rerank: downstream_started
+                    .map(|t0| t0.elapsed().as_nanos() as u64)
+                    .unwrap_or(0),
+                ..StageWalls::default()
+            };
+            record_query_telemetry(
+                telemetry,
+                "fused_batch",
+                &walls,
+                &state.window_log,
+                None,
+                &outcome,
+            );
+        }
+        outcomes.push(outcome);
     }
     Ok(outcomes)
 }

@@ -43,6 +43,7 @@
 use reis_ann::topk::Neighbor;
 use reis_nand::{FlashStats, Nanos};
 use reis_persist::WalRecord;
+use reis_telemetry::{CounterId, HistogramId};
 
 use crate::config::ScanParallelism;
 use crate::database::VectorDatabase;
@@ -271,6 +272,12 @@ impl ReisSystem {
         let query_binary = db.binary_quantizer.quantize(query)?;
         let query_int8 = db.int8_quantizer.quantize(query)?;
 
+        // Leaf scans are static-threshold (adaptive off), so per-window
+        // telemetry is a single-device concern; make sure a previous
+        // single-device query's recording flags don't linger.
+        self.scratch.record_windows = false;
+        self.scratch.explain_log = None;
+
         let stats_before = *self.controller.device().stats();
         let dram_before =
             self.controller.dram().bytes_read() + self.controller.dram().bytes_written();
@@ -308,6 +315,24 @@ impl ReisSystem {
         let energy = self
             .energy
             .query_energy(&flash_stats, dram_bytes, core_busy, latency.total());
+
+        if self.telemetry.is_enabled() {
+            self.telemetry.count(CounterId::Queries, 1);
+            self.telemetry
+                .count(CounterId::CoarsePages, activity.coarse_pages as u64);
+            self.telemetry
+                .count(CounterId::FinePages, activity.fine_pages as u64);
+            self.telemetry
+                .count(CounterId::FineEntries, activity.fine_entries as u64);
+            self.telemetry.count(
+                CounterId::RerankCandidates,
+                activity.rerank_candidates as u64,
+            );
+            self.telemetry
+                .count(CounterId::FlashSenses, flash_stats.page_reads);
+            self.telemetry
+                .observe(HistogramId::QueryModelledNs, latency.total().as_nanos());
+        }
 
         Ok(LeafQueryOutcome {
             candidates,

@@ -80,5 +80,9 @@ pub use records::{RIvf, RIvfEntry, TemporalTopList, TtlEntry};
 pub use reis_persist::{
     DirVfs, DurableStore, FaultHandle, FaultVfs, MemVfs, PersistError, Vfs, WalRecord,
 };
+pub use reis_telemetry::{
+    CounterId, ExplainEvent, ExplainTrace, GaugeId, HistogramId, HistogramSnapshot, QueryTrace,
+    Span, Telemetry, TELEMETRY_ENV,
+};
 pub use reis_update::{CompactionPolicy, MutationStats, UpdateState};
 pub use system::{ReisSystem, SearchOutcome};

@@ -10,6 +10,7 @@
 //! own engine scratch.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +18,9 @@ use reis_ann::topk::Neighbor;
 use reis_nand::{FlashStats, Nanos};
 use reis_persist::WalRecord;
 use reis_ssd::{ControllerActivity, RegionKind, SsdController, SsdMode};
+use reis_telemetry::{
+    CounterId, ExplainEvent, ExplainTrace, GaugeId, HistogramId, QueryTrace, Span, Telemetry,
+};
 
 use crate::config::{BatchFusion, ReisConfig, ScanParallelism};
 use crate::database::VectorDatabase;
@@ -99,6 +103,14 @@ pub struct ReisSystem {
     /// replayed mutations avoid re-logging themselves. Attached by
     /// [`ReisSystem::open`] / [`ReisSystem::recover`] (see `crate::durable`).
     pub(crate) durability: Option<Durability>,
+    /// The telemetry handle every layer of this system records into.
+    /// Disabled by default (every recording call is a single branch);
+    /// enabled by `REIS_TELEMETRY=1` at construction or by
+    /// [`ReisSystem::enable_telemetry`]. Recording only reads values the
+    /// engine already computed, at merge/barrier/post-query points, so
+    /// results and all logical accounting are bit-identical with telemetry
+    /// on and off (the CI determinism gate enforces this).
+    pub(crate) telemetry: Telemetry,
 }
 
 impl ReisSystem {
@@ -132,6 +144,26 @@ impl ReisSystem {
             scratch: ScanScratch::new(),
             auto_shards,
             durability: None,
+            telemetry: Telemetry::from_env(),
+        }
+    }
+
+    /// The telemetry handle of this system (disabled unless
+    /// `REIS_TELEMETRY=1` was set at construction or
+    /// [`ReisSystem::enable_telemetry`] was called). Use it to read
+    /// counters/histograms, pull query traces, arm explain mode, or render
+    /// a Prometheus/JSON export.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Enable telemetry on this system with a fresh registry (no-op if
+    /// already enabled). Enabling is provably non-perturbing: results,
+    /// transferred-entry counts and all modelled accounting stay
+    /// bit-identical to a telemetry-off run.
+    pub fn enable_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::enabled();
         }
     }
 
@@ -207,6 +239,8 @@ impl ReisSystem {
         if self.durability.is_some() {
             self.save()?;
         }
+        self.telemetry
+            .gauge_set(GaugeId::DatabasesDeployed, self.databases.len() as u64);
         Ok(db_id)
     }
 
@@ -379,6 +413,7 @@ impl ReisSystem {
         // Clone the batch for the WAL only when a durable store is attached
         // (the clone is the record's payload; the ids it carries are filled
         // in after the mutation assigns them).
+        let started = self.telemetry.is_enabled().then(Instant::now);
         let wal_payload = self
             .durability
             .is_some()
@@ -392,6 +427,13 @@ impl ReisSystem {
                 ids: outcome.ids.clone(),
             })?;
         }
+        self.record_mutation(
+            CounterId::Inserts,
+            outcome.ids.len() as u64,
+            started,
+            &outcome,
+            db_id,
+        );
         Ok(outcome)
     }
 
@@ -438,8 +480,10 @@ impl ReisSystem {
     /// * [`ReisError::EntryNotFound`] if the id never existed or was
     ///   already deleted.
     pub fn delete(&mut self, db_id: u32, id: u32) -> Result<MutationOutcome> {
+        let started = self.telemetry.is_enabled().then(Instant::now);
         let outcome = self.delete_inner(db_id, id)?;
         self.log_wal(WalRecord::Delete { db_id, id })?;
+        self.record_mutation(CounterId::Deletes, 1, started, &outcome, db_id);
         Ok(outcome)
     }
 
@@ -477,6 +521,7 @@ impl ReisSystem {
         vector: &[f32],
         document: &[u8],
     ) -> Result<MutationOutcome> {
+        let started = self.telemetry.is_enabled().then(Instant::now);
         let outcome = self.upsert_inner(db_id, id, vector, document)?;
         if self.durability.is_some() {
             self.log_wal(WalRecord::Upsert {
@@ -486,6 +531,7 @@ impl ReisSystem {
                 document: document.to_vec(),
             })?;
         }
+        self.record_mutation(CounterId::Upserts, 1, started, &outcome, db_id);
         Ok(outcome)
     }
 
@@ -533,8 +579,13 @@ impl ReisSystem {
     /// * Flash/allocator errors if the device cannot hold the old and new
     ///   generation simultaneously during the rewrite.
     pub fn compact(&mut self, db_id: u32) -> Result<CompactionOutcome> {
+        let started = self.telemetry.is_enabled().then(Instant::now);
         let outcome = self.compact_inner(db_id)?;
         self.log_wal(WalRecord::Compact { db_id })?;
+        if self.telemetry.is_enabled() {
+            self.record_compaction(&outcome, started.map(|t0| t0.elapsed().as_nanos() as u64));
+            self.publish_gauges(db_id);
+        }
         Ok(outcome)
     }
 
@@ -585,6 +636,60 @@ impl ReisSystem {
         }
     }
 
+    /// Record one completed mutation: its counter, wall-clock and modelled
+    /// latencies, any compaction it triggered, and the refreshed update
+    /// gauges. No-op when telemetry is disabled.
+    fn record_mutation(
+        &self,
+        counter: CounterId,
+        entries: u64,
+        started: Option<Instant>,
+        outcome: &MutationOutcome,
+        db_id: u32,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.count(counter, entries);
+        if let Some(t0) = started {
+            self.telemetry
+                .observe(HistogramId::MutationWallNs, t0.elapsed().as_nanos() as u64);
+        }
+        self.telemetry
+            .observe(HistogramId::MutationModelledNs, outcome.latency.as_nanos());
+        if let Some(compaction) = &outcome.compaction {
+            // Auto-triggered: the wall clock is folded into the mutation's.
+            self.record_compaction(compaction, None);
+        }
+        self.publish_gauges(db_id);
+    }
+
+    /// Record one compaction pass (explicit or policy-triggered).
+    fn record_compaction(&self, outcome: &CompactionOutcome, wall_ns: Option<u64>) {
+        self.telemetry.count(CounterId::Compactions, 1);
+        self.telemetry.count(
+            CounterId::CompactionPagesRewritten,
+            outcome.pages_rewritten as u64,
+        );
+        self.telemetry.count(
+            CounterId::CompactionBlocksReclaimed,
+            outcome.blocks_reclaimed as u64,
+        );
+        if let Some(ns) = wall_ns {
+            self.telemetry.observe(HistogramId::CompactionWallNs, ns);
+        }
+    }
+
+    /// Refresh the update-state gauges (segment entries, tombstones) of a
+    /// database plus the deployment gauge.
+    fn publish_gauges(&self, db_id: u32) {
+        if let Some(db) = self.databases.get(&db_id) {
+            db.updates.publish_telemetry(&self.telemetry);
+        }
+        self.telemetry
+            .gauge_set(GaugeId::DatabasesDeployed, self.databases.len() as u64);
+    }
+
     /// Single-query execution. When the configured [`ScanParallelism`] is
     /// the constructor default (sequential) and no batch is in flight —
     /// which is always true here, since batches run through
@@ -622,6 +727,8 @@ impl ReisSystem {
             query,
             k,
             nprobe,
+            &self.telemetry,
+            "search",
         )
     }
 
@@ -735,6 +842,7 @@ impl ReisSystem {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
+        self.telemetry.count(CounterId::Batches, 1);
 
         // Page-major fused execution on the shared device (the default):
         // every distinct probed page is sensed once and scored against all
@@ -754,6 +862,7 @@ impl ReisSystem {
                 .read_is_error_free(embedding_scheme)
         {
             let shard_budget = workers.clamp(1, self.auto_shards.max(1));
+            self.telemetry.count(CounterId::FusedBatches, 1);
             return fused::execute_batch_fused(
                 &self.config,
                 &mut self.controller,
@@ -765,6 +874,7 @@ impl ReisSystem {
                 k,
                 nprobe,
                 shard_budget,
+                &self.telemetry,
             );
         }
 
@@ -783,6 +893,8 @@ impl ReisSystem {
                         query,
                         k,
                         nprobe,
+                        &self.telemetry,
+                        "batch",
                     )
                 })
                 .collect();
@@ -796,6 +908,7 @@ impl ReisSystem {
         let config = &self.config;
         let perf = &self.perf;
         let energy = &self.energy;
+        let telemetry = &self.telemetry;
         let controller = &self.controller;
         let activity_before = controller.activity_snapshot();
         let chunk_len = queries.len().div_ceil(workers);
@@ -831,6 +944,8 @@ impl ReisSystem {
                                     query,
                                     k,
                                     nprobe,
+                                    telemetry,
+                                    "batch",
                                 )
                             })
                             .collect();
@@ -888,6 +1003,8 @@ fn execute_query(
     query: &[f32],
     k: usize,
     nprobe: Option<usize>,
+    telemetry: &Telemetry,
+    kind: &'static str,
 ) -> Result<SearchOutcome> {
     let dim = db.binary_quantizer.dim();
     if query.len() != dim {
@@ -899,11 +1016,24 @@ fn execute_query(
     let query_binary = db.binary_quantizer.quantize(query)?;
     let query_int8 = db.int8_quantizer.quantize(query)?;
 
+    // Arm the scratch-side telemetry capture. Recording into the log
+    // happens at barrier/scan-end points on the driving thread and only
+    // *reads* counts the engine computed anyway, so execution is identical
+    // with telemetry on and off.
+    let enabled = telemetry.is_enabled();
+    scratch.record_windows = enabled;
+    scratch.window_log.clear();
+    scratch.explain_log = (enabled && telemetry.explain_armed()).then(Vec::new);
+    scratch.explain_window = 0;
+    let mut walls = StageWalls::default();
+    let mut mark = enabled.then(Instant::now);
+
     let stats_before = *controller.device().stats();
     let dram_before = controller.dram().bytes_read() + controller.dram().bytes_written();
 
     let mut engine = InStorageEngine::new(controller, *config, scratch);
     engine.broadcast_query(db, &query_binary)?;
+    stamp(&mut mark, &mut walls.broadcast);
 
     let (clusters, coarse_counts) = match nprobe {
         Some(nprobe) => {
@@ -912,13 +1042,17 @@ fn execute_query(
         }
         None => (None, Default::default()),
     };
+    stamp(&mut mark, &mut walls.coarse);
 
     let candidate_count = engine.rerank_candidates(k);
     let fine_counts =
         engine.fine_search(db, &query_binary, clusters.as_deref(), candidate_count)?;
+    stamp(&mut mark, &mut walls.fine);
     let num_candidates = engine.num_candidates();
     let (results, int8_pages) = engine.rerank(db, &query_int8, k)?;
+    stamp(&mut mark, &mut walls.rerank);
     let documents = engine.fetch_documents(db, &results)?;
+    stamp(&mut mark, &mut walls.doc_fetch);
 
     let activity = engine.activity(
         db,
@@ -936,14 +1070,115 @@ fn execute_query(
         controller.dram().bytes_read() + controller.dram().bytes_written() - dram_before;
     let energy = energy.query_energy(&flash_stats, dram_bytes, core_busy, latency.total());
 
-    Ok(SearchOutcome {
+    let outcome = SearchOutcome {
         results,
         documents,
         latency,
         activity,
         energy,
         flash_stats,
-    })
+    };
+    if enabled {
+        let window_log = std::mem::take(&mut scratch.window_log);
+        let explain_log = scratch.explain_log.take();
+        record_query_telemetry(telemetry, kind, &walls, &window_log, explain_log, &outcome);
+        scratch.window_log = window_log;
+    }
+    Ok(outcome)
+}
+
+/// Wall-clock nanoseconds of each query stage (all zero when telemetry is
+/// disabled or a stage did not run on this path).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct StageWalls {
+    pub(crate) broadcast: u64,
+    pub(crate) coarse: u64,
+    pub(crate) fine: u64,
+    pub(crate) rerank: u64,
+    pub(crate) doc_fetch: u64,
+}
+
+/// Advance a stage-timing mark: store the elapsed nanoseconds since the
+/// previous mark and restart the clock. No-op when timing is off.
+pub(crate) fn stamp(mark: &mut Option<Instant>, out: &mut u64) {
+    if let Some(t0) = mark {
+        *out = t0.elapsed().as_nanos() as u64;
+        *mark = Some(Instant::now());
+    }
+}
+
+/// Record one completed query into the telemetry handle: lifecycle
+/// counters, wall/modelled histograms, the trace-ring span record and the
+/// explain trace if one was armed. Shared by the sequential/replica path
+/// ([`execute_query`]) and the fused batch executor. No-op when disabled.
+pub(crate) fn record_query_telemetry(
+    telemetry: &Telemetry,
+    kind: &'static str,
+    walls: &StageWalls,
+    window_log: &[u64],
+    explain_log: Option<Vec<ExplainEvent>>,
+    outcome: &SearchOutcome,
+) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let activity = &outcome.activity;
+    let latency = &outcome.latency;
+    telemetry.count(CounterId::Queries, 1);
+    telemetry.count(CounterId::CoarsePages, activity.coarse_pages as u64);
+    telemetry.count(CounterId::FinePages, activity.fine_pages as u64);
+    telemetry.count(CounterId::FineEntries, activity.fine_entries as u64);
+    telemetry.count(CounterId::FineWindows, activity.fine_windows as u64);
+    telemetry.count(
+        CounterId::RerankCandidates,
+        activity.rerank_candidates as u64,
+    );
+    telemetry.count(CounterId::DocumentsFetched, activity.documents as u64);
+    telemetry.count(CounterId::FlashSenses, outcome.flash_stats.page_reads);
+    for &entries in window_log {
+        telemetry.count(CounterId::WindowEntries, entries);
+        telemetry.observe(HistogramId::WindowEntriesPerWindow, entries);
+    }
+    let wall_total = walls.broadcast + walls.coarse + walls.fine + walls.rerank + walls.doc_fetch;
+    telemetry.observe(HistogramId::QueryWallNs, wall_total);
+    telemetry.observe(HistogramId::QueryModelledNs, latency.total().as_nanos());
+    telemetry.observe(
+        HistogramId::CoarseModelledNs,
+        latency.coarse_scan.as_nanos(),
+    );
+    telemetry.observe(HistogramId::FineModelledNs, latency.fine_scan.as_nanos());
+    telemetry.observe(HistogramId::RerankModelledNs, latency.rerank.as_nanos());
+    telemetry.observe(
+        HistogramId::DocFetchModelledNs,
+        latency.document_fetch.as_nanos(),
+    );
+    let sequence = telemetry.next_sequence();
+    telemetry.record_trace(QueryTrace {
+        sequence,
+        kind,
+        spans: vec![
+            span("broadcast", walls.broadcast, latency.input_broadcast),
+            span("coarse_scan", walls.coarse, latency.coarse_scan),
+            span("fine_scan", walls.fine, latency.fine_scan),
+            span("select", 0, latency.select),
+            span("rerank", walls.rerank, latency.rerank),
+            span("doc_fetch", walls.doc_fetch, latency.document_fetch),
+            span("host_transfer", 0, latency.host_transfer),
+        ],
+    });
+    if let Some(events) = explain_log {
+        telemetry.record_explain(ExplainTrace { sequence, events });
+    }
+}
+
+/// A lifecycle span with both clocks (see [`reis_telemetry::Span`]).
+fn span(stage: &'static str, wall_ns: u64, modelled: Nanos) -> Span {
+    Span {
+        stage,
+        index: 0,
+        wall_ns,
+        modelled_ns: modelled.as_nanos(),
+    }
 }
 
 #[cfg(test)]

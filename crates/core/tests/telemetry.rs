@@ -1,0 +1,324 @@
+//! Telemetry accounting invariants and non-perturbation.
+//!
+//! Telemetry must be a pure observer: enabling it may never change a
+//! result, a transferred-entry count or any logical accounting. On top of
+//! that, its counters must *agree* with the engine's own accounting:
+//!
+//! * the per-window entry log sums to the scan's transferred-entry count
+//!   (`WindowEntries` == `FineEntries`), under sequential, sharded and
+//!   fused execution, static and windowed-adaptive thresholds, pre- and
+//!   post-compaction;
+//! * the `FlashSenses` counter equals the sum of the per-query
+//!   [`FlashStats`] sense counts the outcomes report;
+//! * each leaf's own `Queries` counter sums (over leaves) to the
+//!   aggregator's `LeafRequests` fan-out count.
+
+use proptest::prelude::*;
+
+use reis_cluster::ClusterSystem;
+use reis_core::{
+    BatchFusion, CounterId, HistogramId, ReisConfig, ReisSystem, ScanParallelism, VectorDatabase,
+};
+
+const DIM: usize = 32;
+
+fn corpus(entries: usize, salt: usize) -> (Vec<Vec<f32>>, Vec<Vec<u8>>) {
+    let vectors: Vec<Vec<f32>> = (0..entries)
+        .map(|i| {
+            (0..DIM)
+                .map(|d| (((i * 13 + d * 7 + salt * 3) % 29) as f32 - 14.0) / 5.0)
+                .collect()
+        })
+        .collect();
+    let documents: Vec<Vec<u8>> = (0..entries)
+        .map(|i| format!("doc {i}").into_bytes())
+        .collect();
+    (vectors, documents)
+}
+
+proptest! {
+    /// Σ per-window entry counts == the scan's transferred entries, for
+    /// sequential and sharded scans, static and windowed thresholds,
+    /// before and after a compaction.
+    #[test]
+    fn window_entry_log_sums_to_transferred_entries(
+        entries in 24usize..100,
+        salt in 0usize..1_000,
+        shards in 1usize..4,
+        adaptive_flag in 0usize..2,
+    ) {
+        let (vectors, documents) = corpus(entries, salt);
+        let db = VectorDatabase::flat(&vectors, documents).expect("valid database");
+        let parallelism = if shards == 1 {
+            ScanParallelism::sequential()
+        } else {
+            ScanParallelism::sharded(shards).with_min_pages_per_shard(1)
+        };
+        let config = ReisConfig::tiny()
+            .with_scan_parallelism(parallelism)
+            .with_adaptive_filtering(adaptive_flag == 1);
+        let mut system = ReisSystem::new(config);
+        system.enable_telemetry();
+        let db_id = system.deploy(&db).expect("deploy");
+
+        let mut mutated = false;
+        for round in 0..2 {
+            let before_windows = system.telemetry().counter(CounterId::WindowEntries);
+            let before_entries = system.telemetry().counter(CounterId::FineEntries);
+            let outcome = system
+                .search(db_id, &vectors[salt % entries], 5)
+                .expect("search");
+            let t = system.telemetry();
+            prop_assert_eq!(
+                t.counter(CounterId::WindowEntries) - before_windows,
+                outcome.activity.fine_entries as u64,
+                "window log sum != transferred entries (round {})", round
+            );
+            prop_assert_eq!(
+                t.counter(CounterId::FineEntries) - before_entries,
+                outcome.activity.fine_entries as u64
+            );
+            if !mutated {
+                // Mutate and compact, then re-check on the rewritten corpus.
+                let fresh: Vec<f32> = (0..DIM).map(|d| (d % 5) as f32).collect();
+                system.insert(db_id, &fresh, b"fresh".to_vec()).expect("insert");
+                system.delete(db_id, (salt % entries) as u32).expect("delete");
+                system.compact(db_id).expect("compact");
+                mutated = true;
+            }
+        }
+    }
+
+    /// The `FlashSenses` counter equals the summed per-query sense counts,
+    /// and `FineWindows` the summed window counts, across sequential,
+    /// replica and fused batch execution.
+    #[test]
+    fn sense_counter_matches_flash_stats(
+        entries in 24usize..80,
+        salt in 0usize..1_000,
+        fused_flag in 0usize..2,
+        workers in 1usize..4,
+    ) {
+        let (vectors, documents) = corpus(entries, salt);
+        let db = VectorDatabase::flat(&vectors, documents).expect("valid database");
+        let fused = fused_flag == 1;
+        let fusion = if fused { BatchFusion::Fused } else { BatchFusion::Replicas };
+        let config = ReisConfig::tiny().with_batch_fusion(fusion);
+        let mut system = ReisSystem::new(config);
+        system.enable_telemetry();
+        let db_id = system.deploy(&db).expect("deploy");
+
+        let queries: Vec<Vec<f32>> = (0..4).map(|q| vectors[(salt + q * 7) % entries].clone()).collect();
+        let outcomes = system.search_batch(db_id, &queries, 5, workers).expect("batch");
+
+        let t = system.telemetry();
+        let senses: u64 = outcomes.iter().map(|o| o.flash_stats.page_reads).sum();
+        let windows: u64 = outcomes.iter().map(|o| o.activity.fine_windows as u64).sum();
+        let fine_entries: u64 = outcomes.iter().map(|o| o.activity.fine_entries as u64).sum();
+        prop_assert_eq!(t.counter(CounterId::FlashSenses), senses);
+        prop_assert_eq!(t.counter(CounterId::FineWindows), windows);
+        prop_assert_eq!(t.counter(CounterId::FineEntries), fine_entries);
+        prop_assert_eq!(t.counter(CounterId::WindowEntries), fine_entries);
+        prop_assert_eq!(t.counter(CounterId::Queries), outcomes.len() as u64);
+        prop_assert_eq!(t.counter(CounterId::Batches), 1);
+        prop_assert_eq!(t.counter(CounterId::FusedBatches), u64::from(fused));
+    }
+
+    /// Σ over leaves of each leaf's own `Queries` counter equals the
+    /// aggregator's `LeafRequests` count, pre- and post-compaction.
+    #[test]
+    fn leaf_query_counters_sum_to_aggregator_fanout(
+        num_leaves in 1usize..5,
+        entries in 24usize..60,
+        salt in 0usize..1_000,
+    ) {
+        let (vectors, documents) = corpus(entries, salt);
+        let mut cluster = ClusterSystem::new(ReisConfig::tiny(), num_leaves).expect("cluster");
+        cluster.enable_telemetry();
+        cluster.deploy_flat(&vectors, &documents).expect("deploy");
+
+        for q in 0..3 {
+            cluster.search(&vectors[(salt + q * 11) % entries], 5).expect("search");
+        }
+        cluster.compact().expect("compact");
+        cluster.search(&vectors[salt % entries], 5).expect("search");
+
+        let leaf_queries: u64 = (0..num_leaves)
+            .map(|leaf| cluster.leaf(leaf).telemetry().counter(CounterId::Queries))
+            .sum();
+        let t = cluster.telemetry();
+        prop_assert_eq!(t.counter(CounterId::ClusterQueries), 4);
+        prop_assert_eq!(t.counter(CounterId::LeafRequests), 4 * num_leaves as u64);
+        prop_assert_eq!(leaf_queries, t.counter(CounterId::LeafRequests));
+    }
+
+    /// Bit-identity: every field of every outcome — results, documents,
+    /// activity, modelled latency, flash statistics — is identical with
+    /// telemetry enabled and disabled, across fusion modes and a mutation.
+    #[test]
+    fn outcomes_identical_with_telemetry_on_and_off(
+        entries in 24usize..80,
+        salt in 0usize..1_000,
+        fused_flag in 0usize..2,
+        workers in 1usize..4,
+    ) {
+        let (vectors, documents) = corpus(entries, salt);
+        let db = VectorDatabase::flat(&vectors, documents).expect("valid database");
+        let fused = fused_flag == 1;
+        let fusion = if fused { BatchFusion::Fused } else { BatchFusion::Replicas };
+        let config = ReisConfig::tiny().with_batch_fusion(fusion);
+
+        let mut plain = ReisSystem::new(config);
+        let mut observed = ReisSystem::new(config);
+        observed.enable_telemetry();
+
+        let plain_id = plain.deploy(&db).expect("deploy");
+        let observed_id = observed.deploy(&db).expect("deploy");
+        let queries: Vec<Vec<f32>> = (0..3).map(|q| vectors[(salt + q * 5) % entries].clone()).collect();
+
+        let a = plain.search_batch(plain_id, &queries, 5, workers).expect("batch");
+        let b = observed.search_batch(observed_id, &queries, 5, workers).expect("batch");
+        prop_assert_eq!(&a, &b, "telemetry perturbed a batched search");
+
+        let fresh: Vec<f32> = (0..DIM).map(|d| (d % 7) as f32).collect();
+        let ma = plain.insert(plain_id, &fresh, b"x".to_vec()).expect("insert");
+        let mb = observed.insert(observed_id, &fresh, b"x".to_vec()).expect("insert");
+        prop_assert_eq!(&ma, &mb, "telemetry perturbed a mutation");
+
+        let a = plain.search(plain_id, &fresh, 3).expect("search");
+        let b = observed.search(observed_id, &fresh, 3).expect("search");
+        prop_assert_eq!(&a, &b, "telemetry perturbed a post-mutation search");
+    }
+}
+
+/// The on-demand explain trace covers exactly the fine-scan pages of the
+/// next query and its per-page passed counts sum to the transferred-entry
+/// count; capturing it disarms the trigger.
+#[test]
+fn explain_trace_accounts_for_every_scanned_page() {
+    let (vectors, documents) = corpus(64, 7);
+    let db = VectorDatabase::flat(&vectors, documents).unwrap();
+    let config = ReisConfig::tiny()
+        .with_scan_parallelism(ScanParallelism::sequential())
+        .with_adaptive_filtering(true);
+    let mut system = ReisSystem::new(config);
+    system.enable_telemetry();
+    let db_id = system.deploy(&db).unwrap();
+
+    system.telemetry().arm_explain();
+    let outcome = system.search(db_id, &vectors[11], 5).unwrap();
+
+    let explain = system
+        .telemetry()
+        .last_explain()
+        .expect("explain trace captured");
+    assert_eq!(explain.events.len(), outcome.activity.fine_pages);
+    assert_eq!(explain.total_passed(), outcome.activity.fine_entries as u64);
+    // Window annotations are monotone and match the scan's window count.
+    let max_window = explain.events.iter().map(|e| e.window).max().unwrap_or(0);
+    assert!((max_window as usize) < outcome.activity.fine_windows.max(1));
+    assert!(!system.telemetry().explain_armed(), "capture disarms");
+
+    // The next query does not record a new explain trace.
+    let before = explain.sequence;
+    system.search(db_id, &vectors[12], 5).unwrap();
+    assert_eq!(system.telemetry().last_explain().unwrap().sequence, before);
+}
+
+/// Query traces land in the ring with both clocks populated and modelled
+/// spans matching the outcome's latency breakdown.
+#[test]
+fn query_trace_spans_match_latency_breakdown() {
+    let (vectors, documents) = corpus(48, 3);
+    let db = VectorDatabase::flat(&vectors, documents).unwrap();
+    let mut system = ReisSystem::new(ReisConfig::tiny());
+    system.enable_telemetry();
+    let db_id = system.deploy(&db).unwrap();
+    let outcome = system.search(db_id, &vectors[5], 4).unwrap();
+
+    let trace = system.telemetry().last_trace().expect("trace recorded");
+    assert_eq!(trace.kind, "search");
+    assert_eq!(
+        trace.modelled_ns(),
+        outcome.latency.total().as_nanos(),
+        "trace spans must sum to the modelled query latency"
+    );
+    let stages: Vec<&str> = trace.spans.iter().map(|s| s.stage).collect();
+    assert_eq!(
+        stages,
+        vec![
+            "broadcast",
+            "coarse_scan",
+            "fine_scan",
+            "select",
+            "rerank",
+            "doc_fetch",
+            "host_transfer"
+        ]
+    );
+    // Histograms observed the same totals.
+    let t = system.telemetry();
+    assert_eq!(t.histogram(HistogramId::QueryModelledNs).count, 1);
+    assert_eq!(
+        t.histogram(HistogramId::QueryModelledNs).sum,
+        outcome.latency.total().as_nanos()
+    );
+}
+
+/// Durability wiring: WAL appends, snapshot writes and recovery land in
+/// the registry when telemetry is enabled via the environment.
+#[test]
+fn durability_counters_cover_wal_snapshot_and_recovery() {
+    use reis_core::{DurableStore, MemVfs};
+
+    let (vectors, documents) = corpus(32, 5);
+    let db = VectorDatabase::flat(&vectors, documents).unwrap();
+    let vfs = MemVfs::new();
+
+    // The durable store's handle is attached at open time, so telemetry
+    // must be on *before* the system is built (the env path a server uses).
+    let prior = std::env::var(reis_core::TELEMETRY_ENV).ok();
+    std::env::set_var(reis_core::TELEMETRY_ENV, "1");
+    let store = DurableStore::new(Box::new(vfs.clone()));
+    let (mut system, _) = ReisSystem::open(ReisConfig::tiny(), store).unwrap();
+    assert!(system.telemetry().is_enabled(), "env enables telemetry");
+    let db_id = system.deploy(&db).unwrap();
+    let fresh: Vec<f32> = (0..DIM).map(|d| (d % 3) as f32).collect();
+    system.insert(db_id, &fresh, b"fresh".to_vec()).unwrap();
+    system.delete(db_id, 1).unwrap();
+    system.save().unwrap();
+
+    let t = system.telemetry();
+    assert_eq!(t.counter(CounterId::Inserts), 1);
+    assert_eq!(t.counter(CounterId::Deletes), 1);
+    assert_eq!(
+        t.counter(CounterId::WalAppends),
+        2,
+        "insert + delete logged"
+    );
+    assert!(t.counter(CounterId::WalAppendBytes) > 0);
+    assert!(
+        t.counter(CounterId::SnapshotWrites) >= 2,
+        "deploy checkpoint + save"
+    );
+    assert!(t.counter(CounterId::SnapshotBytes) > 0);
+    // Two timed saves: the deploy's immediate checkpoint and the explicit one.
+    assert_eq!(t.histogram(HistogramId::SnapshotWallNs).count, 2);
+    assert_eq!(t.histogram(HistogramId::MutationWallNs).count, 2);
+    drop(system);
+
+    let store = DurableStore::new(Box::new(vfs));
+    let (recovered, report) = ReisSystem::recover(ReisConfig::tiny(), store).unwrap();
+    let t = recovered.telemetry();
+    assert_eq!(t.counter(CounterId::Recoveries), 1);
+    assert_eq!(
+        t.counter(CounterId::WalRecordsReplayed),
+        report.wal_records_applied
+    );
+    assert_eq!(t.counter(CounterId::WalQuarantines), 0);
+    assert_eq!(t.histogram(HistogramId::RecoveryWallNs).count, 1);
+    match prior {
+        Some(value) => std::env::set_var(reis_core::TELEMETRY_ENV, value),
+        None => std::env::remove_var(reis_core::TELEMETRY_ENV),
+    }
+}

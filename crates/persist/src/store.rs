@@ -15,6 +15,7 @@
 
 use crate::error::{PersistError, Result};
 use crate::vfs::Vfs;
+use reis_telemetry::{CounterId, Telemetry};
 
 /// Prefix of snapshot files.
 pub const SNAPSHOT_PREFIX: &str = "snapshot-";
@@ -25,12 +26,25 @@ pub const WAL_PREFIX: &str = "wal-";
 #[derive(Debug)]
 pub struct DurableStore {
     vfs: Box<dyn Vfs>,
+    /// Durability I/O counters (WAL appends, snapshot writes and their byte
+    /// volumes). Disabled by default; the owning system attaches its handle
+    /// via [`set_telemetry`](Self::set_telemetry).
+    telemetry: Telemetry,
 }
 
 impl DurableStore {
     /// A store over any VFS backend.
     pub fn new(vfs: Box<dyn Vfs>) -> Self {
-        DurableStore { vfs }
+        DurableStore {
+            vfs,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle; subsequent WAL appends and snapshot
+    /// writes record their counts and byte volumes through it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// A store over a real directory.
@@ -84,7 +98,11 @@ impl DurableStore {
 
     /// Write epoch `seq`'s snapshot file in one call.
     pub fn write_snapshot(&self, seq: u64, bytes: &[u8]) -> Result<()> {
-        self.vfs.write_file(&Self::snapshot_name(seq), bytes)
+        self.vfs.write_file(&Self::snapshot_name(seq), bytes)?;
+        self.telemetry.count(CounterId::SnapshotWrites, 1);
+        self.telemetry
+            .count(CounterId::SnapshotBytes, bytes.len() as u64);
+        Ok(())
     }
 
     /// Read epoch `seq`'s snapshot file.
@@ -101,7 +119,11 @@ impl DurableStore {
 
     /// Append one framed record to epoch `seq`'s WAL.
     pub fn append_wal(&self, seq: u64, frame: &[u8]) -> Result<()> {
-        self.vfs.append(&Self::wal_name(seq), frame)
+        self.vfs.append(&Self::wal_name(seq), frame)?;
+        self.telemetry.count(CounterId::WalAppends, 1);
+        self.telemetry
+            .count(CounterId::WalAppendBytes, frame.len() as u64);
+        Ok(())
     }
 
     /// Read epoch `seq`'s WAL, or an empty log if the file never made it

@@ -109,6 +109,20 @@ impl UpdateState {
         }
     }
 
+    /// Publish this state's shape into a telemetry handle: the
+    /// segment-entry and tombstone gauges. Called by the owning system
+    /// after every mutation/compaction; a no-op on a disabled handle.
+    pub fn publish_telemetry(&self, telemetry: &reis_telemetry::Telemetry) {
+        telemetry.gauge_set(
+            reis_telemetry::GaugeId::SegmentEntries,
+            self.store.len() as u64,
+        );
+        telemetry.gauge_set(
+            reis_telemetry::GaugeId::Tombstones,
+            self.tombstones.dead_count() as u64,
+        );
+    }
+
     /// Whether the database has no pending mutations (searches can take the
     /// base-region-only fast path).
     pub fn is_clean(&self) -> bool {

@@ -25,6 +25,9 @@
 //! * [`workloads`] — synthetic dataset generators and ground-truth
 //!   computation for the evaluation datasets.
 //! * [`rag`] — end-to-end RAG pipeline latency model.
+//! * [`telemetry`] — allocation-free metrics registry, per-query trace
+//!   spans and Prometheus/JSON exporters, threaded through `core`,
+//!   `persist`, `update` and `cluster` (zero overhead when disabled).
 //!
 //! # Quickstart
 //!
@@ -55,4 +58,5 @@ pub use reis_nand as nand;
 pub use reis_persist as persist;
 pub use reis_rag as rag;
 pub use reis_ssd as ssd;
+pub use reis_telemetry as telemetry;
 pub use reis_workloads as workloads;
