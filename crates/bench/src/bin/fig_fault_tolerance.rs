@@ -1,0 +1,344 @@
+//! Fault-tolerant cluster serving: modelled QPS, tail latency and
+//! availability versus injected leaf-failure rate, for replication
+//! factors 1–3 — with an in-binary check that every full-coverage answer
+//! is bit-identical to the no-fault single-device reference, and that the
+//! retry/backoff machinery costs nothing on the healthy path.
+//!
+//! Two measurements:
+//!
+//! * **Failure sweep** — a 3-shard cluster at R ∈ {1, 2, 3} under seeded
+//!   transient fault rates (fail-fast plus timeouts) and one permanent
+//!   kill of leaf 0 a quarter of the way in. Replication absorbs the
+//!   kill: at R ≥ 2 the shard fails over and coverage stays full, while
+//!   at R = 1 the shard is lost and availability (the fraction of
+//!   queries answered at full coverage) collapses — the answer degrades
+//!   *explicitly*, never silently. Retries and failover penalties fold
+//!   into the modelled fan-out latency, so p99 rises with the injected
+//!   rate.
+//! * **Retry overhead** — the same cluster run healthy twice: with no
+//!   fault plan, and with a zero-rate plan plus the full retry/backoff/
+//!   deadline machinery armed. The two runs must be bit-identical,
+//!   modelled latencies included, so the computed overhead is exactly
+//!   zero — the committed artifact gates it at ≤ 3%.
+//!
+//! Results are written to `BENCH_pr9.json` by default (this benchmark's
+//! committed artifact); pass `--output PATH` (or `REIS_BENCH_OUT`) to
+//! write elsewhere, and `--smoke` (or `REIS_BENCH_SMOKE=1`) for the fast
+//! CI variant.
+
+use reis_bench::report;
+use reis_cluster::{ClusterSystem, FaultPlan, RetryPolicy};
+use reis_core::{ReisConfig, ReisSystem, VectorDatabase};
+use reis_nand::{Geometry, Nanos};
+
+const DIM: usize = 16;
+const K: usize = 10;
+const NUM_SHARDS: usize = 3;
+const FAULT_SEED: u64 = 0xFA17_0B5E;
+/// Transient fail-fast rates swept, in parts per million of leaf calls;
+/// each point also injects timeouts at half the fail rate.
+const FAIL_RATES_PPM: [u32; 5] = [0, 10_000, 50_000, 100_000, 200_000];
+
+/// One retry after a 50 µs backoff, 1 ms timeout deadline — the policy
+/// the fault-tolerance property suite runs under.
+fn retry() -> RetryPolicy {
+    RetryPolicy::new(1, Nanos::from_micros(50), Nanos::from_millis(1))
+}
+
+/// Each leaf models one narrow flash package (2 channels × 2 dies ×
+/// 2 planes of 4 KB pages) with REIS-SSD1 timing, as in the scale-out
+/// benchmark: per-leaf scans must span many plane rounds for the
+/// fan-out latency to carry signal.
+fn leaf_config() -> ReisConfig {
+    let mut config = ReisConfig::ssd1();
+    config.ssd.name = "REIS-LEAF";
+    config.ssd.geometry = Geometry {
+        channels: 2,
+        dies_per_channel: 2,
+        planes_per_die: 2,
+        blocks_per_plane: 128,
+        pages_per_block: 64,
+        page_size_bytes: 4 * 1024,
+        oob_size_bytes: 256,
+    };
+    config
+}
+
+struct RunShape {
+    mode: &'static str,
+    entries: usize,
+    queries: usize,
+}
+
+fn shape() -> RunShape {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("REIS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    if smoke {
+        RunShape {
+            mode: "smoke",
+            entries: 8_192,
+            queries: 16,
+        }
+    } else {
+        RunShape {
+            mode: "full",
+            entries: 16_384,
+            queries: 48,
+        }
+    }
+}
+
+fn vector_for(id: u32) -> Vec<f32> {
+    (0..DIM)
+        .map(|d| {
+            // splitmix64-style mixing, as in the scale-out benchmark: a
+            // plain multiplicative sequence would cluster every query's
+            // neighbors in id space (→ on one shard).
+            let mut x = (id as u64) << 32 | d as u64;
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            (x % 201) as f32 - 100.0
+        })
+        .collect()
+}
+
+fn doc_for(id: u32) -> Vec<u8> {
+    format!("fault bench doc {id:06}").into_bytes()
+}
+
+/// `(ids, rerank-distance bits, document bytes)` — the full bit-identity
+/// signature of one query's outcome.
+type Signature = (Vec<usize>, Vec<u32>, Vec<Vec<u8>>);
+
+fn cluster_signature(outcome: &reis_cluster::ClusterSearchOutcome) -> Signature {
+    (
+        outcome.results.iter().map(|n| n.id).collect(),
+        outcome
+            .results
+            .iter()
+            .map(|n| n.distance.to_bits())
+            .collect(),
+        outcome.documents.clone(),
+    )
+}
+
+/// The modelled p99 over per-query fan-out latencies (nearest-rank).
+fn p99_us(fanouts: &[Nanos]) -> f64 {
+    let mut sorted: Vec<u64> = fanouts.iter().map(|n| n.as_nanos()).collect();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 - 1.0) * 0.99).round() as usize;
+    sorted[idx] as f64 / 1e3
+}
+
+struct SweepPoint {
+    replication: usize,
+    fail_ppm: u32,
+    timeout_ppm: u32,
+    qps: f64,
+    fanout_p99_us: f64,
+    availability: f64,
+    degraded: usize,
+    down_leaves: usize,
+}
+
+fn main() {
+    let shape = shape();
+    report::header(
+        "Fault-tolerant cluster serving",
+        "Modelled QPS / p99 / availability vs injected leaf-failure rate, R = 1..3",
+    );
+
+    let entries = shape.entries;
+    println!("Building {entries}-entry corpus ({} mode)…", shape.mode);
+    let vectors: Vec<Vec<f32>> = (0..entries as u32).map(vector_for).collect();
+    let documents: Vec<Vec<u8>> = (0..entries as u32).map(doc_for).collect();
+    let queries: Vec<Vec<f32>> = (0..shape.queries as u32)
+        .map(|q| vector_for(1_000_000 + q))
+        .collect();
+    let config = leaf_config();
+    // The permanent kill of leaf 0 fires a quarter of the way through the
+    // query stream: R = 1 loses shard 0 for the remaining three quarters,
+    // R ≥ 2 fails over and never degrades because of it.
+    let kill_call = (shape.queries / 4) as u64;
+
+    // No-fault reference: the union corpus on one device. Full-coverage
+    // cluster answers must match it bit for bit.
+    let mut single = ReisSystem::new(config.with_adaptive_filtering(false));
+    let single_db = single
+        .deploy(&VectorDatabase::flat(&vectors, documents.clone()).expect("database"))
+        .expect("single-device deploy");
+    let reference: Vec<Signature> = queries
+        .iter()
+        .map(|q| {
+            let outcome = single.search(single_db, q, K).expect("reference search");
+            (
+                outcome.result_ids(),
+                outcome
+                    .results
+                    .iter()
+                    .map(|n| n.distance.to_bits())
+                    .collect(),
+                outcome.documents.clone(),
+            )
+        })
+        .collect();
+
+    // --- Failure sweep: R × fail rate, kill of leaf 0 at kill_call. ------
+    println!("\nFailure sweep ({NUM_SHARDS} shards, kill leaf 0 at call {kill_call}):");
+    println!(
+        "{:>3} {:>9} {:>14} {:>12} {:>13} {:>9} {:>6}",
+        "R", "fail ppm", "modelled QPS", "p99 (us)", "availability", "degraded", "down"
+    );
+    let mut identical = true;
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    for replication in 1..=3usize {
+        for (rate_idx, &fail_ppm) in FAIL_RATES_PPM.iter().enumerate() {
+            let timeout_ppm = fail_ppm / 2;
+            let seed = FAULT_SEED ^ ((replication as u64) << 32) ^ rate_idx as u64;
+            let plan = FaultPlan::new(seed, fail_ppm, timeout_ppm).with_kill(0, kill_call);
+            let mut cluster = ClusterSystem::new_replicated(config, NUM_SHARDS, replication)
+                .expect("cluster")
+                .with_fault_plan(Some(plan))
+                .with_retry_policy(retry());
+            cluster
+                .deploy_flat(&vectors, &documents)
+                .expect("sharded deploy");
+
+            let mut total_latency = Nanos::ZERO;
+            let mut fanouts = Vec::with_capacity(queries.len());
+            let mut covered_queries = 0usize;
+            for (query, signature) in queries.iter().zip(&reference) {
+                let outcome = cluster.search(query, K).expect("faulted search");
+                if outcome.is_full_coverage() {
+                    covered_queries += 1;
+                    identical &= cluster_signature(&outcome) == *signature;
+                }
+                total_latency += outcome.latency;
+                fanouts.push(outcome.fanout_latency);
+            }
+            let qps = queries.len() as f64 / total_latency.as_secs_f64().max(1e-12);
+            let availability = covered_queries as f64 / queries.len() as f64;
+            let point = SweepPoint {
+                replication,
+                fail_ppm,
+                timeout_ppm,
+                qps,
+                fanout_p99_us: p99_us(&fanouts),
+                availability,
+                degraded: queries.len() - covered_queries,
+                down_leaves: cluster.down_leaves().len(),
+            };
+            println!(
+                "{replication:>3} {fail_ppm:>9} {qps:>14.0} {:>12.1} {availability:>13.3} \
+                 {:>9} {:>6}",
+                point.fanout_p99_us, point.degraded, point.down_leaves
+            );
+            sweep.push(point);
+        }
+    }
+    assert!(
+        identical,
+        "a full-coverage answer diverged from the no-fault reference — \
+         failover broke bit-identity; the artifact must not ship"
+    );
+    // Replication must buy availability: at every rate, R = 3 answers at
+    // least as many queries at full coverage as R = 1 — and strictly more
+    // at rate 0, where the kill is the only fault and failover absorbs it.
+    for rate_idx in 0..FAIL_RATES_PPM.len() {
+        let r1 = sweep[rate_idx].availability;
+        let r3 = sweep[2 * FAIL_RATES_PPM.len() + rate_idx].availability;
+        assert!(
+            r3 >= r1,
+            "availability must not drop with replication \
+             (rate {}: R=3 {r3:.3} vs R=1 {r1:.3})",
+            FAIL_RATES_PPM[rate_idx]
+        );
+    }
+    assert!(
+        sweep[0].availability < 1.0,
+        "the R = 1 kill must cost availability"
+    );
+    assert!(
+        (sweep[2 * FAIL_RATES_PPM.len()].availability - 1.0).abs() < f64::EPSILON,
+        "R = 3 must absorb the kill at rate 0"
+    );
+    println!("All full-coverage answers bit-identical to the no-fault reference.");
+
+    // --- Retry overhead: the healthy path must be free. ------------------
+    // Same cluster, same queries, run twice: no plan at all versus a
+    // zero-rate plan with the whole retry/backoff machinery armed.
+    let run_healthy = |plan: Option<FaultPlan>| {
+        let mut cluster = ClusterSystem::new_replicated(config, NUM_SHARDS, 2)
+            .expect("cluster")
+            .with_fault_plan(plan)
+            .with_retry_policy(retry());
+        cluster
+            .deploy_flat(&vectors, &documents)
+            .expect("sharded deploy");
+        let mut total = Nanos::ZERO;
+        let mut signatures = Vec::with_capacity(queries.len());
+        for query in &queries {
+            let outcome = cluster.search(query, K).expect("healthy search");
+            total += outcome.latency;
+            signatures.push(cluster_signature(&outcome));
+        }
+        (total, signatures)
+    };
+    let (bare_total, bare_signatures) = run_healthy(None);
+    let (guarded_total, guarded_signatures) = run_healthy(Some(FaultPlan::healthy()));
+    assert_eq!(
+        bare_signatures, guarded_signatures,
+        "a zero-rate fault plan changed results — the guard must be inert"
+    );
+    let healthy_qps = queries.len() as f64 / bare_total.as_secs_f64().max(1e-12);
+    let guarded_qps = queries.len() as f64 / guarded_total.as_secs_f64().max(1e-12);
+    let overhead_pct = (healthy_qps - guarded_qps) / healthy_qps * 100.0;
+    println!(
+        "\nRetry overhead (healthy path, R = 2): {healthy_qps:.0} QPS bare, \
+         {guarded_qps:.0} QPS guarded ({overhead_pct:.2}% overhead)"
+    );
+    assert!(
+        overhead_pct <= 3.0,
+        "healthy-path retry overhead {overhead_pct:.2}% exceeds the 3% budget"
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "{{ \"replication\": {}, \"fail_ppm\": {}, \"timeout_ppm\": {}, \
+                 \"kill_call\": {kill_call}, \"modelled_qps\": {:.1}, \
+                 \"fanout_p99_us\": {:.2}, \"availability\": {:.4}, \
+                 \"degraded_queries\": {}, \"down_leaves\": {} }}",
+                p.replication,
+                p.fail_ppm,
+                p.timeout_ppm,
+                p.qps,
+                p.fanout_p99_us,
+                p.availability,
+                p.degraded,
+                p.down_leaves
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"available_cores\": {cores},\n  \"mode\": \"{}\",\n  \
+         \"dataset\": {{ \"entries\": {entries}, \"dim\": {DIM}, \
+         \"queries\": {}, \"k\": {K}, \"num_shards\": {NUM_SHARDS} }},\n  \
+         \"results_identical_when_covered\": {identical},\n  \
+         \"retry_overhead\": {{ \"healthy_qps\": {healthy_qps:.1}, \
+         \"guarded_qps\": {guarded_qps:.1}, \"overhead_pct\": {overhead_pct:.3} }},\n  \
+         \"failure_sweep\": [\n    {}\n  ]\n}}\n",
+        shape.mode,
+        queries.len(),
+        sweep_json.join(",\n    "),
+    );
+    let path = report::output_path("BENCH_pr9.json");
+    std::fs::write(&path, json).expect("write benchmark artifact");
+    println!("\nWrote {path}");
+}

@@ -668,6 +668,14 @@ pub mod artifacts {
             ("hedge_quantiles", Kind::Obj),
             ("exporters", Kind::Obj),
         ];
+        const FAULT: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("mode", Kind::Str),
+            ("dataset", Kind::Obj),
+            ("results_identical_when_covered", Kind::Bool),
+            ("retry_overhead", Kind::Obj),
+            ("failure_sweep", Kind::Arr),
+        ];
         let base = file_name.rsplit('/').next().unwrap_or(file_name);
         match base {
             "BENCH_pr1.json" => Some(BATCH),
@@ -678,9 +686,11 @@ pub mod artifacts {
             "BENCH_pr6.json" => Some(PERSISTENCE),
             "BENCH_pr7.json" => Some(SCALEOUT),
             "BENCH_pr8.json" => Some(TELEMETRY),
+            "BENCH_pr9.json" => Some(FAULT),
             _ if base.contains("fig07b") => Some(BATCH),
             _ if base.contains("intra_query") => Some(INTRA),
             _ if base.contains("telemetry") => Some(TELEMETRY),
+            _ if base.contains("fault") => Some(FAULT),
             _ if base.contains("update") => Some(UPDATE),
             _ if base.contains("fused") => Some(FUSED),
             _ if base.contains("adaptive") => Some(ADAPTIVE),
@@ -831,6 +841,47 @@ pub mod artifacts {
                 }
             }
         }
+        // Fault-tolerance family: every covered (full-coverage) answer must
+        // be bit-identical to the no-fault run, and each sweep row carries
+        // the availability/latency columns.
+        if let Some(Json::Arr(points)) = doc.get("failure_sweep") {
+            if doc.get("results_identical_when_covered") != Some(&Json::Bool(true)) {
+                problems.push("results_identical_when_covered must be true".into());
+            }
+            for (i, point) in points.iter().enumerate() {
+                for key in [
+                    "replication",
+                    "fail_ppm",
+                    "modelled_qps",
+                    "fanout_p99_us",
+                    "availability",
+                    "degraded_queries",
+                ] {
+                    if !matches!(point.get(key), Some(Json::Num(_))) {
+                        problems.push(format!("failure_sweep[{i}]: missing numeric '{key}'"));
+                    }
+                }
+            }
+        }
+        // The retry/backoff machinery must be free on the healthy path:
+        // the PR 9 budget caps the full-mode overhead of running with a
+        // zero-rate fault plan at 3% (smoke runs are too noisy to gate).
+        if let Some(overhead) = doc.get("retry_overhead") {
+            for key in ["healthy_qps", "guarded_qps", "overhead_pct"] {
+                if !matches!(overhead.get(key), Some(Json::Num(_))) {
+                    problems.push(format!("retry_overhead: missing numeric '{key}'"));
+                }
+            }
+            if doc.get("mode") == Some(&Json::Str("full".into())) {
+                if let Some(Json::Num(pct)) = overhead.get("overhead_pct") {
+                    if *pct > 3.0 {
+                        problems.push(format!(
+                            "retry_overhead.overhead_pct must be <= 3.0 in full mode, got {pct}"
+                        ));
+                    }
+                }
+            }
+        }
         // Per-policy hedge completion quantiles: any `policies` row that
         // carries one quantile must carry the full p50/p95/p99 triple
         // (opt-in for the scaleout family — `BENCH_pr7.json` predates it).
@@ -921,6 +972,7 @@ mod artifact_tests {
             "BENCH_pr6.json",
             "BENCH_pr7.json",
             "BENCH_pr8.json",
+            "BENCH_pr9.json",
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path).expect("committed artifact readable");
@@ -980,6 +1032,10 @@ mod artifact_tests {
             required_keys("BENCH_telemetry_smoke.json"),
             required_keys("BENCH_pr8.json")
         );
+        assert_eq!(
+            required_keys("BENCH_fault_tolerance_smoke.json"),
+            required_keys("BENCH_pr9.json")
+        );
         assert!(required_keys("mystery.json").is_none());
         assert!(!validate("mystery.json", &Json::Obj(vec![])).is_empty());
         // A wrongly typed required key is reported with both types.
@@ -1036,6 +1092,40 @@ mod artifact_tests {
             .iter()
             .any(|p| p.contains("policies[0]") && p.contains("completion_p95_us")));
         assert!(!scaleout_problems.iter().any(|p| p.contains("policies[1]")));
+    }
+
+    #[test]
+    fn fault_family_enforces_identity_columns_and_overhead() {
+        // Full-coverage identity must hold, sweep rows carry the columns,
+        // and the healthy-path retry overhead is budgeted in full mode.
+        let doc = parse(
+            r#"{ "mode": "full", "results_identical_when_covered": false,
+                 "retry_overhead": { "healthy_qps": 100.0, "guarded_qps": 90.0,
+                                     "overhead_pct": 10.0 },
+                 "failure_sweep": [ { "replication": 1 } ] }"#,
+        )
+        .unwrap();
+        let problems = validate("BENCH_pr9.json", &doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("results_identical_when_covered")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("overhead_pct must be <= 3.0")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("failure_sweep[0]") && p.contains("availability")));
+        // Smoke artifacts are too noisy to gate on the percentage.
+        let smoke = parse(
+            r#"{ "mode": "smoke",
+                 "retry_overhead": { "healthy_qps": 100.0, "guarded_qps": 90.0,
+                                     "overhead_pct": 10.0 } }"#,
+        )
+        .unwrap();
+        let smoke_problems = validate("BENCH_fault_tolerance_smoke.json", &smoke);
+        assert!(!smoke_problems
+            .iter()
+            .any(|p| p.contains("overhead_pct must")));
     }
 }
 

@@ -7,21 +7,33 @@
 //! leaves and gathered exactly:
 //!
 //! * **Deploy** slices the union corpus's storage order contiguously
-//!   across leaves, re-using the union's quantizers (and, for IVF, the
+//!   across shards, re-using the union's quantizers (and, for IVF, the
 //!   full global centroid set) so every leaf scores exactly as the
 //!   single device would, and floors every leaf's document slot at the
-//!   union's slot size so document accounting matches.
-//! * **Search** fans out [`ReisSystem::leaf_query`], merges under the
-//!   lifted `(distance, leaf, storage index)` orders
-//!   ([`crate::merge`]) and fetches only the winners' chunks from their
-//!   owning leaves.
-//! * **Mutations** route to the owning leaf with globally assigned
-//!   stable ids, so the cluster's id namespace is the single device's.
+//!   union's slot size so document accounting matches. With a
+//!   replication factor `R` each shard's slice is deployed identically
+//!   to all `R` leaves of its replica group.
+//! * **Search** fans out [`ReisSystem::leaf_query`] to one live replica
+//!   per shard, merges under the lifted `(distance, shard, storage
+//!   index)` orders ([`crate::merge`]) and fetches only the winners'
+//!   chunks from their serving replicas.
+//! * **Mutations** route to every live replica of the owning shard with
+//!   globally assigned stable ids, so the cluster's id namespace is the
+//!   single device's and replicas stay in bit-identical lockstep.
 //! * **Durability** is per-leaf (each leaf keeps its own snapshot/WAL
 //!   store) plus one tiny cluster manifest
 //!   ([`reis_persist::ClusterManifest`]) tying the leaves together;
 //!   recovery restores each leaf independently and re-derives the id
 //!   watermark as the max over leaf watermarks.
+//! * **Faults** are survived, not hidden: an optional seeded
+//!   [`FaultPlan`] rules each fan-out leaf call, transient faults are
+//!   retried under a deterministic [`RetryPolicy`], exhausted replicas
+//!   go down and queries fail over along each shard's replica group,
+//!   and a shard with no live replica degrades the answer *explicitly*
+//!   via [`ClusterSearchOutcome::shard_coverage`] rather than erroring.
+//!   Down leaves rejoin by replaying their durable epoch
+//!   ([`ClusterSystem::reload_leaf`]) and catching up missed mutations
+//!   from the aggregator's in-memory log.
 
 use std::time::Instant;
 
@@ -33,9 +45,11 @@ use reis_telemetry::{CounterId, HistogramId, QueryTrace, Span, Telemetry};
 use reis_core::system::ReisSystem;
 use reis_core::{
     ClusterInfo, CompactionOutcome, DurableStore, LeafCandidate, MutationOutcome, QueryActivity,
-    RecoveryReport, ReisConfig, ReisError, Result, VectorDatabase, DOC_SUBPAGE_BYTES,
+    RecoveryReport, ReisConfig, ReisError, Result, ScrubReport, VectorDatabase, DOC_SUBPAGE_BYTES,
 };
 
+use crate::fault::{FaultDecision, FaultPlan};
+use crate::health::{HealthState, LeafHealth, RetryPolicy, ShardCoverage};
 use crate::latency::{leaf_completion, HedgePolicy, LatencyModel};
 use crate::merge::merge_top_k;
 use crate::router::ShardRouter;
@@ -47,17 +61,22 @@ pub const MANIFEST_FILE: &str = "CLUSTER.manifest";
 /// fan-out primary and its hedge).
 const DOC_ATTEMPT: u32 = 2;
 
+/// Skew-draw attempt index of the first fault retry; retry `n` draws
+/// attempt `RETRY_ATTEMPT_BASE + n`, keeping retry service times
+/// independent of the primary/hedge/doc draws.
+const RETRY_ATTEMPT_BASE: u32 = 3;
+
 /// Cluster-wide activity accounting of one fanned-out query. Deliberately
 /// free of any schedule-dependent field: the same query against the same
 /// corpus reports the same `ClusterActivity` whatever the skew seed,
 /// hedging deadline, or hedge race outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterActivity {
-    /// Summed per-leaf activity (see [`QueryActivity::absorb`]); its
+    /// Summed per-shard activity (see [`QueryActivity::absorb`]); its
     /// `fine_entries` is the cluster's transferred-entry count, equal to a
     /// single device's under the static-threshold leaf protocol.
     pub activity: QueryActivity,
-    /// Number of leaves fanned out to.
+    /// Number of shards fanned out to (one serving replica each).
     pub leaves: usize,
     /// Union candidate count before the global cut.
     pub merged_candidates: usize,
@@ -76,13 +95,18 @@ pub struct ClusterSearchOutcome {
     pub activity: ClusterActivity,
     /// Modelled end-to-end latency: fan-out plus document phase.
     pub latency: Nanos,
-    /// Modelled fan-out latency (max over hedged leaf completions).
+    /// Modelled fan-out latency (max over hedged leaf completions,
+    /// including retry backoffs and failover penalties under faults).
     pub fanout_latency: Nanos,
-    /// Modelled document-phase latency (max over owning leaves).
+    /// Modelled document-phase latency (max over serving leaves).
     pub document_latency: Nanos,
     /// Hedged duplicates launched by the straggler policy (schedule
     /// dependent, deliberately outside [`ClusterActivity`]).
     pub hedges_launched: usize,
+    /// Which shards answered. Full coverage means the answer is
+    /// bit-identical to the no-fault run; partial coverage means it is
+    /// bit-identical to a deployment of exactly the covered shards.
+    pub shard_coverage: ShardCoverage,
 }
 
 impl ClusterSearchOutcome {
@@ -95,6 +119,11 @@ impl ClusterSearchOutcome {
             f64::INFINITY
         }
     }
+
+    /// Whether the answer covers every shard (not degraded).
+    pub fn is_full_coverage(&self) -> bool {
+        self.shard_coverage.is_full()
+    }
 }
 
 /// What cluster recovery found: the manifest epoch plus each leaf's own
@@ -105,6 +134,40 @@ pub struct ClusterRecovery {
     pub epoch: u64,
     /// Per-leaf recovery reports.
     pub leaves: Vec<RecoveryReport>,
+}
+
+impl ClusterRecovery {
+    /// Per-leaf quarantined-WAL-tail counts, in leaf order — the uniform
+    /// cluster view of [`RecoveryReport::quarantine_count`].
+    pub fn quarantine_counts(&self) -> Vec<usize> {
+        self.leaves
+            .iter()
+            .map(RecoveryReport::quarantine_count)
+            .collect()
+    }
+}
+
+/// A mutation retained by the aggregator for leaves that missed it. The
+/// log only grows while at least one leaf is down and is dropped once
+/// every leaf has caught up, so the healthy path never pays for it.
+#[derive(Debug, Clone)]
+enum AggWalRecord {
+    /// A routed insert batch with its minted global ids.
+    InsertBatch {
+        ids: Vec<u32>,
+        vectors: Vec<Vec<f32>>,
+        documents: Vec<Vec<u8>>,
+    },
+    /// A delete of one stable id.
+    Delete { id: u32 },
+    /// An in-place upsert of one stable id.
+    Upsert {
+        id: u32,
+        vector: Vec<f32>,
+        document: Vec<u8>,
+    },
+    /// A cluster-wide compaction.
+    Compact,
 }
 
 /// The aggregator: N leaf systems behind one logical corpus.
@@ -126,16 +189,43 @@ pub struct ClusterSystem {
     /// its own [`ReisSystem`] telemetry handle; see
     /// [`ClusterSystem::enable_telemetry`].
     telemetry: Telemetry,
+    /// Seeded fault schedule ruling each fan-out leaf call (`None` never
+    /// faults).
+    fault: Option<FaultPlan>,
+    retry: RetryPolicy,
+    /// Per-leaf health, indexed by physical leaf.
+    health: Vec<LeafHealth>,
+    /// Mutations retained for down leaves to replay on rejoin.
+    agg_wal: Vec<AggWalRecord>,
+    /// Run [`ClusterSystem::scrub`] after every save and fail the save on
+    /// corruption.
+    scrub_on_save: bool,
 }
 
 impl ClusterSystem {
-    /// An in-memory cluster of `num_leaves` fresh leaves.
+    /// An in-memory cluster of `num_leaves` fresh leaves (one shard each).
     ///
     /// # Errors
     ///
     /// [`ReisError::MalformedDatabase`] when `num_leaves` is zero.
     pub fn new(config: ReisConfig, num_leaves: usize) -> Result<Self> {
-        let router = ShardRouter::new(num_leaves)?;
+        ClusterSystem::new_replicated(config, num_leaves, 1)
+    }
+
+    /// An in-memory cluster of `num_shards` shards, each served by
+    /// `replication` lockstep replica leaves (`num_shards × replication`
+    /// fresh leaves in total).
+    ///
+    /// # Errors
+    ///
+    /// [`ReisError::MalformedDatabase`] when either count is zero.
+    pub fn new_replicated(
+        config: ReisConfig,
+        num_shards: usize,
+        replication: usize,
+    ) -> Result<Self> {
+        let router = ShardRouter::new_replicated(num_shards, replication)?;
+        let num_leaves = router.num_leaves();
         Ok(ClusterSystem {
             config,
             leaves: (0..num_leaves).map(|_| ReisSystem::new(config)).collect(),
@@ -147,13 +237,19 @@ impl ClusterSystem {
             epoch: 0,
             seq: 0,
             telemetry: Telemetry::from_env(),
+            fault: None,
+            retry: RetryPolicy::default(),
+            health: vec![LeafHealth::new(); num_leaves],
+            agg_wal: Vec::new(),
+            scrub_on_save: false,
         })
     }
 
     /// Open a durable cluster: one snapshot/WAL store per leaf plus a VFS
     /// holding the cluster manifest. A present manifest triggers full
     /// recovery (each leaf from its own store, the router from the
-    /// manifest); an absent one opens every leaf fresh.
+    /// manifest, including its recorded replication factor); an absent one
+    /// opens every leaf fresh and unreplicated.
     ///
     /// # Errors
     ///
@@ -163,6 +259,32 @@ impl ClusterSystem {
         config: ReisConfig,
         stores: Vec<DurableStore>,
         manifest_vfs: Box<dyn Vfs>,
+    ) -> Result<(Self, Option<ClusterRecovery>)> {
+        ClusterSystem::open_with_replication(config, stores, manifest_vfs, None)
+    }
+
+    /// [`ClusterSystem::open`] with an explicit replication factor: the
+    /// `stores.len()` leaves group into `stores.len() / replication`
+    /// shards. A present manifest must record the same factor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterSystem::open`], plus a factor that does
+    /// not divide the store count or disagrees with the manifest.
+    pub fn open_replicated(
+        config: ReisConfig,
+        stores: Vec<DurableStore>,
+        manifest_vfs: Box<dyn Vfs>,
+        replication: usize,
+    ) -> Result<(Self, Option<ClusterRecovery>)> {
+        ClusterSystem::open_with_replication(config, stores, manifest_vfs, Some(replication))
+    }
+
+    fn open_with_replication(
+        config: ReisConfig,
+        stores: Vec<DurableStore>,
+        manifest_vfs: Box<dyn Vfs>,
+        expected_replication: Option<usize>,
     ) -> Result<(Self, Option<ClusterRecovery>)> {
         if stores.is_empty() {
             return Err(ReisError::MalformedDatabase(
@@ -180,6 +302,15 @@ impl ClusterSystem {
                 ))
                 .into());
             }
+            let replication = manifest.replication as usize;
+            if let Some(expected) = expected_replication {
+                if expected != replication {
+                    return Err(PersistError::Malformed(format!(
+                        "manifest records replication {replication} but {expected} was requested"
+                    ))
+                    .into());
+                }
+            }
             let mut leaves = Vec::with_capacity(num_leaves);
             let mut reports = Vec::with_capacity(num_leaves);
             for store in stores {
@@ -193,8 +324,12 @@ impl ClusterSystem {
             for (leaf, &db_id) in leaves.iter().zip(&manifest.leaf_db_ids) {
                 next_global = next_global.max(leaf.next_stable_id(db_id)?);
             }
-            let router =
-                ShardRouter::from_owners(manifest.initial_owners.clone(), num_leaves, next_global)?;
+            let router = ShardRouter::from_owners_replicated(
+                manifest.initial_owners.clone(),
+                num_leaves,
+                replication,
+                next_global,
+            )?;
             let cluster = ClusterSystem {
                 config,
                 leaves,
@@ -206,6 +341,11 @@ impl ClusterSystem {
                 epoch: manifest.epoch,
                 seq: 0,
                 telemetry: Telemetry::from_env(),
+                fault: None,
+                retry: RetryPolicy::default(),
+                health: vec![LeafHealth::new(); num_leaves],
+                agg_wal: Vec::new(),
+                scrub_on_save: false,
             };
             let recovery = ClusterRecovery {
                 epoch: manifest.epoch,
@@ -213,12 +353,18 @@ impl ClusterSystem {
             };
             Ok((cluster, Some(recovery)))
         } else {
+            let replication = expected_replication.unwrap_or(1);
+            if replication == 0 || !num_leaves.is_multiple_of(replication) {
+                return Err(ReisError::MalformedDatabase(format!(
+                    "{num_leaves} leaf stores do not divide into replica groups of {replication}"
+                )));
+            }
             let mut leaves = Vec::with_capacity(num_leaves);
             for store in stores {
                 let (leaf, _) = ReisSystem::open(config, store)?;
                 leaves.push(leaf);
             }
-            let router = ShardRouter::new(num_leaves)?;
+            let router = ShardRouter::new_replicated(num_leaves / replication, replication)?;
             let cluster = ClusterSystem {
                 config,
                 leaves,
@@ -230,6 +376,11 @@ impl ClusterSystem {
                 epoch: 0,
                 seq: 0,
                 telemetry: Telemetry::from_env(),
+                fault: None,
+                retry: RetryPolicy::default(),
+                health: vec![LeafHealth::new(); num_leaves],
+                agg_wal: Vec::new(),
+                scrub_on_save: false,
             };
             Ok((cluster, None))
         }
@@ -247,6 +398,18 @@ impl ClusterSystem {
         self
     }
 
+    /// Replace the fault plan (chainable; `None` never faults).
+    pub fn with_fault_plan(mut self, fault: Option<FaultPlan>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Replace the retry policy (chainable).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Replace the skew model in place.
     pub fn set_latency_model(&mut self, model: LatencyModel) {
         self.latency = model;
@@ -255,6 +418,32 @@ impl ClusterSystem {
     /// Replace the hedging policy in place.
     pub fn set_hedging(&mut self, hedge: Option<HedgePolicy>) {
         self.hedge = hedge;
+    }
+
+    /// Replace the fault plan in place (`None` never faults).
+    pub fn set_fault_plan(&mut self, fault: Option<FaultPlan>) {
+        self.fault = fault;
+    }
+
+    /// Replace the retry policy in place.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Scrub every live leaf's durable store after each save and fail the
+    /// save when corruption is found (off by default).
+    pub fn set_scrub_on_save(&mut self, scrub: bool) {
+        self.scrub_on_save = scrub;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The aggregator's telemetry handle (fan-out counters, leaf
@@ -285,7 +474,7 @@ impl ClusterSystem {
     ///
     /// Same conditions as [`ReisSystem::deploy`], plus
     /// [`ReisError::MalformedDatabase`] when the corpus has fewer entries
-    /// than the cluster has leaves or a corpus is already deployed.
+    /// than the cluster has shards or a corpus is already deployed.
     pub fn deploy_flat(&mut self, vectors: &[Vec<f32>], documents: &[Vec<u8>]) -> Result<()> {
         let union = VectorDatabase::flat(vectors, documents.to_vec())?;
         self.deploy_sharded(&union, vectors, documents)
@@ -321,10 +510,10 @@ impl ClusterSystem {
             ));
         }
         let entries = vectors.len();
-        let num_leaves = self.leaves.len();
-        if entries < num_leaves {
+        let num_shards = self.router.num_shards();
+        if entries < num_shards {
             return Err(ReisError::MalformedDatabase(format!(
-                "cannot shard {entries} entries across {num_leaves} leaves"
+                "cannot shard {entries} entries across {num_shards} shards"
             )));
         }
 
@@ -358,15 +547,15 @@ impl ClusterSystem {
         };
 
         let mut owners = vec![0u32; entries];
-        let mut leaf_dbs = Vec::with_capacity(num_leaves);
-        for (leaf_idx, range) in ShardRouter::slices(entries, num_leaves)
+        let mut leaf_dbs = Vec::with_capacity(self.leaves.len());
+        for (shard_idx, range) in ShardRouter::slices(entries, num_shards)
             .into_iter()
             .enumerate()
         {
             let slice = &order[range];
             let ids: Vec<u32> = slice.iter().map(|&entry| entry as u32).collect();
             for &entry in slice {
-                owners[entry] = leaf_idx as u32;
+                owners[entry] = shard_idx as u32;
             }
             let leaf_vectors: Vec<Vec<f32>> =
                 slice.iter().map(|&entry| vectors[entry].clone()).collect();
@@ -398,7 +587,11 @@ impl ClusterSystem {
                     union.int8_quantizer().clone(),
                 )?,
             };
-            leaf_dbs.push(self.leaves[leaf_idx].deploy_with_ids(&shard, &ids, min_doc_slot)?);
+            // Every replica of the shard receives the identical deployment,
+            // so the group is bit-identical by construction.
+            for leaf_idx in self.router.replicas(shard_idx) {
+                leaf_dbs.push(self.leaves[leaf_idx].deploy_with_ids(&shard, &ids, min_doc_slot)?);
+            }
         }
 
         self.leaf_dbs = leaf_dbs;
@@ -469,73 +662,156 @@ impl ClusterSystem {
         let enabled = self.telemetry.is_enabled();
         let mut spans: Vec<Span> = Vec::new();
 
-        // Scatter: every leaf runs the in-storage pipeline through the
-        // rerank and reports its full scored candidate set.
-        let mut per_leaf: Vec<Vec<LeafCandidate>> = Vec::with_capacity(self.leaves.len());
+        // Scatter: one live replica per shard runs the in-storage pipeline
+        // through the rerank and reports its full scored candidate set.
+        // Within a shard, replicas are tried in failover order: known-down
+        // replicas are skipped outright (no fault-plan draw), transient
+        // faults are retried with deterministic exponential backoff, and a
+        // replica that exhausts its retries is marked down before the next
+        // replica takes over. A shard whose replicas are all down
+        // contributes nothing and is reported uncovered.
+        let num_shards = self.router.num_shards();
+        let mut per_shard: Vec<Vec<LeafCandidate>> = Vec::with_capacity(num_shards);
+        let mut serving: Vec<Option<usize>> = vec![None; num_shards];
         let mut activity = QueryActivity::default();
         let mut budget = 0;
         let mut fanout_latency = Nanos::ZERO;
         let mut hedges_launched = 0;
-        for (leaf_idx, leaf) in self.leaves.iter_mut().enumerate() {
-            let leaf_started = enabled.then(Instant::now);
-            let outcome = leaf.leaf_query(self.leaf_dbs[leaf_idx], query, k, nprobe)?;
-            debug_assert!(
-                budget == 0 || budget == outcome.candidate_budget,
-                "leaves disagree on the candidate budget"
-            );
-            budget = outcome.candidate_budget;
-            let (completion, hedged) = leaf_completion(
-                &self.latency,
-                self.hedge,
-                leaf_idx,
-                seq,
-                outcome.latency.total(),
-            );
-            fanout_latency = fanout_latency.max(completion);
-            hedges_launched += usize::from(hedged);
-            activity.absorb(&outcome.activity);
-            per_leaf.push(outcome.candidates);
-            if enabled {
-                self.telemetry.count(CounterId::LeafRequests, 1);
-                if hedged {
-                    self.telemetry.count(CounterId::HedgesLaunched, 1);
+        for (shard, serving_slot) in serving.iter_mut().enumerate() {
+            // Modelled time burned on this shard before a replica answers:
+            // failed attempts, backoffs and timeout deadlines, sequentially.
+            let mut penalty = Nanos::ZERO;
+            let mut candidates: Vec<LeafCandidate> = Vec::new();
+            for leaf_idx in self.router.replicas(shard) {
+                if self.health[leaf_idx].is_down() {
+                    if enabled {
+                        self.telemetry.count(CounterId::LeafFailovers, 1);
+                    }
+                    continue;
                 }
-                self.telemetry
-                    .observe(HistogramId::LeafCompletionNs, completion.as_nanos());
-                spans.push(Span {
-                    stage: if hedged { "leaf_hedged" } else { "leaf" },
-                    index: leaf_idx as u32,
-                    wall_ns: leaf_started
-                        .map(|t0| t0.elapsed().as_nanos() as u64)
-                        .unwrap_or(0),
-                    modelled_ns: completion.as_nanos(),
-                });
+                let mut attempt: u32 = 0;
+                let mut served = false;
+                loop {
+                    let decision = match self.fault.as_mut() {
+                        Some(plan) => plan.decide(leaf_idx),
+                        None => FaultDecision::Ok,
+                    };
+                    match decision {
+                        FaultDecision::Ok => {
+                            let leaf_started = enabled.then(Instant::now);
+                            let outcome = self.leaves[leaf_idx].leaf_query(
+                                self.leaf_dbs[leaf_idx],
+                                query,
+                                k,
+                                nprobe,
+                            )?;
+                            debug_assert!(
+                                budget == 0 || budget == outcome.candidate_budget,
+                                "leaves disagree on the candidate budget"
+                            );
+                            budget = outcome.candidate_budget;
+                            let (completion, hedged) = leaf_completion(
+                                &self.latency,
+                                self.hedge,
+                                leaf_idx,
+                                seq,
+                                outcome.latency.total(),
+                            );
+                            let shard_completion = penalty + completion;
+                            fanout_latency = fanout_latency.max(shard_completion);
+                            hedges_launched += usize::from(hedged);
+                            activity.absorb(&outcome.activity);
+                            candidates = outcome.candidates;
+                            self.health[leaf_idx].on_success();
+                            if enabled {
+                                self.telemetry.count(CounterId::LeafRequests, 1);
+                                if hedged {
+                                    self.telemetry.count(CounterId::HedgesLaunched, 1);
+                                }
+                                self.telemetry.observe(
+                                    HistogramId::LeafCompletionNs,
+                                    shard_completion.as_nanos(),
+                                );
+                                spans.push(Span {
+                                    stage: if hedged { "leaf_hedged" } else { "leaf" },
+                                    index: leaf_idx as u32,
+                                    wall_ns: leaf_started
+                                        .map(|t0| t0.elapsed().as_nanos() as u64)
+                                        .unwrap_or(0),
+                                    modelled_ns: shard_completion.as_nanos(),
+                                });
+                            }
+                            served = true;
+                            break;
+                        }
+                        FaultDecision::Unavailable => {
+                            // A fast failure still costs one service draw.
+                            penalty +=
+                                self.latency
+                                    .delay(leaf_idx, seq, RETRY_ATTEMPT_BASE + attempt);
+                            self.health[leaf_idx].on_failure();
+                        }
+                        FaultDecision::Timeout => {
+                            penalty += self.retry.deadline;
+                            self.health[leaf_idx].on_failure();
+                        }
+                    }
+                    if attempt >= self.retry.max_retries {
+                        let position = self.agg_wal.len();
+                        self.health[leaf_idx].mark_down(position);
+                        if enabled {
+                            self.telemetry.count(CounterId::LeafFailovers, 1);
+                        }
+                        break;
+                    }
+                    penalty += self.retry.backoff(attempt);
+                    attempt += 1;
+                    if enabled {
+                        self.telemetry.count(CounterId::LeafRetries, 1);
+                    }
+                }
+                if served {
+                    *serving_slot = Some(leaf_idx);
+                    break;
+                }
             }
+            if serving_slot.is_none() {
+                // The shard is uncovered; the time spent discovering that
+                // still gates the fan-out.
+                fanout_latency = fanout_latency.max(penalty);
+            }
+            per_shard.push(candidates);
         }
+        let covered: Vec<bool> = serving.iter().map(Option::is_some).collect();
+        let degraded = covered.iter().any(|&c| !c);
 
-        // Gather: replay the single-device cut and ranking over the union.
+        // Gather: replay the single-device cut and ranking over the union
+        // of the covered shards (all shards, in the healthy case).
         let merge_started = enabled.then(Instant::now);
-        let merged = merge_top_k(&per_leaf, budget, k);
+        let merged = merge_top_k(&per_shard, budget, k);
         let results: Vec<Neighbor> = merged
             .winners
             .iter()
             .map(|w| Neighbor::new(w.candidate.id as usize, w.candidate.raw as f32))
             .collect();
 
-        // Fetch only the winners' chunks, each from its owning leaf, and
-        // splice them back into global rank order.
+        // Fetch only the winners' chunks, each from its shard's serving
+        // replica, and splice them back into global rank order.
         let merge_wall = merge_started
             .map(|t0| t0.elapsed().as_nanos() as u64)
             .unwrap_or(0);
         let doc_started = enabled.then(Instant::now);
         let mut documents: Vec<Vec<u8>> = vec![Vec::new(); results.len()];
         let mut document_latency = Nanos::ZERO;
-        for leaf_idx in 0..self.leaves.len() {
+        for (shard, slot) in serving.iter().enumerate() {
+            let Some(leaf_idx) = *slot else {
+                continue;
+            };
             let wanted: Vec<usize> = merged
                 .winners
                 .iter()
                 .enumerate()
-                .filter(|(_, w)| w.leaf == leaf_idx)
+                .filter(|(_, w)| w.leaf == shard)
                 .map(|(rank, _)| rank)
                 .collect();
             if wanted.is_empty() {
@@ -554,6 +830,9 @@ impl ClusterSystem {
 
         if enabled {
             self.telemetry.count(CounterId::ClusterQueries, 1);
+            if degraded {
+                self.telemetry.count(CounterId::DegradedQueries, 1);
+            }
             self.telemetry
                 .observe(HistogramId::FanoutNs, fanout_latency.as_nanos());
             spans.push(Span {
@@ -583,7 +862,7 @@ impl ClusterSystem {
             documents,
             activity: ClusterActivity {
                 activity,
-                leaves: self.leaves.len(),
+                leaves: num_shards,
                 merged_candidates: merged.merged_candidates,
                 cut_candidates: merged.cut_candidates,
             },
@@ -591,6 +870,7 @@ impl ClusterSystem {
             fanout_latency,
             document_latency,
             hedges_launched,
+            shard_coverage: ShardCoverage::new(covered),
         })
     }
 
@@ -605,12 +885,14 @@ impl ClusterSystem {
     }
 
     /// Insert a batch; global ids are minted consecutively and each entry
-    /// is routed to (and natively stored under its global id by) its
-    /// owning leaf.
+    /// is routed to (and natively stored under its global id by) every
+    /// live replica of its owning shard, keeping the group in lockstep.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`ReisSystem::insert_batch`].
+    /// Same conditions as [`ReisSystem::insert_batch`], plus
+    /// [`ReisError::Unavailable`] when a target shard has no live replica
+    /// (refused before any id is minted or any leaf touched).
     pub fn insert_batch(
         &mut self,
         vectors: &[Vec<f32>],
@@ -628,50 +910,119 @@ impl ClusterSystem {
                 documents.len()
             )));
         }
-        let ids = self.router.assign(vectors.len());
-        type RoutedBatch = (Vec<u32>, Vec<Vec<f32>>, Vec<Vec<u8>>);
-        let mut routed: Vec<RoutedBatch> = vec![Default::default(); self.leaves.len()];
-        for ((id, vector), document) in ids.iter().zip(vectors).zip(documents) {
-            let leaf = self.router.owner(*id);
-            routed[leaf].0.push(*id);
-            routed[leaf].1.push(vector.clone());
-            routed[leaf].2.push(document);
+        // Pre-check availability against the ids about to be minted so a
+        // refused insert leaves the id watermark untouched.
+        let start = self.router.next_global();
+        for offset in 0..vectors.len() {
+            let shard = self.router.owner(start + offset as u32);
+            if self.live_replica(shard).is_none() {
+                return Err(ReisError::Unavailable {
+                    leaf: self.router.replicas(shard).start,
+                    source: None,
+                });
+            }
         }
-        for (leaf_idx, (leaf_ids, leaf_vectors, leaf_documents)) in routed.into_iter().enumerate() {
-            if leaf_ids.is_empty() {
+        let ids = self.router.assign(vectors.len());
+        let log_record = self.log_needed().then(|| AggWalRecord::InsertBatch {
+            ids: ids.clone(),
+            vectors: vectors.to_vec(),
+            documents: documents.clone(),
+        });
+        type RoutedBatch = (Vec<u32>, Vec<Vec<f32>>, Vec<Vec<u8>>);
+        let mut routed: Vec<RoutedBatch> = vec![Default::default(); self.router.num_shards()];
+        for ((id, vector), document) in ids.iter().zip(vectors).zip(documents) {
+            let shard = self.router.owner(*id);
+            routed[shard].0.push(*id);
+            routed[shard].1.push(vector.clone());
+            routed[shard].2.push(document);
+        }
+        for (shard, (shard_ids, shard_vectors, mut shard_documents)) in
+            routed.into_iter().enumerate()
+        {
+            if shard_ids.is_empty() {
                 continue;
             }
-            self.leaves[leaf_idx].insert_batch_at(
-                self.leaf_dbs[leaf_idx],
-                &leaf_ids,
-                &leaf_vectors,
-                leaf_documents,
-            )?;
+            let live: Vec<usize> = self
+                .router
+                .replicas(shard)
+                .filter(|&leaf| !self.health[leaf].is_down())
+                .collect();
+            for (position, &leaf_idx) in live.iter().enumerate() {
+                let leaf_documents = if position + 1 == live.len() {
+                    std::mem::take(&mut shard_documents)
+                } else {
+                    shard_documents.clone()
+                };
+                self.leaves[leaf_idx].insert_batch_at(
+                    self.leaf_dbs[leaf_idx],
+                    &shard_ids,
+                    &shard_vectors,
+                    leaf_documents,
+                )?;
+            }
+        }
+        if let Some(record) = log_record {
+            self.agg_wal.push(record);
         }
         Ok(ids)
     }
 
-    /// Delete stable id `id` from its owning leaf.
+    /// Delete stable id `id` from every live replica of its owning shard.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`ReisSystem::delete`].
+    /// Same conditions as [`ReisSystem::delete`], plus
+    /// [`ReisError::Unavailable`] when the shard has no live replica.
     pub fn delete(&mut self, id: u32) -> Result<MutationOutcome> {
-        let leaf = self.owning_leaf(id)?;
-        self.leaves[leaf].delete(self.leaf_dbs[leaf], id)
+        let shard = self.owning_shard(id)?;
+        let mut outcome: Option<MutationOutcome> = None;
+        for leaf_idx in self.router.replicas(shard) {
+            if self.health[leaf_idx].is_down() {
+                continue;
+            }
+            let leaf_outcome = self.leaves[leaf_idx].delete(self.leaf_dbs[leaf_idx], id)?;
+            outcome.get_or_insert(leaf_outcome);
+        }
+        let outcome = outcome.ok_or_else(|| ReisError::Unavailable {
+            leaf: self.router.replicas(shard).start,
+            source: None,
+        })?;
+        self.log_mutation(AggWalRecord::Delete { id });
+        Ok(outcome)
     }
 
-    /// Upsert stable id `id` in place on its owning leaf.
+    /// Upsert stable id `id` in place on every live replica of its owning
+    /// shard.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`ReisSystem::upsert`].
+    /// Same conditions as [`ReisSystem::upsert`], plus
+    /// [`ReisError::Unavailable`] when the shard has no live replica.
     pub fn upsert(&mut self, id: u32, vector: &[f32], document: &[u8]) -> Result<MutationOutcome> {
-        let leaf = self.owning_leaf(id)?;
-        self.leaves[leaf].upsert(self.leaf_dbs[leaf], id, vector, document)
+        let shard = self.owning_shard(id)?;
+        let mut outcome: Option<MutationOutcome> = None;
+        for leaf_idx in self.router.replicas(shard) {
+            if self.health[leaf_idx].is_down() {
+                continue;
+            }
+            let leaf_outcome =
+                self.leaves[leaf_idx].upsert(self.leaf_dbs[leaf_idx], id, vector, document)?;
+            outcome.get_or_insert(leaf_outcome);
+        }
+        let outcome = outcome.ok_or_else(|| ReisError::Unavailable {
+            leaf: self.router.replicas(shard).start,
+            source: None,
+        })?;
+        self.log_mutation(AggWalRecord::Upsert {
+            id,
+            vector: vector.to_vec(),
+            document: document.to_vec(),
+        });
+        Ok(outcome)
     }
 
-    /// Compact every leaf, in leaf order.
+    /// Compact every live leaf, in leaf order (down leaves compact during
+    /// rejoin catch-up instead).
     ///
     /// # Errors
     ///
@@ -682,30 +1033,211 @@ impl ClusterSystem {
                 "cluster has no deployed corpus".into(),
             ));
         }
-        (0..self.leaves.len())
-            .map(|leaf| self.leaves[leaf].compact(self.leaf_dbs[leaf]))
-            .collect()
+        let mut outcomes = Vec::new();
+        for leaf in 0..self.leaves.len() {
+            if self.health[leaf].is_down() {
+                continue;
+            }
+            outcomes.push(self.leaves[leaf].compact(self.leaf_dbs[leaf])?);
+        }
+        self.log_mutation(AggWalRecord::Compact);
+        Ok(outcomes)
     }
 
-    /// Checkpoint the whole cluster: every leaf saves a snapshot, then the
-    /// manifest is rewritten under a bumped epoch. Returns the new epoch.
+    /// Checkpoint the whole cluster: every live leaf saves a snapshot,
+    /// then the manifest is rewritten under a bumped epoch (down leaves
+    /// keep their last durable epoch and catch up on rejoin). With
+    /// [`ClusterSystem::set_scrub_on_save`], every live leaf's store is
+    /// scrubbed afterwards and corruption fails the save. Returns the new
+    /// epoch.
     ///
     /// # Errors
     ///
-    /// [`ReisError::Persist`] when the cluster was not opened durably, or
-    /// on storage failure.
+    /// [`ReisError::Persist`] when the cluster was not opened durably, on
+    /// storage failure, or when the post-save scrub finds corruption.
     pub fn save(&mut self) -> Result<u64> {
         if self.manifest_vfs.is_none() {
             return Err(ReisError::Persist(PersistError::Malformed(
                 "save() requires a durably opened cluster (see ClusterSystem::open)".into(),
             )));
         }
-        for leaf in &mut self.leaves {
+        for (leaf_idx, leaf) in self.leaves.iter_mut().enumerate() {
+            if self.health[leaf_idx].is_down() {
+                continue;
+            }
             leaf.save()?;
         }
         self.epoch += 1;
         self.write_manifest()?;
+        if self.scrub_on_save {
+            for (leaf_idx, report) in self.scrub()?.into_iter().enumerate() {
+                if !report.is_clean() {
+                    return Err(ReisError::Persist(PersistError::Malformed(format!(
+                        "post-save scrub of leaf {leaf_idx} found {} corrupt artifacts",
+                        report.corrupt_artifacts()
+                    ))));
+                }
+            }
+        }
         Ok(self.epoch)
+    }
+
+    /// Scrub every live leaf's durable store — verify all snapshot and WAL
+    /// epoch checksums without loading anything — and return the per-leaf
+    /// reports, in leaf order (down leaves report empty).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::scrub`].
+    pub fn scrub(&self) -> Result<Vec<ScrubReport>> {
+        self.leaves
+            .iter()
+            .enumerate()
+            .map(|(leaf_idx, leaf)| {
+                if self.health[leaf_idx].is_down() {
+                    Ok(ScrubReport::default())
+                } else {
+                    leaf.scrub()
+                }
+            })
+            .collect()
+    }
+
+    /// Rejoin down leaf `leaf` using its retained in-memory state: replay
+    /// every aggregator-logged mutation it missed, lift any fault-plan
+    /// kill, and mark it [`HealthState::Recovered`] (promoted back to
+    /// healthy by its next successful call).
+    ///
+    /// # Errors
+    ///
+    /// [`ReisError::MalformedDatabase`] when `leaf` is out of range or not
+    /// down; propagates replay errors.
+    pub fn rejoin_leaf(&mut self, leaf: usize) -> Result<()> {
+        if leaf >= self.leaves.len() {
+            return Err(ReisError::MalformedDatabase(format!(
+                "leaf {leaf} is out of range for a {}-leaf cluster",
+                self.leaves.len()
+            )));
+        }
+        if !self.health[leaf].is_down() {
+            return Err(ReisError::MalformedDatabase(format!(
+                "leaf {leaf} is not down"
+            )));
+        }
+        let from = self.health[leaf].down_at_log();
+        self.catch_up(leaf, from)?;
+        if let Some(plan) = &mut self.fault {
+            plan.revive(leaf);
+        }
+        self.health[leaf].rejoin();
+        self.maybe_truncate_agg_wal();
+        Ok(())
+    }
+
+    /// Rejoin down leaf `leaf` from its durable store: run single-device
+    /// recovery (newest snapshot plus WAL replay, PR 6), then catch up the
+    /// mutations the aggregator logged while the leaf was down, exactly as
+    /// [`ClusterSystem::rejoin_leaf`]. Returns the leaf's recovery report.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterSystem::rejoin_leaf`]; propagates
+    /// recovery errors.
+    pub fn reload_leaf(&mut self, leaf: usize, store: DurableStore) -> Result<RecoveryReport> {
+        if leaf >= self.leaves.len() {
+            return Err(ReisError::MalformedDatabase(format!(
+                "leaf {leaf} is out of range for a {}-leaf cluster",
+                self.leaves.len()
+            )));
+        }
+        if !self.health[leaf].is_down() {
+            return Err(ReisError::MalformedDatabase(format!(
+                "leaf {leaf} is not down"
+            )));
+        }
+        let (system, report) = ReisSystem::recover(self.config, store)?;
+        self.leaves[leaf] = system;
+        if self.telemetry.is_enabled() {
+            self.leaves[leaf].enable_telemetry();
+        }
+        let from = self.health[leaf].down_at_log();
+        self.catch_up(leaf, from)?;
+        if let Some(plan) = &mut self.fault {
+            plan.revive(leaf);
+        }
+        self.health[leaf].rejoin();
+        self.maybe_truncate_agg_wal();
+        Ok(report)
+    }
+
+    /// Replay the aggregator log from `from`, filtered to `leaf`'s shard.
+    fn catch_up(&mut self, leaf: usize, from: usize) -> Result<()> {
+        let shard = self.router.shard_of_leaf(leaf);
+        let from = from.min(self.agg_wal.len());
+        let records: Vec<AggWalRecord> = self.agg_wal[from..].to_vec();
+        for record in records {
+            match record {
+                AggWalRecord::InsertBatch {
+                    ids,
+                    vectors,
+                    documents,
+                } => {
+                    let mut shard_ids = Vec::new();
+                    let mut shard_vectors = Vec::new();
+                    let mut shard_documents = Vec::new();
+                    for ((id, vector), document) in ids.iter().zip(vectors).zip(documents) {
+                        if self.router.owner(*id) == shard {
+                            shard_ids.push(*id);
+                            shard_vectors.push(vector);
+                            shard_documents.push(document);
+                        }
+                    }
+                    if !shard_ids.is_empty() {
+                        self.leaves[leaf].insert_batch_at(
+                            self.leaf_dbs[leaf],
+                            &shard_ids,
+                            &shard_vectors,
+                            shard_documents,
+                        )?;
+                    }
+                }
+                AggWalRecord::Delete { id } => {
+                    if self.router.owner(id) == shard {
+                        self.leaves[leaf].delete(self.leaf_dbs[leaf], id)?;
+                    }
+                }
+                AggWalRecord::Upsert {
+                    id,
+                    vector,
+                    document,
+                } => {
+                    if self.router.owner(id) == shard {
+                        self.leaves[leaf].upsert(self.leaf_dbs[leaf], id, &vector, &document)?;
+                    }
+                }
+                AggWalRecord::Compact => {
+                    self.leaves[leaf].compact(self.leaf_dbs[leaf])?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether mutations must currently be retained for a down leaf.
+    fn log_needed(&self) -> bool {
+        self.health.iter().any(LeafHealth::is_down)
+    }
+
+    fn log_mutation(&mut self, record: AggWalRecord) {
+        if self.log_needed() {
+            self.agg_wal.push(record);
+        }
+    }
+
+    fn maybe_truncate_agg_wal(&mut self) {
+        if !self.log_needed() {
+            self.agg_wal.clear();
+        }
     }
 
     fn write_manifest(&self) -> Result<()> {
@@ -718,12 +1250,13 @@ impl ClusterSystem {
             leaf_db_ids: self.leaf_dbs.clone(),
             next_global: self.router.next_global(),
             initial_owners: self.router.initial_owners().to_vec(),
+            replication: self.router.replication() as u32,
         };
         vfs.write_file(MANIFEST_FILE, &manifest.encode())?;
         Ok(())
     }
 
-    fn owning_leaf(&self, id: u32) -> Result<usize> {
+    fn owning_shard(&self, id: u32) -> Result<usize> {
         if self.leaf_dbs.is_empty() {
             return Err(ReisError::MalformedDatabase(
                 "cluster has no deployed corpus".into(),
@@ -732,9 +1265,26 @@ impl ClusterSystem {
         Ok(self.router.owner(id))
     }
 
-    /// Number of leaves.
+    /// The first live replica of `shard`, in failover order.
+    fn live_replica(&self, shard: usize) -> Option<usize> {
+        self.router
+            .replicas(shard)
+            .find(|&leaf| !self.health[leaf].is_down())
+    }
+
+    /// Number of physical leaves (`num_shards × replication`).
     pub fn num_leaves(&self) -> usize {
         self.leaves.len()
+    }
+
+    /// Number of shards the corpus is sliced into.
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    /// Replica leaves per shard.
+    pub fn replication(&self) -> usize {
+        self.router.replication()
     }
 
     /// The shard router (owner map and id watermark).
@@ -755,6 +1305,41 @@ impl ClusterSystem {
     /// The database id leaf `leaf` serves the shard under.
     pub fn leaf_db_id(&self, leaf: usize) -> Option<u32> {
         self.leaf_dbs.get(leaf).copied()
+    }
+
+    /// Health state of physical leaf `leaf`.
+    pub fn leaf_health(&self, leaf: usize) -> HealthState {
+        self.health[leaf].state()
+    }
+
+    /// Indices of the leaves currently down, ascending.
+    pub fn down_leaves(&self) -> Vec<usize> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, health)| health.is_down())
+            .map(|(leaf, _)| leaf)
+            .collect()
+    }
+
+    /// Mutations currently retained for down leaves to replay on rejoin.
+    pub fn aggregator_log_len(&self) -> usize {
+        self.agg_wal.len()
+    }
+
+    /// CRC fingerprints of shard `shard`'s replicas' logical state, in
+    /// replica (failover) order. Live replicas of a shard are kept in
+    /// lockstep by construction, so their fingerprints agree; a stale
+    /// down replica's may differ until it rejoins.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReisSystem::state_crc`].
+    pub fn shard_state_crcs(&mut self, shard: usize) -> Result<Vec<u32>> {
+        self.router
+            .replicas(shard)
+            .map(|leaf| self.leaves[leaf].state_crc())
+            .collect()
     }
 
     /// The cluster configuration.

@@ -1,16 +1,22 @@
 //! Deterministic document sharding.
 //!
-//! The router answers two questions: *which leaf holds stable id `x`*, and
-//! *which global ids a new batch of inserts receives*. Both must be pure
-//! functions of durable state so that recovery — and any re-execution of
-//! the same mutation trace — routes identically.
+//! The router answers two questions: *which shard holds stable id `x`*,
+//! and *which global ids a new batch of inserts receives*. Both must be
+//! pure functions of durable state so that recovery — and any
+//! re-execution of the same mutation trace — routes identically.
 //!
 //! Deploy-time ids are assigned by slicing the union corpus's **storage
 //! order** (entry order for a flat database, cluster-major order for IVF)
-//! into one contiguous, near-even slice per leaf; the resulting
-//! id-to-leaf map is the manifest's `initial_owners` section. Ids minted
+//! into one contiguous, near-even slice per shard; the resulting
+//! id-to-shard map is the manifest's `initial_owners` section. Ids minted
 //! later for online inserts carry no placement history, so they route
-//! arithmetically: id `x` lives on leaf `x mod N`.
+//! arithmetically: id `x` lives on shard `x mod num_shards`.
+//!
+//! With a replication factor `R` each shard is served by `R` physical
+//! leaves laid out **shard-major**: shard `s`'s replica group is leaves
+//! `s·R .. (s+1)·R`, and leaf `l` serves shard `l / R`. `R = 1` collapses
+//! to the original one-leaf-per-shard layout, where shard and leaf
+//! indices coincide.
 
 use reis_core::{ReisError, Result};
 use std::ops::Range;
@@ -18,27 +24,46 @@ use std::ops::Range;
 /// Deterministic shard map of one cluster deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRouter {
-    num_leaves: usize,
-    /// Owning leaf of each deploy-time stable id (`initial_owners[id]`).
+    num_shards: usize,
+    /// Leaves serving each shard (shard-major replica groups).
+    replication: usize,
+    /// Owning shard of each deploy-time stable id (`initial_owners[id]`).
     initial_owners: Vec<u32>,
     /// Next unassigned global stable id.
     next_global: u32,
 }
 
 impl ShardRouter {
-    /// An empty router over `num_leaves` leaves (no corpus deployed yet).
+    /// An empty unreplicated router: `num_leaves` shards, one leaf each.
     ///
     /// # Errors
     ///
     /// [`ReisError::MalformedDatabase`] when `num_leaves` is zero.
     pub fn new(num_leaves: usize) -> Result<Self> {
-        if num_leaves == 0 {
+        ShardRouter::new_replicated(num_leaves, 1)
+    }
+
+    /// An empty router over `num_shards` shards, each served by
+    /// `replication` lockstep replica leaves (`num_shards × replication`
+    /// physical leaves in total).
+    ///
+    /// # Errors
+    ///
+    /// [`ReisError::MalformedDatabase`] when either count is zero.
+    pub fn new_replicated(num_shards: usize, replication: usize) -> Result<Self> {
+        if num_shards == 0 {
             return Err(ReisError::MalformedDatabase(
                 "a cluster needs at least one leaf".into(),
             ));
         }
+        if replication == 0 {
+            return Err(ReisError::MalformedDatabase(
+                "a replicated cluster needs a replication factor of at least one".into(),
+            ));
+        }
         Ok(ShardRouter {
-            num_leaves,
+            num_shards,
+            replication,
             initial_owners: Vec::new(),
             next_global: 0,
         })
@@ -49,25 +74,48 @@ impl ShardRouter {
     ///
     /// # Errors
     ///
-    /// [`ReisError::MalformedDatabase`] when the owner map names a leaf
-    /// outside `0..num_leaves` or the watermark precedes the initial
-    /// corpus.
+    /// [`ReisError::MalformedDatabase`] when the leaf count does not
+    /// divide into `replication`-sized replica groups, the owner map names
+    /// a shard outside `0..num_shards`, or the watermark precedes the
+    /// initial corpus.
     pub fn from_owners(
         initial_owners: Vec<u32>,
         num_leaves: usize,
         next_global: u32,
     ) -> Result<Self> {
-        if num_leaves == 0 {
+        ShardRouter::from_owners_replicated(initial_owners, num_leaves, 1, next_global)
+    }
+
+    /// [`ShardRouter::from_owners`] for a replicated deployment:
+    /// `num_leaves` physical leaves grouped into `num_leaves /
+    /// replication` shards.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardRouter::from_owners`].
+    pub fn from_owners_replicated(
+        initial_owners: Vec<u32>,
+        num_leaves: usize,
+        replication: usize,
+        next_global: u32,
+    ) -> Result<Self> {
+        if num_leaves == 0 || replication == 0 {
             return Err(ReisError::MalformedDatabase(
                 "a cluster needs at least one leaf".into(),
             ));
         }
+        if !num_leaves.is_multiple_of(replication) {
+            return Err(ReisError::MalformedDatabase(format!(
+                "{num_leaves} leaves do not divide into replica groups of {replication}"
+            )));
+        }
+        let num_shards = num_leaves / replication;
         if let Some(&bad) = initial_owners
             .iter()
-            .find(|&&leaf| leaf as usize >= num_leaves)
+            .find(|&&shard| shard as usize >= num_shards)
         {
             return Err(ReisError::MalformedDatabase(format!(
-                "owner map names leaf {bad} of a {num_leaves}-leaf cluster"
+                "owner map names shard {bad} of a {num_shards}-shard cluster"
             )));
         }
         if (next_global as usize) < initial_owners.len() {
@@ -77,7 +125,8 @@ impl ShardRouter {
             )));
         }
         Ok(ShardRouter {
-            num_leaves,
+            num_shards,
+            replication,
             initial_owners,
             next_global,
         })
@@ -107,13 +156,25 @@ impl ShardRouter {
         self.initial_owners = owners;
     }
 
-    /// The leaf holding stable id `id`: the owner map for deploy-time ids,
-    /// round-robin `id mod N` for ids minted by later inserts.
+    /// The shard holding stable id `id`: the owner map for deploy-time
+    /// ids, round-robin `id mod num_shards` for ids minted by later
+    /// inserts.
     pub fn owner(&self, id: u32) -> usize {
         match self.initial_owners.get(id as usize) {
-            Some(&leaf) => leaf as usize,
-            None => id as usize % self.num_leaves,
+            Some(&shard) => shard as usize,
+            None => id as usize % self.num_shards,
         }
+    }
+
+    /// The physical leaves of shard `shard`'s replica group, in failover
+    /// order (replica 0 is the primary).
+    pub fn replicas(&self, shard: usize) -> Range<usize> {
+        shard * self.replication..(shard + 1) * self.replication
+    }
+
+    /// The shard physical leaf `leaf` serves.
+    pub fn shard_of_leaf(&self, leaf: usize) -> usize {
+        leaf / self.replication
     }
 
     /// Mint `count` fresh global stable ids (consecutive, ascending).
@@ -123,12 +184,22 @@ impl ShardRouter {
         (first..self.next_global).collect()
     }
 
-    /// Number of leaves.
+    /// Number of physical leaves (`num_shards × replication`).
     pub fn num_leaves(&self) -> usize {
-        self.num_leaves
+        self.num_shards * self.replication
     }
 
-    /// The deploy-time owner map (`initial_owners[id]` is a leaf index).
+    /// Number of shards the corpus is sliced into.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Replica leaves per shard.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The deploy-time owner map (`initial_owners[id]` is a shard index).
     pub fn initial_owners(&self) -> &[u32] {
         &self.initial_owners
     }
@@ -185,10 +256,36 @@ mod tests {
     }
 
     #[test]
+    fn replica_groups_are_shard_major() {
+        let router = ShardRouter::new_replicated(3, 2).unwrap();
+        assert_eq!(router.num_shards(), 3);
+        assert_eq!(router.replication(), 2);
+        assert_eq!(router.num_leaves(), 6);
+        assert_eq!(router.replicas(0), 0..2);
+        assert_eq!(router.replicas(2), 4..6);
+        for leaf in 0..6 {
+            assert_eq!(router.shard_of_leaf(leaf), leaf / 2);
+            assert!(router.replicas(router.shard_of_leaf(leaf)).contains(&leaf));
+        }
+        // R = 1 collapses shard and leaf indices.
+        let flat = ShardRouter::new(4).unwrap();
+        assert_eq!(flat.replicas(3), 3..4);
+        assert_eq!(flat.shard_of_leaf(3), 3);
+    }
+
+    #[test]
     fn invalid_recovered_state_is_rejected() {
         assert!(ShardRouter::new(0).is_err());
+        assert!(ShardRouter::new_replicated(2, 0).is_err());
         assert!(ShardRouter::from_owners(vec![3], 3, 1).is_err());
         assert!(ShardRouter::from_owners(vec![0, 1], 2, 1).is_err());
         assert!(ShardRouter::from_owners(vec![0, 1], 2, 2).is_ok());
+        // Leaves must divide into replica groups; owners are shard indices.
+        assert!(ShardRouter::from_owners_replicated(vec![0], 3, 2, 1).is_err());
+        assert!(ShardRouter::from_owners_replicated(vec![2], 4, 2, 1).is_err());
+        let router = ShardRouter::from_owners_replicated(vec![1, 0], 4, 2, 2).unwrap();
+        assert_eq!(router.num_shards(), 2);
+        assert_eq!(router.owner(0), 1);
+        assert_eq!(router.owner(7), 1, "minted ids route modulo num_shards");
     }
 }

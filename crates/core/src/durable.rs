@@ -37,8 +37,8 @@ use std::time::Instant;
 use reis_ann::quantize::{BinaryQuantizer, Int8Quantizer};
 use reis_ann::vector::{BinaryVector, Int8Vector};
 use reis_persist::{
-    ByteReader, ByteWriter, DurableStore, PersistError, SnapshotBuilder, SnapshotReader, WalRecord,
-    WalTail,
+    ByteReader, ByteWriter, DurableStore, PersistError, ScrubReport, SnapshotBuilder,
+    SnapshotReader, WalRecord, WalTail,
 };
 use reis_ssd::{RegionKind, SsdController};
 use reis_telemetry::{CounterId, HistogramId};
@@ -108,6 +108,16 @@ pub struct RecoveryReport {
     pub quarantined: Option<WalQuarantine>,
     /// Sequence number of the fresh checkpoint written after replay.
     pub checkpoint_seq: u64,
+}
+
+impl RecoveryReport {
+    /// Number of quarantined WAL tails this recovery left behind (0 or 1:
+    /// replay stops at the first invalid frame). Exposed as a count so
+    /// per-leaf reports aggregate uniformly — see
+    /// `ClusterRecovery::quarantine_counts` in `reis-cluster`.
+    pub fn quarantine_count(&self) -> usize {
+        usize::from(self.quarantined.is_some())
+    }
 }
 
 impl ReisSystem {
@@ -192,6 +202,37 @@ impl ReisSystem {
     /// The current durable epoch, or `None` for an in-memory system.
     pub fn durable_seq(&self) -> Option<u64> {
         self.durability.as_ref().map(|d| d.seq)
+    }
+
+    /// A CRC32C fingerprint of the complete logical state: the checksum of
+    /// the snapshot image [`ReisSystem::save`] would write right now. The
+    /// snapshot writer is canonical (sorted sections, scan-order corpora),
+    /// so two systems hold bit-identical state **iff** their fingerprints
+    /// agree — the cluster layer uses this to assert that shard replicas
+    /// stay in lockstep. Works on in-memory and durable systems alike.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash read-back errors from the snapshot builder.
+    pub fn state_crc(&mut self) -> Result<u32> {
+        let bytes = build_snapshot(&mut self.controller, &self.databases, self.next_db_id)?;
+        Ok(reis_persist::crc32c(&bytes))
+    }
+
+    /// Scrub the attached durable store: verify every snapshot/WAL epoch's
+    /// checksums without loading anything (see [`DurableStore::scrub`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ReisError::Persist`] if the system is not durably opened, or on
+    /// storage I/O failure. Corruption found is reported, not an error.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        match &self.durability {
+            Some(durability) => Ok(durability.store.scrub()?),
+            None => Err(ReisError::Persist(PersistError::Malformed(
+                "scrub() requires a durably opened system (see ReisSystem::open)".into(),
+            ))),
+        }
     }
 
     /// Recover a system from `store`: newest valid snapshot, then WAL

@@ -62,6 +62,17 @@ pub enum ReisError {
     /// Any other durability failure (storage I/O, missing files, replay
     /// divergence), with the underlying [`PersistError`] as the source.
     Persist(PersistError),
+    /// A leaf device (or every replica of a shard) was unreachable: down,
+    /// killed by a fault plan, or out of retries. Carries the index of the
+    /// first unreachable leaf; when a [`PersistError`] explains *why* the
+    /// leaf went away it is chained through
+    /// [`std::error::Error::source`].
+    Unavailable {
+        /// Index of the unreachable leaf.
+        leaf: usize,
+        /// The underlying durability failure, when one caused the outage.
+        source: Option<PersistError>,
+    },
 }
 
 impl fmt::Display for ReisError {
@@ -92,6 +103,10 @@ impl fmt::Display for ReisError {
             ReisError::CorruptSnapshot(e) => write!(f, "corrupt snapshot: {e}"),
             ReisError::CorruptWal(e) => write!(f, "corrupt WAL: {e}"),
             ReisError::Persist(e) => write!(f, "durability error: {e}"),
+            ReisError::Unavailable { leaf, source } => match source {
+                Some(e) => write!(f, "leaf {leaf} is unavailable: {e}"),
+                None => write!(f, "leaf {leaf} is unavailable"),
+            },
         }
     }
 }
@@ -105,6 +120,9 @@ impl std::error::Error for ReisError {
             ReisError::CorruptSnapshot(e) | ReisError::CorruptWal(e) | ReisError::Persist(e) => {
                 Some(e)
             }
+            ReisError::Unavailable {
+                source: Some(e), ..
+            } => Some(e),
             _ => None,
         }
     }
@@ -162,6 +180,24 @@ mod tests {
     }
 
     #[test]
+    fn unavailable_chains_its_optional_source() {
+        let bare = ReisError::Unavailable {
+            leaf: 3,
+            source: None,
+        };
+        assert!(bare.to_string().contains("leaf 3"));
+        assert!(std::error::Error::source(&bare).is_none());
+
+        let caused = ReisError::Unavailable {
+            leaf: 1,
+            source: Some(PersistError::NoSnapshot),
+        };
+        let source = std::error::Error::source(&caused).expect("chained source");
+        assert!(!source.to_string().is_empty());
+        assert!(caused.to_string().contains("leaf 1 is unavailable:"));
+    }
+
+    #[test]
     fn persist_conversions_pick_the_structured_variant_and_chain_sources() {
         let e: ReisError = PersistError::CorruptSnapshot {
             file: "snapshot-00000001".into(),
@@ -208,6 +244,10 @@ mod tests {
             ReisError::InvalidConfig("rerank factor 0".into()),
             ReisError::EntryNotFound(42),
             ReisError::CorruptDocument { page: 3, slot: 1 },
+            ReisError::Unavailable {
+                leaf: 0,
+                source: None,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -78,7 +78,7 @@ pub use mutate::{CompactionOutcome, MutationOutcome};
 pub use perf::{LatencyBreakdown, PerfModel, QueryActivity};
 pub use records::{RIvf, RIvfEntry, TemporalTopList, TtlEntry};
 pub use reis_persist::{
-    DirVfs, DurableStore, FaultHandle, FaultVfs, MemVfs, PersistError, Vfs, WalRecord,
+    DirVfs, DurableStore, FaultHandle, FaultVfs, MemVfs, PersistError, ScrubReport, Vfs, WalRecord,
 };
 pub use reis_telemetry::{
     CounterId, ExplainEvent, ExplainTrace, GaugeId, HistogramId, HistogramSnapshot, QueryTrace,

@@ -322,3 +322,108 @@ fn durability_counters_cover_wal_snapshot_and_recovery() {
         None => std::env::remove_var(reis_core::TELEMETRY_ENV),
     }
 }
+
+/// Fault counters match a hand-computed schedule exactly: a permanent
+/// kill of one unreplicated leaf at its third call, one retry allowed.
+#[test]
+fn fault_counters_match_the_injected_schedule_exactly() {
+    use reis_cluster::{FaultPlan, RetryPolicy};
+    use reis_nand::Nanos;
+
+    let (vectors, documents) = corpus(36, 9);
+    let mut cluster = ClusterSystem::new(ReisConfig::tiny(), 3)
+        .expect("cluster")
+        .with_fault_plan(Some(FaultPlan::healthy().with_kill(1, 2)))
+        .with_retry_policy(RetryPolicy::new(
+            1,
+            Nanos::from_micros(10),
+            Nanos::from_micros(500),
+        ));
+    cluster.enable_telemetry();
+    cluster.deploy_flat(&vectors, &documents).expect("deploy");
+
+    let mut degraded = 0u64;
+    for q in 0..4 {
+        let outcome = cluster.search(&vectors[q * 7], 5).expect("search");
+        degraded += u64::from(!outcome.is_full_coverage());
+    }
+
+    // Schedule: queries 0 and 1 run clean (3 leaf requests each). Query 2
+    // reaches the killed leaf's third call: one retry, then exhaustion
+    // marks it down (2 executed requests, 1 failover). Query 3 skips the
+    // down leaf outright (2 requests, 1 failover skip).
+    let t = cluster.telemetry();
+    assert_eq!(t.counter(CounterId::ClusterQueries), 4);
+    assert_eq!(t.counter(CounterId::LeafRequests), 3 + 3 + 2 + 2);
+    assert_eq!(t.counter(CounterId::LeafRetries), 1);
+    assert_eq!(t.counter(CounterId::LeafFailovers), 2);
+    assert_eq!(t.counter(CounterId::DegradedQueries), 2);
+    assert_eq!(degraded, 2, "the outcomes agree with the counter");
+    // The fan-out invariant still holds over what actually executed.
+    let leaf_queries: u64 = (0..3)
+        .map(|leaf| cluster.leaf(leaf).telemetry().counter(CounterId::Queries))
+        .sum();
+    assert_eq!(leaf_queries, t.counter(CounterId::LeafRequests));
+}
+
+/// Scrub counters record exactly what each scrub pass reports: one bump
+/// per corrupt snapshot and per quarantinable WAL tail, per pass.
+#[test]
+fn scrub_counters_record_corruption_exactly() {
+    use reis_core::{DurableStore, MemVfs, ReisSystem, Telemetry, Vfs};
+
+    // Produce real epoch artifacts with a throwaway durable system.
+    let (vectors, documents) = corpus(32, 11);
+    let db = VectorDatabase::flat(&vectors, documents).unwrap();
+    let vfs = MemVfs::new();
+    {
+        let store = DurableStore::new(Box::new(vfs.clone()));
+        let (mut system, _) = ReisSystem::open(ReisConfig::tiny(), store).unwrap();
+        let db_id = system.deploy(&db).unwrap();
+        let fresh: Vec<f32> = (0..DIM).map(|d| (d % 3) as f32).collect();
+        system.insert(db_id, &fresh, b"fresh".to_vec()).unwrap();
+        system.save().unwrap();
+    }
+
+    let telemetry = Telemetry::enabled();
+    let mut store = DurableStore::new(Box::new(vfs.clone()));
+    store.set_telemetry(telemetry.clone());
+
+    // A clean pass checks everything and counts nothing.
+    let report = store.scrub().unwrap();
+    assert!(report.is_clean());
+    assert!(report.snapshots_checked > 0);
+    assert!(report.wals_checked > 0);
+    assert_eq!(telemetry.counter(CounterId::ScrubCorruptSnapshots), 0);
+    assert_eq!(telemetry.counter(CounterId::ScrubQuarantinedWals), 0);
+
+    // Flip one byte in the newest snapshot: one corrupt snapshot per pass.
+    let newest = store.snapshot_seqs_desc().unwrap()[0];
+    let snapshot = DurableStore::snapshot_name(newest);
+    let mut bytes = vfs.read_file(&snapshot).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    vfs.write_file(&snapshot, &bytes).unwrap();
+    let report = store.scrub().unwrap();
+    assert_eq!(report.corrupt_snapshots, vec![newest]);
+    assert_eq!(telemetry.counter(CounterId::ScrubCorruptSnapshots), 1);
+    assert_eq!(telemetry.counter(CounterId::ScrubQuarantinedWals), 0);
+
+    // Append garbage to the oldest retained WAL: a quarantinable tail.
+    // The second pass re-counts the still-corrupt snapshot.
+    let wal_seq = store.wal_seqs_asc().unwrap()[0];
+    let wal = DurableStore::wal_name(wal_seq);
+    let mut bytes = vfs.read_file(&wal).unwrap();
+    bytes.extend_from_slice(&[0xFF; 7]);
+    vfs.write_file(&wal, &bytes).unwrap();
+    let report = store.scrub().unwrap();
+    assert_eq!(report.corrupt_snapshots, vec![newest]);
+    assert_eq!(report.quarantined_wals, vec![wal_seq]);
+    assert_eq!(report.corrupt_artifacts(), 2);
+    assert_eq!(
+        telemetry.counter(CounterId::ScrubCorruptSnapshots),
+        2,
+        "counted per pass"
+    );
+    assert_eq!(telemetry.counter(CounterId::ScrubQuarantinedWals), 1);
+}

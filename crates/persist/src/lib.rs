@@ -46,8 +46,9 @@ pub mod wire;
 pub use error::PersistError;
 pub use fault::{splitmix64, FaultHandle, FaultVfs};
 pub use manifest::ClusterManifest;
+pub use reis_kernels::crc32c;
 pub use snapshot::{SnapshotBuilder, SnapshotReader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use store::DurableStore;
+pub use store::{DurableStore, ScrubReport};
 pub use vfs::{DirVfs, MemVfs, Vfs};
 pub use wal::{WalRecord, WalTail};
 pub use wire::{ByteReader, ByteWriter};

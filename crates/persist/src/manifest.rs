@@ -23,28 +23,42 @@ const SECTION_HEADER: u32 = 1;
 const SECTION_LEAF_DBS: u32 = 2;
 /// Section id for the initial-corpus owner map.
 const SECTION_OWNERS: u32 = 3;
+/// Section id for the replication factor (absent in pre-replication
+/// manifests, which decode as factor 1).
+const SECTION_REPLICATION: u32 = 4;
 
 /// Durable description of a sharded deployment.
 ///
-/// `initial_owners[i]` is the leaf index owning initial stable id `i`
+/// `initial_owners[i]` is the shard index owning initial stable id `i`
 /// (ids `0..initial_owners.len()` are the deploy-time corpus; ids assigned
-/// to later inserts are routed arithmetically and need no map).
+/// to later inserts are routed arithmetically and need no map). With a
+/// replication factor `R`, each shard is served by `R` consecutive
+/// physical leaves (shard-major), so the cluster has
+/// `leaf_db_ids.len() / R` shards; unreplicated manifests (`R = 1`) keep
+/// shard and leaf indices identical.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterManifest {
     /// Monotone cluster save epoch.
     pub epoch: u64,
-    /// Per-leaf deployed database id, indexed by leaf.
+    /// Per-leaf deployed database id, indexed by physical leaf.
     pub leaf_db_ids: Vec<u32>,
     /// Next unassigned global stable id.
     pub next_global: u32,
-    /// Owning leaf index per initial stable id.
+    /// Owning shard index per initial stable id.
     pub initial_owners: Vec<u32>,
+    /// Replica leaves per shard (1 when unreplicated).
+    pub replication: u32,
 }
 
 impl ClusterManifest {
-    /// Number of leaves in the deployment.
+    /// Number of physical leaves in the deployment.
     pub fn num_leaves(&self) -> usize {
         self.leaf_db_ids.len()
+    }
+
+    /// Number of shards (`num_leaves / replication`).
+    pub fn num_shards(&self) -> usize {
+        self.leaf_db_ids.len() / self.replication.max(1) as usize
     }
 
     /// Encode the manifest as a snapshot-container file image.
@@ -57,11 +71,14 @@ impl ClusterManifest {
         dbs.put_u32_slice(&self.leaf_db_ids);
         let mut owners = ByteWriter::new();
         owners.put_u32_slice(&self.initial_owners);
+        let mut replication = ByteWriter::new();
+        replication.put_u32(self.replication);
 
         let mut builder = SnapshotBuilder::new();
         builder.add_section(SECTION_HEADER, header.into_bytes());
         builder.add_section(SECTION_LEAF_DBS, dbs.into_bytes());
         builder.add_section(SECTION_OWNERS, owners.into_bytes());
+        builder.add_section(SECTION_REPLICATION, replication.into_bytes());
         builder.finish()
     }
 
@@ -89,18 +106,36 @@ impl ClusterManifest {
         let initial_owners = owner_reader.get_u32_vec()?;
         owner_reader.expect_end()?;
 
+        // Pre-replication manifests lack the section: factor 1.
+        let replication = match reader.section(SECTION_REPLICATION) {
+            Some(bytes) => {
+                let mut replication_reader = ByteReader::new(bytes);
+                let replication = replication_reader.get_u32()?;
+                replication_reader.expect_end()?;
+                replication
+            }
+            None => 1,
+        };
+
         if leaf_db_ids.len() != num_leaves {
             return Err(PersistError::Malformed(format!(
                 "manifest {file} header claims {num_leaves} leaves but lists {}",
                 leaf_db_ids.len()
             )));
         }
+        if replication == 0 || !num_leaves.is_multiple_of(replication as usize) {
+            return Err(PersistError::Malformed(format!(
+                "manifest {file} cannot group {num_leaves} leaves into \
+                 replica sets of {replication}"
+            )));
+        }
+        let num_shards = num_leaves / replication as usize;
         if let Some(&bad) = initial_owners
             .iter()
-            .find(|&&leaf| leaf as usize >= num_leaves)
+            .find(|&&shard| shard as usize >= num_shards)
         {
             return Err(PersistError::Malformed(format!(
-                "manifest {file} owner map names leaf {bad} of {num_leaves}"
+                "manifest {file} owner map names shard {bad} of {num_shards}"
             )));
         }
         if (next_global as usize) < initial_owners.len() {
@@ -115,6 +150,7 @@ impl ClusterManifest {
             leaf_db_ids,
             next_global,
             initial_owners,
+            replication,
         })
     }
 }
@@ -129,6 +165,7 @@ mod tests {
             leaf_db_ids: vec![1, 1, 2],
             next_global: 10,
             initial_owners: vec![0, 0, 1, 1, 2, 2, 0, 1],
+            replication: 1,
         }
     }
 
@@ -163,6 +200,36 @@ mod tests {
         let mut bad_next = sample();
         bad_next.next_global = 2;
         let bytes = bad_next.encode();
+        assert!(ClusterManifest::decode(&bytes, "manifest").is_err());
+
+        // Leaves must divide into replica groups, and owners are shard
+        // indices, so owner validity depends on the factor.
+        let mut bad_replication = sample();
+        bad_replication.replication = 2;
+        let bytes = bad_replication.encode();
+        assert!(ClusterManifest::decode(&bytes, "manifest").is_err());
+    }
+
+    #[test]
+    fn replicated_manifest_round_trips_and_scopes_owners_to_shards() {
+        let manifest = ClusterManifest {
+            epoch: 3,
+            leaf_db_ids: vec![1, 1, 2, 2],
+            next_global: 6,
+            initial_owners: vec![0, 1, 0, 1, 1, 0],
+            replication: 2,
+        };
+        let bytes = manifest.encode();
+        let decoded = ClusterManifest::decode(&bytes, "manifest").unwrap();
+        assert_eq!(decoded, manifest);
+        assert_eq!(decoded.num_leaves(), 4);
+        assert_eq!(decoded.num_shards(), 2);
+
+        // Owner naming a shard ≥ num_shards (even though < num_leaves) is
+        // rejected under replication.
+        let mut bad = manifest.clone();
+        bad.initial_owners[2] = 3;
+        let bytes = bad.encode();
         assert!(ClusterManifest::decode(&bytes, "manifest").is_err());
     }
 }

@@ -81,11 +81,24 @@ pub enum CounterId {
     LeafRequests,
     /// Hedge requests launched against straggling leaves.
     HedgesLaunched,
+    /// Leaf query attempts retried after a transient fault (each retry
+    /// issuance past a replica's first attempt counts once).
+    LeafRetries,
+    /// Replicas passed over while serving a shard: already-down replicas
+    /// skipped plus replicas abandoned after exhausting their retries.
+    LeafFailovers,
+    /// Cluster queries answered with partial shard coverage (at least one
+    /// shard had no live replica).
+    DegradedQueries,
+    /// Corrupt snapshots found by a durable-store scrub.
+    ScrubCorruptSnapshots,
+    /// WAL files a scrub found with a torn or corrupt (quarantinable) tail.
+    ScrubQuarantinedWals,
 }
 
 impl CounterId {
     /// Every counter, in registry order.
-    pub const ALL: [CounterId; 27] = [
+    pub const ALL: [CounterId; 32] = [
         CounterId::Queries,
         CounterId::Batches,
         CounterId::FusedBatches,
@@ -113,6 +126,11 @@ impl CounterId {
         CounterId::ClusterQueries,
         CounterId::LeafRequests,
         CounterId::HedgesLaunched,
+        CounterId::LeafRetries,
+        CounterId::LeafFailovers,
+        CounterId::DegradedQueries,
+        CounterId::ScrubCorruptSnapshots,
+        CounterId::ScrubQuarantinedWals,
     ];
 
     /// The Prometheus metric name.
@@ -145,6 +163,11 @@ impl CounterId {
             CounterId::ClusterQueries => "reis_cluster_queries_total",
             CounterId::LeafRequests => "reis_leaf_requests_total",
             CounterId::HedgesLaunched => "reis_hedges_launched_total",
+            CounterId::LeafRetries => "reis_leaf_retries_total",
+            CounterId::LeafFailovers => "reis_leaf_failovers_total",
+            CounterId::DegradedQueries => "reis_degraded_queries_total",
+            CounterId::ScrubCorruptSnapshots => "reis_scrub_corrupt_snapshots_total",
+            CounterId::ScrubQuarantinedWals => "reis_scrub_quarantined_wals_total",
         }
     }
 
@@ -178,6 +201,11 @@ impl CounterId {
             CounterId::ClusterQueries => "Queries served by the cluster aggregator",
             CounterId::LeafRequests => "Leaf requests fanned out by the aggregator",
             CounterId::HedgesLaunched => "Hedge requests launched against stragglers",
+            CounterId::LeafRetries => "Leaf query attempts retried after a transient fault",
+            CounterId::LeafFailovers => "Replicas passed over while serving a shard",
+            CounterId::DegradedQueries => "Cluster queries answered with partial shard coverage",
+            CounterId::ScrubCorruptSnapshots => "Corrupt snapshots found by a scrub",
+            CounterId::ScrubQuarantinedWals => "WAL files a scrub found with a corrupt tail",
         }
     }
 }

@@ -1,0 +1,206 @@
+//! Deterministic leaf-fault scenarios for cluster fault-injection testing.
+//!
+//! The crash module ([`crate::crash`]) quantifies *where a write stream
+//! dies*; this module quantifies *which leaf calls fail*. A
+//! [`FaultScenario`] is a plain description — seed, transient rates,
+//! permanent kills — that `reis-cluster` turns into its seeded `FaultPlan`
+//! (this crate deliberately stays description-only, like the crash
+//! schedules, so it pulls in no cluster machinery). The same scenario
+//! always produces the same fault trace, so a failing schedule replays
+//! exactly.
+//!
+//! [`FaultScenario::covering`] generates the structurally interesting
+//! family for a given cluster shape: the healthy baseline (the
+//! retry-machinery-overhead case), transient-only churn at escalating
+//! rates, single permanent kills at seeded call indices (the failover
+//! case), and one whole-replica-group kill (the forced-degradation case).
+
+use reis_persist::splitmix64;
+
+/// Rates are parts-per-million of leaf calls.
+const PPM_SCALE: u64 = 1_000_000;
+
+/// A seeded, deterministic description of the faults one cluster run
+/// injects at the aggregator→leaf call boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultScenario {
+    /// Seed of the per-call fault draws.
+    pub seed: u64,
+    /// Transient fail-fast rate in parts per million of leaf calls.
+    pub fail_ppm: u32,
+    /// Timeout rate in parts per million of leaf calls.
+    pub timeout_ppm: u32,
+    /// Permanent kills as `(leaf, nth_call)`: the leaf answers unavailable
+    /// from its `nth_call`th call (0-based) onward until revived.
+    pub kills: Vec<(usize, u64)>,
+}
+
+impl FaultScenario {
+    /// The no-fault baseline.
+    pub fn healthy() -> Self {
+        FaultScenario {
+            seed: 0,
+            fail_ppm: 0,
+            timeout_ppm: 0,
+            kills: Vec::new(),
+        }
+    }
+
+    /// Transient-only churn: seeded fail-fast and timeout rates, no kills.
+    ///
+    /// # Panics
+    ///
+    /// When the two rates together exceed one million ppm.
+    pub fn transient(seed: u64, fail_ppm: u32, timeout_ppm: u32) -> Self {
+        assert!(
+            u64::from(fail_ppm) + u64::from(timeout_ppm) <= PPM_SCALE,
+            "fault rates exceed {PPM_SCALE} ppm"
+        );
+        FaultScenario {
+            seed,
+            fail_ppm,
+            timeout_ppm,
+            kills: Vec::new(),
+        }
+    }
+
+    /// Add a permanent kill of `leaf` at its `nth_call`th call (chainable).
+    pub fn with_kill(mut self, leaf: usize, nth_call: u64) -> Self {
+        self.kills.push((leaf, nth_call));
+        self
+    }
+
+    /// Leaves this scenario kills permanently, in kill order.
+    pub fn killed_leaves(&self) -> Vec<usize> {
+        self.kills.iter().map(|&(leaf, _)| leaf).collect()
+    }
+
+    /// Whether the scenario kills every replica of some shard under a
+    /// shard-major layout (`replication` leaves per group) — the shape
+    /// that forces explicitly degraded answers once retries drain.
+    pub fn kills_whole_group(&self, replication: usize) -> bool {
+        if replication == 0 {
+            return false;
+        }
+        let killed = self.killed_leaves();
+        let mut shards: Vec<usize> = killed.iter().map(|&leaf| leaf / replication).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards.iter().any(|&shard| {
+            (shard * replication..(shard + 1) * replication).all(|leaf| killed.contains(&leaf))
+        })
+    }
+
+    /// The structurally interesting scenario family for a cluster of
+    /// `num_leaves` physical leaves in replica groups of `replication`:
+    ///
+    /// 1. the healthy baseline (always first),
+    /// 2. transient-only churn at escalating rates,
+    /// 3. two single-leaf permanent kills at seeded call indices,
+    /// 4. one whole-replica-group kill (guaranteed degradation).
+    ///
+    /// The same `(num_leaves, replication, seed)` always yields the same
+    /// scenarios.
+    ///
+    /// # Panics
+    ///
+    /// When `num_leaves` is zero, `replication` is zero, or `replication`
+    /// does not divide `num_leaves`.
+    pub fn covering(num_leaves: usize, replication: usize, seed: u64) -> Vec<FaultScenario> {
+        assert!(
+            num_leaves > 0 && replication > 0 && num_leaves.is_multiple_of(replication),
+            "{num_leaves} leaves do not divide into replica groups of {replication}"
+        );
+        let mut state = seed ^ 0xFA17_5CED_0000_0000;
+        let mut scenarios = vec![FaultScenario::healthy()];
+        for rate in [5_000u32, 50_000, 200_000] {
+            let scenario_seed = splitmix64(&mut state);
+            scenarios.push(FaultScenario::transient(scenario_seed, rate, rate / 2));
+        }
+        for _ in 0..2 {
+            let scenario_seed = splitmix64(&mut state);
+            let leaf = (splitmix64(&mut state) % num_leaves as u64) as usize;
+            let nth_call = splitmix64(&mut state) % 32;
+            scenarios.push(
+                FaultScenario::transient(scenario_seed, 20_000, 10_000).with_kill(leaf, nth_call),
+            );
+        }
+        let scenario_seed = splitmix64(&mut state);
+        let shard = (splitmix64(&mut state) % (num_leaves / replication) as u64) as usize;
+        let mut group_kill = FaultScenario::transient(scenario_seed, 0, 0);
+        for leaf in shard * replication..(shard + 1) * replication {
+            let nth_call = splitmix64(&mut state) % 32;
+            group_kill = group_kill.with_kill(leaf, nth_call);
+        }
+        scenarios.push(group_kill);
+        scenarios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covering_is_deterministic_and_leads_with_healthy() {
+        let a = FaultScenario::covering(6, 2, 42);
+        let b = FaultScenario::covering(6, 2, 42);
+        assert_eq!(a, b, "same inputs, same scenarios");
+        assert_eq!(a[0], FaultScenario::healthy());
+        let c = FaultScenario::covering(6, 2, 43);
+        assert_ne!(a, c, "different seed, different scenarios");
+        // Rates stay within a million ppm; kills stay within the cluster.
+        for scenario in &a {
+            assert!(u64::from(scenario.fail_ppm) + u64::from(scenario.timeout_ppm) <= 1_000_000);
+            for &(leaf, _) in &scenario.kills {
+                assert!(leaf < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn covering_ends_with_a_whole_group_kill() {
+        for (num_leaves, replication) in [(4usize, 1usize), (6, 2), (9, 3)] {
+            let scenarios = FaultScenario::covering(num_leaves, replication, 7);
+            let last = scenarios.last().unwrap();
+            assert!(
+                last.kills_whole_group(replication),
+                "{num_leaves}/{replication}: final scenario must force degradation"
+            );
+            assert_eq!(last.kills.len(), replication);
+            // No earlier scenario kills a whole group.
+            for scenario in &scenarios[..scenarios.len() - 1] {
+                assert!(
+                    scenario.kills.len() < replication
+                        || replication == 1
+                        || !scenario.kills_whole_group(replication)
+                        || scenario.kills.is_empty()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_kill_detection_is_exact() {
+        assert!(!FaultScenario::healthy().kills_whole_group(2));
+        let partial = FaultScenario::healthy().with_kill(2, 0);
+        assert!(
+            !partial.kills_whole_group(2),
+            "half a group is failover, not degradation"
+        );
+        let full = partial.with_kill(3, 5);
+        assert!(
+            full.kills_whole_group(2),
+            "leaves 2 and 3 are shard 1's whole group"
+        );
+        assert!(
+            !full.kills_whole_group(4),
+            "same kills, wider groups: not a whole group"
+        );
+        let flat = FaultScenario::healthy().with_kill(1, 0);
+        assert!(
+            flat.kills_whole_group(1),
+            "R = 1: any kill degrades its shard"
+        );
+    }
+}

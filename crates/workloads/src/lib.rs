@@ -28,12 +28,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod crash;
+pub mod fault;
 pub mod ground_truth;
 pub mod mutation;
 pub mod profile;
 pub mod synthetic;
 
 pub use crash::{CrashSchedule, LeafCrashSchedule};
+pub use fault::FaultScenario;
 pub use ground_truth::GroundTruth;
 pub use mutation::{MutationMix, MutationOp, MutationTrace};
 pub use profile::DatasetProfile;
