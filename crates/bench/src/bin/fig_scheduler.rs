@@ -1,0 +1,419 @@
+//! The persistent worker pool and the async request pipeline, measured.
+//!
+//! PR-5's adaptive-window sweep recorded the cost this PR removes: under
+//! small threshold windows the sharded scan paid one scoped-thread spawn
+//! set *per window*, which on its committed run made 4–32-page windows
+//! slower sharded than sequential. PR-10 replaced every per-window spawn
+//! with the persistent work-stealing pool (`reis-sched`), and put an
+//! asynchronous batching pipeline in front of the executors. This
+//! benchmark measures both halves:
+//!
+//! * **Part A — pooled vs spawn-per-window.** The same sharded adaptive
+//!   sweep, run under `ScanExecutor::Pooled` and
+//!   `ScanExecutor::SpawnScoped` on the same deployment. Results and
+//!   transferred-entry accounting are asserted bit-identical on every
+//!   point (`results_identical_to_spawn`); only the wall clock may move.
+//!   On the windows that PR-5 flagged (4–32 pages), pooled must not lose
+//!   to spawn — the committed full-mode artifact gates on it.
+//! * **Part B — batch formation under load.** A seeded Poisson arrival
+//!   trace drives the `Pipeline` at several offered loads, with batch
+//!   formation off (`max_batch 1`) and on (`max_batch 8`). The pipeline
+//!   runs on *virtual time* — completions are priced by the modelled
+//!   device latency — so its QPS-vs-p99 columns are deterministic,
+//!   machine-independent, and meaningful even on this one-core host.
+//!   `batch_formation_wins` records that at the top offered load the
+//!   batching pipeline sustains higher throughput at no worse p99.
+//!
+//! Results go to `BENCH_pr10.json` (this PR's committed artifact); pass
+//! `--output PATH` / `REIS_BENCH_OUT` to write elsewhere, `--smoke` /
+//! `REIS_BENCH_SMOKE=1` for the fast CI variant.
+
+use std::time::Instant;
+
+use reis_bench::report;
+use reis_core::{
+    PipelineConfig, PipelineRequest, ReisConfig, ReisSystem, ScanExecutor, ScanParallelism,
+    VectorDatabase,
+};
+use reis_workloads::{ArrivalTrace, DatasetProfile, SyntheticDataset};
+
+const K: usize = 10;
+const SHARDS: usize = 8;
+
+struct RunShape {
+    mode: &'static str,
+    entries: usize,
+    queries: usize,
+    repeats: usize,
+    windows: &'static [usize],
+    pipeline_requests: usize,
+}
+
+fn shape() -> RunShape {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("REIS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    if smoke {
+        RunShape {
+            mode: "smoke",
+            entries: 4_096,
+            queries: 2,
+            repeats: 2,
+            windows: &[4, 16],
+            pipeline_requests: 48,
+        }
+    } else {
+        RunShape {
+            mode: "full",
+            entries: 32_768,
+            queries: 4,
+            repeats: 5,
+            windows: &[4, 8, 16, 32],
+            pipeline_requests: 256,
+        }
+    }
+}
+
+struct WindowPoint {
+    window: usize,
+    fine_entries: usize,
+    fine_windows: usize,
+    modelled_us: f64,
+    pooled_us: f64,
+    spawn_us: f64,
+}
+
+struct PipelinePoint {
+    offered_qps: f64,
+    max_batch: usize,
+    requests: usize,
+    completed: usize,
+    shed: u64,
+    p50_us: f64,
+    p99_us: f64,
+    throughput_qps: f64,
+}
+
+/// Best-of-`repeats` wall latency of each query, averaged, in microseconds.
+fn measure(system: &mut ReisSystem, db_id: u32, queries: &[Vec<f32>], repeats: usize) -> f64 {
+    let mut total_us = 0.0;
+    for query in queries {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            system.search(db_id, query, K).expect("search");
+            best = best.min(start.elapsed().as_secs_f64() * 1e6);
+        }
+        total_us += best;
+    }
+    total_us / queries.len() as f64
+}
+
+/// Result signatures plus summed transferred-entry accounting and mean
+/// modelled latency of one sweep point.
+type SweepSignature = (Vec<Vec<(usize, f32)>>, usize, usize, f64);
+
+fn signatures(system: &mut ReisSystem, db_id: u32, queries: &[Vec<f32>]) -> SweepSignature {
+    let mut sigs = Vec::new();
+    let mut entries = 0usize;
+    let mut windows = 0usize;
+    let mut modelled_us = 0.0;
+    for query in queries {
+        let outcome = system.search(db_id, query, K).expect("search");
+        sigs.push(outcome.results.iter().map(|n| (n.id, n.distance)).collect());
+        entries += outcome.activity.fine_entries;
+        windows += outcome.activity.fine_windows;
+        modelled_us += outcome.total_latency().as_secs_f64() * 1e6;
+    }
+    (sigs, entries, windows, modelled_us / queries.len() as f64)
+}
+
+/// Virtual-time percentile of a sorted sojourn list, in microseconds.
+fn percentile_us(sorted_ns: &[u64], fraction: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 * fraction).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[rank] as f64 / 1e3
+}
+
+/// Run one pipeline sweep point: a seeded arrival trace at `offered_qps`
+/// through a pipeline with the given formation bound. Everything reported
+/// is virtual-time, hence deterministic.
+fn pipeline_point(
+    system: &mut ReisSystem,
+    db_id: u32,
+    queries: &[Vec<f32>],
+    offered_qps: f64,
+    max_batch: usize,
+    requests: usize,
+) -> PipelinePoint {
+    // Horizon sized to cover `requests` arrivals (doubled deterministically
+    // if the draw runs short, which 2x the expected span makes rare).
+    let mut duration_us = ((requests as f64 / offered_qps) * 2e6).ceil() as u64 + 1_000;
+    let mut trace = ArrivalTrace::poisson(offered_qps, duration_us, queries.len(), 0x5EED);
+    while trace.len() < requests {
+        duration_us *= 2;
+        trace = ArrivalTrace::poisson(offered_qps, duration_us, queries.len(), 0x5EED);
+    }
+    let config = PipelineConfig::default()
+        .with_max_batch(max_batch)
+        .with_max_wait_us(200);
+    let mut pipeline = system.pipeline(db_id, config);
+    let mut accepted = 0usize;
+    for event in trace.events().iter().take(requests) {
+        let submitted = pipeline.submit(
+            event.at_ns,
+            PipelineRequest::Search {
+                query: queries[event.query_index].clone(),
+                k: K,
+            },
+        );
+        if submitted.is_ok() {
+            accepted += 1;
+        }
+    }
+    pipeline.flush();
+    let shed = pipeline.shed();
+    let completions = pipeline.drain_completions();
+    assert_eq!(
+        completions.len(),
+        accepted,
+        "every accepted request completes"
+    );
+
+    let mut sojourns_ns: Vec<u64> = completions
+        .iter()
+        .map(|c| c.completed_ns - c.submitted_ns)
+        .collect();
+    sojourns_ns.sort_unstable();
+    let first_in = completions
+        .iter()
+        .map(|c| c.submitted_ns)
+        .min()
+        .unwrap_or(0);
+    let last_out = completions
+        .iter()
+        .map(|c| c.completed_ns)
+        .max()
+        .unwrap_or(0);
+    let makespan_s = (last_out.saturating_sub(first_in)) as f64 / 1e9;
+    PipelinePoint {
+        offered_qps,
+        max_batch,
+        requests,
+        completed: completions.len(),
+        shed,
+        p50_us: percentile_us(&sojourns_ns, 0.50),
+        p99_us: percentile_us(&sojourns_ns, 0.99),
+        throughput_qps: if makespan_s > 0.0 {
+            completions.len() as f64 / makespan_s
+        } else {
+            0.0
+        },
+    }
+}
+
+fn main() {
+    let shape = shape();
+    report::header(
+        "Scheduler: worker pool + request pipeline",
+        "Pooled vs spawn-per-window wall clock, and batch formation under load",
+    );
+
+    println!(
+        "Building {}-entry synthetic dataset ({} mode)…",
+        shape.entries, shape.mode
+    );
+    let dataset = SyntheticDataset::generate(
+        DatasetProfile::hotpotqa()
+            .scaled(shape.entries)
+            .with_queries(shape.queries),
+        47,
+    );
+    let database = VectorDatabase::flat(dataset.vectors(), dataset.documents_owned())
+        .expect("database construction");
+    let queries: Vec<Vec<f32>> = dataset.queries().to_vec();
+
+    // Two deployments of the same database, differing only in who executes
+    // the shard tasks. Both shard with a 1-page minimum so every window is
+    // genuinely partitioned — exactly the regime where PR-5 measured the
+    // per-window spawn cost.
+    let sharding = ScanParallelism::sharded(SHARDS).with_min_pages_per_shard(1);
+    let mut pooled = ReisSystem::new(
+        ReisConfig::ssd1()
+            .with_scan_parallelism(sharding)
+            .with_scan_executor(ScanExecutor::Pooled),
+    );
+    let pooled_id = pooled.deploy(&database).expect("deployment");
+    let mut spawn = ReisSystem::new(
+        ReisConfig::ssd1()
+            .with_scan_parallelism(sharding)
+            .with_scan_executor(ScanExecutor::SpawnScoped),
+    );
+    let spawn_id = spawn.deploy(&database).expect("deployment");
+
+    println!("\nPart A — pooled vs spawn-per-window (sharded adaptive scan, k {K}):");
+    println!(
+        "  {:>7}  {:>10}  {:>9}  {:>12}  {:>11}  {:>11}",
+        "window", "entries", "barriers", "modelled_us", "pooled_us", "spawn_us"
+    );
+    let mut points: Vec<WindowPoint> = Vec::new();
+    for &window in shape.windows {
+        pooled.set_adaptive_window(window);
+        spawn.set_adaptive_window(window);
+        let (pooled_sigs, pooled_entries, pooled_windows, modelled_us) =
+            signatures(&mut pooled, pooled_id, &queries);
+        let (spawn_sigs, spawn_entries, spawn_windows, spawn_modelled) =
+            signatures(&mut spawn, spawn_id, &queries);
+
+        // Scheduler identity, asserted on every sweep point: the executor
+        // must never change what a query returns or what it transfers.
+        assert_eq!(
+            pooled_sigs, spawn_sigs,
+            "pooled results diverged from spawn at window {window}"
+        );
+        assert_eq!(
+            (pooled_entries, pooled_windows),
+            (spawn_entries, spawn_windows),
+            "pooled accounting diverged from spawn at window {window}"
+        );
+        assert!(
+            (modelled_us - spawn_modelled).abs() < 1e-9,
+            "modelled latency diverged at window {window}"
+        );
+
+        let pooled_us = measure(&mut pooled, pooled_id, &queries, shape.repeats);
+        let spawn_us = measure(&mut spawn, spawn_id, &queries, shape.repeats);
+        println!(
+            "  {window:>7}  {pooled_entries:>10}  {pooled_windows:>9}  {modelled_us:>12.1}  \
+             {pooled_us:>11.1}  {spawn_us:>11.1}"
+        );
+        points.push(WindowPoint {
+            window,
+            fine_entries: pooled_entries,
+            fine_windows: pooled_windows,
+            modelled_us,
+            pooled_us,
+            spawn_us,
+        });
+    }
+
+    // Part B — the request pipeline under a seeded open-loop arrival
+    // process. Offered loads are set relative to the modelled single-query
+    // service rate, so the sweep spans under-load to saturation at any
+    // dataset size.
+    let service_ns = {
+        let outcome = pooled.search(pooled_id, &queries[0], K).expect("probe");
+        outcome.total_latency().as_nanos().max(1)
+    };
+    let service_qps = 1e9 / service_ns as f64;
+    println!(
+        "\nPart B — pipeline batch formation (modelled service rate {service_qps:.0} QPS, \
+         virtual time):"
+    );
+    println!(
+        "  {:>12}  {:>9}  {:>9}  {:>6}  {:>10}  {:>10}  {:>14}",
+        "offered_qps", "max_batch", "completed", "shed", "p50_us", "p99_us", "throughput_qps"
+    );
+    let mut pipeline_points: Vec<PipelinePoint> = Vec::new();
+    for load_factor in [0.5, 2.0, 6.0] {
+        for max_batch in [1usize, 8] {
+            let point = pipeline_point(
+                &mut pooled,
+                pooled_id,
+                &queries,
+                service_qps * load_factor,
+                max_batch,
+                shape.pipeline_requests,
+            );
+            println!(
+                "  {:>12.0}  {:>9}  {:>9}  {:>6}  {:>10.1}  {:>10.1}  {:>14.0}",
+                point.offered_qps,
+                point.max_batch,
+                point.completed,
+                point.shed,
+                point.p50_us,
+                point.p99_us,
+                point.throughput_qps
+            );
+            pipeline_points.push(point);
+        }
+    }
+
+    // At the top offered load, batch formation must sustain higher
+    // throughput at no worse tail latency than dispatch-on-arrival.
+    let top = &pipeline_points[pipeline_points.len() - 2..];
+    let (unbatched, batched) = (&top[0], &top[1]);
+    let batch_formation_wins =
+        batched.throughput_qps > unbatched.throughput_qps && batched.p99_us <= unbatched.p99_us;
+    assert!(
+        batch_formation_wins,
+        "batch formation must win at the top offered load: \
+         batched {:.0} QPS / p99 {:.1} us vs unbatched {:.0} QPS / p99 {:.1} us",
+        batched.throughput_qps, batched.p99_us, unbatched.throughput_qps, unbatched.p99_us
+    );
+    println!(
+        "\nBatch formation at {:.1}x the service rate: {:.0} QPS at p99 {:.1} us \
+         (vs {:.0} QPS at p99 {:.1} us without formation).",
+        6.0, batched.throughput_qps, batched.p99_us, unbatched.throughput_qps, unbatched.p99_us
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores == 1 {
+        println!(
+            "note: only one CPU is available, so Part A's wall columns measure spawn/join \
+             overhead rather than parallel speedup; Part B is virtual-time and unaffected"
+        );
+    }
+
+    let window_json = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"window\": {}, \"fine_entries\": {}, \"barriers\": {}, \
+                 \"modelled_us\": {:.1}, \"pooled_us\": {:.1}, \"spawn_us\": {:.1} }}",
+                p.window, p.fine_entries, p.fine_windows, p.modelled_us, p.pooled_us, p.spawn_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let pipeline_json = pipeline_points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"offered_qps\": {:.1}, \"max_batch\": {}, \"requests\": {}, \
+                 \"completed\": {}, \"shed\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+                 \"throughput_qps\": {:.1} }}",
+                p.offered_qps,
+                p.max_batch,
+                p.requests,
+                p.completed,
+                p.shed,
+                p.p50_us,
+                p.p99_us,
+                p.throughput_qps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"available_cores\": {cores},\n  \"mode\": \"{}\",\n  \
+         \"dataset\": {{ \"entries\": {}, \"dim\": {} }},\n  \
+         \"queries\": {},\n  \"repeats_per_point\": {},\n  \"k\": {K},\n  \
+         \"modelled_service_qps\": {service_qps:.1},\n  \
+         \"results_identical_to_spawn\": true,\n  \
+         \"batch_formation_wins\": {batch_formation_wins},\n  \
+         \"pool_window_sweep\": [\n{window_json}\n  ],\n  \
+         \"pipeline_sweep\": [\n{pipeline_json}\n  ]\n}}\n",
+        shape.mode,
+        shape.entries,
+        dataset.profile().dim,
+        shape.queries,
+        shape.repeats,
+    );
+    let path = report::output_path("BENCH_pr10.json");
+    std::fs::write(&path, json).expect("write benchmark artifact");
+    println!("\nWrote {path}");
+}

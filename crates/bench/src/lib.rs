@@ -676,6 +676,15 @@ pub mod artifacts {
             ("retry_overhead", Kind::Obj),
             ("failure_sweep", Kind::Arr),
         ];
+        const SCHEDULER: &[(&str, Kind)] = &[
+            ("available_cores", Kind::Num),
+            ("mode", Kind::Str),
+            ("dataset", Kind::Obj),
+            ("results_identical_to_spawn", Kind::Bool),
+            ("batch_formation_wins", Kind::Bool),
+            ("pool_window_sweep", Kind::Arr),
+            ("pipeline_sweep", Kind::Arr),
+        ];
         let base = file_name.rsplit('/').next().unwrap_or(file_name);
         match base {
             "BENCH_pr1.json" => Some(BATCH),
@@ -687,7 +696,9 @@ pub mod artifacts {
             "BENCH_pr7.json" => Some(SCALEOUT),
             "BENCH_pr8.json" => Some(TELEMETRY),
             "BENCH_pr9.json" => Some(FAULT),
+            "BENCH_pr10.json" => Some(SCHEDULER),
             _ if base.contains("fig07b") => Some(BATCH),
+            _ if base.contains("scheduler") => Some(SCHEDULER),
             _ if base.contains("intra_query") => Some(INTRA),
             _ if base.contains("telemetry") => Some(TELEMETRY),
             _ if base.contains("fault") => Some(FAULT),
@@ -764,6 +775,70 @@ pub mod artifacts {
             }
             if doc.get("partition_invariant") != Some(&Json::Bool(true)) {
                 problems.push("partition_invariant must be true".into());
+            }
+        }
+        // Scheduler family: pooled execution must be bit-identical to the
+        // spawn-per-window executor, batch formation must win the sweep's
+        // top offered load, and every row carries its columns. The
+        // pooled-vs-spawn wall-clock comparison gates only `mode: "full"`
+        // artifacts (smoke runs on shared CI runners are too noisy).
+        if let Some(Json::Arr(points)) = doc.get("pool_window_sweep") {
+            if doc.get("results_identical_to_spawn") != Some(&Json::Bool(true)) {
+                problems.push("results_identical_to_spawn must be true".into());
+            }
+            let full = doc.get("mode") == Some(&Json::Str("full".into()));
+            for (i, point) in points.iter().enumerate() {
+                for key in [
+                    "window",
+                    "fine_entries",
+                    "barriers",
+                    "modelled_us",
+                    "pooled_us",
+                    "spawn_us",
+                ] {
+                    if !matches!(point.get(key), Some(Json::Num(_))) {
+                        problems.push(format!("pool_window_sweep[{i}]: missing numeric '{key}'"));
+                    }
+                }
+                if full {
+                    if let (
+                        Some(Json::Num(window)),
+                        Some(Json::Num(pooled)),
+                        Some(Json::Num(spawn)),
+                    ) = (
+                        point.get("window"),
+                        point.get("pooled_us"),
+                        point.get("spawn_us"),
+                    ) {
+                        if (4.0..=32.0).contains(window) && *pooled > *spawn {
+                            problems.push(format!(
+                                "pool_window_sweep[{i}]: pooled_us ({pooled}) must not exceed \
+                                 spawn_us ({spawn}) at window {window} in full mode"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(Json::Arr(points)) = doc.get("pipeline_sweep") {
+            if doc.get("batch_formation_wins") != Some(&Json::Bool(true)) {
+                problems.push("batch_formation_wins must be true".into());
+            }
+            for (i, point) in points.iter().enumerate() {
+                for key in [
+                    "offered_qps",
+                    "max_batch",
+                    "requests",
+                    "completed",
+                    "shed",
+                    "p50_us",
+                    "p99_us",
+                    "throughput_qps",
+                ] {
+                    if !matches!(point.get(key), Some(Json::Num(_))) {
+                        problems.push(format!("pipeline_sweep[{i}]: missing numeric '{key}'"));
+                    }
+                }
             }
         }
         if let Some(torn) = doc.get("torn_tail") {
@@ -973,6 +1048,7 @@ mod artifact_tests {
             "BENCH_pr7.json",
             "BENCH_pr8.json",
             "BENCH_pr9.json",
+            "BENCH_pr10.json",
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path).expect("committed artifact readable");
@@ -1036,6 +1112,10 @@ mod artifact_tests {
             required_keys("BENCH_fault_tolerance_smoke.json"),
             required_keys("BENCH_pr9.json")
         );
+        assert_eq!(
+            required_keys("BENCH_scheduler_smoke.json"),
+            required_keys("BENCH_pr10.json")
+        );
         assert!(required_keys("mystery.json").is_none());
         assert!(!validate("mystery.json", &Json::Obj(vec![])).is_empty());
         // A wrongly typed required key is reported with both types.
@@ -1092,6 +1172,54 @@ mod artifact_tests {
             .iter()
             .any(|p| p.contains("policies[0]") && p.contains("completion_p95_us")));
         assert!(!scaleout_problems.iter().any(|p| p.contains("policies[1]")));
+    }
+
+    #[test]
+    fn scheduler_family_enforces_identity_and_formation_invariants() {
+        // Identity and formation-win flags must be true, sweep rows carry
+        // their columns, and the pooled-vs-spawn wall comparison gates
+        // full-mode artifacts only.
+        let doc = parse(
+            r#"{ "mode": "full", "results_identical_to_spawn": false,
+                 "batch_formation_wins": false,
+                 "pool_window_sweep": [ { "window": 8, "fine_entries": 1, "barriers": 1,
+                                          "modelled_us": 1.0, "pooled_us": 20.0,
+                                          "spawn_us": 10.0 } ],
+                 "pipeline_sweep": [ { "offered_qps": 1000.0 } ] }"#,
+        )
+        .unwrap();
+        let problems = validate("BENCH_pr10.json", &doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("results_identical_to_spawn")));
+        assert!(problems.iter().any(|p| p.contains("batch_formation_wins")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("pooled_us") && p.contains("must not exceed")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("pipeline_sweep[0]") && p.contains("p99_us")));
+        // The same slow-pooled point passes in smoke mode (wall-clock noise
+        // on shared runners), while the structural checks still apply.
+        let smoke = parse(
+            r#"{ "available_cores": 1, "mode": "smoke",
+                 "dataset": { "entries": 4096, "dim": 768 },
+                 "results_identical_to_spawn": true,
+                 "batch_formation_wins": true,
+                 "pool_window_sweep": [ { "window": 8, "fine_entries": 1, "barriers": 1,
+                                          "modelled_us": 1.0, "pooled_us": 20.0,
+                                          "spawn_us": 10.0 } ],
+                 "pipeline_sweep": [ { "offered_qps": 1000.0, "max_batch": 8,
+                                       "requests": 10, "completed": 10, "shed": 0,
+                                       "p50_us": 1.0, "p99_us": 2.0,
+                                       "throughput_qps": 900.0 } ] }"#,
+        )
+        .unwrap();
+        let smoke_problems = validate("BENCH_scheduler_smoke.json", &smoke);
+        assert!(
+            smoke_problems.is_empty(),
+            "smoke artifact must pass: {smoke_problems:?}"
+        );
     }
 
     #[test]

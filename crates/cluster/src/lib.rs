@@ -41,6 +41,7 @@ pub mod fault;
 pub mod health;
 pub mod latency;
 pub mod merge;
+pub mod pipeline;
 pub mod router;
 
 pub use cluster::{ClusterActivity, ClusterRecovery, ClusterSearchOutcome, ClusterSystem};
@@ -48,4 +49,5 @@ pub use fault::{FaultDecision, FaultPlan};
 pub use health::{HealthState, LeafHealth, RetryPolicy, ShardCoverage};
 pub use latency::{HedgePolicy, LatencyModel};
 pub use merge::{merge_top_k, MergeOutcome, RankedCandidate};
+pub use pipeline::{ClusterPipeline, ClusterPipelineCompletion, ClusterPipelineReply};
 pub use router::ShardRouter;

@@ -211,6 +211,22 @@ pub enum BatchFusion {
     Replicas,
 }
 
+/// How shard/replica workers are executed on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScanExecutor {
+    /// The persistent work-stealing worker pool (`reis-sched`), created
+    /// once at system construction (the default). No query or mutation
+    /// path creates threads afterwards; scan windows, fused page chunks
+    /// and replica batches are queued onto the long-lived workers, which
+    /// keep per-worker scratch warm between requests.
+    Pooled,
+    /// A scoped `std::thread` spawn per window/chunk/batch — the pre-pool
+    /// executor. Kept selectable so the identity property suite can prove
+    /// pooled execution bit-identical to it, and so `fig_scheduler` can
+    /// measure the per-window spawn overhead the pool removes.
+    SpawnScoped,
+}
+
 /// Complete configuration of a REIS system instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ReisConfig {
@@ -262,6 +278,10 @@ pub struct ReisConfig {
     /// How batched searches execute (see [`BatchFusion`]); defaults to the
     /// page-major fused path on the shared device.
     pub batch_fusion: BatchFusion,
+    /// How shard/replica workers run on the host (see [`ScanExecutor`]);
+    /// defaults to the persistent worker pool. Scheduling never changes
+    /// results or logical accounting — only wall-clock cost.
+    pub scan_executor: ScanExecutor,
     /// When the update path compacts automatically (append segments folded
     /// back into dense regions). [`CompactionPolicy::manual`] disables
     /// auto-compaction entirely.
@@ -282,6 +302,7 @@ impl ReisConfig {
             adaptive_filtering: AdaptiveFiltering::BruteForce,
             adaptive_window_pages: 4,
             batch_fusion: BatchFusion::Fused,
+            scan_executor: ScanExecutor::Pooled,
             compaction: CompactionPolicy::auto(),
         }
     }
@@ -363,6 +384,13 @@ impl ReisConfig {
     /// Builder-style override of the batched-search execution mode.
     pub fn with_batch_fusion(mut self, fusion: BatchFusion) -> Self {
         self.batch_fusion = fusion;
+        self
+    }
+
+    /// Builder-style override of the host-side executor (see
+    /// [`ScanExecutor`]).
+    pub fn with_scan_executor(mut self, executor: ScanExecutor) -> Self {
+        self.scan_executor = executor;
         self
     }
 

@@ -61,10 +61,11 @@ use reis_ann::vector::{BinaryVector, Int8Vector};
 use reis_nand::latch::Latch;
 use reis_nand::peripheral::{FailBitCounter, PassFailChecker, XorLogic};
 use reis_nand::{FlashStats, OobEntry, OobLayout, ScanShardPlan};
+use reis_sched::WorkerPool;
 use reis_ssd::{RegionKind, SsdController, StripedRegion};
 use reis_update::OOB_INVALID_RADR;
 
-use crate::config::ReisConfig;
+use crate::config::{ReisConfig, ScanExecutor};
 use crate::deploy::DeployedDatabase;
 use crate::error::{ReisError, Result};
 use crate::leaf::LeafCandidate;
@@ -224,6 +225,7 @@ pub struct InStorageEngine<'a> {
     ssd: &'a mut SsdController,
     config: ReisConfig,
     scratch: &'a mut ScanScratch,
+    pool: &'a WorkerPool,
 }
 
 /// Merge a list of `(start, end)` half-open ranges in place: empty ranges
@@ -499,11 +501,13 @@ impl<'a> InStorageEngine<'a> {
         ssd: &'a mut SsdController,
         config: ReisConfig,
         scratch: &'a mut ScanScratch,
+        pool: &'a WorkerPool,
     ) -> Self {
         InStorageEngine {
             ssd,
             config,
             scratch,
+            pool,
         }
     }
 
@@ -608,8 +612,10 @@ impl<'a> InStorageEngine<'a> {
         Ok(counts)
     }
 
-    /// Scan the planned shards of one query concurrently, one `std::thread`
-    /// worker per non-empty shard, and merge the shard-local results.
+    /// Scan the planned shards of one query concurrently — one task per
+    /// non-empty shard on the persistent worker pool (or one scoped
+    /// `std::thread` under [`ScanExecutor::SpawnScoped`]) — and merge the
+    /// shard-local results.
     ///
     /// Each worker shares the controller *immutably*: it borrows stored
     /// pages through [`SsdController::scan_region_page`], reads the
@@ -653,35 +659,89 @@ impl<'a> InStorageEngine<'a> {
         let oob_layout = &oob_layout;
         let make_entry = &make_entry;
         let shard_outputs: Vec<(ScanCounts, FlashStats, Option<ReisError>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = plan
-                    .shards()
-                    .iter()
-                    .zip(shard_pool.iter_mut())
-                    .filter(|(shard, _)| !shard.is_empty())
-                    .map(|(shard, shard_scratch)| {
-                        scope.spawn(move || {
-                            scan_shard_pages(
-                                ssd,
-                                region,
-                                shard.ranges(),
-                                page_base,
-                                slot_bytes,
-                                threshold,
-                                oob_entries_per_page,
-                                oob_layout,
-                                entry_bytes,
-                                shard_scratch,
-                                make_entry,
-                            )
+            match self.config.scan_executor {
+                // The persistent pool: one queued task per non-empty shard, no
+                // thread creation. The task bodies are byte-for-byte the spawn
+                // path's; only the execution vehicle differs, and the merge
+                // below walks slots in shard order either way, so results and
+                // accounting cannot depend on the executor.
+                ScanExecutor::Pooled => {
+                    let jobs: Vec<_> = plan
+                        .shards()
+                        .iter()
+                        .zip(shard_pool.iter_mut())
+                        .filter(|(shard, _)| !shard.is_empty())
+                        .collect();
+                    let mut outputs: Vec<Option<(ScanCounts, FlashStats, Option<ReisError>)>> =
+                        (0..jobs.len()).map(|_| None).collect();
+                    let scope_result = self.pool.scope(|scope| {
+                        for ((shard, shard_scratch), output) in
+                            jobs.into_iter().zip(outputs.iter_mut())
+                        {
+                            scope.spawn(move |_ctx| {
+                                *output = Some(scan_shard_pages(
+                                    ssd,
+                                    region,
+                                    shard.ranges(),
+                                    page_base,
+                                    slot_bytes,
+                                    threshold,
+                                    oob_entries_per_page,
+                                    oob_layout,
+                                    entry_bytes,
+                                    shard_scratch,
+                                    make_entry,
+                                ));
+                            });
+                        }
+                    });
+                    if let Err(panic) = scope_result {
+                        // A panicking shard leaves partial candidates in the
+                        // shard scratches; drop them so the next scan over this
+                        // scratch pool cannot absorb stale entries.
+                        for shard_scratch in shard_pool.iter_mut() {
+                            shard_scratch.ttl.clear();
+                        }
+                        return Err(ReisError::WorkerPanic(panic.message));
+                    }
+                    outputs
+                        .into_iter()
+                        .map(|output| output.expect("scope waits for every shard task"))
+                        .collect()
+                }
+                // The pre-pool executor, kept for the identity baseline and the
+                // `fig_scheduler` overhead comparison: scoped threads spawned
+                // and joined for every call.
+                ScanExecutor::SpawnScoped => std::thread::scope(|scope| {
+                    let handles: Vec<_> = plan
+                        .shards()
+                        .iter()
+                        .zip(shard_pool.iter_mut())
+                        .filter(|(shard, _)| !shard.is_empty())
+                        .map(|(shard, shard_scratch)| {
+                            scope.spawn(move || {
+                                scan_shard_pages(
+                                    ssd,
+                                    region,
+                                    shard.ranges(),
+                                    page_base,
+                                    slot_bytes,
+                                    threshold,
+                                    oob_entries_per_page,
+                                    oob_layout,
+                                    entry_bytes,
+                                    shard_scratch,
+                                    make_entry,
+                                )
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("scan shard worker panicked"))
-                    .collect()
-            });
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("scan shard worker panicked"))
+                        .collect()
+                }),
+            };
 
         // Merge shard results in shard order: counts and flash activity are
         // additive, candidates are concatenated (selection is order-free).
@@ -1501,7 +1561,8 @@ mod tests {
 
         let mut scratch = ScanScratch::new();
         let config = crate::config::ReisConfig::tiny();
-        let mut engine = InStorageEngine::new(&mut ssd, config, &mut scratch);
+        let pool = WorkerPool::new(2);
+        let mut engine = InStorageEngine::new(&mut ssd, config, &mut scratch, &pool);
         let top = [Neighbor::new(0, 0.0)];
         let err = engine.fetch_documents(&deployed, &top).unwrap_err();
         assert!(

@@ -73,6 +73,18 @@ pub enum ReisError {
         /// The underlying durability failure, when one caused the outage.
         source: Option<PersistError>,
     },
+    /// The request pipeline's bounded submission queue was full: explicit
+    /// backpressure instead of unbounded queueing. Carries the configured
+    /// lane depth; the caller sheds or retries after draining.
+    Overloaded {
+        /// The lane's configured depth bound that was hit.
+        depth: usize,
+    },
+    /// A pooled worker task panicked while executing a shard, chunk or
+    /// replica batch. The panic is isolated by the scheduler — the pool
+    /// and unrelated queries keep working — and surfaced to the submitting
+    /// request as this error, carrying the rendered panic payload.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for ReisError {
@@ -107,6 +119,13 @@ impl fmt::Display for ReisError {
                 Some(e) => write!(f, "leaf {leaf} is unavailable: {e}"),
                 None => write!(f, "leaf {leaf} is unavailable"),
             },
+            ReisError::Overloaded { depth } => {
+                write!(
+                    f,
+                    "pipeline overloaded: submission queue is at its depth bound {depth}"
+                )
+            }
+            ReisError::WorkerPanic(msg) => write!(f, "worker task panicked: {msg}"),
         }
     }
 }
@@ -248,9 +267,22 @@ mod tests {
                 leaf: 0,
                 source: None,
             },
+            ReisError::Overloaded { depth: 64 },
+            ReisError::WorkerPanic("index out of bounds".into()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn scheduler_variants_carry_their_context() {
+        let shed = ReisError::Overloaded { depth: 8 };
+        assert!(shed.to_string().contains("depth bound 8"));
+        assert!(std::error::Error::source(&shed).is_none());
+
+        let crashed = ReisError::WorkerPanic("boom".into());
+        assert!(crashed.to_string().contains("boom"));
+        assert!(std::error::Error::source(&crashed).is_none());
     }
 }

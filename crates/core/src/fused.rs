@@ -61,7 +61,9 @@ use reis_nand::{FlashStats, FusedHit, OobEntry, OobLayout, ScanShardPlan};
 use reis_ssd::{ControllerActivity, SsdController, StripedRegion};
 use reis_telemetry::Telemetry;
 
-use crate::config::{ReisConfig, ScanParallelism};
+use reis_sched::WorkerPool;
+
+use crate::config::{ReisConfig, ScanExecutor, ScanParallelism};
 use crate::deploy::DeployedDatabase;
 use crate::energy::EnergyModel;
 use crate::engine::{self, InStorageEngine, ScanCounts, ScanScratch};
@@ -319,6 +321,7 @@ pub(crate) fn execute_batch_fused(
     perf: &PerfModel,
     energy: &EnergyModel,
     scratch: &mut ScanScratch,
+    pool: &WorkerPool,
     db: &DeployedDatabase,
     queries: &[Vec<f32>],
     k: usize,
@@ -506,6 +509,8 @@ pub(crate) fn execute_batch_fused(
                 let shard_count = parallelism.effective_shards(scan_units, union_pages);
                 if shard_count > 1 {
                     fused_scan_sharded(
+                        config.scan_executor,
+                        pool,
                         controller,
                         region,
                         &union_ranges,
@@ -580,6 +585,8 @@ pub(crate) fn execute_batch_fused(
                     let shard_count = parallelism.effective_shards(scan_units, chunk_pages);
                     if shard_count > 1 {
                         fused_scan_sharded(
+                            config.scan_executor,
+                            pool,
                             controller,
                             region,
                             &chunk_ranges,
@@ -794,7 +801,7 @@ pub(crate) fn execute_batch_fused(
         let stats_before = *controller.device().stats();
         let dram_before = controller.dram().bytes_read() + controller.dram().bytes_written();
         let (results, documents, num_candidates, int8_pages) = {
-            let mut query_engine = InStorageEngine::new(controller, *config, scratch);
+            let mut query_engine = InStorageEngine::new(controller, *config, scratch, pool);
             let num_candidates = query_engine.num_candidates();
             let (results, int8_pages) = query_engine.rerank(db, &int8s[q], k)?;
             let documents = query_engine.fetch_documents(db, &results)?;
@@ -866,6 +873,8 @@ pub(crate) fn execute_batch_fused(
 /// merge-then-fail accounting sees the work every shard performed.
 #[allow(clippy::too_many_arguments)]
 fn fused_scan_sharded(
+    executor: ScanExecutor,
+    pool: &WorkerPool,
     controller: &SsdController,
     region: &StripedRegion,
     union_ranges: &[(usize, usize)],
@@ -889,45 +898,70 @@ fn fused_scan_sharded(
     let thresholds = &thresholds;
 
     type ShardOutput = (Vec<QueryScanState>, u64, Option<ReisError>);
-    let shard_outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
-        let handles: Vec<_> = plan
-            .shards()
+    let run_shard = |shard: &reis_nand::ScanShard| -> ShardOutput {
+        let mut local: Vec<QueryScanState> = thresholds
             .iter()
-            .filter(|shard| !shard.is_empty())
-            .map(|shard| {
-                scope.spawn(move || {
-                    let mut local: Vec<QueryScanState> = thresholds
-                        .iter()
-                        .map(|&threshold| QueryScanState::new(threshold))
-                        .collect();
-                    let mut senses = 0u64;
-                    let mut bufs = ScoreBufs::default();
-                    let mut active: Vec<usize> = Vec::with_capacity(plans.len());
-                    let error = fused_walk_pages(
-                        controller,
-                        region,
-                        shard.ranges(),
-                        page_base,
-                        slot_bytes,
-                        epp,
-                        oob_layout,
-                        plans,
-                        &mut local,
-                        &mut bufs,
-                        &mut active,
-                        &mut senses,
-                        make_entry,
-                    )
-                    .err();
-                    (local, senses, error)
-                })
-            })
+            .map(|&threshold| QueryScanState::new(threshold))
             .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("fused scan shard worker panicked"))
-            .collect()
-    });
+        let mut senses = 0u64;
+        let mut bufs = ScoreBufs::default();
+        let mut active: Vec<usize> = Vec::with_capacity(plans.len());
+        let error = fused_walk_pages(
+            controller,
+            region,
+            shard.ranges(),
+            page_base,
+            slot_bytes,
+            epp,
+            oob_layout,
+            plans,
+            &mut local,
+            &mut bufs,
+            &mut active,
+            &mut senses,
+            make_entry,
+        )
+        .err();
+        (local, senses, error)
+    };
+    let run_shard = &run_shard;
+    let shard_outputs: Vec<ShardOutput> = match executor {
+        // Pool tasks write into per-shard slots; the merge below walks the
+        // slots in shard order, same as the joined-handle order of the
+        // spawn path, so the executor cannot change the merged state.
+        ScanExecutor::Pooled => {
+            let shards: Vec<_> = plan
+                .shards()
+                .iter()
+                .filter(|shard| !shard.is_empty())
+                .collect();
+            let mut outputs: Vec<Option<ShardOutput>> = (0..shards.len()).map(|_| None).collect();
+            pool.scope(|scope| {
+                for (shard, output) in shards.into_iter().zip(outputs.iter_mut()) {
+                    scope.spawn(move |_ctx| {
+                        *output = Some(run_shard(shard));
+                    });
+                }
+            })
+            .map_err(|panic| ReisError::WorkerPanic(panic.message))?;
+            outputs
+                .into_iter()
+                .map(|output| output.expect("scope waits for every shard task"))
+                .collect()
+        }
+        ScanExecutor::SpawnScoped => std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .shards()
+                .iter()
+                .filter(|shard| !shard.is_empty())
+                .map(|shard| scope.spawn(move || run_shard(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("fused scan shard worker panicked"))
+                .collect()
+        }),
+    };
 
     // Merge shard-local states per query (selection is order-free under the
     // total-order quickselect) and the physical sense counts; the work a

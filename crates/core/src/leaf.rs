@@ -282,7 +282,8 @@ impl ReisSystem {
         let dram_before =
             self.controller.dram().bytes_read() + self.controller.dram().bytes_written();
 
-        let mut engine = InStorageEngine::new(&mut self.controller, config, &mut self.scratch);
+        let mut engine =
+            InStorageEngine::new(&mut self.controller, config, &mut self.scratch, &self.sched);
         engine.broadcast_query(db, &query_binary)?;
         let (clusters, coarse_counts) = match nprobe {
             Some(nprobe) => {
@@ -363,7 +364,8 @@ impl ReisSystem {
             .ok_or(ReisError::DatabaseNotDeployed(db_id))?;
         let config = self.config;
         let stats_before = *self.controller.device().stats();
-        let mut engine = InStorageEngine::new(&mut self.controller, config, &mut self.scratch);
+        let mut engine =
+            InStorageEngine::new(&mut self.controller, config, &mut self.scratch, &self.sched);
         let documents = engine.fetch_documents(db, results)?;
         let doc_slot_bytes = db.layout.doc_slot_bytes;
         let latency = self.perf.document_fetch(documents.len(), doc_slot_bytes)

@@ -63,10 +63,13 @@ pub mod layout;
 pub mod leaf;
 pub mod mutate;
 pub mod perf;
+pub mod pipeline;
 pub mod records;
 pub mod system;
 
-pub use config::{AdaptiveFiltering, BatchFusion, Optimizations, ReisConfig, ScanParallelism};
+pub use config::{
+    AdaptiveFiltering, BatchFusion, Optimizations, ReisConfig, ScanExecutor, ScanParallelism,
+};
 pub use database::{ClusterInfo, VectorDatabase};
 pub use deploy::DeployedDatabase;
 pub use durable::{RecoveryReport, WalQuarantine};
@@ -76,7 +79,12 @@ pub use layout::{LayoutPlan, DOC_SUBPAGE_BYTES};
 pub use leaf::{LeafCandidate, LeafDocumentsOutcome, LeafQueryOutcome};
 pub use mutate::{CompactionOutcome, MutationOutcome};
 pub use perf::{LatencyBreakdown, PerfModel, QueryActivity};
+pub use pipeline::{
+    LanePriority, Pipeline, PipelineCompletion, PipelineConfig, PipelineReply, PipelineRequest,
+};
 pub use records::{RIvf, RIvfEntry, TemporalTopList, TtlEntry};
+pub use reis_sched::{WorkerContext, WorkerLocal, WorkerPool};
+
 pub use reis_persist::{
     DirVfs, DurableStore, FaultHandle, FaultVfs, MemVfs, PersistError, ScrubReport, Vfs, WalRecord,
 };

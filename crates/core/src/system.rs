@@ -22,7 +22,9 @@ use reis_telemetry::{
     CounterId, ExplainEvent, ExplainTrace, GaugeId, HistogramId, QueryTrace, Span, Telemetry,
 };
 
-use crate::config::{BatchFusion, ReisConfig, ScanParallelism};
+use reis_sched::{WorkerLocal, WorkerPool};
+
+use crate::config::{BatchFusion, ReisConfig, ScanExecutor, ScanParallelism};
 use crate::database::VectorDatabase;
 use crate::deploy::{self, DeployedDatabase};
 use crate::durable::Durability;
@@ -111,6 +113,18 @@ pub struct ReisSystem {
     /// results and all logical accounting are bit-identical with telemetry
     /// on and off (the CI determinism gate enforces this).
     pub(crate) telemetry: Telemetry,
+    /// The persistent worker pool every shard scan, fused chunk and
+    /// replica batch executes on (under the default
+    /// [`ScanExecutor::Pooled`](crate::config::ScanExecutor)). Created
+    /// once here; no query or mutation path spawns threads afterwards.
+    /// Sized by `REIS_SCHED_WORKERS`, else by `auto_shards`.
+    pub(crate) sched: WorkerPool,
+    /// Per-worker scan scratch for replica batch workers: the pool keeps
+    /// each worker's buffers warm across batches instead of allocating a
+    /// fresh scratch per worker per batch. Scratch reuse never affects
+    /// results (buffers are cleared or overwritten per scan), so affinity
+    /// is purely an allocation-count optimization.
+    pub(crate) worker_scratch: WorkerLocal<ScanScratch>,
 }
 
 impl ReisSystem {
@@ -134,6 +148,8 @@ impl ReisSystem {
                     .map(|n| n.get())
                     .unwrap_or(1)
             });
+        let sched = WorkerPool::from_env(auto_shards);
+        let worker_scratch = WorkerLocal::new(&sched, |_| ScanScratch::new());
         ReisSystem {
             config,
             controller,
@@ -145,7 +161,17 @@ impl ReisSystem {
             auto_shards,
             durability: None,
             telemetry: Telemetry::from_env(),
+            sched,
+            worker_scratch,
         }
+    }
+
+    /// The persistent worker pool this system executes shard scans, fused
+    /// chunks and replica batches on. Exposed so tests and benches can
+    /// observe its size (set via `REIS_SCHED_WORKERS`, defaulting to the
+    /// captured host parallelism) or drive it directly.
+    pub fn scheduler(&self) -> &WorkerPool {
+        &self.sched
     }
 
     /// The telemetry handle of this system (disabled unless
@@ -723,6 +749,7 @@ impl ReisSystem {
             &self.perf,
             &self.energy,
             &mut self.scratch,
+            &self.sched,
             db,
             query,
             k,
@@ -869,6 +896,7 @@ impl ReisSystem {
                 &self.perf,
                 &self.energy,
                 &mut self.scratch,
+                &self.sched,
                 db,
                 queries,
                 k,
@@ -889,6 +917,7 @@ impl ReisSystem {
                         &self.perf,
                         &self.energy,
                         &mut self.scratch,
+                        &self.sched,
                         db,
                         query,
                         k,
@@ -910,57 +939,99 @@ impl ReisSystem {
         let energy = &self.energy;
         let telemetry = &self.telemetry;
         let controller = &self.controller;
+        let sched = &self.sched;
+        let worker_scratch = &self.worker_scratch;
         let activity_before = controller.activity_snapshot();
         let chunk_len = queries.len().div_ceil(workers);
 
-        let mut worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk_len)
-                .enumerate()
-                .map(|(worker, chunk)| {
-                    scope.spawn(move || {
-                        // Each worker gets its own device replica and its
-                        // own scratch; no state is shared between queries
-                        // in flight. Re-seeding the replica's error RNG
-                        // decorrelates the workers' injected error streams
-                        // (they would otherwise all replay the primary's).
-                        let mut replica = controller.clone();
-                        replica.device_mut().reseed_error_rng(
-                            0x9E37_79B9_7F4A_7C15
-                                ^ activity_before.flash.page_reads
-                                ^ ((worker as u64) << 32),
-                        );
-                        let mut scratch = ScanScratch::new();
-                        let outcomes: Vec<Result<SearchOutcome>> = chunk
-                            .iter()
-                            .map(|query| {
-                                execute_query(
-                                    config,
-                                    &mut replica,
-                                    perf,
-                                    energy,
-                                    &mut scratch,
-                                    db,
-                                    query,
-                                    k,
-                                    nprobe,
-                                    telemetry,
-                                    "batch",
-                                )
-                            })
-                            .collect();
-                        WorkerOutput {
-                            outcomes,
-                            activity: replica.activity_since(&activity_before),
-                        }
-                    })
+        // One replica worker's chunk: its own copy-on-write device replica,
+        // a re-seeded error RNG (decorrelating the workers' injected error
+        // streams, which would otherwise all replay the primary's) and the
+        // scratch the caller hands it. No state is shared between queries
+        // in flight; the chunking and the seed depend only on the worker
+        // *number*, so both executors compute identical outcomes.
+        let run_chunk = |worker: usize, chunk: &[Vec<f32>], scratch: &mut ScanScratch| {
+            let mut replica = controller.clone();
+            replica.device_mut().reseed_error_rng(
+                0x9E37_79B9_7F4A_7C15 ^ activity_before.flash.page_reads ^ ((worker as u64) << 32),
+            );
+            let outcomes: Vec<Result<SearchOutcome>> = chunk
+                .iter()
+                .map(|query| {
+                    execute_query(
+                        config,
+                        &mut replica,
+                        perf,
+                        energy,
+                        scratch,
+                        sched,
+                        db,
+                        query,
+                        k,
+                        nprobe,
+                        telemetry,
+                        "batch",
+                    )
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect()
-        });
+            WorkerOutput {
+                outcomes,
+                activity: replica.activity_since(&activity_before),
+            }
+        };
+        let run_chunk = &run_chunk;
+
+        let mut worker_outputs: Vec<WorkerOutput> = match self.config.scan_executor {
+            // Queue one task per chunk on the persistent pool. Each task
+            // reuses its worker's long-lived scratch (warm buffers across
+            // batches); when every slot is momentarily held — possible
+            // while a waiting worker helps run a sibling chunk — it falls
+            // back to a temporary scratch, which cannot affect results.
+            ScanExecutor::Pooled => {
+                let chunks: Vec<_> = queries.chunks(chunk_len).enumerate().collect();
+                let mut outputs: Vec<Option<WorkerOutput>> =
+                    (0..chunks.len()).map(|_| None).collect();
+                sched
+                    .scope(|scope| {
+                        for ((worker, chunk), output) in chunks.into_iter().zip(outputs.iter_mut())
+                        {
+                            scope.spawn(move |ctx| {
+                                let mut guard = worker_scratch.acquire(ctx);
+                                let mut temp;
+                                let scratch: &mut ScanScratch = match guard.as_deref_mut() {
+                                    Some(slot) => slot,
+                                    None => {
+                                        temp = ScanScratch::new();
+                                        &mut temp
+                                    }
+                                };
+                                *output = Some(run_chunk(worker, chunk, scratch));
+                            });
+                        }
+                    })
+                    .map_err(|panic| ReisError::WorkerPanic(panic.message))?;
+                outputs
+                    .into_iter()
+                    .map(|output| output.expect("scope waits for every chunk task"))
+                    .collect()
+            }
+            ScanExecutor::SpawnScoped => std::thread::scope(|scope| {
+                let handles: Vec<_> = queries
+                    .chunks(chunk_len)
+                    .enumerate()
+                    .map(|(worker, chunk)| {
+                        scope.spawn(move || {
+                            let mut scratch = ScanScratch::new();
+                            run_chunk(worker, chunk, &mut scratch)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            }),
+        };
 
         // Merge every worker's flash, DRAM and ECC activity into the primary
         // controller before surfacing any per-query error: even a failing
@@ -999,6 +1070,7 @@ fn execute_query(
     perf: &PerfModel,
     energy: &EnergyModel,
     scratch: &mut ScanScratch,
+    pool: &WorkerPool,
     db: &DeployedDatabase,
     query: &[f32],
     k: usize,
@@ -1031,7 +1103,7 @@ fn execute_query(
     let stats_before = *controller.device().stats();
     let dram_before = controller.dram().bytes_read() + controller.dram().bytes_written();
 
-    let mut engine = InStorageEngine::new(controller, *config, scratch);
+    let mut engine = InStorageEngine::new(controller, *config, scratch, pool);
     engine.broadcast_query(db, &query_binary)?;
     stamp(&mut mark, &mut walls.broadcast);
 

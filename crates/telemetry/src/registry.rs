@@ -94,11 +94,15 @@ pub enum CounterId {
     ScrubCorruptSnapshots,
     /// WAL files a scrub found with a torn or corrupt (quarantinable) tail.
     ScrubQuarantinedWals,
+    /// Requests accepted by an async pipeline's submission queues.
+    PipelineRequests,
+    /// Requests shed by pipeline backpressure (`ReisError::Overloaded`).
+    PipelineShed,
 }
 
 impl CounterId {
     /// Every counter, in registry order.
-    pub const ALL: [CounterId; 32] = [
+    pub const ALL: [CounterId; 34] = [
         CounterId::Queries,
         CounterId::Batches,
         CounterId::FusedBatches,
@@ -131,6 +135,8 @@ impl CounterId {
         CounterId::DegradedQueries,
         CounterId::ScrubCorruptSnapshots,
         CounterId::ScrubQuarantinedWals,
+        CounterId::PipelineRequests,
+        CounterId::PipelineShed,
     ];
 
     /// The Prometheus metric name.
@@ -168,6 +174,8 @@ impl CounterId {
             CounterId::DegradedQueries => "reis_degraded_queries_total",
             CounterId::ScrubCorruptSnapshots => "reis_scrub_corrupt_snapshots_total",
             CounterId::ScrubQuarantinedWals => "reis_scrub_quarantined_wals_total",
+            CounterId::PipelineRequests => "reis_pipeline_requests_total",
+            CounterId::PipelineShed => "reis_pipeline_shed_total",
         }
     }
 
@@ -206,6 +214,8 @@ impl CounterId {
             CounterId::DegradedQueries => "Cluster queries answered with partial shard coverage",
             CounterId::ScrubCorruptSnapshots => "Corrupt snapshots found by a scrub",
             CounterId::ScrubQuarantinedWals => "WAL files a scrub found with a corrupt tail",
+            CounterId::PipelineRequests => "Requests accepted by an async pipeline",
+            CounterId::PipelineShed => "Requests shed by pipeline backpressure",
         }
     }
 }
@@ -286,11 +296,17 @@ pub enum HistogramId {
     LeafCompletionNs,
     /// Modelled per-query fan-out latency — max over leaves (ns).
     FanoutNs,
+    /// Pipeline lane depth observed at each submission.
+    PipelineQueueDepth,
+    /// Virtual time a request waited in its lane before dispatch (ns).
+    PipelineQueueWaitNs,
+    /// Size of each batch the pipeline's formation handed to the executor.
+    PipelineBatchSize,
 }
 
 impl HistogramId {
     /// Every histogram, in registry order.
-    pub const ALL: [HistogramId; 14] = [
+    pub const ALL: [HistogramId; 17] = [
         HistogramId::QueryWallNs,
         HistogramId::QueryModelledNs,
         HistogramId::CoarseModelledNs,
@@ -305,6 +321,9 @@ impl HistogramId {
         HistogramId::WindowEntriesPerWindow,
         HistogramId::LeafCompletionNs,
         HistogramId::FanoutNs,
+        HistogramId::PipelineQueueDepth,
+        HistogramId::PipelineQueueWaitNs,
+        HistogramId::PipelineBatchSize,
     ];
 
     /// The Prometheus metric name.
@@ -324,6 +343,9 @@ impl HistogramId {
             HistogramId::WindowEntriesPerWindow => "reis_window_entries_per_window",
             HistogramId::LeafCompletionNs => "reis_leaf_completion_ns",
             HistogramId::FanoutNs => "reis_fanout_ns",
+            HistogramId::PipelineQueueDepth => "reis_pipeline_queue_depth",
+            HistogramId::PipelineQueueWaitNs => "reis_pipeline_queue_wait_ns",
+            HistogramId::PipelineBatchSize => "reis_pipeline_batch_size",
         }
     }
 
@@ -344,6 +366,11 @@ impl HistogramId {
             HistogramId::WindowEntriesPerWindow => "Entries transferred per adaptive scan window",
             HistogramId::LeafCompletionNs => "Modelled per-leaf completion time in nanoseconds",
             HistogramId::FanoutNs => "Modelled per-query fan-out latency in nanoseconds",
+            HistogramId::PipelineQueueDepth => "Pipeline lane depth observed at each submission",
+            HistogramId::PipelineQueueWaitNs => {
+                "Virtual nanoseconds a request waited in its lane before dispatch"
+            }
+            HistogramId::PipelineBatchSize => "Formed batch size handed to the batch executor",
         }
     }
 }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrival;
 pub mod crash;
 pub mod fault;
 pub mod ground_truth;
@@ -34,6 +35,7 @@ pub mod mutation;
 pub mod profile;
 pub mod synthetic;
 
+pub use arrival::{ArrivalEvent, ArrivalTrace};
 pub use crash::{CrashSchedule, LeafCrashSchedule};
 pub use fault::FaultScenario;
 pub use ground_truth::GroundTruth;
